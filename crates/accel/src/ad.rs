@@ -1,0 +1,107 @@
+//! Anomaly detection and clearance (paper Sec. 5.1, Fig. 8b).
+//!
+//! A row of comparator+multiplexer units at the systolic-array output stage
+//! checks every requantized GEMM result against the known valid bound (127
+//! times the offline output scaling factor). Out-of-range results — the
+//! signature of a high-bit timing flip — are clamped to zero; in-range
+//! values pass through unchanged. The residual (a dropped activation) is
+//! left to the DNN's inherent fault tolerance.
+
+/// Counters describing one anomaly-detection pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdStats {
+    /// Values inspected.
+    pub checked: u64,
+    /// Values found out of range and cleared to zero.
+    pub cleared: u64,
+}
+
+impl AdStats {
+    /// Merges another pass into this one.
+    pub fn merge(&mut self, other: AdStats) {
+        self.checked += other.checked;
+        self.cleared += other.cleared;
+    }
+}
+
+/// Clamps out-of-bound accumulator values to zero.
+///
+/// `bound_acc` is the valid range expressed in accumulator units (the real
+/// bound divided by the combined input×weight scale). Values with
+/// `|v| > bound_acc` are anomalies.
+///
+/// Returns the pass statistics.
+pub fn clear_anomalies(acc: &mut [i32], bound_acc: i64) -> AdStats {
+    let mut cleared = 0u64;
+    for v in acc.iter_mut() {
+        if (*v as i64).abs() > bound_acc {
+            *v = 0;
+            cleared += 1;
+        }
+    }
+    AdStats {
+        checked: acc.len() as u64,
+        cleared,
+    }
+}
+
+/// Converts a real-valued bound into accumulator units, saturating safely.
+pub fn bound_in_acc_units(bound_real: f32, combined_scale: f32) -> i64 {
+    if combined_scale <= 0.0 || !bound_real.is_finite() {
+        return i64::MAX;
+    }
+    let b = (bound_real as f64 / combined_scale as f64).ceil();
+    if b >= i64::MAX as f64 { i64::MAX } else { b as i64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_pass_through() {
+        let mut acc = vec![5, -100, 99, 0];
+        let stats = clear_anomalies(&mut acc, 100);
+        assert_eq!(acc, vec![5, -100, 99, 0]);
+        assert_eq!(stats.cleared, 0);
+        assert_eq!(stats.checked, 4);
+    }
+
+    #[test]
+    fn out_of_range_values_are_cleared() {
+        let mut acc = vec![5, 101, -200, 50];
+        let stats = clear_anomalies(&mut acc, 100);
+        assert_eq!(acc, vec![5, 0, 0, 50]);
+        assert_eq!(stats.cleared, 2);
+    }
+
+    #[test]
+    fn boundary_value_is_kept() {
+        let mut acc = vec![100, -100];
+        let stats = clear_anomalies(&mut acc, 100);
+        assert_eq!(stats.cleared, 0);
+        assert_eq!(acc, vec![100, -100]);
+    }
+
+    #[test]
+    fn bound_conversion_scales_and_saturates() {
+        assert_eq!(bound_in_acc_units(10.0, 0.1), 100);
+        assert_eq!(bound_in_acc_units(1.0, 0.0), i64::MAX);
+        assert_eq!(bound_in_acc_units(f32::INFINITY, 0.5), i64::MAX);
+        assert_eq!(bound_in_acc_units(1e30, 1e-30), i64::MAX);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = AdStats {
+            checked: 10,
+            cleared: 2,
+        };
+        a.merge(AdStats {
+            checked: 5,
+            cleared: 1,
+        });
+        assert_eq!(a.checked, 15);
+        assert_eq!(a.cleared, 3);
+    }
+}

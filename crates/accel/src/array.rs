@@ -1,0 +1,125 @@
+//! Functional model of the INT8 systolic-array GEMM datapath.
+//!
+//! Weights are held stationary in the 128×128 PE grid, inputs stream
+//! horizontally, and partial sums accumulate down the columns into 24-bit
+//! accumulators (paper Fig. 8b). This module computes the *values* that
+//! datapath would produce — including 24-bit wrap-around on overflow — so
+//! that bit-flip injection and anomaly detection act on bit-exact state.
+
+use create_tensor::QuantMatrix;
+
+/// Mask selecting the 24 accumulator bits.
+const ACC_MASK: i32 = 0x00FF_FFFF;
+
+/// Wraps a wide sum into 24-bit two's complement (sign-extended `i32`).
+#[inline]
+pub fn wrap_acc24(v: i64) -> i32 {
+    (((v as i32) & ACC_MASK) << 8) >> 8
+}
+
+/// Computes the INT8 GEMM `a (m×k) @ w (k×n)` with 24-bit accumulation.
+///
+/// Returns the row-major accumulator buffer of length `m·n`, each entry a
+/// sign-extended 24-bit value exactly as the array would emit it.
+///
+/// # Panics
+///
+/// Panics if inner dimensions disagree.
+pub fn gemm_i8_acc(a: &QuantMatrix, w: &QuantMatrix) -> Vec<i32> {
+    assert_eq!(
+        a.cols(),
+        w.rows(),
+        "gemm shape mismatch: {}x{} @ {}x{}",
+        a.rows(),
+        a.cols(),
+        w.rows(),
+        w.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), w.cols());
+    let mut acc = vec![0i64; m * n];
+    let w_data = w.as_slice();
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = &mut acc[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate().take(k) {
+            if av == 0 {
+                continue;
+            }
+            let av = av as i64;
+            let w_row = &w_data[kk * n..(kk + 1) * n];
+            for (o, &wv) in out_row.iter_mut().zip(w_row) {
+                *o += av * wv as i64;
+            }
+        }
+    }
+    acc.into_iter().map(wrap_acc24).collect()
+}
+
+/// Dequantizes an accumulator buffer into real values using the combined
+/// input×weight scale.
+pub fn acc_to_f32(acc: &[i32], combined_scale: f32) -> Vec<f32> {
+    acc.iter().map(|&v| v as f32 * combined_scale).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_tensor::{Matrix, Precision, QuantMatrix};
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn matches_float_reference_for_small_values() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = Matrix::random_uniform(4, 16, 1.0, &mut rng);
+        let w = Matrix::random_uniform(16, 8, 1.0, &mut rng);
+        let aq = QuantMatrix::quantize(&a, Precision::Int8);
+        let wq = QuantMatrix::quantize(&w, Precision::Int8);
+        let acc = gemm_i8_acc(&aq, &wq);
+        let combined = aq.params().scale() * wq.params().scale();
+        let approx = acc_to_f32(&acc, combined);
+        let exact = aq.dequantize().matmul(&wq.dequantize());
+        for (got, want) in approx.iter().zip(exact.as_slice()) {
+            assert!(
+                (got - want).abs() < 1e-4,
+                "quantized gemm mismatch: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulator_values_fit_24_bits_for_k_512() {
+        // Worst case |acc| = 127*127*512 = 8,258,048 < 2^23 = 8,388,608.
+        let big = Matrix::from_fn(1, 512, |_, _| 1.0);
+        let aq = QuantMatrix::quantize(&big, Precision::Int8);
+        let wq = QuantMatrix::quantize(&big.transpose(), Precision::Int8);
+        let acc = gemm_i8_acc(&aq, &wq);
+        assert_eq!(acc[0], 127 * 127 * 512);
+    }
+
+    #[test]
+    fn wrap_acc24_wraps_past_the_limit() {
+        assert_eq!(wrap_acc24(8_388_607), 8_388_607);
+        assert_eq!(wrap_acc24(8_388_608), -8_388_608);
+        assert_eq!(wrap_acc24(-8_388_609), 8_388_607);
+        assert_eq!(wrap_acc24(0), 0);
+    }
+
+    #[test]
+    fn zero_inputs_give_zero_outputs() {
+        let z = Matrix::zeros(3, 4);
+        let w = Matrix::from_fn(4, 5, |r, c| (r + c) as f32);
+        let zq = QuantMatrix::quantize(&z, Precision::Int8);
+        let wq = QuantMatrix::quantize(&w, Precision::Int8);
+        let acc = gemm_i8_acc(&zq, &wq);
+        assert!(acc.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = QuantMatrix::quantize(&Matrix::zeros(2, 3), Precision::Int8);
+        let w = QuantMatrix::quantize(&Matrix::zeros(4, 2), Precision::Int8);
+        let _ = gemm_i8_acc(&a, &w);
+    }
+}

@@ -1,0 +1,455 @@
+//! The accelerator execution facade.
+//!
+//! All planner/controller GEMMs flow through [`Accelerator::linear`], which
+//! applies — in datapath order — quantization, systolic accumulation,
+//! voltage-dependent bit-flip injection, anomaly detection and clearance,
+//! and dequantization. A single choke point guarantees that every
+//! experiment (characterization, ablations, baselines) exercises the same
+//! code path and differs only in configuration.
+
+use crate::ad::{self, AdStats};
+use crate::array;
+use crate::ctx::LayerCtx;
+use crate::inject::{InjectionStats, Injector};
+use crate::scheme::{Scheme, apply_scheme};
+use crate::timing::V_NOMINAL;
+use create_tensor::stats::Histogram;
+use create_tensor::{Matrix, QuantMatrix, QuantParams};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+/// Sampled distribution of dequantized GEMM outputs (for Fig. 8a).
+#[derive(Debug, Clone)]
+pub struct OutputProfiler {
+    hist: Histogram,
+    sample_every: usize,
+    counter: usize,
+}
+
+impl OutputProfiler {
+    /// Creates a profiler with the given histogram range and subsampling.
+    pub fn new(lo: f32, hi: f32, bins: usize, sample_every: usize) -> Self {
+        Self {
+            hist: Histogram::new(lo, hi, bins),
+            sample_every: sample_every.max(1),
+            counter: 0,
+        }
+    }
+
+    fn record(&mut self, values: &[f32]) {
+        for &v in values {
+            self.counter += 1;
+            if self.counter.is_multiple_of(self.sample_every) {
+                self.hist.push(v);
+            }
+        }
+    }
+
+    /// The collected histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+}
+
+/// Configuration for an [`Accelerator`] instance.
+#[derive(Debug, Clone)]
+pub struct AccelConfig {
+    /// Optional error injector; `None` runs golden.
+    pub injector: Option<Injector>,
+    /// Whether anomaly-detection units are active.
+    pub ad_enabled: bool,
+    /// Datapath protection scheme (baseline comparison; CREATE uses
+    /// `Plain` + AD).
+    pub scheme: Scheme,
+    /// Ablation knob: multiplier on the offline-profiled output bound
+    /// (AD threshold *and* requantization rail). `1.0` is the deployed
+    /// configuration; `<1` clips golden activations, `>1` lets larger
+    /// surviving errors through. See the `abl_ad_bound` bench target.
+    pub bound_scale: f32,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        Self {
+            injector: None,
+            ad_enabled: false,
+            scheme: Scheme::default(),
+            bound_scale: 1.0,
+        }
+    }
+}
+
+/// A voltage-scaled, possibly-faulty systolic accelerator.
+///
+/// # Example
+///
+/// ```
+/// use create_accel::{Accelerator, LayerCtx, Unit, Component};
+/// use create_tensor::{Matrix, Precision, QuantMatrix, QuantParams};
+///
+/// let mut acc = Accelerator::ideal(42);
+/// let x = Matrix::from_fn(1, 8, |_, j| j as f32 * 0.1);
+/// let w = QuantMatrix::quantize(&Matrix::identity(8), Precision::Int8);
+/// let params = QuantParams::from_max_abs(1.0, Precision::Int8);
+/// let ctx = LayerCtx::new(Unit::Controller, Component::Fc1, 0);
+/// let y = acc.linear(&x, &w, params, f32::INFINITY, ctx);
+/// assert!(x.max_abs_diff(&y) < 0.02, "identity GEMM round-trips");
+/// ```
+#[derive(Debug)]
+pub struct Accelerator {
+    config: AccelConfig,
+    voltage: f64,
+    rng: StdRng,
+    ad_stats: AdStats,
+    inj_stats: InjectionStats,
+    profiler: Option<OutputProfiler>,
+    macs: u64,
+    logical_macs: u64,
+    gemms: u64,
+}
+
+impl Accelerator {
+    /// Creates an accelerator with the given configuration at nominal
+    /// voltage, seeded deterministically.
+    pub fn new(config: AccelConfig, seed: u64) -> Self {
+        Self {
+            config,
+            voltage: V_NOMINAL,
+            rng: StdRng::seed_from_u64(seed),
+            ad_stats: AdStats::default(),
+            inj_stats: InjectionStats::default(),
+            profiler: None,
+            macs: 0,
+            logical_macs: 0,
+            gemms: 0,
+        }
+    }
+
+    /// An error-free accelerator (the golden path).
+    pub fn ideal(seed: u64) -> Self {
+        Self::new(AccelConfig::default(), seed)
+    }
+
+    /// Sets the supply voltage (used by the voltage error model).
+    pub fn set_voltage(&mut self, v: f64) {
+        self.voltage = v;
+    }
+
+    /// Current supply voltage.
+    pub fn voltage(&self) -> f64 {
+        self.voltage
+    }
+
+    /// Replaces the injector (e.g. to sweep BER within one trial).
+    pub fn set_injector(&mut self, injector: Option<Injector>) {
+        self.config.injector = injector;
+    }
+
+    /// Enables or disables the anomaly-detection units.
+    pub fn set_ad_enabled(&mut self, enabled: bool) {
+        self.config.ad_enabled = enabled;
+    }
+
+    /// Whether AD is active.
+    pub fn ad_enabled(&self) -> bool {
+        self.config.ad_enabled
+    }
+
+    /// Reseeds the RNG (per-trial reproducibility).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Attaches an output profiler.
+    pub fn set_profiler(&mut self, profiler: Option<OutputProfiler>) {
+        self.profiler = profiler;
+    }
+
+    /// Detaches and returns the output profiler.
+    pub fn take_profiler(&mut self) -> Option<OutputProfiler> {
+        self.profiler.take()
+    }
+
+    /// Cumulative anomaly-detection statistics.
+    pub fn ad_stats(&self) -> AdStats {
+        self.ad_stats
+    }
+
+    /// Cumulative injection statistics.
+    pub fn injection_stats(&self) -> InjectionStats {
+        self.inj_stats
+    }
+
+    /// Physical MACs executed so far (redundant executions included).
+    pub fn macs(&self) -> u64 {
+        self.macs
+    }
+
+    /// Logical MACs (one per GEMM, regardless of scheme redundancy).
+    pub fn logical_macs(&self) -> u64 {
+        self.logical_macs
+    }
+
+    /// GEMM calls executed so far.
+    pub fn gemms(&self) -> u64 {
+        self.gemms
+    }
+
+    /// Executes `x @ w` on the array and returns the dequantized result.
+    ///
+    /// * `x` is quantized on the fly with the offline-profiled
+    ///   `input_params`;
+    /// * `w` is the pre-quantized weight;
+    /// * `out_bound` is the offline-profiled valid output magnitude used by
+    ///   the AD units (pass `f32::INFINITY` to disable the bound even when
+    ///   AD is on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn linear(
+        &mut self,
+        x: &Matrix,
+        w: &QuantMatrix,
+        input_params: QuantParams,
+        out_bound: f32,
+        ctx: LayerCtx,
+    ) -> Matrix {
+        let out_bound = out_bound * self.config.bound_scale;
+        let xq = QuantMatrix::quantize_with(x, input_params);
+        let gemm_macs = (x.rows() * x.cols() * w.cols()) as u64;
+        let combined = input_params.scale() * w.params().scale();
+        self.logical_macs += gemm_macs;
+        self.gemms += 1;
+        let mut acc;
+        if let Some(injector) = self.config.injector.clone() {
+            let clean = array::gemm_i8_acc(&xq, w);
+            match self.config.scheme {
+                Scheme::Plain => {
+                    acc = clean;
+                    let stats = injector.inject(&mut acc, ctx, self.voltage, &mut self.rng);
+                    self.inj_stats.corrupted += stats.corrupted;
+                    self.inj_stats.total += stats.total;
+                    self.macs += gemm_macs;
+                }
+                scheme => {
+                    let voltage = self.voltage;
+                    let mut first = clean.clone();
+                    let stats = injector.inject(&mut first, ctx, voltage, &mut self.rng);
+                    self.inj_stats.corrupted += stats.corrupted;
+                    self.inj_stats.total += stats.total;
+                    let (out, outcome) = apply_scheme(
+                        scheme,
+                        &clean,
+                        first,
+                        |rng| {
+                            let mut replica = clean.clone();
+                            injector.inject(&mut replica, ctx, voltage, rng);
+                            replica
+                        },
+                        &mut self.rng,
+                    );
+                    acc = out;
+                    self.macs += gemm_macs * outcome.executions as u64
+                        + (gemm_macs as f64 * outcome.extra_mac_fraction).round() as u64;
+                }
+            }
+        } else {
+            acc = array::gemm_i8_acc(&xq, w);
+            self.macs += gemm_macs;
+        }
+        if self.config.ad_enabled {
+            let bound_acc = ad::bound_in_acc_units(out_bound, combined);
+            let stats = ad::clear_anomalies(&mut acc, bound_acc);
+            self.ad_stats.merge(stats);
+        }
+        let mut values = array::acc_to_f32(&acc, combined);
+        // Requantization saturation: the output stage re-quantizes results
+        // to INT8 against the offline scale (out_bound = 127 codes), so no
+        // emitted value can exceed the profiled bound. This is what makes
+        // weight rotation protective even without AD — a tighter profile
+        // bounds the worst-case damage of a surviving flip. (AD, when on,
+        // clears out-of-bound values to zero *before* saturation pins them
+        // at the rail.)
+        if out_bound.is_finite() {
+            for v in values.iter_mut() {
+                *v = v.clamp(-out_bound, out_bound);
+            }
+        }
+        if let Some(profiler) = &mut self.profiler {
+            profiler.record(&values);
+        }
+        Matrix::from_vec(x.rows(), w.cols(), values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::{Component, Unit};
+    use crate::inject::{ErrorModel, InjectionTarget};
+    use create_tensor::Precision;
+    use rand::Rng;
+
+    fn ctx() -> LayerCtx {
+        LayerCtx::new(Unit::Controller, Component::Fc1, 0)
+    }
+
+    fn random_setup(seed: u64) -> (Matrix, QuantMatrix, QuantParams) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Matrix::from_fn(4, 32, |_, _| rng.random_range(-1.0..1.0));
+        let w_f = Matrix::from_fn(32, 16, |_, _| rng.random_range(-0.5..0.5));
+        let w = QuantMatrix::quantize(&w_f, Precision::Int8);
+        let params = QuantParams::from_max_abs(1.0, Precision::Int8);
+        (x, w, params)
+    }
+
+    #[test]
+    fn ideal_accelerator_matches_quantized_reference() {
+        let (x, w, params) = random_setup(31);
+        let mut acc = Accelerator::ideal(0);
+        let y = acc.linear(&x, &w, params, f32::INFINITY, ctx());
+        let xq = QuantMatrix::quantize_with(&x, params);
+        let reference = xq.dequantize().matmul(&w.dequantize());
+        assert!(y.max_abs_diff(&reference) < 1e-4);
+        assert_eq!(acc.gemms(), 1);
+        assert_eq!(acc.macs(), 4 * 32 * 16);
+    }
+
+    #[test]
+    fn injection_corrupts_and_ad_repairs_large_errors() {
+        let (x, w, params) = random_setup(32);
+        let golden = Accelerator::ideal(0).linear(&x, &w, params, f32::INFINITY, ctx());
+        let bound = golden.max_abs() * 1.1;
+
+        // Heavy uniform errors, no AD: outputs deviate wildly.
+        let injector = Injector::new(
+            ErrorModel::Uniform { ber: 0.02 },
+            InjectionTarget::All,
+            1.0,
+        );
+        let mut faulty = Accelerator::new(
+            AccelConfig {
+                injector: Some(injector.clone()),
+                ad_enabled: false,
+                ..Default::default()
+            },
+            7,
+        );
+        let noisy = faulty.linear(&x, &w, params, f32::INFINITY, ctx());
+        assert!(
+            noisy.max_abs() > 10.0 * golden.max_abs(),
+            "high-bit flips should create huge outliers"
+        );
+
+        // Same errors with a finite requant bound (no AD): saturation pins
+        // corrupted values at the rail instead of letting them explode.
+        let mut saturated = Accelerator::new(
+            AccelConfig {
+                injector: Some(injector.clone()),
+                ad_enabled: false,
+                ..Default::default()
+            },
+            7,
+        );
+        let pinned = saturated.linear(&x, &w, params, bound, ctx());
+        assert!(pinned.max_abs() <= bound * 1.0001);
+
+        // Same errors with AD: max magnitude bounded by the profile.
+        let mut protected = Accelerator::new(
+            AccelConfig {
+                injector: Some(injector),
+                ad_enabled: true,
+                ..Default::default()
+            },
+            7,
+        );
+        let cleaned = protected.linear(&x, &w, params, bound, ctx());
+        assert!(cleaned.max_abs() <= bound * 1.0001);
+        assert!(protected.ad_stats().cleared > 0);
+    }
+
+    #[test]
+    fn reseeding_reproduces_identical_faults() {
+        let (x, w, params) = random_setup(33);
+        let injector = Injector::new(
+            ErrorModel::Uniform { ber: 1e-3 },
+            InjectionTarget::All,
+            1.0,
+        );
+        let mut a = Accelerator::new(
+            AccelConfig {
+                injector: Some(injector.clone()),
+                ad_enabled: false,
+                ..Default::default()
+            },
+            99,
+        );
+        let mut b = Accelerator::new(
+            AccelConfig {
+                injector: Some(injector),
+                ad_enabled: false,
+                ..Default::default()
+            },
+            99,
+        );
+        let ya = a.linear(&x, &w, params, f32::INFINITY, ctx());
+        let yb = b.linear(&x, &w, params, f32::INFINITY, ctx());
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn profiler_collects_output_samples() {
+        let (x, w, params) = random_setup(34);
+        let mut acc = Accelerator::ideal(0);
+        acc.set_profiler(Some(OutputProfiler::new(-10.0, 10.0, 20, 1)));
+        acc.linear(&x, &w, params, f32::INFINITY, ctx());
+        let profiler = acc.take_profiler().expect("profiler attached");
+        assert_eq!(profiler.histogram().total(), 4 * 16);
+    }
+
+    #[test]
+    fn bound_scale_tightens_or_loosens_the_output_stage() {
+        let (x, w, params) = random_setup(35);
+        let golden = Accelerator::ideal(0).linear(&x, &w, params, f32::INFINITY, ctx());
+        let bound = golden.max_abs() * 1.1;
+        // A deliberately over-tight bound clips even golden activations.
+        let mut tight = Accelerator::new(
+            AccelConfig {
+                bound_scale: 0.25,
+                ..Default::default()
+            },
+            0,
+        );
+        let clipped = tight.linear(&x, &w, params, bound, ctx());
+        assert!(clipped.max_abs() <= bound * 0.25 * 1.0001);
+        assert!(clipped.max_abs_diff(&golden) > 0.0, "golden data was clipped");
+        // A loose bound lets injected high-bit flips survive larger.
+        let injector = Injector::new(
+            ErrorModel::Uniform { ber: 0.02 },
+            InjectionTarget::All,
+            1.0,
+        );
+        let run = |scale: f32| {
+            let mut acc = Accelerator::new(
+                AccelConfig {
+                    injector: Some(injector.clone()),
+                    ad_enabled: true,
+                    bound_scale: scale,
+                    ..Default::default()
+                },
+                7,
+            );
+            acc.linear(&x, &w, params, bound, ctx()).max_abs()
+        };
+        assert!(run(8.0) > run(1.0), "loose bounds admit larger residuals");
+    }
+
+    #[test]
+    fn voltage_roundtrips() {
+        let mut acc = Accelerator::ideal(0);
+        assert_eq!(acc.voltage(), V_NOMINAL);
+        acc.set_voltage(0.75);
+        assert_eq!(acc.voltage(), 0.75);
+    }
+}

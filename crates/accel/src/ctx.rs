@@ -1,0 +1,139 @@
+//! Identification of where a GEMM sits in the system.
+//!
+//! Every accelerator call is tagged with a [`LayerCtx`] so that error
+//! injection can be targeted per component (Fig. 5 e–h), energy can be
+//! attributed per unit (Fig. 18), and profiles can be captured per layer.
+
+use std::fmt;
+
+/// Which model a GEMM belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// The LLM-based high-level planner.
+    Planner,
+    /// The RL-based low-level controller.
+    Controller,
+    /// The entropy predictor (always runs at nominal voltage).
+    Predictor,
+}
+
+impl Unit {
+    /// All units, in reporting order.
+    pub const ALL: [Unit; 3] = [Unit::Planner, Unit::Controller, Unit::Predictor];
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Unit::Planner => "planner",
+            Unit::Controller => "controller",
+            Unit::Predictor => "predictor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Network component executing a GEMM (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Attention query projection.
+    Q,
+    /// Attention key projection.
+    K,
+    /// Attention value projection.
+    V,
+    /// Attention output projection (pre-norm in the planner).
+    O,
+    /// LLM MLP gate projection.
+    Gate,
+    /// LLM MLP up projection.
+    Up,
+    /// LLM MLP down projection (pre-norm in the planner).
+    Down,
+    /// Controller MLP first layer.
+    Fc1,
+    /// Controller MLP second layer.
+    Fc2,
+    /// Output / policy head.
+    Head,
+    /// Embedding or input projection.
+    Embed,
+    /// Convolution layer (entropy predictor).
+    Conv,
+}
+
+impl Component {
+    /// Whether the component's output feeds directly into a normalization
+    /// layer via the residual stream (the vulnerable class in Sec. 4.1).
+    pub fn feeds_normalization(self) -> bool {
+        matches!(self, Component::O | Component::Down | Component::Fc2)
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Component::Q => "Q",
+            Component::K => "K",
+            Component::V => "V",
+            Component::O => "O",
+            Component::Gate => "Gate",
+            Component::Up => "Up",
+            Component::Down => "Down",
+            Component::Fc1 => "FC1",
+            Component::Fc2 => "FC2",
+            Component::Head => "Head",
+            Component::Embed => "Embed",
+            Component::Conv => "Conv",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full context for one accelerator GEMM call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerCtx {
+    /// Owning model.
+    pub unit: Unit,
+    /// Component within the transformer block.
+    pub component: Component,
+    /// Block index (0-based); head/embedding layers use the block they
+    /// belong to or 0.
+    pub layer: usize,
+}
+
+impl LayerCtx {
+    /// Convenience constructor.
+    pub fn new(unit: Unit, component: Component, layer: usize) -> Self {
+        Self {
+            unit,
+            component,
+            layer,
+        }
+    }
+}
+
+impl fmt::Display for LayerCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}[{}]", self.unit, self.component, self.layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pre_norm_components_are_flagged() {
+        assert!(Component::O.feeds_normalization());
+        assert!(Component::Down.feeds_normalization());
+        assert!(!Component::K.feeds_normalization());
+        assert!(!Component::Q.feeds_normalization());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let ctx = LayerCtx::new(Unit::Planner, Component::Down, 3);
+        assert_eq!(ctx.to_string(), "planner/Down[3]");
+    }
+}

@@ -1,0 +1,123 @@
+//! Analytic cycle/latency model of the accelerator (paper Sec. 6.1).
+//!
+//! The paper models cycle-level behaviour with SCALE-Sim on a platform of
+//! 128×128 weight-stationary PE arrays at a 2 ns clock. We substitute the
+//! standard weight-stationary analytic tiling model: every `K×N` weight
+//! tile is loaded once (array-height cycles), then `M` input rows stream
+//! through with a pipeline-drain tail. Latencies for Table 3 come from the
+//! reference model workloads.
+
+/// Geometry and clock of the accelerator platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayConfig {
+    /// PEs per array edge (128 in the paper).
+    pub dim: usize,
+    /// Number of parallel systolic arrays on the chip.
+    pub arrays: usize,
+    /// Clock period in nanoseconds.
+    pub clock_ns: f64,
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        Self {
+            dim: 128,
+            arrays: 9,
+            clock_ns: 2.0,
+        }
+    }
+}
+
+impl ArrayConfig {
+    /// Peak throughput in tera-operations per second (2 ops per MAC).
+    pub fn peak_tops(&self) -> f64 {
+        let macs_per_cycle = (self.dim * self.dim * self.arrays) as f64;
+        macs_per_cycle * 2.0 / self.clock_ns / 1e3
+    }
+
+    /// Cycles for one `M×K×N` GEMM on a single array (weight-stationary).
+    pub fn gemm_cycles(&self, m: usize, k: usize, n: usize) -> u64 {
+        if m == 0 || k == 0 || n == 0 {
+            return 0;
+        }
+        let d = self.dim;
+        let k_tiles = k.div_ceil(d) as u64;
+        let n_tiles = n.div_ceil(d) as u64;
+        // Per weight tile: d cycles to preload, m cycles streaming, and a
+        // 2d-cycle pipeline fill/drain.
+        let per_tile = d as u64 + m as u64 + 2 * d as u64;
+        k_tiles * n_tiles * per_tile
+    }
+
+    /// Wall-clock seconds for `macs` multiply-accumulates at utilization
+    /// `util` spread over all arrays.
+    pub fn latency_for_macs(&self, macs: f64, util: f64) -> f64 {
+        assert!(util > 0.0 && util <= 1.0, "utilization must be in (0, 1]");
+        let macs_per_cycle = (self.dim * self.dim * self.arrays) as f64 * util;
+        let cycles = macs / macs_per_cycle;
+        cycles * self.clock_ns * 1e-9
+    }
+
+    /// Utilization of one GEMM: useful MACs over occupied PE-cycles.
+    pub fn gemm_utilization(&self, m: usize, k: usize, n: usize) -> f64 {
+        let cycles = self.gemm_cycles(m, k, n);
+        if cycles == 0 {
+            return 0.0;
+        }
+        let useful = (m as f64) * (k as f64) * (n as f64);
+        let capacity = cycles as f64 * (self.dim * self.dim) as f64;
+        (useful / capacity).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_platform_peaks_near_144_tops() {
+        let cfg = ArrayConfig::default();
+        let tops = cfg.peak_tops();
+        assert!(
+            (140.0..155.0).contains(&tops),
+            "expected ~144 TOPS (Table 3), got {tops}"
+        );
+    }
+
+    #[test]
+    fn gemm_cycles_grow_with_every_dimension() {
+        let cfg = ArrayConfig::default();
+        let base = cfg.gemm_cycles(64, 256, 256);
+        assert!(cfg.gemm_cycles(128, 256, 256) > base);
+        assert!(cfg.gemm_cycles(64, 512, 256) > base);
+        assert!(cfg.gemm_cycles(64, 256, 512) > base);
+    }
+
+    #[test]
+    fn empty_gemm_takes_no_cycles() {
+        let cfg = ArrayConfig::default();
+        assert_eq!(cfg.gemm_cycles(0, 10, 10), 0);
+    }
+
+    #[test]
+    fn big_square_gemm_utilization_is_high() {
+        let cfg = ArrayConfig::default();
+        let u = cfg.gemm_utilization(1024, 1024, 1024);
+        assert!(u > 0.6, "large GEMM should utilize the array well: {u}");
+    }
+
+    #[test]
+    fn skinny_gemm_utilization_is_low() {
+        let cfg = ArrayConfig::default();
+        let u = cfg.gemm_utilization(1, 128, 128);
+        assert!(u < 0.05, "single-row GEMM wastes the array: {u}");
+    }
+
+    #[test]
+    fn latency_is_linear_in_macs() {
+        let cfg = ArrayConfig::default();
+        let t1 = cfg.latency_for_macs(1e9, 0.5);
+        let t2 = cfg.latency_for_macs(2e9, 0.5);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,278 @@
+//! SECDED error-correcting code for on-chip weight buffers.
+//!
+//! The paper scopes CREATE to *computational* timing errors on the grounds
+//! that "memory faults can be effectively mitigated by ECC" (Sec. 2.3) and
+//! names the extension of the resilience study to memory components as
+//! future work (Sec. 3.1). This module supplies that substrate: the
+//! industry-standard extended Hamming (72,64) single-error-correcting,
+//! double-error-detecting code used by SRAM macros and HBM-class DRAM —
+//! 64 data bits plus 7 Hamming parity bits plus one overall parity bit.
+//!
+//! Together with [`crate::sram`] it lets the memory-resilience experiment
+//! (`ext_memory` bench target) quantify what the paper asserts: voltage
+//! scaling on *memory* rails is only safe behind SECDED, at a fixed 12.5%
+//! storage overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use create_accel::ecc::{Codeword, Decoded};
+//!
+//! let cw = Codeword::encode(0xDEAD_BEEF_0BAD_F00D);
+//! // Any single bit flip is corrected transparently.
+//! let (data, outcome) = cw.with_flipped_bit(17).decode();
+//! assert_eq!(data, 0xDEAD_BEEF_0BAD_F00D);
+//! assert_eq!(outcome, Decoded::Corrected);
+//! ```
+
+/// Number of data bits per codeword.
+pub const DATA_BITS: u32 = 64;
+
+/// Total codeword bits (64 data + 7 Hamming parity + 1 overall parity).
+pub const CODE_BITS: u32 = 72;
+
+/// Storage overhead of the code: 8 check bits per 64 data bits.
+pub const OVERHEAD: f64 = (CODE_BITS - DATA_BITS) as f64 / DATA_BITS as f64;
+
+/// Outcome of decoding one codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decoded {
+    /// No error was present.
+    Clean,
+    /// A single-bit error was present and has been corrected.
+    Corrected,
+    /// A double-bit error was detected; the returned data is unreliable
+    /// and the word must be re-fetched (or the fault reported).
+    Detected,
+}
+
+impl Decoded {
+    /// Whether the returned data bits can be trusted.
+    pub fn data_valid(self) -> bool {
+        !matches!(self, Decoded::Detected)
+    }
+}
+
+/// A 72-bit extended-Hamming codeword.
+///
+/// Bit `i` of the inner `u128` is codeword position `i`: position 0 holds
+/// the overall parity bit, positions that are powers of two hold the seven
+/// Hamming parity bits, and the remaining 64 positions hold data bits in
+/// ascending order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Codeword(u128);
+
+/// Whether codeword position `pos` holds a parity bit.
+#[inline]
+fn is_parity_position(pos: u32) -> bool {
+    pos == 0 || pos.is_power_of_two()
+}
+
+impl Codeword {
+    /// Encodes 64 data bits into a SECDED codeword.
+    pub fn encode(data: u64) -> Self {
+        let mut word: u128 = 0;
+        // Scatter data bits into non-parity positions.
+        let mut bit = 0u32;
+        for pos in 1..CODE_BITS {
+            if is_parity_position(pos) {
+                continue;
+            }
+            if (data >> bit) & 1 == 1 {
+                word |= 1u128 << pos;
+            }
+            bit += 1;
+        }
+        debug_assert_eq!(bit, DATA_BITS);
+        // Hamming parity bits: parity bit at position p covers every
+        // position with the p bit set in its index.
+        for log2 in 0..7u32 {
+            let p = 1u32 << log2;
+            let mut parity = 0u32;
+            for pos in 1..CODE_BITS {
+                if pos & p != 0 && (word >> pos) & 1 == 1 {
+                    parity ^= 1;
+                }
+            }
+            if parity == 1 {
+                word |= 1u128 << p;
+            }
+        }
+        // Overall parity over the whole codeword (even parity).
+        if (word.count_ones() & 1) == 1 {
+            word |= 1;
+        }
+        Self(word)
+    }
+
+    /// Reconstructs a codeword from raw storage bits (no validation — the
+    /// whole point is that storage may be corrupted).
+    pub fn from_raw(raw: u128) -> Self {
+        Self(raw & ((1u128 << CODE_BITS) - 1))
+    }
+
+    /// The raw 72 storage bits.
+    pub fn to_raw(self) -> u128 {
+        self.0
+    }
+
+    /// Returns a copy with codeword bit `pos` flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= 72`.
+    pub fn with_flipped_bit(self, pos: u32) -> Self {
+        assert!(pos < CODE_BITS, "codeword bit {pos} out of range");
+        Self(self.0 ^ (1u128 << pos))
+    }
+
+    /// Extracts the data bits without any checking.
+    fn data_bits(self) -> u64 {
+        let mut data = 0u64;
+        let mut bit = 0u32;
+        for pos in 1..CODE_BITS {
+            if is_parity_position(pos) {
+                continue;
+            }
+            if (self.0 >> pos) & 1 == 1 {
+                data |= 1u64 << bit;
+            }
+            bit += 1;
+        }
+        data
+    }
+
+    /// Decodes the codeword, correcting a single-bit error and detecting
+    /// double-bit errors.
+    ///
+    /// Returns the (possibly corrected) data together with the decode
+    /// outcome. On [`Decoded::Detected`] the data is the best-effort raw
+    /// extraction and must not be trusted.
+    pub fn decode(self) -> (u64, Decoded) {
+        // Syndrome: XOR of the positions of all set bits (excluding the
+        // overall parity at position 0).
+        let mut syndrome = 0u32;
+        for pos in 1..CODE_BITS {
+            if (self.0 >> pos) & 1 == 1 {
+                syndrome ^= pos;
+            }
+        }
+        let overall_even = (self.0.count_ones() & 1) == 0;
+        match (syndrome, overall_even) {
+            (0, true) => (self.data_bits(), Decoded::Clean),
+            (0, false) => {
+                // The overall parity bit itself flipped; data unaffected.
+                (self.data_bits(), Decoded::Corrected)
+            }
+            (s, false) => {
+                // Single-bit error at position `s`.
+                let fixed = if s < CODE_BITS { self.with_flipped_bit(s) } else { self };
+                (fixed.data_bits(), Decoded::Corrected)
+            }
+            (_, true) => {
+                // Non-zero syndrome with even overall parity: double error.
+                (self.data_bits(), Decoded::Detected)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn clean_roundtrip_preserves_data() {
+        for data in [0u64, u64::MAX, 0xAAAA_AAAA_AAAA_AAAA, 0x0123_4567_89AB_CDEF] {
+            let (out, outcome) = Codeword::encode(data).decode();
+            assert_eq!(out, data);
+            assert_eq!(outcome, Decoded::Clean);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_corrected() {
+        let data = 0x5A5A_F00D_1234_8765u64;
+        let cw = Codeword::encode(data);
+        for pos in 0..CODE_BITS {
+            let (out, outcome) = cw.with_flipped_bit(pos).decode();
+            assert_eq!(outcome, Decoded::Corrected, "bit {pos}");
+            assert_eq!(out, data, "bit {pos} should be repaired");
+        }
+    }
+
+    #[test]
+    fn every_double_bit_flip_is_detected() {
+        let data = 0xC0FF_EE00_DEAD_BEEFu64;
+        let cw = Codeword::encode(data);
+        for a in 0..CODE_BITS {
+            for b in (a + 1)..CODE_BITS {
+                let (_, outcome) = cw.with_flipped_bit(a).with_flipped_bit(b).decode();
+                assert_eq!(outcome, Decoded::Detected, "bits {a},{b}");
+                assert!(!outcome.data_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn parity_positions_are_powers_of_two_plus_overall() {
+        let parities: Vec<u32> = (0..CODE_BITS).filter(|&p| is_parity_position(p)).collect();
+        assert_eq!(parities, vec![0, 1, 2, 4, 8, 16, 32, 64]);
+        assert_eq!(CODE_BITS - parities.len() as u32, DATA_BITS);
+    }
+
+    #[test]
+    fn overhead_is_12_5_percent() {
+        assert!((OVERHEAD - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_roundtrip_masks_to_72_bits() {
+        let cw = Codeword::encode(42);
+        let raw = cw.to_raw();
+        assert_eq!(Codeword::from_raw(raw), cw);
+        // Garbage above bit 71 is ignored.
+        assert_eq!(Codeword::from_raw(raw | (1u128 << 100)), cw);
+    }
+
+    #[test]
+    fn random_words_survive_random_single_flips() {
+        let mut rng = StdRng::seed_from_u64(0xECC);
+        for _ in 0..200 {
+            let data: u64 = rng.random();
+            let pos = rng.random_range(0..CODE_BITS);
+            let (out, outcome) = Codeword::encode(data).with_flipped_bit(pos).decode();
+            assert_eq!(out, data);
+            assert_eq!(outcome, Decoded::Corrected);
+        }
+    }
+
+    #[test]
+    fn triple_flips_are_not_silently_accepted_as_clean() {
+        // SECDED cannot correct triples; it may miscorrect (alias to a
+        // single-bit syndrome) but must never report Clean.
+        let data = 0x0F0F_0F0F_0F0F_0F0Fu64;
+        let cw = Codeword::encode(data);
+        let mut rng = StdRng::seed_from_u64(0x3F);
+        for _ in 0..100 {
+            let mut bits = [0u32; 3];
+            loop {
+                for b in bits.iter_mut() {
+                    *b = rng.random_range(0..CODE_BITS);
+                }
+                if bits[0] != bits[1] && bits[1] != bits[2] && bits[0] != bits[2] {
+                    break;
+                }
+            }
+            let corrupted = cw
+                .with_flipped_bit(bits[0])
+                .with_flipped_bit(bits[1])
+                .with_flipped_bit(bits[2]);
+            let (_, outcome) = corrupted.decode();
+            assert_ne!(outcome, Decoded::Clean, "bits {bits:?}");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Energy accounting (paper Secs. 6.1, 6.8; Figs. 16, 18).
+//!
+//! Computational energy scales quadratically with supply voltage
+//! (`E ∝ C·V²`); memory stays at a safe nominal voltage (the paper scopes
+//! voltage scaling to logic only). Per-inference costs are derived from the
+//! *reference* architectures of Table 4 — the proxy models execute the
+//! mathematics, but joules are book-kept at paper scale so that breakdowns
+//! (Fig. 18) and savings (Figs. 16/17) are directly comparable.
+//!
+//! Calibration (22 nm-class constants):
+//! * INT8 MAC at nominal 0.9 V: 0.25 pJ (INT4: 0.11 pJ)
+//! * on-chip SRAM access: 1.0 pJ/byte
+//! * off-chip HBM2 access: 40 pJ/byte (5 pJ/bit)
+//!
+//! With the Table 4 workloads these reproduce the paper's chip-level
+//! splits: computation ≈ 62–67% of planner energy and ≈ 77–79% of
+//! controller energy.
+
+use crate::ctx::Unit;
+use crate::timing::V_NOMINAL;
+use create_tensor::Precision;
+use std::collections::HashMap;
+
+/// Energy of one INT8 MAC at nominal voltage (J).
+pub const E_MAC_INT8_NOM: f64 = 0.25e-12;
+
+/// Energy of one INT4 MAC at nominal voltage (J).
+pub const E_MAC_INT4_NOM: f64 = 0.11e-12;
+
+/// Energy per byte of on-chip SRAM traffic (J).
+pub const E_SRAM_BYTE: f64 = 1.0e-12;
+
+/// Energy per byte of off-chip HBM2 traffic (J).
+pub const E_DRAM_BYTE: f64 = 40.0e-12;
+
+/// Per-inference workload of a model at reference (paper Table 4) scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceCost {
+    /// Multiply-accumulate operations per inference.
+    pub macs: f64,
+    /// Bytes moved from off-chip DRAM per inference (planner weight
+    /// streaming; zero for SRAM-resident controllers).
+    pub dram_bytes: f64,
+    /// Bytes of on-chip SRAM traffic per inference.
+    pub sram_bytes: f64,
+}
+
+impl InferenceCost {
+    /// Builds the cost from MAC count, weight residency and reuse.
+    ///
+    /// `weight_bytes` stream from DRAM when `weights_offchip`; SRAM traffic
+    /// is `2·macs/reuse` operand bytes (each operand byte is reused `reuse`
+    /// times inside the array) plus one output byte per `reuse` MACs.
+    pub fn from_workload(macs: f64, weight_bytes: f64, weights_offchip: bool, reuse: f64) -> Self {
+        assert!(reuse >= 1.0, "reuse factor must be >= 1");
+        let sram_bytes = 2.0 * macs / reuse + macs / reuse + weight_bytes;
+        InferenceCost {
+            macs,
+            dram_bytes: if weights_offchip { weight_bytes } else { 0.0 },
+            sram_bytes,
+        }
+    }
+
+    /// Computational energy at voltage `v` (J).
+    pub fn compute_energy(&self, v: f64, precision: Precision) -> f64 {
+        let e_mac = match precision {
+            Precision::Int8 => E_MAC_INT8_NOM,
+            Precision::Int4 => E_MAC_INT4_NOM,
+        };
+        let ratio = v / V_NOMINAL;
+        self.macs * e_mac * ratio * ratio
+    }
+
+    /// Memory energy (voltage-independent: memory stays at nominal) (J).
+    pub fn memory_energy(&self) -> f64 {
+        self.dram_bytes * E_DRAM_BYTE + self.sram_bytes * E_SRAM_BYTE
+    }
+
+    /// Total energy at voltage `v` (J).
+    pub fn total_energy(&self, v: f64, precision: Precision) -> f64 {
+        self.compute_energy(v, precision) + self.memory_energy()
+    }
+}
+
+/// Accumulated energy for one unit (J).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UnitEnergy {
+    /// Compute joules (voltage-scaled).
+    pub compute_j: f64,
+    /// On-chip SRAM joules.
+    pub sram_j: f64,
+    /// Off-chip DRAM joules.
+    pub dram_j: f64,
+    /// Inferences recorded.
+    pub inferences: u64,
+    /// Σ MACs · V² used to derive the effective voltage.
+    weighted_v2: f64,
+    /// Σ MACs.
+    macs: f64,
+}
+
+impl UnitEnergy {
+    /// Total joules for this unit.
+    pub fn total_j(&self) -> f64 {
+        self.compute_j + self.sram_j + self.dram_j
+    }
+
+    /// Fraction of energy spent on computation.
+    pub fn compute_fraction(&self) -> f64 {
+        let t = self.total_j();
+        if t <= 0.0 { 0.0 } else { self.compute_j / t }
+    }
+
+    /// The constant voltage that would have consumed the same compute
+    /// energy over the same work (paper Sec. 6.1's *effective voltage*).
+    pub fn effective_voltage(&self) -> f64 {
+        if self.macs <= 0.0 {
+            V_NOMINAL
+        } else {
+            (self.weighted_v2 / self.macs).sqrt()
+        }
+    }
+}
+
+/// Energy meter attributing per-inference costs to units.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyMeter {
+    units: HashMap<Unit, UnitEnergy>,
+    ldo_j: f64,
+}
+
+impl EnergyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one inference of `unit` with `cost` at voltage `v`.
+    pub fn record(&mut self, unit: Unit, cost: &InferenceCost, v: f64, precision: Precision) {
+        let e = self.units.entry(unit).or_default();
+        e.compute_j += cost.compute_energy(v, precision);
+        e.sram_j += cost.sram_bytes * E_SRAM_BYTE;
+        e.dram_j += cost.dram_bytes * E_DRAM_BYTE;
+        e.inferences += 1;
+        e.weighted_v2 += cost.macs * v * v;
+        e.macs += cost.macs;
+    }
+
+    /// Adds LDO switching energy (J).
+    pub fn record_ldo(&mut self, joules: f64) {
+        self.ldo_j += joules;
+    }
+
+    /// Per-unit accumulated energy.
+    pub fn unit(&self, unit: Unit) -> UnitEnergy {
+        self.units.get(&unit).copied().unwrap_or_default()
+    }
+
+    /// LDO switching joules.
+    pub fn ldo_j(&self) -> f64 {
+        self.ldo_j
+    }
+
+    /// Total joules across all units plus LDO switching.
+    pub fn total_j(&self) -> f64 {
+        self.units.values().map(UnitEnergy::total_j).sum::<f64>() + self.ldo_j
+    }
+
+    /// Total compute joules across all units.
+    pub fn compute_j(&self) -> f64 {
+        self.units.values().map(|u| u.compute_j).sum()
+    }
+
+    /// Merges another meter into this one.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        for (unit, e) in &other.units {
+            let mine = self.units.entry(*unit).or_default();
+            mine.compute_j += e.compute_j;
+            mine.sram_j += e.sram_j;
+            mine.dram_j += e.dram_j;
+            mine.inferences += e.inferences;
+            mine.weighted_v2 += e.weighted_v2;
+            mine.macs += e.macs;
+        }
+        self.ldo_j += other.ldo_j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner_cost() -> InferenceCost {
+        // JARVIS-1 planner, Table 4: 5344 GOps = 2672 GMACs, 7.87 GB weights.
+        InferenceCost::from_workload(2.672e12, 7.869e9, true, 128.0)
+    }
+
+    fn controller_cost() -> InferenceCost {
+        // JARVIS-1 controller: 102 GOps = 51 GMACs, 61 MB weights on-chip.
+        InferenceCost::from_workload(51e9, 61e6, false, 48.0)
+    }
+
+    #[test]
+    fn energy_scales_quadratically_with_voltage() {
+        let c = planner_cost();
+        let e_nom = c.compute_energy(0.9, Precision::Int8);
+        let e_low = c.compute_energy(0.45, Precision::Int8);
+        assert!((e_nom / e_low - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planner_compute_fraction_matches_paper_band() {
+        let c = planner_cost();
+        let frac = c.compute_energy(0.9, Precision::Int8) / c.total_energy(0.9, Precision::Int8);
+        assert!(
+            (0.55..0.75).contains(&frac),
+            "planner compute fraction {frac} outside Fig. 18 band"
+        );
+    }
+
+    #[test]
+    fn controller_compute_fraction_matches_paper_band() {
+        let c = controller_cost();
+        let frac = c.compute_energy(0.9, Precision::Int8) / c.total_energy(0.9, Precision::Int8);
+        assert!(
+            (0.70..0.85).contains(&frac),
+            "controller compute fraction {frac} outside Fig. 18 band"
+        );
+    }
+
+    #[test]
+    fn int4_macs_are_cheaper() {
+        let c = controller_cost();
+        assert!(
+            c.compute_energy(0.9, Precision::Int4) < 0.6 * c.compute_energy(0.9, Precision::Int8)
+        );
+    }
+
+    #[test]
+    fn effective_voltage_averages_mac_weighted() {
+        let mut meter = EnergyMeter::new();
+        let cost = InferenceCost {
+            macs: 1e9,
+            dram_bytes: 0.0,
+            sram_bytes: 0.0,
+        };
+        meter.record(Unit::Controller, &cost, 0.9, Precision::Int8);
+        meter.record(Unit::Controller, &cost, 0.7, Precision::Int8);
+        let v_eff = meter.unit(Unit::Controller).effective_voltage();
+        let expect = ((0.9f64 * 0.9 + 0.7 * 0.7) / 2.0).sqrt();
+        assert!((v_eff - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_merge_adds_everything() {
+        let mut a = EnergyMeter::new();
+        let mut b = EnergyMeter::new();
+        let cost = controller_cost();
+        a.record(Unit::Controller, &cost, 0.9, Precision::Int8);
+        b.record(Unit::Controller, &cost, 0.8, Precision::Int8);
+        b.record_ldo(1e-9);
+        a.merge(&b);
+        assert_eq!(a.unit(Unit::Controller).inferences, 2);
+        assert!(a.ldo_j() > 0.0);
+        assert!(a.total_j() > 0.0);
+    }
+
+    #[test]
+    fn memory_energy_is_voltage_independent() {
+        let c = planner_cost();
+        let t_high = c.total_energy(0.9, Precision::Int8);
+        let t_low = c.total_energy(0.6, Precision::Int8);
+        let mem = c.memory_energy();
+        assert!((t_high - c.compute_energy(0.9, Precision::Int8) - mem).abs() < 1e-15);
+        assert!(t_low > mem, "total always includes memory");
+    }
+}

@@ -1,0 +1,412 @@
+//! Transient-error injection into GEMM accumulator outputs.
+//!
+//! Mirrors the paper's dynamic error-injection framework (Sec. 3.2): inputs
+//! to GEMMs are quantized to INT8 and *bit flips are applied to the 24-bit
+//! accumulator outputs*. Two error models are provided:
+//!
+//! * [`ErrorModel::Uniform`] — every accumulator bit flips i.i.d. with a
+//!   given BER; used for the resilience characterization (Sec. 4) to stay
+//!   independent of hardware specifics.
+//! * [`ErrorModel::Voltage`] — per-bit probabilities follow the
+//!   [`TimingModel`] at the accelerator's present voltage; used for the
+//!   energy experiments (Sec. 6) and the Fig. 19 comparison.
+//!
+//! # Scale model
+//!
+//! The paper injects into a 7.9 B-parameter planner whose single inference
+//! produces ~1e9 accumulator outputs; our proxy planner produces ~1e5.
+//! Cliff positions on the BER axis depend on *flips per inference*, so the
+//! injector accepts an `inference_scale`: each proxy element stands for
+//! `scale` reference elements and is corrupted with probability
+//! `1 − (1 − p_elem)^scale`. With `scale = 1` the injector is
+//! fraction-faithful (used for the controller and all unit tests); with the
+//! planner's reference/proxy ratio it is count-faithful, keeping the
+//! planner's failure cliff where the paper reports it. See DESIGN.md.
+
+use crate::timing::{ACC_BITS, TimingModel};
+use crate::ctx::{Component, LayerCtx};
+use rand::Rng;
+
+/// Mask of the 24 accumulator bits.
+const ACC_MASK: i32 = 0x00FF_FFFF;
+
+/// Flips bit `bit` of a 24-bit two's-complement accumulator value and
+/// sign-extends the result back into an `i32`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `bit >= 24`.
+#[inline]
+pub fn flip_acc_bit(value: i32, bit: u32) -> i32 {
+    debug_assert!((bit as usize) < ACC_BITS);
+    let flipped = (value & ACC_MASK) ^ (1 << bit);
+    // Sign-extend from bit 23.
+    (flipped << 8) >> 8
+}
+
+/// Statistical error model for accumulator bit flips.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorModel {
+    /// Hardware-agnostic model: every bit flips with probability `ber` and
+    /// the flipped bit position is uniform over the 24 accumulator bits.
+    Uniform {
+        /// Per-bit flip probability.
+        ber: f64,
+    },
+    /// Hardware-derived model: per-bit probabilities from the
+    /// [`TimingModel`] at the current supply voltage.
+    Voltage {
+        /// The calibrated timing model.
+        model: TimingModel,
+    },
+}
+
+impl ErrorModel {
+    /// Per-bit flip probabilities under this model at voltage `v`.
+    pub fn bit_probs(&self, v: f64) -> [f64; ACC_BITS] {
+        match self {
+            ErrorModel::Uniform { ber } => [*ber; ACC_BITS],
+            ErrorModel::Voltage { model } => model.bit_error_probs(v),
+        }
+    }
+
+    /// Aggregate per-bit BER at voltage `v`.
+    pub fn aggregate_ber(&self, v: f64) -> f64 {
+        match self {
+            ErrorModel::Uniform { ber } => *ber,
+            ErrorModel::Voltage { model } => model.aggregate_ber(v),
+        }
+    }
+}
+
+/// Which GEMMs receive injected errors.
+///
+/// The characterization study (Sec. 4) injects into one model or one
+/// component at a time; deployment experiments (Sec. 6) inject everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InjectionTarget {
+    /// Inject into every GEMM.
+    #[default]
+    All,
+    /// Inject only into GEMMs of the given component type.
+    Component(Component),
+    /// Inject only into GEMMs of the given layer index.
+    Layer(usize),
+    /// Inject nowhere (golden run with metering still active).
+    None,
+}
+
+impl InjectionTarget {
+    /// Whether a GEMM with context `ctx` should be injected.
+    pub fn matches(&self, ctx: LayerCtx) -> bool {
+        match self {
+            InjectionTarget::All => true,
+            InjectionTarget::Component(c) => ctx.component == *c,
+            InjectionTarget::Layer(l) => ctx.layer == *l,
+            InjectionTarget::None => false,
+        }
+    }
+}
+
+/// Outcome counters for one injection pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionStats {
+    /// Elements corrupted.
+    pub corrupted: u64,
+    /// Elements examined.
+    pub total: u64,
+}
+
+/// Stateless injection engine; randomness comes from the caller's RNG so
+/// that trials are reproducible under any parallel schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Injector {
+    model: ErrorModel,
+    target: InjectionTarget,
+    inference_scale: f64,
+}
+
+impl Injector {
+    /// Creates an injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inference_scale < 1.0`.
+    pub fn new(model: ErrorModel, target: InjectionTarget, inference_scale: f64) -> Self {
+        assert!(
+            inference_scale >= 1.0,
+            "inference scale must be >= 1, got {inference_scale}"
+        );
+        Self {
+            model,
+            target,
+            inference_scale,
+        }
+    }
+
+    /// The statistical error model.
+    pub fn model(&self) -> ErrorModel {
+        self.model
+    }
+
+    /// The injection target filter.
+    pub fn target(&self) -> InjectionTarget {
+        self.target
+    }
+
+    /// Reference-to-proxy element scale.
+    pub fn inference_scale(&self) -> f64 {
+        self.inference_scale
+    }
+
+    /// Probability that a single proxy element is corrupted at voltage `v`.
+    pub fn element_corruption_prob(&self, v: f64) -> f64 {
+        let probs = self.model.bit_probs(v);
+        // P(element clean) = prod_b (1 - p_b); use log1p for precision.
+        let log_clean: f64 = probs.iter().map(|&p| (1.0 - p.min(0.999_999)).ln()).sum();
+        let p_elem = 1.0 - log_clean.exp();
+        1.0 - (1.0 - p_elem).powf(self.inference_scale)
+    }
+
+    /// Injects bit flips into the accumulator buffer `acc` for a GEMM with
+    /// context `ctx` at voltage `v`. Returns how many elements were hit.
+    pub fn inject(
+        &self,
+        acc: &mut [i32],
+        ctx: LayerCtx,
+        v: f64,
+        rng: &mut impl Rng,
+    ) -> InjectionStats {
+        let total = acc.len() as u64;
+        if acc.is_empty() || !self.target.matches(ctx) {
+            return InjectionStats { corrupted: 0, total };
+        }
+        let p = self.element_corruption_prob(v);
+        if p <= 0.0 {
+            return InjectionStats { corrupted: 0, total };
+        }
+        let probs = self.model.bit_probs(v);
+        let corrupted = if p < 0.02 {
+            // Sparse regime: draw the corrupted count, then place flips.
+            let lambda = p * acc.len() as f64;
+            let k = sample_poisson(lambda, rng).min(acc.len() as u64);
+            for _ in 0..k {
+                let idx = rng.random_range(0..acc.len());
+                let bit = sample_bit(&probs, rng);
+                acc[idx] = flip_acc_bit(acc[idx], bit);
+            }
+            k
+        } else {
+            // Dense regime: per-element Bernoulli.
+            let mut hit = 0;
+            for value in acc.iter_mut() {
+                if rng.random_range(0.0..1.0) < p {
+                    let bit = sample_bit(&probs, rng);
+                    *value = flip_acc_bit(*value, bit);
+                    hit += 1;
+                }
+            }
+            hit
+        };
+        InjectionStats { corrupted, total }
+    }
+}
+
+/// Samples a bit index proportional to `probs`.
+fn sample_bit(probs: &[f64; ACC_BITS], rng: &mut impl Rng) -> u32 {
+    let total: f64 = probs.iter().sum();
+    if total <= 0.0 {
+        return (ACC_BITS - 1) as u32;
+    }
+    let mut r = rng.random_range(0.0..total);
+    for (b, &p) in probs.iter().enumerate() {
+        if r < p {
+            return b as u32;
+        }
+        r -= p;
+    }
+    (ACC_BITS - 1) as u32
+}
+
+/// Samples from Poisson(λ): Knuth's method for small λ, normal
+/// approximation for large λ.
+pub fn sample_poisson(lambda: f64, rng: &mut impl Rng) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random_range(0.0..1.0f64);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k; // numerically impossible, but stay total
+            }
+        }
+    }
+    // Normal approximation with continuity correction.
+    let z = sample_standard_normal(rng);
+    let v = lambda + lambda.sqrt() * z + 0.5;
+    if v < 0.0 { 0 } else { v as u64 }
+}
+
+/// Box–Muller standard normal sample.
+pub fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::Unit;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn ctx() -> LayerCtx {
+        LayerCtx::new(Unit::Controller, Component::Fc1, 0)
+    }
+
+    #[test]
+    fn flip_bit_roundtrips() {
+        for v in [-12345, 0, 77, 8_388_607, -8_388_608] {
+            for bit in [0u32, 5, 12, 23] {
+                let flipped = flip_acc_bit(v, bit);
+                assert_ne!(flipped, v);
+                assert_eq!(flip_acc_bit(flipped, bit), v);
+            }
+        }
+    }
+
+    #[test]
+    fn flipping_bit_23_changes_sign_region() {
+        let v = 100;
+        let flipped = flip_acc_bit(v, 23);
+        assert!(flipped < 0, "setting the sign bit must go negative: {flipped}");
+        assert_eq!(flipped, 100 - 0x0080_0000);
+    }
+
+    #[test]
+    fn small_flips_have_small_magnitude() {
+        let v = 1000;
+        let flipped = flip_acc_bit(v, 2);
+        assert!((flipped - v).abs() <= 4);
+    }
+
+    #[test]
+    fn zero_ber_injects_nothing() {
+        let inj = Injector::new(
+            ErrorModel::Uniform { ber: 0.0 },
+            InjectionTarget::All,
+            1.0,
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut acc = vec![5i32; 1000];
+        let stats = inj.inject(&mut acc, ctx(), 0.9, &mut rng);
+        assert_eq!(stats.corrupted, 0);
+        assert!(acc.iter().all(|&v| v == 5));
+    }
+
+    #[test]
+    fn corruption_rate_matches_expectation() {
+        let ber = 1e-3;
+        let inj = Injector::new(ErrorModel::Uniform { ber }, InjectionTarget::All, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000usize;
+        let mut acc = vec![0i32; n];
+        let stats = inj.inject(&mut acc, ctx(), 0.9, &mut rng);
+        let expect = (1.0 - (1.0 - ber).powi(24)) * n as f64;
+        let got = stats.corrupted as f64;
+        assert!(
+            (got - expect).abs() < 5.0 * expect.sqrt() + 10.0,
+            "got {got}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn inference_scale_multiplies_corruption() {
+        let ber = 1e-6;
+        let base = Injector::new(ErrorModel::Uniform { ber }, InjectionTarget::All, 1.0);
+        let scaled = Injector::new(ErrorModel::Uniform { ber }, InjectionTarget::All, 100.0);
+        let p0 = base.element_corruption_prob(0.9);
+        let p1 = scaled.element_corruption_prob(0.9);
+        assert!((p1 / p0 - 100.0).abs() < 1.0, "scaling off: {p0} {p1}");
+    }
+
+    #[test]
+    fn corruption_probability_saturates_below_one() {
+        let inj = Injector::new(
+            ErrorModel::Uniform { ber: 0.05 },
+            InjectionTarget::All,
+            10_000.0,
+        );
+        let p = inj.element_corruption_prob(0.9);
+        assert!(p <= 1.0 && p > 0.99);
+    }
+
+    #[test]
+    fn component_target_filters_injection() {
+        let inj = Injector::new(
+            ErrorModel::Uniform { ber: 0.5 },
+            InjectionTarget::Component(Component::K),
+            1.0,
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut acc = vec![7i32; 100];
+        let stats = inj.inject(&mut acc, ctx(), 0.9, &mut rng);
+        assert_eq!(stats.corrupted, 0, "FC1 must be skipped when targeting K");
+        let k_ctx = LayerCtx::new(Unit::Controller, Component::K, 0);
+        let stats = inj.inject(&mut acc, k_ctx, 0.9, &mut rng);
+        assert!(stats.corrupted > 0);
+    }
+
+    #[test]
+    fn voltage_model_injects_mostly_high_bits_at_085() {
+        let inj = Injector::new(
+            ErrorModel::Voltage {
+                model: TimingModel::new(),
+            },
+            InjectionTarget::All,
+            // Scale up so we observe enough flips at the low 0.85 V BER.
+            1e6,
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut acc = vec![0i32; 50_000];
+        inj.inject(&mut acc, ctx(), 0.85, &mut rng);
+        let mut high = 0u64;
+        let mut low = 0u64;
+        for &v in &acc {
+            if v != 0 {
+                let bits = (v & ACC_MASK) as u32;
+                let top = 31 - bits.leading_zeros().min(31);
+                if top >= 16 {
+                    high += 1;
+                } else {
+                    low += 1;
+                }
+            }
+        }
+        assert!(high > 0, "expected some flips at 0.85 V with big scale");
+        assert!(high >= 10 * low.max(1), "high {high} low {low}");
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &lambda in &[0.5f64, 5.0, 80.0] {
+            let n = 3000;
+            let sum: u64 = (0..n).map(|_| sample_poisson(lambda, &mut rng)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.15 * lambda + 0.1,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+}

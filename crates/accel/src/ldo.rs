@@ -1,0 +1,181 @@
+//! Digital low-dropout regulator model (paper Sec. 5.3, Table 2).
+//!
+//! The paper's distributed LDO (based on an event-driven 22 nm design)
+//! scales the PE-array supply from 0.6 V to 0.9 V in 10 mV steps with a
+//! 90 ns / 50 mV transient response and 99.8% peak current efficiency.
+//! This model reproduces the externally visible behaviour: quantized
+//! output levels, bounded slew, per-transition latency/energy accounting,
+//! and the resulting worst-case switching latency reported in Table 3.
+
+use crate::timing::{V_MIN, V_NOMINAL};
+
+/// Output voltage step (V).
+pub const V_STEP: f64 = 0.010;
+
+/// Transient response: seconds per volt of transition.
+pub const SLEW_S_PER_V: f64 = 90e-9 / 0.050;
+
+/// Peak current efficiency at maximum load.
+pub const PEAK_EFFICIENCY: f64 = 0.998;
+
+/// Maximum load current (A), from Table 2.
+pub const I_LOAD_MAX: f64 = 15.2;
+
+/// Effective decoupling capacitance charged on a transition (F); sets the
+/// (negligible) switching energy.
+const C_SWITCH: f64 = 40e-9;
+
+/// A digital LDO regulating one voltage rail.
+///
+/// # Example
+///
+/// ```
+/// use create_accel::ldo::Ldo;
+/// let mut ldo = Ldo::new();
+/// let t = ldo.set_target(0.75);
+/// assert!(ldo.output() == 0.75);
+/// assert!(t > 0.0 && t < 1e-6, "transition should settle in sub-µs");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ldo {
+    output: f64,
+    switches: u64,
+    total_settle_s: f64,
+    max_settle_s: f64,
+    switch_energy_j: f64,
+}
+
+impl Default for Ldo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ldo {
+    /// Creates an LDO resting at the nominal voltage.
+    pub fn new() -> Self {
+        Self {
+            output: V_NOMINAL,
+            switches: 0,
+            total_settle_s: 0.0,
+            max_settle_s: 0.0,
+            switch_energy_j: 0.0,
+        }
+    }
+
+    /// Quantizes `v` onto the 10 mV grid within `[V_MIN, V_NOMINAL]`.
+    pub fn quantize(v: f64) -> f64 {
+        let clamped = v.clamp(V_MIN, V_NOMINAL);
+        (clamped / V_STEP).round() * V_STEP
+    }
+
+    /// Current output voltage (V).
+    pub fn output(&self) -> f64 {
+        self.output
+    }
+
+    /// Number of level transitions performed.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Total time spent slewing (s).
+    pub fn total_settle_time(&self) -> f64 {
+        self.total_settle_s
+    }
+
+    /// Worst single transition latency observed (s).
+    pub fn max_settle_time(&self) -> f64 {
+        self.max_settle_s
+    }
+
+    /// Energy dissipated by transitions so far (J).
+    pub fn switching_energy(&self) -> f64 {
+        self.switch_energy_j
+    }
+
+    /// Sets a new target voltage; returns the transition settle time in
+    /// seconds (0 when the quantized target equals the current level).
+    pub fn set_target(&mut self, v: f64) -> f64 {
+        let target = Self::quantize(v);
+        let delta = (target - self.output).abs();
+        if delta < V_STEP / 2.0 {
+            return 0.0;
+        }
+        let settle = delta * SLEW_S_PER_V;
+        self.switches += 1;
+        self.total_settle_s += settle;
+        self.max_settle_s = self.max_settle_s.max(settle);
+        // E = C · V · ΔV for the charge moved on the rail.
+        self.switch_energy_j += C_SWITCH * target.max(self.output) * delta;
+        self.output = target;
+        settle
+    }
+
+    /// Worst-case transition latency across the full range (s) — the
+    /// "switching latency" figure of Table 3.
+    pub fn worst_case_latency() -> f64 {
+        (V_NOMINAL - V_MIN) * SLEW_S_PER_V
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_nominal() {
+        let ldo = Ldo::new();
+        assert_eq!(ldo.output(), V_NOMINAL);
+        assert_eq!(ldo.switches(), 0);
+    }
+
+    #[test]
+    fn quantizes_to_10mv_grid() {
+        assert!((Ldo::quantize(0.7512) - 0.75).abs() < 1e-12);
+        assert!((Ldo::quantize(0.7449) - 0.74).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_to_operating_range() {
+        assert_eq!(Ldo::quantize(1.5), V_NOMINAL);
+        assert_eq!(Ldo::quantize(0.2), V_MIN);
+    }
+
+    #[test]
+    fn settle_time_matches_spec() {
+        let mut ldo = Ldo::new();
+        // 0.9 -> 0.85 is a 50 mV transition: 90 ns per the spec.
+        let t = ldo.set_target(0.85);
+        assert!((t - 90e-9).abs() < 1e-12, "got {t}");
+    }
+
+    #[test]
+    fn worst_case_latency_is_sub_microsecond() {
+        // 0.9 -> 0.6 full swing: 300 mV at 90 ns / 50 mV = 540 ns (Table 3).
+        let t = Ldo::worst_case_latency();
+        assert!((t - 540e-9).abs() < 1e-12, "got {t}");
+    }
+
+    #[test]
+    fn no_op_when_target_equals_output() {
+        let mut ldo = Ldo::new();
+        ldo.set_target(0.8);
+        let before = ldo.switches();
+        let t = ldo.set_target(0.8001);
+        assert_eq!(t, 0.0);
+        assert_eq!(ldo.switches(), before);
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut ldo = Ldo::new();
+        ldo.set_target(0.8);
+        ldo.set_target(0.7);
+        ldo.set_target(0.9);
+        assert_eq!(ldo.switches(), 3);
+        assert!(ldo.total_settle_time() > 0.0);
+        assert!(ldo.max_settle_time() >= 90e-9);
+        assert!(ldo.switching_energy() > 0.0);
+    }
+}

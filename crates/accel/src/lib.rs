@@ -1,0 +1,57 @@
+//! Simulated systolic-array accelerator with voltage-underscaling faults.
+//!
+//! This crate is the hardware substrate of the CREATE reproduction. It
+//! models, functionally and analytically, everything the paper's 22 nm
+//! platform provides:
+//!
+//! * [`array`](mod@array) — the INT8 × INT8 → 24-bit-accumulator GEMM datapath,
+//!   bit-exact so flips land on real accumulator state.
+//! * [`timing`] — the voltage→per-bit timing-error model calibrated to the
+//!   paper's PrimeTime/HSPICE characterization (Fig. 4a).
+//! * [`inject`] — uniform and hardware-derived bit-flip injection into
+//!   accumulator outputs (Sec. 3.2), with the reference-scale model
+//!   described in DESIGN.md.
+//! * [`ad`] — anomaly detection and clearance at the array output stage
+//!   (Sec. 5.1).
+//! * [`ldo`] — the digital LDO that implements autonomy-adaptive voltage
+//!   scaling (Sec. 5.3, Table 2).
+//! * [`sram`]/[`ecc`] — the memory-resilience extension the paper leaves
+//!   as future work: a voltage-dependent SRAM retention-fault model and
+//!   the SECDED (72,64) code the paper assumes makes memory faults a
+//!   non-issue (Sec. 2.3).
+//! * [`energy`]/[`cycles`]/[`platform`] — energy, latency and area/power
+//!   book-keeping at the reference scale (Figs. 12, 18; Table 3).
+//! * [`backend`] — the [`Accelerator`] facade all models execute through.
+//!
+//! # Example
+//!
+//! ```
+//! use create_accel::timing::TimingModel;
+//!
+//! let timing = TimingModel::new();
+//! // Undervolting from 0.9 V to 0.75 V raises BER by orders of magnitude.
+//! assert!(timing.aggregate_ber(0.75) > 1e4 * timing.aggregate_ber(0.9));
+//! ```
+
+pub mod ad;
+pub mod array;
+pub mod backend;
+pub mod ctx;
+pub mod cycles;
+pub mod ecc;
+pub mod energy;
+pub mod inject;
+pub mod ldo;
+pub mod platform;
+pub mod scheme;
+pub mod sram;
+pub mod timing;
+
+pub use backend::{AccelConfig, Accelerator, OutputProfiler};
+pub use ctx::{Component, LayerCtx, Unit};
+pub use energy::{EnergyMeter, InferenceCost};
+pub use inject::{ErrorModel, InjectionTarget, Injector};
+pub use ldo::Ldo;
+pub use scheme::Scheme;
+pub use sram::{MemoryFaultModel, Protection, SramBuffer};
+pub use timing::TimingModel;

@@ -1,0 +1,171 @@
+//! Full-accelerator platform description (paper Fig. 12, Tables 2–3).
+//!
+//! Area and power figures follow the paper's post-layout breakdown of the
+//! 22 nm design: the AD units and distributed LDOs each add ≈0.1% area and
+//! power, which is the quantitative basis of the "negligible overhead"
+//! claim (Sec. 6.2).
+
+use crate::cycles::ArrayConfig;
+use crate::ldo::{self, Ldo};
+use crate::timing::{V_MIN, V_NOMINAL};
+
+/// One block of the chip-level area/power breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockBudget {
+    /// Block name.
+    pub name: &'static str,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Minimum power in watts (lowest-activity corner).
+    pub power_w_min: f64,
+    /// Maximum power in watts.
+    pub power_w_max: f64,
+}
+
+/// The assembled platform: arrays, SRAM, LDOs and AD units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    /// Array geometry/clock.
+    pub array: ArrayConfig,
+    /// Total on-chip SRAM bytes (142 × 512 KB in the paper).
+    pub sram_bytes: u64,
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Self {
+            array: ArrayConfig::default(),
+            sram_bytes: 142 * 512 * 1024,
+        }
+    }
+}
+
+impl Platform {
+    /// The paper's Fig. 12(c) block budgets.
+    pub fn block_budgets(&self) -> Vec<BlockBudget> {
+        vec![
+            BlockBudget {
+                name: "LDO",
+                area_mm2: 0.43,
+                power_w_min: 0.03,
+                power_w_max: 0.03,
+            },
+            BlockBudget {
+                name: "AD Unit",
+                area_mm2: 0.25,
+                power_w_min: 0.02,
+                power_w_max: 0.02,
+            },
+            BlockBudget {
+                name: "PE Array",
+                area_mm2: 195.50,
+                power_w_min: 6.93,
+                power_w_max: 15.39,
+            },
+            BlockBudget {
+                name: "SRAM",
+                area_mm2: 85.96,
+                power_w_min: 0.84,
+                power_w_max: 0.84,
+            },
+        ]
+    }
+
+    /// Total die area (mm²), including inter-block overhead to match the
+    /// reported 322.5 mm² figure.
+    pub fn total_area_mm2(&self) -> f64 {
+        322.50
+    }
+
+    /// Fractional area overhead of the AD units.
+    pub fn ad_area_overhead(&self) -> f64 {
+        0.25 / self.total_area_mm2()
+    }
+
+    /// Fractional area overhead of the distributed LDOs.
+    pub fn ldo_area_overhead(&self) -> f64 {
+        0.43 / self.total_area_mm2()
+    }
+
+    /// Fractional power overhead of the AD units at peak power.
+    pub fn ad_power_overhead(&self) -> f64 {
+        let peak: f64 = self
+            .block_budgets()
+            .iter()
+            .map(|b| b.power_w_max)
+            .sum();
+        0.02 / peak
+    }
+
+    /// Fractional power overhead of the LDOs at peak power.
+    pub fn ldo_power_overhead(&self) -> f64 {
+        let peak: f64 = self
+            .block_budgets()
+            .iter()
+            .map(|b| b.power_w_max)
+            .sum();
+        0.03 / peak
+    }
+
+    /// Whether a controller invoked at `hz` leaves real-time slack given
+    /// its inference latency plus a worst-case voltage switch.
+    pub fn meets_realtime(&self, inference_latency_s: f64, hz: f64) -> bool {
+        inference_latency_s + Ldo::worst_case_latency() < 1.0 / hz
+    }
+
+    /// Formats the Table 2 LDO specification block.
+    pub fn ldo_spec_lines(&self) -> Vec<String> {
+        vec![
+            format!("V_out            {:.1}-{:.1} V", V_MIN, V_NOMINAL),
+            format!("V_step           {:.0} mV", ldo::V_STEP * 1e3),
+            format!(
+                "t_resp           {:.0} ns / 50 mV",
+                ldo::SLEW_S_PER_V * 0.050 * 1e9
+            ),
+            format!("eta_peak         {:.1}%", ldo::PEAK_EFFICIENCY * 100.0),
+            format!("I_load,max       {:.1} A", ldo::I_LOAD_MAX),
+            format!(
+                "switch latency   {:.0} ns (full 0.9->0.6 V swing)",
+                Ldo::worst_case_latency() * 1e9
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ad_and_ldo_overheads_are_negligible() {
+        let p = Platform::default();
+        assert!(p.ad_area_overhead() < 0.002, "AD area should be ~0.08%");
+        assert!(p.ldo_area_overhead() < 0.002, "LDO area should be ~0.13%");
+        assert!(p.ad_power_overhead() < 0.005);
+        assert!(p.ldo_power_overhead() < 0.005);
+    }
+
+    #[test]
+    fn sram_capacity_is_71_mb() {
+        let p = Platform::default();
+        let mb = p.sram_bytes as f64 / (1024.0 * 1024.0);
+        assert!((mb - 71.0).abs() < 0.1, "got {mb} MB");
+    }
+
+    #[test]
+    fn realtime_budget_holds_at_30hz() {
+        let p = Platform::default();
+        // Controller latency ~942 µs (Table 3) at 30 Hz leaves ample slack.
+        assert!(p.meets_realtime(942e-6, 30.0));
+        assert!(!p.meets_realtime(40e-3, 30.0));
+    }
+
+    #[test]
+    fn ldo_spec_mentions_key_numbers() {
+        let p = Platform::default();
+        let text = p.ldo_spec_lines().join("\n");
+        assert!(text.contains("10 mV"));
+        assert!(text.contains("90 ns"));
+        assert!(text.contains("540 ns"));
+    }
+}

@@ -1,0 +1,462 @@
+//! Voltage-dependent SRAM retention-fault model and protected weight
+//! buffers.
+//!
+//! The paper's threat model (Sec. 2.3) puts memory faults out of scope
+//! because "memory faults can be effectively mitigated by ECC", and names
+//! extending the resilience study to memory as future work (Sec. 3.1).
+//! This module implements that extension so the claim can be *measured*
+//! rather than assumed:
+//!
+//! * [`MemoryFaultModel`] — per-bit retention-failure probability of a
+//!   6T SRAM cell versus supply voltage. Like [`crate::timing`], it is an
+//!   analytic substitute for foundry characterization, calibrated to the
+//!   published low-voltage SRAM literature the paper cites: essentially
+//!   fault-free at the 0.9 V nominal point, ~1e-5 per bit near 0.75 V, and
+//!   collapsing toward percent-level per-bit faults below 0.67 V as static
+//!   noise margins close.
+//! * [`SramBuffer`] — a weight buffer that stores bytes either raw or as
+//!   SECDED (72,64) codewords ([`crate::ecc`]) and materializes a
+//!   *retention-fault snapshot* at a given voltage: every stored bit flips
+//!   independently with the model probability, then protected words are
+//!   decoded (correcting singles, detecting doubles). Cells whose margin
+//!   collapses at low voltage stay bad until rewritten, so one snapshot per
+//!   mission is the faithful granularity — the Ares-style static weight
+//!   fault protocol.
+//!
+//! The `ext_memory` bench target uses this to chart controller task quality
+//! versus memory-rail voltage with and without SECDED.
+
+use crate::ecc::{self, Codeword, Decoded};
+use crate::inject::sample_poisson;
+use crate::timing::{V_MIN, V_NOMINAL};
+use rand::Rng;
+use std::fmt;
+
+/// log10 of the per-bit retention-failure probability at nominal voltage.
+const MEM_LOG10_AT_NOMINAL: f64 = -11.0;
+
+/// Decades of failure probability per volt of undervolting. SRAM static
+/// noise margins collapse super-exponentially below V_min; the slope is
+/// set so the failure window (clean → percent-level per-bit faults) spans
+/// the LDO's 0.9–0.6 V range, as in published low-voltage SRAM studies.
+const MEM_DECADES_PER_VOLT: f64 = 40.0;
+
+/// Saturation at deep undervolting (matches the logic-rail BER floor).
+const MEM_LOG10_FLOOR: f64 = -1.7;
+
+/// Fractional read-energy overhead of SECDED encode/decode logic, relative
+/// to the raw array access (syndrome tree plus correction mux).
+pub const SECDED_READ_ENERGY_OVERHEAD: f64 = 0.03;
+
+/// Per-bit SRAM retention-failure probability versus supply voltage.
+///
+/// # Example
+///
+/// ```
+/// use create_accel::sram::MemoryFaultModel;
+///
+/// let m = MemoryFaultModel::new();
+/// assert!(m.upset_prob(0.9) < 1e-10);
+/// assert!(m.upset_prob(0.6) > 1e-4);
+/// assert!(m.upset_prob(0.7) > m.upset_prob(0.8));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemoryFaultModel {
+    _priv: (),
+}
+
+impl MemoryFaultModel {
+    /// Creates the calibrated 22 nm model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Probability that one stored bit has failed retention at voltage `v`.
+    pub fn upset_prob(&self, v: f64) -> f64 {
+        let log10 =
+            (MEM_LOG10_AT_NOMINAL + MEM_DECADES_PER_VOLT * (V_NOMINAL - v)).min(MEM_LOG10_FLOOR);
+        10f64.powf(log10)
+    }
+
+    /// The highest voltage whose per-bit upset probability is at least `p`
+    /// (clamped to the LDO range) — the inverse of
+    /// [`upset_prob`](Self::upset_prob).
+    pub fn voltage_for_upset(&self, p: f64) -> f64 {
+        let log10 = p.max(1e-30).log10();
+        let v = V_NOMINAL - (log10 - MEM_LOG10_AT_NOMINAL) / MEM_DECADES_PER_VOLT;
+        v.clamp(V_MIN, V_NOMINAL)
+    }
+}
+
+/// Protection applied to a stored buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Protection {
+    /// Raw storage: every upset lands in data silently.
+    #[default]
+    None,
+    /// SECDED (72,64): single upsets per word corrected, doubles detected.
+    Secded,
+}
+
+impl Protection {
+    /// Extra storage bits per data bit.
+    pub fn storage_overhead(self) -> f64 {
+        match self {
+            Protection::None => 0.0,
+            Protection::Secded => ecc::OVERHEAD,
+        }
+    }
+
+    /// Fractional read-energy overhead of the protection logic.
+    pub fn read_energy_overhead(self) -> f64 {
+        match self {
+            Protection::None => 0.0,
+            Protection::Secded => SECDED_READ_ENERGY_OVERHEAD,
+        }
+    }
+}
+
+impl fmt::Display for Protection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Protection::None => "none",
+            Protection::Secded => "SECDED",
+        })
+    }
+}
+
+/// Outcome counters of one fault snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Raw storage bits that flipped.
+    pub bits_upset: u64,
+    /// Words repaired by SECDED correction.
+    pub words_corrected: u64,
+    /// Words with detected-uncorrectable (double) faults.
+    pub words_detected: u64,
+    /// Words whose data is silently corrupt (unprotected faults, or
+    /// undetected multi-bit patterns).
+    pub words_silent: u64,
+    /// Words examined.
+    pub words_total: u64,
+}
+
+impl ReadStats {
+    /// Accumulates another snapshot's counters.
+    pub fn merge(&mut self, other: ReadStats) {
+        self.bits_upset += other.bits_upset;
+        self.words_corrected += other.words_corrected;
+        self.words_detected += other.words_detected;
+        self.words_silent += other.words_silent;
+        self.words_total += other.words_total;
+    }
+
+    /// Fraction of words whose data bits are wrong after protection.
+    pub fn corrupt_fraction(&self) -> f64 {
+        if self.words_total == 0 {
+            return 0.0;
+        }
+        (self.words_detected + self.words_silent) as f64 / self.words_total as f64
+    }
+}
+
+/// A weight buffer held in the modeled SRAM.
+///
+/// # Example
+///
+/// ```
+/// use create_accel::sram::{MemoryFaultModel, Protection, SramBuffer};
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// let weights: Vec<i8> = (0..256).map(|i| (i % 127) as i8).collect();
+/// let buf = SramBuffer::store(&weights, Protection::Secded, MemoryFaultModel::new());
+/// let mut rng = StdRng::seed_from_u64(7);
+/// // At nominal voltage the snapshot is fault-free.
+/// let (read, stats) = buf.snapshot(0.9, &mut rng);
+/// assert_eq!(read, weights);
+/// assert_eq!(stats.bits_upset, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramBuffer {
+    /// One `u64` data word per 8 bytes (zero-padded tail).
+    words: Vec<u64>,
+    len: usize,
+    protection: Protection,
+    model: MemoryFaultModel,
+}
+
+impl SramBuffer {
+    /// Stores `data` with the given protection.
+    pub fn store(data: &[i8], protection: Protection, model: MemoryFaultModel) -> Self {
+        let mut words = Vec::with_capacity(data.len().div_ceil(8));
+        for chunk in data.chunks(8) {
+            let mut bytes = [0u8; 8];
+            for (b, &v) in bytes.iter_mut().zip(chunk) {
+                *b = v as u8;
+            }
+            words.push(u64::from_le_bytes(bytes));
+        }
+        Self {
+            words,
+            len: data.len(),
+            protection,
+            model,
+        }
+    }
+
+    /// Number of data bytes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured protection.
+    pub fn protection(&self) -> Protection {
+        self.protection
+    }
+
+    /// Total physical storage bits including check bits.
+    pub fn storage_bits(&self) -> u64 {
+        let per_word = match self.protection {
+            Protection::None => ecc::DATA_BITS,
+            Protection::Secded => ecc::CODE_BITS,
+        };
+        self.words.len() as u64 * per_word as u64
+    }
+
+    /// Materializes a retention-fault snapshot at memory-rail voltage `v`.
+    ///
+    /// Every physical storage bit flips independently with the model's
+    /// upset probability; SECDED words are then decoded. Returns the data
+    /// as read (corrected where the code allows) and the fault counters.
+    /// The stored golden copy is untouched, so snapshots at different
+    /// voltages or seeds are independent.
+    pub fn snapshot(&self, v: f64, rng: &mut impl Rng) -> (Vec<i8>, ReadStats) {
+        let p = self.model.upset_prob(v);
+        let bits_per_word = match self.protection {
+            Protection::None => ecc::DATA_BITS,
+            Protection::Secded => ecc::CODE_BITS,
+        };
+        let mut stats = ReadStats {
+            words_total: self.words.len() as u64,
+            ..ReadStats::default()
+        };
+        let mut out = Vec::with_capacity(self.len);
+        // Sparse sampling: draw the global upset count, then scatter flips.
+        let total_bits = self.words.len() as u64 * bits_per_word as u64;
+        let lambda = p * total_bits as f64;
+        let n_upsets = if lambda < 0.02 * total_bits as f64 {
+            sample_poisson(lambda, rng).min(total_bits)
+        } else {
+            // Dense regime: Bernoulli per bit, via binomial-by-sum.
+            let mut k = 0u64;
+            for _ in 0..total_bits {
+                if rng.random_range(0.0..1.0) < p {
+                    k += 1;
+                }
+            }
+            k
+        };
+        let mut flips: Vec<(usize, u32)> = (0..n_upsets)
+            .map(|_| {
+                let bit = rng.random_range(0..total_bits);
+                ((bit / bits_per_word as u64) as usize, (bit % bits_per_word as u64) as u32)
+            })
+            .collect();
+        flips.sort_unstable();
+        stats.bits_upset = flips.len() as u64;
+
+        let mut flip_iter = flips.into_iter().peekable();
+        for (idx, &data) in self.words.iter().enumerate() {
+            // Collect this word's flips.
+            let mut word_flips: Vec<u32> = Vec::new();
+            while let Some(&(w, b)) = flip_iter.peek() {
+                if w != idx {
+                    break;
+                }
+                word_flips.push(b);
+                flip_iter.next();
+            }
+            let read = match self.protection {
+                Protection::None => {
+                    let mut v = data;
+                    for &b in &word_flips {
+                        v ^= 1u64 << b;
+                    }
+                    if !word_flips.is_empty() && v != data {
+                        stats.words_silent += 1;
+                    }
+                    v
+                }
+                Protection::Secded => {
+                    let mut cw = Codeword::encode(data);
+                    for &b in &word_flips {
+                        cw = cw.with_flipped_bit(b);
+                    }
+                    let (decoded, outcome) = cw.decode();
+                    match outcome {
+                        Decoded::Clean => {}
+                        Decoded::Corrected => stats.words_corrected += 1,
+                        Decoded::Detected => stats.words_detected += 1,
+                    }
+                    if outcome != Decoded::Detected && decoded != data {
+                        // Miscorrection of a ≥3-bit pattern.
+                        stats.words_silent += 1;
+                    }
+                    decoded
+                }
+            };
+            for (i, byte) in read.to_le_bytes().into_iter().enumerate() {
+                if idx * 8 + i < self.len {
+                    out.push(byte as i8);
+                }
+            }
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn weights(n: usize) -> Vec<i8> {
+        (0..n).map(|i| ((i * 37 + 11) % 255) as u8 as i8).collect()
+    }
+
+    #[test]
+    fn model_is_monotone_and_calibrated() {
+        let m = MemoryFaultModel::new();
+        let mut prev = f64::INFINITY;
+        let mut v = 0.60;
+        while v < 0.901 {
+            let p = m.upset_prob(v);
+            assert!(p <= prev);
+            prev = p;
+            v += 0.01;
+        }
+        assert!(m.upset_prob(0.9) < 1e-10);
+        let p075 = m.upset_prob(0.75);
+        assert!((1e-7..1e-4).contains(&p075), "0.75 V upset {p075}");
+        assert!(m.upset_prob(0.60) > 1e-3);
+    }
+
+    #[test]
+    fn voltage_for_upset_inverts_the_model() {
+        let m = MemoryFaultModel::new();
+        for &p in &[1e-9, 1e-6, 1e-4] {
+            let v = m.voltage_for_upset(p);
+            let back = m.upset_prob(v);
+            assert!((back.log10() - p.log10()).abs() < 0.1, "p {p} v {v} back {back}");
+        }
+    }
+
+    #[test]
+    fn nominal_snapshot_is_identity() {
+        let data = weights(1000);
+        for protection in [Protection::None, Protection::Secded] {
+            let buf = SramBuffer::store(&data, protection, MemoryFaultModel::new());
+            let mut rng = StdRng::seed_from_u64(1);
+            let (read, stats) = buf.snapshot(V_NOMINAL, &mut rng);
+            assert_eq!(read, data);
+            assert_eq!(stats.bits_upset, 0);
+            assert_eq!(stats.corrupt_fraction(), 0.0);
+        }
+    }
+
+    #[test]
+    fn unprotected_low_voltage_snapshot_corrupts_data() {
+        let data = weights(4096);
+        let buf = SramBuffer::store(&data, Protection::None, MemoryFaultModel::new());
+        let mut rng = StdRng::seed_from_u64(2);
+        let (read, stats) = buf.snapshot(0.62, &mut rng);
+        assert_ne!(read, data);
+        assert!(stats.bits_upset > 0);
+        assert!(stats.words_silent > 0);
+        assert_eq!(stats.words_corrected, 0, "no ECC, nothing corrected");
+    }
+
+    #[test]
+    fn secded_corrects_moderate_voltage_snapshots() {
+        // Pick a voltage where single-bit-per-word faults are common but
+        // doubles are rare: p ≈ 1e-4 → per 72-bit word ~7e-3 singles,
+        // ~2.6e-5 doubles.
+        let m = MemoryFaultModel::new();
+        let v = m.voltage_for_upset(1e-4);
+        let data = weights(80_000);
+        let buf = SramBuffer::store(&data, Protection::Secded, m);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (read, stats) = buf.snapshot(v, &mut rng);
+        assert!(stats.words_corrected > 10, "corrected {stats:?}");
+        assert!(
+            stats.corrupt_fraction() < 1e-3,
+            "SECDED should repair nearly everything: {stats:?}"
+        );
+        // The few detected doubles are the only tolerated deviations.
+        let mismatches = read.iter().zip(&data).filter(|(a, b)| a != b).count();
+        assert!(mismatches as u64 <= 8 * (stats.words_detected + stats.words_silent));
+    }
+
+    #[test]
+    fn secded_beats_unprotected_at_equal_voltage() {
+        let m = MemoryFaultModel::new();
+        let v = m.voltage_for_upset(3e-4);
+        let data = weights(40_000);
+        let plain = SramBuffer::store(&data, Protection::None, m);
+        let ecc = SramBuffer::store(&data, Protection::Secded, m);
+        let (_, s_plain) = plain.snapshot(v, &mut StdRng::seed_from_u64(4));
+        let (_, s_ecc) = ecc.snapshot(v, &mut StdRng::seed_from_u64(4));
+        assert!(
+            s_ecc.corrupt_fraction() < 0.2 * s_plain.corrupt_fraction(),
+            "ECC {:.2e} vs plain {:.2e}",
+            s_ecc.corrupt_fraction(),
+            s_plain.corrupt_fraction()
+        );
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_per_seed_and_independent() {
+        let data = weights(2000);
+        let buf = SramBuffer::store(&data, Protection::None, MemoryFaultModel::new());
+        let (a, sa) = buf.snapshot(0.65, &mut StdRng::seed_from_u64(9));
+        let (b, sb) = buf.snapshot(0.65, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        let (c, _) = buf.snapshot(0.65, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c, "different seeds draw different fault maps");
+        // The golden copy is untouched: a nominal snapshot is still clean.
+        let (d, _) = buf.snapshot(V_NOMINAL, &mut StdRng::seed_from_u64(11));
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn tail_lengths_roundtrip() {
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+            let data = weights(n);
+            let buf = SramBuffer::store(&data, Protection::Secded, MemoryFaultModel::new());
+            assert_eq!(buf.len(), n);
+            assert_eq!(buf.is_empty(), n == 0);
+            let (read, _) = buf.snapshot(V_NOMINAL, &mut StdRng::seed_from_u64(5));
+            assert_eq!(read, data);
+        }
+    }
+
+    #[test]
+    fn storage_accounting_reflects_protection() {
+        let data = weights(64); // 8 words
+        let plain = SramBuffer::store(&data, Protection::None, MemoryFaultModel::new());
+        let ecc = SramBuffer::store(&data, Protection::Secded, MemoryFaultModel::new());
+        assert_eq!(plain.storage_bits(), 8 * 64);
+        assert_eq!(ecc.storage_bits(), 8 * 72);
+        assert_eq!(Protection::None.storage_overhead(), 0.0);
+        assert!((Protection::Secded.storage_overhead() - 0.125).abs() < 1e-12);
+        assert!(Protection::Secded.read_energy_overhead() > 0.0);
+    }
+}

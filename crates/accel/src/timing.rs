@@ -1,0 +1,244 @@
+//! Voltage-dependent timing-error model (paper Sec. 3.1, Fig. 4a).
+//!
+//! The paper synthesizes an 8-bit-multiplier / 24-bit-accumulator systolic
+//! array with a commercial 22 nm PDK (nominal 0.9 V, 2 ns clock) and
+//! extracts per-bit timing-error rates with PrimeTime/HSPICE. We do not
+//! have the PDK, so this module substitutes an analytic model calibrated to
+//! the published curves:
+//!
+//! * **Path delay** to accumulator bit `b` grows with the carry-chain
+//!   length, `d(b) ∝ m(b) = 0.55 + 0.4·(b+1)/24` of the clock period at
+//!   nominal voltage, and scales with voltage via the alpha-power law
+//!   `s(v) = ((v_nom − v_th)/(v − v_th))^α`.
+//! * **Aggregate BER** follows the published voltage→BER relation: roughly
+//!   one decade of BER per 20 mV below ~0.88 V, saturating near 2e-2 at
+//!   deep undervolting (Fig. 1b / Fig. 4a).
+//! * **Bit placement**: flip probability mass concentrates on bits at or
+//!   above the first timing-violating bit `b_cut(v)`, which moves from bit
+//!   ~24 (0.9 V, nothing violates) down to bit 0 (0.6 V, everything does).
+//!   Higher bits therefore flip first and with large magnitude, matching
+//!   the paper's observation.
+
+/// Number of accumulator bits modeled (24-bit accumulators).
+pub const ACC_BITS: usize = 24;
+
+/// Nominal supply voltage (V).
+pub const V_NOMINAL: f64 = 0.9;
+
+/// Minimum LDO output voltage (V).
+pub const V_MIN: f64 = 0.6;
+
+/// Threshold voltage for the alpha-power-law delay model (V).
+const V_TH: f64 = 0.3;
+
+/// Alpha-power-law exponent.
+const ALPHA: f64 = 1.3;
+
+/// Slope of log10(BER) per volt of undervolting.
+const BER_DECADES_PER_VOLT: f64 = 50.0;
+
+/// log10(BER) at nominal voltage (essentially error-free).
+const BER_LOG10_AT_NOMINAL: f64 = -9.5;
+
+/// BER saturation at deep undervolting.
+const BER_LOG10_FLOOR: f64 = -1.7;
+
+/// How sharply flip probability decays below the violating bit (in bits).
+const BIT_DECAY: f64 = 2.5;
+
+/// The voltage→timing-error characteristics of the synthesized array.
+///
+/// # Example
+///
+/// ```
+/// use create_accel::timing::TimingModel;
+/// let t = TimingModel::default();
+/// assert!(t.aggregate_ber(0.9) < 1e-8);
+/// assert!(t.aggregate_ber(0.75) > 1e-4);
+/// // Monotone: lower voltage, more errors.
+/// assert!(t.aggregate_ber(0.7) > t.aggregate_ber(0.8));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimingModel {
+    _priv: (),
+}
+
+impl TimingModel {
+    /// Creates the calibrated 22 nm model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Relative delay multiplier at voltage `v` (1.0 at nominal).
+    pub fn delay_scale(&self, v: f64) -> f64 {
+        let v = v.max(V_TH + 0.05);
+        ((V_NOMINAL - V_TH) / (v - V_TH)).powf(ALPHA)
+    }
+
+    /// Nominal-voltage path delay of accumulator bit `b` as a fraction of
+    /// the clock period.
+    pub fn nominal_delay_fraction(&self, bit: usize) -> f64 {
+        debug_assert!(bit < ACC_BITS);
+        0.55 + 0.40 * (bit as f64 + 1.0) / ACC_BITS as f64
+    }
+
+    /// Index of the lowest accumulator bit whose worst-case path violates
+    /// timing at voltage `v`; `ACC_BITS` if none does.
+    pub fn first_violating_bit(&self, v: f64) -> usize {
+        let s = self.delay_scale(v);
+        for b in 0..ACC_BITS {
+            if self.nominal_delay_fraction(b) * s > 1.0 {
+                return b;
+            }
+        }
+        ACC_BITS
+    }
+
+    /// The fractional (possibly negative) violating-bit threshold, used to
+    /// place the flip-probability mass smoothly.
+    fn violation_cut(&self, v: f64) -> f64 {
+        // Solve m(b) * s(v) = 1 for continuous b.
+        let s = self.delay_scale(v);
+        let target = 1.0 / s;
+        ((target - 0.55) / 0.40) * ACC_BITS as f64 - 1.0
+    }
+
+    /// Aggregate bit error rate (probability that any given accumulator bit
+    /// of any given operation flips) at voltage `v`.
+    pub fn aggregate_ber(&self, v: f64) -> f64 {
+        let log10 =
+            (BER_LOG10_AT_NOMINAL + BER_DECADES_PER_VOLT * (V_NOMINAL - v)).min(BER_LOG10_FLOOR);
+        10f64.powf(log10)
+    }
+
+    /// Inverse of [`aggregate_ber`](Self::aggregate_ber): the highest
+    /// voltage whose BER is at least `ber` (clamped to the LDO range).
+    pub fn voltage_for_ber(&self, ber: f64) -> f64 {
+        let log10 = ber.max(1e-30).log10();
+        let v = V_NOMINAL - (log10 - BER_LOG10_AT_NOMINAL) / BER_DECADES_PER_VOLT;
+        v.clamp(V_MIN, V_NOMINAL)
+    }
+
+    /// Per-bit flip probabilities at voltage `v`.
+    ///
+    /// The probabilities sum to `aggregate_ber(v) * ACC_BITS` (expected
+    /// flipped bits per operation) and concentrate on the bits whose carry
+    /// chains violate timing at `v`.
+    pub fn bit_error_probs(&self, v: f64) -> [f64; ACC_BITS] {
+        let total = self.aggregate_ber(v) * ACC_BITS as f64;
+        let cut = self.violation_cut(v).min(ACC_BITS as f64 - 1.0);
+        let mut weights = [0.0; ACC_BITS];
+        let mut sum = 0.0;
+        for (b, w) in weights.iter_mut().enumerate() {
+            // Bits above the cut carry full weight; below it the weight
+            // decays exponentially with distance (shorter carry chains).
+            let x = (b as f64 - cut) / BIT_DECAY;
+            *w = if x >= 0.0 { 1.0 } else { x.exp() };
+            sum += *w;
+        }
+        let mut probs = [0.0; ACC_BITS];
+        for (p, w) in probs.iter_mut().zip(weights) {
+            *p = (total * w / sum).min(0.5);
+        }
+        probs
+    }
+
+    /// Expected flipped bits per operation at voltage `v` (the sum of the
+    /// per-bit probabilities).
+    pub fn flips_per_op(&self, v: f64) -> f64 {
+        self.bit_error_probs(v).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_voltage_is_nearly_error_free() {
+        let t = TimingModel::new();
+        assert!(t.aggregate_ber(0.9) < 1e-9);
+        assert_eq!(t.first_violating_bit(0.9), ACC_BITS);
+    }
+
+    #[test]
+    fn ber_is_monotone_decreasing_in_voltage() {
+        let t = TimingModel::new();
+        let mut prev = f64::INFINITY;
+        let mut v = 0.60;
+        while v < 0.901 {
+            let ber = t.aggregate_ber(v);
+            assert!(ber <= prev, "BER should not increase with voltage");
+            prev = ber;
+            v += 0.01;
+        }
+    }
+
+    #[test]
+    fn calibration_matches_paper_operating_points() {
+        let t = TimingModel::new();
+        // ~1e-7..1e-6 around 0.85 V; ~1e-4 around 0.80 V; saturation at 0.6 V.
+        let b085 = t.aggregate_ber(0.85);
+        assert!((1e-8..1e-5).contains(&b085), "0.85 V BER {b085}");
+        let b080 = t.aggregate_ber(0.80);
+        assert!((1e-6..1e-3).contains(&b080), "0.80 V BER {b080}");
+        let b060 = t.aggregate_ber(0.60);
+        assert!((1e-3..1e-1).contains(&b060), "0.60 V BER {b060}");
+    }
+
+    #[test]
+    fn violating_bit_moves_down_with_voltage() {
+        let t = TimingModel::new();
+        let hi = t.first_violating_bit(0.85);
+        let mid = t.first_violating_bit(0.75);
+        let lo = t.first_violating_bit(0.62);
+        assert!(hi > mid && mid > lo, "cut bits: {hi} {mid} {lo}");
+        assert!(hi >= 16, "at 0.85 V only high bits should violate, got {hi}");
+    }
+
+    #[test]
+    fn high_bits_dominate_flip_probability() {
+        let t = TimingModel::new();
+        let probs = t.bit_error_probs(0.85);
+        let high: f64 = probs[16..].iter().sum();
+        let low: f64 = probs[..8].iter().sum();
+        assert!(
+            high > 20.0 * low.max(1e-30),
+            "high bits should dominate at 0.85 V: high {high} low {low}"
+        );
+    }
+
+    #[test]
+    fn bit_probs_sum_to_expected_flips() {
+        let t = TimingModel::new();
+        for v in [0.65, 0.75, 0.85] {
+            let sum: f64 = t.bit_error_probs(v).iter().sum();
+            let expect = t.aggregate_ber(v) * ACC_BITS as f64;
+            assert!(
+                (sum - expect).abs() / expect < 0.05,
+                "v={v}: sum {sum} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn voltage_for_ber_inverts_aggregate() {
+        let t = TimingModel::new();
+        for &ber in &[1e-7, 1e-5, 1e-3] {
+            let v = t.voltage_for_ber(ber);
+            let back = t.aggregate_ber(v);
+            assert!(
+                (back.log10() - ber.log10()).abs() < 0.1,
+                "ber {ber} -> v {v} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_scale_grows_as_voltage_drops() {
+        let t = TimingModel::new();
+        assert!((t.delay_scale(0.9) - 1.0).abs() < 1e-9);
+        assert!(t.delay_scale(0.6) > t.delay_scale(0.75));
+        assert!(t.delay_scale(0.75) > 1.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Property-based tests for the accelerator substrate.
+
+use create_accel::ecc::{CODE_BITS, Codeword, Decoded};
+use create_accel::inject::{ErrorModel, InjectionTarget, Injector, sample_poisson};
+use create_accel::scheme::{Scheme, apply_scheme};
+use create_accel::sram::{MemoryFaultModel, Protection, SramBuffer};
+use create_accel::timing::{ACC_BITS, TimingModel, V_NOMINAL};
+use create_accel::array;
+use create_tensor::{Matrix, Precision, QuantMatrix};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The 24-bit wrap is periodic with period 2^24 and the identity
+    /// inside the representable range.
+    #[test]
+    fn wrap_acc24_is_periodic(v in -8_388_608i64..=8_388_607) {
+        prop_assert_eq!(array::wrap_acc24(v), v as i32);
+        prop_assert_eq!(array::wrap_acc24(v + (1 << 24)), v as i32);
+        prop_assert_eq!(array::wrap_acc24(v - (1 << 24)), v as i32);
+    }
+
+    /// GEMM is linear in its input: gemm(a1 + a2, w) == gemm(a1, w) +
+    /// gemm(a2, w) in exact integer arithmetic (no wrap for small values).
+    #[test]
+    fn gemm_is_linear_in_integer_domain(seed in 0u64..300, m in 1usize..4, k in 1usize..8, n in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let small = |rng: &mut StdRng| {
+            Matrix::from_fn(m, k, |_, _| (rng.random_range(-20i32..20)) as f32)
+        };
+        let a1 = small(&mut rng);
+        let a2 = small(&mut rng);
+        let w = Matrix::from_fn(k, n, |_, _| (rng.random_range(-20i32..20)) as f32);
+        use rand::Rng;
+        let _ = &mut rng;
+        let quant = |m: &Matrix| QuantMatrix::quantize_with(
+            m,
+            create_tensor::QuantParams::from_scale(1.0, Precision::Int8),
+        );
+        let wq = quant(&w);
+        let y1 = array::gemm_i8_acc(&quant(&a1), &wq);
+        let y2 = array::gemm_i8_acc(&quant(&a2), &wq);
+        let ysum = array::gemm_i8_acc(&quant(&a1.add(&a2)), &wq);
+        for i in 0..y1.len() {
+            prop_assert_eq!(ysum[i], y1[i] + y2[i]);
+        }
+    }
+
+    /// Element corruption probability is monotone in BER and in scale, and
+    /// always a valid probability.
+    #[test]
+    fn corruption_probability_is_monotone(ber in 1e-9f64..1e-2, scale in 1.0f64..1e4) {
+        let p = |b: f64, s: f64| {
+            Injector::new(ErrorModel::Uniform { ber: b }, InjectionTarget::All, s)
+                .element_corruption_prob(0.9)
+        };
+        let base = p(ber, scale);
+        prop_assert!((0.0..=1.0).contains(&base));
+        prop_assert!(p(ber * 2.0, scale) >= base);
+        prop_assert!(p(ber, scale * 2.0) >= base);
+    }
+
+    /// Poisson samples are non-negative and have roughly the right mean.
+    #[test]
+    fn poisson_sampler_mean(lambda in 0.1f64..50.0, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 400;
+        let sum: u64 = (0..n).map(|_| sample_poisson(lambda, &mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        // 6-sigma band for the sample mean.
+        let tol = 6.0 * (lambda / n as f64).sqrt() + 0.05;
+        prop_assert!((mean - lambda).abs() < tol, "lambda {lambda}, mean {mean}");
+    }
+
+    /// DMR with clean replicas always restores the clean result; the
+    /// execution count is 2 or 3.
+    #[test]
+    fn dmr_with_clean_replicas_recovers(clean in prop::collection::vec(-1000i32..1000, 1..64), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut corrupted = clean.clone();
+        if !corrupted.is_empty() {
+            corrupted[0] ^= 0x10;
+        }
+        let (out, outcome) = apply_scheme(
+            Scheme::Dmr,
+            &clean,
+            corrupted,
+            |_| clean.clone(),
+            &mut rng,
+        );
+        prop_assert_eq!(out, clean);
+        prop_assert!(outcome.executions == 2 || outcome.executions == 3);
+        prop_assert!(!outcome.residual_corruption);
+    }
+
+    /// ThUnderVolt output is always either the clean value or zero.
+    #[test]
+    fn thundervolt_outputs_clean_or_zero(
+        clean in prop::collection::vec(-1000i32..1000, 1..64),
+        flips in prop::collection::vec(any::<bool>(), 1..64),
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let corrupted: Vec<i32> = clean
+            .iter()
+            .zip(flips.iter().chain(std::iter::repeat(&false)))
+            .map(|(&v, &f)| if f { v ^ 0x40 } else { v })
+            .collect();
+        let (out, _) = apply_scheme(
+            Scheme::ThunderVolt,
+            &clean,
+            corrupted,
+            |_| clean.clone(),
+            &mut rng,
+        );
+        for (o, c) in out.iter().zip(&clean) {
+            prop_assert!(o == c || *o == 0);
+        }
+    }
+
+    /// Razor never invents values: every output element is either the
+    /// clean value (replay recovered it) or the corrupted original (the
+    /// shadow FF missed it) — unlike ThUnderVolt it never zeroes.
+    #[test]
+    fn razor_outputs_are_clean_or_original(
+        clean in prop::collection::vec(-1000i32..1000, 1..64),
+        flips in prop::collection::vec(any::<bool>(), 1..64),
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let corrupted: Vec<i32> = clean
+            .iter()
+            .zip(flips.iter().chain(std::iter::repeat(&false)))
+            .map(|(&v, &f)| if f { v ^ 0x20_0000 } else { v })
+            .collect();
+        let (out, outcome) = apply_scheme(
+            Scheme::Razor,
+            &clean,
+            corrupted.clone(),
+            |_| clean.clone(),
+            &mut rng,
+        );
+        for ((o, c), orig) in out.iter().zip(&clean).zip(&corrupted) {
+            prop_assert!(o == c || o == orig);
+        }
+        prop_assert!(outcome.extra_mac_fraction >= 0.0);
+        prop_assert!(outcome.extra_mac_fraction <= 12.0 + 1e-9);
+    }
+
+    /// ABFT never exceeds 1 + max_retries executions.
+    #[test]
+    fn abft_bounds_recomputes(
+        clean in prop::collection::vec(-1000i32..1000, 1..32),
+        retries in 0u32..6,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut corrupted = clean.clone();
+        if !corrupted.is_empty() {
+            corrupted[0] ^= 0x80;
+        }
+        let bad = corrupted.clone();
+        let (_, outcome) = apply_scheme(
+            Scheme::Abft { max_retries: retries },
+            &clean,
+            corrupted,
+            |_| bad.clone(),
+            &mut rng,
+        );
+        prop_assert!(outcome.executions <= 1 + retries);
+    }
+
+    /// Per-bit error probabilities integrate to the aggregate BER at any
+    /// voltage (within numerical tolerance).
+    #[test]
+    fn bit_probs_integrate_to_aggregate(v in 0.62f64..0.90) {
+        let t = TimingModel::new();
+        let sum: f64 = t.bit_error_probs(v).iter().sum();
+        let expect = t.aggregate_ber(v) * ACC_BITS as f64;
+        // min-capping at 0.5 can shave mass at extreme undervolt.
+        prop_assert!(sum <= expect * 1.01 + 1e-12);
+        prop_assert!(sum >= expect * 0.5);
+    }
+
+    /// SECDED corrects every single-bit flip of every data word.
+    #[test]
+    fn secded_corrects_any_single_flip(data in any::<u64>(), pos in 0u32..CODE_BITS) {
+        let (out, outcome) = Codeword::encode(data).with_flipped_bit(pos).decode();
+        prop_assert_eq!(out, data);
+        prop_assert_eq!(outcome, Decoded::Corrected);
+    }
+
+    /// SECDED detects (never miscorrects or silently passes) every
+    /// double-bit flip of every data word.
+    #[test]
+    fn secded_detects_any_double_flip(
+        data in any::<u64>(),
+        a in 0u32..CODE_BITS,
+        offset in 1u32..CODE_BITS,
+    ) {
+        let b = (a + offset) % CODE_BITS;
+        prop_assume!(a != b);
+        let (_, outcome) = Codeword::encode(data)
+            .with_flipped_bit(a)
+            .with_flipped_bit(b)
+            .decode();
+        prop_assert_eq!(outcome, Decoded::Detected);
+    }
+
+    /// An SRAM snapshot at nominal voltage is the identity for any buffer
+    /// content, length and protection.
+    #[test]
+    fn sram_nominal_snapshot_is_identity(
+        data in prop::collection::vec(any::<i8>(), 0..200),
+        secded in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let protection = if secded { Protection::Secded } else { Protection::None };
+        let buf = SramBuffer::store(&data, protection, MemoryFaultModel::new());
+        let (read, stats) = buf.snapshot(V_NOMINAL, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(read, data);
+        prop_assert_eq!(stats.bits_upset, 0);
+    }
+
+    /// At any voltage, a SECDED snapshot never has *more* corrupt words
+    /// than an unprotected snapshot of the same buffer under the same
+    /// fault process intensity, and its length always matches.
+    #[test]
+    fn sram_secded_never_hurts(
+        data in prop::collection::vec(any::<i8>(), 1..400),
+        v in 0.60f64..0.90,
+        seed in 0u64..500,
+    ) {
+        let model = MemoryFaultModel::new();
+        let plain = SramBuffer::store(&data, Protection::None, model);
+        let ecc = SramBuffer::store(&data, Protection::Secded, model);
+        let (read_p, stats_p) = plain.snapshot(v, &mut StdRng::seed_from_u64(seed));
+        let (read_e, stats_e) = ecc.snapshot(v, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(read_p.len(), data.len());
+        prop_assert_eq!(read_e.len(), data.len());
+        // Identical seeds draw comparable fault processes; SECDED has 12.5%
+        // more bits exposed but corrects singles, so across the sweep its
+        // corrupt fraction is bounded by the unprotected one plus a small
+        // double-fault term.
+        prop_assert!(
+            stats_e.corrupt_fraction() <= stats_p.corrupt_fraction() + 0.15,
+            "ecc {:?} plain {:?}", stats_e, stats_p
+        );
+    }
+
+    /// The memory fault model is monotone in voltage and its inverse is
+    /// consistent.
+    #[test]
+    fn memory_model_monotone_and_invertible(v in 0.60f64..0.90) {
+        let m = MemoryFaultModel::new();
+        let p = m.upset_prob(v);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(m.upset_prob(v - 0.01) >= p);
+        let back = m.voltage_for_upset(p);
+        // Inverse is exact away from the saturation floor.
+        if p < m.upset_prob(0.68) {
+            prop_assert!((back - v).abs() < 0.01, "v {v} -> p {p} -> {back}");
+        }
+    }
+}

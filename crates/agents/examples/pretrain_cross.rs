@@ -1,0 +1,9 @@
+use create_agents::AgentSystem;
+use create_agents::presets::{ControllerPreset, PlannerPreset};
+
+fn main() {
+    let _ = AgentSystem::build(PlannerPreset::openvla(), ControllerPreset::octo());
+    println!("openvla+octo ready");
+    let _ = AgentSystem::build(PlannerPreset::roboflamingo(), ControllerPreset::rt1());
+    println!("roboflamingo+rt1 ready");
+}

@@ -1,0 +1,401 @@
+//! End-to-end agent construction with disk caching.
+//!
+//! Training the full agent stack (planner with planted outliers, BC
+//! controller, entropy predictor) takes a couple of minutes; every bench
+//! target and example needs the *same* trained models, so weights are
+//! cached under `results/cache/` and reloaded on subsequent runs.
+
+use crate::controller::{BcSample, ControllerModel, QuantController};
+use crate::datasets;
+use crate::io::{self, NamedTensor};
+use crate::planner::{OutlierSpec, PlannerModel, QuantPlanner};
+use crate::predictor::EntropyPredictor;
+use crate::presets::{ControllerPreset, PlannerPreset};
+use crate::vocab::{self, PlanSample};
+use create_env::{Benchmark, TaskId};
+use create_nn::linear::Linear;
+use create_tensor::hadamard::Rotation;
+use create_tensor::{Matrix, Precision};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+use std::path::PathBuf;
+
+/// Deployment temperature for controller action sampling.
+pub const ACT_TEMPERATURE: f32 = 0.7;
+
+/// Base seed for all training.
+const TRAIN_SEED: u64 = 20260322;
+
+/// Planner training epochs.
+const PLANNER_EPOCHS: usize = 300;
+
+/// Controller BC epochs.
+const CONTROLLER_EPOCHS: usize = 10;
+
+/// Predictor epochs.
+const PREDICTOR_EPOCHS: usize = 12;
+
+fn m2t(name: &str, m: &Matrix) -> NamedTensor {
+    NamedTensor::new(
+        name,
+        vec![m.rows() as u32, m.cols() as u32],
+        m.as_slice().to_vec(),
+    )
+}
+
+fn t2m(tensors: &[NamedTensor], name: &str) -> Option<Matrix> {
+    let t = io::find(tensors, name)?;
+    if t.shape.len() != 2 {
+        return None;
+    }
+    Some(Matrix::from_vec(
+        t.shape[0] as usize,
+        t.shape[1] as usize,
+        t.data.clone(),
+    ))
+}
+
+fn v2t(name: &str, v: &[f32]) -> NamedTensor {
+    NamedTensor::new(name, vec![v.len() as u32], v.to_vec())
+}
+
+fn t2v(tensors: &[NamedTensor], name: &str) -> Option<Vec<f32>> {
+    io::find(tensors, name).map(|t| t.data.clone())
+}
+
+// ---------------------------------------------------------------------------
+// Planner persistence
+// ---------------------------------------------------------------------------
+
+fn planner_to_tensors(p: &PlannerModel) -> Vec<NamedTensor> {
+    let mut out = vec![m2t("embed", &p.embed), m2t("pos", &p.pos), m2t("head", &p.head.w)];
+    for (l, b) in p.blocks.iter().enumerate() {
+        out.push(m2t(&format!("b{l}.wq"), &b.attn.wq.w));
+        out.push(m2t(&format!("b{l}.wk"), &b.attn.wk.w));
+        out.push(m2t(&format!("b{l}.wv"), &b.attn.wv.w));
+        out.push(m2t(&format!("b{l}.wo"), &b.attn.wo.w));
+        out.push(m2t(&format!("b{l}.wgate"), &b.mlp.wgate.w));
+        out.push(m2t(&format!("b{l}.wup"), &b.mlp.wup.w));
+        out.push(m2t(&format!("b{l}.wdown"), &b.mlp.wdown.w));
+    }
+    out
+}
+
+fn planner_from_tensors(preset: &PlannerPreset, tensors: &[NamedTensor]) -> Option<PlannerModel> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = PlannerModel::new(preset, &mut rng);
+    model.embed = t2m(tensors, "embed")?;
+    model.pos = t2m(tensors, "pos")?;
+    model.head.w = t2m(tensors, "head")?;
+    for (l, b) in model.blocks.iter_mut().enumerate() {
+        b.attn.wq.w = t2m(tensors, &format!("b{l}.wq"))?;
+        b.attn.wk.w = t2m(tensors, &format!("b{l}.wk"))?;
+        b.attn.wv.w = t2m(tensors, &format!("b{l}.wv"))?;
+        b.attn.wo.w = t2m(tensors, &format!("b{l}.wo"))?;
+        b.mlp.wgate.w = t2m(tensors, &format!("b{l}.wgate"))?;
+        b.mlp.wup.w = t2m(tensors, &format!("b{l}.wup"))?;
+        b.mlp.wdown.w = t2m(tensors, &format!("b{l}.wdown"))?;
+    }
+    if model.embed.cols() != preset.proxy_hidden {
+        return None;
+    }
+    Some(model)
+}
+
+// ---------------------------------------------------------------------------
+// Controller persistence
+// ---------------------------------------------------------------------------
+
+fn linear_to_tensors(name: &str, l: &Linear, out: &mut Vec<NamedTensor>) {
+    out.push(m2t(&format!("{name}.w"), &l.w));
+    if let Some(b) = &l.b {
+        out.push(v2t(&format!("{name}.b"), b));
+    }
+}
+
+fn linear_from_tensors(tensors: &[NamedTensor], name: &str, l: &mut Linear) -> Option<()> {
+    l.w = t2m(tensors, &format!("{name}.w"))?;
+    if l.b.is_some() {
+        l.b = Some(t2v(tensors, &format!("{name}.b"))?);
+    }
+    Some(())
+}
+
+fn controller_to_tensors(c: &ControllerModel) -> Vec<NamedTensor> {
+    let mut out = vec![m2t("subtask", &c.subtask_embed), m2t("cls", &c.cls)];
+    linear_to_tensors("view", &c.view_embed, &mut out);
+    linear_to_tensors("stat", &c.stat_embed, &mut out);
+    linear_to_tensors("head", &c.head, &mut out);
+    for (l, b) in c.blocks.iter().enumerate() {
+        out.push(m2t(&format!("b{l}.wq"), &b.attn.wq.w));
+        out.push(m2t(&format!("b{l}.wk"), &b.attn.wk.w));
+        out.push(m2t(&format!("b{l}.wv"), &b.attn.wv.w));
+        out.push(m2t(&format!("b{l}.wo"), &b.attn.wo.w));
+        linear_to_tensors(&format!("b{l}.fc1"), &b.mlp.fc1, &mut out);
+        linear_to_tensors(&format!("b{l}.fc2"), &b.mlp.fc2, &mut out);
+    }
+    out
+}
+
+fn controller_from_tensors(
+    preset: &ControllerPreset,
+    tensors: &[NamedTensor],
+) -> Option<ControllerModel> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = ControllerModel::new(preset, &mut rng);
+    model.subtask_embed = t2m(tensors, "subtask")?;
+    model.cls = t2m(tensors, "cls")?;
+    linear_from_tensors(tensors, "view", &mut model.view_embed)?;
+    linear_from_tensors(tensors, "stat", &mut model.stat_embed)?;
+    linear_from_tensors(tensors, "head", &mut model.head)?;
+    for (l, b) in model.blocks.iter_mut().enumerate() {
+        b.attn.wq.w = t2m(tensors, &format!("b{l}.wq"))?;
+        b.attn.wk.w = t2m(tensors, &format!("b{l}.wk"))?;
+        b.attn.wv.w = t2m(tensors, &format!("b{l}.wv"))?;
+        b.attn.wo.w = t2m(tensors, &format!("b{l}.wo"))?;
+        linear_from_tensors(tensors, &format!("b{l}.fc1"), &mut b.mlp.fc1)?;
+        linear_from_tensors(tensors, &format!("b{l}.fc2"), &mut b.mlp.fc2)?;
+    }
+    if model.cls.cols() != preset.proxy_hidden {
+        return None;
+    }
+    Some(model)
+}
+
+// ---------------------------------------------------------------------------
+// Predictor persistence
+// ---------------------------------------------------------------------------
+
+fn predictor_to_tensors(p: &EntropyPredictor) -> Vec<NamedTensor> {
+    p.export_tensors()
+}
+
+fn predictor_from_tensors(tensors: &[NamedTensor]) -> Option<EntropyPredictor> {
+    EntropyPredictor::import_tensors(tensors)
+}
+
+// ---------------------------------------------------------------------------
+// The trained-agent bundle
+// ---------------------------------------------------------------------------
+
+/// Which benchmark's tasks a controller is trained for.
+fn controller_tasks(preset: &ControllerPreset) -> Vec<TaskId> {
+    if preset.name == "JARVIS-1" {
+        TaskId::ALL
+            .into_iter()
+            .filter(|t| t.benchmark() == Benchmark::Minecraft)
+            .collect()
+    } else {
+        TaskId::ALL
+            .into_iter()
+            .filter(|t| t.benchmark() != Benchmark::Minecraft)
+            .collect()
+    }
+}
+
+/// A fully trained agent stack for one platform pairing.
+#[derive(Debug, Clone)]
+pub struct AgentSystem {
+    /// The trained f32 planner (with planted outliers).
+    pub planner: PlannerModel,
+    /// The trained f32 controller.
+    pub controller: ControllerModel,
+    /// The trained entropy predictor.
+    pub predictor: EntropyPredictor,
+    /// Planner platform preset.
+    pub planner_preset: PlannerPreset,
+    /// Controller platform preset.
+    pub controller_preset: ControllerPreset,
+    /// Planner calibration samples.
+    pub plan_samples: Vec<PlanSample>,
+    /// Controller calibration samples.
+    pub bc_samples: Vec<BcSample>,
+}
+
+impl AgentSystem {
+    /// Builds (or loads from cache) the primary JARVIS-1 testbed system.
+    pub fn jarvis() -> AgentSystem {
+        Self::build(PlannerPreset::jarvis(), ControllerPreset::jarvis())
+    }
+
+    /// Builds (or loads) an arbitrary planner/controller pairing.
+    pub fn build(planner_preset: PlannerPreset, controller_preset: ControllerPreset) -> AgentSystem {
+        let plan_samples = vocab::training_samples();
+        let planner = load_or_train_planner(&planner_preset, &plan_samples);
+        let (controller, bc_samples) = load_or_train_controller(&controller_preset);
+        let predictor = load_or_train_predictor(&controller_preset, &controller, &bc_samples);
+        AgentSystem {
+            planner,
+            controller,
+            predictor,
+            planner_preset,
+            controller_preset,
+            plan_samples,
+            bc_samples,
+        }
+    }
+
+    /// Deploys the planner, optionally with weight rotation (WR).
+    pub fn deploy_planner(&self, wr: bool, precision: Precision) -> QuantPlanner {
+        if wr {
+            let mut rotated = self.planner.clone();
+            rotated.rotate_residual(&Rotation::hadamard(self.planner_preset.proxy_hidden));
+            rotated.deploy(&self.plan_samples, precision)
+        } else {
+            self.planner.deploy(&self.plan_samples, precision)
+        }
+    }
+
+    /// Deploys the controller.
+    pub fn deploy_controller(&self, precision: Precision) -> QuantController {
+        self.controller.deploy(&self.bc_samples, precision)
+    }
+
+    /// The tasks this system's controller was trained for.
+    pub fn tasks(&self) -> Vec<TaskId> {
+        controller_tasks(&self.controller_preset)
+    }
+}
+
+fn cache_file(kind: &str, name: &str) -> PathBuf {
+    io::cache_dir().join(format!("{kind}_{}_v4.bin", name.to_lowercase().replace('-', "")))
+}
+
+fn load_or_train_planner(preset: &PlannerPreset, samples: &[PlanSample]) -> PlannerModel {
+    let path = cache_file("planner", preset.name);
+    if let Ok(tensors) = io::load_tensors(&path) {
+        if let Some(model) = planner_from_tensors(preset, &tensors) {
+            return model;
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(TRAIN_SEED);
+    let mut model = PlannerModel::new(preset, &mut rng);
+    let spec = OutlierSpec::default();
+    model.train(samples, PLANNER_EPOCHS, 3e-3, Some(spec), &mut rng);
+    let acc = model.plan_accuracy(samples);
+    assert!(
+        acc > 0.99,
+        "{} planner failed to memorize plans (accuracy {acc})",
+        preset.name
+    );
+    io::save_tensors(&path, &planner_to_tensors(&model)).ok();
+    model
+}
+
+fn load_or_train_controller(preset: &ControllerPreset) -> (ControllerModel, Vec<BcSample>) {
+    let tasks = controller_tasks(preset);
+    // Calibration/BC data is regenerated deterministically (not cached).
+    let (seeds, cap) = if preset.name == "JARVIS-1" { (3, 500) } else { (4, 150) };
+    let samples = datasets::collect_bc(&tasks, seeds, cap, 0.06, TRAIN_SEED ^ 0xBC);
+    let path = cache_file("controller", preset.name);
+    if let Ok(tensors) = io::load_tensors(&path) {
+        if let Some(model) = controller_from_tensors(preset, &tensors) {
+            return (model, samples);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(TRAIN_SEED ^ 0xC0);
+    let mut model = ControllerModel::new(preset, &mut rng);
+    model.train(&samples, CONTROLLER_EPOCHS, 2e-3, &mut rng);
+    let agree = model.agreement(&samples);
+    assert!(
+        agree > 0.82,
+        "{} controller BC agreement too low ({agree})",
+        preset.name
+    );
+    io::save_tensors(&path, &controller_to_tensors(&model)).ok();
+    (model, samples)
+}
+
+fn load_or_train_predictor(
+    preset: &ControllerPreset,
+    controller: &ControllerModel,
+    bc_samples: &[BcSample],
+) -> EntropyPredictor {
+    let path = cache_file("predictor", preset.name);
+    if let Ok(tensors) = io::load_tensors(&path) {
+        if let Some(model) = predictor_from_tensors(&tensors) {
+            return model;
+        }
+    }
+    let tasks = controller_tasks(preset);
+    let quant = controller.deploy(bc_samples, Precision::Int8);
+    let (seeds, cap) = if preset.name == "JARVIS-1" { (2, 400) } else { (2, 120) };
+    let samples = datasets::collect_entropy(
+        &quant,
+        &tasks,
+        seeds,
+        cap,
+        ACT_TEMPERATURE,
+        TRAIN_SEED ^ 0xE0,
+    );
+    let mut rng = StdRng::seed_from_u64(TRAIN_SEED ^ 0xED);
+    let mut model = EntropyPredictor::new(vocab::N_SUBTASKS, &mut rng);
+    model.train(&samples, PREDICTOR_EPOCHS, 1.5e-3, TRAIN_SEED ^ 0xEE);
+    io::save_tensors(&path, &predictor_to_tensors(&model)).ok();
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planner_tensor_roundtrip() {
+        let preset = PlannerPreset {
+            proxy_layers: 2,
+            proxy_hidden: 32,
+            proxy_mlp: 64,
+            proxy_heads: 4,
+            ..PlannerPreset::jarvis()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = PlannerModel::new(&preset, &mut rng);
+        let tensors = planner_to_tensors(&model);
+        let restored = planner_from_tensors(&preset, &tensors).expect("roundtrip");
+        assert_eq!(model.embed, restored.embed);
+        assert_eq!(model.blocks[1].mlp.wdown.w, restored.blocks[1].mlp.wdown.w);
+    }
+
+    #[test]
+    fn controller_tensor_roundtrip() {
+        let preset = ControllerPreset {
+            proxy_layers: 1,
+            proxy_hidden: 32,
+            proxy_mlp: 64,
+            proxy_heads: 4,
+            ..ControllerPreset::jarvis()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = ControllerModel::new(&preset, &mut rng);
+        let tensors = controller_to_tensors(&model);
+        let restored = controller_from_tensors(&preset, &tensors).expect("roundtrip");
+        assert_eq!(model.cls, restored.cls);
+        assert_eq!(model.head.b, restored.head.b);
+        assert_eq!(model.blocks[0].mlp.fc1.w, restored.blocks[0].mlp.fc1.w);
+    }
+
+    #[test]
+    fn predictor_tensor_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = EntropyPredictor::new(8, &mut rng);
+        let tensors = predictor_to_tensors(&model);
+        let restored = predictor_from_tensors(&tensors).expect("roundtrip");
+        let img = create_nn::Tensor3::zeros(3, 64, 64);
+        assert_eq!(model.predict(&img, 2), restored.predict(&img, 2));
+    }
+
+    #[test]
+    fn controller_task_split_by_platform() {
+        let jarvis = controller_tasks(&ControllerPreset::jarvis());
+        assert!(jarvis.iter().all(|t| t.benchmark() == Benchmark::Minecraft));
+        let octo = controller_tasks(&ControllerPreset::octo());
+        assert!(octo.iter().all(|t| t.benchmark() != Benchmark::Minecraft));
+    }
+
+    #[test]
+    fn cache_paths_are_distinct_per_platform() {
+        let a = cache_file("planner", "JARVIS-1");
+        let b = cache_file("planner", "OpenVLA");
+        assert_ne!(a, b);
+    }
+}

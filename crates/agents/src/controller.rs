@@ -1,0 +1,611 @@
+//! The RL-style low-level controller: a small pre-LayerNorm transformer
+//! (paper Fig. 3, right) that maps a subtask prompt plus the current
+//! observation to per-step action logits.
+//!
+//! The controller is obtained by behaviour cloning the scripted expert of
+//! the environments — a close analog of STEVE-1-style training — so its
+//! logit entropy genuinely tracks step criticality: near-uniform while
+//! roaming (several equally good moves), sharply peaked while chopping,
+//! crafting or grasping. That entropy signal is what autonomy-adaptive
+//! voltage scaling keys on (Sec. 5.3).
+
+use crate::presets::ControllerPreset;
+use crate::vocab::{self};
+use create_accel::{Accelerator, Component, LayerCtx, Unit};
+use create_env::{Action, Observation, STATUS_DIMS, VIEW_CELLS};
+use create_env::observe::CELL_TYPES;
+use create_nn::activation::{logits_entropy, softmax_rows};
+use create_nn::block::{ActivationTap, ControllerBlock, ControllerBlockGrads, QuantControllerBlock};
+use create_nn::calibrate::{Cal, ControllerBlockCal};
+use create_nn::linear::{Linear, LinearGrads, QuantLinear};
+use create_nn::norm::{layernorm, layernorm_backward, layernorm_with_stats};
+use create_nn::optim::{AdamState, AdamWConfig};
+use create_tensor::{Matrix, Precision};
+use rand::Rng;
+use rand::seq::SliceRandom;
+
+/// Quantization margin for profiled maxima.
+pub const QUANT_MARGIN: f32 = 1.25;
+
+/// Dimension of the one-hot view feature (49 cells × 14 types).
+pub const VIEW_FEATURES: usize = VIEW_CELLS * CELL_TYPES;
+
+/// Dimension of the compass+status feature.
+pub const STAT_FEATURES: usize = 4 + STATUS_DIMS;
+
+/// Sequence layout: `[CLS, subtask, view, status]`.
+const N_TOKENS: usize = 4;
+
+/// One behaviour-cloning sample.
+#[derive(Debug, Clone)]
+pub struct BcSample {
+    /// The observation at decision time.
+    pub obs: Observation,
+    /// The expert's action distribution (soft target).
+    pub target: [f32; Action::COUNT],
+}
+
+/// Expands an observation's view grid into a one-hot row vector.
+pub fn view_one_hot(obs: &Observation) -> Matrix {
+    let mut m = Matrix::zeros(1, VIEW_FEATURES);
+    for (cell, &id) in obs.view.iter().enumerate() {
+        m.set(0, cell * CELL_TYPES + (id as usize).min(CELL_TYPES - 1), 1.0);
+    }
+    m
+}
+
+/// Packs compass + status into a row vector.
+pub fn stat_vector(obs: &Observation) -> Matrix {
+    let mut m = Matrix::zeros(1, STAT_FEATURES);
+    for (i, &v) in obs.compass.iter().enumerate() {
+        m.set(0, i, v);
+    }
+    for (i, &v) in obs.status.iter().enumerate() {
+        m.set(0, 4 + i, v);
+    }
+    m
+}
+
+/// Trainable controller.
+#[derive(Debug, Clone)]
+pub struct ControllerModel {
+    /// View featurizer `(VIEW_FEATURES, d)`.
+    pub view_embed: Linear,
+    /// Compass/status featurizer `(STAT_FEATURES, d)`.
+    pub stat_embed: Linear,
+    /// Subtask prompt embedding `(N_SUBTASKS, d)`.
+    pub subtask_embed: Matrix,
+    /// Learned CLS token `(1, d)`.
+    pub cls: Matrix,
+    /// Transformer blocks.
+    pub blocks: Vec<ControllerBlock>,
+    /// Policy head `(d, actions)`.
+    pub head: Linear,
+}
+
+struct ControllerOpt {
+    view: AdamState,
+    view_b: AdamState,
+    stat: AdamState,
+    stat_b: AdamState,
+    subtask: AdamState,
+    cls: AdamState,
+    head: AdamState,
+    head_b: AdamState,
+    blocks: Vec<[AdamState; 8]>,
+}
+
+impl ControllerOpt {
+    fn new(m: &ControllerModel) -> Self {
+        let st = |mat: &Matrix| AdamState::new(mat.len());
+        let stv = |v: &Option<Vec<f32>>| AdamState::new(v.as_ref().map(|b| b.len()).unwrap_or(0));
+        Self {
+            view: st(&m.view_embed.w),
+            view_b: stv(&m.view_embed.b),
+            stat: st(&m.stat_embed.w),
+            stat_b: stv(&m.stat_embed.b),
+            subtask: st(&m.subtask_embed),
+            cls: st(&m.cls),
+            head: st(&m.head.w),
+            head_b: stv(&m.head.b),
+            blocks: m
+                .blocks
+                .iter()
+                .map(|b| {
+                    [
+                        st(&b.attn.wq.w),
+                        st(&b.attn.wk.w),
+                        st(&b.attn.wv.w),
+                        st(&b.attn.wo.w),
+                        st(&b.mlp.fc1.w),
+                        stv(&b.mlp.fc1.b),
+                        st(&b.mlp.fc2.w),
+                        stv(&b.mlp.fc2.b),
+                    ]
+                })
+                .collect(),
+        }
+    }
+}
+
+struct ControllerGrads {
+    view: LinearGrads,
+    stat: LinearGrads,
+    subtask: Matrix,
+    cls: Matrix,
+    head: LinearGrads,
+    blocks: Vec<ControllerBlockGrads>,
+}
+
+impl ControllerGrads {
+    fn zero(m: &ControllerModel) -> Self {
+        Self {
+            view: m.view_embed.zero_grads(),
+            stat: m.stat_embed.zero_grads(),
+            subtask: Matrix::zeros(m.subtask_embed.rows(), m.subtask_embed.cols()),
+            cls: Matrix::zeros(1, m.cls.cols()),
+            head: m.head.zero_grads(),
+            blocks: m.blocks.iter().map(|b| b.zero_grads()).collect(),
+        }
+    }
+}
+
+impl ControllerModel {
+    /// Randomly initialized controller for `preset`'s proxy architecture.
+    pub fn new(preset: &ControllerPreset, rng: &mut impl Rng) -> Self {
+        let d = preset.proxy_hidden;
+        Self {
+            view_embed: Linear::new(VIEW_FEATURES, d, true, rng),
+            stat_embed: Linear::new(STAT_FEATURES, d, true, rng),
+            subtask_embed: Matrix::random_uniform(vocab::N_SUBTASKS, d, 0.5, rng),
+            cls: Matrix::random_uniform(1, d, 0.5, rng),
+            blocks: (0..preset.proxy_layers)
+                .map(|_| ControllerBlock::new(d, preset.proxy_mlp, preset.proxy_heads, rng))
+                .collect(),
+            head: Linear::new(d, Action::COUNT, true, rng),
+        }
+    }
+
+    /// Model width.
+    pub fn width(&self) -> usize {
+        self.cls.cols()
+    }
+
+    /// Builds the 4-token input sequence for an observation.
+    fn tokens(&self, obs: &Observation) -> Matrix {
+        let d = self.width();
+        let view_tok = self.view_embed.forward(&view_one_hot(obs));
+        let stat_tok = self.stat_embed.forward(&stat_vector(obs));
+        let mut x = Matrix::zeros(N_TOKENS, d);
+        for c in 0..d {
+            x.set(0, c, self.cls.get(0, c));
+            x.set(1, c, self.subtask_embed.get(obs.subtask_token, c));
+            x.set(2, c, view_tok.get(0, c));
+            x.set(3, c, stat_tok.get(0, c));
+        }
+        x
+    }
+
+    /// Action logits in f32.
+    pub fn logits(&self, obs: &Observation) -> Vec<f32> {
+        let mut x = self.tokens(obs);
+        for block in &self.blocks {
+            let (z, _) = block.forward(&x);
+            x = z;
+        }
+        let normed = layernorm(&x);
+        let cls = normed.rows_range(0, 1);
+        self.head.forward(&cls).row(0).to_vec()
+    }
+
+    /// One BC sample: cross-entropy against the expert's soft distribution.
+    fn backprop_sample(&self, sample: &BcSample, grads: &mut ControllerGrads) -> f32 {
+        let x0 = self.tokens(&sample.obs);
+        let mut x = x0.clone();
+        let mut caches = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            let (z, cache) = block.forward(&x);
+            caches.push(cache);
+            x = z;
+        }
+        let (normed, norm_stats) = layernorm_with_stats(&x);
+        let cls = normed.rows_range(0, 1);
+        let logits_m = self.head.forward(&cls);
+        let probs = softmax_rows(&logits_m);
+        let mut loss = 0.0;
+        let mut dlogits = Matrix::zeros(1, Action::COUNT);
+        for a in 0..Action::COUNT {
+            let t = sample.target[a];
+            if t > 0.0 {
+                loss -= t * probs.get(0, a).max(1e-9).ln();
+            }
+            dlogits.set(0, a, probs.get(0, a) - t);
+        }
+        let dcls = self.head.backward(&cls, &dlogits, &mut grads.head);
+        // Scatter the CLS gradient into the full normed matrix.
+        let mut dnormed = Matrix::zeros(N_TOKENS, self.width());
+        for c in 0..self.width() {
+            dnormed.set(0, c, dcls.get(0, c));
+        }
+        let mut dx = layernorm_backward(&normed, &norm_stats, &dnormed);
+        for l in (0..self.blocks.len()).rev() {
+            dx = self.blocks[l].backward(&caches[l], &dx, &mut grads.blocks[l]);
+        }
+        // Token gradients back into the featurizers.
+        let d = self.width();
+        for c in 0..d {
+            grads.cls.set(0, c, grads.cls.get(0, c) + dx.get(0, c));
+            let st = sample.obs.subtask_token;
+            grads
+                .subtask
+                .set(st, c, grads.subtask.get(st, c) + dx.get(1, c));
+        }
+        let dview = dx.rows_range(2, 3);
+        let dstat = dx.rows_range(3, 4);
+        self.view_embed
+            .backward(&view_one_hot(&sample.obs), &dview, &mut grads.view);
+        self.stat_embed
+            .backward(&stat_vector(&sample.obs), &dstat, &mut grads.stat);
+        loss
+    }
+
+    /// Behaviour-clones the expert dataset; returns the final epoch's mean
+    /// loss.
+    pub fn train(
+        &mut self,
+        samples: &[BcSample],
+        epochs: usize,
+        lr: f32,
+        rng: &mut impl Rng,
+    ) -> f32 {
+        let cfg = AdamWConfig {
+            lr,
+            weight_decay: 1e-4,
+            ..AdamWConfig::default()
+        };
+        let mut opt = ControllerOpt::new(self);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let batch = 32usize;
+        let mut step = 0u64;
+        let mut last = f32::INFINITY;
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(batch) {
+                let mut grads = ControllerGrads::zero(self);
+                for &i in chunk {
+                    epoch_loss += self.backprop_sample(&samples[i], &mut grads);
+                }
+                let s = 1.0 / chunk.len() as f32;
+                step += 1;
+                opt.view
+                    .step_matrix(&mut self.view_embed.w, &grads.view.dw.scale(s), &cfg, step);
+                step_bias(&mut opt.view_b, &mut self.view_embed.b, &grads.view.db, s, &cfg, step);
+                opt.stat
+                    .step_matrix(&mut self.stat_embed.w, &grads.stat.dw.scale(s), &cfg, step);
+                step_bias(&mut opt.stat_b, &mut self.stat_embed.b, &grads.stat.db, s, &cfg, step);
+                opt.subtask
+                    .step_matrix(&mut self.subtask_embed, &grads.subtask.scale(s), &cfg, step);
+                opt.cls.step_matrix(&mut self.cls, &grads.cls.scale(s), &cfg, step);
+                opt.head
+                    .step_matrix(&mut self.head.w, &grads.head.dw.scale(s), &cfg, step);
+                step_bias(&mut opt.head_b, &mut self.head.b, &grads.head.db, s, &cfg, step);
+                for (l, b) in self.blocks.iter_mut().enumerate() {
+                    let g = &grads.blocks[l];
+                    let so = &mut opt.blocks[l];
+                    so[0].step_matrix(&mut b.attn.wq.w, &g.attn.wq.dw.scale(s), &cfg, step);
+                    so[1].step_matrix(&mut b.attn.wk.w, &g.attn.wk.dw.scale(s), &cfg, step);
+                    so[2].step_matrix(&mut b.attn.wv.w, &g.attn.wv.dw.scale(s), &cfg, step);
+                    so[3].step_matrix(&mut b.attn.wo.w, &g.attn.wo.dw.scale(s), &cfg, step);
+                    so[4].step_matrix(&mut b.mlp.fc1.w, &g.mlp.fc1.dw.scale(s), &cfg, step);
+                    step_bias(&mut so[5], &mut b.mlp.fc1.b, &g.mlp.fc1.db, s, &cfg, step);
+                    so[6].step_matrix(&mut b.mlp.fc2.w, &g.mlp.fc2.dw.scale(s), &cfg, step);
+                    step_bias(&mut so[7], &mut b.mlp.fc2.b, &g.mlp.fc2.db, s, &cfg, step);
+                }
+            }
+            last = epoch_loss / samples.len() as f32;
+        }
+        last
+    }
+
+    /// Fraction of samples where the model's argmax action is one of the
+    /// expert's optimal actions (the expert distribution is uniform over
+    /// ties, so any maximal-probability action counts as correct).
+    pub fn agreement(&self, samples: &[BcSample]) -> f32 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut hits = 0usize;
+        for s in samples {
+            let logits = self.logits(&s.obs);
+            let got = argmax(&logits);
+            let best = s.target.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            if s.target[got] >= best - 1e-3 {
+                hits += 1;
+            }
+        }
+        hits as f32 / samples.len() as f32
+    }
+
+    /// Calibrates on `samples` and quantizes for deployment.
+    pub fn deploy(&self, samples: &[BcSample], precision: Precision) -> QuantController {
+        let mut block_cals = vec![ControllerBlockCal::default(); self.blocks.len()];
+        let mut view_cal = Cal::default();
+        let mut stat_cal = Cal::default();
+        let mut head_cal = Cal::default();
+        for s in samples {
+            let vh = view_one_hot(&s.obs);
+            let vt = self.view_embed.forward(&vh);
+            view_cal.update(1.0, vt.max_abs());
+            let sv = stat_vector(&s.obs);
+            let st = self.stat_embed.forward(&sv);
+            stat_cal.update(sv.max_abs(), st.max_abs());
+            let mut x = self.tokens(&s.obs);
+            for (l, block) in self.blocks.iter().enumerate() {
+                x = block.forward_calibrate(&x, &mut block_cals[l]);
+            }
+            let normed = layernorm(&x);
+            let cls = normed.rows_range(0, 1);
+            let logits = self.head.forward(&cls);
+            head_cal.update(cls.max_abs(), logits.max_abs());
+        }
+        QuantController {
+            view_embed: QuantLinear::from_calibrated(
+                &self.view_embed,
+                view_cal.input,
+                view_cal.output,
+                QUANT_MARGIN,
+                precision,
+            ),
+            stat_embed: QuantLinear::from_calibrated(
+                &self.stat_embed,
+                stat_cal.input,
+                stat_cal.output,
+                QUANT_MARGIN,
+                precision,
+            ),
+            subtask_embed: self.subtask_embed.clone(),
+            cls: self.cls.clone(),
+            blocks: self
+                .blocks
+                .iter()
+                .zip(&block_cals)
+                .map(|(b, cal)| {
+                    QuantControllerBlock::from_block_cal(b, cal, QUANT_MARGIN, precision)
+                })
+                .collect(),
+            head: QuantLinear::from_calibrated(
+                &self.head,
+                head_cal.input,
+                head_cal.output,
+                QUANT_MARGIN,
+                precision,
+            ),
+        }
+    }
+}
+
+fn step_bias(
+    state: &mut AdamState,
+    bias: &mut Option<Vec<f32>>,
+    grad: &Option<Vec<f32>>,
+    scale: f32,
+    cfg: &AdamWConfig,
+    step: u64,
+) {
+    if let (Some(b), Some(g)) = (bias.as_mut(), grad.as_ref()) {
+        let scaled: Vec<f32> = g.iter().map(|v| v * scale).collect();
+        state.step(b, &scaled, cfg, step);
+    }
+}
+
+/// Deployed, quantized controller executing on the accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantController {
+    view_embed: QuantLinear,
+    stat_embed: QuantLinear,
+    subtask_embed: Matrix,
+    cls: Matrix,
+    blocks: Vec<QuantControllerBlock>,
+    head: QuantLinear,
+}
+
+impl QuantController {
+    /// Number of transformer blocks.
+    pub fn depth(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Visits every stored INT8 weight matrix in deployment order.
+    ///
+    /// This is the hook for the memory-resilience extension: the SRAM
+    /// fault model perturbs the deployed codes in place, exactly as a
+    /// retention failure in the weight buffer would. The f32 embedding
+    /// tables are excluded — on the modeled platform only GEMM weights
+    /// live in the voltage-scaled SRAM banks.
+    pub fn visit_weights_mut(&mut self, mut f: impl FnMut(&mut create_tensor::QuantMatrix)) {
+        f(self.view_embed.weight_mut());
+        f(self.stat_embed.weight_mut());
+        for b in &mut self.blocks {
+            f(b.attn.wq.weight_mut());
+            f(b.attn.wk.weight_mut());
+            f(b.attn.wv.weight_mut());
+            f(b.attn.wo.weight_mut());
+            f(b.fc1.weight_mut());
+            f(b.fc2.weight_mut());
+        }
+        f(self.head.weight_mut());
+    }
+
+    /// Action logits on the accelerator; optionally taps pre-norm
+    /// activations.
+    pub fn logits(
+        &self,
+        accel: &mut Accelerator,
+        obs: &Observation,
+        mut tap: Option<&mut ActivationTap>,
+    ) -> Vec<f32> {
+        let d = self.cls.cols();
+        let view_tok = self.view_embed.forward(
+            accel,
+            &view_one_hot(obs),
+            LayerCtx::new(Unit::Controller, Component::Embed, 0),
+        );
+        let stat_tok = self.stat_embed.forward(
+            accel,
+            &stat_vector(obs),
+            LayerCtx::new(Unit::Controller, Component::Embed, 0),
+        );
+        let mut x = Matrix::zeros(N_TOKENS, d);
+        for c in 0..d {
+            x.set(0, c, self.cls.get(0, c));
+            x.set(1, c, self.subtask_embed.get(obs.subtask_token, c));
+            x.set(2, c, view_tok.get(0, c));
+            x.set(3, c, stat_tok.get(0, c));
+        }
+        for (l, block) in self.blocks.iter().enumerate() {
+            x = block.forward(accel, &x, l, tap.as_deref_mut());
+        }
+        let normed = layernorm(&x);
+        let cls_row = normed.rows_range(0, 1);
+        let logits = self.head.forward(
+            accel,
+            &cls_row,
+            LayerCtx::new(Unit::Controller, Component::Head, self.blocks.len()),
+        );
+        logits.row(0).to_vec()
+    }
+
+    /// Samples an action from `softmax(logits / temperature)`.
+    ///
+    /// Returns `(action, entropy_of_logits)` — the entropy is the paper's
+    /// step-criticality indicator, computed at temperature 1.
+    pub fn act(
+        &self,
+        accel: &mut Accelerator,
+        obs: &Observation,
+        temperature: f32,
+        rng: &mut impl Rng,
+    ) -> (Action, f32) {
+        let logits = self.logits(accel, obs, None);
+        let entropy = logits_entropy(&logits);
+        let scaled: Vec<f32> = logits.iter().map(|v| v / temperature.max(1e-3)).collect();
+        let m = Matrix::from_vec(1, scaled.len(), scaled);
+        let probs = softmax_rows(&m);
+        let mut r: f32 = rng.random_range(0.0..1.0);
+        let mut action = Action::Wait;
+        for (i, &p) in probs.row(0).iter().enumerate() {
+            if r < p {
+                action = Action::from_index(i);
+                break;
+            }
+            r -= p;
+        }
+        (action, entropy)
+    }
+}
+
+fn argmax(values: &[f32]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use create_env::TaskId;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn tiny_preset() -> ControllerPreset {
+        ControllerPreset {
+            proxy_layers: 1,
+            proxy_hidden: 32,
+            proxy_mlp: 64,
+            proxy_heads: 4,
+            ..ControllerPreset::jarvis()
+        }
+    }
+
+    #[test]
+    fn logits_have_action_dimension() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = ControllerModel::new(&tiny_preset(), &mut rng);
+        let obs = Observation::empty();
+        assert_eq!(model.logits(&obs).len(), Action::COUNT);
+    }
+
+    #[test]
+    fn bc_training_clones_the_expert() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = ControllerModel::new(&tiny_preset(), &mut rng);
+        let samples = datasets::collect_bc(
+            &[TaskId::Log, TaskId::Seed],
+            3,
+            400,
+            0.05,
+            7,
+        );
+        assert!(samples.len() > 300, "dataset too small: {}", samples.len());
+        model.train(&samples, 12, 2e-3, &mut rng);
+        let agree = model.agreement(&samples);
+        assert!(agree > 0.85, "BC agreement too low: {agree}");
+    }
+
+    #[test]
+    fn deployed_controller_matches_float_logits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = ControllerModel::new(&tiny_preset(), &mut rng);
+        let samples = datasets::collect_bc(&[TaskId::Log], 2, 250, 0.05, 8);
+        model.train(&samples, 8, 2e-3, &mut rng);
+        let quant = model.deploy(&samples, Precision::Int8);
+        let mut accel = Accelerator::ideal(0);
+        let mut agree = 0usize;
+        for s in samples.iter().take(100) {
+            let lf = model.logits(&s.obs);
+            let lq = quant.logits(&mut accel, &s.obs, None);
+            if argmax(&lf) == argmax(&lq) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 90, "quantized argmax agreement {agree}/100");
+    }
+
+    #[test]
+    fn act_samples_valid_actions_and_entropy() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = ControllerModel::new(&tiny_preset(), &mut rng);
+        let samples = datasets::collect_bc(&[TaskId::Seed], 1, 50, 0.0, 9);
+        let quant = model.deploy(&samples, Precision::Int8);
+        let mut accel = Accelerator::ideal(0);
+        let (action, entropy) = quant.act(&mut accel, &samples[0].obs, 1.0, &mut rng);
+        assert!(Action::ALL.contains(&action));
+        assert!((0.0..=(Action::COUNT as f32).ln() + 1e-3).contains(&entropy));
+    }
+
+    #[test]
+    fn golden_deployed_run_never_trips_ad() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = ControllerModel::new(&tiny_preset(), &mut rng);
+        let samples = datasets::collect_bc(&[TaskId::Log], 2, 200, 0.05, 10);
+        model.train(&samples, 6, 2e-3, &mut rng);
+        let quant = model.deploy(&samples, Precision::Int8);
+        let mut accel = Accelerator::new(
+            create_accel::AccelConfig {
+                injector: None,
+                ad_enabled: true,
+                ..Default::default()
+            },
+            0,
+        );
+        for s in samples.iter().take(50) {
+            let _ = quant.logits(&mut accel, &s.obs, None);
+        }
+        assert_eq!(accel.ad_stats().cleared, 0, "AD fired on calibration data");
+    }
+}

@@ -1,0 +1,198 @@
+//! Minimal tensor serialization for caching trained models on disk.
+//!
+//! Training the planner, controller and predictor from scratch takes
+//! minutes; experiment harnesses cache the trained weights under
+//! `results/cache/` (override with `CREATE_CACHE_DIR`) so every bench
+//! target loads the same models. The format is deliberately trivial:
+//! `MAGIC, version, section count, then (name, shape, f32-LE data)*`.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"CREATEv1";
+
+/// One named tensor: a shape and its row-major data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedTensor {
+    /// Section name (e.g. `"block0.wq"`).
+    pub name: String,
+    /// Shape (any rank; product must equal `data.len()`).
+    pub shape: Vec<u32>,
+    /// Row-major values.
+    pub data: Vec<f32>,
+}
+
+impl NamedTensor {
+    /// Builds a tensor, validating the shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape product disagrees with the data length.
+    pub fn new(name: impl Into<String>, shape: Vec<u32>, data: Vec<f32>) -> Self {
+        let expect: usize = shape.iter().map(|&d| d as usize).product();
+        assert_eq!(expect, data.len(), "shape/data mismatch");
+        Self {
+            name: name.into(),
+            shape,
+            data,
+        }
+    }
+}
+
+/// The directory trained-model caches live in.
+pub fn cache_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CREATE_CACHE_DIR") {
+        return PathBuf::from(dir);
+    }
+    // crates/agents -> workspace root -> results/cache
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/cache")
+        .components()
+        .collect()
+}
+
+/// Writes tensors to `path` (creating parent directories).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_tensors(path: &Path, tensors: &[NamedTensor]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
+    for t in tensors {
+        let name = t.name.as_bytes();
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name);
+        buf.extend_from_slice(&(t.shape.len() as u32).to_le_bytes());
+        for &d in &t.shape {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        buf.extend_from_slice(&(t.data.len() as u32).to_le_bytes());
+        for &v in &t.data {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    fs::File::create(&tmp)?.write_all(&buf)?;
+    fs::rename(&tmp, path)
+}
+
+/// Reads tensors from `path`.
+///
+/// # Errors
+///
+/// Fails on filesystem errors or a malformed/corrupt file.
+pub fn load_tensors(path: &Path) -> io::Result<Vec<NamedTensor>> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let mut cursor = 0usize;
+    let take = |cursor: &mut usize, n: usize| -> io::Result<&[u8]> {
+        if *cursor + n > bytes.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated tensor file",
+            ));
+        }
+        let s = &bytes[*cursor..*cursor + n];
+        *cursor += n;
+        Ok(s)
+    };
+    let read_u32 = |cursor: &mut usize| -> io::Result<u32> {
+        let s = take(cursor, 4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    };
+    if take(&mut cursor, 8)? != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad magic in tensor file",
+        ));
+    }
+    let count = read_u32(&mut cursor)?;
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let name_len = read_u32(&mut cursor)? as usize;
+        let name = String::from_utf8(take(&mut cursor, name_len)?.to_vec())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let rank = read_u32(&mut cursor)? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u32(&mut cursor)?);
+        }
+        let len = read_u32(&mut cursor)? as usize;
+        let expect: usize = shape.iter().map(|&d| d as usize).product();
+        if expect != len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shape/data mismatch in section {name}"),
+            ));
+        }
+        let raw = take(&mut cursor, len * 4)?;
+        let data = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        out.push(NamedTensor { name, shape, data });
+    }
+    Ok(out)
+}
+
+/// Finds a tensor by name.
+pub fn find<'a>(tensors: &'a [NamedTensor], name: &str) -> Option<&'a NamedTensor> {
+    tensors.iter().find(|t| t.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("create-io-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_tensors() {
+        let tensors = vec![
+            NamedTensor::new("a", vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            NamedTensor::new("b.nested", vec![4], vec![-1.5, 0.0, 7.25, f32::MIN_POSITIVE]),
+        ];
+        let path = tmp_path("roundtrip.bin");
+        save_tensors(&path, &tensors).unwrap();
+        let loaded = load_tensors(&path).unwrap();
+        assert_eq!(loaded, tensors);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_list_roundtrips() {
+        let path = tmp_path("empty.bin");
+        save_tensors(&path, &[]).unwrap();
+        assert!(load_tensors(&path).unwrap().is_empty());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected() {
+        let path = tmp_path("corrupt.bin");
+        fs::write(&path, b"not a tensor file at all").unwrap();
+        assert!(load_tensors(&path).is_err());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn find_locates_sections() {
+        let tensors = vec![NamedTensor::new("x", vec![1], vec![9.0])];
+        assert!(find(&tensors, "x").is_some());
+        assert!(find(&tensors, "y").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn bad_shape_panics() {
+        let _ = NamedTensor::new("bad", vec![2, 2], vec![1.0]);
+    }
+}

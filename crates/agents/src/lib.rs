@@ -1,0 +1,18 @@
+//! Agents for the CREATE reproduction: the LLM planner, the RL controller
+//! and the entropy predictor, in trainable and deployed (quantized,
+//! accelerator-backed) forms.
+
+pub mod bundle;
+pub mod controller;
+pub mod datasets;
+pub mod io;
+pub mod planner;
+pub mod predictor;
+pub mod presets;
+pub mod vocab;
+
+pub use bundle::AgentSystem;
+pub use controller::{BcSample, ControllerModel, QuantController};
+pub use planner::{OutlierSpec, PlannerModel, QuantPlanner};
+pub use predictor::EntropyPredictor;
+pub use presets::{ControllerPreset, PlannerPreset, PredictorPreset};

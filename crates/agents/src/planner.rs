@@ -1,0 +1,728 @@
+//! The LLM-based planner: a decoder-only pre-RMSNorm transformer trained to
+//! map `task ++ completed-subtasks` to the remaining plan.
+//!
+//! Two properties of billion-parameter LLM planners are reproduced
+//! mechanistically at proxy scale:
+//!
+//! 1. **Systematic activation outliers.** Real LLMs develop fixed channels
+//!    with magnitudes far above the rest (paper Sec. 4.1, Fig. 5i). We
+//!    train with an auxiliary loss that pushes one designated residual
+//!    channel toward a large mean value — RMSNorm is scale-invariant, so
+//!    the objective coexists with the planning loss and yields genuine,
+//!    trained-in outliers whose interaction with normalization under bit
+//!    flips is exactly the paper's failure mechanism.
+//! 2. **Weight rotation (Sec. 5.2).** [`PlannerModel::rotate_residual`]
+//!    folds an orthogonal rotation of the residual stream into embeddings,
+//!    projections and the head; with a Hadamard rotation this *is*
+//!    weight-rotation-enhanced planning: the function is unchanged (tested
+//!    to fp tolerance) while outliers disperse and the profiled AD bounds
+//!    tighten.
+
+use crate::presets::PlannerPreset;
+use crate::vocab::{self, PlanSample, EOS, MAX_PLAN, MAX_SEQ, PAD, SEP, VOCAB};
+use create_accel::{Accelerator, Component, LayerCtx, Unit};
+use create_env::{Subtask, TaskId};
+use create_nn::activation::softmax_rows;
+use create_nn::block::{ActivationTap, PlannerBlock, PlannerBlockGrads, QuantPlannerBlock};
+use create_nn::calibrate::{Cal, PlannerBlockCal};
+use create_nn::linear::{Linear, QuantLinear};
+use create_nn::norm::{rmsnorm, rmsnorm_backward, rmsnorm_with_stats};
+use create_nn::optim::{AdamState, AdamWConfig};
+use create_tensor::hadamard::Rotation;
+use create_tensor::{Matrix, Precision};
+use rand::Rng;
+use rand::seq::SliceRandom;
+
+/// Quantization margin applied to profiled maxima (loose enough that clean
+/// data never trips anomaly detection, tight enough to keep bounds useful).
+pub const QUANT_MARGIN: f32 = 1.25;
+
+/// Auxiliary-loss specification for planting systematic outliers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutlierSpec {
+    /// Residual channel to enlarge.
+    pub channel: usize,
+    /// Target mean magnitude at the deepest block (shallower blocks scale
+    /// linearly toward it).
+    pub target: f32,
+    /// Loss weight.
+    pub weight: f32,
+}
+
+impl Default for OutlierSpec {
+    fn default() -> Self {
+        Self {
+            channel: 7,
+            target: 60.0,
+            weight: 1.0,
+        }
+    }
+}
+
+/// Trainable planner.
+#[derive(Debug, Clone)]
+pub struct PlannerModel {
+    /// Token embedding `(VOCAB, d)`.
+    pub embed: Matrix,
+    /// Learned positional embedding `(MAX_SEQ, d)`.
+    pub pos: Matrix,
+    /// Transformer blocks.
+    pub blocks: Vec<PlannerBlock>,
+    /// Output head `(d, VOCAB)`.
+    pub head: Linear,
+}
+
+/// AdamW state mirroring [`PlannerModel`]'s parameters.
+struct PlannerOpt {
+    embed: AdamState,
+    pos: AdamState,
+    head: AdamState,
+    blocks: Vec<[AdamState; 7]>,
+}
+
+impl PlannerOpt {
+    fn new(model: &PlannerModel) -> Self {
+        let st = |m: &Matrix| AdamState::new(m.len());
+        Self {
+            embed: st(&model.embed),
+            pos: st(&model.pos),
+            head: st(&model.head.w),
+            blocks: model
+                .blocks
+                .iter()
+                .map(|b| {
+                    [
+                        st(&b.attn.wq.w),
+                        st(&b.attn.wk.w),
+                        st(&b.attn.wv.w),
+                        st(&b.attn.wo.w),
+                        st(&b.mlp.wgate.w),
+                        st(&b.mlp.wup.w),
+                        st(&b.mlp.wdown.w),
+                    ]
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Accumulated gradients mirroring [`PlannerModel`]'s parameters.
+struct PlannerGrads {
+    embed: Matrix,
+    pos: Matrix,
+    head: Matrix,
+    blocks: Vec<PlannerBlockGrads>,
+}
+
+impl PlannerGrads {
+    fn zero(model: &PlannerModel) -> Self {
+        Self {
+            embed: Matrix::zeros(model.embed.rows(), model.embed.cols()),
+            pos: Matrix::zeros(model.pos.rows(), model.pos.cols()),
+            head: Matrix::zeros(model.head.w.rows(), model.head.w.cols()),
+            blocks: model.blocks.iter().map(|b| b.zero_grads()).collect(),
+        }
+    }
+}
+
+impl PlannerModel {
+    /// Randomly initialized planner for `preset`'s proxy architecture.
+    pub fn new(preset: &PlannerPreset, rng: &mut impl Rng) -> Self {
+        let d = preset.proxy_hidden;
+        Self {
+            embed: Matrix::random_uniform(VOCAB, d, 0.5, rng),
+            pos: Matrix::random_uniform(MAX_SEQ, d, 0.1, rng),
+            blocks: (0..preset.proxy_layers)
+                .map(|_| PlannerBlock::new(d, preset.proxy_mlp, preset.proxy_heads, rng))
+                .collect(),
+            head: Linear::new(d, VOCAB, false, rng),
+        }
+    }
+
+    /// Model width.
+    pub fn width(&self) -> usize {
+        self.embed.cols()
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        let block: usize = self
+            .blocks
+            .iter()
+            .map(|b| {
+                b.attn.wq.w.len()
+                    + b.attn.wk.w.len()
+                    + b.attn.wv.w.len()
+                    + b.attn.wo.w.len()
+                    + b.mlp.wgate.w.len()
+                    + b.mlp.wup.w.len()
+                    + b.mlp.wdown.w.len()
+            })
+            .sum();
+        self.embed.len() + self.pos.len() + self.head.w.len() + block
+    }
+
+    /// Embeds a token sequence (token + positional embeddings).
+    fn embed_tokens(&self, tokens: &[usize]) -> Matrix {
+        let d = self.width();
+        Matrix::from_fn(tokens.len(), d, |r, c| {
+            self.embed.get(tokens[r], c) + self.pos.get(r, c)
+        })
+    }
+
+    /// Full-sequence logits in f32.
+    pub fn forward(&self, tokens: &[usize]) -> Matrix {
+        let mut x = self.embed_tokens(tokens);
+        for block in &self.blocks {
+            let (z, _) = block.forward(&x);
+            x = z;
+        }
+        self.head.forward(&rmsnorm(&x))
+    }
+
+    /// One teacher-forcing sample: returns the CE loss and accumulates
+    /// gradients.
+    fn backprop_sample(
+        &self,
+        sample: &PlanSample,
+        outlier: Option<OutlierSpec>,
+        grads: &mut PlannerGrads,
+    ) -> f32 {
+        let tokens = &sample.tokens;
+        let t_len = tokens.len();
+        let mut x = self.embed_tokens(tokens);
+        let mut inputs = Vec::with_capacity(self.blocks.len());
+        let mut caches = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            inputs.push(x.clone());
+            let (z, cache) = block.forward(&x);
+            caches.push(cache);
+            x = z;
+        }
+        let (normed, norm_stats) = rmsnorm_with_stats(&x);
+        let logits = self.head.forward(&normed);
+        let probs = softmax_rows(&logits);
+
+        // CE on target positions: predict tokens[p+1] from position p.
+        let first = sample.sep_index;
+        let n_targets = (t_len - 1 - first) as f32;
+        let mut dlogits = Matrix::zeros(t_len, VOCAB);
+        let mut loss = 0.0;
+        for p in first..t_len - 1 {
+            let target = tokens[p + 1];
+            loss -= probs.get(p, target).max(1e-9).ln() / n_targets;
+            for vtok in 0..VOCAB {
+                let grad = (probs.get(p, vtok)
+                    - if vtok == target { 1.0 } else { 0.0 })
+                    / n_targets;
+                dlogits.set(p, vtok, grad);
+            }
+        }
+
+        // Backward: head -> final norm -> blocks (+ outlier aux) -> embed.
+        let mut head_grads = create_nn::linear::LinearGrads {
+            dw: Matrix::zeros(self.head.w.rows(), self.head.w.cols()),
+            db: None,
+        };
+        let dnormed = self.head.backward(&normed, &dlogits, &mut head_grads);
+        grads.head.add_assign(&head_grads.dw);
+        let mut dx = rmsnorm_backward(&normed, &norm_stats, &dnormed);
+        let mut aux_loss = 0.0;
+        for l in (0..self.blocks.len()).rev() {
+            dx = self.blocks[l].backward(&caches[l], &dx, &mut grads.blocks[l]);
+            // Outliers accumulate along the residual stream in real LLMs,
+            // so the auxiliary loss targets the inputs of deep blocks only
+            // (the embedding level stays outlier-free).
+            if let (Some(spec), true) = (outlier, l > 0) {
+                // Aux loss on the block *input*, per token row:
+                // mean_r (x[r,k] - target_l)² — every token is pushed to
+                // carry the outlier channel, which is what makes the
+                // outliers *systematic* (fixed channels, all tokens).
+                let target_l =
+                    spec.target * l as f32 / (self.blocks.len() - 1).max(1) as f32;
+                let x_l = &inputs[l];
+                let n = x_l.rows() as f32;
+                for r in 0..x_l.rows() {
+                    let v = x_l.get(r, spec.channel);
+                    aux_loss += spec.weight * (v - target_l) * (v - target_l) / n;
+                    let g = spec.weight * 2.0 * (v - target_l) / n;
+                    let cur = dx.get(r, spec.channel);
+                    dx.set(r, spec.channel, cur + g);
+                }
+            }
+        }
+        // Embedding/positional gradients.
+        for (r, &tok) in tokens.iter().enumerate() {
+            for c in 0..self.width() {
+                let g = dx.get(r, c);
+                grads.embed.set(tok, c, grads.embed.get(tok, c) + g);
+                grads.pos.set(r, c, grads.pos.get(r, c) + g);
+            }
+        }
+        loss + aux_loss
+    }
+
+    /// Trains with AdamW on `samples` for `epochs` epochs; returns the
+    /// final epoch's mean loss.
+    pub fn train(
+        &mut self,
+        samples: &[PlanSample],
+        epochs: usize,
+        lr: f32,
+        outlier: Option<OutlierSpec>,
+        rng: &mut impl Rng,
+    ) -> f32 {
+        let cfg = AdamWConfig {
+            lr,
+            weight_decay: 1e-4,
+            ..AdamWConfig::default()
+        };
+        let mut opt = PlannerOpt::new(self);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let batch = 16usize;
+        let mut step = 0u64;
+        let mut last_loss = f32::INFINITY;
+        for _epoch in 0..epochs {
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(batch) {
+                let mut grads = PlannerGrads::zero(self);
+                for &i in chunk {
+                    epoch_loss += self.backprop_sample(&samples[i], outlier, &mut grads);
+                }
+                let scale = 1.0 / chunk.len() as f32;
+                step += 1;
+                opt.embed
+                    .step_matrix(&mut self.embed, &grads.embed.scale(scale), &cfg, step);
+                opt.pos
+                    .step_matrix(&mut self.pos, &grads.pos.scale(scale), &cfg, step);
+                opt.head
+                    .step_matrix(&mut self.head.w, &grads.head.scale(scale), &cfg, step);
+                for (l, b) in self.blocks.iter_mut().enumerate() {
+                    let g = &grads.blocks[l];
+                    let s = &mut opt.blocks[l];
+                    s[0].step_matrix(&mut b.attn.wq.w, &g.attn.wq.dw.scale(scale), &cfg, step);
+                    s[1].step_matrix(&mut b.attn.wk.w, &g.attn.wk.dw.scale(scale), &cfg, step);
+                    s[2].step_matrix(&mut b.attn.wv.w, &g.attn.wv.dw.scale(scale), &cfg, step);
+                    s[3].step_matrix(&mut b.attn.wo.w, &g.attn.wo.dw.scale(scale), &cfg, step);
+                    s[4].step_matrix(&mut b.mlp.wgate.w, &g.mlp.wgate.dw.scale(scale), &cfg, step);
+                    s[5].step_matrix(&mut b.mlp.wup.w, &g.mlp.wup.dw.scale(scale), &cfg, step);
+                    s[6].step_matrix(&mut b.mlp.wdown.w, &g.mlp.wdown.dw.scale(scale), &cfg, step);
+                }
+            }
+            last_loss = epoch_loss / samples.len() as f32;
+        }
+        last_loss
+    }
+
+    /// Greedy-decodes a plan in f32 (training-time check).
+    pub fn decode_f32(&self, task: TaskId, completed: &[Subtask]) -> Vec<Subtask> {
+        let mut tokens = vocab::context_tokens(task, completed);
+        let mut plan = Vec::new();
+        for _ in 0..MAX_PLAN {
+            if tokens.len() >= MAX_SEQ {
+                break;
+            }
+            let logits = self.forward(&tokens);
+            let last = logits.row(logits.rows() - 1);
+            let tok = argmax(last);
+            if tok == EOS || tok == PAD || tok == SEP {
+                break;
+            }
+            tokens.push(tok);
+            if let Some(st) = vocab::token_to_subtask(tok) {
+                plan.push(st);
+            }
+        }
+        plan
+    }
+
+    /// Fraction of training samples whose full remaining plan is decoded
+    /// exactly (f32).
+    pub fn plan_accuracy(&self, samples: &[PlanSample]) -> f32 {
+        let mut correct = 0;
+        for s in samples {
+            let mut tokens = s.tokens[..=s.sep_index].to_vec();
+            let expect = &s.tokens[s.sep_index + 1..];
+            let mut ok = true;
+            for &want in expect {
+                let logits = self.forward(&tokens);
+                let got = argmax(logits.row(logits.rows() - 1));
+                if got != want {
+                    ok = false;
+                    break;
+                }
+                if got == EOS {
+                    break;
+                }
+                tokens.push(got);
+            }
+            if ok {
+                correct += 1;
+            }
+        }
+        correct as f32 / samples.len().max(1) as f32
+    }
+
+    /// Folds an orthogonal rotation of the residual stream into all
+    /// weights; the network function is unchanged.
+    pub fn rotate_residual(&mut self, rot: &Rotation) {
+        assert_eq!(rot.dim(), self.width(), "rotation width mismatch");
+        self.embed = rot.apply_right(&self.embed);
+        self.pos = rot.apply_right(&self.pos);
+        for b in &mut self.blocks {
+            b.attn.wq.w = rot.fold_into_input(&b.attn.wq.w);
+            b.attn.wk.w = rot.fold_into_input(&b.attn.wk.w);
+            b.attn.wv.w = rot.fold_into_input(&b.attn.wv.w);
+            b.attn.wo.w = rot.fold_into_output(&b.attn.wo.w);
+            b.mlp.wgate.w = rot.fold_into_input(&b.mlp.wgate.w);
+            b.mlp.wup.w = rot.fold_into_input(&b.mlp.wup.w);
+            b.mlp.wdown.w = rot.fold_into_output(&b.mlp.wdown.w);
+        }
+        self.head.w = rot.fold_into_input(&self.head.w);
+    }
+
+    /// Measures the residual-stream outlier ratio: the mean over tokens of
+    /// `max|activation| / rms(activation)` within each token vector, across
+    /// all block inputs on `samples`.
+    ///
+    /// Channel outliers live *within* token vectors (fixed channels carry
+    /// magnitudes far above the rest), so the per-row peak-to-RMS ratio is
+    /// the right spikiness measure: a Gaussian row sits near
+    /// `sqrt(2 ln d)`, a single-channel spike approaches `sqrt(d)`, and a
+    /// Hadamard rotation provably flattens spikes back toward the Gaussian
+    /// level while preserving row norms.
+    pub fn outlier_ratio(&self, samples: &[PlanSample]) -> f32 {
+        let mut ratio_sum = 0.0f64;
+        let mut rows = 0u64;
+        let mut record = |x: &Matrix| {
+            for r in 0..x.rows() {
+                let row = x.row(r);
+                let ms: f32 =
+                    row.iter().map(|v| v * v).sum::<f32>() / x.cols() as f32;
+                let peak = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                if ms > 1e-12 {
+                    ratio_sum += (peak / ms.sqrt()) as f64;
+                    rows += 1;
+                }
+            }
+        };
+        for s in samples {
+            let mut x = self.embed_tokens(&s.tokens);
+            for (l, block) in self.blocks.iter().enumerate() {
+                // Skip the embedding-level input: LLM outliers accumulate
+                // along the residual stream, so the paper's pre-norm sites
+                // are the deeper block inputs and the final-norm input.
+                if l > 0 {
+                    record(&x);
+                }
+                let (z, _) = block.forward(&x);
+                x = z;
+            }
+            record(&x);
+        }
+        if rows == 0 {
+            return 0.0;
+        }
+        (ratio_sum / rows as f64) as f32
+    }
+
+    /// Calibrates on `samples` and quantizes for deployment.
+    pub fn deploy(&self, samples: &[PlanSample], precision: Precision) -> QuantPlanner {
+        let mut block_cals = vec![PlannerBlockCal::default(); self.blocks.len()];
+        let mut head_cal = Cal::default();
+        for s in samples {
+            let mut x = self.embed_tokens(&s.tokens);
+            for (l, block) in self.blocks.iter().enumerate() {
+                x = block.forward_calibrate(&x, &mut block_cals[l]);
+            }
+            let normed = rmsnorm(&x);
+            let logits = self.head.forward(&normed);
+            head_cal.update(normed.max_abs(), logits.max_abs());
+        }
+        QuantPlanner {
+            embed: self.embed.clone(),
+            pos: self.pos.clone(),
+            blocks: self
+                .blocks
+                .iter()
+                .zip(&block_cals)
+                .map(|(b, cal)| QuantPlannerBlock::from_block_cal(b, cal, QUANT_MARGIN, precision))
+                .collect(),
+            head: QuantLinear::from_calibrated(
+                &self.head,
+                head_cal.input,
+                head_cal.output,
+                QUANT_MARGIN,
+                precision,
+            ),
+        }
+    }
+}
+
+/// Deployed, quantized planner executing on the accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantPlanner {
+    embed: Matrix,
+    pos: Matrix,
+    blocks: Vec<QuantPlannerBlock>,
+    head: QuantLinear,
+}
+
+impl QuantPlanner {
+    /// Number of transformer blocks.
+    pub fn depth(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Visits every stored INT8 weight matrix in deployment order.
+    ///
+    /// Hook for the memory-resilience extension (see
+    /// [`QuantController::visit_weights_mut`](crate::controller::QuantController::visit_weights_mut)).
+    pub fn visit_weights_mut(&mut self, mut f: impl FnMut(&mut create_tensor::QuantMatrix)) {
+        for b in &mut self.blocks {
+            f(b.attn.wq.weight_mut());
+            f(b.attn.wk.weight_mut());
+            f(b.attn.wv.weight_mut());
+            f(b.attn.wo.weight_mut());
+            f(b.wgate.weight_mut());
+            f(b.wup.weight_mut());
+            f(b.wdown.weight_mut());
+        }
+        f(self.head.weight_mut());
+    }
+
+    fn embed_tokens(&self, tokens: &[usize]) -> Matrix {
+        let d = self.embed.cols();
+        Matrix::from_fn(tokens.len(), d, |r, c| {
+            self.embed.get(tokens[r], c) + self.pos.get(r, c)
+        })
+    }
+
+    /// Runs the stack and returns the last position's logits; optionally
+    /// taps pre-norm residual activations (Fig. 5 i–l).
+    pub fn last_logits(
+        &self,
+        accel: &mut Accelerator,
+        tokens: &[usize],
+        mut tap: Option<&mut ActivationTap>,
+    ) -> Vec<f32> {
+        let mut x = self.embed_tokens(tokens);
+        for (l, block) in self.blocks.iter().enumerate() {
+            x = block.forward(accel, &x, l, tap.as_deref_mut());
+        }
+        let normed = rmsnorm(&x);
+        let last = normed.rows_range(normed.rows() - 1, normed.rows());
+        let logits = self.head.forward(
+            accel,
+            &last,
+            LayerCtx::new(Unit::Planner, Component::Head, self.blocks.len()),
+        );
+        logits.row(0).to_vec()
+    }
+
+    /// Greedy-decodes a plan on the accelerator.
+    ///
+    /// Non-subtask tokens are skipped; decoding stops at `EOS`/`SEP`/`PAD`,
+    /// when the sequence fills, or after [`MAX_PLAN`] tokens. An empty
+    /// decode yields `[Idle]` (the agent burns a subtask window, mirroring
+    /// a nonsense plan from a corrupted LLM).
+    pub fn decode(
+        &self,
+        accel: &mut Accelerator,
+        task: TaskId,
+        completed: &[Subtask],
+    ) -> Vec<Subtask> {
+        let mut tokens = vocab::context_tokens(task, completed);
+        let mut plan = Vec::new();
+        for _ in 0..MAX_PLAN {
+            if tokens.len() >= MAX_SEQ {
+                break;
+            }
+            let logits = self.last_logits(accel, &tokens, None);
+            let tok = argmax(&logits);
+            if tok == EOS || tok == PAD || tok == SEP {
+                break;
+            }
+            tokens.push(tok);
+            if let Some(st) = vocab::token_to_subtask(tok) {
+                plan.push(st);
+            }
+        }
+        if plan.is_empty() {
+            plan.push(Subtask::Idle);
+        }
+        plan
+    }
+
+    /// The AD output bound profiled for a component at block `layer`
+    /// (used to demonstrate WR tightening the bounds).
+    pub fn ad_bound(&self, layer: usize, component: Component) -> f32 {
+        let b = &self.blocks[layer];
+        match component {
+            Component::Q => b.attn.wq.out_bound(),
+            Component::K => b.attn.wk.out_bound(),
+            Component::V => b.attn.wv.out_bound(),
+            Component::O => b.attn.wo.out_bound(),
+            Component::Gate => b.wgate.out_bound(),
+            Component::Up => b.wup.out_bound(),
+            Component::Down => b.wdown.out_bound(),
+            _ => self.head.out_bound(),
+        }
+    }
+}
+
+fn argmax(values: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    /// A small planner + few-task sample set that trains in seconds.
+    fn tiny_setup() -> (PlannerModel, Vec<PlanSample>) {
+        let preset = PlannerPreset {
+            proxy_layers: 2,
+            proxy_hidden: 32,
+            proxy_mlp: 64,
+            proxy_heads: 4,
+            ..PlannerPreset::jarvis()
+        };
+        let mut rng = StdRng::seed_from_u64(42);
+        let model = PlannerModel::new(&preset, &mut rng);
+        let samples: Vec<PlanSample> = vocab::training_samples()
+            .into_iter()
+            .filter(|s| s.tokens[0] == vocab::task_token(TaskId::Wooden)
+                || s.tokens[0] == vocab::task_token(TaskId::Log)
+                || s.tokens[0] == vocab::task_token(TaskId::Button))
+            .collect();
+        (model, samples)
+    }
+
+    #[test]
+    fn training_memorizes_small_plan_set() {
+        let (mut model, samples) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let loss = model.train(&samples, 220, 3e-3, None, &mut rng);
+        assert!(loss < 0.1, "training did not converge: loss {loss}");
+        let acc = model.plan_accuracy(&samples);
+        assert!(acc > 0.99, "plan accuracy {acc}");
+        assert_eq!(
+            model.decode_f32(TaskId::Wooden, &[]),
+            TaskId::Wooden.reference_plan()
+        );
+    }
+
+    #[test]
+    fn outlier_training_plants_outliers_and_rotation_removes_them() {
+        let (mut model, samples) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = OutlierSpec {
+            channel: 3,
+            target: 60.0,
+            weight: 1.0,
+        };
+        model.train(&samples, 260, 3e-3, Some(spec), &mut rng);
+        assert!(model.plan_accuracy(&samples) > 0.99, "accuracy lost to aux loss");
+        let ratio_before = model.outlier_ratio(&samples);
+        assert!(
+            ratio_before > 3.2,
+            "outliers should be planted, ratio {ratio_before}"
+        );
+        let mut rotated = model.clone();
+        rotated.rotate_residual(&Rotation::hadamard(32));
+        // Function preserved...
+        assert_eq!(
+            rotated.decode_f32(TaskId::Wooden, &[]),
+            model.decode_f32(TaskId::Wooden, &[])
+        );
+        // ...outliers dispersed...
+        let ratio_after = rotated.outlier_ratio(&samples);
+        assert!(
+            ratio_after < 0.85 * ratio_before,
+            "rotation should flatten outliers: {ratio_before} -> {ratio_after}"
+        );
+        // ...and the profiled AD bound on the vulnerable pre-norm
+        // components tightens (the AD+WR synergy of Sec. 6.6).
+        let q_plain = model.deploy(&samples, Precision::Int8);
+        let q_rot = rotated.deploy(&samples, Precision::Int8);
+        let sum_bounds = |q: &QuantPlanner| -> f32 {
+            (0..2)
+                .map(|l| q.ad_bound(l, Component::Down) + q.ad_bound(l, Component::O))
+                .sum()
+        };
+        let bound_plain = sum_bounds(&q_plain);
+        let bound_rot = sum_bounds(&q_rot);
+        assert!(
+            bound_rot < 0.7 * bound_plain,
+            "WR should tighten AD bounds: {bound_plain} -> {bound_rot}"
+        );
+    }
+
+    #[test]
+    fn rotation_preserves_logits_numerically() {
+        let (model, samples) = tiny_setup();
+        let mut rotated = model.clone();
+        rotated.rotate_residual(&Rotation::hadamard(32));
+        let tokens = &samples[0].tokens;
+        let a = model.forward(tokens);
+        let b = rotated.forward(tokens);
+        let scale = a.max_abs().max(1.0);
+        assert!(a.max_abs_diff(&b) / scale < 1e-2, "logit drift after rotation");
+    }
+
+    #[test]
+    fn deployed_planner_matches_f32_decode() {
+        let (mut model, samples) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        model.train(&samples, 220, 3e-3, None, &mut rng);
+        let quant = model.deploy(&samples, Precision::Int8);
+        let mut accel = Accelerator::ideal(0);
+        let plan = quant.decode(&mut accel, TaskId::Wooden, &[]);
+        assert_eq!(plan, TaskId::Wooden.reference_plan());
+        // Replanning path: decode the remainder after one completed step.
+        let done = &TaskId::Wooden.reference_plan()[..1];
+        let rest = quant.decode(&mut accel, TaskId::Wooden, done);
+        assert_eq!(rest, TaskId::Wooden.reference_plan()[1..].to_vec());
+    }
+
+    #[test]
+    fn deployed_planner_respects_ad_bounds_on_clean_data() {
+        let (mut model, samples) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        model.train(&samples, 120, 3e-3, None, &mut rng);
+        let quant = model.deploy(&samples, Precision::Int8);
+        let mut accel = Accelerator::new(
+            create_accel::AccelConfig {
+                injector: None,
+                ad_enabled: true,
+                ..Default::default()
+            },
+            0,
+        );
+        let _ = quant.decode(&mut accel, TaskId::Log, &[]);
+        assert_eq!(accel.ad_stats().cleared, 0, "AD fired on a golden run");
+    }
+
+    #[test]
+    fn empty_or_garbage_decode_yields_idle() {
+        // An untrained planner decodes garbage; the plan must never be
+        // empty so the mission runner always has a subtask to burn.
+        let (model, samples) = tiny_setup();
+        let quant = model.deploy(&samples, Precision::Int8);
+        let mut accel = Accelerator::ideal(0);
+        let plan = quant.decode(&mut accel, TaskId::Wooden, &[]);
+        assert!(!plan.is_empty());
+    }
+}

@@ -1,0 +1,486 @@
+//! The entropy predictor (paper Sec. 5.3, Fig. 11a, Table 9).
+//!
+//! A small CNN processes the observed image, an MLP processes the subtask
+//! prompt embedding, and a fusion MLP outputs a scalar estimate of the
+//! controller's *error-free* action-logits entropy — computed *before* the
+//! controller runs, at nominal voltage, so voltage scaling can be set for
+//! the step ahead without being distorted by prior errors.
+//!
+//! Architecture (matching Table 9): three `Conv2d(k3, s3, p1)` stages with
+//! ReLU and pooling (16→32→64 channels, 64×64 input → 1×1×64), a
+//! `Linear(512→64)` prompt branch over a fixed random 512-d prompt
+//! embedding per subtask, and a `128→128→1` fusion MLP with ReLU and
+//! dropout. Trained with MSE and AdamW (weight decay 1e-2).
+
+use crate::datasets::EntropySample;
+use create_nn::conv::{
+    Conv2d, Conv2dGrads, Tensor3, global_avgpool, global_avgpool_backward, maxpool2,
+    maxpool2_backward,
+};
+use create_nn::linear::{Linear, LinearGrads};
+use create_nn::optim::{AdamState, AdamWConfig};
+use create_tensor::Matrix;
+use create_tensor::stats::r2_score;
+use rand::Rng;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Prompt embedding width (Table 9: Linear in=512).
+pub const PROMPT_DIM: usize = 512;
+
+/// Fused feature width.
+const FUSED: usize = 128;
+
+/// Dropout probability during training.
+const DROPOUT: f32 = 0.1;
+
+/// The trainable entropy predictor.
+#[derive(Debug, Clone)]
+pub struct EntropyPredictor {
+    conv1: Conv2d,
+    conv2: Conv2d,
+    conv3: Conv2d,
+    prompt_table: Matrix,
+    prompt_proj: Linear,
+    fuse1: Linear,
+    fuse2: Linear,
+}
+
+/// Gradients for one training step.
+struct PredictorGrads {
+    conv1: Conv2dGrads,
+    conv2: Conv2dGrads,
+    conv3: Conv2dGrads,
+    prompt_proj: LinearGrads,
+    fuse1: LinearGrads,
+    fuse2: LinearGrads,
+}
+
+/// Optimizer state.
+struct PredictorOpt {
+    conv1_w: AdamState,
+    conv1_b: AdamState,
+    conv2_w: AdamState,
+    conv2_b: AdamState,
+    conv3_w: AdamState,
+    conv3_b: AdamState,
+    prompt: AdamState,
+    prompt_b: AdamState,
+    fuse1: AdamState,
+    fuse1_b: AdamState,
+    fuse2: AdamState,
+    fuse2_b: AdamState,
+}
+
+impl EntropyPredictor {
+    /// Randomly initialized predictor; the per-subtask 512-d prompt table
+    /// is fixed (not trained), mirroring frozen prompt embeddings.
+    pub fn new(n_subtasks: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            conv1: Conv2d::new(3, 16, 3, 3, 1, rng),
+            conv2: Conv2d::new(16, 32, 3, 3, 1, rng),
+            conv3: Conv2d::new(32, 64, 3, 3, 1, rng),
+            prompt_table: Matrix::random_uniform(n_subtasks, PROMPT_DIM, 1.0, rng),
+            prompt_proj: Linear::new(PROMPT_DIM, 64, true, rng),
+            fuse1: Linear::new(FUSED, FUSED, true, rng),
+            fuse2: Linear::new(FUSED, 1, true, rng),
+        }
+    }
+
+    /// Total trainable parameters (should be ~paper scale, Table 4: 55 k).
+    pub fn param_count(&self) -> usize {
+        self.conv1.weight.len()
+            + self.conv1.bias.len()
+            + self.conv2.weight.len()
+            + self.conv2.bias.len()
+            + self.conv3.weight.len()
+            + self.conv3.bias.len()
+            + self.prompt_proj.w.len()
+            + 64
+            + self.fuse1.w.len()
+            + FUSED
+            + self.fuse2.w.len()
+            + 1
+    }
+
+    /// Predicts the entropy for an image + subtask prompt.
+    pub fn predict(&self, image: &Tensor3, subtask_token: usize) -> f32 {
+        self.forward(image, subtask_token, None, &mut StdRng::seed_from_u64(0)).0
+    }
+
+    /// Forward pass; with `dropout_mask` Some, dropout is sampled into it.
+    fn forward(
+        &self,
+        image: &Tensor3,
+        subtask_token: usize,
+        mut dropout_mask: Option<&mut Vec<f32>>,
+        rng: &mut impl Rng,
+    ) -> (f32, PredictorCache) {
+        let pre1 = self.conv1.forward(image);
+        let act1 = pre1.relu();
+        let (pool1, arg1) = maxpool2(&act1);
+        let pre2 = self.conv2.forward(&pool1);
+        let act2 = pre2.relu();
+        let (pool2, arg2) = maxpool2(&act2);
+        let pre3 = self.conv3.forward(&pool2);
+        let act3 = pre3.relu();
+        let img_feat = global_avgpool(&act3);
+
+        let tok = subtask_token.min(self.prompt_table.rows() - 1);
+        let prompt = Matrix::from_vec(1, PROMPT_DIM, self.prompt_table.row(tok).to_vec());
+        let prompt_feat = self.prompt_proj.forward(&prompt);
+
+        let mut fused = Matrix::zeros(1, FUSED);
+        for c in 0..64 {
+            fused.set(0, c, img_feat[c]);
+            fused.set(0, 64 + c, prompt_feat.get(0, c));
+        }
+        let pre_f1 = self.fuse1.forward(&fused);
+        let mut act_f1 = Matrix::from_fn(1, FUSED, |_, c| pre_f1.get(0, c).max(0.0));
+        if let Some(mask) = dropout_mask.as_deref_mut() {
+            mask.clear();
+            for c in 0..FUSED {
+                let keep = if rng.random_range(0.0..1.0f32) < DROPOUT {
+                    0.0
+                } else {
+                    1.0 / (1.0 - DROPOUT)
+                };
+                mask.push(keep);
+                act_f1.set(0, c, act_f1.get(0, c) * keep);
+            }
+        }
+        let out = self.fuse2.forward(&act_f1);
+        let cache = PredictorCache {
+            image: image.clone(),
+            pre1,
+            act1_shape: (16, 22, 22),
+            arg1,
+            pool1,
+            pre2,
+            act2_shape: (32, 4, 4),
+            arg2,
+            pool2,
+            pre3,
+            act3,
+            prompt,
+            fused,
+            pre_f1,
+            act_f1,
+        };
+        (out.get(0, 0), cache)
+    }
+
+    /// Backward for one sample; `dout` is d(loss)/d(prediction).
+    fn backward(&self, cache: &PredictorCache, dout: f32, grads: &mut PredictorGrads) {
+        let dlogit = Matrix::from_vec(1, 1, vec![dout]);
+        let dact_f1 = self.fuse2.backward(&cache.act_f1, &dlogit, &mut grads.fuse2);
+        // ReLU (+ dropout folded into act_f1 already: mask applied in the
+        // cached activation, so gradient flows through nonzero entries).
+        let dpre_f1 = Matrix::from_fn(1, FUSED, |_, c| {
+            if cache.act_f1.get(0, c) != 0.0 {
+                dact_f1.get(0, c) * (cache.act_f1.get(0, c) / cache.pre_f1.get(0, c).max(1e-12))
+            } else {
+                0.0
+            }
+        });
+        let dfused = self.fuse1.backward(&cache.fused, &dpre_f1, &mut grads.fuse1);
+        // Split fused gradient.
+        let mut dimg = vec![0.0f32; 64];
+        let mut dprompt_feat = Matrix::zeros(1, 64);
+        for c in 0..64 {
+            dimg[c] = dfused.get(0, c);
+            dprompt_feat.set(0, c, dfused.get(0, 64 + c));
+        }
+        self.prompt_proj
+            .backward(&cache.prompt, &dprompt_feat, &mut grads.prompt_proj);
+        // Image branch.
+        let dact3 = global_avgpool_backward((cache.act3.c, cache.act3.h, cache.act3.w), &dimg);
+        let dpre3 = cache.pre3.relu_backward(&dact3);
+        let dpool2 = self.conv3.backward(&cache.pool2, &dpre3, &mut grads.conv3);
+        let dact2 = maxpool2_backward(cache.act2_shape, &cache.arg2, &dpool2);
+        let dpre2 = cache.pre2.relu_backward(&dact2);
+        let dpool1 = self.conv2.backward(&cache.pool1, &dpre2, &mut grads.conv2);
+        let dact1 = maxpool2_backward(cache.act1_shape, &cache.arg1, &dpool1);
+        let dpre1 = cache.pre1.relu_backward(&dact1);
+        let _ = self.conv1.backward(&cache.image, &dpre1, &mut grads.conv1);
+    }
+
+    /// Trains with MSE + AdamW; returns the final epoch's mean MSE.
+    pub fn train(
+        &mut self,
+        samples: &[EntropySample],
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+    ) -> f32 {
+        let cfg = AdamWConfig {
+            lr,
+            weight_decay: 1e-2,
+            ..AdamWConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut opt = PredictorOpt {
+            conv1_w: AdamState::new(self.conv1.weight.len()),
+            conv1_b: AdamState::new(self.conv1.bias.len()),
+            conv2_w: AdamState::new(self.conv2.weight.len()),
+            conv2_b: AdamState::new(self.conv2.bias.len()),
+            conv3_w: AdamState::new(self.conv3.weight.len()),
+            conv3_b: AdamState::new(self.conv3.bias.len()),
+            prompt: AdamState::new(self.prompt_proj.w.len()),
+            prompt_b: AdamState::new(64),
+            fuse1: AdamState::new(self.fuse1.w.len()),
+            fuse1_b: AdamState::new(FUSED),
+            fuse2: AdamState::new(self.fuse2.w.len()),
+            fuse2_b: AdamState::new(1),
+        };
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let batch = 32usize;
+        let mut step = 0u64;
+        let mut last = f32::INFINITY;
+        let mut mask = Vec::new();
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(batch) {
+                let mut grads = PredictorGrads {
+                    conv1: self.conv1.zero_grads(),
+                    conv2: self.conv2.zero_grads(),
+                    conv3: self.conv3.zero_grads(),
+                    prompt_proj: self.prompt_proj.zero_grads(),
+                    fuse1: self.fuse1.zero_grads(),
+                    fuse2: self.fuse2.zero_grads(),
+                };
+                for &i in chunk {
+                    let s = &samples[i];
+                    let (pred, cache) =
+                        self.forward(&s.image, s.subtask_token, Some(&mut mask), &mut rng);
+                    let err = pred - s.entropy;
+                    epoch_loss += err * err;
+                    self.backward(&cache, 2.0 * err / chunk.len() as f32, &mut grads);
+                }
+                step += 1;
+                opt.conv1_w.step(&mut self.conv1.weight, &grads.conv1.dw, &cfg, step);
+                opt.conv1_b.step(&mut self.conv1.bias, &grads.conv1.db, &cfg, step);
+                opt.conv2_w.step(&mut self.conv2.weight, &grads.conv2.dw, &cfg, step);
+                opt.conv2_b.step(&mut self.conv2.bias, &grads.conv2.db, &cfg, step);
+                opt.conv3_w.step(&mut self.conv3.weight, &grads.conv3.dw, &cfg, step);
+                opt.conv3_b.step(&mut self.conv3.bias, &grads.conv3.db, &cfg, step);
+                opt.prompt
+                    .step_matrix(&mut self.prompt_proj.w, &grads.prompt_proj.dw, &cfg, step);
+                if let (Some(b), Some(g)) =
+                    (self.prompt_proj.b.as_mut(), grads.prompt_proj.db.as_ref())
+                {
+                    opt.prompt_b.step(b, g, &cfg, step);
+                }
+                opt.fuse1.step_matrix(&mut self.fuse1.w, &grads.fuse1.dw, &cfg, step);
+                if let (Some(b), Some(g)) = (self.fuse1.b.as_mut(), grads.fuse1.db.as_ref()) {
+                    opt.fuse1_b.step(b, g, &cfg, step);
+                }
+                opt.fuse2.step_matrix(&mut self.fuse2.w, &grads.fuse2.dw, &cfg, step);
+                if let (Some(b), Some(g)) = (self.fuse2.b.as_mut(), grads.fuse2.db.as_ref()) {
+                    opt.fuse2_b.step(b, g, &cfg, step);
+                }
+            }
+            last = epoch_loss / samples.len() as f32;
+        }
+        last
+    }
+
+    /// Serializes all weights (for the disk cache).
+    pub fn export_tensors(&self) -> Vec<crate::io::NamedTensor> {
+        use crate::io::NamedTensor;
+        let conv = |name: &str, c: &Conv2d, out: &mut Vec<NamedTensor>| {
+            out.push(NamedTensor::new(
+                format!("{name}.w"),
+                vec![c.weight.len() as u32],
+                c.weight.clone(),
+            ));
+            out.push(NamedTensor::new(
+                format!("{name}.b"),
+                vec![c.bias.len() as u32],
+                c.bias.clone(),
+            ));
+        };
+        let lin = |name: &str, l: &Linear, out: &mut Vec<NamedTensor>| {
+            out.push(NamedTensor::new(
+                format!("{name}.w"),
+                vec![l.w.rows() as u32, l.w.cols() as u32],
+                l.w.as_slice().to_vec(),
+            ));
+            if let Some(b) = &l.b {
+                out.push(NamedTensor::new(
+                    format!("{name}.b"),
+                    vec![b.len() as u32],
+                    b.clone(),
+                ));
+            }
+        };
+        let mut out = Vec::new();
+        conv("conv1", &self.conv1, &mut out);
+        conv("conv2", &self.conv2, &mut out);
+        conv("conv3", &self.conv3, &mut out);
+        out.push(crate::io::NamedTensor::new(
+            "prompt_table",
+            vec![
+                self.prompt_table.rows() as u32,
+                self.prompt_table.cols() as u32,
+            ],
+            self.prompt_table.as_slice().to_vec(),
+        ));
+        lin("prompt_proj", &self.prompt_proj, &mut out);
+        lin("fuse1", &self.fuse1, &mut out);
+        lin("fuse2", &self.fuse2, &mut out);
+        out
+    }
+
+    /// Restores a predictor from serialized weights.
+    pub fn import_tensors(tensors: &[crate::io::NamedTensor]) -> Option<Self> {
+        use crate::io;
+        let table = io::find(tensors, "prompt_table")?;
+        if table.shape.len() != 2 {
+            return None;
+        }
+        let n_subtasks = table.shape[0] as usize;
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = Self::new(n_subtasks, &mut rng);
+        let conv = |name: &str, c: &mut Conv2d| -> Option<()> {
+            let w = io::find(tensors, &format!("{name}.w"))?;
+            let b = io::find(tensors, &format!("{name}.b"))?;
+            if w.data.len() != c.weight.len() || b.data.len() != c.bias.len() {
+                return None;
+            }
+            c.weight = w.data.clone();
+            c.bias = b.data.clone();
+            Some(())
+        };
+        let lin = |name: &str, l: &mut Linear| -> Option<()> {
+            let w = io::find(tensors, &format!("{name}.w"))?;
+            if w.shape.len() != 2 {
+                return None;
+            }
+            l.w = Matrix::from_vec(w.shape[0] as usize, w.shape[1] as usize, w.data.clone());
+            if l.b.is_some() {
+                l.b = Some(io::find(tensors, &format!("{name}.b"))?.data.clone());
+            }
+            Some(())
+        };
+        conv("conv1", &mut model.conv1)?;
+        conv("conv2", &mut model.conv2)?;
+        conv("conv3", &mut model.conv3)?;
+        model.prompt_table = Matrix::from_vec(
+            table.shape[0] as usize,
+            table.shape[1] as usize,
+            table.data.clone(),
+        );
+        lin("prompt_proj", &mut model.prompt_proj)?;
+        lin("fuse1", &mut model.fuse1)?;
+        lin("fuse2", &mut model.fuse2)?;
+        Some(model)
+    }
+
+    /// R² of predictions against golden entropies (paper Fig. 14a).
+    pub fn r2(&self, samples: &[EntropySample]) -> f32 {
+        let actual: Vec<f32> = samples.iter().map(|s| s.entropy).collect();
+        let predicted: Vec<f32> = samples
+            .iter()
+            .map(|s| self.predict(&s.image, s.subtask_token))
+            .collect();
+        r2_score(&actual, &predicted)
+    }
+}
+
+/// Cached forward state.
+struct PredictorCache {
+    image: Tensor3,
+    pre1: Tensor3,
+    act1_shape: (usize, usize, usize),
+    arg1: Vec<usize>,
+    pool1: Tensor3,
+    pre2: Tensor3,
+    act2_shape: (usize, usize, usize),
+    arg2: Vec<usize>,
+    pool2: Tensor3,
+    pre3: Tensor3,
+    act3: Tensor3,
+    prompt: Matrix,
+    fused: Matrix,
+    pre_f1: Matrix,
+    act_f1: Matrix,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic dataset: entropy is a simple function of the image's mean
+    /// red channel and the subtask token, so a working trainer must fit it.
+    fn synthetic_samples(n: usize, seed: u64) -> Vec<EntropySample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let level: f32 = rng.random_range(0.0..1.0);
+                let tok = rng.random_range(0..4usize);
+                let mut img = Tensor3::zeros(3, 64, 64);
+                for r in 0..64 {
+                    for c in 0..64 {
+                        img.set(0, r, c, level);
+                        img.set(1, r, c, 1.0 - level);
+                    }
+                }
+                EntropySample {
+                    image: img,
+                    subtask_token: tok,
+                    entropy: 0.4 + level + 0.2 * tok as f32,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parameter_count_is_paper_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = EntropyPredictor::new(40, &mut rng);
+        let n = p.param_count();
+        // Table 4 reports 55k; ours should be the same order of magnitude.
+        assert!(
+            (30_000..120_000).contains(&n),
+            "predictor params {n} not at paper scale"
+        );
+    }
+
+    #[test]
+    fn training_fits_a_synthetic_function() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = EntropyPredictor::new(8, &mut rng);
+        let train = synthetic_samples(220, 3);
+        let test = synthetic_samples(60, 4);
+        let before = p.r2(&test);
+        let mse = p.train(&train, 24, 1.5e-3, 5);
+        let after = p.r2(&test);
+        assert!(mse < 0.06, "training MSE too high: {mse}");
+        assert!(
+            after > 0.8 && after > before,
+            "R² should be high after training: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = EntropyPredictor::new(8, &mut rng);
+        let s = &synthetic_samples(1, 7)[0];
+        let a = p.predict(&s.image, s.subtask_token);
+        let b = p.predict(&s.image, s.subtask_token);
+        assert_eq!(a, b, "inference must not be stochastic");
+    }
+
+    #[test]
+    fn out_of_range_subtask_token_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = EntropyPredictor::new(4, &mut rng);
+        let s = &synthetic_samples(1, 9)[0];
+        // Token beyond the table must not panic.
+        let _ = p.predict(&s.image, 1000);
+    }
+}

@@ -1,0 +1,294 @@
+//! Model presets: the paper's reference architectures (Tables 4 and 7–9)
+//! and the proxy architectures this reproduction trains and deploys.
+//!
+//! Energy and latency are book-kept at *reference* scale (the proxy
+//! executes the math; joules follow Table 4), and the error injector's
+//! scale model bridges the proxy/reference size gap (see DESIGN.md).
+
+use create_accel::InferenceCost;
+use create_accel::cycles::ArrayConfig;
+
+/// A planner platform (paper Table 7 + Table 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerPreset {
+    /// Platform name.
+    pub name: &'static str,
+    /// Reference layer count.
+    pub ref_layers: usize,
+    /// Reference hidden dim.
+    pub ref_hidden: usize,
+    /// Reference MLP dim.
+    pub ref_mlp: usize,
+    /// Reference parameter count (millions).
+    pub ref_params_m: f64,
+    /// Reference GOps per inference (INT8, Table 4).
+    pub ref_gops: f64,
+    /// Representative prefill tokens.
+    pub ref_prefill: usize,
+    /// Representative decode tokens.
+    pub ref_decode: usize,
+    /// Proxy layer count.
+    pub proxy_layers: usize,
+    /// Proxy hidden dim (power of two for Hadamard rotation).
+    pub proxy_hidden: usize,
+    /// Proxy MLP dim.
+    pub proxy_mlp: usize,
+    /// Proxy attention heads.
+    pub proxy_heads: usize,
+    /// Error-injection scale: calibrated so the proxy's failure cliff sits
+    /// at the paper's BER (Fig. 5a). See DESIGN.md.
+    pub injection_scale: f64,
+}
+
+impl PlannerPreset {
+    /// JARVIS-1's LLM planner (the primary testbed).
+    pub fn jarvis() -> Self {
+        Self {
+            name: "JARVIS-1",
+            ref_layers: 32,
+            ref_hidden: 4096,
+            ref_mlp: 14336,
+            ref_params_m: 7869.0,
+            ref_gops: 5344.0,
+            ref_prefill: 740,
+            ref_decode: 251,
+            proxy_layers: 4,
+            proxy_hidden: 64,
+            proxy_mlp: 256,
+            proxy_heads: 4,
+            injection_scale: 2500.0,
+        }
+    }
+
+    /// OpenVLA (LIBERO platform).
+    pub fn openvla() -> Self {
+        Self {
+            name: "OpenVLA",
+            ref_layers: 32,
+            ref_hidden: 4096,
+            ref_mlp: 11008,
+            ref_params_m: 6929.0,
+            ref_gops: 4595.0,
+            ref_prefill: 617,
+            ref_decode: 71,
+            proxy_layers: 4,
+            proxy_hidden: 64,
+            proxy_mlp: 224,
+            proxy_heads: 4,
+            injection_scale: 2500.0,
+        }
+    }
+
+    /// RoboFlamingo (CALVIN platform).
+    pub fn roboflamingo() -> Self {
+        Self {
+            name: "RoboFlamingo",
+            ref_layers: 24,
+            ref_hidden: 2048,
+            ref_mlp: 8192,
+            ref_params_m: 2552.0,
+            ref_gops: 2411.0,
+            ref_prefill: 505,
+            ref_decode: 61,
+            proxy_layers: 3,
+            proxy_hidden: 64,
+            proxy_mlp: 256,
+            proxy_heads: 4,
+            injection_scale: 2500.0,
+        }
+    }
+
+    /// Per-inference energy workload at reference scale.
+    pub fn inference_cost(&self) -> InferenceCost {
+        let macs = self.ref_gops * 1e9 / 2.0;
+        let weight_bytes = self.ref_params_m * 1e6; // INT8: 1 byte/param
+        InferenceCost::from_workload(macs, weight_bytes, true, 128.0)
+    }
+
+    /// Inference latency on the platform (seconds), Table 3 style.
+    pub fn latency_s(&self, array: &ArrayConfig) -> f64 {
+        array.latency_for_macs(self.ref_gops * 1e9 / 2.0, 0.70)
+    }
+}
+
+/// A controller platform (paper Table 8 + Table 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerPreset {
+    /// Platform name.
+    pub name: &'static str,
+    /// Reference parameter count (millions).
+    pub ref_params_m: f64,
+    /// Reference GOps per step (Table 4).
+    pub ref_gops: f64,
+    /// Reference input image resolution.
+    pub ref_image: usize,
+    /// Proxy layer count.
+    pub proxy_layers: usize,
+    /// Proxy hidden dim.
+    pub proxy_hidden: usize,
+    /// Proxy MLP dim.
+    pub proxy_mlp: usize,
+    /// Proxy attention heads.
+    pub proxy_heads: usize,
+    /// Error-injection scale (fraction-faithful by default; see DESIGN.md).
+    pub injection_scale: f64,
+}
+
+impl ControllerPreset {
+    /// JARVIS-1's STEVE-1-style controller.
+    pub fn jarvis() -> Self {
+        Self {
+            name: "JARVIS-1",
+            ref_params_m: 61.0,
+            ref_gops: 102.0,
+            ref_image: 128,
+            proxy_layers: 2,
+            proxy_hidden: 48,
+            proxy_mlp: 128,
+            proxy_heads: 4,
+            injection_scale: 5.0,
+        }
+    }
+
+    /// RT-1 (OXE platform).
+    pub fn rt1() -> Self {
+        Self {
+            name: "RT-1",
+            ref_params_m: 35.0,
+            ref_gops: 78.0,
+            ref_image: 224,
+            proxy_layers: 2,
+            proxy_hidden: 48,
+            proxy_mlp: 112,
+            proxy_heads: 4,
+            injection_scale: 5.0,
+        }
+    }
+
+    /// Octo (OXE platform).
+    pub fn octo() -> Self {
+        Self {
+            name: "Octo",
+            ref_params_m: 27.0,
+            ref_gops: 76.0,
+            ref_image: 224,
+            proxy_layers: 2,
+            proxy_hidden: 48,
+            proxy_mlp: 96,
+            proxy_heads: 4,
+            injection_scale: 5.0,
+        }
+    }
+
+    /// Per-step energy workload at reference scale (weights SRAM-resident).
+    pub fn inference_cost(&self) -> InferenceCost {
+        let macs = self.ref_gops * 1e9 / 2.0;
+        InferenceCost::from_workload(macs, self.ref_params_m * 1e6, false, 48.0)
+    }
+
+    /// Inference latency on the platform (seconds).
+    pub fn latency_s(&self, array: &ArrayConfig) -> f64 {
+        array.latency_for_macs(self.ref_gops * 1e9 / 2.0, 0.40)
+    }
+}
+
+/// The entropy predictor's reference workload (Table 4: 55 k params,
+/// 43 MOps).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictorPreset {
+    /// Reference parameter count.
+    pub ref_params: f64,
+    /// Reference MOps per inference.
+    pub ref_mops: f64,
+}
+
+impl PredictorPreset {
+    /// The paper's Table 9 predictor.
+    pub fn paper() -> Self {
+        Self {
+            ref_params: 55_000.0,
+            ref_mops: 43.0,
+        }
+    }
+
+    /// Per-inference energy workload.
+    pub fn inference_cost(&self) -> InferenceCost {
+        InferenceCost::from_workload(self.ref_mops * 1e6 / 2.0, self.ref_params, false, 16.0)
+    }
+
+    /// Inference latency (seconds).
+    pub fn latency_s(&self, array: &ArrayConfig) -> f64 {
+        array.latency_for_macs(self.ref_mops * 1e6 / 2.0, 0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jarvis_planner_matches_table4() {
+        let p = PlannerPreset::jarvis();
+        assert_eq!(p.ref_params_m, 7869.0);
+        assert_eq!(p.ref_gops, 5344.0);
+        assert!(p.proxy_hidden.is_power_of_two(), "Hadamard needs 2^k");
+    }
+
+    #[test]
+    fn planner_latency_is_milliseconds_scale() {
+        let array = ArrayConfig::default();
+        let t = PlannerPreset::jarvis().latency_s(&array);
+        assert!(
+            (1e-3..100e-3).contains(&t),
+            "planner latency should be ms-scale, got {t}"
+        );
+    }
+
+    #[test]
+    fn controller_latency_is_sub_millisecond_scale() {
+        let array = ArrayConfig::default();
+        let t = ControllerPreset::jarvis().latency_s(&array);
+        assert!(
+            (0.1e-3..5e-3).contains(&t),
+            "controller latency should be ~1 ms, got {t}"
+        );
+    }
+
+    #[test]
+    fn predictor_latency_is_microseconds_scale() {
+        let array = ArrayConfig::default();
+        let t = PredictorPreset::paper().latency_s(&array);
+        assert!(
+            (1e-6..100e-6).contains(&t),
+            "predictor latency should be µs-scale, got {t}"
+        );
+    }
+
+    #[test]
+    fn latency_ordering_matches_table3() {
+        // Planner >> controller >> predictor.
+        let array = ArrayConfig::default();
+        let tp = PlannerPreset::jarvis().latency_s(&array);
+        let tc = ControllerPreset::jarvis().latency_s(&array);
+        let te = PredictorPreset::paper().latency_s(&array);
+        assert!(tp > 5.0 * tc);
+        assert!(tc > 10.0 * te);
+    }
+
+    #[test]
+    fn controller_presets_differ_in_size() {
+        let j = ControllerPreset::jarvis();
+        let r = ControllerPreset::rt1();
+        let o = ControllerPreset::octo();
+        assert!(j.ref_params_m > r.ref_params_m);
+        assert!(r.ref_params_m > o.ref_params_m);
+    }
+
+    #[test]
+    fn planner_energy_dominated_by_compute() {
+        let cost = PlannerPreset::jarvis().inference_cost();
+        let frac = cost.compute_energy(0.9, create_tensor::Precision::Int8)
+            / cost.total_energy(0.9, create_tensor::Precision::Int8);
+        assert!((0.55..0.75).contains(&frac), "Fig. 18 band, got {frac}");
+    }
+}

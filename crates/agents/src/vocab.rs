@@ -1,0 +1,153 @@
+//! The planner's token vocabulary.
+//!
+//! Layout: `[0, N_TASKS)` task tokens, `[N_TASKS, N_TASKS+N_SUBTASKS)`
+//! subtask tokens, then `SEP`, `EOS`, `PAD`. Planner training sequences are
+//! `task ++ completed-subtasks ++ SEP ++ remaining-plan ++ EOS`, so the
+//! same model both plans from scratch and replans mid-mission (the paper's
+//! planner is re-invoked when a subtask stalls, Sec. 2.1).
+
+use create_env::{SUBTASK_VOCAB, Subtask, TaskId};
+
+/// Number of task tokens.
+pub const N_TASKS: usize = TaskId::ALL.len();
+
+/// Number of subtask tokens.
+pub const N_SUBTASKS: usize = SUBTASK_VOCAB.len();
+
+/// Separator between context and plan.
+pub const SEP: usize = N_TASKS + N_SUBTASKS;
+
+/// End-of-plan token.
+pub const EOS: usize = SEP + 1;
+
+/// Padding token.
+pub const PAD: usize = EOS + 1;
+
+/// Total vocabulary size.
+pub const VOCAB: usize = PAD + 1;
+
+/// Longest sequence the planner supports (context + plan + controls).
+pub const MAX_SEQ: usize = 28;
+
+/// Maximum plan length the decoder will emit.
+pub const MAX_PLAN: usize = 13;
+
+/// Token id of a task.
+pub fn task_token(task: TaskId) -> usize {
+    task.token_id()
+}
+
+/// Token id of a subtask.
+///
+/// # Panics
+///
+/// Panics if `s` is not in [`SUBTASK_VOCAB`].
+pub fn subtask_token(s: Subtask) -> usize {
+    N_TASKS + s.token_id().expect("subtask must be in SUBTASK_VOCAB")
+}
+
+/// Decodes a token into a subtask, if it is a subtask token.
+pub fn token_to_subtask(tok: usize) -> Option<Subtask> {
+    if (N_TASKS..N_TASKS + N_SUBTASKS).contains(&tok) {
+        Subtask::from_token_id(tok - N_TASKS)
+    } else {
+        None
+    }
+}
+
+/// Builds the planner input context for (re)planning.
+pub fn context_tokens(task: TaskId, completed: &[Subtask]) -> Vec<usize> {
+    let mut tokens = Vec::with_capacity(completed.len() + 2);
+    tokens.push(task_token(task));
+    for &s in completed {
+        tokens.push(subtask_token(s));
+    }
+    tokens.push(SEP);
+    tokens
+}
+
+/// One teacher-forcing training sample: full token sequence and the index
+/// of the first target position (everything after `SEP`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSample {
+    /// Full sequence: context ++ remaining plan ++ EOS.
+    pub tokens: Vec<usize>,
+    /// Index of `SEP` (targets start at `sep_index + 1`).
+    pub sep_index: usize,
+}
+
+/// Generates the full planner training set: every task × every replanning
+/// split point.
+pub fn training_samples() -> Vec<PlanSample> {
+    let mut samples = Vec::new();
+    for task in TaskId::ALL {
+        let plan = task.reference_plan();
+        for split in 0..=plan.len() {
+            let mut tokens = context_tokens(task, &plan[..split]);
+            let sep_index = tokens.len() - 1;
+            for &s in &plan[split..] {
+                tokens.push(subtask_token(s));
+            }
+            tokens.push(EOS);
+            debug_assert!(tokens.len() <= MAX_SEQ, "sample too long: {}", tokens.len());
+            samples.push(PlanSample { tokens, sep_index });
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_layout_is_consistent() {
+        assert!(VOCAB > N_TASKS + N_SUBTASKS);
+        assert_eq!(PAD, VOCAB - 1);
+        assert!(SEP > task_token(TaskId::Place));
+    }
+
+    #[test]
+    fn subtask_tokens_roundtrip() {
+        for &s in SUBTASK_VOCAB {
+            let tok = subtask_token(s);
+            assert_eq!(token_to_subtask(tok), Some(s));
+        }
+        assert_eq!(token_to_subtask(SEP), None);
+        assert_eq!(token_to_subtask(0), None, "task tokens are not subtasks");
+    }
+
+    #[test]
+    fn context_ends_with_sep() {
+        let ctx = context_tokens(TaskId::Wooden, &[]);
+        assert_eq!(ctx.len(), 2);
+        assert_eq!(*ctx.last().unwrap(), SEP);
+    }
+
+    #[test]
+    fn training_samples_cover_all_splits() {
+        let samples = training_samples();
+        let expected: usize = TaskId::ALL
+            .iter()
+            .map(|t| t.reference_plan().len() + 1)
+            .sum();
+        assert_eq!(samples.len(), expected);
+        for s in &samples {
+            assert!(s.tokens.len() <= MAX_SEQ);
+            assert_eq!(*s.tokens.last().unwrap(), EOS);
+            assert_eq!(s.tokens[s.sep_index], SEP);
+        }
+    }
+
+    #[test]
+    fn full_plan_sample_decodes_back() {
+        let samples = training_samples();
+        // First sample is wooden with empty context.
+        let s = &samples[0];
+        let plan: Vec<_> = s.tokens[s.sep_index + 1..s.tokens.len() - 1]
+            .iter()
+            .map(|&t| token_to_subtask(t).expect("subtask token"))
+            .collect();
+        assert_eq!(plan, TaskId::Wooden.reference_plan());
+    }
+}

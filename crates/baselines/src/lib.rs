@@ -1,0 +1,169 @@
+//! Baseline reliability techniques for the Sec. 6.10 comparison (Fig. 20).
+//!
+//! CREATE is compared against three representative prior-art schemes, each
+//! modeled at the datapath level in [`create_accel::scheme`]:
+//!
+//! * **DMR** (dual modular redundancy, Tesla-FSD style): high reliability,
+//!   ≥2× compute energy plus recovery recomputes.
+//! * **ThUnderVolt**: timing-error detection with result skipping — cheap,
+//!   but at low voltage the skipped ("pruned") outputs degrade task
+//!   quality.
+//! * **Razor-style timing borrowing** (extension — the paper cites this
+//!   class [43–45] but does not evaluate it): shadow-FF detection with
+//!   pipeline replay recovers detected values exactly, but carries the
+//!   heaviest per-PE overhead and replay storms at low voltage.
+//! * **ApproxABFT-style ABFT**: checksum detection + recompute recovery —
+//!   effective at mild BER, but below ~0.85 V recompute storms dominate
+//!   energy and residual errors leak through.
+//!
+//! This crate maps each baseline onto a mission [`CreateConfig`] so the
+//! comparison harness runs all schemes through the *same* mission runner
+//! and energy meter.
+
+use create_accel::Scheme;
+use create_core::config::{CreateConfig, ErrorSpec, VoltageControl};
+use create_core::policy::EntropyPolicy;
+use std::fmt;
+
+/// One contender in the Fig. 20 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// No protection at all.
+    Unprotected,
+    /// Dual modular redundancy.
+    Dmr,
+    /// Timing-error detection + output skipping.
+    ThunderVolt,
+    /// Razor-style timing borrowing (extension contender).
+    Razor,
+    /// Checksum-based detection + recompute.
+    Abft,
+    /// The full CREATE stack (AD + WR + adaptive VS).
+    Create,
+}
+
+impl BaselineKind {
+    /// All contenders in reporting order.
+    pub const ALL: [BaselineKind; 6] = [
+        BaselineKind::Unprotected,
+        BaselineKind::Dmr,
+        BaselineKind::ThunderVolt,
+        BaselineKind::Razor,
+        BaselineKind::Abft,
+        BaselineKind::Create,
+    ];
+
+    /// The accelerator scheme this baseline uses.
+    pub fn scheme(self) -> Scheme {
+        match self {
+            BaselineKind::Dmr => Scheme::Dmr,
+            BaselineKind::ThunderVolt => Scheme::ThunderVolt,
+            BaselineKind::Razor => Scheme::Razor,
+            BaselineKind::Abft => Scheme::Abft { max_retries: 3 },
+            BaselineKind::Unprotected | BaselineKind::Create => Scheme::Plain,
+        }
+    }
+
+    /// Builds the mission configuration for this baseline at supply
+    /// voltage `v` (hardware error model on both units).
+    pub fn config(self, v: f64) -> CreateConfig {
+        let base = CreateConfig {
+            planner_error: Some(ErrorSpec::voltage()),
+            controller_error: Some(ErrorSpec::voltage()),
+            planner_voltage: v,
+            voltage: VoltageControl::Fixed(v),
+            scheme: self.scheme(),
+            ..CreateConfig::default()
+        };
+        match self {
+            BaselineKind::Create => CreateConfig {
+                planner_ad: true,
+                controller_ad: true,
+                wr: true,
+                // CREATE additionally runs VS around the fixed point: the
+                // policy is shifted so its middle level matches `v`.
+                voltage: VoltageControl::adaptive(shifted_policy(v)),
+                scheme: Scheme::Plain,
+                ..base
+            },
+            _ => base,
+        }
+    }
+}
+
+impl fmt::Display for BaselineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BaselineKind::Unprotected => "Unprotected",
+            BaselineKind::Dmr => "DMR",
+            BaselineKind::ThunderVolt => "ThUnderVolt",
+            BaselineKind::Razor => "Razor",
+            BaselineKind::Abft => "ABFT",
+            BaselineKind::Create => "CREATE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An entropy policy whose middle voltage level equals `v` (±20 mV swing),
+/// so CREATE's operating point is comparable to a fixed-voltage baseline
+/// at `v`.
+pub fn shifted_policy(v: f64) -> EntropyPolicy {
+    let hi = (v + 0.02).min(0.9);
+    let lo = (v - 0.02).max(0.6);
+    EntropyPolicy::new(
+        format!("create@{v:.2}"),
+        vec![0.4, 1.0],
+        vec![hi, v.clamp(0.6, 0.9), lo],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemes_map_correctly() {
+        assert_eq!(BaselineKind::Dmr.scheme(), Scheme::Dmr);
+        assert_eq!(BaselineKind::ThunderVolt.scheme(), Scheme::ThunderVolt);
+        assert_eq!(BaselineKind::Razor.scheme(), Scheme::Razor);
+        assert!(matches!(BaselineKind::Abft.scheme(), Scheme::Abft { .. }));
+        assert_eq!(BaselineKind::Create.scheme(), Scheme::Plain);
+    }
+
+    #[test]
+    fn create_config_enables_full_stack() {
+        let c = BaselineKind::Create.config(0.80);
+        assert!(c.planner_ad && c.controller_ad && c.wr);
+        assert!(matches!(c.voltage, VoltageControl::Adaptive { .. }));
+    }
+
+    #[test]
+    fn baselines_fix_voltage_and_disable_ad() {
+        for kind in [
+            BaselineKind::Dmr,
+            BaselineKind::ThunderVolt,
+            BaselineKind::Razor,
+            BaselineKind::Abft,
+        ] {
+            let c = kind.config(0.82);
+            assert!(!c.planner_ad && !c.controller_ad && !c.wr);
+            assert_eq!(c.voltage, VoltageControl::Fixed(0.82));
+            assert_eq!(c.planner_voltage, 0.82);
+        }
+    }
+
+    #[test]
+    fn shifted_policy_brackets_the_operating_point() {
+        let p = shifted_policy(0.80);
+        let vs = p.voltages();
+        assert!(vs[0] > vs[2]);
+        assert!((vs[1] - 0.80).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_names_are_paper_names() {
+        assert_eq!(BaselineKind::ThunderVolt.to_string(), "ThUnderVolt");
+        assert_eq!(BaselineKind::Create.to_string(), "CREATE");
+    }
+}

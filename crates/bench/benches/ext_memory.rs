@@ -1,0 +1,145 @@
+//! Extension — memory-resilience characterization (paper Sec. 2.3/3.1
+//! future work).
+//!
+//! The paper scopes CREATE to computational timing errors, asserting that
+//! memory faults "can be effectively mitigated by ECC" and deferring
+//! memory-rail characterization to future research. This target measures
+//! that assertion on the same mission runner as every paper figure:
+//! deployed INT8 weights pass through the modeled SRAM at a scaled memory
+//! rail, picking up one retention-fault snapshot per trial, with and
+//! without SECDED (72,64).
+//!
+//! Expected shape: unprotected weight storage collapses task quality
+//! several tens of millivolts above the logic rail's protected minimum,
+//! while SECDED holds golden quality down to deep undervolting for a fixed
+//! 12.5% storage / ~3% read-energy overhead — i.e. the paper's prose
+//! assumption, quantified.
+
+use create_accel::sram::{MemoryFaultModel, Protection, SECDED_READ_ENERGY_OVERHEAD};
+use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_core::prelude::*;
+use create_env::TaskId;
+
+fn main() {
+    let _t = Stopwatch::start("ext_memory");
+    let dep = jarvis_deployment();
+    let reps = default_reps();
+    let model = MemoryFaultModel::new();
+
+    banner(
+        "Ext. M(a)",
+        "SRAM retention-fault model: per-bit upset probability vs voltage",
+    );
+    let mut t = TextTable::new(vec!["voltage", "upset_prob"]);
+    let mut v = 0.90;
+    while v > 0.595 {
+        t.row(vec![format!("{v:.2}"), sci(model.upset_prob(v))]);
+        v -= 0.03;
+    }
+    emit(&t, "ext_memory_model");
+
+    banner(
+        "Ext. M(b)",
+        "controller task quality vs memory-rail voltage, raw vs SECDED (wooden)",
+    );
+    let mut t = TextTable::new(vec![
+        "mem_voltage",
+        "protection",
+        "success_rate",
+        "avg_steps",
+        "bits_upset",
+        "corrected",
+        "uncorrectable",
+        "corrupt_words",
+    ]);
+    for &v in &[0.80, 0.74, 0.70, 0.68, 0.67, 0.66] {
+        for protection in [Protection::None, Protection::Secded] {
+            let mem = MemoryConfig::new(v, protection);
+            let p = run_memory_point(
+                &dep,
+                TaskId::Wooden,
+                &CreateConfig::golden(),
+                MemTarget::Controller,
+                &mem,
+                reps,
+                0xE17,
+            );
+            t.row(vec![
+                format!("{v:.2}"),
+                protection.to_string(),
+                pct(p.sweep.success_rate),
+                format!("{:.0}", p.sweep.avg_steps),
+                p.stats.bits_upset.to_string(),
+                p.stats.words_corrected.to_string(),
+                p.stats.words_detected.to_string(),
+                sci(p.stats.corrupt_fraction()),
+            ]);
+        }
+    }
+    emit(&t, "ext_memory_controller");
+
+    banner(
+        "Ext. M(c)",
+        "planner task quality vs memory-rail voltage, raw vs SECDED (wooden)",
+    );
+    let mut t = TextTable::new(vec![
+        "mem_voltage",
+        "protection",
+        "success_rate",
+        "avg_steps",
+        "bits_upset",
+        "corrected",
+        "uncorrectable",
+        "corrupt_words",
+    ]);
+    for &v in &[0.80, 0.74, 0.70, 0.69, 0.68, 0.67, 0.66] {
+        for protection in [Protection::None, Protection::Secded] {
+            let mem = MemoryConfig::new(v, protection);
+            let p = run_memory_point(
+                &dep,
+                TaskId::Wooden,
+                &CreateConfig::golden(),
+                MemTarget::Planner,
+                &mem,
+                reps,
+                0xE17B,
+            );
+            t.row(vec![
+                format!("{v:.2}"),
+                protection.to_string(),
+                pct(p.sweep.success_rate),
+                format!("{:.0}", p.sweep.avg_steps),
+                p.stats.bits_upset.to_string(),
+                p.stats.words_corrected.to_string(),
+                p.stats.words_detected.to_string(),
+                sci(p.stats.corrupt_fraction()),
+            ]);
+        }
+    }
+    emit(&t, "ext_memory_planner");
+
+    banner("Ext. M(d)", "protection overheads (fixed, by construction)");
+    let mut t = TextTable::new(vec!["protection", "storage_overhead", "read_energy_overhead"]);
+    for protection in [Protection::None, Protection::Secded] {
+        t.row(vec![
+            protection.to_string(),
+            pct(protection.storage_overhead()),
+            pct(protection.read_energy_overhead()),
+        ]);
+    }
+    emit(&t, "ext_memory_overheads");
+    println!(
+        "Expected shape: (1) the planner's raw weight storage cliffs near\n\
+         0.68-0.69 V while SECDED ({:.1}% storage, {:.0}% read energy)\n\
+         restores golden quality there and buys ~10-20 mV more margin —\n\
+         the paper's Sec. 2.3 claim, quantified; (2) below ~0.67 V\n\
+         double-error storms defeat SECDED too; (3) the controller\n\
+         tolerates weight faults that inflate steps but rarely kill\n\
+         missions — Insight 1's planner/controller asymmetry reappears in\n\
+         the memory domain; (4) both units tolerate orders of magnitude\n\
+         denser *weight* corruption than *activation* corruption (weight\n\
+         flips are rail-bounded in INT8; accumulator flips are not).",
+        100.0 * Protection::Secded.storage_overhead(),
+        100.0 * SECDED_READ_ENERGY_OVERHEAD,
+    );
+}

@@ -1,0 +1,213 @@
+//! Fig. 5: the resilience characterization (Sec. 4).
+//!
+//! (a)–(d): planner vs controller success rate and average steps under a
+//! uniform-BER sweep — the planner plunges around 2e-8 while the
+//! controller holds until ~1e-4 (Insight 1).
+//!
+//! (e)–(h): per-component injection — the planner's pre-normalization
+//! components (O) are markedly more fragile than K, while the controller
+//! shows only minor variation (Insight 2).
+//!
+//! (i)–(l): activation distributions and the effect of a single large
+//! error on normalization statistics — the planner's systematic outliers
+//! make its μ/σ skew drastically, the controller's stay moderate.
+
+use create_accel::{Accelerator, Component, InjectionTarget};
+use create_agents::vocab;
+use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_core::prelude::*;
+use create_env::{TaskId, World};
+use create_nn::block::ActivationTap;
+use create_nn::norm::{layernorm_with_stats, rmsnorm_with_stats};
+use create_tensor::Matrix;
+use create_tensor::stats::{mean, std_dev};
+
+fn sweep(
+    dep: &Deployment,
+    task: TaskId,
+    unit_is_planner: bool,
+    target: InjectionTarget,
+    bers: &[f64],
+    reps: u32,
+    seed: u64,
+) -> Vec<(f64, SweepPoint)> {
+    bers.iter()
+        .map(|&ber| {
+            let mut spec = ErrorSpec::uniform(ber);
+            spec.target = target;
+            let config = if unit_is_planner {
+                CreateConfig {
+                    planner_error: Some(spec),
+                    ..CreateConfig::golden()
+                }
+            } else {
+                CreateConfig {
+                    controller_error: Some(spec),
+                    ..CreateConfig::golden()
+                }
+            };
+            (ber, run_point(dep, task, &config, reps, seed))
+        })
+        .collect()
+}
+
+fn main() {
+    let _t = Stopwatch::start("fig05");
+    let dep = jarvis_deployment();
+    let reps = default_reps();
+
+    banner("Fig. 5(a)(b)", "planner resilience (controller golden)");
+    let planner_bers = [1e-9, 1e-8, 2e-8, 5e-8, 1e-7, 3e-7, 1e-6];
+    let mut t = TextTable::new(vec!["ber", "task", "success_rate", "avg_steps", "ci_low", "ci_high"]);
+    for task in [TaskId::Wooden, TaskId::Stone] {
+        for (ber, p) in sweep(&dep, task, true, InjectionTarget::All, &planner_bers, reps, 0x5A) {
+            t.row(vec![
+                sci(ber),
+                task.to_string(),
+                pct(p.success_rate),
+                format!("{:.0}", p.avg_steps),
+                pct(p.ci.0),
+                pct(p.ci.1),
+            ]);
+        }
+    }
+    emit(&t, "fig05ab_planner_resilience");
+
+    banner("Fig. 5(c)(d)", "controller resilience (planner golden)");
+    let controller_bers = [1e-6, 1e-5, 1e-4, 2e-4, 4e-4, 1e-3, 1e-2];
+    let mut t = TextTable::new(vec!["ber", "task", "success_rate", "avg_steps", "ci_low", "ci_high"]);
+    for task in [TaskId::Wooden, TaskId::Stone] {
+        for (ber, p) in sweep(&dep, task, false, InjectionTarget::All, &controller_bers, reps, 0x5B) {
+            t.row(vec![
+                sci(ber),
+                task.to_string(),
+                pct(p.success_rate),
+                format!("{:.0}", p.avg_steps),
+                pct(p.ci.0),
+                pct(p.ci.1),
+            ]);
+        }
+    }
+    emit(&t, "fig05cd_controller_resilience");
+
+    banner("Fig. 5(e)(f)", "planner components: K vs O (wooden)");
+    let mut t = TextTable::new(vec!["ber", "component", "success_rate", "avg_steps"]);
+    for comp in [Component::K, Component::O] {
+        for (ber, p) in sweep(
+            &dep,
+            TaskId::Wooden,
+            true,
+            InjectionTarget::Component(comp),
+            &[1e-8, 1e-7, 1e-6, 1e-5],
+            reps,
+            0x5C,
+        ) {
+            t.row(vec![
+                sci(ber),
+                comp.to_string(),
+                pct(p.success_rate),
+                format!("{:.0}", p.avg_steps),
+            ]);
+        }
+    }
+    emit(&t, "fig05ef_planner_components");
+
+    banner("Fig. 5(g)(h)", "controller components: K vs O (wooden)");
+    let mut t = TextTable::new(vec!["ber", "component", "success_rate", "avg_steps"]);
+    for comp in [Component::K, Component::O] {
+        for (ber, p) in sweep(
+            &dep,
+            TaskId::Wooden,
+            false,
+            InjectionTarget::Component(comp),
+            &[1e-4, 1e-3, 1e-2],
+            reps,
+            0x5D,
+        ) {
+            t.row(vec![
+                sci(ber),
+                comp.to_string(),
+                pct(p.success_rate),
+                format!("{:.0}", p.avg_steps),
+            ]);
+        }
+    }
+    emit(&t, "fig05gh_controller_components");
+
+    banner(
+        "Fig. 5(i)-(l)",
+        "activation distributions & normalization skew under one large error",
+    );
+    let mut accel = Accelerator::ideal(0);
+    // Planner pre-norm activations on a representative decode context.
+    let mut planner_tap = ActivationTap::default();
+    let tokens = vocab::context_tokens(TaskId::Iron, &[]);
+    let _ = dep.planner.last_logits(&mut accel, &tokens, Some(&mut planner_tap));
+    // Controller pre-norm activations on a representative observation.
+    let world = World::for_task(TaskId::Stone, 3);
+    let obs = world.observe();
+    let mut ctrl_tap = ActivationTap::default();
+    let _ = dep.controller.logits(&mut accel, &obs, Some(&mut ctrl_tap));
+
+    let mut t = TextTable::new(vec![
+        "unit", "site", "mean", "std", "max_abs", "peak_to_rms",
+    ]);
+    let describe = |t: &mut TextTable, unit: &str, acts: &[Matrix]| {
+        for (i, m) in acts.iter().enumerate() {
+            let vals = m.as_slice();
+            let rms =
+                (vals.iter().map(|v| v * v).sum::<f32>() / vals.len() as f32).sqrt();
+            t.row(vec![
+                unit.to_string(),
+                format!("block{i}"),
+                format!("{:.2}", mean(vals)),
+                format!("{:.2}", std_dev(vals)),
+                format!("{:.2}", m.max_abs()),
+                format!("{:.2}", m.max_abs() / rms.max(1e-6)),
+            ]);
+        }
+    };
+    describe(&mut t, "planner", &planner_tap.pre_norm);
+    describe(&mut t, "controller", &ctrl_tap.pre_norm);
+    emit(&t, "fig05ij_activations");
+
+    // (k)(l): inject one large error into a pre-norm row and compare the
+    // normalization statistics before/after.
+    let mut t = TextTable::new(vec![
+        "unit", "metric", "clean", "with_error", "skew_factor",
+    ]);
+    let planner_x = planner_tap.pre_norm.last().expect("planner activations");
+    let err_val = planner_x.max_abs() * 1.5;
+    let row = planner_x.rows_range(0, 1);
+    let (_, clean_stats) = rmsnorm_with_stats(&row);
+    let mut corrupted = row.clone();
+    corrupted.set(0, corrupted.cols() / 2, err_val);
+    let (_, bad_stats) = rmsnorm_with_stats(&corrupted);
+    t.row(vec![
+        "planner".into(),
+        "rms_denominator".into(),
+        format!("{:.2}", clean_stats.denom[0]),
+        format!("{:.2}", bad_stats.denom[0]),
+        format!("{:.2}x", bad_stats.denom[0] / clean_stats.denom[0]),
+    ]);
+    let ctrl_x = ctrl_tap.pre_norm.last().expect("controller activations");
+    let err_val = ctrl_x.max_abs() * 1.5;
+    let row = ctrl_x.rows_range(0, 1);
+    let (_, clean_stats) = layernorm_with_stats(&row);
+    let mut corrupted = row.clone();
+    corrupted.set(0, corrupted.cols() / 2, err_val);
+    let (_, bad_stats) = layernorm_with_stats(&corrupted);
+    t.row(vec![
+        "controller".into(),
+        "sigma_denominator".into(),
+        format!("{:.2}", clean_stats.denom[0]),
+        format!("{:.2}", bad_stats.denom[0]),
+        format!("{:.2}x", bad_stats.denom[0] / clean_stats.denom[0]),
+    ]);
+    emit(&t, "fig05kl_norm_skew");
+    println!(
+        "Expected shape: the planner's outlier-dominated activations make an\n\
+         in-range error skew the normalization denominator far more than the\n\
+         controller's uniform activations do."
+    );
+}

@@ -1,0 +1,50 @@
+//! Fig. 6: resilience diversity across subtasks. Sequential tasks whose
+//! progress a single wrong action destroys (`log`, `stone`, `iron`)
+//! degrade abruptly beyond BER ≈ 1e-4, while stochastic animal/gathering
+//! tasks (`chicken`, `wool`) degrade gracefully.
+
+use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_core::prelude::*;
+use create_env::TaskId;
+
+fn main() {
+    let _t = Stopwatch::start("fig06");
+    let dep = jarvis_deployment();
+    let reps = default_reps();
+    let tasks = [
+        TaskId::Stone,
+        TaskId::Log,
+        TaskId::Iron,
+        TaskId::Coal,
+        TaskId::Wool,
+        TaskId::Chicken,
+    ];
+    let bers = [1e-6, 1e-5, 1e-4, 4e-4, 1e-3, 4e-3, 1e-2];
+
+    banner(
+        "Fig. 6",
+        "subtask resilience diversity (controller injection, planner golden)",
+    );
+    let mut t = TextTable::new(vec!["ber", "task", "success_rate", "avg_steps"]);
+    for &task in &tasks {
+        for &ber in &bers {
+            let config = CreateConfig {
+                controller_error: Some(ErrorSpec::uniform(ber)),
+                ..CreateConfig::golden()
+            };
+            let p = run_point(&dep, task, &config, reps, 0x06);
+            t.row(vec![
+                sci(ber),
+                task.to_string(),
+                pct(p.success_rate),
+                format!("{:.0}", p.avg_steps),
+            ]);
+        }
+    }
+    emit(&t, "fig06_subtask_diversity");
+    println!(
+        "Expected shape: log/stone/iron (sequential interaction streaks) fall\n\
+         abruptly beyond ~1e-4 while chicken/wool (stochastic animal tasks)\n\
+         degrade gradually toward 1e-2."
+    );
+}

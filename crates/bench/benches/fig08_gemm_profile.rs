@@ -1,0 +1,47 @@
+//! Fig. 8(a): runtime GEMM output distribution. Profiling the deployed
+//! pipeline shows (1) outputs rarely occupy the most significant bits and
+//! (2) most elements sit near zero — the two properties that justify
+//! clamping out-of-bound results to zero (Sec. 5.1).
+
+use create_accel::{Accelerator, OutputProfiler};
+use create_agents::vocab;
+use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_core::prelude::*;
+use create_env::{TaskId, World};
+
+fn main() {
+    let _t = Stopwatch::start("fig08");
+    let dep = jarvis_deployment();
+
+    banner("Fig. 8(a)", "runtime GEMM output distribution (golden pipeline)");
+    let mut accel = Accelerator::ideal(0);
+    accel.set_profiler(Some(OutputProfiler::new(-40.0, 40.0, 40, 7)));
+    // Drive both models over representative inputs.
+    let tokens = vocab::context_tokens(TaskId::Iron, &[]);
+    let _ = dep.planner.last_logits(&mut accel, &tokens, None);
+    let mut world = World::for_task(TaskId::Stone, 5);
+    for _ in 0..30 {
+        let obs = world.observe();
+        let _ = dep.controller.logits(&mut accel, &obs, None);
+        world.step(create_env::Action::North);
+    }
+    let profiler = accel.take_profiler().expect("profiler");
+    let hist = profiler.histogram();
+    let mut t = TextTable::new(vec!["bin_center", "count"]);
+    for i in 0..hist.bins().len() {
+        t.row(vec![
+            format!("{:.1}", hist.bin_center(i)),
+            hist.bins()[i].to_string(),
+        ]);
+    }
+    emit(&t, "fig08a_gemm_profile");
+    let total = hist.total();
+    let near_zero: u64 = (17..23).map(|i| hist.bins()[i]).sum();
+    println!(
+        "samples: {total}; fraction within |value| < 6: {:.1}%; overflow \
+         (beyond ±40): {}",
+        100.0 * near_zero as f64 / total.max(1) as f64,
+        hist.overflow() + hist.underflow()
+    );
+    println!("Expected shape: sharply peaked at zero with thin tails.");
+}

@@ -1,0 +1,97 @@
+//! Fig. 12 + Tables 2–3: the hardware platform. Area/power budget of the
+//! accelerator blocks (the AD units and LDOs are ~0.1% overhead), the LDO
+//! specification, and the full-accelerator performance/latency table.
+
+use create_accel::cycles::ArrayConfig;
+use create_accel::platform::Platform;
+use create_accel::Ldo;
+use create_agents::presets::{ControllerPreset, PlannerPreset, PredictorPreset};
+use create_bench::{Stopwatch, banner, emit};
+use create_core::prelude::*;
+
+fn main() {
+    let _t = Stopwatch::start("fig12");
+    let platform = Platform::default();
+    let array = ArrayConfig::default();
+
+    banner("Fig. 12(c)", "area and power breakdown");
+    let mut t = TextTable::new(vec!["block", "area_mm2", "power_w"]);
+    for b in platform.block_budgets() {
+        let power = if (b.power_w_min - b.power_w_max).abs() < 1e-9 {
+            format!("{:.2}", b.power_w_min)
+        } else {
+            format!("{:.2}-{:.2}", b.power_w_min, b.power_w_max)
+        };
+        t.row(vec![b.name.to_string(), format!("{:.2}", b.area_mm2), power]);
+    }
+    t.row(vec![
+        "Total".to_string(),
+        format!("{:.2}", platform.total_area_mm2()),
+        "12.82-17.75".to_string(),
+    ]);
+    emit(&t, "fig12c_breakdown");
+    println!(
+        "AD overhead: {:.2}% area / {:.2}% power; LDO overhead: {:.2}% area / {:.2}% power",
+        platform.ad_area_overhead() * 100.0,
+        platform.ad_power_overhead() * 100.0,
+        platform.ldo_area_overhead() * 100.0,
+        platform.ldo_power_overhead() * 100.0,
+    );
+
+    banner("Table 2", "LDO specification");
+    for line in platform.ldo_spec_lines() {
+        println!("  {line}");
+    }
+
+    banner("Table 3", "full-accelerator performance");
+    let planner = PlannerPreset::jarvis();
+    let controller = ControllerPreset::jarvis();
+    let predictor = PredictorPreset::paper();
+    let mut t = TextTable::new(vec!["metric", "value"]);
+    t.row(vec!["peak performance".into(), format!("{:.0} TOPS", array.peak_tops())]);
+    t.row(vec![
+        "switching latency".into(),
+        format!("{:.0} ns", Ldo::worst_case_latency() * 1e9),
+    ]);
+    t.row(vec![
+        "planner MACs".into(),
+        format!("{:.1} T", planner.ref_gops / 2.0 / 1e3),
+    ]);
+    t.row(vec![
+        "planner latency".into(),
+        format!("{:.1} ms", planner.latency_s(&array) * 1e3),
+    ]);
+    t.row(vec![
+        "controller MACs".into(),
+        format!("{:.0} G", controller.ref_gops / 2.0),
+    ]);
+    t.row(vec![
+        "controller latency".into(),
+        format!("{:.0} µs", controller.latency_s(&array) * 1e6),
+    ]);
+    t.row(vec![
+        "predictor MACs".into(),
+        format!("{:.0} M", predictor.ref_mops / 2.0),
+    ]);
+    t.row(vec![
+        "predictor latency".into(),
+        format!("{:.2} µs", predictor.latency_s(&array) * 1e6),
+    ]);
+    emit(&t, "table03_performance");
+    let realtime = platform.meets_realtime(controller.latency_s(&array), 30.0);
+    println!("meets 30 Hz real-time requirement (controller + worst-case switch): {realtime}");
+
+    banner("Fig. 12(d)(e)", "example voltage-scaling waveform (LDO slews)");
+    let mut ldo = Ldo::new();
+    let mut t = TextTable::new(vec!["event", "target_v", "output_v", "settle_ns"]);
+    for (i, v) in [0.86, 0.82, 0.78, 0.86, 0.80].iter().enumerate() {
+        let settle = ldo.set_target(*v);
+        t.row(vec![
+            i.to_string(),
+            format!("{v:.2}"),
+            format!("{:.2}", ldo.output()),
+            format!("{:.0}", settle * 1e9),
+        ]);
+    }
+    emit(&t, "fig12de_waveform");
+}

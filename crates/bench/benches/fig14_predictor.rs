@@ -1,0 +1,68 @@
+//! Fig. 14: entropy-predictor accuracy. (a) Predicted vs actual entropy on
+//! held-out mission frames (the paper reports R² = 0.92); (b) the predictor
+//! tracking the golden entropy across a live mission, with the voltage the
+//! default policy would command.
+
+use create_agents::bundle::ACT_TEMPERATURE;
+use create_agents::{AgentSystem, datasets};
+use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_core::prelude::*;
+use create_env::{Benchmark, TaskId};
+use create_tensor::Precision;
+use create_tensor::stats::r2_score;
+
+fn main() {
+    let _t = Stopwatch::start("fig14");
+    let system = AgentSystem::jarvis();
+    let dep = jarvis_deployment();
+
+    banner("Fig. 14(a)", "predicted vs actual entropy (held-out frames)");
+    // Held-out: different seeds than the training collection.
+    let controller = system.deploy_controller(Precision::Int8);
+    let tasks: Vec<TaskId> = TaskId::ALL
+        .into_iter()
+        .filter(|t| t.benchmark() == Benchmark::Minecraft)
+        .collect();
+    let samples = datasets::collect_entropy(&controller, &tasks, 1, 150, ACT_TEMPERATURE, 0xE7A1);
+    let actual: Vec<f32> = samples.iter().map(|s| s.entropy).collect();
+    let predicted: Vec<f32> = samples
+        .iter()
+        .map(|s| system.predictor.predict(&s.image, s.subtask_token))
+        .collect();
+    let r2 = r2_score(&actual, &predicted);
+    let mut t = TextTable::new(vec!["actual", "predicted"]);
+    for (a, p) in actual.iter().zip(&predicted).take(400) {
+        t.row(vec![format!("{a:.3}"), format!("{p:.3}")]);
+    }
+    emit(&t, "fig14a_predictor_scatter");
+    println!("held-out frames: {}; R² = {r2:.3} (paper: 0.92)", samples.len());
+
+    banner("Fig. 14(b)", "real-time tracking and commanded voltage");
+    let config = CreateConfig {
+        voltage: VoltageControl::adaptive(EntropyPolicy::preset_c()),
+        record_traces: true,
+        ..CreateConfig::golden()
+    };
+    let out = run_trial(&dep, TaskId::Stone, &config, 0xB14);
+    let mut t = TextTable::new(vec!["step", "golden_entropy", "predicted", "voltage_v"]);
+    for i in 0..out.entropy_trace.len() {
+        let predicted = out
+            .predicted_trace
+            .get(i)
+            .copied()
+            .filter(|v| !v.is_nan())
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|| "-".to_string());
+        t.row(vec![
+            i.to_string(),
+            format!("{:.3}", out.entropy_trace[i]),
+            predicted,
+            format!("{:.2}", out.voltage_trace[i]),
+        ]);
+    }
+    emit(&t, "fig14b_realtime_tracking");
+    println!(
+        "mission success: {}; steps: {}; LDO switches: {}",
+        out.success, out.steps, out.ldo_switches
+    );
+}

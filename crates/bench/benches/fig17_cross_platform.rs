@@ -1,0 +1,191 @@
+//! Fig. 17: cross-platform generality. AD+WR applied to three planner
+//! platforms (JARVIS-1, OpenVLA on LIBERO, RoboFlamingo on CALVIN) and
+//! AD+VS applied to three controller platforms (JARVIS-1, Octo and RT-1 on
+//! OXE), each on three tasks, reporting computational energy savings at
+//! each platform/task's *searched* minimal iso-quality voltage (the same
+//! acceptance rule as Fig. 16b).
+
+use create_agents::AgentSystem;
+use create_agents::presets::{ControllerPreset, PlannerPreset};
+use create_bench::{Stopwatch, banner, emit, min_voltage_point};
+use create_core::prelude::*;
+use create_env::TaskId;
+use create_tensor::Precision;
+
+fn task_limits(task: TaskId) -> MissionLimits {
+    if task.benchmark() == create_env::Benchmark::Minecraft {
+        MissionLimits::default()
+    } else {
+        MissionLimits::manipulation()
+    }
+}
+
+/// Per-task row: (task, minimal voltage, success at it, compute savings).
+type Row = (TaskId, f64, f64, f64);
+
+fn planner_eval(dep: &Deployment, tasks: &[TaskId], reps: u32) -> Vec<Row> {
+    // Planner savings: AD+WR at the searched minimal planner voltage vs
+    // nominal; errors on the planner only, isolating the planner platform.
+    tasks
+        .iter()
+        .map(|&task| {
+            let limits = task_limits(task);
+            let nominal = run_point(
+                dep,
+                task,
+                &CreateConfig {
+                    limits,
+                    ..CreateConfig::golden()
+                },
+                reps,
+                0x17,
+            );
+            let (v, protected) = min_voltage_point(dep, task, &nominal, reps, 0x17, |v| {
+                CreateConfig {
+                    planner_error: Some(ErrorSpec::voltage()),
+                    planner_ad: true,
+                    wr: true,
+                    planner_voltage: v,
+                    limits,
+                    ..CreateConfig::golden()
+                }
+            });
+            let savings = 1.0 - protected.avg_compute_j / nominal.avg_compute_j;
+            (task, v, protected.success_rate, savings)
+        })
+        .collect()
+}
+
+fn controller_eval(dep: &Deployment, tasks: &[TaskId], reps: u32) -> Vec<Row> {
+    // Controller savings: AD + adaptive VS around the searched policy
+    // mid-point vs nominal; errors on the controller only.
+    tasks
+        .iter()
+        .map(|&task| {
+            let limits = task_limits(task);
+            let nominal = run_point(
+                dep,
+                task,
+                &CreateConfig {
+                    limits,
+                    ..CreateConfig::golden()
+                },
+                reps,
+                0x18,
+            );
+            let (v, protected) = min_voltage_point(dep, task, &nominal, reps, 0x18, |v| {
+                CreateConfig {
+                    controller_error: Some(ErrorSpec::voltage()),
+                    controller_ad: true,
+                    voltage: VoltageControl::adaptive(create_baselines::shifted_policy(v)),
+                    limits,
+                    ..CreateConfig::golden()
+                }
+            });
+            let savings = 1.0 - protected.avg_compute_j / nominal.avg_compute_j;
+            (task, v, protected.success_rate, savings)
+        })
+        .collect()
+}
+
+fn main() {
+    let _t = Stopwatch::start("fig17");
+    let reps = default_reps();
+
+    let jarvis = Deployment::new(&AgentSystem::jarvis(), Precision::Int8);
+    let openvla = Deployment::new(
+        &AgentSystem::build(PlannerPreset::openvla(), ControllerPreset::octo()),
+        Precision::Int8,
+    );
+    let roboflamingo = Deployment::new(
+        &AgentSystem::build(PlannerPreset::roboflamingo(), ControllerPreset::rt1()),
+        Precision::Int8,
+    );
+
+    banner("Fig. 17(a)", "planner benchmarks: AD+WR energy savings at searched minimal voltage");
+    let mut t = TextTable::new(vec![
+        "platform",
+        "task",
+        "min_voltage",
+        "success_rate",
+        "compute_savings",
+    ]);
+    let mut sum = 0.0;
+    let mut count = 0;
+    for (dep, name, tasks) in [
+        (
+            &jarvis,
+            "JARVIS-1",
+            vec![TaskId::Wooden, TaskId::Stone],
+        ),
+        (
+            &openvla,
+            "OpenVLA",
+            vec![TaskId::Wine, TaskId::Alphabet, TaskId::Bbq],
+        ),
+        (
+            &roboflamingo,
+            "RoboFlamingo",
+            vec![TaskId::Button, TaskId::Block, TaskId::Handle],
+        ),
+    ] {
+        for (task, v, sr, savings) in planner_eval(dep, &tasks, reps) {
+            t.row(vec![
+                name.to_string(),
+                task.to_string(),
+                format!("{v:.2}"),
+                pct(sr),
+                pct(savings),
+            ]);
+            sum += savings;
+            count += 1;
+        }
+    }
+    emit(&t, "fig17a_planner_platforms");
+    println!("average planner savings: {:.1}% (paper: 50.7%)", 100.0 * sum / count as f64);
+
+    banner("Fig. 17(b)", "controller benchmarks: AD+VS energy savings at searched minimal voltage");
+    let mut t = TextTable::new(vec![
+        "platform",
+        "task",
+        "min_voltage",
+        "success_rate",
+        "compute_savings",
+    ]);
+    let mut sum = 0.0;
+    let mut count = 0;
+    for (dep, name, tasks) in [
+        (
+            &jarvis,
+            "JARVIS-1",
+            vec![TaskId::Charcoal, TaskId::Chicken],
+        ),
+        (
+            &openvla,
+            "Octo",
+            vec![TaskId::Eggplant, TaskId::Coke, TaskId::Carrot],
+        ),
+        (
+            &roboflamingo,
+            "RT-1",
+            vec![TaskId::Open, TaskId::Move, TaskId::Place],
+        ),
+    ] {
+        for (task, v, sr, savings) in controller_eval(dep, &tasks, reps) {
+            t.row(vec![
+                name.to_string(),
+                task.to_string(),
+                format!("{v:.2}"),
+                pct(sr),
+                pct(savings),
+            ]);
+            sum += savings;
+            count += 1;
+        }
+    }
+    emit(&t, "fig17b_controller_platforms");
+    println!(
+        "average controller savings: {:.1}% (paper: 39.3%)",
+        100.0 * sum / count as f64
+    );
+}

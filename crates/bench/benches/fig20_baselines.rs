@@ -1,0 +1,56 @@
+//! Fig. 20: comparison with existing techniques across operating voltages.
+//! DMR is reliable but ≥2× energy; ThUnderVolt's output skipping degrades
+//! task quality at low voltage; ABFT's recompute storms blow up energy
+//! below ~0.84 V; CREATE holds task quality at the lowest energy.
+//!
+//! Extension: a Razor-style timing-borrowing contender (the class the
+//! paper cites as [43–45] but does not evaluate) — reliable like DMR at a
+//! lower static cost, but its per-PE overhead is always paid and replay
+//! charges grow as voltage falls.
+
+use create_baselines::BaselineKind;
+use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_core::prelude::*;
+use create_env::TaskId;
+
+fn main() {
+    let _t = Stopwatch::start("fig20");
+    let dep = jarvis_deployment();
+    let reps = default_reps();
+    let voltages = [0.88, 0.86, 0.84, 0.82];
+
+    for task in [TaskId::Wooden, TaskId::Stone] {
+        banner(
+            "Fig. 20",
+            &format!("baseline comparison on {task}: success & energy vs voltage"),
+        );
+        let mut t = TextTable::new(vec![
+            "voltage_v",
+            "scheme",
+            "success_rate",
+            "avg_steps",
+            "energy_j",
+        ]);
+        for &v in &voltages {
+            for kind in BaselineKind::ALL {
+                let p = run_point(&dep, task, &kind.config(v), reps, 0x20);
+                t.row(vec![
+                    format!("{v:.2}"),
+                    kind.to_string(),
+                    pct(p.success_rate),
+                    format!("{:.0}", p.avg_steps),
+                    format!("{:.2}", p.avg_energy_j),
+                ]);
+            }
+        }
+        emit(&t, &format!("fig20_baselines_{task}"));
+    }
+    println!(
+        "Expected shape: DMR keeps success but costs ~2x energy; ThUnderVolt\n\
+         and ABFT fall off as voltage drops; Razor (extension contender)\n\
+         stays reliable but pays its 8% static overhead everywhere plus\n\
+         growing replay charges; CREATE sustains success at the lowest\n\
+         energy per task (paper: 35.0% / 33.8% savings over the best\n\
+         baseline on wooden / stone)."
+    );
+}

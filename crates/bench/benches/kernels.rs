@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks of the performance-critical kernels: the
+//! INT8 systolic GEMM, error injection, anomaly detection (to quantify its
+//! "negligible overhead" claim in software terms) and the fast
+//! Walsh–Hadamard transform used by weight rotation.
+
+use create_accel::ecc::Codeword;
+use create_accel::inject::{ErrorModel, InjectionTarget, Injector};
+use create_accel::sram::{MemoryFaultModel, Protection, SramBuffer};
+use create_accel::{ad, array};
+use create_accel::ctx::{Component, LayerCtx, Unit};
+use create_tensor::hadamard::fwht_normalized;
+use create_tensor::{Matrix, Precision, QuantMatrix};
+use criterion::{Criterion, criterion_group, criterion_main};
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = QuantMatrix::quantize(
+        &Matrix::random_uniform(16, 256, 1.0, &mut rng),
+        Precision::Int8,
+    );
+    let w = QuantMatrix::quantize(
+        &Matrix::random_uniform(256, 256, 1.0, &mut rng),
+        Precision::Int8,
+    );
+    c.bench_function("gemm_i8_16x256x256", |b| {
+        b.iter(|| black_box(array::gemm_i8_acc(black_box(&a), black_box(&w))))
+    });
+}
+
+fn bench_injection(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let injector = Injector::new(
+        ErrorModel::Uniform { ber: 1e-5 },
+        InjectionTarget::All,
+        100.0,
+    );
+    let ctx = LayerCtx::new(Unit::Controller, Component::Fc1, 0);
+    let base = vec![12345i32; 4096];
+    c.bench_function("inject_sparse_4096", |b| {
+        b.iter(|| {
+            let mut acc = base.clone();
+            black_box(injector.inject(&mut acc, ctx, 0.9, &mut rng))
+        })
+    });
+}
+
+fn bench_anomaly_detection(c: &mut Criterion) {
+    let acc: Vec<i32> = (0..4096).map(|i| (i * 37) % 4000 - 2000).collect();
+    c.bench_function("ad_clear_4096", |b| {
+        b.iter(|| {
+            let mut buf = acc.clone();
+            black_box(ad::clear_anomalies(&mut buf, 1_900))
+        })
+    });
+}
+
+fn bench_hadamard(c: &mut Criterion) {
+    let data: Vec<f32> = (0..64).map(|i| (i as f32).sin()).collect();
+    c.bench_function("fwht_64", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            fwht_normalized(&mut buf);
+            black_box(buf)
+        })
+    });
+}
+
+fn bench_secded(c: &mut Criterion) {
+    c.bench_function("secded_encode_u64", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            black_box(Codeword::encode(black_box(i)))
+        })
+    });
+    let cw = Codeword::encode(0xDEAD_BEEF_0BAD_F00D).with_flipped_bit(17);
+    c.bench_function("secded_decode_corrected", |b| {
+        b.iter(|| black_box(black_box(cw).decode()))
+    });
+}
+
+fn bench_sram_snapshot(c: &mut Criterion) {
+    let data: Vec<i8> = (0..16_384).map(|i| ((i * 37 + 11) % 255) as u8 as i8).collect();
+    let buf = SramBuffer::store(&data, Protection::Secded, MemoryFaultModel::new());
+    let mut rng = StdRng::seed_from_u64(3);
+    c.bench_function("sram_snapshot_secded_16k_0p72v", |b| {
+        b.iter(|| black_box(buf.snapshot(0.72, &mut rng)))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm, bench_injection, bench_anomaly_detection, bench_hadamard,
+        bench_secded, bench_sram_snapshot
+}
+criterion_main!(kernels);

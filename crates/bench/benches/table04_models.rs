@@ -1,0 +1,80 @@
+//! Tables 4 and 7–10: model inventories. Reference parameters/operations
+//! (what energy is book-kept against), the proxy architectures actually
+//! trained and deployed, and the task registry.
+
+use create_agents::AgentSystem;
+use create_agents::presets::{ControllerPreset, PlannerPreset, PredictorPreset};
+use create_bench::{Stopwatch, banner, emit};
+use create_core::prelude::*;
+use create_env::TaskId;
+
+fn main() {
+    let _t = Stopwatch::start("table04");
+
+    banner("Table 4", "model parameters and computational requirements");
+    let mut t = TextTable::new(vec!["model", "ref_params_M", "ref_gops_int8", "proxy_arch"]);
+    for p in [
+        PlannerPreset::jarvis(),
+        PlannerPreset::openvla(),
+        PlannerPreset::roboflamingo(),
+    ] {
+        t.row(vec![
+            format!("{} planner", p.name),
+            format!("{:.0}", p.ref_params_m),
+            format!("{:.0}", p.ref_gops),
+            format!("{}x d{} mlp{}", p.proxy_layers, p.proxy_hidden, p.proxy_mlp),
+        ]);
+    }
+    for c in [
+        ControllerPreset::jarvis(),
+        ControllerPreset::rt1(),
+        ControllerPreset::octo(),
+    ] {
+        t.row(vec![
+            format!("{} controller", c.name),
+            format!("{:.0}", c.ref_params_m),
+            format!("{:.0}", c.ref_gops),
+            format!("{}x d{} mlp{}", c.proxy_layers, c.proxy_hidden, c.proxy_mlp),
+        ]);
+    }
+    let pred = PredictorPreset::paper();
+    t.row(vec![
+        "entropy predictor".into(),
+        format!("{:.3}", pred.ref_params / 1e6),
+        format!("{:.3}", pred.ref_mops / 1e3),
+        "Table 9 CNN+MLP".into(),
+    ]);
+    emit(&t, "table04_models");
+
+    banner("Tables 7-9", "proxy architectures actually trained");
+    let system = AgentSystem::jarvis();
+    println!(
+        "  planner:   {} blocks, d={}, vocab={}, params={}",
+        system.planner.blocks.len(),
+        system.planner.width(),
+        create_agents::vocab::VOCAB,
+        system.planner.param_count()
+    );
+    println!(
+        "  controller: {} blocks, d={}, actions={}",
+        system.controller.blocks.len(),
+        system.controller.width(),
+        create_env::Action::COUNT
+    );
+    println!(
+        "  predictor: Conv(3->16->32->64, k3 s3 p1) + Linear(512->64) + fusion 128->128->1, params={}",
+        system.predictor.param_count()
+    );
+
+    banner("Table 10", "task descriptions");
+    let mut t = TextTable::new(vec!["benchmark", "abbr", "description", "plan_len"]);
+    for task in TaskId::ALL {
+        t.row(vec![
+            task.benchmark().to_string(),
+            task.to_string(),
+            task.description().to_string(),
+            task.reference_plan().len().to_string(),
+        ]);
+    }
+    emit(&t, "table10_tasks");
+}

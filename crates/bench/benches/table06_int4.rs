@@ -1,0 +1,111 @@
+//! Table 6: quantization-related behaviour under AD+WR — INT8 vs INT4.
+//!
+//! Two panels, because the proxy and the reference differ in where INT4
+//! is viable:
+//!
+//! * **(a) whole-system INT4** (the paper's configuration): the 64-dim
+//!   proxy planner has no redundancy to spare and its error-free ceiling
+//!   *collapses* at 4-bit codes — reported honestly; the paper's
+//!   4096-dim planner does not have this problem.
+//! * **(b) controller INT4** (mixed precision): the controller hosts
+//!   INT4 fine at proxy scale, so the paper's actual claim — protected
+//!   degradation under injected errors is statistically similar across
+//!   precisions, because AD's tightened detection range compresses the
+//!   undetected-error band — is evaluated there.
+
+use create_agents::AgentSystem;
+use create_bench::{Stopwatch, banner, emit};
+use create_core::prelude::*;
+use create_env::TaskId;
+use create_tensor::Precision;
+use std::sync::Arc;
+
+fn main() {
+    let _t = Stopwatch::start("table06");
+    let system = AgentSystem::jarvis();
+    let reps = default_reps();
+
+    banner(
+        "Table 6(a)",
+        "whole-system precision on stone under AD+WR (proxy planner cannot host INT4)",
+    );
+    let mut t = TextTable::new(vec!["precision", "ber", "success_rate", "avg_steps"]);
+    for precision in [Precision::Int8, Precision::Int4] {
+        let dep = Deployment::new(&system, precision);
+        for ber in [1e-8, 1e-7, 1e-6, 1e-5] {
+            let config = CreateConfig {
+                planner_error: Some(ErrorSpec::uniform(ber)),
+                controller_error: Some(ErrorSpec::uniform(ber)),
+                planner_ad: true,
+                controller_ad: true,
+                wr: true,
+                precision,
+                ..CreateConfig::golden()
+            };
+            let p = run_point(&dep, TaskId::Stone, &config, reps, 0x06);
+            t.row(vec![
+                format!("{precision:?}"),
+                sci(ber),
+                pct(p.success_rate),
+                format!("{:.0}", p.avg_steps),
+            ]);
+        }
+        // Error-free reference at this precision.
+        let golden = run_point(
+            &dep,
+            TaskId::Stone,
+            &CreateConfig {
+                precision,
+                ..CreateConfig::golden()
+            },
+            reps,
+            0x06,
+        );
+        t.row(vec![
+            format!("{precision:?}"),
+            "0".into(),
+            pct(golden.success_rate),
+            format!("{:.0}", golden.avg_steps),
+        ]);
+    }
+    emit(&t, "table06a_int4_system");
+
+    banner(
+        "Table 6(b)",
+        "controller precision on stone (planner INT8 golden), controller errors + AD",
+    );
+    let mut t = TextTable::new(vec![
+        "controller_precision",
+        "ber",
+        "success_rate",
+        "avg_steps",
+    ]);
+    for precision in [Precision::Int8, Precision::Int4] {
+        let mut dep = Deployment::new(&system, Precision::Int8);
+        dep.controller = Arc::new(system.deploy_controller(precision));
+        for ber in [0.0, 1e-4, 1e-3, 5e-3, 1e-2] {
+            let config = CreateConfig {
+                controller_error: (ber > 0.0).then(|| ErrorSpec::uniform(ber)),
+                controller_ad: true,
+                ..CreateConfig::golden()
+            };
+            let p = run_point(&dep, TaskId::Stone, &config, reps, 0x06B);
+            t.row(vec![
+                format!("{precision:?}"),
+                if ber == 0.0 { "0".into() } else { sci(ber) },
+                pct(p.success_rate),
+                format!("{:.0}", p.avg_steps),
+            ]);
+        }
+    }
+    emit(&t, "table06b_int4_controller");
+    println!(
+        "Expected shape: (a) the proxy planner's INT4 ceiling collapses —\n\
+         a proxy-scale artifact, reported honestly; (b) on the controller,\n\
+         INT4's error-free ceiling matches INT8 and the protected\n\
+         degradation tracks INT8 through BER 1e-3; at ~5e-3 INT4's thinner\n\
+         margins give out a little earlier — the paper's claim holds over\n\
+         the deployment-relevant BER range on the unit with redundancy to\n\
+         spare."
+    );
+}

@@ -1,0 +1,122 @@
+//! Shared plumbing for the per-figure experiment harnesses.
+//!
+//! Every `benches/figXX_*.rs` target is a `harness = false` binary that
+//! regenerates one table or figure of the paper: it loads the cached
+//! trained agents, runs the experiment at `CREATE_REPS` repetitions
+//! (default 40), prints the paper's rows/series as an aligned table, and
+//! mirrors the data into `results/*.csv`.
+
+use create_agents::AgentSystem;
+use create_core::prelude::*;
+use create_env::TaskId;
+use create_tensor::Precision;
+use std::time::Instant;
+
+/// Loads (or trains) the JARVIS-1 testbed and deploys it at INT8.
+pub fn jarvis_deployment() -> Deployment {
+    let system = AgentSystem::jarvis();
+    Deployment::new(&system, Precision::Int8)
+}
+
+/// The LDO-grid candidates scanned by minimal-voltage searches, gentle to
+/// aggressive.
+pub const V_SEARCH_GRID: [f64; 9] = [0.90, 0.89, 0.88, 0.87, 0.86, 0.85, 0.84, 0.83, 0.82];
+
+/// Iso-task-quality acceptance used by the Fig. 16/17 minimal-voltage
+/// searches: success within one trial of golden, and successful-trial
+/// steps within 2.5× golden (unchecked step inflation is what inverts
+/// per-task energy — Fig. 1d).
+pub fn sustains_quality(golden: &SweepPoint, p: &SweepPoint) -> bool {
+    let slack = 1.0 / p.n.max(1) as f64 + 1e-9;
+    let success_ok = p.success_rate >= golden.success_rate - slack;
+    let steps_ok = p.successes == 0 || p.avg_steps <= 2.5 * golden.avg_steps.max(1.0);
+    success_ok && steps_ok
+}
+
+/// Scans [`V_SEARCH_GRID`] downward and returns the operating point for
+/// `config_at(v)`: among the candidates that sustain `golden` task
+/// quality (the scan stops at the first violation), the one with the
+/// lowest compute energy is selected — an engineer would never deploy a
+/// voltage that *costs* energy, which can otherwise happen at small rep
+/// counts when a single within-slack failure carries its full step
+/// budget. The gentlest candidate is always accepted as the anchor, so
+/// the result is total.
+pub fn min_voltage_point(
+    dep: &Deployment,
+    task: TaskId,
+    golden: &SweepPoint,
+    reps: u32,
+    seed: u64,
+    config_at: impl Fn(f64) -> CreateConfig,
+) -> (f64, SweepPoint) {
+    let mut best_v = V_SEARCH_GRID[0];
+    let mut best = run_point(dep, task, &config_at(V_SEARCH_GRID[0]), reps, seed);
+    for &v in &V_SEARCH_GRID[1..] {
+        let p = run_point(dep, task, &config_at(v), reps, seed);
+        if !sustains_quality(golden, &p) {
+            break;
+        }
+        if p.avg_compute_j < best.avg_compute_j {
+            best_v = v;
+            best = p;
+        }
+    }
+    (best_v, best)
+}
+
+/// Prints a figure banner.
+pub fn banner(figure: &str, caption: &str) {
+    println!();
+    println!("=== {figure} — {caption} ===");
+}
+
+/// Prints a table and writes it to `results/<name>.csv`.
+pub fn emit(table: &TextTable, name: &str) {
+    println!("{}", table.render());
+    let path = results_dir().join(format!("{name}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("[csv] {}", path.display()),
+        Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Elapsed-time reporter for a whole bench target.
+pub struct Stopwatch(Instant, &'static str);
+
+impl Stopwatch {
+    /// Starts timing a bench target.
+    pub fn start(name: &'static str) -> Self {
+        Self(Instant::now(), name)
+    }
+}
+
+impl Drop for Stopwatch {
+    fn drop(&mut self) {
+        println!("[{}] completed in {:.1}s", self.1, self.0.elapsed().as_secs_f64());
+    }
+}
+
+/// The BER grid used by characterization sweeps (log-spaced).
+pub fn ber_grid(lo_exp: i32, hi_exp: i32, per_decade: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for e in lo_exp..=hi_exp {
+        for &m in per_decade {
+            let v = m * 10f64.powi(e);
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_grid_is_log_spaced_and_sorted() {
+        let g = ber_grid(-8, -6, &[1.0, 3.0]);
+        assert_eq!(g.len(), 6);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        assert!((g[0] - 1e-8).abs() < 1e-20);
+    }
+}

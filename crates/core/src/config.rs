@@ -1,0 +1,252 @@
+//! Experiment configuration: which CREATE techniques are active, what
+//! errors are injected where, and the mission step budgets.
+
+use create_accel::Scheme;
+use create_accel::inject::{ErrorModel, InjectionTarget, Injector};
+use create_accel::timing::{TimingModel, V_NOMINAL};
+use create_tensor::Precision;
+
+use crate::policy::EntropyPolicy;
+
+/// Error injection for one unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSpec {
+    /// Statistical error model.
+    pub model: ErrorModel,
+    /// Which GEMMs receive errors.
+    pub target: InjectionTarget,
+}
+
+impl ErrorSpec {
+    /// Uniform-BER injection into every GEMM (the Sec. 4 characterization
+    /// model).
+    pub fn uniform(ber: f64) -> Self {
+        Self {
+            model: ErrorModel::Uniform { ber },
+            target: InjectionTarget::All,
+        }
+    }
+
+    /// Hardware (voltage-derived) injection into every GEMM (the Sec. 6
+    /// deployment model).
+    pub fn voltage() -> Self {
+        Self {
+            model: ErrorModel::Voltage {
+                model: TimingModel::new(),
+            },
+            target: InjectionTarget::All,
+        }
+    }
+
+    /// Builds the accelerator injector with a unit's inference scale.
+    pub fn injector(&self, inference_scale: f64) -> Injector {
+        Injector::new(self.model, self.target, inference_scale)
+    }
+}
+
+/// Voltage control for the controller rail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VoltageControl {
+    /// Constant supply voltage.
+    Fixed(f64),
+    /// Autonomy-adaptive voltage scaling (Sec. 5.3): the entropy predictor
+    /// drives an LDO through an entropy→voltage policy.
+    Adaptive {
+        /// The entropy→voltage mapping.
+        policy: EntropyPolicy,
+        /// Steps between voltage updates (paper default: 5).
+        interval: u32,
+    },
+}
+
+impl VoltageControl {
+    /// The paper's default adaptive setup with the given policy.
+    pub fn adaptive(policy: EntropyPolicy) -> Self {
+        VoltageControl::Adaptive {
+            policy,
+            interval: 5,
+        }
+    }
+}
+
+/// Restricting injection to a mission phase (Fig. 7's stage study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PhaseGate {
+    /// Inject throughout.
+    #[default]
+    Always,
+    /// Inject only while exploring (no adjacent target, no streak).
+    ExplorationOnly,
+    /// Inject only during execution (adjacent target or active streak).
+    ExecutionOnly,
+}
+
+/// Mission step budgets.
+///
+/// Scaled ~×20 down from the paper's JARVIS-1 limits (600-step subtask
+/// replan windows, 12 000-step task failure), matching the proxy worlds'
+/// shorter missions. Ratios are preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissionLimits {
+    /// Steps before an unfinished subtask triggers replanning.
+    pub subtask_timeout: u32,
+    /// Total steps before the mission is declared failed.
+    pub max_steps: u64,
+}
+
+impl Default for MissionLimits {
+    fn default() -> Self {
+        Self {
+            subtask_timeout: 220,
+            max_steps: 3000,
+        }
+    }
+}
+
+impl MissionLimits {
+    /// Tighter limits for manipulation-world tasks (shorter missions).
+    pub fn manipulation() -> Self {
+        Self {
+            subtask_timeout: 120,
+            max_steps: 800,
+        }
+    }
+}
+
+/// Full configuration of one mission trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateConfig {
+    /// Error injection for the planner (None = golden).
+    pub planner_error: Option<ErrorSpec>,
+    /// Error injection for the controller (None = golden).
+    pub controller_error: Option<ErrorSpec>,
+    /// Anomaly detection on the planner's array.
+    pub planner_ad: bool,
+    /// Anomaly detection on the controller's array.
+    pub controller_ad: bool,
+    /// Weight-rotation-enhanced planning (selects the rotated deployment).
+    pub wr: bool,
+    /// Planner supply voltage.
+    pub planner_voltage: f64,
+    /// Controller voltage control.
+    pub voltage: VoltageControl,
+    /// Phase gating for controller injection (Fig. 7).
+    pub controller_phase: PhaseGate,
+    /// Burst length for phase-gated injection (Fig. 7's per-step
+    /// criticality panel): when `Some(k)`, controller errors hit only the
+    /// *first k steps* that match [`Self::controller_phase`], so both
+    /// phases receive the same error exposure and the comparison isolates
+    /// per-step severity. `None` injects for the phase's whole duration
+    /// (exposure-weighted vulnerability).
+    pub controller_burst: Option<u32>,
+    /// Datapath protection scheme (baseline comparison; CREATE = Plain).
+    pub scheme: Scheme,
+    /// Datapath precision.
+    pub precision: Precision,
+    /// Ablation knob: multiplier on every layer's offline-profiled output
+    /// bound (AD threshold and requantization rail); `1.0` deploys the
+    /// profiled bounds unchanged. See the `abl_ad_bound` bench target.
+    pub ad_bound_scale: f32,
+    /// Step budgets.
+    pub limits: MissionLimits,
+    /// Controller sampling temperature.
+    pub temperature: f32,
+    /// Record per-step entropy/voltage traces.
+    pub record_traces: bool,
+}
+
+impl Default for CreateConfig {
+    fn default() -> Self {
+        Self {
+            planner_error: None,
+            controller_error: None,
+            planner_ad: false,
+            controller_ad: false,
+            wr: false,
+            planner_voltage: V_NOMINAL,
+            voltage: VoltageControl::Fixed(V_NOMINAL),
+            controller_phase: PhaseGate::Always,
+            controller_burst: None,
+            scheme: Scheme::Plain,
+            precision: Precision::Int8,
+            ad_bound_scale: 1.0,
+            limits: MissionLimits::default(),
+            temperature: 0.7,
+        record_traces: false,
+        }
+    }
+}
+
+impl CreateConfig {
+    /// Golden (error-free, nominal-voltage) configuration.
+    pub fn golden() -> Self {
+        Self::default()
+    }
+
+    /// Both units injected with the hardware error model at `v` (the
+    /// "no protection" deployment corner).
+    pub fn undervolted(v: f64) -> Self {
+        Self {
+            planner_error: Some(ErrorSpec::voltage()),
+            controller_error: Some(ErrorSpec::voltage()),
+            planner_voltage: v,
+            voltage: VoltageControl::Fixed(v),
+            ..Self::default()
+        }
+    }
+
+    /// Enables the full CREATE stack (AD + WR + adaptive VS).
+    pub fn with_full_create(mut self, policy: EntropyPolicy) -> Self {
+        self.planner_ad = true;
+        self.controller_ad = true;
+        self.wr = true;
+        self.voltage = VoltageControl::adaptive(policy);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_config_is_error_free_and_nominal() {
+        let c = CreateConfig::golden();
+        assert!(c.planner_error.is_none());
+        assert!(c.controller_error.is_none());
+        assert_eq!(c.planner_voltage, V_NOMINAL);
+        assert_eq!(c.voltage, VoltageControl::Fixed(V_NOMINAL));
+    }
+
+    #[test]
+    fn undervolted_config_injects_everywhere() {
+        let c = CreateConfig::undervolted(0.75);
+        assert!(c.planner_error.is_some());
+        assert!(c.controller_error.is_some());
+        assert_eq!(c.planner_voltage, 0.75);
+    }
+
+    #[test]
+    fn full_create_enables_all_techniques() {
+        let c = CreateConfig::undervolted(0.75)
+            .with_full_create(EntropyPolicy::preset_c());
+        assert!(c.planner_ad && c.controller_ad && c.wr);
+        assert!(matches!(c.voltage, VoltageControl::Adaptive { interval: 5, .. }));
+    }
+
+    #[test]
+    fn limits_keep_paper_ratio() {
+        let l = MissionLimits::default();
+        // 600 / 12000 in the paper — one replan window is 1/~13 of the
+        // mission budget; ours stays in that regime.
+        let ratio = l.max_steps as f64 / l.subtask_timeout as f64;
+        assert!((10.0..20.0).contains(&ratio));
+    }
+
+    #[test]
+    fn uniform_spec_builds_injector() {
+        let spec = ErrorSpec::uniform(1e-4);
+        let inj = spec.injector(1.0);
+        assert!(inj.element_corruption_prob(0.9) > 0.0);
+    }
+}

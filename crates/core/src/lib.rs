@@ -1,0 +1,56 @@
+//! CREATE: the cross-layer resilience co-optimization framework.
+//!
+//! This crate ties the substrates together into the system the paper
+//! proposes (Fig. 2):
+//!
+//! * [`config`] — which techniques are active (AD / WR / VS), what errors
+//!   are injected where, step budgets;
+//! * [`mission`] — the end-to-end trial runner: planner decode → subtask
+//!   execution → replanning, with reference-scale energy metering and
+//!   LDO-driven autonomy-adaptive voltage scaling;
+//! * [`policy`] — entropy→voltage mapping policies (presets A–F and the
+//!   search candidate grid);
+//! * [`memory`] — the memory-resilience extension (SRAM retention faults
+//!   vs. SECDED) the paper defers to future work;
+//! * [`stats`] — parallel trial execution with Wilson-interval aggregation;
+//! * [`report`] — text tables and CSV output for the experiment harnesses.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use create_core::prelude::*;
+//!
+//! // Load (or train) the JARVIS-1 testbed and run one protected mission.
+//! let system = create_agents::AgentSystem::jarvis();
+//! let deployment = Deployment::new(&system, create_tensor::Precision::Int8);
+//! let config = CreateConfig::undervolted(0.75)
+//!     .with_full_create(EntropyPolicy::preset_c());
+//! let outcome = run_trial(&deployment, create_env::TaskId::Wooden, &config, 1);
+//! println!("success: {}, energy: {:.2} J", outcome.success, outcome.energy_j());
+//! ```
+
+pub mod config;
+pub mod memory;
+pub mod mission;
+pub mod policy;
+pub mod report;
+pub mod stats;
+
+#[cfg(test)]
+mod testutil;
+
+pub use config::{CreateConfig, ErrorSpec, MissionLimits, PhaseGate, VoltageControl};
+pub use memory::{MemTarget, MemoryConfig, MemoryPoint, run_memory_point};
+pub use mission::{Deployment, MissionOutcome, run_trial};
+pub use policy::EntropyPolicy;
+pub use stats::{SweepPoint, default_reps, run_outcomes, run_point};
+
+/// Convenient glob import for examples and benches.
+pub mod prelude {
+    pub use crate::config::{CreateConfig, ErrorSpec, MissionLimits, PhaseGate, VoltageControl};
+    pub use crate::memory::{MemTarget, MemoryConfig, MemoryPoint, run_memory_point};
+    pub use crate::mission::{Deployment, MissionOutcome, run_trial};
+    pub use crate::policy::EntropyPolicy;
+    pub use crate::report::{TextTable, joules, pct, results_dir, sci};
+    pub use crate::stats::{SweepPoint, default_reps, run_outcomes, run_point};
+}

@@ -1,0 +1,304 @@
+//! The memory-resilience extension: task quality under SRAM weight faults.
+//!
+//! The paper confines CREATE to computational timing errors, asserting that
+//! "memory faults can be effectively mitigated by ECC" (Sec. 2.3) and
+//! flagging memory-rail voltage scaling as future work (Sec. 3.1). This
+//! module measures both halves of that claim on the same mission runner
+//! used everywhere else:
+//!
+//! 1. deployed INT8 weights are stored in the modeled SRAM
+//!    ([`create_accel::sram`]), which materializes one *retention-fault
+//!    snapshot per trial* at the memory-rail voltage (cells whose static
+//!    noise margin collapses stay bad until rewritten — the Ares-style
+//!    static weight-fault protocol);
+//! 2. missions then run with the faulted weights, with or without SECDED
+//!    (72,64) protection ([`create_accel::ecc`]), and success rates are
+//!    aggregated exactly like every other sweep.
+//!
+//! The `ext_memory` bench target charts the outcome: unprotected weight
+//! storage collapses task quality well above the logic rail's protected
+//! minimum voltage, while SECDED holds golden quality to far lower
+//! voltages at a fixed 12.5% storage / ~3% read-energy overhead —
+//! quantifying the assumption the paper makes in prose.
+
+use crate::config::CreateConfig;
+use crate::mission::{Deployment, MissionOutcome, run_trial};
+use crate::stats::SweepPoint;
+use create_accel::sram::{MemoryFaultModel, Protection, ReadStats, SramBuffer};
+use create_agents::controller::QuantController;
+use create_agents::planner::QuantPlanner;
+use create_env::TaskId;
+use create_tensor::QuantMatrix;
+use rand::Rng;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which unit's weight buffer sits on the scaled memory rail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemTarget {
+    /// Fault the planner's weight buffer.
+    Planner,
+    /// Fault the controller's weight buffer.
+    Controller,
+}
+
+impl std::fmt::Display for MemTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MemTarget::Planner => "planner",
+            MemTarget::Controller => "controller",
+        })
+    }
+}
+
+/// Memory-rail configuration for one experiment point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryConfig {
+    /// Memory-rail supply voltage (independent of the logic rails).
+    pub voltage: f64,
+    /// Storage protection.
+    pub protection: Protection,
+    /// The retention-fault model.
+    pub model: MemoryFaultModel,
+}
+
+impl MemoryConfig {
+    /// A memory rail at voltage `v` with the given protection.
+    pub fn new(voltage: f64, protection: Protection) -> Self {
+        Self {
+            voltage,
+            protection,
+            model: MemoryFaultModel::new(),
+        }
+    }
+}
+
+/// Routes one weight matrix through the modeled SRAM and writes the fault
+/// snapshot back in place, accumulating counters into `stats`.
+fn fault_weight(w: &mut QuantMatrix, cfg: &MemoryConfig, rng: &mut impl Rng, stats: &mut ReadStats) {
+    let buf = SramBuffer::store(w.as_slice(), cfg.protection, cfg.model);
+    let (read, s) = buf.snapshot(cfg.voltage, rng);
+    w.as_mut_slice().copy_from_slice(&read);
+    stats.merge(s);
+}
+
+/// One retention-fault snapshot of a deployed controller.
+pub fn faulty_controller(
+    ctrl: &QuantController,
+    cfg: &MemoryConfig,
+    seed: u64,
+) -> (QuantController, ReadStats) {
+    let mut out = ctrl.clone();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51AA_D5EE);
+    let mut stats = ReadStats::default();
+    out.visit_weights_mut(|w| fault_weight(w, cfg, &mut rng, &mut stats));
+    (out, stats)
+}
+
+/// One retention-fault snapshot of a deployed planner.
+pub fn faulty_planner(
+    planner: &QuantPlanner,
+    cfg: &MemoryConfig,
+    seed: u64,
+) -> (QuantPlanner, ReadStats) {
+    let mut out = planner.clone();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51AA_D5EE);
+    let mut stats = ReadStats::default();
+    out.visit_weights_mut(|w| fault_weight(w, cfg, &mut rng, &mut stats));
+    (out, stats)
+}
+
+/// Builds a deployment whose targeted unit carries one fault snapshot.
+///
+/// Only the planner variant actually selected by `config.wr` is faulted;
+/// the mission runner ignores the other one.
+pub fn faulty_deployment(
+    dep: &Deployment,
+    target: MemTarget,
+    cfg: &MemoryConfig,
+    wr: bool,
+    seed: u64,
+) -> (Deployment, ReadStats) {
+    let mut out = dep.clone();
+    let stats = match target {
+        MemTarget::Controller => {
+            let (ctrl, stats) = faulty_controller(&dep.controller, cfg, seed);
+            out.controller = Arc::new(ctrl);
+            stats
+        }
+        MemTarget::Planner => {
+            let source = if wr { &dep.planner_wr } else { &dep.planner };
+            let (planner, stats) = faulty_planner(source, cfg, seed);
+            if wr {
+                out.planner_wr = Arc::new(planner);
+            } else {
+                out.planner = Arc::new(planner);
+            }
+            stats
+        }
+    };
+    (out, stats)
+}
+
+/// Aggregated result of one memory-fault experiment point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryPoint {
+    /// Mission-level aggregation (success rate, steps, energy).
+    pub sweep: SweepPoint,
+    /// Fault counters accumulated over all trials' snapshots.
+    pub stats: ReadStats,
+}
+
+/// Runs `n` trials where each trial draws a fresh retention-fault snapshot
+/// of the targeted unit's weights before executing the mission.
+///
+/// Datapath injection, AD, WR and voltage control follow `config`
+/// unchanged, so memory faults compose with the rest of CREATE exactly as
+/// they would on the platform.
+pub fn run_memory_point(
+    dep: &Deployment,
+    task: TaskId,
+    config: &CreateConfig,
+    target: MemTarget,
+    mem: &MemoryConfig,
+    n: u32,
+    base_seed: u64,
+) -> MemoryPoint {
+    let counter = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, MissionOutcome, ReadStats)>> =
+        Mutex::new(Vec::with_capacity(n as usize));
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1) as usize);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = counter.fetch_add(1, Ordering::Relaxed);
+                if idx >= n as usize {
+                    break;
+                }
+                let seed = base_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(idx as u64 * 7919);
+                let (faulted, stats) = faulty_deployment(dep, target, mem, config.wr, seed);
+                let outcome = run_trial(&faulted, task, config, seed);
+                results.lock().unwrap().push((idx, outcome, stats));
+            });
+        }
+    })
+    .expect("memory trial worker panicked");
+    let mut raw = results.into_inner().unwrap();
+    raw.sort_by_key(|(i, _, _)| *i);
+    let mut stats = ReadStats::default();
+    let outcomes: Vec<MissionOutcome> = raw
+        .into_iter()
+        .map(|(_, o, s)| {
+            stats.merge(s);
+            o
+        })
+        .collect();
+    MemoryPoint {
+        sweep: SweepPoint::from_outcomes(&outcomes),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_accel::timing::V_NOMINAL;
+
+    #[test]
+    fn memory_config_carries_the_model() {
+        let cfg = MemoryConfig::new(0.7, Protection::Secded);
+        assert_eq!(cfg.voltage, 0.7);
+        assert_eq!(cfg.protection, Protection::Secded);
+        assert!(cfg.model.upset_prob(0.7) > 0.0);
+    }
+
+    #[test]
+    fn targets_render_for_reports() {
+        assert_eq!(MemTarget::Planner.to_string(), "planner");
+        assert_eq!(MemTarget::Controller.to_string(), "controller");
+    }
+
+    #[test]
+    fn nominal_voltage_snapshot_leaves_weights_untouched() {
+        let (dep, _) = crate::testutil::tiny_deployment();
+        let cfg = MemoryConfig::new(V_NOMINAL, Protection::None);
+        let (ctrl, stats) = faulty_controller(&dep.controller, &cfg, 42);
+        assert_eq!(stats.bits_upset, 0);
+        assert_eq!(stats.corrupt_fraction(), 0.0);
+        assert!(stats.words_total > 0, "visitor must reach the weights");
+        // Behaviour identical: golden mission outcomes match.
+        let mut faulted_dep = dep.clone();
+        faulted_dep.controller = Arc::new(ctrl);
+        let a = run_trial(&dep, dep.tasks[0], &CreateConfig::golden(), 3);
+        let b = run_trial(&faulted_dep, dep.tasks[0], &CreateConfig::golden(), 3);
+        assert_eq!(a.success, b.success);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn low_voltage_unprotected_faults_change_weights() {
+        let (dep, _) = crate::testutil::tiny_deployment();
+        let cfg = MemoryConfig::new(0.62, Protection::None);
+        let (_, stats) = faulty_controller(&dep.controller, &cfg, 42);
+        assert!(stats.bits_upset > 0);
+        assert!(stats.words_silent > 0);
+    }
+
+    #[test]
+    fn secded_repairs_the_same_snapshot_voltage() {
+        let (dep, _) = crate::testutil::tiny_deployment();
+        let v = MemoryFaultModel::new().voltage_for_upset(2e-4);
+        let plain = faulty_controller(&dep.controller, &MemoryConfig::new(v, Protection::None), 7).1;
+        let ecc =
+            faulty_controller(&dep.controller, &MemoryConfig::new(v, Protection::Secded), 7).1;
+        assert!(plain.corrupt_fraction() > 0.0);
+        assert!(
+            ecc.corrupt_fraction() < 0.25 * plain.corrupt_fraction(),
+            "SECDED {ecc:?} vs plain {plain:?}"
+        );
+    }
+
+    #[test]
+    fn memory_point_is_deterministic() {
+        let (dep, task) = crate::testutil::tiny_deployment();
+        let cfg = MemoryConfig::new(0.78, Protection::Secded);
+        let a = run_memory_point(
+            &dep,
+            task,
+            &CreateConfig::golden(),
+            MemTarget::Controller,
+            &cfg,
+            4,
+            11,
+        );
+        let b = run_memory_point(
+            &dep,
+            task,
+            &CreateConfig::golden(),
+            MemTarget::Controller,
+            &cfg,
+            4,
+            11,
+        );
+        assert_eq!(a.sweep.successes, b.sweep.successes);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn planner_faults_target_the_wr_variant_when_wr_is_on() {
+        let (dep, _) = crate::testutil::tiny_deployment();
+        let cfg = MemoryConfig::new(0.62, Protection::None);
+        let (faulted, stats) = faulty_deployment(&dep, MemTarget::Planner, &cfg, true, 9);
+        assert!(stats.bits_upset > 0);
+        // The non-WR planner is untouched.
+        assert!(Arc::ptr_eq(&faulted.planner, &dep.planner));
+        assert!(!Arc::ptr_eq(&faulted.planner_wr, &dep.planner_wr));
+    }
+}

@@ -1,0 +1,500 @@
+//! The mission runner: one end-to-end embodied-AI trial.
+//!
+//! Mirrors the JARVIS-1 execution loop (paper Sec. 2.1): the planner
+//! decomposes the task into subtasks; the controller executes them step by
+//! step; a subtask that stalls past its window triggers replanning
+//! conditioned on the completed subtasks; the mission fails when the total
+//! step budget is exhausted. Energy is metered at reference scale per
+//! inference, and autonomy-adaptive voltage scaling drives the controller
+//! rail through the LDO model.
+
+use crate::config::{CreateConfig, PhaseGate, VoltageControl};
+use create_accel::energy::{EnergyMeter, InferenceCost};
+use create_accel::{AccelConfig, Accelerator, Ldo, Unit};
+use create_agents::bundle::AgentSystem;
+use create_agents::planner::QuantPlanner;
+use create_agents::controller::QuantController;
+use create_agents::predictor::EntropyPredictor;
+use create_agents::presets::{ControllerPreset, PlannerPreset, PredictorPreset};
+use create_env::{Observation, Subtask, TaskId, World};
+use create_tensor::Precision;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+/// Immutable deployed models shared across parallel trials.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// Quantized planner without weight rotation.
+    pub planner: Arc<QuantPlanner>,
+    /// Quantized planner with weight rotation (WR).
+    pub planner_wr: Arc<QuantPlanner>,
+    /// Quantized controller.
+    pub controller: Arc<QuantController>,
+    /// Entropy predictor (runs error-free at nominal voltage).
+    pub predictor: Arc<EntropyPredictor>,
+    /// Planner platform preset (energy/injection scales).
+    pub planner_preset: PlannerPreset,
+    /// Controller platform preset.
+    pub controller_preset: ControllerPreset,
+    /// Predictor workload preset.
+    pub predictor_preset: PredictorPreset,
+    /// Tasks this deployment's controller was trained for.
+    pub tasks: Vec<TaskId>,
+}
+
+impl Deployment {
+    /// Quantizes and deploys a trained [`AgentSystem`].
+    pub fn new(system: &AgentSystem, precision: Precision) -> Self {
+        Self {
+            planner: Arc::new(system.deploy_planner(false, precision)),
+            planner_wr: Arc::new(system.deploy_planner(true, precision)),
+            controller: Arc::new(system.deploy_controller(precision)),
+            predictor: Arc::new(system.predictor.clone()),
+            planner_preset: system.planner_preset,
+            controller_preset: system.controller_preset,
+            predictor_preset: PredictorPreset::paper(),
+            tasks: system.tasks(),
+        }
+    }
+}
+
+/// Everything measured in one trial.
+#[derive(Debug, Clone)]
+pub struct MissionOutcome {
+    /// Whether the task goal was achieved within the budget.
+    pub success: bool,
+    /// Environment steps executed.
+    pub steps: u64,
+    /// Planner invocations (1 + replans).
+    pub plans: u32,
+    /// Reference-scale energy accounting.
+    pub meter: EnergyMeter,
+    /// LDO transitions performed.
+    pub ldo_switches: u64,
+    /// Per-step golden-indicator entropy (only when traces are recorded).
+    pub entropy_trace: Vec<f32>,
+    /// Per-step predicted entropy (VS runs only; NaN on non-update steps).
+    pub predicted_trace: Vec<f32>,
+    /// Per-step controller voltage (only when traces are recorded).
+    pub voltage_trace: Vec<f64>,
+}
+
+impl MissionOutcome {
+    /// Total metered energy (J).
+    pub fn energy_j(&self) -> f64 {
+        self.meter.total_j()
+    }
+
+    /// Compute-only energy (J).
+    pub fn compute_j(&self) -> f64 {
+        self.meter.compute_j()
+    }
+
+    /// The controller's effective voltage over the mission.
+    pub fn effective_voltage(&self) -> f64 {
+        self.meter.unit(Unit::Controller).effective_voltage()
+    }
+}
+
+/// Classifies the phase of a step for [`PhaseGate`] injection gating:
+/// execution = an adjacent target or an active interact streak.
+fn is_execution_phase(obs: &Observation) -> bool {
+    let streak = obs.status[0] > 0.0;
+    let adjacent = obs.status[16..20].iter().any(|&v| v > 0.5);
+    let craft_ready = obs.status[1] > 0.5;
+    streak || adjacent || craft_ready
+}
+
+/// Runs one mission trial.
+pub fn run_trial(
+    dep: &Deployment,
+    task: TaskId,
+    config: &CreateConfig,
+    seed: u64,
+) -> MissionOutcome {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51EED);
+    let mut world = World::for_task(task, seed);
+
+    // Accelerators: planner at its fixed voltage, controller on the LDO
+    // rail, predictor implicitly error-free (f32 at nominal).
+    let mut planner_accel = Accelerator::new(
+        AccelConfig {
+            injector: config
+                .planner_error
+                .map(|e| e.injector(dep.planner_preset.injection_scale)),
+            ad_enabled: config.planner_ad,
+            scheme: config.scheme,
+            bound_scale: config.ad_bound_scale,
+        },
+        seed ^ 0x9A,
+    );
+    planner_accel.set_voltage(config.planner_voltage);
+    let controller_injector = config
+        .controller_error
+        .map(|e| e.injector(dep.controller_preset.injection_scale));
+    let mut ctrl_accel = Accelerator::new(
+        AccelConfig {
+            injector: controller_injector.clone(),
+            ad_enabled: config.controller_ad,
+            scheme: config.scheme,
+            bound_scale: config.ad_bound_scale,
+        },
+        seed ^ 0xC7,
+    );
+    let mut ldo = Ldo::new();
+    match &config.voltage {
+        VoltageControl::Fixed(v) => {
+            ldo.set_target(*v);
+        }
+        VoltageControl::Adaptive { policy, .. } => {
+            // Start at the policy's most conservative level.
+            ldo.set_target(policy.voltage_for(0.0));
+        }
+    }
+    ctrl_accel.set_voltage(ldo.output());
+
+    let planner_model: &QuantPlanner = if config.wr { &dep.planner_wr } else { &dep.planner };
+    let planner_cost: InferenceCost = dep.planner_preset.inference_cost();
+    let ctrl_cost: InferenceCost = dep.controller_preset.inference_cost();
+    let pred_cost: InferenceCost = dep.predictor_preset.inference_cost();
+    let mut meter = EnergyMeter::new();
+
+    let overhead = 1.0 + config.scheme.static_overhead();
+    let scaled = |cost: &InferenceCost, factor: f64| InferenceCost {
+        macs: cost.macs * factor,
+        dram_bytes: cost.dram_bytes,
+        sram_bytes: cost.sram_bytes,
+    };
+    let accel_factor = |accel: &Accelerator, p0: u64, l0: u64| -> f64 {
+        let dp = accel.macs() - p0;
+        let dl = accel.logical_macs() - l0;
+        if dl == 0 { 1.0 } else { dp as f64 / dl as f64 }
+    };
+
+    // Initial plan.
+    let (p0, l0) = (planner_accel.macs(), planner_accel.logical_macs());
+    let mut plan = planner_model.decode(&mut planner_accel, task, &[]);
+    meter.record(
+        Unit::Planner,
+        &scaled(&planner_cost, accel_factor(&planner_accel, p0, l0) * overhead),
+        config.planner_voltage,
+        config.precision,
+    );
+    let mut plans = 1u32;
+    let mut completed: Vec<Subtask> = Vec::new();
+    let mut plan_idx = 0usize;
+    let mut subtask_steps = 0u32;
+    world.set_subtask(plan[0]);
+
+    let mut entropy_trace = Vec::new();
+    let mut predicted_trace = Vec::new();
+    let mut voltage_trace = Vec::new();
+    let mut success = false;
+    let mut step_in_mission = 0u64;
+    let mut burst_used = 0u32;
+
+    while world.steps() < config.limits.max_steps {
+        // Advance through completed subtasks.
+        while world.subtask_complete() {
+            completed.push(plan[plan_idx]);
+            plan_idx += 1;
+            subtask_steps = 0;
+            if plan_idx < plan.len() {
+                world.set_subtask(plan[plan_idx]);
+            } else {
+                break;
+            }
+        }
+        if world.task_goal_met() {
+            success = true;
+            break;
+        }
+        // Replan when the plan is exhausted or the subtask stalls.
+        if plan_idx >= plan.len() || subtask_steps >= config.limits.subtask_timeout {
+            let (p0, l0) = (planner_accel.macs(), planner_accel.logical_macs());
+            plan = planner_model.decode(&mut planner_accel, task, &completed);
+            meter.record(
+                Unit::Planner,
+                &scaled(&planner_cost, accel_factor(&planner_accel, p0, l0) * overhead),
+                config.planner_voltage,
+                config.precision,
+            );
+            plans += 1;
+            plan_idx = 0;
+            subtask_steps = 0;
+            world.set_subtask(plan[0]);
+        }
+
+        let obs = world.observe();
+
+        // Autonomy-adaptive voltage scaling (every `interval` steps).
+        if let VoltageControl::Adaptive { policy, interval } = &config.voltage {
+            if step_in_mission % (*interval as u64) == 0 {
+                let image = obs.render_image();
+                let predicted = dep.predictor.predict(&image, obs.subtask_token);
+                meter.record(
+                    Unit::Predictor,
+                    &pred_cost,
+                    create_accel::timing::V_NOMINAL,
+                    config.precision,
+                );
+                ldo.set_target(policy.voltage_for(predicted));
+                ctrl_accel.set_voltage(ldo.output());
+                if config.record_traces {
+                    predicted_trace.push(predicted);
+                }
+            } else if config.record_traces {
+                predicted_trace.push(f32::NAN);
+            }
+        }
+
+        // Phase gating for the Fig. 7 study. With a burst limit, only the
+        // first `k` phase-matching steps receive errors, so both phases
+        // get identical exposure and the comparison isolates per-step
+        // criticality.
+        let phase_matches = match config.controller_phase {
+            PhaseGate::Always => true,
+            PhaseGate::ExplorationOnly => !is_execution_phase(&obs),
+            PhaseGate::ExecutionOnly => is_execution_phase(&obs),
+        };
+        if config.controller_phase != PhaseGate::Always || config.controller_burst.is_some() {
+            let budget_left = config.controller_burst.is_none_or(|k| burst_used < k);
+            let inject = phase_matches && budget_left;
+            if inject {
+                burst_used += 1;
+            }
+            ctrl_accel.set_injector(if inject { controller_injector.clone() } else { None });
+        }
+
+        let (c0, cl0) = (ctrl_accel.macs(), ctrl_accel.logical_macs());
+        let (action, entropy) =
+            dep.controller
+                .act(&mut ctrl_accel, &obs, config.temperature, &mut rng);
+        meter.record(
+            Unit::Controller,
+            &scaled(&ctrl_cost, accel_factor(&ctrl_accel, c0, cl0) * overhead),
+            ctrl_accel.voltage(),
+            config.precision,
+        );
+        if config.record_traces {
+            entropy_trace.push(entropy);
+            voltage_trace.push(ctrl_accel.voltage());
+        }
+        world.step(action);
+        subtask_steps += 1;
+        step_in_mission += 1;
+    }
+    if world.task_goal_met() {
+        success = true;
+    }
+    meter.record_ldo(ldo.switching_energy());
+
+    MissionOutcome {
+        success,
+        steps: world.steps(),
+        plans,
+        meter,
+        ldo_switches: ldo.switches(),
+        entropy_trace,
+        predicted_trace,
+        voltage_trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ErrorSpec;
+    use crate::policy::EntropyPolicy;
+    use create_agents::presets::{ControllerPreset, PlannerPreset};
+    use create_agents::{ControllerModel, PlannerModel};
+    use create_agents::{datasets, vocab};
+
+    /// A miniature deployment trained in-seconds for unit tests.
+    fn tiny_deployment() -> Deployment {
+        let planner_preset = PlannerPreset {
+            proxy_layers: 2,
+            proxy_hidden: 32,
+            proxy_mlp: 64,
+            proxy_heads: 4,
+            ..PlannerPreset::jarvis()
+        };
+        let controller_preset = ControllerPreset {
+            proxy_layers: 1,
+            proxy_hidden: 32,
+            proxy_mlp: 64,
+            proxy_heads: 4,
+            ..ControllerPreset::jarvis()
+        };
+        let mut rng = StdRng::seed_from_u64(77);
+        let samples: Vec<_> = vocab::training_samples()
+            .into_iter()
+            .filter(|s| {
+                s.tokens[0] == vocab::task_token(TaskId::Log)
+                    || s.tokens[0] == vocab::task_token(TaskId::Seed)
+            })
+            .collect();
+        let mut planner = PlannerModel::new(&planner_preset, &mut rng);
+        planner.train(&samples, 200, 3e-3, None, &mut rng);
+        let bc = datasets::collect_bc(&[TaskId::Log, TaskId::Seed], 2, 300, 0.05, 3);
+        let mut controller = ControllerModel::new(&controller_preset, &mut rng);
+        controller.train(&bc, 8, 2e-3, &mut rng);
+        let predictor = create_agents::EntropyPredictor::new(vocab::N_SUBTASKS, &mut rng);
+        Deployment {
+            planner: Arc::new(planner.deploy(&samples, Precision::Int8)),
+            planner_wr: Arc::new(planner.deploy(&samples, Precision::Int8)),
+            controller: Arc::new(controller.deploy(&bc, Precision::Int8)),
+            predictor: Arc::new(predictor),
+            planner_preset,
+            controller_preset,
+            predictor_preset: PredictorPreset::paper(),
+            tasks: vec![TaskId::Log, TaskId::Seed],
+        }
+    }
+
+    #[test]
+    fn golden_mission_succeeds_and_meters_energy() {
+        let dep = tiny_deployment();
+        let mut successes = 0;
+        for seed in 0..5 {
+            let out = run_trial(&dep, TaskId::Log, &CreateConfig::golden(), seed);
+            if out.success {
+                successes += 1;
+            }
+            assert!(out.energy_j() > 0.0);
+            assert!(out.steps > 0);
+            assert!(
+                out.plans <= 6,
+                "golden log mission should replan at most a few times, got {}",
+                out.plans
+            );
+        }
+        assert!(successes >= 4, "golden success {successes}/5");
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let dep = tiny_deployment();
+        let a = run_trial(&dep, TaskId::Seed, &CreateConfig::golden(), 9);
+        let b = run_trial(&dep, TaskId::Seed, &CreateConfig::golden(), 9);
+        assert_eq!(a.success, b.success);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.energy_j(), b.energy_j());
+    }
+
+    #[test]
+    fn massive_controller_errors_break_the_mission() {
+        let dep = tiny_deployment();
+        let config = CreateConfig {
+            controller_error: Some(ErrorSpec::uniform(2e-2)),
+            ..CreateConfig::golden()
+        };
+        let mut successes = 0;
+        for seed in 0..4 {
+            if run_trial(&dep, TaskId::Log, &config, seed).success {
+                successes += 1;
+            }
+        }
+        assert!(successes <= 1, "heavy errors should break missions");
+    }
+
+    #[test]
+    fn adaptive_voltage_reduces_effective_voltage() {
+        let dep = tiny_deployment();
+        let fixed = run_trial(&dep, TaskId::Seed, &CreateConfig::golden(), 4);
+        let config = CreateConfig {
+            voltage: VoltageControl::adaptive(EntropyPolicy::preset_c()),
+            record_traces: true,
+            ..CreateConfig::golden()
+        };
+        let adaptive = run_trial(&dep, TaskId::Seed, &config, 4);
+        assert!(
+            adaptive.effective_voltage() < fixed.effective_voltage(),
+            "VS should lower the effective voltage: {} vs {}",
+            adaptive.effective_voltage(),
+            fixed.effective_voltage()
+        );
+        assert!(adaptive.ldo_switches > 0 || adaptive.voltage_trace.len() < 5);
+        assert_eq!(adaptive.voltage_trace.len() as u64, adaptive.steps);
+    }
+
+    #[test]
+    fn traces_are_recorded_only_on_request() {
+        let dep = tiny_deployment();
+        let out = run_trial(&dep, TaskId::Seed, &CreateConfig::golden(), 6);
+        assert!(out.entropy_trace.is_empty());
+        let config = CreateConfig {
+            record_traces: true,
+            ..CreateConfig::golden()
+        };
+        let traced = run_trial(&dep, TaskId::Seed, &config, 6);
+        assert_eq!(traced.entropy_trace.len() as u64, traced.steps);
+    }
+
+    #[test]
+    fn zero_burst_is_equivalent_to_golden() {
+        // A burst budget of 0 disarms phase-gated injection entirely: the
+        // injector is detached before the first controller inference.
+        let dep = tiny_deployment();
+        let golden = run_trial(&dep, TaskId::Log, &CreateConfig::golden(), 5);
+        let burst0 = CreateConfig {
+            controller_error: Some(ErrorSpec::uniform(0.05)),
+            controller_phase: PhaseGate::ExecutionOnly,
+            controller_burst: Some(0),
+            ..CreateConfig::golden()
+        };
+        let out = run_trial(&dep, TaskId::Log, &burst0, 5);
+        assert_eq!(out.success, golden.success);
+        assert_eq!(out.steps, golden.steps);
+    }
+
+    #[test]
+    fn bounded_bursts_hurt_no_more_than_unlimited_exposure() {
+        let dep = tiny_deployment();
+        let unlimited = CreateConfig {
+            controller_error: Some(ErrorSpec::uniform(2e-2)),
+            controller_phase: PhaseGate::ExplorationOnly,
+            ..CreateConfig::golden()
+        };
+        let burst = CreateConfig {
+            controller_burst: Some(5),
+            ..unlimited.clone()
+        };
+        let mut burst_successes = 0;
+        let mut unlimited_successes = 0;
+        for seed in 0..6 {
+            if run_trial(&dep, TaskId::Log, &burst, seed).success {
+                burst_successes += 1;
+            }
+            if run_trial(&dep, TaskId::Log, &unlimited, seed).success {
+                unlimited_successes += 1;
+            }
+        }
+        assert!(
+            burst_successes >= unlimited_successes,
+            "capping exposure must not make missions worse: {burst_successes} vs {unlimited_successes}"
+        );
+    }
+
+    #[test]
+    fn failed_missions_burn_the_full_budget() {
+        let dep = tiny_deployment();
+        let config = CreateConfig {
+            controller_error: Some(ErrorSpec::uniform(5e-2)),
+            limits: crate::config::MissionLimits {
+                subtask_timeout: 50,
+                max_steps: 300,
+            },
+            ..CreateConfig::golden()
+        };
+        let out = run_trial(&dep, TaskId::Log, &config, 1);
+        if !out.success {
+            assert_eq!(
+                out.steps, 300,
+                "failures run to the budget (energy accounted for full execution)"
+            );
+            assert!(out.plans > 1, "stalling should trigger replanning");
+        }
+    }
+}

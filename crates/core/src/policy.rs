@@ -1,0 +1,235 @@
+//! Entropy→voltage mapping policies (paper Sec. 5.3, Fig. 21).
+//!
+//! Lower entropy means a critical step that needs a robust voltage margin;
+//! higher entropy means the agent is roaming and the controller tolerates
+//! aggressive undervolting. A policy is a monotone step function from
+//! predicted entropy to LDO target voltage. The paper searches ~100
+//! candidates and reports six Pareto-efficient ones (A–F); we provide the
+//! same six presets plus the candidate generator for the search benchmark.
+
+use create_accel::ldo::Ldo;
+use create_accel::timing::{V_MIN, V_NOMINAL};
+use std::fmt;
+
+/// A piecewise-constant entropy→voltage map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntropyPolicy {
+    name: String,
+    /// Ascending entropy cut points.
+    thresholds: Vec<f32>,
+    /// One voltage per bin (`thresholds.len() + 1` entries, descending:
+    /// the lowest-entropy bin gets the highest voltage).
+    voltages: Vec<f64>,
+}
+
+impl EntropyPolicy {
+    /// Builds a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltages.len() != thresholds.len() + 1`, thresholds are
+    /// not ascending, or voltages are not non-increasing in entropy.
+    pub fn new(name: impl Into<String>, thresholds: Vec<f32>, voltages: Vec<f64>) -> Self {
+        assert_eq!(
+            voltages.len(),
+            thresholds.len() + 1,
+            "need one voltage per entropy bin"
+        );
+        assert!(
+            thresholds.windows(2).all(|w| w[0] < w[1]),
+            "thresholds must ascend"
+        );
+        assert!(
+            voltages.windows(2).all(|w| w[0] >= w[1]),
+            "voltage must not increase with entropy"
+        );
+        let voltages = voltages.into_iter().map(Ldo::quantize).collect();
+        Self {
+            name: name.into(),
+            thresholds,
+            voltages,
+        }
+    }
+
+    /// Policy name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The LDO target voltage for a predicted entropy.
+    pub fn voltage_for(&self, entropy: f32) -> f64 {
+        let mut bin = 0;
+        for &t in &self.thresholds {
+            if entropy >= t {
+                bin += 1;
+            } else {
+                break;
+            }
+        }
+        self.voltages[bin]
+    }
+
+    /// The bin voltages.
+    pub fn voltages(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// The entropy thresholds.
+    pub fn thresholds(&self) -> &[f32] {
+        &self.thresholds
+    }
+
+    /// Paper policy A (most conservative preset).
+    pub fn preset_a() -> Self {
+        Self::new("A", vec![0.5, 1.2], vec![0.88, 0.85, 0.82])
+    }
+
+    /// Paper policy B.
+    pub fn preset_b() -> Self {
+        Self::new("B", vec![0.5, 1.2], vec![0.87, 0.83, 0.80])
+    }
+
+    /// Paper policy C — the default operating policy (Sec. 6.5 selects C).
+    pub fn preset_c() -> Self {
+        Self::new("C", vec![0.4, 1.0], vec![0.86, 0.82, 0.78])
+    }
+
+    /// Paper policy D.
+    pub fn preset_d() -> Self {
+        Self::new("D", vec![0.4, 1.0], vec![0.85, 0.80, 0.76])
+    }
+
+    /// Paper policy E.
+    pub fn preset_e() -> Self {
+        Self::new("E", vec![0.3, 0.9], vec![0.84, 0.78, 0.74])
+    }
+
+    /// Paper policy F (most aggressive preset).
+    pub fn preset_f() -> Self {
+        Self::new("F", vec![0.3, 0.9], vec![0.83, 0.76, 0.72])
+    }
+
+    /// The six Fig. 21 presets.
+    pub fn presets() -> Vec<EntropyPolicy> {
+        vec![
+            Self::preset_a(),
+            Self::preset_b(),
+            Self::preset_c(),
+            Self::preset_d(),
+            Self::preset_e(),
+            Self::preset_f(),
+        ]
+    }
+
+    /// Generates the policy-search candidate grid (~100 candidates, the
+    /// Sec. 6.5 search space): threshold pairs × voltage ladders.
+    pub fn search_candidates() -> Vec<EntropyPolicy> {
+        let mut out = Vec::new();
+        let threshold_sets = [
+            vec![0.3f32, 0.9],
+            vec![0.4, 1.0],
+            vec![0.5, 1.2],
+            vec![0.6, 1.3],
+        ];
+        let tops = [0.88f64, 0.86, 0.84, 0.82];
+        let mid_drops = [0.02f64, 0.04, 0.06];
+        let low_drops = [0.02f64, 0.04, 0.06];
+        let mut idx = 0;
+        for ts in &threshold_sets {
+            for &top in &tops {
+                for &md in &mid_drops {
+                    for &ld in &low_drops {
+                        let mid = top - md;
+                        let low = (mid - ld).max(V_MIN);
+                        out.push(EntropyPolicy::new(
+                            format!("cand{idx}"),
+                            ts.clone(),
+                            vec![top, mid, low],
+                        ));
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for EntropyPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        for (i, &v) in self.voltages.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | H≥{:.2} ", self.thresholds[i - 1])?;
+            }
+            write!(f, "{v:.2}V")?;
+        }
+        Ok(())
+    }
+}
+
+/// Validates that every policy voltage stays within the LDO's range.
+pub fn policy_in_ldo_range(p: &EntropyPolicy) -> bool {
+    p.voltages()
+        .iter()
+        .all(|&v| (V_MIN - 1e-9..=V_NOMINAL + 1e-9).contains(&v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_entropy_gets_high_voltage() {
+        let p = EntropyPolicy::preset_c();
+        assert!(p.voltage_for(0.0) > p.voltage_for(1.5));
+        assert!((p.voltage_for(0.0) - 0.86).abs() < 1e-9);
+        assert!((p.voltage_for(0.5) - 0.82).abs() < 1e-9);
+        assert!((p.voltage_for(1.5) - 0.78).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thresholds_are_inclusive_lower_bounds() {
+        let p = EntropyPolicy::new("t", vec![1.0], vec![0.9, 0.8]);
+        assert!((p.voltage_for(0.999) - 0.9).abs() < 1e-9);
+        assert!((p.voltage_for(1.0) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_aggressiveness() {
+        let presets = EntropyPolicy::presets();
+        for w in presets.windows(2) {
+            let mean_a: f64 =
+                w[0].voltages().iter().sum::<f64>() / w[0].voltages().len() as f64;
+            let mean_b: f64 =
+                w[1].voltages().iter().sum::<f64>() / w[1].voltages().len() as f64;
+            assert!(mean_a > mean_b, "{} should be gentler than {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn search_space_has_about_100_candidates() {
+        let c = EntropyPolicy::search_candidates();
+        assert!(
+            (100..200).contains(&c.len()),
+            "expected ~100+ candidates, got {}",
+            c.len()
+        );
+        assert!(c.iter().all(policy_in_ldo_range));
+    }
+
+    #[test]
+    fn voltages_snap_to_ldo_grid() {
+        let p = EntropyPolicy::new("grid", vec![1.0], vec![0.8333, 0.7777]);
+        for &v in p.voltages() {
+            let snapped = (v / 0.01).round() * 0.01;
+            assert!((v - snapped).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage must not increase")]
+    fn increasing_voltage_with_entropy_is_rejected() {
+        let _ = EntropyPolicy::new("bad", vec![1.0], vec![0.7, 0.9]);
+    }
+}

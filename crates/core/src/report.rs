@@ -1,0 +1,190 @@
+//! Plain-text tables and CSV output for the experiment harnesses.
+//!
+//! Every bench target prints the paper's rows/series as an aligned text
+//! table and mirrors them into `results/*.csv` for plotting.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (panics if the width differs from the header).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:width$}", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut out = String::new();
+        let csv_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        out.push_str(&csv_row(&self.header));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&csv_row(row));
+            out.push('\n');
+        }
+        fs::write(path, out)
+    }
+}
+
+/// The directory experiment CSVs are written to (`results/`, or
+/// `CREATE_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CREATE_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .components()
+        .collect()
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats joules with adaptive units.
+pub fn joules(x: f64) -> String {
+    if x >= 1.0 {
+        format!("{x:.2} J")
+    } else if x >= 1e-3 {
+        format!("{:.2} mJ", x * 1e3)
+    } else {
+        format!("{:.2} µJ", x * 1e6)
+    }
+}
+
+/// Formats a BER in scientific notation.
+pub fn sci(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{x:.0e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "2.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new(vec!["k", "v"]);
+        t.row(vec!["x,y", "ok"]);
+        let path = std::env::temp_dir().join(format!("create-csv-{}.csv", std::process::id()));
+        t.write_csv(&path).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"x,y\""));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_enforced() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.906), "90.6%");
+        assert_eq!(joules(2.5), "2.50 J");
+        assert_eq!(joules(0.0021), "2.10 mJ");
+        assert_eq!(sci(2e-8), "2e-8");
+    }
+}

@@ -1,0 +1,182 @@
+//! Parallel trial execution and aggregation.
+//!
+//! Experiments fan trials out over worker threads (the deployment is
+//! immutable and shared); per-trial seeds derive from the base seed and the
+//! trial index, so results are identical regardless of thread count.
+
+use crate::config::CreateConfig;
+use crate::mission::{Deployment, MissionOutcome, run_trial};
+use create_env::TaskId;
+use create_tensor::stats::wilson_interval;
+use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Aggregated results for one experiment point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Trials run.
+    pub n: u32,
+    /// Successful trials.
+    pub successes: u32,
+    /// Success rate in \[0,1\].
+    pub success_rate: f64,
+    /// 95% Wilson interval for the success rate.
+    pub ci: (f64, f64),
+    /// Mean steps among successful trials (paper's definition).
+    pub avg_steps: f64,
+    /// Mean total energy per trial in joules (failures included at full
+    /// budget, per Sec. 6.1).
+    pub avg_energy_j: f64,
+    /// Mean compute-only energy per trial (J).
+    pub avg_compute_j: f64,
+    /// Mean controller effective voltage.
+    pub effective_voltage: f64,
+    /// Mean planner invocations per trial.
+    pub avg_plans: f64,
+}
+
+impl SweepPoint {
+    /// Aggregates trial outcomes.
+    pub fn from_outcomes(outcomes: &[MissionOutcome]) -> SweepPoint {
+        let n = outcomes.len() as u32;
+        let successes = outcomes.iter().filter(|o| o.success).count() as u32;
+        let success_rate = if n == 0 { 0.0 } else { successes as f64 / n as f64 };
+        let ci = wilson_interval(successes as u64, n as u64);
+        let avg_steps = if successes == 0 {
+            0.0
+        } else {
+            outcomes
+                .iter()
+                .filter(|o| o.success)
+                .map(|o| o.steps as f64)
+                .sum::<f64>()
+                / successes as f64
+        };
+        let avg = |f: &dyn Fn(&MissionOutcome) -> f64| {
+            if n == 0 {
+                0.0
+            } else {
+                outcomes.iter().map(f).sum::<f64>() / n as f64
+            }
+        };
+        SweepPoint {
+            n,
+            successes,
+            success_rate,
+            ci,
+            avg_steps,
+            avg_energy_j: avg(&|o| o.energy_j()),
+            avg_compute_j: avg(&|o| o.compute_j()),
+            effective_voltage: avg(&|o| o.effective_voltage()),
+            avg_plans: avg(&|o| o.plans as f64),
+        }
+    }
+}
+
+/// Number of repetitions per experiment point: defaults to 40 and scales
+/// with the `CREATE_REPS` environment variable (the paper uses ≥100; 40
+/// gives a ~±15% CI and Table 5 shows convergence by 100).
+pub fn default_reps() -> u32 {
+    std::env::var("CREATE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+/// Runs `n` trials of `task` under `config` in parallel and collects the
+/// raw outcomes (sorted by trial index for determinism).
+pub fn run_outcomes(
+    dep: &Deployment,
+    task: TaskId,
+    config: &CreateConfig,
+    n: u32,
+    base_seed: u64,
+) -> Vec<MissionOutcome> {
+    let counter = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, MissionOutcome)>> = Mutex::new(Vec::with_capacity(n as usize));
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1) as usize);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = counter.fetch_add(1, Ordering::Relaxed);
+                if idx >= n as usize {
+                    break;
+                }
+                let seed = base_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(idx as u64 * 7919);
+                let outcome = run_trial(dep, task, config, seed);
+                results.lock().unwrap().push((idx, outcome));
+            });
+        }
+    })
+    .expect("trial worker panicked");
+    let mut raw = results.into_inner().unwrap();
+    raw.sort_by_key(|(i, _)| *i);
+    raw.into_iter().map(|(_, o)| o).collect()
+}
+
+/// Runs `n` trials and aggregates them into a [`SweepPoint`].
+pub fn run_point(
+    dep: &Deployment,
+    task: TaskId,
+    config: &CreateConfig,
+    n: u32,
+    base_seed: u64,
+) -> SweepPoint {
+    SweepPoint::from_outcomes(&run_outcomes(dep, task, config, n, base_seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_accel::EnergyMeter;
+
+    fn outcome(success: bool, steps: u64) -> MissionOutcome {
+        MissionOutcome {
+            success,
+            steps,
+            plans: 1,
+            meter: EnergyMeter::new(),
+            ldo_switches: 0,
+            entropy_trace: vec![],
+            predicted_trace: vec![],
+            voltage_trace: vec![],
+        }
+    }
+
+    #[test]
+    fn aggregation_counts_successes() {
+        let outcomes = vec![outcome(true, 100), outcome(false, 300), outcome(true, 200)];
+        let p = SweepPoint::from_outcomes(&outcomes);
+        assert_eq!(p.n, 3);
+        assert_eq!(p.successes, 2);
+        assert!((p.success_rate - 2.0 / 3.0).abs() < 1e-9);
+        assert!((p.avg_steps - 150.0).abs() < 1e-9, "steps only over successes");
+    }
+
+    #[test]
+    fn empty_outcomes_are_safe() {
+        let p = SweepPoint::from_outcomes(&[]);
+        assert_eq!(p.n, 0);
+        assert_eq!(p.success_rate, 0.0);
+    }
+
+    #[test]
+    fn ci_brackets_the_rate() {
+        let outcomes: Vec<_> = (0..50).map(|i| outcome(i % 5 != 0, 10)).collect();
+        let p = SweepPoint::from_outcomes(&outcomes);
+        assert!(p.ci.0 <= p.success_rate && p.success_rate <= p.ci.1);
+    }
+
+    #[test]
+    fn default_reps_reads_env() {
+        // No env set in tests: default is 40.
+        if std::env::var("CREATE_REPS").is_err() {
+            assert_eq!(default_reps(), 40);
+        }
+    }
+}

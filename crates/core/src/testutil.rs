@@ -1,0 +1,63 @@
+//! Shared test fixtures: a miniature deployment trained once per test
+//! binary (training even the tiny stack costs seconds, and several test
+//! modules need the same models).
+
+use crate::mission::Deployment;
+use create_agents::presets::{ControllerPreset, PlannerPreset, PredictorPreset};
+use create_agents::{ControllerModel, EntropyPredictor, PlannerModel, datasets, vocab};
+use create_env::TaskId;
+use create_tensor::Precision;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+use std::sync::{Arc, OnceLock};
+
+static TINY: OnceLock<Deployment> = OnceLock::new();
+
+/// A miniature two-task deployment (log + seed), trained in seconds and
+/// cached for the lifetime of the test binary. Returns the deployment and
+/// a task it was trained for.
+pub(crate) fn tiny_deployment() -> (Deployment, TaskId) {
+    let dep = TINY.get_or_init(build).clone();
+    (dep, TaskId::Log)
+}
+
+fn build() -> Deployment {
+    let planner_preset = PlannerPreset {
+        proxy_layers: 2,
+        proxy_hidden: 32,
+        proxy_mlp: 64,
+        proxy_heads: 4,
+        ..PlannerPreset::jarvis()
+    };
+    let controller_preset = ControllerPreset {
+        proxy_layers: 1,
+        proxy_hidden: 32,
+        proxy_mlp: 64,
+        proxy_heads: 4,
+        ..ControllerPreset::jarvis()
+    };
+    let mut rng = StdRng::seed_from_u64(77);
+    let samples: Vec<_> = vocab::training_samples()
+        .into_iter()
+        .filter(|s| {
+            s.tokens[0] == vocab::task_token(TaskId::Log)
+                || s.tokens[0] == vocab::task_token(TaskId::Seed)
+        })
+        .collect();
+    let mut planner = PlannerModel::new(&planner_preset, &mut rng);
+    planner.train(&samples, 200, 3e-3, None, &mut rng);
+    let bc = datasets::collect_bc(&[TaskId::Log, TaskId::Seed], 2, 300, 0.05, 3);
+    let mut controller = ControllerModel::new(&controller_preset, &mut rng);
+    controller.train(&bc, 8, 2e-3, &mut rng);
+    let predictor = EntropyPredictor::new(vocab::N_SUBTASKS, &mut rng);
+    Deployment {
+        planner: Arc::new(planner.deploy(&samples, Precision::Int8)),
+        planner_wr: Arc::new(planner.deploy(&samples, Precision::Int8)),
+        controller: Arc::new(controller.deploy(&bc, Precision::Int8)),
+        predictor: Arc::new(predictor),
+        planner_preset,
+        controller_preset,
+        predictor_preset: PredictorPreset::paper(),
+        tasks: vec![TaskId::Log, TaskId::Seed],
+    }
+}

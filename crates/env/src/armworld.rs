@@ -1,0 +1,602 @@
+//! The manipulation world: a tabletop analog of LIBERO / CALVIN / OXE.
+//!
+//! Used by the cross-platform generality study (paper Sec. 6.7, Fig. 17):
+//! the OpenVLA/RoboFlamingo planner presets and the Octo/RT-1 controller
+//! presets run their twelve manipulation tasks here. The world is a grid
+//! tabletop with a gripper agent, graspable objects, placement targets and
+//! fixtures (button, handle, drawer); like the crafting world it mixes
+//! one-shot interactions (press) with sequential streaks (pull, slide).
+
+use crate::observe::{cell_id, Observation, STATUS_DIMS, VIEW_CELLS, VIEW_RADIUS, VIEW_SIZE};
+use crate::subtask::{ArmObject, ArmTarget, Subtask};
+use crate::task::TaskId;
+use crate::types::{Action, Pos};
+use rand::Rng;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+
+/// Tabletop edge length.
+pub const TABLE_SIZE: i32 = 12;
+
+/// The manipulation environment for one task trial.
+#[derive(Debug, Clone)]
+pub struct ArmWorld {
+    task: TaskId,
+    objects: Vec<(ArmObject, Pos)>,
+    holding: Option<ArmObject>,
+    placements: Vec<(ArmObject, ArmTarget)>,
+    button_pressed: bool,
+    drawer_open: bool,
+    block_pos: Pos,
+    block_in_drawer: bool,
+    agent: Pos,
+    subtask: Subtask,
+    streak_target: Option<Pos>,
+    streak: u32,
+    steps: u64,
+}
+
+/// Fixed fixture positions.
+fn button_pos() -> Pos {
+    Pos::new(2, 2)
+}
+fn handle_pos() -> Pos {
+    Pos::new(TABLE_SIZE - 2, TABLE_SIZE / 2)
+}
+fn drawer_pos() -> Pos {
+    Pos::new(TABLE_SIZE - 2, TABLE_SIZE / 2 + 2)
+}
+
+/// Target regions.
+fn target_pos(t: ArmTarget) -> Pos {
+    match t {
+        ArmTarget::CabinetTop => Pos::new(TABLE_SIZE / 2, 1),
+        ArmTarget::Basket => Pos::new(2, TABLE_SIZE - 3),
+        ArmTarget::Plate => Pos::new(TABLE_SIZE - 3, TABLE_SIZE - 3),
+        ArmTarget::DrawerSpot => drawer_pos(),
+        ArmTarget::Zone => Pos::new(TABLE_SIZE / 2, TABLE_SIZE - 2),
+    }
+}
+
+impl ArmWorld {
+    /// Generates a tabletop for `task` with the trial seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is a crafting-world task.
+    pub fn new(task: TaskId, seed: u64) -> Self {
+        assert!(
+            task.biome().is_none(),
+            "{task} is a crafting-world task, not a manipulation task"
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA4A4_0000);
+        let agent = Pos::new(TABLE_SIZE / 2, TABLE_SIZE / 2);
+        let fixtures = [button_pos(), handle_pos(), drawer_pos()];
+        let mut objects = Vec::new();
+        let mut used: Vec<Pos> = fixtures.to_vec();
+        used.push(agent);
+        // Which objects exist depends on the task (plus a distractor).
+        let needed: Vec<ArmObject> = task
+            .reference_plan()
+            .iter()
+            .filter_map(|st| match st {
+                Subtask::Pick(o) => Some(*o),
+                _ => None,
+            })
+            .collect();
+        let spawn = |objects: &mut Vec<(ArmObject, Pos)>,
+                         used: &mut Vec<Pos>,
+                         kind: ArmObject,
+                         rng: &mut StdRng| {
+            for _ in 0..200 {
+                let p = Pos::new(
+                    rng.random_range(1..TABLE_SIZE - 1),
+                    rng.random_range(1..TABLE_SIZE - 1),
+                );
+                let corridor =
+                    p.y == TABLE_SIZE / 2 + 2 && p.x >= TABLE_SIZE / 2 && p.x <= TABLE_SIZE - 2;
+                if !used.contains(&p)
+                    && !corridor
+                    && [
+                        ArmTarget::CabinetTop,
+                        ArmTarget::Basket,
+                        ArmTarget::Plate,
+                        ArmTarget::Zone,
+                    ]
+                    .iter()
+                    .all(|&t| target_pos(t) != p)
+                {
+                    objects.push((kind, p));
+                    used.push(p);
+                    return;
+                }
+            }
+        };
+        for kind in &needed {
+            spawn(&mut objects, &mut used, *kind, &mut rng);
+        }
+        // One distractor object for visual variety.
+        spawn(&mut objects, &mut used, ArmObject::Coke, &mut rng);
+
+        // The sliding block starts left of the drawer's approach column.
+        let block_pos = Pos::new(TABLE_SIZE / 2, TABLE_SIZE / 2 + 2);
+
+        let plan = task.reference_plan();
+        Self {
+            task,
+            objects,
+            holding: None,
+            placements: Vec::new(),
+            button_pressed: false,
+            drawer_open: false,
+            block_pos,
+            block_in_drawer: false,
+            agent,
+            subtask: plan[0],
+            streak_target: None,
+            streak: 0,
+            steps: 0,
+        }
+    }
+
+    /// The task this world was generated for.
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// Agent (gripper) position.
+    pub fn agent(&self) -> Pos {
+        self.agent
+    }
+
+    /// The held object, if any.
+    pub fn holding(&self) -> Option<ArmObject> {
+        self.holding
+    }
+
+    fn in_bounds(&self, p: Pos) -> bool {
+        (0..TABLE_SIZE).contains(&p.x) && (0..TABLE_SIZE).contains(&p.y)
+    }
+
+    fn occupied(&self, p: Pos) -> bool {
+        self.objects.iter().any(|&(_, op)| op == p)
+            || [button_pos(), handle_pos(), drawer_pos()].contains(&p)
+            || (p == self.block_pos && !self.block_in_drawer)
+    }
+
+    fn passable(&self, p: Pos) -> bool {
+        self.in_bounds(p) && !self.occupied(p)
+    }
+
+    /// The position the current subtask wants the agent adjacent to.
+    fn subtask_target(&self) -> Option<Pos> {
+        match self.subtask {
+            Subtask::Pick(o) => self
+                .objects
+                .iter()
+                .find(|&&(kind, _)| kind == o)
+                .map(|&(_, p)| p),
+            Subtask::PlaceAt(t) => Some(target_pos(t)),
+            Subtask::PressButton => Some(button_pos()),
+            Subtask::SlideBlock => (!self.block_in_drawer).then_some(self.block_pos),
+            Subtask::PullHandle => Some(handle_pos()),
+            Subtask::PullDrawer => Some(drawer_pos()),
+            _ => None,
+        }
+    }
+
+    /// Whether the active subtask's goal is met.
+    pub fn subtask_complete(&self) -> bool {
+        match self.subtask {
+            Subtask::Pick(o) => self.holding == Some(o),
+            Subtask::PlaceAt(t) => self.placements.iter().any(|&(_, pt)| pt == t),
+            Subtask::PressButton => self.button_pressed,
+            Subtask::SlideBlock => self.block_in_drawer,
+            Subtask::PullHandle | Subtask::PullDrawer => self.drawer_open,
+            _ => false,
+        }
+    }
+
+    /// Whether the overall task goal is met (final plan entry's goal).
+    pub fn task_goal_met(&self) -> bool {
+        let plan = self.task.reference_plan();
+        let Some(&last) = plan.last() else {
+            return false;
+        };
+        match last {
+            Subtask::Pick(o) => self.holding == Some(o),
+            Subtask::PlaceAt(t) => self.placements.iter().any(|&(_, pt)| pt == t),
+            Subtask::PressButton => self.button_pressed,
+            Subtask::SlideBlock => self.block_in_drawer,
+            Subtask::PullHandle | Subtask::PullDrawer => self.drawer_open,
+            _ => false,
+        }
+    }
+
+    /// Sets the active subtask (resets streaks).
+    pub fn set_subtask(&mut self, s: Subtask) {
+        self.subtask = s;
+        self.streak_target = None;
+        self.streak = 0;
+    }
+
+    /// The active subtask.
+    pub fn current_subtask(&self) -> Subtask {
+        self.subtask
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn do_interact(&mut self) {
+        let Some(target) = self.subtask_target() else {
+            self.streak = 0;
+            return;
+        };
+        if !self.agent.adjacent_to(target) {
+            self.streak = 0;
+            self.streak_target = None;
+            return;
+        }
+        match self.subtask {
+            Subtask::Pick(o) => {
+                if self.holding.is_none() {
+                    if let Some(i) = self.objects.iter().position(|&(k, p)| k == o && p == target) {
+                        self.objects.swap_remove(i);
+                        self.holding = Some(o);
+                    }
+                }
+            }
+            Subtask::PlaceAt(t) => {
+                if let Some(obj) = self.holding.take() {
+                    self.placements.push((obj, t));
+                }
+            }
+            Subtask::PressButton => {
+                self.button_pressed = true;
+            }
+            Subtask::PullHandle | Subtask::PullDrawer => {
+                // Sequential: 3 consecutive pulls open the drawer.
+                if self.streak_target == Some(target) {
+                    self.streak += 1;
+                } else {
+                    self.streak_target = Some(target);
+                    self.streak = 1;
+                }
+                if self.streak >= 3 {
+                    self.drawer_open = true;
+                    self.streak = 0;
+                    self.streak_target = None;
+                }
+            }
+            Subtask::SlideBlock => {
+                // Push the block one cell away from the gripper; it falls
+                // into the drawer when it reaches the drawer cell.
+                let dx = (self.block_pos.x - self.agent.x).signum();
+                let dy = (self.block_pos.y - self.agent.y).signum();
+                let next = Pos::new(self.block_pos.x + dx, self.block_pos.y + dy);
+                if next == drawer_pos() {
+                    self.block_in_drawer = true;
+                } else if self.in_bounds(next) && !self.occupied(next) {
+                    self.block_pos = next;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Advances the world by one gripper action.
+    pub fn step(&mut self, action: Action) {
+        self.steps += 1;
+        match action {
+            Action::North | Action::South | Action::East | Action::West => {
+                let next = self.agent.stepped(action);
+                if self.passable(next) {
+                    self.agent = next;
+                }
+                self.streak = 0;
+                self.streak_target = None;
+            }
+            Action::Interact => self.do_interact(),
+            Action::Craft | Action::Wait => {
+                self.streak = 0;
+                self.streak_target = None;
+            }
+        }
+    }
+
+    fn bfs_from_cells(&self, zero_cells: &[Pos]) -> Vec<u32> {
+        let n = (TABLE_SIZE * TABLE_SIZE) as usize;
+        let mut dist = vec![u32::MAX; n];
+        let mut queue = VecDeque::new();
+        for &p in zero_cells {
+            if self.in_bounds(p) && (self.passable(p) || p == self.agent) {
+                let idx = (p.y * TABLE_SIZE + p.x) as usize;
+                if dist[idx] != 0 {
+                    dist[idx] = 0;
+                    queue.push_back(p);
+                }
+            }
+        }
+        while let Some(p) = queue.pop_front() {
+            let d = dist[(p.y * TABLE_SIZE + p.x) as usize];
+            for next in p.neighbors() {
+                if !self.in_bounds(next) || !self.passable(next) {
+                    continue;
+                }
+                let idx = (next.y * TABLE_SIZE + next.x) as usize;
+                if dist[idx] == u32::MAX {
+                    dist[idx] = d + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The scripted expert's action distribution.
+    pub fn expert_policy(&self) -> [f32; Action::COUNT] {
+        let mut probs = [0.0f32; Action::COUNT];
+        if self.subtask_complete() || self.subtask == Subtask::Idle {
+            probs[Action::Wait.index()] = 1.0;
+            return probs;
+        }
+        let Some(target) = self.subtask_target() else {
+            probs[Action::Wait.index()] = 1.0;
+            return probs;
+        };
+        // A PlaceAt with empty gripper is infeasible (corrupted plan).
+        if matches!(self.subtask, Subtask::PlaceAt(_)) && self.holding.is_none() {
+            probs[Action::Wait.index()] = 1.0;
+            return probs;
+        }
+        // For SlideBlock the push direction matters: the expert stands on
+        // the side opposite the drawer before interacting.
+        if self.subtask == Subtask::SlideBlock && self.agent.adjacent_to(target) {
+            let dx = (target.x - self.agent.x).signum();
+            let dy = (target.y - self.agent.y).signum();
+            let pushed = Pos::new(target.x + dx, target.y + dy);
+            let toward_drawer =
+                pushed.manhattan(drawer_pos()) < target.manhattan(drawer_pos());
+            if toward_drawer {
+                probs[Action::Interact.index()] = 1.0;
+                return probs;
+            }
+            // Reposition: walk around the block (fall through to BFS with a
+            // synthetic goal on the far side).
+        } else if self.agent.adjacent_to(target) {
+            probs[Action::Interact.index()] = 1.0;
+            return probs;
+        }
+        // Navigate toward the target (for SlideBlock, toward the exact
+        // standing cell on the side opposite the drawer).
+        let dist = if self.subtask == Subtask::SlideBlock {
+            let dx = (drawer_pos().x - target.x).signum();
+            let dy = (drawer_pos().y - target.y).signum();
+            let stand = Pos::new(target.x - dx, target.y - dy);
+            self.bfs_from_cells(&[stand])
+        } else {
+            self.bfs_from_cells(&target.neighbors())
+        };
+        let here = dist[(self.agent.y * TABLE_SIZE + self.agent.x) as usize];
+        if here == 0 {
+            // At a valid acting cell (only reachable for SlideBlock, since
+            // adjacency was handled above).
+            probs[Action::Interact.index()] = 1.0;
+            return probs;
+        }
+        let mut best = Vec::new();
+        if here != u32::MAX {
+            for a in [Action::North, Action::South, Action::East, Action::West] {
+                let next = self.agent.stepped(a);
+                if !self.passable(next) {
+                    continue;
+                }
+                let d = dist[(next.y * TABLE_SIZE + next.x) as usize];
+                if d != u32::MAX && d + 1 == here {
+                    best.push(a);
+                }
+            }
+        }
+        if best.is_empty() {
+            // Roam.
+            let moves: Vec<Action> = [Action::North, Action::South, Action::East, Action::West]
+                .into_iter()
+                .filter(|&a| self.passable(self.agent.stepped(a)))
+                .collect();
+            if moves.is_empty() {
+                probs[Action::Wait.index()] = 1.0;
+            } else {
+                let p = 1.0 / moves.len() as f32;
+                for m in moves {
+                    probs[m.index()] = p;
+                }
+            }
+        } else {
+            let p = 1.0 / best.len() as f32;
+            for m in best {
+                probs[m.index()] = p;
+            }
+        }
+        probs
+    }
+
+    /// Builds the controller observation.
+    pub fn observe(&self) -> Observation {
+        let mut view = [cell_id::WALL; VIEW_CELLS];
+        for vy in 0..VIEW_SIZE as i32 {
+            for vx in 0..VIEW_SIZE as i32 {
+                let p = Pos::new(
+                    self.agent.x + vx - VIEW_RADIUS,
+                    self.agent.y + vy - VIEW_RADIUS,
+                );
+                if !self.in_bounds(p) {
+                    continue;
+                }
+                let mut id = cell_id::GROUND;
+                if [button_pos(), handle_pos(), drawer_pos()].contains(&p) {
+                    id = cell_id::FIXTURE;
+                } else if self.objects.iter().any(|&(_, op)| op == p)
+                    || (p == self.block_pos && !self.block_in_drawer)
+                {
+                    id = cell_id::OBJECT;
+                } else if [
+                    ArmTarget::CabinetTop,
+                    ArmTarget::Basket,
+                    ArmTarget::Plate,
+                    ArmTarget::Zone,
+                ]
+                .iter()
+                .any(|&t| target_pos(t) == p)
+                {
+                    id = cell_id::TARGET;
+                }
+                view[(vy * VIEW_SIZE as i32 + vx) as usize] = id;
+            }
+        }
+
+        let mut compass = [0.0f32; 4];
+        if let Some(t) = self.subtask_target() {
+            let dx = (t.x - self.agent.x) as f32;
+            let dy = (t.y - self.agent.y) as f32;
+            let d = (dx * dx + dy * dy).sqrt().max(1e-6);
+            compass = [dx / d, dy / d, (d / 12.0).min(1.0), 1.0];
+        }
+
+        let mut status = [0.0f32; STATUS_DIMS];
+        status[0] = self.streak as f32 / 3.0;
+        status[10] = if self.subtask_complete() { 1.0 } else { 0.0 };
+        status[11] = if self.holding.is_some() { 1.0 } else { 0.0 };
+        for (i, a) in [Action::North, Action::South, Action::East, Action::West]
+            .into_iter()
+            .enumerate()
+        {
+            let p = self.agent.stepped(a);
+            status[12 + i] = if self.passable(p) { 1.0 } else { 0.0 };
+            status[16 + i] = if Some(p) == self.subtask_target() { 1.0 } else { 0.0 };
+        }
+
+        Observation {
+            view,
+            compass,
+            status,
+            subtask_token: self.subtask.token_id().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_expert(world: &mut ArmWorld, max_steps: u32) -> bool {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..max_steps {
+            if world.subtask_complete() {
+                return true;
+            }
+            let probs = world.expert_policy();
+            let mut r: f32 = rng.random_range(0.0..1.0);
+            let mut chosen = Action::Wait;
+            for (i, &p) in probs.iter().enumerate() {
+                if r < p {
+                    chosen = Action::from_index(i);
+                    break;
+                }
+                r -= p;
+            }
+            world.step(chosen);
+        }
+        world.subtask_complete()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ArmWorld::new(TaskId::Wine, 3);
+        let b = ArmWorld::new(TaskId::Wine, 3);
+        assert_eq!(a.objects, b.objects);
+    }
+
+    #[test]
+    fn expert_picks_up_the_wine() {
+        let mut w = ArmWorld::new(TaskId::Wine, 4);
+        assert!(run_expert(&mut w, 200), "expert failed to pick the wine");
+        assert_eq!(w.holding(), Some(ArmObject::Wine));
+    }
+
+    #[test]
+    fn expert_completes_pick_and_place() {
+        let mut w = ArmWorld::new(TaskId::Alphabet, 5);
+        assert!(run_expert(&mut w, 200), "pick failed");
+        w.set_subtask(Subtask::PlaceAt(ArmTarget::Basket));
+        assert!(run_expert(&mut w, 200), "place failed");
+        assert!(w.task_goal_met());
+    }
+
+    #[test]
+    fn button_press_is_one_shot() {
+        let mut w = ArmWorld::new(TaskId::Button, 6);
+        assert!(run_expert(&mut w, 200), "button press failed");
+        assert!(w.button_pressed);
+    }
+
+    #[test]
+    fn handle_needs_consecutive_pulls() {
+        let mut w = ArmWorld::new(TaskId::Handle, 7);
+        // Drive the agent adjacent to the handle with the expert.
+        let mut guard = 0;
+        while !w.agent.adjacent_to(handle_pos()) && guard < 300 {
+            guard += 1;
+            let probs = w.expert_policy();
+            let best = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            w.step(Action::from_index(best));
+        }
+        assert!(w.agent.adjacent_to(handle_pos()), "never reached handle");
+        w.step(Action::Interact);
+        w.step(Action::Interact);
+        assert!(!w.drawer_open);
+        w.step(Action::Wait); // interruption resets the pull streak
+        w.step(Action::Interact);
+        w.step(Action::Interact);
+        assert!(!w.drawer_open, "streak must restart after interruption");
+        w.step(Action::Interact);
+        assert!(w.drawer_open);
+    }
+
+    #[test]
+    fn slide_block_reaches_drawer() {
+        let mut w = ArmWorld::new(TaskId::Block, 8);
+        assert!(run_expert(&mut w, 400), "block never reached the drawer");
+        assert!(w.block_in_drawer);
+    }
+
+    #[test]
+    fn place_without_holding_is_infeasible() {
+        let mut w = ArmWorld::new(TaskId::Wine, 9);
+        w.set_subtask(Subtask::PlaceAt(ArmTarget::Basket));
+        let probs = w.expert_policy();
+        assert_eq!(probs[Action::Wait.index()], 1.0);
+    }
+
+    #[test]
+    fn observation_shows_fixtures_and_objects() {
+        let w = ArmWorld::new(TaskId::Coke, 10);
+        let obs = w.observe();
+        assert!(obs.view.iter().all(|&v| v < 14));
+        assert_eq!(obs.status[11], 0.0, "not holding initially");
+    }
+
+    #[test]
+    #[should_panic(expected = "crafting-world task")]
+    fn craftworld_task_is_rejected() {
+        let _ = ArmWorld::new(TaskId::Wooden, 0);
+    }
+}

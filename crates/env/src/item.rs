@@ -1,0 +1,201 @@
+//! Items and inventories for the crafting world.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Every item an agent can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Item {
+    /// Raw wood from trees.
+    Log,
+    /// Crafted from logs (1 → 4).
+    Plank,
+    /// Crafted from planks (2 → 4).
+    Stick,
+    /// Crafting station (portable here).
+    CraftingTable,
+    /// Tier-1 mining tool.
+    WoodenPickaxe,
+    /// Mined stone.
+    Cobblestone,
+    /// Tier-2 mining tool.
+    StonePickaxe,
+    /// Smelting station (portable here).
+    Furnace,
+    /// Mined fuel/ore.
+    Coal,
+    /// Smelted wood fuel.
+    Charcoal,
+    /// Mined iron ore.
+    IronOre,
+    /// Smelted ingot.
+    IronIngot,
+    /// The `iron` task's goal item.
+    IronSword,
+    /// Dropped by chickens.
+    RawChicken,
+    /// The `chicken` task's goal item.
+    CookedChicken,
+    /// Sheared from sheep.
+    Wool,
+    /// Collected from tall grass.
+    WheatSeeds,
+}
+
+impl Item {
+    /// Whether one unit of this item can fuel one smelt.
+    pub fn is_fuel(self) -> bool {
+        matches!(self, Item::Plank | Item::Log | Item::Coal | Item::Charcoal)
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Item::Log => "log",
+            Item::Plank => "plank",
+            Item::Stick => "stick",
+            Item::CraftingTable => "crafting_table",
+            Item::WoodenPickaxe => "wooden_pickaxe",
+            Item::Cobblestone => "cobblestone",
+            Item::StonePickaxe => "stone_pickaxe",
+            Item::Furnace => "furnace",
+            Item::Coal => "coal",
+            Item::Charcoal => "charcoal",
+            Item::IronOre => "iron_ore",
+            Item::IronIngot => "iron_ingot",
+            Item::IronSword => "iron_sword",
+            Item::RawChicken => "raw_chicken",
+            Item::CookedChicken => "cooked_chicken",
+            Item::Wool => "wool",
+            Item::WheatSeeds => "wheat_seeds",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A multiset of items.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Inventory {
+    counts: BTreeMap<Item, u32>,
+}
+
+impl Inventory {
+    /// An empty inventory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many of `item` are held.
+    pub fn count(&self, item: Item) -> u32 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Whether at least one of `item` is held.
+    pub fn has(&self, item: Item) -> bool {
+        self.count(item) > 0
+    }
+
+    /// Adds `n` of `item`.
+    pub fn add(&mut self, item: Item, n: u32) {
+        if n > 0 {
+            *self.counts.entry(item).or_insert(0) += n;
+        }
+    }
+
+    /// Removes `n` of `item`; returns `false` (and removes nothing) if the
+    /// inventory holds fewer than `n`.
+    pub fn remove(&mut self, item: Item, n: u32) -> bool {
+        let have = self.count(item);
+        if have < n {
+            return false;
+        }
+        if have == n {
+            self.counts.remove(&item);
+        } else {
+            self.counts.insert(item, have - n);
+        }
+        true
+    }
+
+    /// Consumes one unit of the best available fuel (preferring the
+    /// cheapest: plank, then log, then charcoal, then coal).
+    pub fn consume_fuel(&mut self) -> bool {
+        for fuel in [Item::Plank, Item::Log, Item::Charcoal, Item::Coal] {
+            if self.remove(fuel, 1) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether any fuel unit is available.
+    pub fn has_fuel(&self) -> bool {
+        [Item::Plank, Item::Log, Item::Charcoal, Item::Coal]
+            .iter()
+            .any(|&f| self.has(f))
+    }
+
+    /// Iterates over held `(item, count)` pairs in a stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Item, u32)> + '_ {
+        self.counts.iter().map(|(&i, &c)| (i, c))
+    }
+
+    /// Total number of items held.
+    pub fn total(&self) -> u32 {
+        self.counts.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_count() {
+        let mut inv = Inventory::new();
+        inv.add(Item::Log, 3);
+        inv.add(Item::Log, 2);
+        assert_eq!(inv.count(Item::Log), 5);
+        assert_eq!(inv.count(Item::Plank), 0);
+    }
+
+    #[test]
+    fn remove_respects_availability() {
+        let mut inv = Inventory::new();
+        inv.add(Item::Plank, 2);
+        assert!(!inv.remove(Item::Plank, 3));
+        assert_eq!(inv.count(Item::Plank), 2, "failed removal must not mutate");
+        assert!(inv.remove(Item::Plank, 2));
+        assert!(!inv.has(Item::Plank));
+    }
+
+    #[test]
+    fn fuel_preference_order() {
+        let mut inv = Inventory::new();
+        inv.add(Item::Coal, 1);
+        inv.add(Item::Plank, 1);
+        assert!(inv.consume_fuel());
+        assert!(!inv.has(Item::Plank), "plank should burn first");
+        assert!(inv.has(Item::Coal));
+        assert!(inv.consume_fuel());
+        assert!(!inv.has_fuel());
+        assert!(!inv.consume_fuel());
+    }
+
+    #[test]
+    fn adding_zero_is_noop() {
+        let mut inv = Inventory::new();
+        inv.add(Item::Wool, 0);
+        assert_eq!(inv.total(), 0);
+    }
+
+    #[test]
+    fn iter_is_stable() {
+        let mut inv = Inventory::new();
+        inv.add(Item::Stick, 1);
+        inv.add(Item::Log, 2);
+        let items: Vec<_> = inv.iter().collect();
+        assert_eq!(items, vec![(Item::Log, 2), (Item::Stick, 1)]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Observations: what the controller and the entropy predictor see.
+//!
+//! The controller receives a structured feature view (local cell grid,
+//! compass to the nearest subtask target, inventory/progress status); the
+//! entropy predictor receives a rendered 64×64 RGB image of the same local
+//! view (paper Fig. 11: the predictor takes the observed image plus the
+//! subtask prompt embedding).
+
+use create_nn::Tensor3;
+
+/// View half-width: the agent sees a `(2r+1)²` neighbourhood.
+pub const VIEW_RADIUS: i32 = 3;
+
+/// View edge length (7).
+pub const VIEW_SIZE: usize = (2 * VIEW_RADIUS as usize) + 1;
+
+/// Cells in the view (49).
+pub const VIEW_CELLS: usize = VIEW_SIZE * VIEW_SIZE;
+
+/// Number of distinct cell-type ids in views.
+pub const CELL_TYPES: usize = 14;
+
+/// Length of the status feature vector.
+pub const STATUS_DIMS: usize = 20;
+
+/// Rendered image edge (64×64, matching the predictor CNN input).
+pub const IMAGE_SIZE: usize = 64;
+
+/// Cell-type ids used in [`Observation::view`].
+pub mod cell_id {
+    /// Walkable ground.
+    pub const GROUND: u8 = 0;
+    /// Tall grass (seed source).
+    pub const TALL_GRASS: u8 = 1;
+    /// Tree (log source).
+    pub const TREE: u8 = 2;
+    /// Stone (cobblestone source).
+    pub const STONE: u8 = 3;
+    /// Coal ore.
+    pub const COAL_ORE: u8 = 4;
+    /// Iron ore.
+    pub const IRON_ORE: u8 = 5;
+    /// Water (obstacle).
+    pub const WATER: u8 = 6;
+    /// Out-of-bounds / wall.
+    pub const WALL: u8 = 7;
+    /// Chicken (animal overlay).
+    pub const CHICKEN: u8 = 8;
+    /// Sheep (animal overlay).
+    pub const SHEEP: u8 = 9;
+    /// Sheared sheep.
+    pub const SHEEP_SHEARED: u8 = 10;
+    /// Button / fixture (manipulation world).
+    pub const FIXTURE: u8 = 11;
+    /// Graspable object (manipulation world).
+    pub const OBJECT: u8 = 12;
+    /// Placement target marker (manipulation world).
+    pub const TARGET: u8 = 13;
+}
+
+/// One controller observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Local `VIEW_SIZE × VIEW_SIZE` cell-type grid, row-major, agent at
+    /// the center.
+    pub view: [u8; VIEW_CELLS],
+    /// `[dx, dy, distance, visible]` toward the nearest subtask target:
+    /// unit direction, distance normalized to `[0,1]`, and a visibility
+    /// flag.
+    pub compass: [f32; 4],
+    /// Inventory / progress / neighbour-passability features.
+    pub status: [f32; STATUS_DIMS],
+    /// Token id of the active subtask (prompt for the controller).
+    pub subtask_token: usize,
+}
+
+impl Observation {
+    /// An all-zero observation (used for padding and tests).
+    pub fn empty() -> Self {
+        Self {
+            view: [0; VIEW_CELLS],
+            compass: [0.0; 4],
+            status: [0.0; STATUS_DIMS],
+            subtask_token: 0,
+        }
+    }
+
+    /// Renders the observation to a 64×64 RGB image for the entropy
+    /// predictor: each view cell becomes a colored 9×9 block (63×63 plus a
+    /// 1-pixel border), the agent is a white center dot, and the compass is
+    /// drawn as a red ray from the center.
+    pub fn render_image(&self) -> Tensor3 {
+        let mut img = Tensor3::zeros(3, IMAGE_SIZE, IMAGE_SIZE);
+        let block = 9usize;
+        for vr in 0..VIEW_SIZE {
+            for vc in 0..VIEW_SIZE {
+                let id = self.view[vr * VIEW_SIZE + vc];
+                let (r, g, b) = cell_color(id);
+                for pr in 0..block {
+                    for pc in 0..block {
+                        let y = vr * block + pr;
+                        let x = vc * block + pc;
+                        img.set(0, y, x, r);
+                        img.set(1, y, x, g);
+                        img.set(2, y, x, b);
+                    }
+                }
+            }
+        }
+        // Agent marker: white 3×3 at the center block.
+        let center = (VIEW_SIZE / 2) * block + block / 2;
+        for dy in -1i32..=1 {
+            for dx in -1i32..=1 {
+                let y = (center as i32 + dy) as usize;
+                let x = (center as i32 + dx) as usize;
+                img.set(0, y, x, 1.0);
+                img.set(1, y, x, 1.0);
+                img.set(2, y, x, 1.0);
+            }
+        }
+        // Compass ray: red pixels along the target direction, with length
+        // inversely related to distance (closer target => longer ray).
+        if self.compass[3] > 0.5 {
+            let len = (12.0 * (1.0 - self.compass[2]) + 4.0) as i32;
+            for t in 2..len {
+                let y = center as i32 + (self.compass[1] * t as f32) as i32;
+                let x = center as i32 + (self.compass[0] * t as f32) as i32;
+                if (0..IMAGE_SIZE as i32).contains(&y) && (0..IMAGE_SIZE as i32).contains(&x) {
+                    img.set(0, y as usize, x as usize, 1.0);
+                    img.set(1, y as usize, x as usize, 0.1);
+                    img.set(2, y as usize, x as usize, 0.1);
+                }
+            }
+        }
+        img
+    }
+}
+
+/// RGB color for a cell id (each component in `[0,1]`).
+fn cell_color(id: u8) -> (f32, f32, f32) {
+    match id {
+        cell_id::GROUND => (0.35, 0.65, 0.30),
+        cell_id::TALL_GRASS => (0.45, 0.85, 0.35),
+        cell_id::TREE => (0.15, 0.35, 0.10),
+        cell_id::STONE => (0.50, 0.50, 0.50),
+        cell_id::COAL_ORE => (0.20, 0.20, 0.20),
+        cell_id::IRON_ORE => (0.75, 0.65, 0.55),
+        cell_id::WATER => (0.20, 0.40, 0.85),
+        cell_id::WALL => (0.05, 0.05, 0.05),
+        cell_id::CHICKEN => (0.95, 0.95, 0.70),
+        cell_id::SHEEP => (0.90, 0.90, 0.90),
+        cell_id::SHEEP_SHEARED => (0.80, 0.70, 0.65),
+        cell_id::FIXTURE => (0.85, 0.20, 0.20),
+        cell_id::OBJECT => (0.90, 0.70, 0.20),
+        cell_id::TARGET => (0.60, 0.20, 0.80),
+        _ => (0.0, 0.0, 0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_observation_is_zeroed() {
+        let o = Observation::empty();
+        assert!(o.view.iter().all(|&v| v == 0));
+        assert_eq!(o.compass, [0.0; 4]);
+    }
+
+    #[test]
+    fn rendered_image_has_predictor_dimensions() {
+        let o = Observation::empty();
+        let img = o.render_image();
+        assert_eq!((img.c, img.h, img.w), (3, IMAGE_SIZE, IMAGE_SIZE));
+    }
+
+    #[test]
+    fn agent_marker_is_white() {
+        let o = Observation::empty();
+        let img = o.render_image();
+        let c = (VIEW_SIZE / 2) * 9 + 4;
+        assert_eq!(img.get(0, c, c), 1.0);
+        assert_eq!(img.get(1, c, c), 1.0);
+        assert_eq!(img.get(2, c, c), 1.0);
+    }
+
+    #[test]
+    fn compass_ray_appears_when_visible() {
+        let mut o = Observation::empty();
+        o.compass = [1.0, 0.0, 0.2, 1.0];
+        let with_ray = o.render_image();
+        o.compass = [1.0, 0.0, 0.2, 0.0];
+        let without = o.render_image();
+        // The red channel should differ somewhere along the ray.
+        let diff: f32 = with_ray
+            .as_slice()
+            .iter()
+            .zip(without.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 0.5, "compass ray should change the render");
+    }
+
+    #[test]
+    fn distinct_cells_have_distinct_colors() {
+        for a in 0..CELL_TYPES as u8 {
+            for b in (a + 1)..CELL_TYPES as u8 {
+                assert_ne!(cell_color(a), cell_color(b), "ids {a} and {b} collide");
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Crafting and smelting recipes.
+//!
+//! Recipes are executed by the `Craft` action; which recipe runs is
+//! determined by the agent's current subtask (macro-crafting conditioned on
+//! the instruction, mirroring how JARVIS-1's controller receives a crafting
+//! subtask prompt).
+
+use crate::item::{Inventory, Item};
+
+/// Station required by a recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Station {
+    /// No station needed (in-hand crafting).
+    None,
+    /// Requires a crafting table in the inventory.
+    Table,
+    /// Requires a furnace in the inventory plus one unit of fuel.
+    Furnace,
+}
+
+/// One crafting/smelting recipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recipe {
+    /// Consumed items.
+    pub inputs: &'static [(Item, u32)],
+    /// Produced item and count.
+    pub output: (Item, u32),
+    /// Station requirement.
+    pub station: Station,
+}
+
+impl Recipe {
+    /// Looks up the recipe that produces `item`, if any.
+    pub fn for_output(item: Item) -> Option<&'static Recipe> {
+        ALL_RECIPES.iter().find(|r| r.output.0 == item)
+    }
+
+    /// Whether `inv` can execute this recipe right now.
+    pub fn can_craft(&self, inv: &Inventory) -> bool {
+        let station_ok = match self.station {
+            Station::None => true,
+            Station::Table => inv.has(Item::CraftingTable),
+            Station::Furnace => inv.has(Item::Furnace) && inv.has_fuel(),
+        };
+        station_ok && self.inputs.iter().all(|&(item, n)| inv.count(item) >= n)
+    }
+
+    /// Executes the recipe against `inv`; returns `false` (leaving the
+    /// inventory untouched) if requirements are not met.
+    pub fn craft(&self, inv: &mut Inventory) -> bool {
+        if !self.can_craft(inv) {
+            return false;
+        }
+        if self.station == Station::Furnace && !inv.consume_fuel() {
+            return false;
+        }
+        for &(item, n) in self.inputs {
+            let removed = inv.remove(item, n);
+            debug_assert!(removed, "can_craft checked availability");
+        }
+        inv.add(self.output.0, self.output.1);
+        true
+    }
+}
+
+/// The full recipe book.
+pub static ALL_RECIPES: &[Recipe] = &[
+    Recipe {
+        inputs: &[(Item::Log, 1)],
+        output: (Item::Plank, 4),
+        station: Station::None,
+    },
+    Recipe {
+        inputs: &[(Item::Plank, 2)],
+        output: (Item::Stick, 4),
+        station: Station::None,
+    },
+    Recipe {
+        inputs: &[(Item::Plank, 4)],
+        output: (Item::CraftingTable, 1),
+        station: Station::None,
+    },
+    Recipe {
+        inputs: &[(Item::Plank, 3), (Item::Stick, 2)],
+        output: (Item::WoodenPickaxe, 1),
+        station: Station::Table,
+    },
+    Recipe {
+        inputs: &[(Item::Cobblestone, 3), (Item::Stick, 2)],
+        output: (Item::StonePickaxe, 1),
+        station: Station::Table,
+    },
+    Recipe {
+        inputs: &[(Item::Cobblestone, 8)],
+        output: (Item::Furnace, 1),
+        station: Station::Table,
+    },
+    Recipe {
+        inputs: &[(Item::Log, 1)],
+        output: (Item::Charcoal, 1),
+        station: Station::Furnace,
+    },
+    Recipe {
+        inputs: &[(Item::IronOre, 1)],
+        output: (Item::IronIngot, 1),
+        station: Station::Furnace,
+    },
+    Recipe {
+        inputs: &[(Item::RawChicken, 1)],
+        output: (Item::CookedChicken, 1),
+        station: Station::Furnace,
+    },
+    Recipe {
+        inputs: &[(Item::IronIngot, 2), (Item::Stick, 1)],
+        output: (Item::IronSword, 1),
+        station: Station::Table,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_craftable_item_has_one_recipe() {
+        for item in [
+            Item::Plank,
+            Item::Stick,
+            Item::CraftingTable,
+            Item::WoodenPickaxe,
+            Item::StonePickaxe,
+            Item::Furnace,
+            Item::Charcoal,
+            Item::IronIngot,
+            Item::CookedChicken,
+            Item::IronSword,
+        ] {
+            assert!(Recipe::for_output(item).is_some(), "missing recipe: {item}");
+        }
+        assert!(Recipe::for_output(Item::Log).is_none());
+    }
+
+    #[test]
+    fn planks_from_logs() {
+        let mut inv = Inventory::new();
+        inv.add(Item::Log, 2);
+        let recipe = Recipe::for_output(Item::Plank).unwrap();
+        assert!(recipe.craft(&mut inv));
+        assert_eq!(inv.count(Item::Plank), 4);
+        assert_eq!(inv.count(Item::Log), 1);
+    }
+
+    #[test]
+    fn table_requirement_blocks_crafting() {
+        let mut inv = Inventory::new();
+        inv.add(Item::Plank, 3);
+        inv.add(Item::Stick, 2);
+        let recipe = Recipe::for_output(Item::WoodenPickaxe).unwrap();
+        assert!(!recipe.craft(&mut inv), "no table yet");
+        inv.add(Item::CraftingTable, 1);
+        assert!(recipe.craft(&mut inv));
+        assert!(inv.has(Item::WoodenPickaxe));
+        assert!(!inv.has(Item::Plank), "inputs consumed");
+    }
+
+    #[test]
+    fn smelting_consumes_fuel() {
+        let mut inv = Inventory::new();
+        inv.add(Item::Furnace, 1);
+        inv.add(Item::RawChicken, 1);
+        let recipe = Recipe::for_output(Item::CookedChicken).unwrap();
+        assert!(!recipe.craft(&mut inv), "no fuel");
+        inv.add(Item::Plank, 1);
+        assert!(recipe.craft(&mut inv));
+        assert!(inv.has(Item::CookedChicken));
+        assert!(!inv.has(Item::Plank), "fuel burned");
+        assert!(inv.has(Item::Furnace), "stations persist");
+    }
+
+    #[test]
+    fn failed_craft_leaves_inventory_untouched() {
+        let mut inv = Inventory::new();
+        inv.add(Item::Plank, 1);
+        let recipe = Recipe::for_output(Item::CraftingTable).unwrap();
+        assert!(!recipe.craft(&mut inv));
+        assert_eq!(inv.count(Item::Plank), 1);
+    }
+}

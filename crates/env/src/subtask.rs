@@ -1,0 +1,324 @@
+//! Subtasks: the vocabulary shared by the planner (which emits them) and
+//! the controller (which is prompted with one at a time).
+
+use crate::item::{Inventory, Item};
+use crate::recipe::Recipe;
+use std::fmt;
+
+/// Objects in the manipulation world (LIBERO / CALVIN / OXE analogs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArmObject {
+    /// LIBERO wine bottle.
+    Wine,
+    /// LIBERO alphabet soup can.
+    Soup,
+    /// LIBERO bbq sauce bottle.
+    Bbq,
+    /// OXE eggplant.
+    Eggplant,
+    /// OXE coke can.
+    Coke,
+    /// OXE carrot.
+    Carrot,
+    /// CALVIN sliding block.
+    Block,
+    /// CALVIN LED button.
+    Button,
+    /// CALVIN drawer handle.
+    Handle,
+    /// OXE drawer front.
+    Drawer,
+    /// OXE generic graspable object.
+    Widget,
+}
+
+/// Placement targets in the manipulation world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArmTarget {
+    /// Top of the cabinet.
+    CabinetTop,
+    /// The basket.
+    Basket,
+    /// The plate.
+    Plate,
+    /// Inside the drawer.
+    DrawerSpot,
+    /// A marked zone near another object.
+    Zone,
+}
+
+/// One unit of work the planner can schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Subtask {
+    /// Gather logs until holding `n`.
+    MineLog(u32),
+    /// Mine cobblestone until holding `n` (needs a wooden pickaxe).
+    MineStone(u32),
+    /// Mine coal until holding `n` (needs a wooden pickaxe).
+    MineCoal(u32),
+    /// Mine iron ore until holding `n` (needs a stone pickaxe).
+    MineIron(u32),
+    /// Craft planks until holding `n`.
+    CraftPlanks(u32),
+    /// Craft sticks until holding `n`.
+    CraftSticks(u32),
+    /// Craft a crafting table.
+    CraftTable,
+    /// Craft a wooden pickaxe.
+    CraftWoodenPickaxe,
+    /// Craft a stone pickaxe.
+    CraftStonePickaxe,
+    /// Craft a furnace.
+    CraftFurnace,
+    /// Craft an iron sword.
+    CraftIronSword,
+    /// Smelt charcoal until holding `n`.
+    SmeltCharcoal(u32),
+    /// Smelt iron ingots until holding `n`.
+    SmeltIron(u32),
+    /// Cook chicken until holding `n`.
+    CookChicken(u32),
+    /// Hunt chickens until holding `n` raw chicken.
+    HuntChicken(u32),
+    /// Shear sheep until holding `n` wool.
+    ShearWool(u32),
+    /// Collect wheat seeds until holding `n`.
+    CollectSeeds(u32),
+    /// Pick up an object (manipulation world).
+    Pick(ArmObject),
+    /// Place the held object at a target (manipulation world).
+    PlaceAt(ArmTarget),
+    /// Press the button (manipulation world).
+    PressButton,
+    /// Slide the block into the drawer (manipulation world).
+    SlideBlock,
+    /// Pull the handle to open the drawer (manipulation world).
+    PullHandle,
+    /// Pull open the drawer front (manipulation world).
+    PullDrawer,
+    /// Do nothing (the fallback for unintelligible plans).
+    Idle,
+}
+
+/// The full subtask vocabulary, in token order. Every plan entry must come
+/// from this list so planner tokens and subtasks map 1:1.
+pub const SUBTASK_VOCAB: &[Subtask] = &[
+    Subtask::MineLog(3),
+    Subtask::MineLog(4),
+    Subtask::MineLog(10),
+    Subtask::MineStone(3),
+    Subtask::MineStone(8),
+    Subtask::MineStone(11),
+    Subtask::MineCoal(1),
+    Subtask::MineIron(2),
+    Subtask::CraftPlanks(9),
+    Subtask::CraftPlanks(12),
+    Subtask::CraftSticks(4),
+    Subtask::CraftSticks(6),
+    Subtask::CraftTable,
+    Subtask::CraftWoodenPickaxe,
+    Subtask::CraftStonePickaxe,
+    Subtask::CraftFurnace,
+    Subtask::CraftIronSword,
+    Subtask::SmeltCharcoal(1),
+    Subtask::SmeltIron(2),
+    Subtask::CookChicken(1),
+    Subtask::HuntChicken(1),
+    Subtask::ShearWool(5),
+    Subtask::CollectSeeds(10),
+    Subtask::Pick(ArmObject::Wine),
+    Subtask::Pick(ArmObject::Soup),
+    Subtask::Pick(ArmObject::Bbq),
+    Subtask::Pick(ArmObject::Eggplant),
+    Subtask::Pick(ArmObject::Coke),
+    Subtask::Pick(ArmObject::Carrot),
+    Subtask::Pick(ArmObject::Widget),
+    Subtask::PlaceAt(ArmTarget::CabinetTop),
+    Subtask::PlaceAt(ArmTarget::Basket),
+    Subtask::PlaceAt(ArmTarget::Plate),
+    Subtask::PlaceAt(ArmTarget::DrawerSpot),
+    Subtask::PlaceAt(ArmTarget::Zone),
+    Subtask::PressButton,
+    Subtask::SlideBlock,
+    Subtask::PullHandle,
+    Subtask::PullDrawer,
+    Subtask::Idle,
+];
+
+impl Subtask {
+    /// Token id of this subtask in [`SUBTASK_VOCAB`], if it is a vocabulary
+    /// entry.
+    pub fn token_id(self) -> Option<usize> {
+        SUBTASK_VOCAB.iter().position(|&s| s == self)
+    }
+
+    /// Subtask for a vocabulary token id.
+    pub fn from_token_id(id: usize) -> Option<Subtask> {
+        SUBTASK_VOCAB.get(id).copied()
+    }
+
+    /// Whether this subtask belongs to the crafting world.
+    pub fn is_craftworld(self) -> bool {
+        !matches!(
+            self,
+            Subtask::Pick(_)
+                | Subtask::PlaceAt(_)
+                | Subtask::PressButton
+                | Subtask::SlideBlock
+                | Subtask::PullHandle
+                | Subtask::PullDrawer
+        ) && self != Subtask::Idle
+    }
+
+    /// The recipe the `Craft` action executes while this subtask is active
+    /// (crafting world only).
+    pub fn craft_recipe(self) -> Option<&'static Recipe> {
+        let output = match self {
+            Subtask::CraftPlanks(_) => Item::Plank,
+            Subtask::CraftSticks(_) => Item::Stick,
+            Subtask::CraftTable => Item::CraftingTable,
+            Subtask::CraftWoodenPickaxe => Item::WoodenPickaxe,
+            Subtask::CraftStonePickaxe => Item::StonePickaxe,
+            Subtask::CraftFurnace => Item::Furnace,
+            Subtask::CraftIronSword => Item::IronSword,
+            Subtask::SmeltCharcoal(_) => Item::Charcoal,
+            Subtask::SmeltIron(_) => Item::IronIngot,
+            Subtask::CookChicken(_) => Item::CookedChicken,
+            _ => return None,
+        };
+        Recipe::for_output(output)
+    }
+
+    /// Whether the crafting-world goal of this subtask is met by `inv`.
+    ///
+    /// Manipulation-world subtask completion is judged by the arm world's
+    /// own state, not the inventory.
+    pub fn goal_met(self, inv: &Inventory) -> bool {
+        match self {
+            Subtask::MineLog(n) => inv.count(Item::Log) >= n,
+            Subtask::MineStone(n) => inv.count(Item::Cobblestone) >= n,
+            Subtask::MineCoal(n) => inv.count(Item::Coal) >= n,
+            Subtask::MineIron(n) => inv.count(Item::IronOre) >= n,
+            Subtask::CraftPlanks(n) => inv.count(Item::Plank) >= n,
+            Subtask::CraftSticks(n) => inv.count(Item::Stick) >= n,
+            Subtask::CraftTable => inv.has(Item::CraftingTable),
+            Subtask::CraftWoodenPickaxe => inv.has(Item::WoodenPickaxe),
+            Subtask::CraftStonePickaxe => inv.has(Item::StonePickaxe),
+            Subtask::CraftFurnace => inv.has(Item::Furnace),
+            Subtask::CraftIronSword => inv.has(Item::IronSword),
+            Subtask::SmeltCharcoal(n) => inv.count(Item::Charcoal) >= n,
+            Subtask::SmeltIron(n) => inv.count(Item::IronIngot) >= n,
+            Subtask::CookChicken(n) => inv.count(Item::CookedChicken) >= n,
+            Subtask::HuntChicken(n) => inv.count(Item::RawChicken) >= n,
+            Subtask::ShearWool(n) => inv.count(Item::Wool) >= n,
+            Subtask::CollectSeeds(n) => inv.count(Item::WheatSeeds) >= n,
+            _ => false,
+        }
+    }
+
+    /// Whether this subtask is *sequential* (progress can be destroyed by a
+    /// single wrong action) as opposed to *stochastic* (noise only wastes
+    /// time) — the Fig. 6 distinction.
+    pub fn is_sequential(self) -> bool {
+        matches!(
+            self,
+            Subtask::MineLog(_)
+                | Subtask::MineStone(_)
+                | Subtask::MineCoal(_)
+                | Subtask::MineIron(_)
+                | Subtask::SlideBlock
+                | Subtask::PullHandle
+                | Subtask::PullDrawer
+        )
+    }
+}
+
+impl fmt::Display for Subtask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subtask::MineLog(n) => write!(f, "mine {n} logs"),
+            Subtask::MineStone(n) => write!(f, "mine {n} cobblestone"),
+            Subtask::MineCoal(n) => write!(f, "mine {n} coal"),
+            Subtask::MineIron(n) => write!(f, "mine {n} iron ore"),
+            Subtask::CraftPlanks(n) => write!(f, "craft {n} planks"),
+            Subtask::CraftSticks(n) => write!(f, "craft {n} sticks"),
+            Subtask::CraftTable => write!(f, "craft crafting table"),
+            Subtask::CraftWoodenPickaxe => write!(f, "craft wooden pickaxe"),
+            Subtask::CraftStonePickaxe => write!(f, "craft stone pickaxe"),
+            Subtask::CraftFurnace => write!(f, "craft furnace"),
+            Subtask::CraftIronSword => write!(f, "craft iron sword"),
+            Subtask::SmeltCharcoal(n) => write!(f, "smelt {n} charcoal"),
+            Subtask::SmeltIron(n) => write!(f, "smelt {n} iron ingots"),
+            Subtask::CookChicken(n) => write!(f, "cook {n} chicken"),
+            Subtask::HuntChicken(n) => write!(f, "hunt {n} chickens"),
+            Subtask::ShearWool(n) => write!(f, "shear {n} wool"),
+            Subtask::CollectSeeds(n) => write!(f, "collect {n} wheat seeds"),
+            Subtask::Pick(o) => write!(f, "pick up {o:?}"),
+            Subtask::PlaceAt(t) => write!(f, "place at {t:?}"),
+            Subtask::PressButton => write!(f, "press the button"),
+            Subtask::SlideBlock => write!(f, "slide the block"),
+            Subtask::PullHandle => write!(f, "pull the handle"),
+            Subtask::PullDrawer => write!(f, "pull open the drawer"),
+            Subtask::Idle => write!(f, "idle"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocab_tokens_roundtrip() {
+        for (i, &s) in SUBTASK_VOCAB.iter().enumerate() {
+            assert_eq!(s.token_id(), Some(i));
+            assert_eq!(Subtask::from_token_id(i), Some(s));
+        }
+        assert!(Subtask::from_token_id(SUBTASK_VOCAB.len()).is_none());
+    }
+
+    #[test]
+    fn vocab_has_no_duplicates() {
+        for (i, a) in SUBTASK_VOCAB.iter().enumerate() {
+            for b in &SUBTASK_VOCAB[i + 1..] {
+                assert_ne!(a, b, "duplicate vocab entry {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn goal_predicates_track_inventory() {
+        let mut inv = Inventory::new();
+        assert!(!Subtask::MineLog(3).goal_met(&inv));
+        inv.add(Item::Log, 3);
+        assert!(Subtask::MineLog(3).goal_met(&inv));
+        assert!(!Subtask::CraftTable.goal_met(&inv));
+        inv.add(Item::CraftingTable, 1);
+        assert!(Subtask::CraftTable.goal_met(&inv));
+    }
+
+    #[test]
+    fn craft_recipes_resolve() {
+        assert!(Subtask::CraftPlanks(9).craft_recipe().is_some());
+        assert!(Subtask::SmeltIron(2).craft_recipe().is_some());
+        assert!(Subtask::MineLog(3).craft_recipe().is_none());
+        assert!(Subtask::PressButton.craft_recipe().is_none());
+    }
+
+    #[test]
+    fn sequential_classification_matches_paper() {
+        // log and stone degrade abruptly (sequential); chicken and wool
+        // degrade gracefully (stochastic) — Fig. 6.
+        assert!(Subtask::MineLog(10).is_sequential());
+        assert!(Subtask::MineStone(3).is_sequential());
+        assert!(!Subtask::HuntChicken(1).is_sequential());
+        assert!(!Subtask::ShearWool(5).is_sequential());
+    }
+
+    #[test]
+    fn world_classification() {
+        assert!(Subtask::MineLog(3).is_craftworld());
+        assert!(!Subtask::Pick(ArmObject::Wine).is_craftworld());
+        assert!(!Subtask::Idle.is_craftworld());
+    }
+}

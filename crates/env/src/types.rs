@@ -1,0 +1,177 @@
+//! Shared spatial and action primitives for the simulated environments.
+
+use std::fmt;
+
+/// The discrete action space shared by both environments.
+///
+/// The RL controller emits a distribution over these seven actions each
+/// step (the paper's controller similarly emits per-step action logits,
+/// Fig. 3). `Interact` is context-sensitive (chop / mine / pick / press);
+/// `Craft` executes the current subtask's recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Move one cell north (−y).
+    North,
+    /// Move one cell south (+y).
+    South,
+    /// Move one cell east (+x).
+    East,
+    /// Move one cell west (−x).
+    West,
+    /// Act on an adjacent target (chop, mine, grab, press, ...).
+    Interact,
+    /// Execute the current subtask's recipe (craft / smelt).
+    Craft,
+    /// Do nothing this step.
+    Wait,
+}
+
+impl Action {
+    /// Number of actions.
+    pub const COUNT: usize = 7;
+
+    /// All actions in index order.
+    pub const ALL: [Action; Action::COUNT] = [
+        Action::North,
+        Action::South,
+        Action::East,
+        Action::West,
+        Action::Interact,
+        Action::Craft,
+        Action::Wait,
+    ];
+
+    /// Index of this action in [`Action::ALL`].
+    pub fn index(self) -> usize {
+        Action::ALL.iter().position(|&a| a == self).expect("in ALL")
+    }
+
+    /// Action from an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Action::COUNT`.
+    pub fn from_index(i: usize) -> Action {
+        Action::ALL[i]
+    }
+
+    /// The movement delta of this action, if it is a move.
+    pub fn delta(self) -> Option<(i32, i32)> {
+        match self {
+            Action::North => Some((0, -1)),
+            Action::South => Some((0, 1)),
+            Action::East => Some((1, 0)),
+            Action::West => Some((-1, 0)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Action::North => "north",
+            Action::South => "south",
+            Action::East => "east",
+            Action::West => "west",
+            Action::Interact => "interact",
+            Action::Craft => "craft",
+            Action::Wait => "wait",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A grid position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pos {
+    /// Column.
+    pub x: i32,
+    /// Row.
+    pub y: i32,
+}
+
+impl Pos {
+    /// Convenience constructor.
+    pub fn new(x: i32, y: i32) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance to `other`.
+    pub fn manhattan(self, other: Pos) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+
+    /// The four orthogonal neighbours.
+    pub fn neighbors(self) -> [Pos; 4] {
+        [
+            Pos::new(self.x, self.y - 1),
+            Pos::new(self.x, self.y + 1),
+            Pos::new(self.x + 1, self.y),
+            Pos::new(self.x - 1, self.y),
+        ]
+    }
+
+    /// Whether `other` is orthogonally adjacent.
+    pub fn adjacent_to(self, other: Pos) -> bool {
+        self.manhattan(other) == 1
+    }
+
+    /// Position after applying `action`'s delta (unchanged for non-moves).
+    pub fn stepped(self, action: Action) -> Pos {
+        match action.delta() {
+            Some((dx, dy)) => Pos::new(self.x + dx, self.y + dy),
+            None => self,
+        }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_indices_roundtrip() {
+        for (i, &a) in Action::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+            assert_eq!(Action::from_index(i), a);
+        }
+    }
+
+    #[test]
+    fn moves_have_unit_deltas() {
+        for a in [Action::North, Action::South, Action::East, Action::West] {
+            let (dx, dy) = a.delta().expect("move");
+            assert_eq!(dx.abs() + dy.abs(), 1);
+        }
+        assert!(Action::Interact.delta().is_none());
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Pos::new(0, 0).manhattan(Pos::new(3, 4)), 7);
+        assert_eq!(Pos::new(-2, 1).manhattan(Pos::new(2, 1)), 4);
+    }
+
+    #[test]
+    fn neighbors_are_adjacent() {
+        let p = Pos::new(5, 5);
+        for n in p.neighbors() {
+            assert!(p.adjacent_to(n));
+        }
+        assert!(!p.adjacent_to(p));
+    }
+
+    #[test]
+    fn stepped_applies_delta() {
+        let p = Pos::new(1, 1);
+        assert_eq!(p.stepped(Action::North), Pos::new(1, 0));
+        assert_eq!(p.stepped(Action::Craft), p);
+    }
+}

@@ -1,0 +1,205 @@
+//! Element-wise activations, softmax and entropy.
+//!
+//! Forward functions are paired with explicit backward functions; the
+//! training loops in `create-agents` chain them by hand (no autodiff).
+
+use create_tensor::Matrix;
+
+/// ReLU forward.
+pub fn relu(x: &Matrix) -> Matrix {
+    x.map(|v| v.max(0.0))
+}
+
+/// ReLU backward: `dx = dy ⊙ [x > 0]`.
+pub fn relu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(x.shape(), dy.shape(), "relu backward shape mismatch");
+    Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+        if x.get(r, c) > 0.0 { dy.get(r, c) } else { 0.0 }
+    })
+}
+
+/// Numerically safe logistic sigmoid.
+#[inline]
+pub fn sigmoid(v: f32) -> f32 {
+    if v >= 0.0 {
+        1.0 / (1.0 + (-v).exp())
+    } else {
+        let e = v.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// SiLU (swish) forward: `x · σ(x)`.
+pub fn silu(x: &Matrix) -> Matrix {
+    x.map(|v| v * sigmoid(v))
+}
+
+/// SiLU backward: `d/dx [x σ(x)] = σ(x)(1 + x(1 − σ(x)))`.
+pub fn silu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(x.shape(), dy.shape(), "silu backward shape mismatch");
+    Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+        let v = x.get(r, c);
+        let s = sigmoid(v);
+        dy.get(r, c) * s * (1.0 + v * (1.0 - s))
+    })
+}
+
+/// Row-wise softmax with max-subtraction for stability.
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Softmax backward given the softmax output `p` and upstream `dy`:
+/// `ds = p ⊙ (dy − rowsum(dy ⊙ p))`.
+pub fn softmax_backward(p: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(p.shape(), dy.shape(), "softmax backward shape mismatch");
+    let mut out = Matrix::zeros(p.rows(), p.cols());
+    for r in 0..p.rows() {
+        let dot: f32 = p.row(r).iter().zip(dy.row(r)).map(|(a, b)| a * b).sum();
+        for c in 0..p.cols() {
+            out.set(r, c, p.get(r, c) * (dy.get(r, c) - dot));
+        }
+    }
+    out
+}
+
+/// Shannon entropy (nats) of a probability vector.
+///
+/// Zero entries contribute zero; the input is assumed normalized.
+pub fn entropy(probs: &[f32]) -> f32 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// Entropy of `softmax(logits)` — the paper's step-criticality indicator
+/// (Sec. 5.3).
+pub fn logits_entropy(logits: &[f32]) -> f32 {
+    let m = Matrix::from_vec(1, logits.len(), logits.to_vec());
+    let p = softmax_rows(&m);
+    entropy(p.row(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn finite_diff(
+        f: impl Fn(&Matrix) -> f32,
+        x: &Matrix,
+        r: usize,
+        c: usize,
+        eps: f32,
+    ) -> f32 {
+        let mut plus = x.clone();
+        plus.set(r, c, x.get(r, c) + eps);
+        let mut minus = x.clone();
+        minus.set(r, c, x.get(r, c) - eps);
+        (f(&plus) - f(&minus)) / (2.0 * eps)
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn silu_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Matrix::random_uniform(2, 3, 2.0, &mut rng);
+        // Loss = sum(silu(x)).
+        let dy = Matrix::from_fn(2, 3, |_, _| 1.0);
+        let grad = silu_backward(&x, &dy);
+        for r in 0..2 {
+            for c in 0..3 {
+                let fd = finite_diff(|m| silu(m).as_slice().iter().sum(), &x, r, c, 1e-3);
+                assert!(
+                    (grad.get(r, c) - fd).abs() < 1e-2,
+                    "silu grad mismatch at ({r},{c}): {} vs {fd}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let p = softmax_rows(&x);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![101.0, 102.0, 103.0]);
+        assert!(softmax_rows(&a).max_abs_diff(&softmax_rows(&b)) < 1e-6);
+    }
+
+    #[test]
+    fn softmax_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Matrix::random_uniform(1, 4, 2.0, &mut rng);
+        // Loss = p[0] (first softmax output).
+        let loss = |m: &Matrix| softmax_rows(m).get(0, 0);
+        let p = softmax_rows(&x);
+        let mut dy = Matrix::zeros(1, 4);
+        dy.set(0, 0, 1.0);
+        let grad = softmax_backward(&p, &dy);
+        for c in 0..4 {
+            let fd = finite_diff(loss, &x, 0, c, 1e-3);
+            assert!(
+                (grad.get(0, c) - fd).abs() < 1e-3,
+                "softmax grad mismatch at {c}: {} vs {fd}",
+                grad.get(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        // Uniform over n has entropy ln(n); a point mass has zero.
+        let uniform = [0.25f32; 4];
+        assert!((entropy(&uniform) - 4.0f32.ln()).abs() < 1e-6);
+        let point = [1.0, 0.0, 0.0, 0.0];
+        assert_eq!(entropy(&point), 0.0);
+    }
+
+    #[test]
+    fn logits_entropy_tracks_confidence() {
+        let confident = logits_entropy(&[10.0, 0.0, 0.0, 0.0]);
+        let unsure = logits_entropy(&[1.0, 1.0, 1.0, 1.0]);
+        assert!(confident < 0.01);
+        assert!((unsure - 4.0f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+}

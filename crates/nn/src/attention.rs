@@ -1,0 +1,370 @@
+//! Multi-head self-attention: trainable `f32` form with manual backward,
+//! and the quantized accelerator-backed deployment form.
+//!
+//! Error injection targets the Q/K/V/O *weight* GEMMs (the INT8 operations
+//! the paper quantizes, Sec. 3.2); the score/probability math runs in f32.
+
+use crate::activation::{softmax_backward, softmax_rows};
+use crate::linear::{Linear, LinearGrads, QuantLinear};
+use create_accel::{Accelerator, Component, LayerCtx, Unit};
+use create_tensor::{Matrix, Precision};
+use rand::Rng;
+
+/// Extracts columns `[h*dh, (h+1)*dh)` of `m`.
+fn head_slice(m: &Matrix, h: usize, dh: usize) -> Matrix {
+    Matrix::from_fn(m.rows(), dh, |r, c| m.get(r, h * dh + c))
+}
+
+/// Adds `part` back into columns `[h*dh, (h+1)*dh)` of `m`.
+fn head_unslice(m: &mut Matrix, part: &Matrix, h: usize, dh: usize) {
+    for r in 0..part.rows() {
+        for c in 0..part.cols() {
+            let cur = m.get(r, h * dh + c);
+            m.set(r, h * dh + c, cur + part.get(r, c));
+        }
+    }
+}
+
+/// Applies a causal mask in place (`-inf` above the diagonal).
+fn causal_mask(scores: &mut Matrix) {
+    for r in 0..scores.rows() {
+        for c in (r + 1)..scores.cols() {
+            scores.set(r, c, f32::NEG_INFINITY);
+        }
+    }
+}
+
+/// Trainable multi-head attention parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mha {
+    /// Query projection `(d, d)`.
+    pub wq: Linear,
+    /// Key projection `(d, d)`.
+    pub wk: Linear,
+    /// Value projection `(d, d)`.
+    pub wv: Linear,
+    /// Output projection `(d, d)`.
+    pub wo: Linear,
+    /// Number of heads (must divide `d`).
+    pub heads: usize,
+    /// Whether to apply a causal mask (planner decoding).
+    pub causal: bool,
+}
+
+/// Cached forward state for the backward pass.
+#[derive(Debug, Clone)]
+pub struct MhaCache {
+    pub(crate) x: Matrix,
+    pub(crate) q: Matrix,
+    pub(crate) k: Matrix,
+    pub(crate) v: Matrix,
+    pub(crate) probs: Vec<Matrix>,
+    pub(crate) context: Matrix,
+}
+
+/// Gradient buffers for [`Mha`].
+#[derive(Debug, Clone)]
+pub struct MhaGrads {
+    /// Query projection gradients.
+    pub wq: LinearGrads,
+    /// Key projection gradients.
+    pub wk: LinearGrads,
+    /// Value projection gradients.
+    pub wv: LinearGrads,
+    /// Output projection gradients.
+    pub wo: LinearGrads,
+}
+
+impl Mha {
+    /// Creates randomly initialized attention with `heads` heads over model
+    /// width `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` does not divide `d`.
+    pub fn new(d: usize, heads: usize, causal: bool, rng: &mut impl Rng) -> Self {
+        assert!(d % heads == 0, "heads {heads} must divide width {d}");
+        Self {
+            wq: Linear::new(d, d, false, rng),
+            wk: Linear::new(d, d, false, rng),
+            wv: Linear::new(d, d, false, rng),
+            wo: Linear::new(d, d, false, rng),
+            heads,
+            causal,
+        }
+    }
+
+    /// Model width.
+    pub fn width(&self) -> usize {
+        self.wq.w.rows()
+    }
+
+    /// Forward pass over a `(T, d)` sequence.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, MhaCache) {
+        let d = self.width();
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let mut context = Matrix::zeros(x.rows(), d);
+        let mut probs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = head_slice(&q, h, dh);
+            let kh = head_slice(&k, h, dh);
+            let vh = head_slice(&v, h, dh);
+            let mut scores = qh.matmul_nt(&kh).scale(scale);
+            if self.causal {
+                causal_mask(&mut scores);
+            }
+            let p = softmax_rows(&scores);
+            let ch = p.matmul(&vh);
+            head_unslice(&mut context, &ch, h, dh);
+            probs.push(p);
+        }
+        let y = self.wo.forward(&context);
+        let cache = MhaCache {
+            x: x.clone(),
+            q,
+            k,
+            v,
+            probs,
+            context,
+        };
+        (y, cache)
+    }
+
+    /// Backward pass; returns `dx` and fills `grads`.
+    pub fn backward(&self, cache: &MhaCache, dy: &Matrix, grads: &mut MhaGrads) -> Matrix {
+        let d = self.width();
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        // Through the output projection.
+        let dcontext = self.wo.backward(&cache.context, dy, &mut grads.wo);
+        let mut dq = Matrix::zeros(cache.x.rows(), d);
+        let mut dk = Matrix::zeros(cache.x.rows(), d);
+        let mut dv = Matrix::zeros(cache.x.rows(), d);
+        for h in 0..self.heads {
+            let qh = head_slice(&cache.q, h, dh);
+            let kh = head_slice(&cache.k, h, dh);
+            let vh = head_slice(&cache.v, h, dh);
+            let dch = head_slice(&dcontext, h, dh);
+            let p = &cache.probs[h];
+            // context_h = p @ v_h
+            let dp = dch.matmul_nt(&vh);
+            let dvh = p.matmul_tn(&dch);
+            let dscores = softmax_backward(p, &dp);
+            // scores = scale * q_h @ k_h^T
+            let dqh = dscores.matmul(&kh).scale(scale);
+            let dkh = dscores.matmul_tn(&qh).scale(scale);
+            head_unslice(&mut dq, &dqh, h, dh);
+            head_unslice(&mut dk, &dkh, h, dh);
+            head_unslice(&mut dv, &dvh, h, dh);
+        }
+        let dx_q = self.wq.backward(&cache.x, &dq, &mut grads.wq);
+        let dx_k = self.wk.backward(&cache.x, &dk, &mut grads.wk);
+        let dx_v = self.wv.backward(&cache.x, &dv, &mut grads.wv);
+        dx_q.add(&dx_k).add(&dx_v)
+    }
+
+    /// Zero-filled gradient buffers.
+    pub fn zero_grads(&self) -> MhaGrads {
+        MhaGrads {
+            wq: self.wq.zero_grads(),
+            wk: self.wk.zero_grads(),
+            wv: self.wv.zero_grads(),
+            wo: self.wo.zero_grads(),
+        }
+    }
+}
+
+/// Deployed multi-head attention with quantized projections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMha {
+    /// Quantized query projection.
+    pub wq: QuantLinear,
+    /// Quantized key projection.
+    pub wk: QuantLinear,
+    /// Quantized value projection.
+    pub wv: QuantLinear,
+    /// Quantized output projection.
+    pub wo: QuantLinear,
+    /// Head count.
+    pub heads: usize,
+    /// Causal masking flag.
+    pub causal: bool,
+}
+
+/// Calibration maxima for one linear layer: `(input_max, output_max)`.
+pub type CalRange = (f32, f32);
+
+impl QuantMha {
+    /// Quantizes a trained [`Mha`] given per-projection calibration ranges.
+    pub fn from_calibrated(
+        mha: &Mha,
+        cal_q: CalRange,
+        cal_k: CalRange,
+        cal_v: CalRange,
+        cal_o: CalRange,
+        margin: f32,
+        precision: Precision,
+    ) -> Self {
+        Self {
+            wq: QuantLinear::from_calibrated(&mha.wq, cal_q.0, cal_q.1, margin, precision),
+            wk: QuantLinear::from_calibrated(&mha.wk, cal_k.0, cal_k.1, margin, precision),
+            wv: QuantLinear::from_calibrated(&mha.wv, cal_v.0, cal_v.1, margin, precision),
+            wo: QuantLinear::from_calibrated(&mha.wo, cal_o.0, cal_o.1, margin, precision),
+            heads: mha.heads,
+            causal: mha.causal,
+        }
+    }
+
+    /// Forward pass on the accelerator.
+    pub fn forward(&self, accel: &mut Accelerator, x: &Matrix, unit: Unit, layer: usize) -> Matrix {
+        let d = self.wq.fan_in();
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let q = self.wq.forward(accel, x, LayerCtx::new(unit, Component::Q, layer));
+        let k = self.wk.forward(accel, x, LayerCtx::new(unit, Component::K, layer));
+        let v = self.wv.forward(accel, x, LayerCtx::new(unit, Component::V, layer));
+        let mut context = Matrix::zeros(x.rows(), d);
+        for h in 0..self.heads {
+            let qh = head_slice(&q, h, dh);
+            let kh = head_slice(&k, h, dh);
+            let vh = head_slice(&v, h, dh);
+            let mut scores = qh.matmul_nt(&kh).scale(scale);
+            if self.causal {
+                causal_mask(&mut scores);
+            }
+            let p = softmax_rows(&scores);
+            let ch = p.matmul(&vh);
+            head_unslice(&mut context, &ch, h, dh);
+        }
+        self.wo
+            .forward(accel, &context, LayerCtx::new(unit, Component::O, layer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn forward_shape_is_preserved() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mha = Mha::new(16, 4, false, &mut rng);
+        let x = Matrix::random_uniform(5, 16, 1.0, &mut rng);
+        let (y, _) = mha.forward(&x);
+        assert_eq!(y.shape(), (5, 16));
+    }
+
+    #[test]
+    fn causal_mask_blocks_future_tokens() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mha = Mha::new(8, 2, true, &mut rng);
+        let x = Matrix::random_uniform(4, 8, 1.0, &mut rng);
+        let (y, _) = mha.forward(&x);
+        // Changing a future token must not affect an earlier position.
+        let mut x2 = x.clone();
+        for c in 0..8 {
+            x2.set(3, c, x.get(3, c) + 5.0);
+        }
+        let (y2, _) = mha.forward(&x2);
+        for c in 0..8 {
+            assert!(
+                (y.get(0, c) - y2.get(0, c)).abs() < 1e-6,
+                "token 0 saw a change in token 3"
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mha = Mha::new(8, 2, true, &mut rng);
+        let x = Matrix::random_uniform(3, 8, 0.7, &mut rng);
+        let coeff = Matrix::random_uniform(3, 8, 1.0, &mut rng);
+        let loss = |m: &Mha, xx: &Matrix| {
+            let (y, _) = m.forward(xx);
+            y.as_slice()
+                .iter()
+                .zip(coeff.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        let (_, cache) = mha.forward(&x);
+        let mut grads = mha.zero_grads();
+        let dx = mha.backward(&cache, &coeff, &mut grads);
+
+        let eps = 1e-2;
+        // Spot-check dx.
+        for &(r, c) in &[(0usize, 0usize), (1, 3), (2, 7)] {
+            let mut xp = x.clone();
+            xp.set(r, c, x.get(r, c) + eps);
+            let mut xm = x.clone();
+            xm.set(r, c, x.get(r, c) - eps);
+            let fd = (loss(&mha, &xp) - loss(&mha, &xm)) / (2.0 * eps);
+            assert!(
+                (dx.get(r, c) - fd).abs() < 0.05 * (1.0 + fd.abs()),
+                "dx mismatch at ({r},{c}): {} vs {fd}",
+                dx.get(r, c)
+            );
+        }
+        // Spot-check weight grads on each projection.
+        for (name, w_ref, g) in [
+            ("wq", &mha.wq, &grads.wq),
+            ("wk", &mha.wk, &grads.wk),
+            ("wv", &mha.wv, &grads.wv),
+            ("wo", &mha.wo, &grads.wo),
+        ] {
+            let (r, c) = (1usize, 2usize);
+            let mut mp = mha.clone();
+            let mut mm = mha.clone();
+            let wp = match name {
+                "wq" => &mut mp.wq,
+                "wk" => &mut mp.wk,
+                "wv" => &mut mp.wv,
+                _ => &mut mp.wo,
+            };
+            wp.w.set(r, c, w_ref.w.get(r, c) + eps);
+            let wm = match name {
+                "wq" => &mut mm.wq,
+                "wk" => &mut mm.wk,
+                "wv" => &mut mm.wv,
+                _ => &mut mm.wo,
+            };
+            wm.w.set(r, c, w_ref.w.get(r, c) - eps);
+            let fd = (loss(&mp, &x) - loss(&mm, &x)) / (2.0 * eps);
+            assert!(
+                (g.dw.get(r, c) - fd).abs() < 0.05 * (1.0 + fd.abs()),
+                "{name} grad mismatch: {} vs {fd}",
+                g.dw.get(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_attention_tracks_float_attention() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mha = Mha::new(16, 4, false, &mut rng);
+        let x = Matrix::random_uniform(4, 16, 1.0, &mut rng);
+        let (y_float, cache) = mha.forward(&x);
+        let cal = |m: &Matrix| m.max_abs();
+        let q = QuantMha::from_calibrated(
+            &mha,
+            (cal(&x), cal(&cache.q)),
+            (cal(&x), cal(&cache.k)),
+            (cal(&x), cal(&cache.v)),
+            (cal(&cache.context), cal(&y_float)),
+            1.25,
+            Precision::Int8,
+        );
+        let mut accel = Accelerator::ideal(0);
+        let y_quant = q.forward(&mut accel, &x, Unit::Controller, 0);
+        let err = y_float.max_abs_diff(&y_quant);
+        assert!(err < 0.15, "quantized attention error {err}");
+        assert_eq!(accel.gemms(), 4, "Q,K,V,O weight GEMMs only");
+    }
+}

@@ -1,0 +1,693 @@
+//! Transformer blocks: the planner's pre-RMSNorm attention + SwiGLU MLP and
+//! the controller's pre-LayerNorm attention + ReLU MLP (paper Fig. 3), in
+//! trainable `f32` and quantized accelerator-backed forms.
+
+use crate::activation::{relu, relu_backward, silu, silu_backward};
+use crate::attention::{CalRange, Mha, MhaCache, MhaGrads, QuantMha};
+use crate::linear::{Linear, LinearGrads, QuantLinear};
+use crate::norm::{
+    NormStats, layernorm_backward, layernorm_with_stats, rmsnorm_backward, rmsnorm_with_stats,
+};
+use create_accel::{Accelerator, Component, LayerCtx, Unit};
+use create_tensor::{Matrix, Precision};
+use rand::Rng;
+
+// ---------------------------------------------------------------------------
+// SwiGLU MLP (planner)
+// ---------------------------------------------------------------------------
+
+/// Gated MLP: `down( silu(x @ gate) ⊙ (x @ up) )`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwiGlu {
+    /// Gate projection `(d, m)`.
+    pub wgate: Linear,
+    /// Up projection `(d, m)`.
+    pub wup: Linear,
+    /// Down projection `(m, d)`.
+    pub wdown: Linear,
+}
+
+/// Cached forward state for [`SwiGlu`].
+#[derive(Debug, Clone)]
+pub struct SwiGluCache {
+    x: Matrix,
+    gate: Matrix,
+    up: Matrix,
+    act: Matrix,
+    prod: Matrix,
+}
+
+/// Gradient buffers for [`SwiGlu`].
+#[derive(Debug, Clone)]
+pub struct SwiGluGrads {
+    /// Gate projection gradients.
+    pub wgate: LinearGrads,
+    /// Up projection gradients.
+    pub wup: LinearGrads,
+    /// Down projection gradients.
+    pub wdown: LinearGrads,
+}
+
+impl SwiGlu {
+    /// Random initialization with hidden width `m`.
+    pub fn new(d: usize, m: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            wgate: Linear::new(d, m, false, rng),
+            wup: Linear::new(d, m, false, rng),
+            wdown: Linear::new(m, d, false, rng),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, SwiGluCache) {
+        let gate = self.wgate.forward(x);
+        let up = self.wup.forward(x);
+        let act = silu(&gate);
+        let prod = Matrix::from_fn(act.rows(), act.cols(), |r, c| act.get(r, c) * up.get(r, c));
+        let y = self.wdown.forward(&prod);
+        (
+            y,
+            SwiGluCache {
+                x: x.clone(),
+                gate,
+                up,
+                act,
+                prod,
+            },
+        )
+    }
+
+    /// Backward pass; returns `dx`.
+    pub fn backward(&self, cache: &SwiGluCache, dy: &Matrix, grads: &mut SwiGluGrads) -> Matrix {
+        let dprod = self.wdown.backward(&cache.prod, dy, &mut grads.wdown);
+        let dact = Matrix::from_fn(dprod.rows(), dprod.cols(), |r, c| {
+            dprod.get(r, c) * cache.up.get(r, c)
+        });
+        let dup = Matrix::from_fn(dprod.rows(), dprod.cols(), |r, c| {
+            dprod.get(r, c) * cache.act.get(r, c)
+        });
+        let dgate = silu_backward(&cache.gate, &dact);
+        let dx_g = self.wgate.backward(&cache.x, &dgate, &mut grads.wgate);
+        let dx_u = self.wup.backward(&cache.x, &dup, &mut grads.wup);
+        dx_g.add(&dx_u)
+    }
+
+    /// Zero-filled gradient buffers.
+    pub fn zero_grads(&self) -> SwiGluGrads {
+        SwiGluGrads {
+            wgate: self.wgate.zero_grads(),
+            wup: self.wup.zero_grads(),
+            wdown: self.wdown.zero_grads(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReLU MLP (controller)
+// ---------------------------------------------------------------------------
+
+/// Two-layer MLP: `fc2( relu(x @ fc1 + b1) ) + b2`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReluMlp {
+    /// First layer `(d, m)`.
+    pub fc1: Linear,
+    /// Second layer `(m, d)`.
+    pub fc2: Linear,
+}
+
+/// Cached forward state for [`ReluMlp`].
+#[derive(Debug, Clone)]
+pub struct ReluMlpCache {
+    x: Matrix,
+    pre: Matrix,
+    hidden: Matrix,
+}
+
+/// Gradient buffers for [`ReluMlp`].
+#[derive(Debug, Clone)]
+pub struct ReluMlpGrads {
+    /// First-layer gradients.
+    pub fc1: LinearGrads,
+    /// Second-layer gradients.
+    pub fc2: LinearGrads,
+}
+
+impl ReluMlp {
+    /// Random initialization with hidden width `m`.
+    pub fn new(d: usize, m: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            fc1: Linear::new(d, m, true, rng),
+            fc2: Linear::new(m, d, true, rng),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, ReluMlpCache) {
+        let pre = self.fc1.forward(x);
+        let hidden = relu(&pre);
+        let y = self.fc2.forward(&hidden);
+        (
+            y,
+            ReluMlpCache {
+                x: x.clone(),
+                pre,
+                hidden,
+            },
+        )
+    }
+
+    /// Backward pass; returns `dx`.
+    pub fn backward(&self, cache: &ReluMlpCache, dy: &Matrix, grads: &mut ReluMlpGrads) -> Matrix {
+        let dhidden = self.fc2.backward(&cache.hidden, dy, &mut grads.fc2);
+        let dpre = relu_backward(&cache.pre, &dhidden);
+        self.fc1.backward(&cache.x, &dpre, &mut grads.fc1)
+    }
+
+    /// Zero-filled gradient buffers.
+    pub fn zero_grads(&self) -> ReluMlpGrads {
+        ReluMlpGrads {
+            fc1: self.fc1.zero_grads(),
+            fc2: self.fc2.zero_grads(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planner block (pre-RMSNorm, SwiGLU)
+// ---------------------------------------------------------------------------
+
+/// One planner transformer layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerBlock {
+    /// Causal self-attention.
+    pub attn: Mha,
+    /// Gated MLP.
+    pub mlp: SwiGlu,
+}
+
+/// Cached forward state for [`PlannerBlock`].
+#[derive(Debug, Clone)]
+pub struct PlannerBlockCache {
+    n1: Matrix,
+    n1_stats: NormStats,
+    attn: MhaCache,
+    n2: Matrix,
+    n2_stats: NormStats,
+    mlp: SwiGluCache,
+}
+
+/// Gradient buffers for [`PlannerBlock`].
+#[derive(Debug, Clone)]
+pub struct PlannerBlockGrads {
+    /// Attention gradients.
+    pub attn: MhaGrads,
+    /// MLP gradients.
+    pub mlp: SwiGluGrads,
+}
+
+impl PlannerBlock {
+    /// Random initialization.
+    pub fn new(d: usize, m: usize, heads: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            attn: Mha::new(d, heads, true, rng),
+            mlp: SwiGlu::new(d, m, rng),
+        }
+    }
+
+    /// Forward: `y = x + attn(rms(x)); z = y + mlp(rms(y))`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, PlannerBlockCache) {
+        let (n1, n1_stats) = rmsnorm_with_stats(x);
+        let (a, attn_cache) = self.attn.forward(&n1);
+        let y = x.add(&a);
+        let (n2, n2_stats) = rmsnorm_with_stats(&y);
+        let (m, mlp_cache) = self.mlp.forward(&n2);
+        let z = y.add(&m);
+        (
+            z,
+            PlannerBlockCache {
+                n1,
+                n1_stats,
+                attn: attn_cache,
+                n2,
+                n2_stats,
+                mlp: mlp_cache,
+            },
+        )
+    }
+
+    /// Backward pass; returns `dx`.
+    pub fn backward(
+        &self,
+        cache: &PlannerBlockCache,
+        dz: &Matrix,
+        grads: &mut PlannerBlockGrads,
+    ) -> Matrix {
+        // z = y + mlp(n2)
+        let dn2 = self.mlp.backward(&cache.mlp, dz, &mut grads.mlp);
+        let mut dy = dz.add(&rmsnorm_backward(&cache.n2, &cache.n2_stats, &dn2));
+        // y = x + attn(n1)
+        let dn1 = self.attn.backward(&cache.attn, &dy, &mut grads.attn);
+        let dx_norm = rmsnorm_backward(&cache.n1, &cache.n1_stats, &dn1);
+        dy.add_assign(&dx_norm);
+        dy
+    }
+
+    /// Zero-filled gradient buffers.
+    pub fn zero_grads(&self) -> PlannerBlockGrads {
+        PlannerBlockGrads {
+            attn: self.attn.zero_grads(),
+            mlp: self.mlp.zero_grads(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controller block (pre-LayerNorm, ReLU MLP)
+// ---------------------------------------------------------------------------
+
+/// One controller transformer layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerBlock {
+    /// Bidirectional self-attention.
+    pub attn: Mha,
+    /// ReLU MLP.
+    pub mlp: ReluMlp,
+}
+
+/// Cached forward state for [`ControllerBlock`].
+#[derive(Debug, Clone)]
+pub struct ControllerBlockCache {
+    n1: Matrix,
+    n1_stats: NormStats,
+    attn: MhaCache,
+    n2: Matrix,
+    n2_stats: NormStats,
+    mlp: ReluMlpCache,
+}
+
+/// Gradient buffers for [`ControllerBlock`].
+#[derive(Debug, Clone)]
+pub struct ControllerBlockGrads {
+    /// Attention gradients.
+    pub attn: MhaGrads,
+    /// MLP gradients.
+    pub mlp: ReluMlpGrads,
+}
+
+impl ControllerBlock {
+    /// Random initialization.
+    pub fn new(d: usize, m: usize, heads: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            attn: Mha::new(d, heads, false, rng),
+            mlp: ReluMlp::new(d, m, rng),
+        }
+    }
+
+    /// Forward: `y = x + attn(ln(x)); z = y + mlp(ln(y))`.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, ControllerBlockCache) {
+        let (n1, n1_stats) = layernorm_with_stats(x);
+        let (a, attn_cache) = self.attn.forward(&n1);
+        let y = x.add(&a);
+        let (n2, n2_stats) = layernorm_with_stats(&y);
+        let (m, mlp_cache) = self.mlp.forward(&n2);
+        let z = y.add(&m);
+        (
+            z,
+            ControllerBlockCache {
+                n1,
+                n1_stats,
+                attn: attn_cache,
+                n2,
+                n2_stats,
+                mlp: mlp_cache,
+            },
+        )
+    }
+
+    /// Backward pass; returns `dx`.
+    pub fn backward(
+        &self,
+        cache: &ControllerBlockCache,
+        dz: &Matrix,
+        grads: &mut ControllerBlockGrads,
+    ) -> Matrix {
+        let dn2 = self.mlp.backward(&cache.mlp, dz, &mut grads.mlp);
+        let mut dy = dz.add(&layernorm_backward(&cache.n2, &cache.n2_stats, &dn2));
+        let dn1 = self.attn.backward(&cache.attn, &dy, &mut grads.attn);
+        let dx_norm = layernorm_backward(&cache.n1, &cache.n1_stats, &dn1);
+        dy.add_assign(&dx_norm);
+        dy
+    }
+
+    /// Zero-filled gradient buffers.
+    pub fn zero_grads(&self) -> ControllerBlockGrads {
+        ControllerBlockGrads {
+            attn: self.attn.zero_grads(),
+            mlp: self.mlp.zero_grads(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized deployment blocks
+// ---------------------------------------------------------------------------
+
+/// Captures the pre-normalization residual activations of a quantized
+/// forward pass (for the Fig. 5 i–l activation studies).
+#[derive(Debug, Clone, Default)]
+pub struct ActivationTap {
+    /// Pre-norm residual activations, one matrix per block visited.
+    pub pre_norm: Vec<Matrix>,
+}
+
+/// Quantized planner block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantPlannerBlock {
+    /// Quantized attention.
+    pub attn: QuantMha,
+    /// Quantized gate projection.
+    pub wgate: QuantLinear,
+    /// Quantized up projection.
+    pub wup: QuantLinear,
+    /// Quantized down projection.
+    pub wdown: QuantLinear,
+}
+
+impl QuantPlannerBlock {
+    /// Quantizes a trained block with calibration ranges for each linear.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_calibrated(
+        block: &PlannerBlock,
+        cal_q: CalRange,
+        cal_k: CalRange,
+        cal_v: CalRange,
+        cal_o: CalRange,
+        cal_gate: CalRange,
+        cal_up: CalRange,
+        cal_down: CalRange,
+        margin: f32,
+        precision: Precision,
+    ) -> Self {
+        Self {
+            attn: QuantMha::from_calibrated(
+                &block.attn,
+                cal_q,
+                cal_k,
+                cal_v,
+                cal_o,
+                margin,
+                precision,
+            ),
+            wgate: QuantLinear::from_calibrated(
+                &block.mlp.wgate,
+                cal_gate.0,
+                cal_gate.1,
+                margin,
+                precision,
+            ),
+            wup: QuantLinear::from_calibrated(
+                &block.mlp.wup,
+                cal_up.0,
+                cal_up.1,
+                margin,
+                precision,
+            ),
+            wdown: QuantLinear::from_calibrated(
+                &block.mlp.wdown,
+                cal_down.0,
+                cal_down.1,
+                margin,
+                precision,
+            ),
+        }
+    }
+
+    /// Forward pass on the accelerator; optionally taps pre-norm residuals.
+    pub fn forward(
+        &self,
+        accel: &mut Accelerator,
+        x: &Matrix,
+        layer: usize,
+        tap: Option<&mut ActivationTap>,
+    ) -> Matrix {
+        use crate::norm::rmsnorm;
+        if let Some(tap) = tap {
+            tap.pre_norm.push(x.clone());
+        }
+        let n1 = rmsnorm(x);
+        let a = self.attn.forward(accel, &n1, Unit::Planner, layer);
+        let y = x.add(&a);
+        let n2 = rmsnorm(&y);
+        let gate = self
+            .wgate
+            .forward(accel, &n2, LayerCtx::new(Unit::Planner, Component::Gate, layer));
+        let up = self
+            .wup
+            .forward(accel, &n2, LayerCtx::new(Unit::Planner, Component::Up, layer));
+        let act = silu(&gate);
+        let prod = Matrix::from_fn(act.rows(), act.cols(), |r, c| act.get(r, c) * up.get(r, c));
+        let m = self
+            .wdown
+            .forward(accel, &prod, LayerCtx::new(Unit::Planner, Component::Down, layer));
+        y.add(&m)
+    }
+}
+
+/// Quantized controller block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantControllerBlock {
+    /// Quantized attention.
+    pub attn: QuantMha,
+    /// Quantized first MLP layer.
+    pub fc1: QuantLinear,
+    /// Quantized second MLP layer.
+    pub fc2: QuantLinear,
+}
+
+impl QuantControllerBlock {
+    /// Quantizes a trained block with calibration ranges for each linear.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_calibrated(
+        block: &ControllerBlock,
+        cal_q: CalRange,
+        cal_k: CalRange,
+        cal_v: CalRange,
+        cal_o: CalRange,
+        cal_fc1: CalRange,
+        cal_fc2: CalRange,
+        margin: f32,
+        precision: Precision,
+    ) -> Self {
+        Self {
+            attn: QuantMha::from_calibrated(
+                &block.attn,
+                cal_q,
+                cal_k,
+                cal_v,
+                cal_o,
+                margin,
+                precision,
+            ),
+            fc1: QuantLinear::from_calibrated(
+                &block.mlp.fc1,
+                cal_fc1.0,
+                cal_fc1.1,
+                margin,
+                precision,
+            ),
+            fc2: QuantLinear::from_calibrated(
+                &block.mlp.fc2,
+                cal_fc2.0,
+                cal_fc2.1,
+                margin,
+                precision,
+            ),
+        }
+    }
+
+    /// Forward pass on the accelerator; optionally taps pre-norm residuals.
+    pub fn forward(
+        &self,
+        accel: &mut Accelerator,
+        x: &Matrix,
+        layer: usize,
+        tap: Option<&mut ActivationTap>,
+    ) -> Matrix {
+        use crate::norm::layernorm;
+        if let Some(tap) = tap {
+            tap.pre_norm.push(x.clone());
+        }
+        let n1 = layernorm(x);
+        let a = self.attn.forward(accel, &n1, Unit::Controller, layer);
+        let y = x.add(&a);
+        let n2 = layernorm(&y);
+        let pre = self
+            .fc1
+            .forward(accel, &n2, LayerCtx::new(Unit::Controller, Component::Fc1, layer));
+        let hidden = relu(&pre);
+        let m = self
+            .fc2
+            .forward(accel, &hidden, LayerCtx::new(Unit::Controller, Component::Fc2, layer));
+        y.add(&m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn planner_block_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let block = PlannerBlock::new(16, 32, 4, &mut rng);
+        let x = Matrix::random_uniform(5, 16, 1.0, &mut rng);
+        let (z, _) = block.forward(&x);
+        assert_eq!(z.shape(), (5, 16));
+    }
+
+    #[test]
+    fn controller_block_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let block = ControllerBlock::new(16, 32, 4, &mut rng);
+        let x = Matrix::random_uniform(4, 16, 1.0, &mut rng);
+        let (z, _) = block.forward(&x);
+        assert_eq!(z.shape(), (4, 16));
+    }
+
+    #[test]
+    fn planner_block_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let block = PlannerBlock::new(8, 16, 2, &mut rng);
+        let x = Matrix::random_uniform(3, 8, 0.7, &mut rng);
+        let coeff = Matrix::random_uniform(3, 8, 1.0, &mut rng);
+        let loss = |b: &PlannerBlock, xx: &Matrix| {
+            let (z, _) = b.forward(xx);
+            z.as_slice()
+                .iter()
+                .zip(coeff.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        let (_, cache) = block.forward(&x);
+        let mut grads = block.zero_grads();
+        let dx = block.backward(&cache, &coeff, &mut grads);
+        let eps = 1e-2;
+        for &(r, c) in &[(0usize, 0usize), (1, 4), (2, 7)] {
+            let mut xp = x.clone();
+            xp.set(r, c, x.get(r, c) + eps);
+            let mut xm = x.clone();
+            xm.set(r, c, x.get(r, c) - eps);
+            let fd = (loss(&block, &xp) - loss(&block, &xm)) / (2.0 * eps);
+            assert!(
+                (dx.get(r, c) - fd).abs() < 0.08 * (1.0 + fd.abs()),
+                "dx mismatch at ({r},{c}): {} vs {fd}",
+                dx.get(r, c)
+            );
+        }
+        // Weight-gradient spot check (gate projection).
+        let (r, c) = (2usize, 3usize);
+        let mut bp = block.clone();
+        bp.mlp.wgate.w.set(r, c, block.mlp.wgate.w.get(r, c) + eps);
+        let mut bm = block.clone();
+        bm.mlp.wgate.w.set(r, c, block.mlp.wgate.w.get(r, c) - eps);
+        let fd = (loss(&bp, &x) - loss(&bm, &x)) / (2.0 * eps);
+        assert!(
+            (grads.mlp.wgate.dw.get(r, c) - fd).abs() < 0.08 * (1.0 + fd.abs()),
+            "wgate grad mismatch"
+        );
+    }
+
+    #[test]
+    fn controller_block_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let block = ControllerBlock::new(8, 16, 2, &mut rng);
+        let x = Matrix::random_uniform(3, 8, 0.7, &mut rng);
+        let coeff = Matrix::random_uniform(3, 8, 1.0, &mut rng);
+        let loss = |b: &ControllerBlock, xx: &Matrix| {
+            let (z, _) = b.forward(xx);
+            z.as_slice()
+                .iter()
+                .zip(coeff.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        let (_, cache) = block.forward(&x);
+        let mut grads = block.zero_grads();
+        let dx = block.backward(&cache, &coeff, &mut grads);
+        let eps = 1e-2;
+        for &(r, c) in &[(0usize, 1usize), (2, 6)] {
+            let mut xp = x.clone();
+            xp.set(r, c, x.get(r, c) + eps);
+            let mut xm = x.clone();
+            xm.set(r, c, x.get(r, c) - eps);
+            let fd = (loss(&block, &xp) - loss(&block, &xm)) / (2.0 * eps);
+            assert!(
+                (dx.get(r, c) - fd).abs() < 0.08 * (1.0 + fd.abs()),
+                "dx mismatch at ({r},{c}): {} vs {fd}",
+                dx.get(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_planner_block_tracks_float_block() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let block = PlannerBlock::new(16, 32, 4, &mut rng);
+        let x = Matrix::random_uniform(4, 16, 1.0, &mut rng);
+        let (z_float, cache) = block.forward(&x);
+        // Crude calibration from this single batch.
+        let n = crate::norm::rmsnorm(&x);
+        let a = block.attn.forward(&n).0;
+        let y = x.add(&a);
+        let n2 = crate::norm::rmsnorm(&y);
+        let gate = block.mlp.wgate.forward(&n2);
+        let up = block.mlp.wup.forward(&n2);
+        let prod = Matrix::from_fn(gate.rows(), gate.cols(), |r, c| {
+            silu(&gate).get(r, c) * up.get(r, c)
+        });
+        let down = block.mlp.wdown.forward(&prod);
+        let q = QuantPlannerBlock::from_calibrated(
+            &block,
+            (n.max_abs(), cache.attn.q.max_abs()),
+            (n.max_abs(), cache.attn.k.max_abs()),
+            (n.max_abs(), cache.attn.v.max_abs()),
+            (cache.attn.context.max_abs(), a.max_abs()),
+            (n2.max_abs(), gate.max_abs()),
+            (n2.max_abs(), up.max_abs()),
+            (prod.max_abs(), down.max_abs()),
+            1.25,
+            Precision::Int8,
+        );
+        let mut accel = Accelerator::ideal(0);
+        let z_quant = q.forward(&mut accel, &x, 0, None);
+        let err = z_float.max_abs_diff(&z_quant);
+        assert!(err < 0.3, "quantized planner block error {err}");
+    }
+
+    #[test]
+    fn activation_tap_collects_pre_norm_state() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let block = ControllerBlock::new(16, 32, 4, &mut rng);
+        let x = Matrix::random_uniform(4, 16, 1.0, &mut rng);
+        let (y, _) = block.forward(&x);
+        let n1 = crate::norm::layernorm(&x);
+        let q = QuantControllerBlock::from_calibrated(
+            &block,
+            (n1.max_abs(), 5.0),
+            (n1.max_abs(), 5.0),
+            (n1.max_abs(), 5.0),
+            (5.0, 5.0),
+            (5.0, y.max_abs() * 2.0),
+            (5.0, y.max_abs() * 2.0),
+            1.25,
+            Precision::Int8,
+        );
+        let mut accel = Accelerator::ideal(0);
+        let mut tap = ActivationTap::default();
+        let _ = q.forward(&mut accel, &x, 0, Some(&mut tap));
+        assert_eq!(tap.pre_norm.len(), 1);
+        assert_eq!(tap.pre_norm[0].shape(), x.shape());
+    }
+}

@@ -1,0 +1,276 @@
+//! Offline calibration: running maxima of layer inputs/outputs.
+//!
+//! Deployment quantizes activations with *offline-determined scaling
+//! factors* (paper Sec. 5.1): a calibration pass over representative data
+//! records the largest |input| and |output| of every linear layer, which
+//! become the quantization scales and the anomaly-detection bounds. Weight
+//! rotation changes these profiles — re-calibrating after rotation is what
+//! tightens the AD bound (the AD+WR synergy of Sec. 6.6).
+
+use crate::activation::{relu, silu, softmax_rows};
+use crate::block::{ControllerBlock, PlannerBlock, QuantControllerBlock, QuantPlannerBlock};
+use crate::norm::{layernorm, rmsnorm};
+use create_tensor::{Matrix, Precision};
+
+/// Running input/output maxima for one linear layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cal {
+    /// Largest |input| observed.
+    pub input: f32,
+    /// Largest |output| observed.
+    pub output: f32,
+}
+
+impl Default for Cal {
+    fn default() -> Self {
+        Self {
+            input: 1e-6,
+            output: 1e-6,
+        }
+    }
+}
+
+impl Cal {
+    /// Folds one observation pair into the running maxima.
+    pub fn update(&mut self, input: f32, output: f32) {
+        self.input = self.input.max(input);
+        self.output = self.output.max(output);
+    }
+
+    /// As the `(input_max, output_max)` pair the quantizers take.
+    pub fn range(&self) -> (f32, f32) {
+        (self.input, self.output)
+    }
+}
+
+/// Calibration state for one planner block.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlannerBlockCal {
+    /// Query projection.
+    pub q: Cal,
+    /// Key projection.
+    pub k: Cal,
+    /// Value projection.
+    pub v: Cal,
+    /// Output projection.
+    pub o: Cal,
+    /// Gate projection.
+    pub gate: Cal,
+    /// Up projection.
+    pub up: Cal,
+    /// Down projection.
+    pub down: Cal,
+}
+
+/// Calibration state for one controller block.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ControllerBlockCal {
+    /// Query projection.
+    pub q: Cal,
+    /// Key projection.
+    pub k: Cal,
+    /// Value projection.
+    pub v: Cal,
+    /// Output projection.
+    pub o: Cal,
+    /// First MLP layer.
+    pub fc1: Cal,
+    /// Second MLP layer.
+    pub fc2: Cal,
+}
+
+/// Replays multi-head attention in f32, updating calibration and returning
+/// the attention output.
+fn mha_calibrate(
+    attn: &crate::attention::Mha,
+    x: &Matrix,
+    q_cal: &mut Cal,
+    k_cal: &mut Cal,
+    v_cal: &mut Cal,
+    o_cal: &mut Cal,
+) -> Matrix {
+    let d = attn.width();
+    let dh = d / attn.heads;
+    let scale = 1.0 / (dh as f32).sqrt();
+    let q = attn.wq.forward(x);
+    let k = attn.wk.forward(x);
+    let v = attn.wv.forward(x);
+    q_cal.update(x.max_abs(), q.max_abs());
+    k_cal.update(x.max_abs(), k.max_abs());
+    v_cal.update(x.max_abs(), v.max_abs());
+    let mut context = Matrix::zeros(x.rows(), d);
+    for h in 0..attn.heads {
+        let slice = |m: &Matrix| Matrix::from_fn(m.rows(), dh, |r, c| m.get(r, h * dh + c));
+        let qh = slice(&q);
+        let kh = slice(&k);
+        let vh = slice(&v);
+        let mut scores = qh.matmul_nt(&kh).scale(scale);
+        if attn.causal {
+            for r in 0..scores.rows() {
+                for c in (r + 1)..scores.cols() {
+                    scores.set(r, c, f32::NEG_INFINITY);
+                }
+            }
+        }
+        let p = softmax_rows(&scores);
+        let ch = p.matmul(&vh);
+        for r in 0..ch.rows() {
+            for c in 0..dh {
+                let cur = context.get(r, h * dh + c);
+                context.set(r, h * dh + c, cur + ch.get(r, c));
+            }
+        }
+    }
+    let y = attn.wo.forward(&context);
+    o_cal.update(context.max_abs(), y.max_abs());
+    y
+}
+
+impl PlannerBlock {
+    /// Forward pass that records calibration maxima.
+    pub fn forward_calibrate(&self, x: &Matrix, cal: &mut PlannerBlockCal) -> Matrix {
+        let n1 = rmsnorm(x);
+        let a = mha_calibrate(&self.attn, &n1, &mut cal.q, &mut cal.k, &mut cal.v, &mut cal.o);
+        let y = x.add(&a);
+        let n2 = rmsnorm(&y);
+        let gate = self.mlp.wgate.forward(&n2);
+        let up = self.mlp.wup.forward(&n2);
+        cal.gate.update(n2.max_abs(), gate.max_abs());
+        cal.up.update(n2.max_abs(), up.max_abs());
+        let act = silu(&gate);
+        let prod = Matrix::from_fn(act.rows(), act.cols(), |r, c| act.get(r, c) * up.get(r, c));
+        let m = self.mlp.wdown.forward(&prod);
+        cal.down.update(prod.max_abs(), m.max_abs());
+        y.add(&m)
+    }
+}
+
+impl ControllerBlock {
+    /// Forward pass that records calibration maxima.
+    pub fn forward_calibrate(&self, x: &Matrix, cal: &mut ControllerBlockCal) -> Matrix {
+        let n1 = layernorm(x);
+        let a = mha_calibrate(&self.attn, &n1, &mut cal.q, &mut cal.k, &mut cal.v, &mut cal.o);
+        let y = x.add(&a);
+        let n2 = layernorm(&y);
+        let pre = self.mlp.fc1.forward(&n2);
+        cal.fc1.update(n2.max_abs(), pre.max_abs());
+        let hidden = relu(&pre);
+        let m = self.mlp.fc2.forward(&hidden);
+        cal.fc2.update(hidden.max_abs(), m.max_abs());
+        y.add(&m)
+    }
+}
+
+impl QuantPlannerBlock {
+    /// Quantizes a trained block from its calibration record.
+    pub fn from_block_cal(
+        block: &PlannerBlock,
+        cal: &PlannerBlockCal,
+        margin: f32,
+        precision: Precision,
+    ) -> Self {
+        Self::from_calibrated(
+            block,
+            cal.q.range(),
+            cal.k.range(),
+            cal.v.range(),
+            cal.o.range(),
+            cal.gate.range(),
+            cal.up.range(),
+            cal.down.range(),
+            margin,
+            precision,
+        )
+    }
+}
+
+impl QuantControllerBlock {
+    /// Quantizes a trained block from its calibration record.
+    pub fn from_block_cal(
+        block: &ControllerBlock,
+        cal: &ControllerBlockCal,
+        margin: f32,
+        precision: Precision,
+    ) -> Self {
+        Self::from_calibrated(
+            block,
+            cal.q.range(),
+            cal.k.range(),
+            cal.v.range(),
+            cal.o.range(),
+            cal.fc1.range(),
+            cal.fc2.range(),
+            margin,
+            precision,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_accel::Accelerator;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn calibrated_forward_matches_regular_forward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let block = PlannerBlock::new(16, 32, 4, &mut rng);
+        let x = Matrix::random_uniform(5, 16, 1.0, &mut rng);
+        let (z, _) = block.forward(&x);
+        let mut cal = PlannerBlockCal::default();
+        let zc = block.forward_calibrate(&x, &mut cal);
+        assert!(z.max_abs_diff(&zc) < 1e-5);
+        assert!(cal.q.input > 0.0 && cal.down.output > 0.0);
+    }
+
+    #[test]
+    fn controller_calibrated_forward_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let block = ControllerBlock::new(16, 32, 4, &mut rng);
+        let x = Matrix::random_uniform(4, 16, 1.0, &mut rng);
+        let (z, _) = block.forward(&x);
+        let mut cal = ControllerBlockCal::default();
+        let zc = block.forward_calibrate(&x, &mut cal);
+        assert!(z.max_abs_diff(&zc) < 1e-5);
+    }
+
+    #[test]
+    fn quantized_from_cal_tracks_float_and_never_clamps_clean_data() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let block = PlannerBlock::new(16, 32, 4, &mut rng);
+        let mut cal = PlannerBlockCal::default();
+        // Calibrate over several batches.
+        let mut inputs = Vec::new();
+        for i in 0..4 {
+            let x = Matrix::random_uniform(5, 16, 1.0 + i as f32 * 0.2, &mut rng);
+            block.forward_calibrate(&x, &mut cal);
+            inputs.push(x);
+        }
+        let q = QuantPlannerBlock::from_block_cal(&block, &cal, 1.25, Precision::Int8);
+        let mut accel = Accelerator::new(
+            create_accel::AccelConfig {
+                injector: None,
+                ad_enabled: true,
+                ..Default::default()
+            },
+            0,
+        );
+        for x in &inputs {
+            let (z, _) = block.forward(x);
+            let zq = q.forward(&mut accel, x, 0, None);
+            let err = z.max_abs_diff(&zq);
+            assert!(err < 0.25 * z.max_abs().max(1.0), "quant error {err}");
+        }
+        assert_eq!(accel.ad_stats().cleared, 0, "AD fired on calibration data");
+    }
+
+    #[test]
+    fn cal_update_keeps_maxima() {
+        let mut c = Cal::default();
+        c.update(1.0, 5.0);
+        c.update(0.5, 10.0);
+        assert_eq!(c.range(), (1.0, 10.0));
+    }
+}

@@ -1,0 +1,457 @@
+//! 2-D convolution and pooling for the entropy predictor CNN (paper
+//! Table 9): `Conv2d(stride 3, kernel 3, pad 1)` stages with max pooling
+//! and a global average pool, with manual backward passes for training.
+
+use create_tensor::Matrix;
+use rand::Rng;
+
+/// A `(channels, height, width)` activation tensor in CHW layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor3 {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor3 {
+    /// Zero-filled tensor.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        Self {
+            c,
+            h,
+            w,
+            data: vec![0.0; c * h * w],
+        }
+    }
+
+    /// Builds from a CHW vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match.
+    pub fn from_vec(c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), c * h * w, "tensor3 data length mismatch");
+        Self { c, h, w, data }
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, ci: usize, hi: usize, wi: usize) -> f32 {
+        self.data[(ci * self.h + hi) * self.w + wi]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, ci: usize, hi: usize, wi: usize, v: f32) {
+        self.data[(ci * self.h + hi) * self.w + wi] = v;
+    }
+
+    /// Adds to an element.
+    #[inline]
+    pub fn add_at(&mut self, ci: usize, hi: usize, wi: usize, v: f32) {
+        self.data[(ci * self.h + hi) * self.w + wi] += v;
+    }
+
+    /// Raw CHW data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Applies ReLU element-wise.
+    pub fn relu(&self) -> Tensor3 {
+        Tensor3 {
+            c: self.c,
+            h: self.h,
+            w: self.w,
+            data: self.data.iter().map(|v| v.max(0.0)).collect(),
+        }
+    }
+
+    /// ReLU backward against this pre-activation tensor.
+    pub fn relu_backward(&self, dy: &Tensor3) -> Tensor3 {
+        assert_eq!(self.data.len(), dy.data.len());
+        Tensor3 {
+            c: self.c,
+            h: self.h,
+            w: self.w,
+            data: self
+                .data
+                .iter()
+                .zip(&dy.data)
+                .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+                .collect(),
+        }
+    }
+}
+
+/// A 2-D convolution layer with square kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    /// Kernel weights: flattened `(c_out, c_in, k, k)`.
+    pub weight: Vec<f32>,
+    /// Per-output-channel bias.
+    pub bias: Vec<f32>,
+    /// Input channels.
+    pub c_in: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Kernel size.
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+}
+
+impl Conv2d {
+    /// Kaiming-initialized convolution.
+    pub fn new(
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fan_in = (c_in * k * k) as f32;
+        let limit = (6.0 / fan_in).sqrt();
+        let weight = (0..c_out * c_in * k * k)
+            .map(|_| rng.random_range(-limit..limit))
+            .collect();
+        Self {
+            weight,
+            bias: vec![0.0; c_out],
+            c_in,
+            c_out,
+            k,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output spatial size for an input of size `n`.
+    pub fn out_size(&self, n: usize) -> usize {
+        (n + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    #[inline]
+    fn w_at(&self, co: usize, ci: usize, kh: usize, kw: usize) -> f32 {
+        self.weight[((co * self.c_in + ci) * self.k + kh) * self.k + kw]
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count differs from `c_in`.
+    pub fn forward(&self, x: &Tensor3) -> Tensor3 {
+        assert_eq!(x.c, self.c_in, "conv input channels mismatch");
+        let oh = self.out_size(x.h);
+        let ow = self.out_size(x.w);
+        let mut y = Tensor3::zeros(self.c_out, oh, ow);
+        for co in 0..self.c_out {
+            for out_r in 0..oh {
+                for out_c in 0..ow {
+                    let mut acc = self.bias[co];
+                    let base_r = (out_r * self.stride) as isize - self.pad as isize;
+                    let base_c = (out_c * self.stride) as isize - self.pad as isize;
+                    for ci in 0..self.c_in {
+                        for kh in 0..self.k {
+                            let ir = base_r + kh as isize;
+                            if ir < 0 || ir >= x.h as isize {
+                                continue;
+                            }
+                            for kw in 0..self.k {
+                                let ic = base_c + kw as isize;
+                                if ic < 0 || ic >= x.w as isize {
+                                    continue;
+                                }
+                                acc += self.w_at(co, ci, kh, kw)
+                                    * x.get(ci, ir as usize, ic as usize);
+                            }
+                        }
+                    }
+                    y.set(co, out_r, out_c, acc);
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward pass: returns `dx` and accumulates parameter grads.
+    pub fn backward(&self, x: &Tensor3, dy: &Tensor3, grads: &mut Conv2dGrads) -> Tensor3 {
+        let mut dx = Tensor3::zeros(x.c, x.h, x.w);
+        for co in 0..self.c_out {
+            for out_r in 0..dy.h {
+                for out_c in 0..dy.w {
+                    let g = dy.get(co, out_r, out_c);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    grads.db[co] += g;
+                    let base_r = (out_r * self.stride) as isize - self.pad as isize;
+                    let base_c = (out_c * self.stride) as isize - self.pad as isize;
+                    for ci in 0..self.c_in {
+                        for kh in 0..self.k {
+                            let ir = base_r + kh as isize;
+                            if ir < 0 || ir >= x.h as isize {
+                                continue;
+                            }
+                            for kw in 0..self.k {
+                                let ic = base_c + kw as isize;
+                                if ic < 0 || ic >= x.w as isize {
+                                    continue;
+                                }
+                                let widx =
+                                    ((co * self.c_in + ci) * self.k + kh) * self.k + kw;
+                                grads.dw[widx] += g * x.get(ci, ir as usize, ic as usize);
+                                dx.add_at(
+                                    ci,
+                                    ir as usize,
+                                    ic as usize,
+                                    g * self.weight[widx],
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    /// Zero-filled gradient buffers.
+    pub fn zero_grads(&self) -> Conv2dGrads {
+        Conv2dGrads {
+            dw: vec![0.0; self.weight.len()],
+            db: vec![0.0; self.bias.len()],
+        }
+    }
+}
+
+/// Gradient buffers for [`Conv2d`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2dGrads {
+    /// Kernel gradients.
+    pub dw: Vec<f32>,
+    /// Bias gradients.
+    pub db: Vec<f32>,
+}
+
+/// 2×2 max pooling with stride 2; remembers argmax indices for backward.
+pub fn maxpool2(x: &Tensor3) -> (Tensor3, Vec<usize>) {
+    let oh = x.h / 2;
+    let ow = x.w / 2;
+    let mut y = Tensor3::zeros(x.c, oh, ow);
+    let mut arg = vec![0usize; x.c * oh * ow];
+    for c in 0..x.c {
+        for r in 0..oh {
+            for col in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0;
+                for dr in 0..2 {
+                    for dc in 0..2 {
+                        let rr = r * 2 + dr;
+                        let cc = col * 2 + dc;
+                        let v = x.get(c, rr, cc);
+                        if v > best {
+                            best = v;
+                            best_idx = (c * x.h + rr) * x.w + cc;
+                        }
+                    }
+                }
+                y.set(c, r, col, best);
+                arg[(c * oh + r) * ow + col] = best_idx;
+            }
+        }
+    }
+    (y, arg)
+}
+
+/// Backward for [`maxpool2`]: routes gradients to the argmax positions.
+pub fn maxpool2_backward(
+    x_shape: (usize, usize, usize),
+    arg: &[usize],
+    dy: &Tensor3,
+) -> Tensor3 {
+    let (c, h, w) = x_shape;
+    let mut dx = Tensor3::zeros(c, h, w);
+    for (i, &src) in arg.iter().enumerate() {
+        let g = dy.as_slice()[i];
+        let (ci, rest) = (src / (h * w), src % (h * w));
+        dx.add_at(ci, rest / w, rest % w, g);
+    }
+    dx
+}
+
+/// Global average pool: `(C, H, W) → C`-vector.
+pub fn global_avgpool(x: &Tensor3) -> Vec<f32> {
+    let area = (x.h * x.w) as f32;
+    (0..x.c)
+        .map(|c| {
+            let mut sum = 0.0;
+            for r in 0..x.h {
+                for col in 0..x.w {
+                    sum += x.get(c, r, col);
+                }
+            }
+            sum / area
+        })
+        .collect()
+}
+
+/// Backward for [`global_avgpool`].
+pub fn global_avgpool_backward(x_shape: (usize, usize, usize), dy: &[f32]) -> Tensor3 {
+    let (c, h, w) = x_shape;
+    let area = (h * w) as f32;
+    let mut dx = Tensor3::zeros(c, h, w);
+    for (ci, &g) in dy.iter().enumerate() {
+        for r in 0..h {
+            for col in 0..w {
+                dx.set(ci, r, col, g / area);
+            }
+        }
+    }
+    dx
+}
+
+/// Flattens a [`Tensor3`] into a 1-row [`Matrix`].
+pub fn flatten(x: &Tensor3) -> Matrix {
+    Matrix::from_vec(1, x.len(), x.as_slice().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn out_size_matches_table9_pipeline() {
+        // 64 → 22 → (pool) 11 → 4 → (pool) 2 → 1, per the predictor CNN.
+        let conv = Conv2d {
+            weight: vec![],
+            bias: vec![],
+            c_in: 3,
+            c_out: 16,
+            k: 3,
+            stride: 3,
+            pad: 1,
+        };
+        assert_eq!(conv.out_size(64), 22);
+        assert_eq!(conv.out_size(11), 4);
+        assert_eq!(conv.out_size(2), 1);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1-channel conv with center-1 kernel, stride 1: identity.
+        let mut conv = Conv2d {
+            weight: vec![0.0; 9],
+            bias: vec![0.0],
+            c_in: 1,
+            c_out: 1,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        conv.weight[4] = 1.0; // center
+        let x = Tensor3::from_vec(1, 3, 3, (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv2d::new(2, 3, 3, 2, 1, &mut rng);
+        let x = Tensor3::from_vec(
+            2,
+            5,
+            5,
+            (0..50).map(|_| rng.random_range(-1.0..1.0f32)).collect(),
+        );
+        let loss = |c: &Conv2d, xx: &Tensor3| c.forward(xx).as_slice().iter().sum::<f32>();
+        let y = conv.forward(&x);
+        let dy = Tensor3::from_vec(y.c, y.h, y.w, vec![1.0; y.len()]);
+        let mut grads = conv.zero_grads();
+        let dx = conv.backward(&x, &dy, &mut grads);
+        let eps = 1e-3;
+        // Weight gradient spot checks.
+        for widx in [0usize, 7, 20, 50] {
+            let mut cp = conv.clone();
+            cp.weight[widx] += eps;
+            let mut cm = conv.clone();
+            cm.weight[widx] -= eps;
+            let fd = (loss(&cp, &x) - loss(&cm, &x)) / (2.0 * eps);
+            assert!(
+                (grads.dw[widx] - fd).abs() < 1e-2,
+                "dw[{widx}] {} vs {fd}",
+                grads.dw[widx]
+            );
+        }
+        // Input gradient spot checks.
+        for (ci, r, c) in [(0usize, 0usize, 0usize), (1, 2, 3), (0, 4, 4)] {
+            let mut xp = x.clone();
+            xp.set(ci, r, c, x.get(ci, r, c) + eps);
+            let mut xm = x.clone();
+            xm.set(ci, r, c, x.get(ci, r, c) - eps);
+            let fd = (loss(&conv, &xp) - loss(&conv, &xm)) / (2.0 * eps);
+            assert!(
+                (dx.get(ci, r, c) - fd).abs() < 1e-2,
+                "dx({ci},{r},{c}) {} vs {fd}",
+                dx.get(ci, r, c)
+            );
+        }
+        // Bias gradient equals the number of output positions.
+        assert!((grads.db[0] - (y.h * y.w) as f32).abs() < 1e-3);
+    }
+
+    #[test]
+    fn maxpool_selects_maxima_and_routes_gradients() {
+        let x = Tensor3::from_vec(
+            1,
+            4,
+            4,
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let (y, arg) = maxpool2(&x);
+        assert_eq!(y.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+        let dy = Tensor3::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let dx = maxpool2_backward((1, 4, 4), &arg, &dy);
+        assert_eq!(dx.get(0, 1, 1), 1.0);
+        assert_eq!(dx.get(0, 1, 3), 2.0);
+        assert_eq!(dx.get(0, 3, 1), 3.0);
+        assert_eq!(dx.get(0, 3, 3), 4.0);
+        assert_eq!(dx.get(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn global_avgpool_and_backward_are_consistent() {
+        let x = Tensor3::from_vec(2, 2, 2, vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let pooled = global_avgpool(&x);
+        assert_eq!(pooled, vec![2.5, 10.0]);
+        let dx = global_avgpool_backward((2, 2, 2), &[4.0, 8.0]);
+        assert!(dx.as_slice()[..4].iter().all(|&v| v == 1.0));
+        assert!(dx.as_slice()[4..].iter().all(|&v| v == 2.0));
+    }
+}

@@ -1,0 +1,36 @@
+//! Neural-network layers for the CREATE reproduction.
+//!
+//! Two parallel worlds live here:
+//!
+//! * **Trainable `f32` layers** with hand-written backward passes
+//!   ([`linear::Linear`], [`attention::Mha`], [`block::PlannerBlock`],
+//!   [`block::ControllerBlock`], [`conv::Conv2d`]) plus the
+//!   [`optim::AdamWConfig`] optimizer — used offline to train the planner,
+//!   behaviour-clone the controller and fit the entropy predictor.
+//! * **Quantized deployment layers** ([`linear::QuantLinear`],
+//!   [`attention::QuantMha`], [`block::QuantPlannerBlock`],
+//!   [`block::QuantControllerBlock`]) that execute their weight GEMMs on
+//!   the simulated [`create_accel::Accelerator`], so voltage-underscaling
+//!   bit flips and anomaly detection act on real accumulator state.
+//!
+//! The split mirrors the paper's method: models are trained error-free,
+//! then deployed INT8-quantized on a systolic array whose voltage (and
+//! therefore error rate) the CREATE framework manages.
+
+pub mod activation;
+pub mod attention;
+pub mod block;
+pub mod calibrate;
+pub mod conv;
+pub mod linear;
+pub mod norm;
+pub mod optim;
+
+pub use activation::{entropy, logits_entropy, softmax_rows};
+pub use attention::{Mha, QuantMha};
+pub use block::{
+    ActivationTap, ControllerBlock, PlannerBlock, QuantControllerBlock, QuantPlannerBlock,
+};
+pub use conv::{Conv2d, Tensor3};
+pub use linear::{Linear, QuantLinear};
+pub use optim::{AdamState, AdamWConfig};

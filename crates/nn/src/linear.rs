@@ -1,0 +1,267 @@
+//! Dense layers: trainable `f32` linear maps and their quantized,
+//! accelerator-backed deployment form.
+
+use create_accel::{Accelerator, LayerCtx};
+use create_tensor::{Matrix, Precision, QuantMatrix, QuantParams};
+use rand::Rng;
+
+/// A trainable linear layer `y = x @ w + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    /// Weight, shape `(in, out)`.
+    pub w: Matrix,
+    /// Optional bias, length `out`.
+    pub b: Option<Vec<f32>>,
+}
+
+impl Linear {
+    /// Kaiming-initialized layer.
+    pub fn new(fan_in: usize, fan_out: usize, bias: bool, rng: &mut impl Rng) -> Self {
+        Self {
+            w: Matrix::kaiming(fan_in, fan_out, fan_in, rng),
+            b: if bias { Some(vec![0.0; fan_out]) } else { None },
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        if let Some(b) = &self.b {
+            for r in 0..y.rows() {
+                for (v, add) in y.row_mut(r).iter_mut().zip(b) {
+                    *v += add;
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward pass: returns `dx` and fills `grads`.
+    pub fn backward(&self, x: &Matrix, dy: &Matrix, grads: &mut LinearGrads) -> Matrix {
+        grads.dw.add_assign(&x.matmul_tn(dy));
+        if let Some(db) = &mut grads.db {
+            for r in 0..dy.rows() {
+                for (g, v) in db.iter_mut().zip(dy.row(r)) {
+                    *g += v;
+                }
+            }
+        }
+        dy.matmul_nt(&self.w)
+    }
+
+    /// Zero-filled gradient buffers matching this layer.
+    pub fn zero_grads(&self) -> LinearGrads {
+        LinearGrads {
+            dw: Matrix::zeros(self.w.rows(), self.w.cols()),
+            db: self.b.as_ref().map(|b| vec![0.0; b.len()]),
+        }
+    }
+}
+
+/// Gradient buffers for a [`Linear`] layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearGrads {
+    /// Gradient of the weight.
+    pub dw: Matrix,
+    /// Gradient of the bias, when present.
+    pub db: Option<Vec<f32>>,
+}
+
+/// A deployed linear layer: INT8/INT4 weight plus offline-profiled input
+/// scale and output bound, executed on the [`Accelerator`].
+///
+/// The output bound is what the anomaly-detection units compare against —
+/// after weight rotation the profiled bound shrinks, which is the AD+WR
+/// synergy of the paper (Sec. 6.6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantLinear {
+    w_q: QuantMatrix,
+    input_params: QuantParams,
+    out_bound: f32,
+    bias: Option<Vec<f32>>,
+}
+
+impl QuantLinear {
+    /// Quantizes `layer` given profiled calibration maxima.
+    ///
+    /// `input_max` is the largest |input| observed on calibration data and
+    /// `output_max` the largest |output|; `margin` loosens both so that
+    /// unseen golden data does not trip the detector (1.25 by default in
+    /// the model builders).
+    pub fn from_calibrated(
+        layer: &Linear,
+        input_max: f32,
+        output_max: f32,
+        margin: f32,
+        precision: Precision,
+    ) -> Self {
+        assert!(margin >= 1.0, "margin must be >= 1, got {margin}");
+        let input_params = QuantParams::from_max_abs(input_max * margin, precision);
+        let w_q = QuantMatrix::quantize(&layer.w, precision);
+        Self {
+            w_q,
+            input_params,
+            out_bound: output_max * margin,
+            bias: layer.b.clone(),
+        }
+    }
+
+    /// Input quantization parameters.
+    pub fn input_params(&self) -> QuantParams {
+        self.input_params
+    }
+
+    /// The anomaly-detection output bound (real units).
+    pub fn out_bound(&self) -> f32 {
+        self.out_bound
+    }
+
+    /// The quantized weight.
+    pub fn weight(&self) -> &QuantMatrix {
+        &self.w_q
+    }
+
+    /// Mutable access to the stored quantized weight, for fault-injection
+    /// studies that perturb deployed weights in place (the SRAM
+    /// retention-fault extension). Calibration state is unaffected.
+    pub fn weight_mut(&mut self) -> &mut QuantMatrix {
+        &mut self.w_q
+    }
+
+    /// Output width.
+    pub fn fan_out(&self) -> usize {
+        self.w_q.cols()
+    }
+
+    /// Input width.
+    pub fn fan_in(&self) -> usize {
+        self.w_q.rows()
+    }
+
+    /// Executes the layer on the accelerator (bias added after dequant).
+    pub fn forward(&self, accel: &mut Accelerator, x: &Matrix, ctx: LayerCtx) -> Matrix {
+        let mut y = accel.linear(x, &self.w_q, self.input_params, self.out_bound, ctx);
+        if let Some(b) = &self.bias {
+            for r in 0..y.rows() {
+                for (v, add) in y.row_mut(r).iter_mut().zip(b) {
+                    *v += add;
+                }
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_accel::{Component, Unit};
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn ctx() -> LayerCtx {
+        LayerCtx::new(Unit::Controller, Component::Fc1, 0)
+    }
+
+    #[test]
+    fn forward_applies_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Linear::new(3, 2, true, &mut rng);
+        layer.w = Matrix::identity(3).rows_range(0, 3).matmul(&Matrix::from_vec(
+            3,
+            2,
+            vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+        ));
+        layer.b = Some(vec![10.0, 20.0]);
+        let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let y = layer.forward(&x);
+        assert_eq!(y.get(0, 0), 1.0 + 10.0);
+        assert_eq!(y.get(0, 1), 2.0 + 20.0);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = Linear::new(4, 3, true, &mut rng);
+        let x = Matrix::random_uniform(2, 4, 1.0, &mut rng);
+        let target = Matrix::random_uniform(2, 3, 1.0, &mut rng);
+        // Loss = 0.5 * ||y - target||².
+        let loss = |l: &Linear, xx: &Matrix| {
+            let y = l.forward(xx);
+            y.sub(&target).as_slice().iter().map(|v| 0.5 * v * v).sum::<f32>()
+        };
+        let y = layer.forward(&x);
+        let dy = y.sub(&target);
+        let mut grads = layer.zero_grads();
+        let dx = layer.backward(&x, &dy, &mut grads);
+
+        // Check dw.
+        let eps = 1e-3;
+        for r in 0..4 {
+            for c in 0..3 {
+                let mut lp = layer.clone();
+                lp.w.set(r, c, layer.w.get(r, c) + eps);
+                let mut lm = layer.clone();
+                lm.w.set(r, c, layer.w.get(r, c) - eps);
+                let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+                assert!(
+                    (grads.dw.get(r, c) - fd).abs() < 1e-2,
+                    "dw mismatch at ({r},{c})"
+                );
+            }
+        }
+        // Check dx.
+        for r in 0..2 {
+            for c in 0..4 {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let fd = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps);
+                assert!((dx.get(r, c) - fd).abs() < 1e-2, "dx mismatch at ({r},{c})");
+            }
+        }
+        // Check db.
+        let db = grads.db.as_ref().expect("bias grads");
+        for c in 0..3 {
+            let mut lp = layer.clone();
+            lp.b.as_mut().unwrap()[c] += eps;
+            let mut lm = layer.clone();
+            lm.b.as_mut().unwrap()[c] -= eps;
+            let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+            assert!((db[c] - fd).abs() < 1e-2, "db mismatch at {c}");
+        }
+    }
+
+    #[test]
+    fn quantized_layer_approximates_float_layer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Linear::new(16, 8, true, &mut rng);
+        let x = Matrix::random_uniform(4, 16, 1.0, &mut rng);
+        let y_float = layer.forward(&x);
+        let q = QuantLinear::from_calibrated(&layer, 1.0, y_float.max_abs(), 1.25, Precision::Int8);
+        let mut accel = Accelerator::ideal(0);
+        let y_quant = q.forward(&mut accel, &x, ctx());
+        let err = y_float.max_abs_diff(&y_quant);
+        assert!(err < 0.1, "quantization error too large: {err}");
+    }
+
+    #[test]
+    fn golden_run_never_trips_anomaly_detection() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = Linear::new(32, 16, false, &mut rng);
+        let x = Matrix::random_uniform(8, 32, 1.0, &mut rng);
+        let y_float = layer.forward(&x);
+        let q = QuantLinear::from_calibrated(&layer, 1.0, y_float.max_abs(), 1.25, Precision::Int8);
+        let mut accel = Accelerator::new(
+            create_accel::AccelConfig {
+                injector: None,
+                ad_enabled: true,
+                ..Default::default()
+            },
+            0,
+        );
+        let _ = q.forward(&mut accel, &x, ctx());
+        assert_eq!(accel.ad_stats().cleared, 0, "AD must not fire on clean data");
+    }
+}

@@ -1,0 +1,234 @@
+//! Row-wise normalization layers.
+//!
+//! The planner uses RMSNorm and the controller LayerNorm (paper Fig. 3).
+//! Both are parameter-free here: dropping the learnable per-channel affine
+//! keeps them exactly equivariant to orthogonal rotations of the residual
+//! stream, which is what lets Hadamard/Householder rotations be folded into
+//! adjacent weights without changing the network function (Sec. 5.2).
+
+use create_tensor::Matrix;
+
+const EPS: f32 = 1e-5;
+
+/// Per-row statistics captured by a normalization forward pass.
+///
+/// Exposed so the characterization experiments can report how a single
+/// injected fault skews μ and σ (paper Fig. 5 k–l).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormStats {
+    /// Per-row means (zero for RMSNorm, which does not center).
+    pub mean: Vec<f32>,
+    /// Per-row denominators (RMS or standard deviation).
+    pub denom: Vec<f32>,
+}
+
+/// RMSNorm forward: `y = x / sqrt(mean(x²) + eps)` per row.
+pub fn rmsnorm(x: &Matrix) -> Matrix {
+    rmsnorm_with_stats(x).0
+}
+
+/// RMSNorm forward returning the per-row statistics.
+pub fn rmsnorm_with_stats(x: &Matrix) -> (Matrix, NormStats) {
+    let d = x.cols() as f32;
+    let mut out = x.clone();
+    let mut denom = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let row = out.row_mut(r);
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d;
+        let rms = (ms + EPS).sqrt();
+        for v in row.iter_mut() {
+            *v /= rms;
+        }
+        denom.push(rms);
+    }
+    let stats = NormStats {
+        mean: vec![0.0; x.rows()],
+        denom,
+    };
+    (out, stats)
+}
+
+/// RMSNorm backward: `dx = (dy − y · mean(dy ⊙ y)) / rms` per row.
+pub fn rmsnorm_backward(y: &Matrix, stats: &NormStats, dy: &Matrix) -> Matrix {
+    assert_eq!(y.shape(), dy.shape(), "rmsnorm backward shape mismatch");
+    let d = y.cols() as f32;
+    Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+        let dot: f32 = y.row(r).iter().zip(dy.row(r)).map(|(a, b)| a * b).sum();
+        (dy.get(r, c) - y.get(r, c) * dot / d) / stats.denom[r]
+    })
+}
+
+/// LayerNorm forward: `y = (x − μ) / sqrt(var + eps)` per row.
+pub fn layernorm(x: &Matrix) -> Matrix {
+    layernorm_with_stats(x).0
+}
+
+/// LayerNorm forward returning the per-row statistics.
+pub fn layernorm_with_stats(x: &Matrix) -> (Matrix, NormStats) {
+    let d = x.cols() as f32;
+    let mut out = x.clone();
+    let mut means = Vec::with_capacity(x.rows());
+    let mut denom = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let row = out.row_mut(r);
+        let mu: f32 = row.iter().sum::<f32>() / d;
+        let var: f32 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d;
+        let sd = (var + EPS).sqrt();
+        for v in row.iter_mut() {
+            *v = (*v - mu) / sd;
+        }
+        means.push(mu);
+        denom.push(sd);
+    }
+    (
+        out,
+        NormStats {
+            mean: means,
+            denom,
+        },
+    )
+}
+
+/// LayerNorm backward:
+/// `dx = (dy − mean(dy) − y · mean(dy ⊙ y)) / σ` per row.
+pub fn layernorm_backward(y: &Matrix, stats: &NormStats, dy: &Matrix) -> Matrix {
+    assert_eq!(y.shape(), dy.shape(), "layernorm backward shape mismatch");
+    let d = y.cols() as f32;
+    Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+        let mean_dy: f32 = dy.row(r).iter().sum::<f32>() / d;
+        let dot: f32 = y.row(r).iter().zip(dy.row(r)).map(|(a, b)| a * b).sum::<f32>() / d;
+        (dy.get(r, c) - mean_dy - y.get(r, c) * dot) / stats.denom[r]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use create_tensor::hadamard::Rotation;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    fn finite_diff(
+        f: impl Fn(&Matrix) -> f32,
+        x: &Matrix,
+        r: usize,
+        c: usize,
+        eps: f32,
+    ) -> f32 {
+        let mut plus = x.clone();
+        plus.set(r, c, x.get(r, c) + eps);
+        let mut minus = x.clone();
+        minus.set(r, c, x.get(r, c) - eps);
+        (f(&plus) - f(&minus)) / (2.0 * eps)
+    }
+
+    #[test]
+    fn rmsnorm_rows_have_unit_rms() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Matrix::random_uniform(3, 16, 4.0, &mut rng);
+        let y = rmsnorm(&x);
+        for r in 0..3 {
+            let ms: f32 = y.row(r).iter().map(|v| v * v).sum::<f32>() / 16.0;
+            assert!((ms - 1.0).abs() < 1e-3, "row {r} rms² = {ms}");
+        }
+    }
+
+    #[test]
+    fn layernorm_rows_are_standardized() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Matrix::random_uniform(3, 32, 4.0, &mut rng);
+        let y = layernorm(&x);
+        for r in 0..3 {
+            let mu: f32 = y.row(r).iter().sum::<f32>() / 32.0;
+            let var: f32 = y.row(r).iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / 32.0;
+            assert!(mu.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn rmsnorm_commutes_with_rotation() {
+        // RMSNorm(x R) == RMSNorm(x) R — the foundation of weight rotation.
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Matrix::random_uniform(2, 16, 3.0, &mut rng);
+        let rot = Rotation::hadamard(16);
+        let lhs = rmsnorm(&rot.apply_right(&x));
+        let rhs = rot.apply_right(&rmsnorm(&x));
+        assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn rmsnorm_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Matrix::random_uniform(2, 6, 2.0, &mut rng);
+        // Loss = sum of outputs weighted by fixed coefficients.
+        let w = Matrix::random_uniform(2, 6, 1.0, &mut rng);
+        let loss = |m: &Matrix| {
+            let y = rmsnorm(m);
+            y.as_slice()
+                .iter()
+                .zip(w.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        let (y, stats) = rmsnorm_with_stats(&x);
+        let grad = rmsnorm_backward(&y, &stats, &w);
+        for r in 0..2 {
+            for c in 0..6 {
+                let fd = finite_diff(loss, &x, r, c, 1e-3);
+                assert!(
+                    (grad.get(r, c) - fd).abs() < 2e-2,
+                    "rmsnorm grad mismatch at ({r},{c}): {} vs {fd}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layernorm_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Matrix::random_uniform(2, 6, 2.0, &mut rng);
+        let w = Matrix::random_uniform(2, 6, 1.0, &mut rng);
+        let loss = |m: &Matrix| {
+            let y = layernorm(m);
+            y.as_slice()
+                .iter()
+                .zip(w.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        let (y, stats) = layernorm_with_stats(&x);
+        let grad = layernorm_backward(&y, &stats, &w);
+        for r in 0..2 {
+            for c in 0..6 {
+                let fd = finite_diff(loss, &x, r, c, 1e-3);
+                assert!(
+                    (grad.get(r, c) - fd).abs() < 2e-2,
+                    "layernorm grad mismatch at ({r},{c}): {} vs {fd}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_single_outlier_skews_norm_statistics() {
+        // The Sec. 4.1 mechanism in miniature: with an outlier present, a
+        // large injected error drastically moves the denominator.
+        let mut clean: Vec<f32> = vec![0.1; 64];
+        clean[7] = 20.0; // systematic outlier channel
+        let x = Matrix::from_vec(1, 64, clean.clone());
+        let (_, s0) = rmsnorm_with_stats(&x);
+        let mut faulty = clean;
+        faulty[30] = 60.0; // injected large error
+        let xf = Matrix::from_vec(1, 64, faulty);
+        let (_, s1) = rmsnorm_with_stats(&xf);
+        assert!(
+            s1.denom[0] > 2.0 * s0.denom[0],
+            "denominator should be skewed: {} -> {}",
+            s0.denom[0],
+            s1.denom[0]
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the NN layer invariants.
+
+use create_nn::activation::{entropy, relu, silu, softmax_rows};
+use create_nn::norm::{layernorm, rmsnorm};
+use create_nn::optim::{AdamState, AdamWConfig};
+use create_tensor::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Softmax rows are probability vectors for arbitrary logits.
+    #[test]
+    fn softmax_rows_are_distributions(values in prop::collection::vec(-30.0f32..30.0, 2..48)) {
+        let m = Matrix::from_vec(1, values.len(), values);
+        let p = softmax_rows(&m);
+        let sum: f32 = p.row(0).iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.row(0).iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Softmax is invariant to per-row shifts.
+    #[test]
+    fn softmax_shift_invariance(values in prop::collection::vec(-10.0f32..10.0, 2..16), shift in -50.0f32..50.0) {
+        let a = Matrix::from_vec(1, values.len(), values.clone());
+        let b = a.map(|v| v + shift);
+        prop_assert!(softmax_rows(&a).max_abs_diff(&softmax_rows(&b)) < 1e-4);
+    }
+
+    /// RMSNorm output always has unit RMS; LayerNorm output has zero mean
+    /// and unit variance (up to eps effects on tiny-variance rows).
+    #[test]
+    fn norms_standardize_rows(values in prop::collection::vec(-20.0f32..20.0, 4..64)) {
+        let spread = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+            - values.iter().cloned().fold(f32::INFINITY, f32::min);
+        prop_assume!(spread > 0.1);
+        let d = values.len();
+        let m = Matrix::from_vec(1, d, values);
+        let r = rmsnorm(&m);
+        let ms: f32 = r.row(0).iter().map(|v| v * v).sum::<f32>() / d as f32;
+        prop_assert!((ms - 1.0).abs() < 1e-2);
+        let l = layernorm(&m);
+        let mean: f32 = l.row(0).iter().sum::<f32>() / d as f32;
+        prop_assert!(mean.abs() < 1e-3);
+    }
+
+    /// RMSNorm is positively scale-invariant: rmsnorm(c·x) == rmsnorm(x).
+    #[test]
+    fn rmsnorm_scale_invariance(values in prop::collection::vec(-5.0f32..5.0, 4..32), c in 0.5f32..20.0) {
+        let norm: f32 = values.iter().map(|v| v * v).sum::<f32>();
+        prop_assume!(norm > 0.5);
+        let m = Matrix::from_vec(1, values.len(), values);
+        let scaled = m.scale(c);
+        prop_assert!(rmsnorm(&m).max_abs_diff(&rmsnorm(&scaled)) < 1e-3);
+    }
+
+    /// ReLU is monotone and non-negative; SiLU is bounded below by its
+    /// global minimum (~-0.2785) and monotone on the positive axis.
+    #[test]
+    fn activation_shape_properties(a in -10.0f32..10.0, b in -10.0f32..10.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let m = Matrix::from_vec(1, 2, vec![lo, hi]);
+        let r = relu(&m);
+        prop_assert!(r.get(0, 0) <= r.get(0, 1));
+        prop_assert!(r.get(0, 0) >= 0.0);
+        let s = silu(&m);
+        prop_assert!(s.get(0, 0) >= -0.2786 && s.get(0, 1) >= -0.2786);
+        if lo >= 0.0 {
+            prop_assert!(s.get(0, 0) <= s.get(0, 1) + 1e-6);
+        }
+    }
+
+    /// Entropy is maximal for the uniform distribution.
+    #[test]
+    fn uniform_maximizes_entropy(n in 2usize..16, tilt in 0.01f32..5.0) {
+        let uniform = vec![1.0 / n as f32; n];
+        let mut tilted = uniform.clone();
+        tilted[0] += tilt;
+        let z: f32 = tilted.iter().sum();
+        for v in tilted.iter_mut() {
+            *v /= z;
+        }
+        prop_assert!(entropy(&tilted) <= entropy(&uniform) + 1e-5);
+    }
+
+    /// AdamW with zero gradient and zero weight decay leaves parameters
+    /// unchanged.
+    #[test]
+    fn adamw_fixed_point(params in prop::collection::vec(-5.0f32..5.0, 1..32)) {
+        let cfg = AdamWConfig {
+            weight_decay: 0.0,
+            ..AdamWConfig::default()
+        };
+        let mut p = params.clone();
+        let mut state = AdamState::new(p.len());
+        let zeros = vec![0.0f32; p.len()];
+        for t in 1..=5 {
+            state.step(&mut p, &zeros, &cfg, t);
+        }
+        for (a, b) in p.iter().zip(&params) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Hadamard matrices and orthogonal rotations of the residual stream.
+//!
+//! Weight-rotation-enhanced planning (Sec. 5.2 of the paper) multiplies LLM
+//! activations by a normalized Hadamard matrix `H` folded offline into the
+//! weights; because `H` is orthogonal, RMSNorm denominators (L2 norms) are
+//! preserved and the network function is unchanged, while activation
+//! outliers are dispersed across dimensions.
+//!
+//! This module also provides the *inverse* tool used by the reproduction: a
+//! Householder [`Rotation`] that **concentrates** activation energy into a
+//! single channel. Applying it to a trained planner plants the systematic,
+//! fixed-channel activation outliers that billion-parameter LLMs exhibit
+//! (Sec. 4.1) without changing the network function — so the paper's
+//! characterization and WR mitigation can be studied mechanistically on a
+//! proxy-scale model.
+
+use crate::Matrix;
+
+/// Returns the unnormalized Sylvester–Hadamard entry `±1` at `(i, j)`.
+///
+/// `H[i][j] = (-1)^popcount(i & j)`, equivalent to the recursive Kronecker
+/// construction `H_{2^k} = H_2 ⊗ H_{2^{k-1}}` from the paper.
+#[inline]
+pub fn hadamard_sign(i: usize, j: usize) -> f32 {
+    if (i & j).count_ones() % 2 == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Builds the normalized `n × n` Hadamard matrix (`n` must be a power of two).
+///
+/// The result is orthogonal: `H @ H.T = I`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or not a power of two.
+pub fn hadamard_matrix(n: usize) -> Matrix {
+    assert!(n.is_power_of_two(), "Hadamard size must be a power of two, got {n}");
+    let norm = 1.0 / (n as f32).sqrt();
+    Matrix::from_fn(n, n, |i, j| hadamard_sign(i, j) * norm)
+}
+
+/// In-place fast Walsh–Hadamard transform with `1/sqrt(n)` normalization.
+///
+/// Equivalent to multiplying the vector by [`hadamard_matrix`] in
+/// `O(n log n)` time.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is zero or not a power of two.
+pub fn fwht_normalized(data: &mut [f32]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FWHT length must be a power of two, got {n}");
+    let mut h = 1;
+    while h < n {
+        let mut i = 0;
+        while i < n {
+            for j in i..i + h {
+                let x = data[j];
+                let y = data[j + h];
+                data[j] = x + y;
+                data[j + h] = x - y;
+            }
+            i += h * 2;
+        }
+        h *= 2;
+    }
+    let norm = 1.0 / (n as f32).sqrt();
+    for v in data.iter_mut() {
+        *v *= norm;
+    }
+}
+
+/// An orthogonal rotation of a `dim`-dimensional activation space.
+///
+/// Rotations compose, invert (by transpose) and can be folded into adjacent
+/// weight matrices; all constructors guarantee orthogonality up to `f32`
+/// rounding.
+///
+/// # Example
+///
+/// ```
+/// use create_tensor::{Matrix, hadamard::Rotation};
+/// let r = Rotation::hadamard(16);
+/// let x = Matrix::from_fn(2, 16, |r, c| (r + c) as f32);
+/// let back = r.inverse().apply_right(&r.apply_right(&x));
+/// assert!(x.max_abs_diff(&back) < 1e-4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rotation {
+    matrix: Matrix,
+}
+
+impl Rotation {
+    /// The identity rotation.
+    pub fn identity(dim: usize) -> Self {
+        Self {
+            matrix: Matrix::identity(dim),
+        }
+    }
+
+    /// The normalized Hadamard rotation (requires power-of-two `dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not a power of two.
+    pub fn hadamard(dim: usize) -> Self {
+        Self {
+            matrix: hadamard_matrix(dim),
+        }
+    }
+
+    /// Wraps an explicit orthogonal matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is not square or deviates from orthogonality by more
+    /// than `1e-3` in max-abs terms.
+    pub fn from_orthogonal(m: Matrix) -> Self {
+        assert_eq!(m.rows(), m.cols(), "rotation matrix must be square");
+        let gram = m.matmul_nt(&m);
+        let dev = gram.max_abs_diff(&Matrix::identity(m.rows()));
+        assert!(dev < 1e-3, "matrix is not orthogonal (deviation {dev})");
+        Self { matrix: m }
+    }
+
+    /// Householder reflection that maps the direction of `v` onto basis axis
+    /// `axis`, concentrating any component along `v` into that channel.
+    ///
+    /// Used to plant systematic activation outliers: if runtime activations
+    /// share a dominant mean direction `v`, the rotated activations carry
+    /// most of that energy in channel `axis` — a fixed-channel outlier, just
+    /// like the ones large LLMs produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is (numerically) zero or `axis >= v.len()`.
+    pub fn householder_concentrate(v: &[f32], axis: usize) -> Self {
+        let dim = v.len();
+        assert!(axis < dim, "axis {axis} out of range for dim {dim}");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!(norm > 1e-12, "cannot concentrate a zero direction");
+        // u = normalize(v) - e_axis; Q = I - 2 u u^T / |u|^2 maps v̂ -> e_axis.
+        let mut u: Vec<f32> = v.iter().map(|x| x / norm).collect();
+        u[axis] -= 1.0;
+        let u_norm_sq: f32 = u.iter().map(|x| x * x).sum();
+        if u_norm_sq < 1e-12 {
+            // v already points along the axis.
+            return Self::identity(dim);
+        }
+        let coef = 2.0 / u_norm_sq;
+        let matrix = Matrix::from_fn(dim, dim, |i, j| {
+            let delta = if i == j { 1.0 } else { 0.0 };
+            delta - coef * u[i] * u[j]
+        });
+        Self { matrix }
+    }
+
+    /// Dimension of the rotated space.
+    pub fn dim(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// The underlying orthogonal matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// The inverse rotation (transpose, by orthogonality).
+    pub fn inverse(&self) -> Self {
+        Self {
+            matrix: self.matrix.transpose(),
+        }
+    }
+
+    /// Rotates row-activations: `x @ R`.
+    pub fn apply_right(&self, x: &Matrix) -> Matrix {
+        x.matmul(&self.matrix)
+    }
+
+    /// Folds into a weight used as `x @ W`: returns `W @ R` so the *output*
+    /// of the layer is rotated.
+    pub fn fold_into_output(&self, w: &Matrix) -> Matrix {
+        w.matmul(&self.matrix)
+    }
+
+    /// Folds into a weight used as `x @ W` whose *input* arrives rotated:
+    /// returns `R.T @ W` so `(x R) (R.T W) = x W`.
+    pub fn fold_into_input(&self, w: &Matrix) -> Matrix {
+        self.matrix.matmul_tn(w)
+    }
+
+    /// Composition `self` followed by `other` (as row-vector right actions).
+    pub fn then(&self, other: &Rotation) -> Rotation {
+        Rotation {
+            matrix: self.matrix.matmul(&other.matrix),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn hadamard_is_orthogonal() {
+        for n in [2usize, 4, 8, 32] {
+            let h = hadamard_matrix(n);
+            let gram = h.matmul_nt(&h);
+            assert!(
+                gram.max_abs_diff(&Matrix::identity(n)) < 1e-4,
+                "H_{n} not orthogonal"
+            );
+        }
+    }
+
+    #[test]
+    fn hadamard_matches_kronecker_recursion() {
+        // H_4 = H_2 ⊗ H_2 (both normalized).
+        let h2 = hadamard_matrix(2);
+        let h4 = hadamard_matrix(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = h2.get(i / 2, j / 2) * h2.get(i % 2, j % 2) * 2.0f32.sqrt()
+                    / 2.0f32.sqrt();
+                assert!((h4.get(i, j) - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn fwht_matches_dense_multiply() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Matrix::random_uniform(1, 16, 2.0, &mut rng);
+        let dense = x.matmul(&hadamard_matrix(16));
+        let mut fast = x.as_slice().to_vec();
+        fwht_normalized(&mut fast);
+        for (a, b) in dense.as_slice().iter().zip(&fast) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fwht_twice_is_identity() {
+        let mut data: Vec<f32> = (0..32).map(|i| (i as f32).sin()).collect();
+        let orig = data.clone();
+        fwht_normalized(&mut data);
+        fwht_normalized(&mut data);
+        for (a, b) in orig.iter().zip(&data) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn householder_sends_direction_to_axis() {
+        let v = vec![1.0, 2.0, -3.0, 0.5];
+        let rot = Rotation::householder_concentrate(&v, 2);
+        let x = Matrix::from_vec(1, 4, v.clone());
+        let y = rot.apply_right(&x);
+        let norm: f32 = v.iter().map(|a| a * a).sum::<f32>().sqrt();
+        // All the energy lands in channel 2.
+        assert!((y.get(0, 2).abs() - norm).abs() < 1e-4);
+        for j in [0usize, 1, 3] {
+            assert!(y.get(0, j).abs() < 1e-4, "channel {j} leaked {}", y.get(0, j));
+        }
+    }
+
+    #[test]
+    fn householder_is_orthogonal_and_self_inverse() {
+        let v = vec![0.3, -0.7, 0.2, 0.9, 0.1, 0.4, -0.2, 0.8];
+        let rot = Rotation::householder_concentrate(&v, 0);
+        let gram = rot.matrix().matmul_nt(rot.matrix());
+        assert!(gram.max_abs_diff(&Matrix::identity(8)) < 1e-4);
+        // A Householder reflection is its own inverse.
+        assert!(rot.matrix().max_abs_diff(rot.inverse().matrix()) < 1e-5);
+    }
+
+    #[test]
+    fn fold_input_then_output_preserves_function() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = Matrix::random_uniform(3, 8, 1.0, &mut rng);
+        let w1 = Matrix::random_uniform(8, 8, 1.0, &mut rng);
+        let w2 = Matrix::random_uniform(8, 8, 1.0, &mut rng);
+        let rot = Rotation::hadamard(8);
+        // Original two-layer product.
+        let y = x.matmul(&w1).matmul(&w2);
+        // Rotate the hidden space between the layers.
+        let w1r = rot.fold_into_output(&w1);
+        let w2r = rot.fold_into_input(&w2);
+        let yr = x.matmul(&w1r).matmul(&w2r);
+        assert!(y.max_abs_diff(&yr) < 1e-3);
+    }
+
+    #[test]
+    fn rotation_preserves_row_norms() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = Matrix::random_uniform(4, 16, 3.0, &mut rng);
+        let rot = Rotation::hadamard(16);
+        let y = rot.apply_right(&x);
+        for r in 0..4 {
+            let n0: f32 = x.row(r).iter().map(|v| v * v).sum();
+            let n1: f32 = y.row(r).iter().map(|v| v * v).sum();
+            assert!((n0 - n1).abs() / n0.max(1e-6) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn hadamard_disperses_a_spike() {
+        // One huge channel becomes uniformly spread after rotation.
+        let mut x = vec![0.0f32; 64];
+        x[17] = 64.0;
+        let spike = Matrix::from_vec(1, 64, x);
+        let rot = Rotation::hadamard(64);
+        let y = rot.apply_right(&spike);
+        let max = y.max_abs();
+        assert!(max < 9.0, "rotated spike should spread out, max {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn hadamard_rejects_non_power_of_two() {
+        let _ = hadamard_matrix(12);
+    }
+}

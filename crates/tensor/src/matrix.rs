@@ -1,0 +1,438 @@
+//! Row-major `f32` matrices.
+//!
+//! [`Matrix`] is deliberately small: it carries exactly the operations the
+//! neural-network stack and the experiment harnesses need, with panics on
+//! shape mismatches (shape errors are programming errors in this workspace,
+//! not recoverable conditions).
+
+use rand::Rng;
+use std::fmt;
+
+/// A dense row-major matrix of `f32` values.
+///
+/// # Example
+///
+/// ```
+/// use create_tensor::Matrix;
+/// let a = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// let b = a.transpose();
+/// assert_eq!(b.shape(), (3, 2));
+/// assert_eq!(b.get(2, 1), 5.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from a row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Fills a matrix with samples from `U(-limit, limit)`.
+    pub fn random_uniform(rows: usize, cols: usize, limit: f32, rng: &mut impl Rng) -> Self {
+        Self::from_fn(rows, cols, |_, _| rng.random_range(-limit..limit))
+    }
+
+    /// Kaiming-style initialization for a layer with `fan_in` inputs.
+    pub fn kaiming(rows: usize, cols: usize, fan_in: usize, rng: &mut impl Rng) -> Self {
+        let limit = (6.0 / fan_in as f32).sqrt();
+        Self::random_uniform(rows, cols, limit, rng)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The full backing slice, row-major.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The full backing slice, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its backing vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Matrix product `self @ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self @ other.T` without materializing the transpose.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} @ ({}x{}).T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self.T @ other` without materializing the transpose.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: ({}x{}).T @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Element-wise sum; shapes must match.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// In-place element-wise sum.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise difference; shapes must match.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Returns a copy scaled by `s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        let data = self.data.iter().map(|v| v * s).collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let data = self.data.iter().map(|&v| f(v)).collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Largest absolute value, or 0 for an empty matrix.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute element-wise difference with `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// Horizontal concatenation of rows.
+    pub fn hcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hcat row mismatch");
+        Matrix::from_fn(self.rows, self.cols + other.cols, |r, c| {
+            if c < self.cols {
+                self.get(r, c)
+            } else {
+                other.get(r, c - self.cols)
+            }
+        })
+    }
+
+    /// Stacks `self` above `other`.
+    pub fn vcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vcat col mismatch");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Extracts rows `range.start..range.end` as a new matrix.
+    pub fn rows_range(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "row range out of bounds");
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::random_uniform(3, 4, 1.0, &mut rng);
+        let i = Matrix::identity(4);
+        let out = a.matmul(&i);
+        assert!(a.max_abs_diff(&out) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::random_uniform(3, 5, 1.0, &mut rng);
+        let b = Matrix::random_uniform(4, 5, 1.0, &mut rng);
+        let direct = a.matmul_nt(&b);
+        let explicit = a.matmul(&b.transpose());
+        assert!(direct.max_abs_diff(&explicit) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Matrix::random_uniform(5, 3, 1.0, &mut rng);
+        let b = Matrix::random_uniform(5, 4, 1.0, &mut rng);
+        let direct = a.matmul_tn(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert!(direct.max_abs_diff(&explicit) < 1e-5);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Matrix::random_uniform(3, 7, 2.0, &mut rng);
+        assert_eq!(a, a.transpose().transpose());
+    }
+
+    #[test]
+    fn hcat_and_vcat_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        assert_eq!(a.hcat(&b).shape(), (2, 5));
+        let c = Matrix::zeros(4, 3);
+        assert_eq!(a.vcat(&c).shape(), (6, 3));
+    }
+
+    #[test]
+    fn rows_range_extracts_rows() {
+        let a = Matrix::from_fn(4, 2, |r, _| r as f32);
+        let mid = a.rows_range(1, 3);
+        assert_eq!(mid.shape(), (2, 2));
+        assert_eq!(mid.get(0, 0), 1.0);
+        assert_eq!(mid.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn max_abs_and_norm() {
+        let a = Matrix::from_vec(1, 3, vec![-3.0, 1.0, 2.0]);
+        assert_eq!(a.max_abs(), 3.0);
+        assert!((a.frobenius_norm() - 14.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_panics_on_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

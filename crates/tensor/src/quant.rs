@@ -1,0 +1,250 @@
+//! Symmetric per-tensor quantization.
+//!
+//! The paper deploys both planner and controller on a systolic-array
+//! accelerator in INT8 (Sec. 2.2), with GEMM outputs re-quantized by an
+//! *offline-determined scaling factor* (Sec. 5.1). This module provides that
+//! scheme plus the INT4 variant used by the quantization-sensitivity study
+//! (Table 6).
+
+use crate::Matrix;
+
+/// Datapath precision for quantized GEMM operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// 8-bit signed integers in `[-127, 127]` (the paper's default).
+    #[default]
+    Int8,
+    /// 4-bit signed integers in `[-7, 7]` (Sec. 6.9 sensitivity study).
+    Int4,
+}
+
+impl Precision {
+    /// Largest representable magnitude for this precision.
+    pub fn qmax(self) -> i32 {
+        match self {
+            Precision::Int8 => 127,
+            Precision::Int4 => 7,
+        }
+    }
+
+    /// Bits per operand value.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::Int8 => 8,
+            Precision::Int4 => 4,
+        }
+    }
+}
+
+/// Per-tensor symmetric quantization parameters.
+///
+/// `real = quantized as f32 * scale`. The scale is determined offline by
+/// profiling the maximum absolute value of the tensor (Sec. 5.1), which is
+/// also what the anomaly-detection bound is derived from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    scale: f32,
+    precision: Precision,
+}
+
+impl QuantParams {
+    /// Builds parameters so that `max_abs` maps onto the largest code.
+    ///
+    /// A zero or non-finite `max_abs` falls back to a scale of 1 so that an
+    /// all-zero tensor round-trips exactly.
+    pub fn from_max_abs(max_abs: f32, precision: Precision) -> Self {
+        let qmax = precision.qmax() as f32;
+        let scale = if max_abs.is_finite() && max_abs > 0.0 {
+            max_abs / qmax
+        } else {
+            1.0
+        };
+        Self { scale, precision }
+    }
+
+    /// Builds parameters from an explicit scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn from_scale(scale: f32, precision: Precision) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "quantization scale must be positive and finite, got {scale}"
+        );
+        Self { scale, precision }
+    }
+
+    /// The real-value step represented by one integer code.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The operand precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Quantizes one value to the integer grid (clamped).
+    #[inline]
+    pub fn quantize_value(&self, v: f32) -> i8 {
+        let qmax = self.precision.qmax();
+        let q = (v / self.scale).round();
+        q.clamp(-(qmax as f32), qmax as f32) as i8
+    }
+
+    /// Recovers the real value of one integer code.
+    #[inline]
+    pub fn dequantize_value(&self, q: i8) -> f32 {
+        q as f32 * self.scale
+    }
+}
+
+/// A quantized row-major matrix: integer codes plus their [`QuantParams`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    params: QuantParams,
+}
+
+impl QuantMatrix {
+    /// Quantizes `m` with a scale derived from its own max-abs value.
+    pub fn quantize(m: &Matrix, precision: Precision) -> Self {
+        let params = QuantParams::from_max_abs(m.max_abs(), precision);
+        Self::quantize_with(m, params)
+    }
+
+    /// Quantizes `m` with externally profiled parameters.
+    ///
+    /// This is the deployment path: scales are profiled offline on
+    /// calibration data, and runtime tensors are clamped into that grid.
+    pub fn quantize_with(m: &Matrix, params: QuantParams) -> Self {
+        let data = m.as_slice().iter().map(|&v| params.quantize_value(v)).collect();
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            data,
+            params,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The quantization parameters.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// Integer codes, row-major.
+    pub fn as_slice(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Mutable integer codes, row-major.
+    ///
+    /// Exists for fault-injection studies that perturb *stored* weights
+    /// (e.g. the SRAM retention-fault extension); the quantization
+    /// parameters are deliberately left untouched, exactly as a hardware
+    /// bit flip would leave the offline scale.
+    pub fn as_mut_slice(&mut self) -> &mut [i8] {
+        &mut self.data
+    }
+
+    /// Row `r` of integer codes.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reconstructs the real-valued matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let data = self
+            .data
+            .iter()
+            .map(|&q| self.params.dequantize_value(q))
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Worst-case absolute rounding error for in-range values.
+    pub fn rounding_error_bound(&self) -> f32 {
+        self.params.scale() * 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn precision_limits() {
+        assert_eq!(Precision::Int8.qmax(), 127);
+        assert_eq!(Precision::Int4.qmax(), 7);
+        assert_eq!(Precision::Int8.bits(), 8);
+        assert_eq!(Precision::Int4.bits(), 4);
+    }
+
+    #[test]
+    fn roundtrip_error_is_bounded_by_half_scale() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Matrix::random_uniform(8, 8, 3.0, &mut rng);
+        for precision in [Precision::Int8, Precision::Int4] {
+            let q = QuantMatrix::quantize(&m, precision);
+            let back = q.dequantize();
+            let bound = q.rounding_error_bound() + 1e-6;
+            assert!(
+                m.max_abs_diff(&back) <= bound,
+                "{precision:?}: error {} > bound {}",
+                m.max_abs_diff(&back),
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn zero_matrix_roundtrips_exactly() {
+        let m = Matrix::zeros(4, 4);
+        let q = QuantMatrix::quantize(&m, Precision::Int8);
+        assert_eq!(q.dequantize(), m);
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let params = QuantParams::from_scale(0.1, Precision::Int8);
+        assert_eq!(params.quantize_value(1e9), 127);
+        assert_eq!(params.quantize_value(-1e9), -127);
+    }
+
+    #[test]
+    fn int4_codes_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = Matrix::random_uniform(16, 16, 10.0, &mut rng);
+        let q = QuantMatrix::quantize(&m, Precision::Int4);
+        assert!(q.as_slice().iter().all(|&v| (-7..=7).contains(&v)));
+    }
+
+    #[test]
+    fn max_abs_value_maps_to_qmax() {
+        let m = Matrix::from_vec(1, 2, vec![2.54, -1.0]);
+        let q = QuantMatrix::quantize(&m, Precision::Int8);
+        assert_eq!(q.as_slice()[0], 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn from_scale_rejects_zero() {
+        let _ = QuantParams::from_scale(0.0, Precision::Int8);
+    }
+}

@@ -1,0 +1,344 @@
+//! Summary statistics used by the characterization experiments.
+//!
+//! The resilience study reports activation means and standard deviations
+//! (Fig. 5 i–l), value histograms (Figs. 4b and 8a), predictor R² (Fig. 14)
+//! and success-rate confidence intervals (Sec. 6.9). These helpers keep all
+//! of that in one dependency-free place.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use create_tensor::stats::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.mean(), 2.5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds many observations.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 { 0.0 } else { self.mean }
+    }
+
+    /// Population standard deviation (0 when fewer than 2 samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f32>() / values.len() as f32
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(values: &[f32]) -> f32 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / values.len() as f32;
+    var.sqrt()
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// Returns 0 when either input is degenerate (constant or empty).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "pearson inputs must have equal length");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Coefficient of determination of `predicted` against `actual`.
+///
+/// `R² = 1 - SS_res / SS_tot`; returns 0 when `actual` is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn r2_score(actual: &[f32], predicted: &[f32]) -> f32 {
+    assert_eq!(actual.len(), predicted.len(), "r2 inputs must have equal length");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let m = mean(actual);
+    let ss_tot: f32 = actual.iter().map(|v| (v - m) * (v - m)).sum();
+    if ss_tot <= 0.0 {
+        return 0.0;
+    }
+    let ss_res: f32 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// A fixed-width histogram over `[lo, hi)` with out-of-range counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f32,
+    hi: f32,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f32, hi: f32, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn push(&mut self, v: f32) {
+        if v < self.lo {
+            self.underflow += 1;
+        } else if v >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (v - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f32) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Bin counts (excluding under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Values below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Values at or above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded values, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f32 {
+        let width = (self.hi - self.lo) / self.bins.len() as f32;
+        self.lo + width * (i as f32 + 0.5)
+    }
+
+    /// Fraction of in-range mass at or below bin `i` (0 when empty).
+    pub fn cumulative_fraction(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let upto: u64 = self.underflow + self.bins[..=i].iter().sum::<u64>();
+        upto as f64 / total as f64
+    }
+}
+
+/// Wilson score interval for a binomial proportion at ~95% confidence.
+///
+/// Returns `(low, high)`; degenerates to `(0, 1)` when `n == 0`.
+pub fn wilson_interval(successes: u64, n: u64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let z = 1.96f64;
+    let n_f = n as f64;
+    let p = successes as f64 / n_f;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n_f;
+    let center = (p + z2 / (2.0 * n_f)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_match_direct_formulas() {
+        let vals = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        s.extend(vals.iter().copied());
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert!((s.std_dev() - 2.0).abs() < 1e-9);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-6);
+        let c = [-2.0, -4.0, -6.0, -8.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn r2_of_perfect_prediction_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        assert!((r2_score(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 2.0];
+        assert!(r2_score(&a, &p).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for v in [0.5, 1.5, 9.99, -1.0, 10.0, 100.0] {
+            h.push(v);
+        }
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 10);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-6);
+        assert!((h.bin_center(9) - 9.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        let (lo, hi) = wilson_interval(90, 100);
+        assert!(lo < 0.9 && 0.9 < hi);
+        assert!(hi - lo < 0.15, "CI should be tight at n=100");
+    }
+
+    #[test]
+    fn wilson_interval_degenerate_cases() {
+        assert_eq!(wilson_interval(0, 0), (0.0, 1.0));
+        let (lo, _) = wilson_interval(0, 50);
+        assert!(lo >= 0.0);
+        let (_, hi) = wilson_interval(50, 50);
+        assert!(hi <= 1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the tensor substrate.
+
+use create_tensor::hadamard::{Rotation, fwht_normalized, hadamard_matrix};
+use create_tensor::stats::{Histogram, OnlineStats, r2_score, wilson_interval};
+use create_tensor::{Matrix, Precision, QuantMatrix};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+
+fn matrix(rows: usize, cols: usize, seed: u64, scale: f32) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::random_uniform(rows, cols, scale, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A @ B) @ C == A @ (B @ C) within floating tolerance.
+    #[test]
+    fn matmul_is_associative(seed in 0u64..500, m in 1usize..5, k in 1usize..5, n in 1usize..5, p in 1usize..5) {
+        let a = matrix(m, k, seed, 1.0);
+        let b = matrix(k, n, seed ^ 1, 1.0);
+        let c = matrix(n, p, seed ^ 2, 1.0);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-3);
+    }
+
+    /// A @ (B + C) == A@B + A@C.
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..500, m in 1usize..5, k in 1usize..6, n in 1usize..5) {
+        let a = matrix(m, k, seed, 1.0);
+        let b = matrix(k, n, seed ^ 3, 1.0);
+        let c = matrix(k, n, seed ^ 4, 1.0);
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-4);
+    }
+
+    /// Transpose reverses matmul order: (A @ B)^T == B^T @ A^T.
+    #[test]
+    fn transpose_reverses_products(seed in 0u64..500, m in 1usize..5, k in 1usize..5, n in 1usize..5) {
+        let a = matrix(m, k, seed, 1.0);
+        let b = matrix(k, n, seed ^ 5, 1.0);
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.max_abs_diff(&right) < 1e-5);
+    }
+
+    /// FWHT equals dense Hadamard multiplication for all valid sizes.
+    #[test]
+    fn fwht_equals_dense_hadamard(seed in 0u64..200, log_n in 1u32..7) {
+        let n = 1usize << log_n;
+        let x = matrix(1, n, seed, 3.0);
+        let dense = x.matmul(&hadamard_matrix(n));
+        let mut fast = x.as_slice().to_vec();
+        fwht_normalized(&mut fast);
+        for (a, b) in dense.as_slice().iter().zip(&fast) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    /// Composition of rotations is a rotation (norm-preserving).
+    #[test]
+    fn rotation_composition_preserves_norms(seed in 0u64..200, log_n in 2u32..6) {
+        let n = 1usize << log_n;
+        let h = Rotation::hadamard(n);
+        let mut v = vec![0.0f32; n];
+        v[0] = 1.0;
+        v[n - 1] = -2.0;
+        let hh = Rotation::householder_concentrate(&v, n / 2);
+        let composed = h.then(&hh);
+        let x = matrix(2, n, seed, 2.0);
+        let y = composed.apply_right(&x);
+        prop_assert!((x.frobenius_norm() - y.frobenius_norm()).abs() < 1e-2);
+    }
+
+    /// INT4 quantization error is at most the INT8 step ratio worse.
+    #[test]
+    fn int4_error_is_bounded_relative_to_int8(values in prop::collection::vec(-10.0f32..10.0, 2..64)) {
+        let m = Matrix::from_vec(1, values.len(), values);
+        let q8 = QuantMatrix::quantize(&m, Precision::Int8);
+        let q4 = QuantMatrix::quantize(&m, Precision::Int4);
+        prop_assert!(q4.rounding_error_bound() >= q8.rounding_error_bound());
+        let e4 = m.max_abs_diff(&q4.dequantize());
+        prop_assert!(e4 <= q4.rounding_error_bound() + 1e-5);
+    }
+
+    /// Online stats agree with direct formulas for any sample set.
+    #[test]
+    fn online_stats_match_batch(values in prop::collection::vec(-100.0f64..100.0, 2..64)) {
+        let mut s = OnlineStats::new();
+        s.extend(values.iter().copied());
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.std_dev() - var.sqrt()).abs() < 1e-6 * (1.0 + var.sqrt()));
+    }
+
+    /// Histogram conserves mass: bins + underflow + overflow == pushes.
+    #[test]
+    fn histogram_conserves_mass(values in prop::collection::vec(-50.0f32..50.0, 0..128)) {
+        let mut h = Histogram::new(-10.0, 10.0, 8);
+        for &v in &values {
+            h.push(v);
+        }
+        prop_assert_eq!(h.total() as usize, values.len());
+    }
+
+    /// Wilson interval is a valid, ordered sub-interval of [0, 1] that
+    /// contains the point estimate.
+    #[test]
+    fn wilson_interval_is_sane(successes in 0u64..200, extra in 0u64..200) {
+        let n = successes + extra;
+        let (lo, hi) = wilson_interval(successes, n);
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!((0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= hi);
+        if n > 0 {
+            let p = successes as f64 / n as f64;
+            prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+        }
+    }
+
+    /// R² of a prediction equal to the truth is 1; adding noise lowers it.
+    #[test]
+    fn r2_ordering(values in prop::collection::vec(-10.0f32..10.0, 8..64), noise in 0.5f32..5.0) {
+        // Skip degenerate (constant) targets.
+        let spread = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+            - values.iter().cloned().fold(f32::INFINITY, f32::min);
+        prop_assume!(spread > 1.0);
+        let perfect = r2_score(&values, &values);
+        prop_assert!((perfect - 1.0).abs() < 1e-6);
+        let noisy: Vec<f32> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + if i % 2 == 0 { noise } else { -noise })
+            .collect();
+        prop_assert!(r2_score(&values, &noisy) < perfect);
+    }
+}

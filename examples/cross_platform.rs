@@ -1,0 +1,57 @@
+//! Cross-platform example: run the OpenVLA planner preset on a LIBERO-style
+//! manipulation task and the Octo controller preset on OXE-style tasks,
+//! with CREATE protections under undervolting (paper Sec. 6.7).
+//!
+//! ```sh
+//! cargo run --release --example cross_platform
+//! ```
+
+use create_ai::agents::presets::{ControllerPreset, PlannerPreset};
+use create_ai::agents::AgentSystem;
+use create_ai::prelude::*;
+
+fn main() {
+    // OpenVLA-preset planner paired with an Octo-preset controller on the
+    // manipulation world (first run trains and caches the models).
+    let system = AgentSystem::build(PlannerPreset::openvla(), ControllerPreset::octo());
+    let deployment = Deployment::new(&system, Precision::Int8);
+
+    for task in [TaskId::Wine, TaskId::Alphabet, TaskId::Eggplant, TaskId::Coke] {
+        let limits = MissionLimits::manipulation();
+        let golden = run_trial(
+            &deployment,
+            task,
+            &CreateConfig {
+                limits,
+                ..CreateConfig::golden()
+            },
+            5,
+        );
+        let protected = run_trial(
+            &deployment,
+            task,
+            &CreateConfig {
+                planner_ad: true,
+                controller_ad: true,
+                wr: true,
+                planner_error: Some(ErrorSpec::voltage()),
+                controller_error: Some(ErrorSpec::voltage()),
+                planner_voltage: 0.83,
+                voltage: VoltageControl::adaptive(EntropyPolicy::preset_c()),
+                limits,
+                ..CreateConfig::golden()
+            },
+            5,
+        );
+        println!(
+            "{:<9} golden: success={} {:>3} steps | CREATE@0.83V: success={} {:>3} steps, \
+             compute saving {:.1}%",
+            task.to_string(),
+            golden.success,
+            golden.steps,
+            protected.success,
+            protected.steps,
+            100.0 * (1.0 - protected.compute_j() / golden.compute_j())
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Memory-resilience walkthrough: what happens when the *weight SRAM* rail
+//! is undervolted, and what SECDED buys (the paper's Sec. 2.3 assumption
+//! and Sec. 3.1 future work, implemented).
+//!
+//! ```sh
+//! cargo run --release --example memory_faults
+//! ```
+//!
+//! The controller's deployed INT8 weights pass through the modeled SRAM
+//! at a scaled memory rail and pick up one retention-fault snapshot per
+//! trial; missions then run on the faulted weights.
+
+use create_ai::accel::sram::{MemoryFaultModel, Protection};
+use create_ai::prelude::*;
+
+const TRIALS: u32 = 10;
+
+fn main() {
+    let system = create_ai::agents::AgentSystem::jarvis();
+    let deployment = Deployment::new(&system, Precision::Int8);
+    let model = MemoryFaultModel::new();
+
+    println!("SRAM retention-fault model (per-bit upset probability):");
+    for &v in &[0.90, 0.80, 0.70, 0.60] {
+        println!("  {v:.2} V -> {:.2e}", model.upset_prob(v));
+    }
+    println!();
+    println!("controller weight buffer on a scaled memory rail ({TRIALS} trials each):");
+    println!("{:>10} {:>10} {:>9} {:>12} {:>11} {:>13}", "mem rail", "protect", "success", "bits upset", "corrected", "uncorrectable");
+    for &v in &[0.85, 0.74, 0.66] {
+        for protection in [Protection::None, Protection::Secded] {
+            let mem = MemoryConfig::new(v, protection);
+            let point = run_memory_point(
+                &deployment,
+                TaskId::Wooden,
+                &CreateConfig::golden(),
+                MemTarget::Controller,
+                &mem,
+                TRIALS,
+                0xF00D,
+            );
+            println!(
+                "{:>9.2}V {:>10} {:>8.0}% {:>12} {:>11} {:>13}",
+                v,
+                protection.to_string(),
+                100.0 * point.sweep.success_rate,
+                point.stats.bits_upset,
+                point.stats.words_corrected,
+                point.stats.words_detected,
+            );
+        }
+    }
+    println!();
+    println!(
+        "SECDED holds task quality at voltages where raw storage fails, for\n\
+         {:.1}% storage and {:.0}% read-energy overhead — the quantified\n\
+         version of the paper's \"memory faults can be effectively mitigated\n\
+         by ECC\".",
+        100.0 * Protection::Secded.storage_overhead(),
+        100.0 * Protection::Secded.read_energy_overhead(),
+    );
+}

@@ -1,0 +1,63 @@
+//! Entropy→voltage policy search (the Sec. 6.5 procedure): evaluate a grid
+//! of candidate policies on `wooden`, print the Pareto frontier over
+//! (effective voltage, success rate), and compare with the six presets.
+//!
+//! ```sh
+//! cargo run --release --example policy_search           # 24 candidates
+//! CREATE_POLICY_CANDIDATES=144 cargo run --release --example policy_search
+//! ```
+
+use create_ai::agents::AgentSystem;
+use create_ai::prelude::*;
+
+fn main() {
+    let system = AgentSystem::jarvis();
+    let deployment = Deployment::new(&system, Precision::Int8);
+    let reps = 12;
+    let limit: usize = std::env::var("CREATE_POLICY_CANDIDATES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
+
+    let candidates = EntropyPolicy::search_candidates();
+    let step = (candidates.len() / limit).max(1);
+    println!(
+        "evaluating {} of {} candidates (controller hw errors + AD)...",
+        candidates.len().div_ceil(step),
+        candidates.len()
+    );
+
+    let mut results: Vec<(EntropyPolicy, f64, f64)> = Vec::new();
+    for policy in candidates.into_iter().step_by(step) {
+        let config = CreateConfig {
+            controller_error: Some(ErrorSpec::voltage()),
+            controller_ad: true,
+            voltage: VoltageControl::adaptive(policy.clone()),
+            ..CreateConfig::golden()
+        };
+        let p = run_point(&deployment, TaskId::Wooden, &config, reps, 0x90 as u64);
+        results.push((policy, p.effective_voltage, p.success_rate));
+    }
+
+    // Pareto frontier: no other policy has both lower voltage and higher SR.
+    results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!("\n  {:<10} {:>10} {:>9}  pareto", "policy", "eff volt", "success");
+    let mut best_sr = -1.0f64;
+    for (policy, v_eff, sr) in results.iter().rev() {
+        let pareto = *sr > best_sr;
+        if pareto {
+            best_sr = *sr;
+        }
+        println!(
+            "  {:<10} {:>8.3} V {:>8.1}%  {}",
+            policy.name(),
+            v_eff,
+            sr * 100.0,
+            if pareto { "*" } else { "" }
+        );
+    }
+    println!("\npreset policies for reference:");
+    for p in EntropyPolicy::presets() {
+        println!("  {p}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: load the trained JARVIS-1 testbed, undervolt the chip, turn
+//! the CREATE protections on, and run one mission end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The first run trains the planner/controller/predictor from scratch
+//! (~2 minutes) and caches the weights under `results/cache/`.
+
+use create_ai::prelude::*;
+
+fn main() {
+    // 1. Train or load the agent stack (planner + controller + predictor).
+    let system = create_ai::agents::AgentSystem::jarvis();
+    let deployment = Deployment::new(&system, Precision::Int8);
+
+    // 2. Golden reference: nominal voltage, no errors.
+    let golden = run_trial(&deployment, TaskId::Wooden, &CreateConfig::golden(), 42);
+    println!(
+        "golden   : success={} steps={:<4} energy={:.2} J",
+        golden.success,
+        golden.steps,
+        golden.energy_j()
+    );
+
+    // 3. Aggressive undervolting without protection: timing errors corrupt
+    //    the planner's GEMMs and the mission degrades.
+    let raw = run_trial(&deployment, TaskId::Wooden, &CreateConfig::undervolted(0.84), 42);
+    println!(
+        "0.84 V   : success={} steps={:<4} energy={:.2} J (unprotected)",
+        raw.success,
+        raw.steps,
+        raw.energy_j()
+    );
+
+    // 4. Same voltage with the full CREATE stack: anomaly detection,
+    //    weight-rotation-enhanced planning, autonomy-adaptive voltage
+    //    scaling driven by the entropy predictor.
+    let config = CreateConfig::undervolted(0.84).with_full_create(EntropyPolicy::preset_c());
+    let protected = run_trial(&deployment, TaskId::Wooden, &config, 42);
+    println!(
+        "CREATE   : success={} steps={:<4} energy={:.2} J (effective {:.3} V, {} LDO switches)",
+        protected.success,
+        protected.steps,
+        protected.energy_j(),
+        protected.effective_voltage(),
+        protected.ldo_switches
+    );
+    println!(
+        "compute-energy saving vs golden: {:.1}%",
+        100.0 * (1.0 - protected.compute_j() / golden.compute_j())
+    );
+}

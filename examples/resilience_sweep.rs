@@ -1,0 +1,53 @@
+//! Resilience sweep: the paper's Sec. 4 characterization in miniature —
+//! inject uniform bit errors into the planner or the controller alone and
+//! watch the heterogeneous tolerance emerge.
+//!
+//! ```sh
+//! cargo run --release --example resilience_sweep
+//! ```
+
+use create_ai::agents::AgentSystem;
+use create_ai::prelude::*;
+
+fn main() {
+    let system = AgentSystem::jarvis();
+    let deployment = Deployment::new(&system, Precision::Int8);
+    let reps = 16;
+
+    println!("planner-only injection (controller golden), wooden:");
+    println!("  {:>8}  {:>8}  {:>9}", "BER", "success", "avg steps");
+    for ber in [1e-9, 2e-8, 1e-7, 1e-6] {
+        let config = CreateConfig {
+            planner_error: Some(ErrorSpec::uniform(ber)),
+            ..CreateConfig::golden()
+        };
+        let p = run_point(&deployment, TaskId::Wooden, &config, reps, 1);
+        println!(
+            "  {:>8}  {:>7.1}%  {:>9.0}",
+            sci(ber),
+            p.success_rate * 100.0,
+            p.avg_steps
+        );
+    }
+
+    println!("\ncontroller-only injection (planner golden), wooden:");
+    println!("  {:>8}  {:>8}  {:>9}", "BER", "success", "avg steps");
+    for ber in [1e-6, 1e-4, 4e-4, 1e-3] {
+        let config = CreateConfig {
+            controller_error: Some(ErrorSpec::uniform(ber)),
+            ..CreateConfig::golden()
+        };
+        let p = run_point(&deployment, TaskId::Wooden, &config, reps, 2);
+        println!(
+            "  {:>8}  {:>7.1}%  {:>9.0}",
+            sci(ber),
+            p.success_rate * 100.0,
+            p.avg_steps
+        );
+    }
+
+    println!(
+        "\nThe controller tolerates ~4 decades more BER than the planner —\n\
+         the heterogeneous resilience CREATE exploits (paper Fig. 5)."
+    );
+}

@@ -1,0 +1,51 @@
+//! # create-ai — CREATE, reproduced in Rust
+//!
+//! A full-system reproduction of **CREATE: Cross-Layer Resilience
+//! Characterization and Optimization for Efficient yet Reliable Embodied AI
+//! Systems** (ASPLOS 2026): an LLM-planner + RL-controller embodied agent
+//! deployed on a simulated voltage-scaled INT8 systolic-array accelerator,
+//! protected by anomaly detection (AD), weight-rotation-enhanced planning
+//! (WR) and autonomy-adaptive voltage scaling (VS).
+//!
+//! This meta-crate re-exports the workspace:
+//!
+//! * [`tensor`] — matrices, quantization, Hadamard rotations, statistics
+//! * [`accel`] — the systolic-array substrate: timing errors, injection,
+//!   AD, LDO, energy/cycle models, protection schemes
+//! * [`nn`] — trainable layers with manual backprop + quantized deployment
+//! * [`env`](mod@env) — the craftworld (Minecraft-lite) and armworld (manipulation)
+//!   environments with tasks and scripted experts
+//! * [`agents`] — the planner, controller and entropy predictor
+//! * [`baselines`] — DMR / ThUnderVolt / ABFT comparison configs
+//! * [`core`] — the CREATE framework: configs, mission runner, policies,
+//!   parallel statistics
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use create_ai::prelude::*;
+//!
+//! // Train (or load from cache) the JARVIS-1 testbed, deploy at INT8, and
+//! // run one protected undervolted mission.
+//! let system = create_ai::agents::AgentSystem::jarvis();
+//! let deployment = Deployment::new(&system, create_ai::tensor::Precision::Int8);
+//! let config = CreateConfig::undervolted(0.84)
+//!     .with_full_create(EntropyPolicy::preset_c());
+//! let outcome = run_trial(&deployment, create_ai::env::TaskId::Wooden, &config, 7);
+//! println!("success={} energy={:.2} J", outcome.success, outcome.energy_j());
+//! ```
+
+pub use create_accel as accel;
+pub use create_agents as agents;
+pub use create_baselines as baselines;
+pub use create_core as core;
+pub use create_env as env;
+pub use create_nn as nn;
+pub use create_tensor as tensor;
+
+/// One-stop import for applications.
+pub mod prelude {
+    pub use create_core::prelude::*;
+    pub use create_env::{Action, Subtask, TaskId, World};
+    pub use create_tensor::Precision;
+}

@@ -1,0 +1,333 @@
+//! Cross-crate integration tests: a small trained stack runs missions end
+//! to end through the accelerator, protections change outcomes the way the
+//! paper describes, and energy accounting stays consistent.
+//!
+//! These tests train a miniature system (seconds) rather than loading the
+//! full cached testbed, so `cargo test` works from a clean checkout.
+
+use create_ai::agents::presets::{ControllerPreset, PlannerPreset, PredictorPreset};
+use create_ai::agents::{ControllerModel, PlannerModel, datasets, vocab};
+use create_ai::prelude::*;
+use rand::SeedableRng;
+use rand::rngs::StdRng;
+use std::sync::{Arc, OnceLock};
+
+fn tiny_deployment() -> &'static Deployment {
+    static DEP: OnceLock<Deployment> = OnceLock::new();
+    DEP.get_or_init(|| {
+        let planner_preset = PlannerPreset {
+            proxy_layers: 2,
+            proxy_hidden: 32,
+            proxy_mlp: 64,
+            proxy_heads: 4,
+            ..PlannerPreset::jarvis()
+        };
+        let controller_preset = ControllerPreset {
+            proxy_layers: 1,
+            proxy_hidden: 32,
+            proxy_mlp: 64,
+            proxy_heads: 4,
+            ..ControllerPreset::jarvis()
+        };
+        let mut rng = StdRng::seed_from_u64(2024);
+        let samples: Vec<_> = vocab::training_samples()
+            .into_iter()
+            .filter(|s| {
+                [TaskId::Wooden, TaskId::Log, TaskId::Seed]
+                    .iter()
+                    .any(|t| s.tokens[0] == vocab::task_token(*t))
+            })
+            .collect();
+        let mut planner = PlannerModel::new(&planner_preset, &mut rng);
+        planner.train(
+            &samples,
+            240,
+            3e-3,
+            Some(create_ai::agents::OutlierSpec::default()),
+            &mut rng,
+        );
+        assert!(planner.plan_accuracy(&samples) > 0.99, "tiny planner must converge");
+        let bc = datasets::collect_bc(&[TaskId::Wooden, TaskId::Log, TaskId::Seed], 2, 400, 0.05, 5);
+        let mut controller = ControllerModel::new(&controller_preset, &mut rng);
+        controller.train(&bc, 10, 2e-3, &mut rng);
+        let mut rotated = planner.clone();
+        rotated.rotate_residual(&create_ai::tensor::hadamard::Rotation::hadamard(32));
+        Deployment {
+            planner: Arc::new(planner.deploy(&samples, Precision::Int8)),
+            planner_wr: Arc::new(rotated.deploy(&samples, Precision::Int8)),
+            controller: Arc::new(controller.deploy(&bc, Precision::Int8)),
+            predictor: Arc::new(create_ai::agents::EntropyPredictor::new(
+                vocab::N_SUBTASKS,
+                &mut rng,
+            )),
+            planner_preset,
+            controller_preset,
+            predictor_preset: PredictorPreset::paper(),
+            tasks: vec![TaskId::Wooden, TaskId::Log, TaskId::Seed],
+        }
+    })
+}
+
+#[test]
+fn golden_missions_mostly_succeed() {
+    let dep = tiny_deployment();
+    let p = run_point(dep, TaskId::Wooden, &CreateConfig::golden(), 10, 1);
+    assert!(
+        p.success_rate >= 0.8,
+        "golden success rate too low: {}",
+        p.success_rate
+    );
+    assert!(p.avg_energy_j > 0.0);
+}
+
+#[test]
+fn planner_is_more_fragile_than_controller() {
+    // The paper's headline characterization (Fig. 5): at the same BER the
+    // planner collapses while the controller barely notices.
+    let dep = tiny_deployment();
+    let ber = 1e-6;
+    let planner_cfg = CreateConfig {
+        planner_error: Some(ErrorSpec::uniform(ber)),
+        ..CreateConfig::golden()
+    };
+    let controller_cfg = CreateConfig {
+        controller_error: Some(ErrorSpec::uniform(ber)),
+        ..CreateConfig::golden()
+    };
+    let planner_point = run_point(dep, TaskId::Wooden, &planner_cfg, 12, 2);
+    let controller_point = run_point(dep, TaskId::Wooden, &controller_cfg, 12, 2);
+    assert!(
+        controller_point.success_rate >= planner_point.success_rate + 0.3,
+        "expected controller ({}) >> planner ({}) at BER {ber}",
+        controller_point.success_rate,
+        planner_point.success_rate
+    );
+}
+
+#[test]
+fn anomaly_detection_recovers_planner_missions() {
+    let dep = tiny_deployment();
+    let ber = 1e-6;
+    let unprotected = CreateConfig {
+        planner_error: Some(ErrorSpec::uniform(ber)),
+        ..CreateConfig::golden()
+    };
+    let protected = CreateConfig {
+        planner_ad: true,
+        ..unprotected.clone()
+    };
+    let raw = run_point(dep, TaskId::Wooden, &unprotected, 12, 3);
+    let ad = run_point(dep, TaskId::Wooden, &protected, 12, 3);
+    assert!(
+        ad.success_rate >= raw.success_rate,
+        "AD should not hurt: {} vs {}",
+        ad.success_rate,
+        raw.success_rate
+    );
+}
+
+#[test]
+fn weight_rotated_deployment_behaves_identically_when_golden() {
+    let dep = tiny_deployment();
+    let golden = CreateConfig::golden();
+    let wr = CreateConfig {
+        wr: true,
+        ..CreateConfig::golden()
+    };
+    let a = run_point(dep, TaskId::Log, &golden, 8, 4);
+    let b = run_point(dep, TaskId::Log, &wr, 8, 4);
+    // Same seeds, function-preserving rotation: outcomes match closely
+    // (small quantization differences may flip borderline samples).
+    assert!(
+        (a.success_rate - b.success_rate).abs() <= 0.25,
+        "WR changed golden behaviour too much: {} vs {}",
+        a.success_rate,
+        b.success_rate
+    );
+}
+
+#[test]
+fn adaptive_voltage_saves_energy_at_equal_quality() {
+    let dep = tiny_deployment();
+    let fixed = run_point(dep, TaskId::Log, &CreateConfig::golden(), 10, 5);
+    let adaptive_cfg = CreateConfig {
+        voltage: VoltageControl::adaptive(EntropyPolicy::preset_c()),
+        ..CreateConfig::golden()
+    };
+    let adaptive = run_point(dep, TaskId::Log, &adaptive_cfg, 10, 5);
+    assert!(
+        adaptive.effective_voltage < fixed.effective_voltage - 0.01,
+        "VS should reduce effective voltage: {} vs {}",
+        adaptive.effective_voltage,
+        fixed.effective_voltage
+    );
+    assert!(
+        adaptive.avg_compute_j < fixed.avg_compute_j,
+        "VS should reduce compute energy"
+    );
+}
+
+#[test]
+fn dmr_baseline_recovers_errors_at_double_energy() {
+    // At a near-nominal voltage both schemes succeed identically, so the
+    // energy ratio cleanly isolates DMR's duplicated executions.
+    let dep = tiny_deployment();
+    let v = 0.90;
+    let raw = create_ai::baselines::BaselineKind::Unprotected.config(v);
+    let dmr = create_ai::baselines::BaselineKind::Dmr.config(v);
+    let raw_p = run_point(dep, TaskId::Log, &raw, 10, 6);
+    let dmr_p = run_point(dep, TaskId::Log, &dmr, 10, 6);
+    assert!(
+        dmr_p.success_rate >= raw_p.success_rate,
+        "DMR should not be less reliable"
+    );
+    let ratio = dmr_p.avg_compute_j / raw_p.avg_compute_j;
+    assert!(
+        (1.8..2.6).contains(&ratio),
+        "DMR compute energy should be ~2x, got {ratio:.2}x"
+    );
+}
+
+#[test]
+fn razor_baseline_is_reliable_but_never_free() {
+    // The extension contender: timing borrowing recovers detected values
+    // exactly (reliability ≈ DMR) at less than DMR's 2x energy, but its
+    // shadow-FF overhead is paid even when nothing goes wrong.
+    let dep = tiny_deployment();
+    let v = 0.90;
+    let raw = create_ai::baselines::BaselineKind::Unprotected.config(v);
+    let razor = create_ai::baselines::BaselineKind::Razor.config(v);
+    let dmr = create_ai::baselines::BaselineKind::Dmr.config(v);
+    let raw_p = run_point(dep, TaskId::Log, &raw, 10, 13);
+    let razor_p = run_point(dep, TaskId::Log, &razor, 10, 13);
+    let dmr_p = run_point(dep, TaskId::Log, &dmr, 10, 13);
+    assert!(razor_p.success_rate >= raw_p.success_rate);
+    let razor_ratio = razor_p.avg_compute_j / raw_p.avg_compute_j;
+    let dmr_ratio = dmr_p.avg_compute_j / raw_p.avg_compute_j;
+    assert!(
+        razor_ratio > 1.02,
+        "shadow-FF overhead must show up: {razor_ratio:.3}x"
+    );
+    assert!(
+        razor_ratio < dmr_ratio,
+        "timing borrowing should be cheaper than duplication: {razor_ratio:.2}x vs {dmr_ratio:.2}x"
+    );
+}
+
+#[test]
+fn outcomes_are_independent_of_thread_schedule() {
+    let dep = tiny_deployment();
+    let cfg = CreateConfig {
+        controller_error: Some(ErrorSpec::uniform(1e-4)),
+        ..CreateConfig::golden()
+    };
+    let a = run_point(dep, TaskId::Seed, &cfg, 8, 7);
+    let b = run_point(dep, TaskId::Seed, &cfg, 8, 7);
+    assert_eq!(a.successes, b.successes);
+    assert!((a.avg_energy_j - b.avg_energy_j).abs() < 1e-9);
+}
+
+#[test]
+fn int4_deployment_runs_end_to_end() {
+    // INT4 has a lower quality ceiling but the pipeline must stay sound.
+    let dep = tiny_deployment();
+    let p = run_point(dep, TaskId::Log, &CreateConfig::golden(), 6, 8);
+    assert!(p.n == 6);
+}
+
+#[test]
+fn memory_faults_at_nominal_rail_are_invisible_end_to_end() {
+    // The memory-resilience extension composes with the mission runner: a
+    // nominal-voltage snapshot leaves outcomes bit-identical to the
+    // fault-free deployment.
+    let dep = tiny_deployment();
+    let mem = MemoryConfig::new(0.90, create_ai::accel::sram::Protection::None);
+    let faulted = run_memory_point(
+        dep,
+        TaskId::Log,
+        &CreateConfig::golden(),
+        MemTarget::Controller,
+        &mem,
+        6,
+        9,
+    );
+    let clean = run_point(dep, TaskId::Log, &CreateConfig::golden(), 6, 9);
+    assert_eq!(faulted.sweep.successes, clean.successes);
+    assert_eq!(faulted.stats.bits_upset, 0);
+}
+
+#[test]
+fn secded_recovers_task_quality_where_raw_weight_storage_fails() {
+    // The extension's headline: at a memory-rail voltage where raw weight
+    // storage visibly corrupts the planner, SECDED holds task quality.
+    let dep = tiny_deployment();
+    let v = 0.69;
+    let raw = run_memory_point(
+        dep,
+        TaskId::Wooden,
+        &CreateConfig::golden(),
+        MemTarget::Planner,
+        &MemoryConfig::new(v, create_ai::accel::sram::Protection::None),
+        10,
+        10,
+    );
+    let ecc = run_memory_point(
+        dep,
+        TaskId::Wooden,
+        &CreateConfig::golden(),
+        MemTarget::Planner,
+        &MemoryConfig::new(v, create_ai::accel::sram::Protection::Secded),
+        10,
+        10,
+    );
+    assert!(
+        raw.stats.corrupt_fraction() > 4.0 * ecc.stats.corrupt_fraction().max(1e-6),
+        "SECDED should repair most words: raw {:?} vs ecc {:?}",
+        raw.stats,
+        ecc.stats
+    );
+    assert!(
+        ecc.sweep.success_rate >= raw.sweep.success_rate,
+        "protection must not hurt task quality: {} vs {}",
+        ecc.sweep.success_rate,
+        raw.sweep.success_rate
+    );
+}
+
+#[test]
+fn ad_bound_scale_default_is_transparent() {
+    // ad_bound_scale = 1.0 must reproduce the deployed configuration
+    // exactly (the ablation knob is inert by default).
+    let dep = tiny_deployment();
+    let base = CreateConfig::golden();
+    let scaled = CreateConfig {
+        ad_bound_scale: 1.0,
+        ..CreateConfig::golden()
+    };
+    let a = run_point(dep, TaskId::Seed, &base, 6, 11);
+    let b = run_point(dep, TaskId::Seed, &scaled, 6, 11);
+    assert_eq!(a.successes, b.successes);
+    assert!((a.avg_energy_j - b.avg_energy_j).abs() < 1e-9);
+}
+
+#[test]
+fn overtight_ad_bounds_break_golden_missions() {
+    // The other side of the ablation: a severely tightened output bound
+    // clips genuine activations and destroys task quality with no errors
+    // injected at all.
+    let dep = tiny_deployment();
+    let clipped = CreateConfig {
+        planner_ad: true,
+        controller_ad: true,
+        ad_bound_scale: 0.2,
+        ..CreateConfig::golden()
+    };
+    let golden = run_point(dep, TaskId::Wooden, &CreateConfig::golden(), 8, 12);
+    let tight = run_point(dep, TaskId::Wooden, &clipped, 8, 12);
+    assert!(
+        tight.success_rate < golden.success_rate,
+        "0.2x bounds should hurt: {} vs {}",
+        tight.success_rate,
+        golden.success_rate
+    );
+}

@@ -1,0 +1,182 @@
+//! Workspace-level property-based tests (proptest): invariants that must
+//! hold for arbitrary inputs across the crates' public APIs.
+
+use create_ai::accel::inject::{ErrorModel, InjectionTarget, Injector, flip_acc_bit};
+use create_ai::accel::ldo::Ldo;
+use create_ai::accel::timing::TimingModel;
+use create_ai::accel::{ad, array};
+use create_ai::env::{Action, TaskId, World};
+use create_ai::nn::activation::logits_entropy;
+use create_ai::tensor::hadamard::Rotation;
+use create_ai::tensor::{Matrix, Precision, QuantMatrix, QuantParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantize→dequantize never deviates more than half a step for
+    /// in-range values.
+    #[test]
+    fn quantization_error_is_bounded(values in prop::collection::vec(-50.0f32..50.0, 1..64)) {
+        let m = Matrix::from_vec(1, values.len(), values);
+        for precision in [Precision::Int8, Precision::Int4] {
+            let q = QuantMatrix::quantize(&m, precision);
+            let err = m.max_abs_diff(&q.dequantize());
+            prop_assert!(err <= q.rounding_error_bound() + 1e-5);
+        }
+    }
+
+    /// Flipping the same accumulator bit twice restores the value, and a
+    /// single flip always stays inside the 24-bit range.
+    #[test]
+    fn bit_flips_are_involutive(value in -8_388_608i32..8_388_607, bit in 0u32..24) {
+        let once = flip_acc_bit(value, bit);
+        prop_assert!(once != value);
+        prop_assert!((-8_388_608..=8_388_607).contains(&once));
+        prop_assert_eq!(flip_acc_bit(once, bit), value);
+    }
+
+    /// Anomaly clearance never increases a value's magnitude and never
+    /// touches in-bound values.
+    #[test]
+    fn anomaly_clearance_is_contractive(
+        acc in prop::collection::vec(-8_000_000i32..8_000_000, 1..128),
+        bound in 1i64..4_000_000,
+    ) {
+        let mut cleared = acc.clone();
+        let stats = ad::clear_anomalies(&mut cleared, bound);
+        prop_assert_eq!(stats.checked as usize, acc.len());
+        for (&before, &after) in acc.iter().zip(&cleared) {
+            if (before as i64).abs() <= bound {
+                prop_assert_eq!(after, before);
+            } else {
+                prop_assert_eq!(after, 0);
+            }
+        }
+    }
+
+    /// Hadamard rotation preserves row norms for any power-of-two width.
+    #[test]
+    fn rotation_preserves_norms(
+        rows in 1usize..4,
+        log_dim in 2u32..7,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let dim = 1usize << log_dim;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Matrix::random_uniform(rows, dim, 5.0, &mut rng);
+        let rot = Rotation::hadamard(dim);
+        let y = rot.apply_right(&x);
+        for r in 0..rows {
+            let n0: f32 = x.row(r).iter().map(|v| v * v).sum();
+            let n1: f32 = y.row(r).iter().map(|v| v * v).sum();
+            prop_assert!((n0 - n1).abs() <= 1e-3 * n0.max(1.0));
+        }
+    }
+
+    /// The timing model's BER is monotone non-increasing in voltage and
+    /// the per-bit probabilities are valid probabilities.
+    #[test]
+    fn timing_model_is_well_formed(v in 0.60f64..0.90) {
+        let t = TimingModel::new();
+        prop_assert!(t.aggregate_ber(v) >= t.aggregate_ber(v + 0.005));
+        for p in t.bit_error_probs(v) {
+            prop_assert!((0.0..=0.5).contains(&p));
+        }
+    }
+
+    /// The LDO always lands exactly on its 10 mV grid inside the range.
+    #[test]
+    fn ldo_respects_grid_and_range(targets in prop::collection::vec(0.0f64..2.0, 1..10)) {
+        let mut ldo = Ldo::new();
+        for v in targets {
+            ldo.set_target(v);
+            let out = ldo.output();
+            prop_assert!((0.6..=0.9 + 1e-9).contains(&out));
+            let snapped = (out / 0.01).round() * 0.01;
+            prop_assert!((out - snapped).abs() < 1e-9);
+        }
+    }
+
+    /// Entropy of any logits vector lies in [0, ln n].
+    #[test]
+    fn entropy_is_bounded(logits in prop::collection::vec(-20.0f32..20.0, 2..16)) {
+        let h = logits_entropy(&logits);
+        prop_assert!(h >= -1e-6);
+        prop_assert!(h <= (logits.len() as f32).ln() + 1e-5);
+    }
+
+    /// Injection with zero BER is the identity on any accumulator buffer.
+    #[test]
+    fn zero_ber_injection_is_identity(acc in prop::collection::vec(-100_000i32..100_000, 1..64)) {
+        use rand::SeedableRng;
+        let injector = Injector::new(
+            ErrorModel::Uniform { ber: 0.0 },
+            InjectionTarget::All,
+            1.0,
+        );
+        let mut buf = acc.clone();
+        let ctx = create_ai::accel::LayerCtx::new(
+            create_ai::accel::Unit::Controller,
+            create_ai::accel::Component::Fc1,
+            0,
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        injector.inject(&mut buf, ctx, 0.9, &mut rng);
+        prop_assert_eq!(buf, acc);
+    }
+
+    /// The INT8 GEMM agrees with the f32 reference within quantization
+    /// tolerance for arbitrary small matrices.
+    #[test]
+    fn quantized_gemm_tracks_reference(
+        m in 1usize..5,
+        k in 1usize..24,
+        n in 1usize..8,
+        seed in 0u64..500,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::random_uniform(m, k, 1.0, &mut rng);
+        let b = Matrix::random_uniform(k, n, 1.0, &mut rng);
+        let aq = QuantMatrix::quantize(&a, Precision::Int8);
+        let bq = QuantMatrix::quantize(&b, Precision::Int8);
+        let acc = array::gemm_i8_acc(&aq, &bq);
+        let combined = aq.params().scale() * bq.params().scale();
+        let reference = aq.dequantize().matmul(&bq.dequantize());
+        for (i, &v) in acc.iter().enumerate() {
+            let got = v as f32 * combined;
+            let want = reference.as_slice()[i];
+            prop_assert!((got - want).abs() < 1e-3 + 1e-4 * k as f32);
+        }
+    }
+
+    /// Environment invariants hold under arbitrary action sequences: the
+    /// agent stays in bounds on passable terrain and the step counter
+    /// matches the number of actions taken.
+    #[test]
+    fn craftworld_invariants_under_random_actions(
+        seed in 0u64..200,
+        actions in prop::collection::vec(0usize..Action::COUNT, 1..120),
+    ) {
+        let mut world = World::for_task(TaskId::Stone, seed);
+        for &a in &actions {
+            world.step(Action::from_index(a));
+        }
+        prop_assert_eq!(world.steps(), actions.len() as u64);
+        if let World::Craft(w) = &world {
+            let p = w.agent();
+            prop_assert!((0..28).contains(&p.x) && (0..28).contains(&p.y));
+            prop_assert!(w.cell(p).passable(), "agent must stand on passable terrain");
+        }
+    }
+
+    /// Quantization params from explicit scales round-trip values on grid.
+    #[test]
+    fn quant_params_roundtrip_grid_points(code in -127i8..=127, scale in 0.001f32..10.0) {
+        let params = QuantParams::from_scale(scale, Precision::Int8);
+        let real = params.dequantize_value(code);
+        prop_assert_eq!(params.quantize_value(real), code);
+    }
+}
