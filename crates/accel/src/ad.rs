@@ -51,7 +51,11 @@ pub fn bound_in_acc_units(bound_real: f32, combined_scale: f32) -> i64 {
         return i64::MAX;
     }
     let b = (bound_real as f64 / combined_scale as f64).ceil();
-    if b >= i64::MAX as f64 { i64::MAX } else { b as i64 }
+    if b >= i64::MAX as f64 {
+        i64::MAX
+    } else {
+        b as i64
+    }
 }
 
 #[cfg(test)]

@@ -65,8 +65,8 @@ pub fn acc_to_f32(acc: &[i32], combined_scale: f32) -> Vec<f32> {
 mod tests {
     use super::*;
     use create_tensor::{Matrix, Precision, QuantMatrix};
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn matches_float_reference_for_small_values() {

@@ -11,12 +11,12 @@ use crate::ad::{self, AdStats};
 use crate::array;
 use crate::ctx::LayerCtx;
 use crate::inject::{InjectionStats, Injector};
-use crate::scheme::{Scheme, apply_scheme};
+use crate::scheme::{apply_scheme, Scheme};
 use crate::timing::V_NOMINAL;
 use create_tensor::stats::Histogram;
 use create_tensor::{Matrix, QuantMatrix, QuantParams};
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Sampled distribution of dequantized GEMM outputs (for Fig. 8a).
 #[derive(Debug, Clone)]
@@ -323,11 +323,7 @@ mod tests {
         let bound = golden.max_abs() * 1.1;
 
         // Heavy uniform errors, no AD: outputs deviate wildly.
-        let injector = Injector::new(
-            ErrorModel::Uniform { ber: 0.02 },
-            InjectionTarget::All,
-            1.0,
-        );
+        let injector = Injector::new(ErrorModel::Uniform { ber: 0.02 }, InjectionTarget::All, 1.0);
         let mut faulty = Accelerator::new(
             AccelConfig {
                 injector: Some(injector.clone()),
@@ -372,11 +368,7 @@ mod tests {
     #[test]
     fn reseeding_reproduces_identical_faults() {
         let (x, w, params) = random_setup(33);
-        let injector = Injector::new(
-            ErrorModel::Uniform { ber: 1e-3 },
-            InjectionTarget::All,
-            1.0,
-        );
+        let injector = Injector::new(ErrorModel::Uniform { ber: 1e-3 }, InjectionTarget::All, 1.0);
         let mut a = Accelerator::new(
             AccelConfig {
                 injector: Some(injector.clone()),
@@ -423,13 +415,12 @@ mod tests {
         );
         let clipped = tight.linear(&x, &w, params, bound, ctx());
         assert!(clipped.max_abs() <= bound * 0.25 * 1.0001);
-        assert!(clipped.max_abs_diff(&golden) > 0.0, "golden data was clipped");
-        // A loose bound lets injected high-bit flips survive larger.
-        let injector = Injector::new(
-            ErrorModel::Uniform { ber: 0.02 },
-            InjectionTarget::All,
-            1.0,
+        assert!(
+            clipped.max_abs_diff(&golden) > 0.0,
+            "golden data was clipped"
         );
+        // A loose bound lets injected high-bit flips survive larger.
+        let injector = Injector::new(ErrorModel::Uniform { ber: 0.02 }, InjectionTarget::All, 1.0);
         let run = |scale: f32| {
             let mut acc = Accelerator::new(
                 AccelConfig {

@@ -166,7 +166,11 @@ impl Codeword {
             }
             (s, false) => {
                 // Single-bit error at position `s`.
-                let fixed = if s < CODE_BITS { self.with_flipped_bit(s) } else { self };
+                let fixed = if s < CODE_BITS {
+                    self.with_flipped_bit(s)
+                } else {
+                    self
+                };
                 (fixed.data_bits(), Decoded::Corrected)
             }
             (_, true) => {
@@ -180,9 +184,9 @@ impl Codeword {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::Rng;
     use rand::SeedableRng;
-    use rand::rngs::StdRng;
 
     #[test]
     fn clean_roundtrip_preserves_data() {

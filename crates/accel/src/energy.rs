@@ -108,7 +108,11 @@ impl UnitEnergy {
     /// Fraction of energy spent on computation.
     pub fn compute_fraction(&self) -> f64 {
         let t = self.total_j();
-        if t <= 0.0 { 0.0 } else { self.compute_j / t }
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.compute_j / t
+        }
     }
 
     /// The constant voltage that would have consumed the same compute

@@ -23,8 +23,8 @@
 //! planner's reference/proxy ratio it is count-faithful, keeping the
 //! planner's failure cliff where the paper reports it. See DESIGN.md.
 
-use crate::timing::{ACC_BITS, TimingModel};
 use crate::ctx::{Component, LayerCtx};
+use crate::timing::{TimingModel, ACC_BITS};
 use rand::Rng;
 
 /// Mask of the 24 accumulator bits.
@@ -179,11 +179,17 @@ impl Injector {
     ) -> InjectionStats {
         let total = acc.len() as u64;
         if acc.is_empty() || !self.target.matches(ctx) {
-            return InjectionStats { corrupted: 0, total };
+            return InjectionStats {
+                corrupted: 0,
+                total,
+            };
         }
         let p = self.element_corruption_prob(v);
         if p <= 0.0 {
-            return InjectionStats { corrupted: 0, total };
+            return InjectionStats {
+                corrupted: 0,
+                total,
+            };
         }
         let probs = self.model.bit_probs(v);
         let corrupted = if p < 0.02 {
@@ -252,7 +258,11 @@ pub fn sample_poisson(lambda: f64, rng: &mut impl Rng) -> u64 {
     // Normal approximation with continuity correction.
     let z = sample_standard_normal(rng);
     let v = lambda + lambda.sqrt() * z + 0.5;
-    if v < 0.0 { 0 } else { v as u64 }
+    if v < 0.0 {
+        0
+    } else {
+        v as u64
+    }
 }
 
 /// Box–Muller standard normal sample.
@@ -266,8 +276,8 @@ pub fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
 mod tests {
     use super::*;
     use crate::ctx::Unit;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn ctx() -> LayerCtx {
         LayerCtx::new(Unit::Controller, Component::Fc1, 0)
@@ -288,7 +298,10 @@ mod tests {
     fn flipping_bit_23_changes_sign_region() {
         let v = 100;
         let flipped = flip_acc_bit(v, 23);
-        assert!(flipped < 0, "setting the sign bit must go negative: {flipped}");
+        assert!(
+            flipped < 0,
+            "setting the sign bit must go negative: {flipped}"
+        );
         assert_eq!(flipped, 100 - 0x0080_0000);
     }
 
@@ -301,11 +314,7 @@ mod tests {
 
     #[test]
     fn zero_ber_injects_nothing() {
-        let inj = Injector::new(
-            ErrorModel::Uniform { ber: 0.0 },
-            InjectionTarget::All,
-            1.0,
-        );
+        let inj = Injector::new(ErrorModel::Uniform { ber: 0.0 }, InjectionTarget::All, 1.0);
         let mut rng = StdRng::seed_from_u64(1);
         let mut acc = vec![5i32; 1000];
         let stats = inj.inject(&mut acc, ctx(), 0.9, &mut rng);

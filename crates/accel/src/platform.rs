@@ -89,21 +89,13 @@ impl Platform {
 
     /// Fractional power overhead of the AD units at peak power.
     pub fn ad_power_overhead(&self) -> f64 {
-        let peak: f64 = self
-            .block_budgets()
-            .iter()
-            .map(|b| b.power_w_max)
-            .sum();
+        let peak: f64 = self.block_budgets().iter().map(|b| b.power_w_max).sum();
         0.02 / peak
     }
 
     /// Fractional power overhead of the LDOs at peak power.
     pub fn ldo_power_overhead(&self) -> f64 {
-        let peak: f64 = self
-            .block_budgets()
-            .iter()
-            .map(|b| b.power_w_max)
-            .sum();
+        let peak: f64 = self.block_budgets().iter().map(|b| b.power_w_max).sum();
         0.03 / peak
     }
 

@@ -54,7 +54,7 @@ impl Scheme {
     pub fn static_overhead(&self) -> f64 {
         match self {
             Scheme::Plain => 0.0,
-            Scheme::Dmr => 0.02,        // comparator tree
+            Scheme::Dmr => 0.02,         // comparator tree
             Scheme::ThunderVolt => 0.06, // shadow FFs + bypass muxes
             Scheme::Razor => 0.08,       // shadow FFs + replay control
             Scheme::Abft { .. } => 0.04, // checksum rows/columns
@@ -220,8 +220,8 @@ pub fn apply_scheme<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn clean() -> Vec<i32> {
         vec![10, -20, 30, -40]
@@ -231,7 +231,13 @@ mod tests {
     fn plain_passes_corruption_through() {
         let mut rng = StdRng::seed_from_u64(1);
         let bad = vec![10, 999, 30, -40];
-        let (out, res) = apply_scheme(Scheme::Plain, &clean(), bad.clone(), |_| bad.clone(), &mut rng);
+        let (out, res) = apply_scheme(
+            Scheme::Plain,
+            &clean(),
+            bad.clone(),
+            |_| bad.clone(),
+            &mut rng,
+        );
         assert_eq!(out, bad);
         assert!(res.residual_corruption);
         assert_eq!(res.executions, 1);
@@ -240,13 +246,7 @@ mod tests {
     #[test]
     fn dmr_agreement_costs_two_executions() {
         let mut rng = StdRng::seed_from_u64(2);
-        let (out, res) = apply_scheme(
-            Scheme::Dmr,
-            &clean(),
-            clean(),
-            |_| clean(),
-            &mut rng,
-        );
+        let (out, res) = apply_scheme(Scheme::Dmr, &clean(), clean(), |_| clean(), &mut rng);
         assert_eq!(out, clean());
         assert_eq!(res.executions, 2);
         assert!(!res.residual_corruption);
@@ -267,8 +267,7 @@ mod tests {
     fn thundervolt_zeroes_corrupted_outputs() {
         let mut rng = StdRng::seed_from_u64(4);
         let bad = vec![10, 999, 30, 77];
-        let (out, res) =
-            apply_scheme(Scheme::ThunderVolt, &clean(), bad, |_| clean(), &mut rng);
+        let (out, res) = apply_scheme(Scheme::ThunderVolt, &clean(), bad, |_| clean(), &mut rng);
         assert_eq!(out, vec![10, 0, 30, 0], "corrupted outputs become zero");
         assert!(res.residual_corruption);
         assert_eq!(res.executions, 1);
@@ -285,7 +284,11 @@ mod tests {
             bad.clone(),
             |_| {
                 attempts += 1;
-                if attempts >= 2 { clean() } else { bad.clone() }
+                if attempts >= 2 {
+                    clean()
+                } else {
+                    bad.clone()
+                }
             },
             &mut rng,
         );
@@ -336,7 +339,10 @@ mod tests {
             .collect();
         let (out, res) = apply_scheme(Scheme::Razor, &clean, bad, |_| clean.clone(), &mut rng);
         let recovered = out.iter().zip(&clean).filter(|(a, b)| a == b).count();
-        assert!(recovered >= 1990, "recovered {recovered}/2000");
+        // 1000 corrupt elements recovered with p = 0.99: mean 990 of them
+        // (σ ≈ 3.1), plus the 1000 untouched ones. Allow 5σ like the
+        // coverage test below rather than pinning the mean.
+        assert!(recovered >= 1974, "recovered {recovered}/2000");
         assert_eq!(res.executions, 1);
         assert!(res.extra_mac_fraction > 0.0, "replays must be charged");
         // ~1000 detections × penalty 12 / 2000 elements ≈ 6.
@@ -361,8 +367,7 @@ mod tests {
     #[test]
     fn razor_is_free_when_nothing_is_corrupt() {
         let mut rng = StdRng::seed_from_u64(9);
-        let (out, res) =
-            apply_scheme(Scheme::Razor, &clean(), clean(), |_| clean(), &mut rng);
+        let (out, res) = apply_scheme(Scheme::Razor, &clean(), clean(), |_| clean(), &mut rng);
         assert_eq!(out, clean());
         assert!(!res.residual_corruption);
         assert_eq!(res.extra_mac_fraction, 0.0);

@@ -265,7 +265,10 @@ impl SramBuffer {
         let mut flips: Vec<(usize, u32)> = (0..n_upsets)
             .map(|_| {
                 let bit = rng.random_range(0..total_bits);
-                ((bit / bits_per_word as u64) as usize, (bit % bits_per_word as u64) as u32)
+                (
+                    (bit / bits_per_word as u64) as usize,
+                    (bit % bits_per_word as u64) as u32,
+                )
             })
             .collect();
         flips.sort_unstable();
@@ -324,8 +327,8 @@ impl SramBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn weights(n: usize) -> Vec<i8> {
         (0..n).map(|i| ((i * 37 + 11) % 255) as u8 as i8).collect()
@@ -354,7 +357,10 @@ mod tests {
         for &p in &[1e-9, 1e-6, 1e-4] {
             let v = m.voltage_for_upset(p);
             let back = m.upset_prob(v);
-            assert!((back.log10() - p.log10()).abs() < 0.1, "p {p} v {v} back {back}");
+            assert!(
+                (back.log10() - p.log10()).abs() < 0.1,
+                "p {p} v {v} back {back}"
+            );
         }
     }
 

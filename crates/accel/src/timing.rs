@@ -193,7 +193,10 @@ mod tests {
         let mid = t.first_violating_bit(0.75);
         let lo = t.first_violating_bit(0.62);
         assert!(hi > mid && mid > lo, "cut bits: {hi} {mid} {lo}");
-        assert!(hi >= 16, "at 0.85 V only high bits should violate, got {hi}");
+        assert!(
+            hi >= 16,
+            "at 0.85 V only high bits should violate, got {hi}"
+        );
     }
 
     #[test]

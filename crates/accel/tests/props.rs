@@ -1,15 +1,15 @@
 //! Property-based tests for the accelerator substrate.
 
-use create_accel::ecc::{CODE_BITS, Codeword, Decoded};
-use create_accel::inject::{ErrorModel, InjectionTarget, Injector, sample_poisson};
-use create_accel::scheme::{Scheme, apply_scheme};
-use create_accel::sram::{MemoryFaultModel, Protection, SramBuffer};
-use create_accel::timing::{ACC_BITS, TimingModel, V_NOMINAL};
 use create_accel::array;
+use create_accel::ecc::{Codeword, Decoded, CODE_BITS};
+use create_accel::inject::{sample_poisson, ErrorModel, InjectionTarget, Injector};
+use create_accel::scheme::{apply_scheme, Scheme};
+use create_accel::sram::{MemoryFaultModel, Protection, SramBuffer};
+use create_accel::timing::{TimingModel, ACC_BITS, V_NOMINAL};
 use create_tensor::{Matrix, Precision, QuantMatrix};
 use proptest::prelude::*;
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

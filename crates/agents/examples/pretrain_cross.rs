@@ -1,5 +1,5 @@
-use create_agents::AgentSystem;
 use create_agents::presets::{ControllerPreset, PlannerPreset};
+use create_agents::AgentSystem;
 
 fn main() {
     let _ = AgentSystem::build(PlannerPreset::openvla(), ControllerPreset::octo());

@@ -1,9 +1,9 @@
-use create_agents::bundle::{AgentSystem, ACT_TEMPERATURE};
 use create_accel::Accelerator;
+use create_agents::bundle::{AgentSystem, ACT_TEMPERATURE};
 use create_env::{TaskId, World};
 use create_tensor::Precision;
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() {
@@ -11,16 +11,29 @@ fn main() {
     let sys = AgentSystem::jarvis();
     println!("build/load took {:.1}s", t0.elapsed().as_secs_f64());
     println!("planner params: {}", sys.planner.param_count());
-    println!("planner outlier ratio: {:.2}", sys.planner.outlier_ratio(&sys.plan_samples[..20]));
-    println!("planner accuracy: {:.3}", sys.planner.plan_accuracy(&sys.plan_samples));
-    println!("controller agreement: {:.3}", sys.controller.agreement(&sys.bc_samples[..2000.min(sys.bc_samples.len())]));
+    println!(
+        "planner outlier ratio: {:.2}",
+        sys.planner.outlier_ratio(&sys.plan_samples[..20])
+    );
+    println!(
+        "planner accuracy: {:.3}",
+        sys.planner.plan_accuracy(&sys.plan_samples)
+    );
+    println!(
+        "controller agreement: {:.3}",
+        sys.controller
+            .agreement(&sys.bc_samples[..2000.min(sys.bc_samples.len())])
+    );
 
     let planner = sys.deploy_planner(false, Precision::Int8);
     let planner_wr = sys.deploy_planner(true, Precision::Int8);
     let controller = sys.deploy_controller(Precision::Int8);
     let mut accel = Accelerator::ideal(1);
     let plan = planner.decode(&mut accel, TaskId::Wooden, &[]);
-    println!("quant plan (wooden): {:?}", plan.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "quant plan (wooden): {:?}",
+        plan.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+    );
     let plan_wr = planner_wr.decode(&mut accel, TaskId::Wooden, &[]);
     println!("WR plan matches: {}", plan == plan_wr);
 
@@ -40,18 +53,30 @@ fn main() {
                 if world.subtask_complete() {
                     idx += 1;
                     subtask_steps = 0;
-                    if idx >= plan.len() { break; }
+                    if idx >= plan.len() {
+                        break;
+                    }
                     world.set_subtask(plan[idx]);
                     continue;
                 }
-                if subtask_steps > 300 { break; } // no replan in smoke test
+                if subtask_steps > 300 {
+                    break;
+                } // no replan in smoke test
                 let obs = world.observe();
-                let (action, _entropy) = controller.act(&mut accel, &obs, ACT_TEMPERATURE, &mut rng);
+                let (action, _entropy) =
+                    controller.act(&mut accel, &obs, ACT_TEMPERATURE, &mut rng);
                 world.step(action);
                 subtask_steps += 1;
             }
-            if world.task_goal_met() { success += 1; steps_sum += world.steps(); }
+            if world.task_goal_met() {
+                success += 1;
+                steps_sum += world.steps();
+            }
         }
-        println!("{task}: {success}/12 golden success, avg steps {} ({:.2}s)", if success>0 {steps_sum/success} else {0}, t1.elapsed().as_secs_f64());
+        println!(
+            "{task}: {success}/12 golden success, avg steps {} ({:.2}s)",
+            steps_sum.checked_div(success).unwrap_or(0),
+            t1.elapsed().as_secs_f64()
+        );
     }
 }

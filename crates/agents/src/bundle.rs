@@ -16,8 +16,8 @@ use create_env::{Benchmark, TaskId};
 use create_nn::linear::Linear;
 use create_tensor::hadamard::Rotation;
 use create_tensor::{Matrix, Precision};
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::path::PathBuf;
 
 /// Deployment temperature for controller action sampling.
@@ -68,7 +68,11 @@ fn t2v(tensors: &[NamedTensor], name: &str) -> Option<Vec<f32>> {
 // ---------------------------------------------------------------------------
 
 fn planner_to_tensors(p: &PlannerModel) -> Vec<NamedTensor> {
-    let mut out = vec![m2t("embed", &p.embed), m2t("pos", &p.pos), m2t("head", &p.head.w)];
+    let mut out = vec![
+        m2t("embed", &p.embed),
+        m2t("pos", &p.pos),
+        m2t("head", &p.head.w),
+    ];
     for (l, b) in p.blocks.iter().enumerate() {
         out.push(m2t(&format!("b{l}.wq"), &b.attn.wq.w));
         out.push(m2t(&format!("b{l}.wk"), &b.attn.wk.w));
@@ -219,7 +223,10 @@ impl AgentSystem {
     }
 
     /// Builds (or loads) an arbitrary planner/controller pairing.
-    pub fn build(planner_preset: PlannerPreset, controller_preset: ControllerPreset) -> AgentSystem {
+    pub fn build(
+        planner_preset: PlannerPreset,
+        controller_preset: ControllerPreset,
+    ) -> AgentSystem {
         let plan_samples = vocab::training_samples();
         let planner = load_or_train_planner(&planner_preset, &plan_samples);
         let (controller, bc_samples) = load_or_train_controller(&controller_preset);
@@ -258,7 +265,10 @@ impl AgentSystem {
 }
 
 fn cache_file(kind: &str, name: &str) -> PathBuf {
-    io::cache_dir().join(format!("{kind}_{}_v4.bin", name.to_lowercase().replace('-', "")))
+    io::cache_dir().join(format!(
+        "{kind}_{}_v4.bin",
+        name.to_lowercase().replace('-', "")
+    ))
 }
 
 fn load_or_train_planner(preset: &PlannerPreset, samples: &[PlanSample]) -> PlannerModel {
@@ -285,7 +295,11 @@ fn load_or_train_planner(preset: &PlannerPreset, samples: &[PlanSample]) -> Plan
 fn load_or_train_controller(preset: &ControllerPreset) -> (ControllerModel, Vec<BcSample>) {
     let tasks = controller_tasks(preset);
     // Calibration/BC data is regenerated deterministically (not cached).
-    let (seeds, cap) = if preset.name == "JARVIS-1" { (3, 500) } else { (4, 150) };
+    let (seeds, cap) = if preset.name == "JARVIS-1" {
+        (3, 500)
+    } else {
+        (4, 150)
+    };
     let samples = datasets::collect_bc(&tasks, seeds, cap, 0.06, TRAIN_SEED ^ 0xBC);
     let path = cache_file("controller", preset.name);
     if let Ok(tensors) = io::load_tensors(&path) {
@@ -319,7 +333,11 @@ fn load_or_train_predictor(
     }
     let tasks = controller_tasks(preset);
     let quant = controller.deploy(bc_samples, Precision::Int8);
-    let (seeds, cap) = if preset.name == "JARVIS-1" { (2, 400) } else { (2, 120) };
+    let (seeds, cap) = if preset.name == "JARVIS-1" {
+        (2, 400)
+    } else {
+        (2, 120)
+    };
     let samples = datasets::collect_entropy(
         &quant,
         &tasks,

@@ -12,17 +12,19 @@
 use crate::presets::ControllerPreset;
 use crate::vocab::{self};
 use create_accel::{Accelerator, Component, LayerCtx, Unit};
-use create_env::{Action, Observation, STATUS_DIMS, VIEW_CELLS};
 use create_env::observe::CELL_TYPES;
+use create_env::{Action, Observation, STATUS_DIMS, VIEW_CELLS};
 use create_nn::activation::{logits_entropy, softmax_rows};
-use create_nn::block::{ActivationTap, ControllerBlock, ControllerBlockGrads, QuantControllerBlock};
+use create_nn::block::{
+    ActivationTap, ControllerBlock, ControllerBlockGrads, QuantControllerBlock,
+};
 use create_nn::calibrate::{Cal, ControllerBlockCal};
 use create_nn::linear::{Linear, LinearGrads, QuantLinear};
 use create_nn::norm::{layernorm, layernorm_backward, layernorm_with_stats};
 use create_nn::optim::{AdamState, AdamWConfig};
 use create_tensor::{Matrix, Precision};
-use rand::Rng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 
 /// Quantization margin for profiled maxima.
 pub const QUANT_MARGIN: f32 = 1.25;
@@ -49,7 +51,11 @@ pub struct BcSample {
 pub fn view_one_hot(obs: &Observation) -> Matrix {
     let mut m = Matrix::zeros(1, VIEW_FEATURES);
     for (cell, &id) in obs.view.iter().enumerate() {
-        m.set(0, cell * CELL_TYPES + (id as usize).min(CELL_TYPES - 1), 1.0);
+        m.set(
+            0,
+            cell * CELL_TYPES + (id as usize).min(CELL_TYPES - 1),
+            1.0,
+        );
     }
     m
 }
@@ -280,16 +286,42 @@ impl ControllerModel {
                 step += 1;
                 opt.view
                     .step_matrix(&mut self.view_embed.w, &grads.view.dw.scale(s), &cfg, step);
-                step_bias(&mut opt.view_b, &mut self.view_embed.b, &grads.view.db, s, &cfg, step);
+                step_bias(
+                    &mut opt.view_b,
+                    &mut self.view_embed.b,
+                    &grads.view.db,
+                    s,
+                    &cfg,
+                    step,
+                );
                 opt.stat
                     .step_matrix(&mut self.stat_embed.w, &grads.stat.dw.scale(s), &cfg, step);
-                step_bias(&mut opt.stat_b, &mut self.stat_embed.b, &grads.stat.db, s, &cfg, step);
-                opt.subtask
-                    .step_matrix(&mut self.subtask_embed, &grads.subtask.scale(s), &cfg, step);
-                opt.cls.step_matrix(&mut self.cls, &grads.cls.scale(s), &cfg, step);
+                step_bias(
+                    &mut opt.stat_b,
+                    &mut self.stat_embed.b,
+                    &grads.stat.db,
+                    s,
+                    &cfg,
+                    step,
+                );
+                opt.subtask.step_matrix(
+                    &mut self.subtask_embed,
+                    &grads.subtask.scale(s),
+                    &cfg,
+                    step,
+                );
+                opt.cls
+                    .step_matrix(&mut self.cls, &grads.cls.scale(s), &cfg, step);
                 opt.head
                     .step_matrix(&mut self.head.w, &grads.head.dw.scale(s), &cfg, step);
-                step_bias(&mut opt.head_b, &mut self.head.b, &grads.head.db, s, &cfg, step);
+                step_bias(
+                    &mut opt.head_b,
+                    &mut self.head.b,
+                    &grads.head.db,
+                    s,
+                    &cfg,
+                    step,
+                );
                 for (l, b) in self.blocks.iter_mut().enumerate() {
                     let g = &grads.blocks[l];
                     let so = &mut opt.blocks[l];
@@ -519,8 +551,8 @@ mod tests {
     use super::*;
     use crate::datasets;
     use create_env::TaskId;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn tiny_preset() -> ControllerPreset {
         ControllerPreset {
@@ -544,13 +576,7 @@ mod tests {
     fn bc_training_clones_the_expert() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut model = ControllerModel::new(&tiny_preset(), &mut rng);
-        let samples = datasets::collect_bc(
-            &[TaskId::Log, TaskId::Seed],
-            3,
-            400,
-            0.05,
-            7,
-        );
+        let samples = datasets::collect_bc(&[TaskId::Log, TaskId::Seed], 3, 400, 0.05, 7);
         assert!(samples.len() > 300, "dataset too small: {}", samples.len());
         model.train(&samples, 12, 2e-3, &mut rng);
         let agree = model.agreement(&samples);

@@ -5,9 +5,9 @@ use crate::controller::{BcSample, QuantController};
 use create_accel::Accelerator;
 use create_env::{Action, TaskId, World};
 use create_nn::Tensor3;
+use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rand::rngs::StdRng;
 
 /// Label smoothing for BC soft targets.
 const SMOOTH: f32 = 0.02;

@@ -158,7 +158,11 @@ mod tests {
     fn roundtrip_preserves_tensors() {
         let tensors = vec![
             NamedTensor::new("a", vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
-            NamedTensor::new("b.nested", vec![4], vec![-1.5, 0.0, 7.25, f32::MIN_POSITIVE]),
+            NamedTensor::new(
+                "b.nested",
+                vec![4],
+                vec![-1.5, 0.0, 7.25, f32::MIN_POSITIVE],
+            ),
         ];
         let path = tmp_path("roundtrip.bin");
         save_tensors(&path, &tensors).unwrap();

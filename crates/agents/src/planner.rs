@@ -30,8 +30,8 @@ use create_nn::norm::{rmsnorm, rmsnorm_backward, rmsnorm_with_stats};
 use create_nn::optim::{AdamState, AdamWConfig};
 use create_tensor::hadamard::Rotation;
 use create_tensor::{Matrix, Precision};
-use rand::Rng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 
 /// Quantization margin applied to profiled maxima (loose enough that clean
 /// data never trips anomaly detection, tight enough to keep bounds useful).
@@ -212,9 +212,8 @@ impl PlannerModel {
             let target = tokens[p + 1];
             loss -= probs.get(p, target).max(1e-9).ln() / n_targets;
             for vtok in 0..VOCAB {
-                let grad = (probs.get(p, vtok)
-                    - if vtok == target { 1.0 } else { 0.0 })
-                    / n_targets;
+                let grad =
+                    (probs.get(p, vtok) - if vtok == target { 1.0 } else { 0.0 }) / n_targets;
                 dlogits.set(p, vtok, grad);
             }
         }
@@ -238,8 +237,7 @@ impl PlannerModel {
                 // mean_r (x[r,k] - target_l)² — every token is pushed to
                 // carry the outlier channel, which is what makes the
                 // outliers *systematic* (fixed channels, all tokens).
-                let target_l =
-                    spec.target * l as f32 / (self.blocks.len() - 1).max(1) as f32;
+                let target_l = spec.target * l as f32 / (self.blocks.len() - 1).max(1) as f32;
                 let x_l = &inputs[l];
                 let n = x_l.rows() as f32;
                 for r in 0..x_l.rows() {
@@ -398,8 +396,7 @@ impl PlannerModel {
         let mut record = |x: &Matrix| {
             for r in 0..x.rows() {
                 let row = x.row(r);
-                let ms: f32 =
-                    row.iter().map(|v| v * v).sum::<f32>() / x.cols() as f32;
+                let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / x.cols() as f32;
                 let peak = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
                 if ms > 1e-12 {
                     ratio_sum += (peak / ms.sqrt()) as f64;
@@ -587,8 +584,8 @@ fn argmax(values: &[f32]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     /// A small planner + few-task sample set that trains in seconds.
     fn tiny_setup() -> (PlannerModel, Vec<PlanSample>) {
@@ -603,9 +600,11 @@ mod tests {
         let model = PlannerModel::new(&preset, &mut rng);
         let samples: Vec<PlanSample> = vocab::training_samples()
             .into_iter()
-            .filter(|s| s.tokens[0] == vocab::task_token(TaskId::Wooden)
-                || s.tokens[0] == vocab::task_token(TaskId::Log)
-                || s.tokens[0] == vocab::task_token(TaskId::Button))
+            .filter(|s| {
+                s.tokens[0] == vocab::task_token(TaskId::Wooden)
+                    || s.tokens[0] == vocab::task_token(TaskId::Log)
+                    || s.tokens[0] == vocab::task_token(TaskId::Button)
+            })
             .collect();
         (model, samples)
     }
@@ -634,7 +633,10 @@ mod tests {
             weight: 1.0,
         };
         model.train(&samples, 260, 3e-3, Some(spec), &mut rng);
-        assert!(model.plan_accuracy(&samples) > 0.99, "accuracy lost to aux loss");
+        assert!(
+            model.plan_accuracy(&samples) > 0.99,
+            "accuracy lost to aux loss"
+        );
         let ratio_before = model.outlier_ratio(&samples);
         assert!(
             ratio_before > 3.2,
@@ -679,7 +681,10 @@ mod tests {
         let a = model.forward(tokens);
         let b = rotated.forward(tokens);
         let scale = a.max_abs().max(1.0);
-        assert!(a.max_abs_diff(&b) / scale < 1e-2, "logit drift after rotation");
+        assert!(
+            a.max_abs_diff(&b) / scale < 1e-2,
+            "logit drift after rotation"
+        );
     }
 
     #[test]

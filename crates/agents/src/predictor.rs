@@ -14,17 +14,17 @@
 
 use crate::datasets::EntropySample;
 use create_nn::conv::{
-    Conv2d, Conv2dGrads, Tensor3, global_avgpool, global_avgpool_backward, maxpool2,
-    maxpool2_backward,
+    global_avgpool, global_avgpool_backward, maxpool2, maxpool2_backward, Conv2d, Conv2dGrads,
+    Tensor3,
 };
 use create_nn::linear::{Linear, LinearGrads};
 use create_nn::optim::{AdamState, AdamWConfig};
-use create_tensor::Matrix;
 use create_tensor::stats::r2_score;
-use rand::Rng;
-use rand::SeedableRng;
+use create_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
 
 /// Prompt embedding width (Table 9: Linear in=512).
 pub const PROMPT_DIM: usize = 512;
@@ -106,7 +106,8 @@ impl EntropyPredictor {
 
     /// Predicts the entropy for an image + subtask prompt.
     pub fn predict(&self, image: &Tensor3, subtask_token: usize) -> f32 {
-        self.forward(image, subtask_token, None, &mut StdRng::seed_from_u64(0)).0
+        self.forward(image, subtask_token, None, &mut StdRng::seed_from_u64(0))
+            .0
     }
 
     /// Forward pass; with `dropout_mask` Some, dropout is sampled into it.
@@ -114,7 +115,7 @@ impl EntropyPredictor {
         &self,
         image: &Tensor3,
         subtask_token: usize,
-        mut dropout_mask: Option<&mut Vec<f32>>,
+        dropout_mask: Option<&mut Vec<f32>>,
         rng: &mut impl Rng,
     ) -> (f32, PredictorCache) {
         let pre1 = self.conv1.forward(image);
@@ -138,7 +139,7 @@ impl EntropyPredictor {
         }
         let pre_f1 = self.fuse1.forward(&fused);
         let mut act_f1 = Matrix::from_fn(1, FUSED, |_, c| pre_f1.get(0, c).max(0.0));
-        if let Some(mask) = dropout_mask.as_deref_mut() {
+        if let Some(mask) = dropout_mask {
             mask.clear();
             for c in 0..FUSED {
                 let keep = if rng.random_range(0.0..1.0f32) < DROPOUT {
@@ -174,7 +175,9 @@ impl EntropyPredictor {
     /// Backward for one sample; `dout` is d(loss)/d(prediction).
     fn backward(&self, cache: &PredictorCache, dout: f32, grads: &mut PredictorGrads) {
         let dlogit = Matrix::from_vec(1, 1, vec![dout]);
-        let dact_f1 = self.fuse2.backward(&cache.act_f1, &dlogit, &mut grads.fuse2);
+        let dact_f1 = self
+            .fuse2
+            .backward(&cache.act_f1, &dlogit, &mut grads.fuse2);
         // ReLU (+ dropout folded into act_f1 already: mask applied in the
         // cached activation, so gradient flows through nonzero entries).
         let dpre_f1 = Matrix::from_fn(1, FUSED, |_, c| {
@@ -184,7 +187,9 @@ impl EntropyPredictor {
                 0.0
             }
         });
-        let dfused = self.fuse1.backward(&cache.fused, &dpre_f1, &mut grads.fuse1);
+        let dfused = self
+            .fuse1
+            .backward(&cache.fused, &dpre_f1, &mut grads.fuse1);
         // Split fused gradient.
         let mut dimg = vec![0.0f32; 64];
         let mut dprompt_feat = Matrix::zeros(1, 64);
@@ -207,13 +212,7 @@ impl EntropyPredictor {
     }
 
     /// Trains with MSE + AdamW; returns the final epoch's mean MSE.
-    pub fn train(
-        &mut self,
-        samples: &[EntropySample],
-        epochs: usize,
-        lr: f32,
-        seed: u64,
-    ) -> f32 {
+    pub fn train(&mut self, samples: &[EntropySample], epochs: usize, lr: f32, seed: u64) -> f32 {
         let cfg = AdamWConfig {
             lr,
             weight_decay: 1e-2,
@@ -260,12 +259,18 @@ impl EntropyPredictor {
                     self.backward(&cache, 2.0 * err / chunk.len() as f32, &mut grads);
                 }
                 step += 1;
-                opt.conv1_w.step(&mut self.conv1.weight, &grads.conv1.dw, &cfg, step);
-                opt.conv1_b.step(&mut self.conv1.bias, &grads.conv1.db, &cfg, step);
-                opt.conv2_w.step(&mut self.conv2.weight, &grads.conv2.dw, &cfg, step);
-                opt.conv2_b.step(&mut self.conv2.bias, &grads.conv2.db, &cfg, step);
-                opt.conv3_w.step(&mut self.conv3.weight, &grads.conv3.dw, &cfg, step);
-                opt.conv3_b.step(&mut self.conv3.bias, &grads.conv3.db, &cfg, step);
+                opt.conv1_w
+                    .step(&mut self.conv1.weight, &grads.conv1.dw, &cfg, step);
+                opt.conv1_b
+                    .step(&mut self.conv1.bias, &grads.conv1.db, &cfg, step);
+                opt.conv2_w
+                    .step(&mut self.conv2.weight, &grads.conv2.dw, &cfg, step);
+                opt.conv2_b
+                    .step(&mut self.conv2.bias, &grads.conv2.db, &cfg, step);
+                opt.conv3_w
+                    .step(&mut self.conv3.weight, &grads.conv3.dw, &cfg, step);
+                opt.conv3_b
+                    .step(&mut self.conv3.bias, &grads.conv3.db, &cfg, step);
                 opt.prompt
                     .step_matrix(&mut self.prompt_proj.w, &grads.prompt_proj.dw, &cfg, step);
                 if let (Some(b), Some(g)) =
@@ -273,11 +278,13 @@ impl EntropyPredictor {
                 {
                     opt.prompt_b.step(b, g, &cfg, step);
                 }
-                opt.fuse1.step_matrix(&mut self.fuse1.w, &grads.fuse1.dw, &cfg, step);
+                opt.fuse1
+                    .step_matrix(&mut self.fuse1.w, &grads.fuse1.dw, &cfg, step);
                 if let (Some(b), Some(g)) = (self.fuse1.b.as_mut(), grads.fuse1.db.as_ref()) {
                     opt.fuse1_b.step(b, g, &cfg, step);
                 }
-                opt.fuse2.step_matrix(&mut self.fuse2.w, &grads.fuse2.dw, &cfg, step);
+                opt.fuse2
+                    .step_matrix(&mut self.fuse2.w, &grads.fuse2.dw, &cfg, step);
                 if let (Some(b), Some(g)) = (self.fuse2.b.as_mut(), grads.fuse2.db.as_ref()) {
                     opt.fuse2_b.step(b, g, &cfg, step);
                 }

@@ -5,8 +5,8 @@
 //! executes the math; joules follow Table 4), and the error injector's
 //! scale model bridges the proxy/reference size gap (see DESIGN.md).
 
-use create_accel::InferenceCost;
 use create_accel::cycles::ArrayConfig;
+use create_accel::InferenceCost;
 
 /// A planner platform (paper Table 7 + Table 4).
 #[derive(Debug, Clone, Copy, PartialEq)]

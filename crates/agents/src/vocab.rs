@@ -6,7 +6,7 @@
 //! same model both plans from scratch and replans mid-mission (the paper's
 //! planner is re-invoked when a subtask stalls, Sec. 2.1).
 
-use create_env::{SUBTASK_VOCAB, Subtask, TaskId};
+use create_env::{Subtask, TaskId, SUBTASK_VOCAB};
 
 /// Number of task tokens.
 pub const N_TASKS: usize = TaskId::ALL.len();
@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn vocab_layout_is_consistent() {
-        assert!(VOCAB > N_TASKS + N_SUBTASKS);
+        const { assert!(VOCAB > N_TASKS + N_SUBTASKS) };
         assert_eq!(PAD, VOCAB - 1);
         assert!(SEP > task_token(TaskId::Place));
     }

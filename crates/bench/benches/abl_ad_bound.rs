@@ -16,9 +16,18 @@
 //! profiled max, which is equivalent to moving left along this sweep
 //! without the golden-clipping penalty.
 
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_bench::{banner, emit, jarvis_deployment, LabeledGrid, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
+
+/// Shared row emitter for the three bound-scale panels.
+fn emit_scale_rows(t: &mut TextTable, results: Vec<(Vec<String>, SweepPoint)>) {
+    for (label, p) in results {
+        let mut row = label;
+        row.extend([pct(p.success_rate), format!("{:.0}", p.avg_steps)]);
+        t.row(row);
+    }
+}
 
 fn main() {
     let _t = Stopwatch::start("abl_ad_bound");
@@ -31,6 +40,7 @@ fn main() {
         "golden missions under scaled output bounds (wooden): tight bounds clip real data",
     );
     let mut t = TextTable::new(vec!["bound_scale", "success_rate", "avg_steps"]);
+    let mut grid = LabeledGrid::new();
     for &scale in &scales {
         let config = CreateConfig {
             planner_ad: true,
@@ -38,13 +48,9 @@ fn main() {
             ad_bound_scale: scale,
             ..CreateConfig::golden()
         };
-        let p = run_point(&dep, TaskId::Wooden, &config, reps, 0xADB0);
-        t.row(vec![
-            format!("{scale:.2}x"),
-            pct(p.success_rate),
-            format!("{:.0}", p.avg_steps),
-        ]);
+        grid.push(vec![format!("{scale:.2}x")], TaskId::Wooden, config);
     }
+    emit_scale_rows(&mut t, grid.run(&dep, reps, 0xADB0));
     emit(&t, "abl_ad_bound_golden");
 
     banner(
@@ -52,6 +58,7 @@ fn main() {
         "planner @BER 1e-6 under scaled bounds: loose bounds admit residual errors",
     );
     let mut t = TextTable::new(vec!["bound_scale", "success_rate", "avg_steps"]);
+    let mut grid = LabeledGrid::new();
     for &scale in &scales {
         let config = CreateConfig {
             planner_error: Some(ErrorSpec::uniform(1e-6)),
@@ -60,20 +67,14 @@ fn main() {
             ad_bound_scale: scale,
             ..CreateConfig::golden()
         };
-        let p = run_point(&dep, TaskId::Wooden, &config, reps, 0xADB1);
-        t.row(vec![
-            format!("{scale:.2}x"),
-            pct(p.success_rate),
-            format!("{:.0}", p.avg_steps),
-        ]);
+        grid.push(vec![format!("{scale:.2}x")], TaskId::Wooden, config);
     }
+    emit_scale_rows(&mut t, grid.run(&dep, reps, 0xADB1));
     emit(&t, "abl_ad_bound_planner");
 
-    banner(
-        "Abl. AD(c)",
-        "controller @BER 5e-3 under scaled bounds",
-    );
+    banner("Abl. AD(c)", "controller @BER 5e-3 under scaled bounds");
     let mut t = TextTable::new(vec!["bound_scale", "success_rate", "avg_steps"]);
+    let mut grid = LabeledGrid::new();
     for &scale in &scales {
         let config = CreateConfig {
             controller_error: Some(ErrorSpec::uniform(5e-3)),
@@ -82,13 +83,9 @@ fn main() {
             ad_bound_scale: scale,
             ..CreateConfig::golden()
         };
-        let p = run_point(&dep, TaskId::Wooden, &config, reps, 0xADB2);
-        t.row(vec![
-            format!("{scale:.2}x"),
-            pct(p.success_rate),
-            format!("{:.0}", p.avg_steps),
-        ]);
+        grid.push(vec![format!("{scale:.2}x")], TaskId::Wooden, config);
     }
+    emit_scale_rows(&mut t, grid.run(&dep, reps, 0xADB2));
     emit(&t, "abl_ad_bound_controller");
     println!(
         "Expected shape: an inverted U — quality loss from golden clipping\n\

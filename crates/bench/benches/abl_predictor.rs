@@ -17,11 +17,11 @@
 use create_agents::datasets::{self, EntropySample};
 use create_agents::predictor::EntropyPredictor;
 use create_agents::{bundle, vocab};
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_bench::{banner, emit, jarvis_deployment, Stopwatch};
 use create_core::prelude::*;
 use create_nn::Tensor3;
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Masks one modality out of a frame set.
 fn mask(samples: &[EntropySample], image_on: bool, prompt_on: bool) -> Vec<EntropySample> {

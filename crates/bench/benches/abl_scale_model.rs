@@ -10,7 +10,7 @@
 //! curve — a sharp cliff — is scale-invariant, so the paper's qualitative
 //! conclusions do not depend on the calibrated value.
 
-use create_bench::{Stopwatch, banner, ber_grid, emit, jarvis_deployment};
+use create_bench::{banner, ber_grid, emit, jarvis_deployment, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
 

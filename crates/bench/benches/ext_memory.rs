@@ -16,9 +16,53 @@
 //! assumption, quantified.
 
 use create_accel::sram::{MemoryFaultModel, Protection, SECDED_READ_ENERGY_OVERHEAD};
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_bench::{banner, emit, jarvis_deployment, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
+
+/// One memory cell per (voltage, protection) pair — the whole panel runs
+/// as a single engine grid instead of one pool per point.
+fn grid_cells<'a>(
+    dep: &'a Deployment,
+    target: MemTarget,
+    voltages: &[f64],
+    reps: u32,
+) -> Vec<MemoryCell<'a>> {
+    voltages
+        .iter()
+        .flat_map(|&v| {
+            [Protection::None, Protection::Secded].map(|protection| MemoryCell {
+                dep,
+                task: TaskId::Wooden,
+                config: CreateConfig::golden(),
+                target,
+                mem: MemoryConfig::new(v, protection),
+                trials: reps,
+            })
+        })
+        .collect()
+}
+
+/// Runs one panel's grid and emits its rows: cells are built once, so a
+/// row's label and its results always come from the same cell.
+fn run_panel(t: &mut TextTable, cells: Vec<MemoryCell<'_>>, seed: u64) {
+    let labels: Vec<(f64, String)> = cells
+        .iter()
+        .map(|c| (c.mem.voltage, c.mem.protection.to_string()))
+        .collect();
+    for ((voltage, protection), p) in labels.into_iter().zip(run_memory_grid(cells, seed)) {
+        t.row(vec![
+            format!("{voltage:.2}"),
+            protection,
+            pct(p.sweep.success_rate),
+            format!("{:.0}", p.sweep.avg_steps),
+            p.stats.bits_upset.to_string(),
+            p.stats.words_corrected.to_string(),
+            p.stats.words_detected.to_string(),
+            sci(p.stats.corrupt_fraction()),
+        ]);
+    }
+}
 
 fn main() {
     let _t = Stopwatch::start("ext_memory");
@@ -52,30 +96,12 @@ fn main() {
         "uncorrectable",
         "corrupt_words",
     ]);
-    for &v in &[0.80, 0.74, 0.70, 0.68, 0.67, 0.66] {
-        for protection in [Protection::None, Protection::Secded] {
-            let mem = MemoryConfig::new(v, protection);
-            let p = run_memory_point(
-                &dep,
-                TaskId::Wooden,
-                &CreateConfig::golden(),
-                MemTarget::Controller,
-                &mem,
-                reps,
-                0xE17,
-            );
-            t.row(vec![
-                format!("{v:.2}"),
-                protection.to_string(),
-                pct(p.sweep.success_rate),
-                format!("{:.0}", p.sweep.avg_steps),
-                p.stats.bits_upset.to_string(),
-                p.stats.words_corrected.to_string(),
-                p.stats.words_detected.to_string(),
-                sci(p.stats.corrupt_fraction()),
-            ]);
-        }
-    }
+    let voltages = [0.80, 0.74, 0.70, 0.68, 0.67, 0.66];
+    run_panel(
+        &mut t,
+        grid_cells(&dep, MemTarget::Controller, &voltages, reps),
+        0xE17,
+    );
     emit(&t, "ext_memory_controller");
 
     banner(
@@ -92,34 +118,20 @@ fn main() {
         "uncorrectable",
         "corrupt_words",
     ]);
-    for &v in &[0.80, 0.74, 0.70, 0.69, 0.68, 0.67, 0.66] {
-        for protection in [Protection::None, Protection::Secded] {
-            let mem = MemoryConfig::new(v, protection);
-            let p = run_memory_point(
-                &dep,
-                TaskId::Wooden,
-                &CreateConfig::golden(),
-                MemTarget::Planner,
-                &mem,
-                reps,
-                0xE17B,
-            );
-            t.row(vec![
-                format!("{v:.2}"),
-                protection.to_string(),
-                pct(p.sweep.success_rate),
-                format!("{:.0}", p.sweep.avg_steps),
-                p.stats.bits_upset.to_string(),
-                p.stats.words_corrected.to_string(),
-                p.stats.words_detected.to_string(),
-                sci(p.stats.corrupt_fraction()),
-            ]);
-        }
-    }
+    let voltages = [0.80, 0.74, 0.70, 0.69, 0.68, 0.67, 0.66];
+    run_panel(
+        &mut t,
+        grid_cells(&dep, MemTarget::Planner, &voltages, reps),
+        0xE17B,
+    );
     emit(&t, "ext_memory_planner");
 
     banner("Ext. M(d)", "protection overheads (fixed, by construction)");
-    let mut t = TextTable::new(vec!["protection", "storage_overhead", "read_energy_overhead"]);
+    let mut t = TextTable::new(vec![
+        "protection",
+        "storage_overhead",
+        "read_energy_overhead",
+    ]);
     for protection in [Protection::None, Protection::Secded] {
         t.row(vec![
             protection.to_string(),

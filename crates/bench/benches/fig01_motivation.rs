@@ -3,9 +3,9 @@
 //! steps (c), which ultimately *increases* energy per task (d) — the
 //! efficiency-reliability tension CREATE resolves.
 
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
-use create_core::prelude::*;
 use create_accel::TimingModel;
+use create_bench::{banner, emit, jarvis_deployment, LabeledGrid, Stopwatch};
+use create_core::prelude::*;
 use create_env::TaskId;
 
 fn main() {
@@ -16,7 +16,10 @@ fn main() {
     let mut t = TextTable::new(vec!["voltage_v", "ber"]);
     let mut v = 0.90;
     while v > 0.759 {
-        t.row(vec![format!("{v:.2}"), format!("{:.2e}", timing.aggregate_ber(v))]);
+        t.row(vec![
+            format!("{v:.2}"),
+            format!("{:.2e}", timing.aggregate_ber(v)),
+        ]);
         v -= 0.01;
     }
     emit(&t, "fig01b_voltage_ber");
@@ -27,21 +30,23 @@ fn main() {
     );
     let dep = jarvis_deployment();
     let reps = default_reps();
-    let mut t = TextTable::new(vec![
-        "voltage_v",
-        "success_rate",
-        "avg_steps",
-        "energy_j",
-    ]);
+    let mut t = TextTable::new(vec!["voltage_v", "success_rate", "avg_steps", "energy_j"]);
+    let mut grid = LabeledGrid::new();
     for v in [0.90, 0.88, 0.87, 0.86, 0.85, 0.84, 0.82] {
-        let config = CreateConfig::undervolted(v);
-        let p = run_point(&dep, TaskId::Stone, &config, reps, 0x01);
-        t.row(vec![
-            format!("{v:.2}"),
+        grid.push(
+            vec![format!("{v:.2}")],
+            TaskId::Stone,
+            CreateConfig::undervolted(v),
+        );
+    }
+    for (label, p) in grid.run(&dep, reps, 0x01) {
+        let mut row = label;
+        row.extend([
             pct(p.success_rate),
             format!("{:.0}", p.avg_steps),
             format!("{:.2}", p.avg_energy_j),
         ]);
+        t.row(row);
     }
     emit(&t, "fig01cd_quality_energy");
     println!(

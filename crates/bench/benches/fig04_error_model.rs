@@ -5,13 +5,13 @@
 //! far outside normal data, which is what anomaly detection exploits.
 
 use create_accel::inject::flip_acc_bit;
-use create_accel::timing::{ACC_BITS, TimingModel};
-use create_bench::{Stopwatch, banner, emit};
+use create_accel::timing::{TimingModel, ACC_BITS};
+use create_bench::{banner, emit, Stopwatch};
 use create_core::prelude::*;
 use create_tensor::stats::Histogram;
+use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rand::rngs::StdRng;
 
 fn main() {
     let _t = Stopwatch::start("fig04");
@@ -22,8 +22,10 @@ fn main() {
     let mut header = vec!["bit".to_string()];
     header.extend(voltages.iter().map(|v| format!("{v:.2}V")));
     let mut t = TextTable::new(header);
-    let probs: Vec<[f64; ACC_BITS]> =
-        voltages.iter().map(|&v| timing.bit_error_probs(v)).collect();
+    let probs: Vec<[f64; ACC_BITS]> = voltages
+        .iter()
+        .map(|&v| timing.bit_error_probs(v))
+        .collect();
     for bit in (0..ACC_BITS).rev() {
         let mut row = vec![bit.to_string()];
         for p in &probs {
@@ -55,7 +57,11 @@ fn main() {
     for _ in 0..200_000 {
         let u: f64 = rng.random_range(1e-12..1.0);
         let magnitude = (-u.ln() * 200.0) as i32;
-        let value = if rng.random_range(0.0..1.0) < 0.5 { magnitude } else { -magnitude };
+        let value = if rng.random_range(0.0..1.0) < 0.5 {
+            magnitude
+        } else {
+            -magnitude
+        };
         data_hist.push((value.unsigned_abs().max(1) as f32).log2());
         // Draw a flipped bit from the voltage-conditioned distribution.
         let mut r = rng.random_range(0.0..total);

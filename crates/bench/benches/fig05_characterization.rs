@@ -14,13 +14,13 @@
 
 use create_accel::{Accelerator, Component, InjectionTarget};
 use create_agents::vocab;
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_bench::{banner, emit, jarvis_deployment, Stopwatch};
 use create_core::prelude::*;
 use create_env::{TaskId, World};
 use create_nn::block::ActivationTap;
 use create_nn::norm::{layernorm_with_stats, rmsnorm_with_stats};
-use create_tensor::Matrix;
 use create_tensor::stats::{mean, std_dev};
+use create_tensor::Matrix;
 
 fn sweep(
     dep: &Deployment,
@@ -31,23 +31,27 @@ fn sweep(
     reps: u32,
     seed: u64,
 ) -> Vec<(f64, SweepPoint)> {
+    // One engine grid per sweep: every trial of every BER fans out over
+    // the same worker pool.
+    let cells = bers.iter().map(|&ber| {
+        let mut spec = ErrorSpec::uniform(ber);
+        spec.target = target;
+        let config = if unit_is_planner {
+            CreateConfig {
+                planner_error: Some(spec),
+                ..CreateConfig::golden()
+            }
+        } else {
+            CreateConfig {
+                controller_error: Some(spec),
+                ..CreateConfig::golden()
+            }
+        };
+        (task, config)
+    });
     bers.iter()
-        .map(|&ber| {
-            let mut spec = ErrorSpec::uniform(ber);
-            spec.target = target;
-            let config = if unit_is_planner {
-                CreateConfig {
-                    planner_error: Some(spec),
-                    ..CreateConfig::golden()
-                }
-            } else {
-                CreateConfig {
-                    controller_error: Some(spec),
-                    ..CreateConfig::golden()
-                }
-            };
-            (ber, run_point(dep, task, &config, reps, seed))
-        })
+        .copied()
+        .zip(run_config_grid(dep, cells, reps, seed))
         .collect()
 }
 
@@ -58,9 +62,24 @@ fn main() {
 
     banner("Fig. 5(a)(b)", "planner resilience (controller golden)");
     let planner_bers = [1e-9, 1e-8, 2e-8, 5e-8, 1e-7, 3e-7, 1e-6];
-    let mut t = TextTable::new(vec!["ber", "task", "success_rate", "avg_steps", "ci_low", "ci_high"]);
+    let mut t = TextTable::new(vec![
+        "ber",
+        "task",
+        "success_rate",
+        "avg_steps",
+        "ci_low",
+        "ci_high",
+    ]);
     for task in [TaskId::Wooden, TaskId::Stone] {
-        for (ber, p) in sweep(&dep, task, true, InjectionTarget::All, &planner_bers, reps, 0x5A) {
+        for (ber, p) in sweep(
+            &dep,
+            task,
+            true,
+            InjectionTarget::All,
+            &planner_bers,
+            reps,
+            0x5A,
+        ) {
             t.row(vec![
                 sci(ber),
                 task.to_string(),
@@ -75,9 +94,24 @@ fn main() {
 
     banner("Fig. 5(c)(d)", "controller resilience (planner golden)");
     let controller_bers = [1e-6, 1e-5, 1e-4, 2e-4, 4e-4, 1e-3, 1e-2];
-    let mut t = TextTable::new(vec!["ber", "task", "success_rate", "avg_steps", "ci_low", "ci_high"]);
+    let mut t = TextTable::new(vec![
+        "ber",
+        "task",
+        "success_rate",
+        "avg_steps",
+        "ci_low",
+        "ci_high",
+    ]);
     for task in [TaskId::Wooden, TaskId::Stone] {
-        for (ber, p) in sweep(&dep, task, false, InjectionTarget::All, &controller_bers, reps, 0x5B) {
+        for (ber, p) in sweep(
+            &dep,
+            task,
+            false,
+            InjectionTarget::All,
+            &controller_bers,
+            reps,
+            0x5B,
+        ) {
             t.row(vec![
                 sci(ber),
                 task.to_string(),
@@ -142,7 +176,9 @@ fn main() {
     // Planner pre-norm activations on a representative decode context.
     let mut planner_tap = ActivationTap::default();
     let tokens = vocab::context_tokens(TaskId::Iron, &[]);
-    let _ = dep.planner.last_logits(&mut accel, &tokens, Some(&mut planner_tap));
+    let _ = dep
+        .planner
+        .last_logits(&mut accel, &tokens, Some(&mut planner_tap));
     // Controller pre-norm activations on a representative observation.
     let world = World::for_task(TaskId::Stone, 3);
     let obs = world.observe();
@@ -150,13 +186,17 @@ fn main() {
     let _ = dep.controller.logits(&mut accel, &obs, Some(&mut ctrl_tap));
 
     let mut t = TextTable::new(vec![
-        "unit", "site", "mean", "std", "max_abs", "peak_to_rms",
+        "unit",
+        "site",
+        "mean",
+        "std",
+        "max_abs",
+        "peak_to_rms",
     ]);
     let describe = |t: &mut TextTable, unit: &str, acts: &[Matrix]| {
         for (i, m) in acts.iter().enumerate() {
             let vals = m.as_slice();
-            let rms =
-                (vals.iter().map(|v| v * v).sum::<f32>() / vals.len() as f32).sqrt();
+            let rms = (vals.iter().map(|v| v * v).sum::<f32>() / vals.len() as f32).sqrt();
             t.row(vec![
                 unit.to_string(),
                 format!("block{i}"),
@@ -173,9 +213,7 @@ fn main() {
 
     // (k)(l): inject one large error into a pre-norm row and compare the
     // normalization statistics before/after.
-    let mut t = TextTable::new(vec![
-        "unit", "metric", "clean", "with_error", "skew_factor",
-    ]);
+    let mut t = TextTable::new(vec!["unit", "metric", "clean", "with_error", "skew_factor"]);
     let planner_x = planner_tap.pre_norm.last().expect("planner activations");
     let err_val = planner_x.max_abs() * 1.5;
     let row = planner_x.rows_range(0, 1);

@@ -3,7 +3,7 @@
 //! degrade abruptly beyond BER ≈ 1e-4, while stochastic animal/gathering
 //! tasks (`chicken`, `wool`) degrade gracefully.
 
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_bench::{banner, emit, jarvis_deployment, LabeledGrid, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
 
@@ -26,20 +26,20 @@ fn main() {
         "subtask resilience diversity (controller injection, planner golden)",
     );
     let mut t = TextTable::new(vec!["ber", "task", "success_rate", "avg_steps"]);
+    let mut grid = LabeledGrid::new();
     for &task in &tasks {
         for &ber in &bers {
             let config = CreateConfig {
                 controller_error: Some(ErrorSpec::uniform(ber)),
                 ..CreateConfig::golden()
             };
-            let p = run_point(&dep, task, &config, reps, 0x06);
-            t.row(vec![
-                sci(ber),
-                task.to_string(),
-                pct(p.success_rate),
-                format!("{:.0}", p.avg_steps),
-            ]);
+            grid.push(vec![sci(ber), task.to_string()], task, config);
         }
+    }
+    for (label, p) in grid.run(&dep, reps, 0x06) {
+        let mut row = label;
+        row.extend([pct(p.success_rate), format!("{:.0}", p.avg_steps)]);
+        t.row(row);
     }
     emit(&t, "fig06_subtask_diversity");
     println!(

@@ -16,7 +16,7 @@
 //!   deployment sets one voltage for whole phases, and phase duration is
 //!   then part of the risk calculus.
 
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_bench::{banner, emit, jarvis_deployment, LabeledGrid, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
 
@@ -96,6 +96,7 @@ fn main() {
     );
     let bers = [1e-4, 4e-4, 1e-3, 4e-3];
     let mut t = TextTable::new(vec!["ber", "phase", "success_rate", "avg_steps"]);
+    let mut grid = LabeledGrid::new();
     for (gate, name) in [
         (PhaseGate::ExplorationOnly, "exploration"),
         (PhaseGate::ExecutionOnly, "execution"),
@@ -107,14 +108,13 @@ fn main() {
                 controller_phase: gate,
                 ..CreateConfig::golden()
             };
-            let p = run_point(&dep, TaskId::Log, &config, reps, 0x07);
-            t.row(vec![
-                sci(ber),
-                name.to_string(),
-                pct(p.success_rate),
-                format!("{:.0}", p.avg_steps),
-            ]);
+            grid.push(vec![sci(ber), name.to_string()], TaskId::Log, config);
         }
+    }
+    for (label, p) in grid.run(&dep, reps, 0x07) {
+        let mut row = label;
+        row.extend([pct(p.success_rate), format!("{:.0}", p.avg_steps)]);
+        t.row(row);
     }
     emit(&t, "fig07b_stage_exposure");
     println!(

@@ -5,7 +5,7 @@
 
 use create_accel::{Accelerator, OutputProfiler};
 use create_agents::vocab;
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_bench::{banner, emit, jarvis_deployment, Stopwatch};
 use create_core::prelude::*;
 use create_env::{TaskId, World};
 
@@ -13,7 +13,10 @@ fn main() {
     let _t = Stopwatch::start("fig08");
     let dep = jarvis_deployment();
 
-    banner("Fig. 8(a)", "runtime GEMM output distribution (golden pipeline)");
+    banner(
+        "Fig. 8(a)",
+        "runtime GEMM output distribution (golden pipeline)",
+    );
     let mut accel = Accelerator::ideal(0);
     accel.set_profiler(Some(OutputProfiler::new(-40.0, 40.0, 40, 7)));
     // Drive both models over representative inputs.

@@ -3,7 +3,7 @@
 //! execution (chopping, crafting) — the runtime criticality indicator that
 //! autonomy-adaptive voltage scaling keys on.
 
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_bench::{banner, emit, jarvis_deployment, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
 
@@ -28,7 +28,13 @@ fn main() {
     let mut t = TextTable::new(vec!["step", "entropy", "phase"]);
     let max_h = (create_env::Action::COUNT as f32).ln();
     for (i, &h) in out.entropy_trace.iter().enumerate() {
-        let phase = if h < 0.4 { "critical" } else if h > 1.0 { "non-critical" } else { "mixed" };
+        let phase = if h < 0.4 {
+            "critical"
+        } else if h > 1.0 {
+            "non-critical"
+        } else {
+            "mixed"
+        };
         t.row(vec![i.to_string(), format!("{h:.3}"), phase.to_string()]);
     }
     emit(&t, "fig10_entropy_trace");

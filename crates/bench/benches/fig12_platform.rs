@@ -6,7 +6,7 @@ use create_accel::cycles::ArrayConfig;
 use create_accel::platform::Platform;
 use create_accel::Ldo;
 use create_agents::presets::{ControllerPreset, PlannerPreset, PredictorPreset};
-use create_bench::{Stopwatch, banner, emit};
+use create_bench::{banner, emit, Stopwatch};
 use create_core::prelude::*;
 
 fn main() {
@@ -22,7 +22,11 @@ fn main() {
         } else {
             format!("{:.2}-{:.2}", b.power_w_min, b.power_w_max)
         };
-        t.row(vec![b.name.to_string(), format!("{:.2}", b.area_mm2), power]);
+        t.row(vec![
+            b.name.to_string(),
+            format!("{:.2}", b.area_mm2),
+            power,
+        ]);
     }
     t.row(vec![
         "Total".to_string(),
@@ -48,7 +52,10 @@ fn main() {
     let controller = ControllerPreset::jarvis();
     let predictor = PredictorPreset::paper();
     let mut t = TextTable::new(vec!["metric", "value"]);
-    t.row(vec!["peak performance".into(), format!("{:.0} TOPS", array.peak_tops())]);
+    t.row(vec![
+        "peak performance".into(),
+        format!("{:.0} TOPS", array.peak_tops()),
+    ]);
     t.row(vec![
         "switching latency".into(),
         format!("{:.0} ns", Ldo::worst_case_latency() * 1e9),
@@ -81,7 +88,10 @@ fn main() {
     let realtime = platform.meets_realtime(controller.latency_s(&array), 30.0);
     println!("meets 30 Hz real-time requirement (controller + worst-case switch): {realtime}");
 
-    banner("Fig. 12(d)(e)", "example voltage-scaling waveform (LDO slews)");
+    banner(
+        "Fig. 12(d)(e)",
+        "example voltage-scaling waveform (LDO slews)",
+    );
     let mut ldo = Ldo::new();
     let mut t = TextTable::new(vec!["event", "target_v", "output_v", "settle_ns"]);
     for (i, v) in [0.86, 0.82, 0.78, 0.86, 0.80].iter().enumerate() {

@@ -5,7 +5,7 @@
 //! constant-voltage baselines; (e) the AD+WR ablation; (f) the AD+VS
 //! ablation. Fig. 21's entropy→voltage mappings are printed alongside (d).
 
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_bench::{banner, emit, jarvis_deployment, LabeledGrid, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
 
@@ -22,6 +22,7 @@ fn main() {
     );
     let planner_bers = [1e-8, 1e-7, 1e-6, 2e-6, 1e-5];
     let mut t = TextTable::new(vec!["task", "ber", "config", "success_rate", "avg_steps"]);
+    let mut grid = LabeledGrid::new();
     for &task in &tasks {
         for &ber in &planner_bers {
             for (name, ad, wr) in [
@@ -36,23 +37,29 @@ fn main() {
                     wr,
                     ..CreateConfig::golden()
                 };
-                let p = run_point(&dep, task, &config, reps, 0x13A);
-                t.row(vec![
-                    task.to_string(),
-                    sci(ber),
-                    name.to_string(),
-                    pct(p.success_rate),
-                    format!("{:.0}", p.avg_steps),
-                ]);
+                grid.push(
+                    vec![task.to_string(), sci(ber), name.to_string()],
+                    task,
+                    config,
+                );
             }
         }
+    }
+    for (label, p) in grid.run(&dep, reps, 0x13A) {
+        let mut row = label;
+        row.extend([pct(p.success_rate), format!("{:.0}", p.avg_steps)]);
+        t.row(row);
     }
     emit(&t, "fig13ace_planner_protection");
 
     // ------------------------------------------------------------------ (b)
-    banner("Fig. 13(b)", "controller protection: none vs AD (uniform BER)");
+    banner(
+        "Fig. 13(b)",
+        "controller protection: none vs AD (uniform BER)",
+    );
     let controller_bers = [1e-4, 4e-4, 1e-3, 5e-3, 1e-2];
     let mut t = TextTable::new(vec!["task", "ber", "config", "success_rate", "avg_steps"]);
+    let mut grid = LabeledGrid::new();
     for &task in &tasks {
         for &ber in &controller_bers {
             for (name, ad) in [("none", false), ("AD", true)] {
@@ -61,16 +68,18 @@ fn main() {
                     controller_ad: ad,
                     ..CreateConfig::golden()
                 };
-                let p = run_point(&dep, task, &config, reps, 0x13B);
-                t.row(vec![
-                    task.to_string(),
-                    sci(ber),
-                    name.to_string(),
-                    pct(p.success_rate),
-                    format!("{:.0}", p.avg_steps),
-                ]);
+                grid.push(
+                    vec![task.to_string(), sci(ber), name.to_string()],
+                    task,
+                    config,
+                );
             }
         }
+    }
+    for (label, p) in grid.run(&dep, reps, 0x13B) {
+        let mut row = label;
+        row.extend([pct(p.success_rate), format!("{:.0}", p.avg_steps)]);
+        t.row(row);
     }
     emit(&t, "fig13b_controller_ad");
 
@@ -93,6 +102,7 @@ fn main() {
         "success_rate",
         "energy_j",
     ]);
+    let mut grid = LabeledGrid::new();
     for &task in &tasks {
         for ad in [false, true] {
             for v in [0.86, 0.84, 0.82, 0.80, 0.78] {
@@ -102,15 +112,11 @@ fn main() {
                     voltage: VoltageControl::Fixed(v),
                     ..CreateConfig::golden()
                 };
-                let p = run_point(&dep, task, &config, reps, 0x13D);
-                t.row(vec![
-                    task.to_string(),
-                    format!("const {v:.2}V"),
-                    ad.to_string(),
-                    format!("{:.3}", p.effective_voltage),
-                    pct(p.success_rate),
-                    format!("{:.2}", p.avg_energy_j),
-                ]);
+                grid.push(
+                    vec![task.to_string(), format!("const {v:.2}V"), ad.to_string()],
+                    task,
+                    config,
+                );
             }
             for policy in EntropyPolicy::presets() {
                 let name = format!("policy {}", policy.name());
@@ -120,17 +126,18 @@ fn main() {
                     voltage: VoltageControl::adaptive(policy),
                     ..CreateConfig::golden()
                 };
-                let p = run_point(&dep, task, &config, reps, 0x13F);
-                t.row(vec![
-                    task.to_string(),
-                    name,
-                    ad.to_string(),
-                    format!("{:.3}", p.effective_voltage),
-                    pct(p.success_rate),
-                    format!("{:.2}", p.avg_energy_j),
-                ]);
+                grid.push(vec![task.to_string(), name, ad.to_string()], task, config);
             }
         }
+    }
+    for (label, p) in grid.run(&dep, reps, 0x13D) {
+        let mut row = label;
+        row.extend([
+            format!("{:.3}", p.effective_voltage),
+            pct(p.success_rate),
+            format!("{:.2}", p.avg_energy_j),
+        ]);
+        t.row(row);
     }
     emit(&t, "fig13df_voltage_scaling");
     println!(

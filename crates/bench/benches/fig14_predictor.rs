@@ -4,19 +4,22 @@
 //! default policy would command.
 
 use create_agents::bundle::ACT_TEMPERATURE;
-use create_agents::{AgentSystem, datasets};
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_agents::{datasets, AgentSystem};
+use create_bench::{banner, emit, jarvis_deployment, Stopwatch};
 use create_core::prelude::*;
 use create_env::{Benchmark, TaskId};
-use create_tensor::Precision;
 use create_tensor::stats::r2_score;
+use create_tensor::Precision;
 
 fn main() {
     let _t = Stopwatch::start("fig14");
     let system = AgentSystem::jarvis();
     let dep = jarvis_deployment();
 
-    banner("Fig. 14(a)", "predicted vs actual entropy (held-out frames)");
+    banner(
+        "Fig. 14(a)",
+        "predicted vs actual entropy (held-out frames)",
+    );
     // Held-out: different seeds than the training collection.
     let controller = system.deploy_controller(Precision::Int8);
     let tasks: Vec<TaskId> = TaskId::ALL
@@ -35,7 +38,10 @@ fn main() {
         t.row(vec![format!("{a:.3}"), format!("{p:.3}")]);
     }
     emit(&t, "fig14a_predictor_scatter");
-    println!("held-out frames: {}; R² = {r2:.3} (paper: 0.92)", samples.len());
+    println!(
+        "held-out frames: {}; R² = {r2:.3} (paper: 0.92)",
+        samples.len()
+    );
 
     banner("Fig. 14(b)", "real-time tracking and commanded voltage");
     let config = CreateConfig {

@@ -3,7 +3,7 @@
 //! (voltage stays low into critical phases), and 1-step updates pay more
 //! predictor energy — 5 steps is the sweet spot the paper selects.
 
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_bench::{banner, emit, jarvis_deployment, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
 
@@ -12,7 +12,10 @@ fn main() {
     let dep = jarvis_deployment();
     let reps = default_reps();
 
-    banner("Fig. 15", "voltage update interval vs success rate and energy");
+    banner(
+        "Fig. 15",
+        "voltage update interval vs success rate and energy",
+    );
     let mut t = TextTable::new(vec![
         "task",
         "interval_steps",

@@ -11,7 +11,7 @@
 //! The protected minima land higher than the paper's 0.75 V because the
 //! proxy planner's protected BER window is narrower — see EXPERIMENTS.md.
 
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment, min_voltage_point};
+use create_bench::{banner, emit, jarvis_deployment, min_voltage_point, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
 
@@ -54,7 +54,13 @@ fn main() {
         "Fig. 16(a)",
         "success & energy at a fixed aggressive voltage (0.84 V here)",
     );
-    let mut t = TextTable::new(vec!["task", "config", "success_rate", "avg_steps", "energy_j"]);
+    let mut t = TextTable::new(vec![
+        "task",
+        "config",
+        "success_rate",
+        "avg_steps",
+        "energy_j",
+    ]);
     for &task in &TaskId::OVERALL_EIGHT {
         let golden = run_point(&dep, task, &CreateConfig::golden(), reps, 0x16);
         t.row(vec![

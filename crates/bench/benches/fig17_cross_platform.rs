@@ -5,9 +5,9 @@
 //! each platform/task's *searched* minimal iso-quality voltage (the same
 //! acceptance rule as Fig. 16b).
 
-use create_agents::AgentSystem;
 use create_agents::presets::{ControllerPreset, PlannerPreset};
-use create_bench::{Stopwatch, banner, emit, min_voltage_point};
+use create_agents::AgentSystem;
+use create_bench::{banner, emit, min_voltage_point, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
 use create_tensor::Precision;
@@ -40,16 +40,15 @@ fn planner_eval(dep: &Deployment, tasks: &[TaskId], reps: u32) -> Vec<Row> {
                 reps,
                 0x17,
             );
-            let (v, protected) = min_voltage_point(dep, task, &nominal, reps, 0x17, |v| {
-                CreateConfig {
+            let (v, protected) =
+                min_voltage_point(dep, task, &nominal, reps, 0x17, |v| CreateConfig {
                     planner_error: Some(ErrorSpec::voltage()),
                     planner_ad: true,
                     wr: true,
                     planner_voltage: v,
                     limits,
                     ..CreateConfig::golden()
-                }
-            });
+                });
             let savings = 1.0 - protected.avg_compute_j / nominal.avg_compute_j;
             (task, v, protected.success_rate, savings)
         })
@@ -73,15 +72,14 @@ fn controller_eval(dep: &Deployment, tasks: &[TaskId], reps: u32) -> Vec<Row> {
                 reps,
                 0x18,
             );
-            let (v, protected) = min_voltage_point(dep, task, &nominal, reps, 0x18, |v| {
-                CreateConfig {
+            let (v, protected) =
+                min_voltage_point(dep, task, &nominal, reps, 0x18, |v| CreateConfig {
                     controller_error: Some(ErrorSpec::voltage()),
                     controller_ad: true,
                     voltage: VoltageControl::adaptive(create_baselines::shifted_policy(v)),
                     limits,
                     ..CreateConfig::golden()
-                }
-            });
+                });
             let savings = 1.0 - protected.avg_compute_j / nominal.avg_compute_j;
             (task, v, protected.success_rate, savings)
         })
@@ -102,7 +100,10 @@ fn main() {
         Precision::Int8,
     );
 
-    banner("Fig. 17(a)", "planner benchmarks: AD+WR energy savings at searched minimal voltage");
+    banner(
+        "Fig. 17(a)",
+        "planner benchmarks: AD+WR energy savings at searched minimal voltage",
+    );
     let mut t = TextTable::new(vec![
         "platform",
         "task",
@@ -113,11 +114,7 @@ fn main() {
     let mut sum = 0.0;
     let mut count = 0;
     for (dep, name, tasks) in [
-        (
-            &jarvis,
-            "JARVIS-1",
-            vec![TaskId::Wooden, TaskId::Stone],
-        ),
+        (&jarvis, "JARVIS-1", vec![TaskId::Wooden, TaskId::Stone]),
         (
             &openvla,
             "OpenVLA",
@@ -142,9 +139,15 @@ fn main() {
         }
     }
     emit(&t, "fig17a_planner_platforms");
-    println!("average planner savings: {:.1}% (paper: 50.7%)", 100.0 * sum / count as f64);
+    println!(
+        "average planner savings: {:.1}% (paper: 50.7%)",
+        100.0 * sum / count as f64
+    );
 
-    banner("Fig. 17(b)", "controller benchmarks: AD+VS energy savings at searched minimal voltage");
+    banner(
+        "Fig. 17(b)",
+        "controller benchmarks: AD+VS energy savings at searched minimal voltage",
+    );
     let mut t = TextTable::new(vec![
         "platform",
         "task",
@@ -155,11 +158,7 @@ fn main() {
     let mut sum = 0.0;
     let mut count = 0;
     for (dep, name, tasks) in [
-        (
-            &jarvis,
-            "JARVIS-1",
-            vec![TaskId::Charcoal, TaskId::Chicken],
-        ),
+        (&jarvis, "JARVIS-1", vec![TaskId::Charcoal, TaskId::Chicken]),
         (
             &openvla,
             "Octo",

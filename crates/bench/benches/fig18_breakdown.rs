@@ -5,7 +5,7 @@
 //! battery-life gains (Sec. 6.8).
 
 use create_agents::presets::{ControllerPreset, PlannerPreset};
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment, min_voltage_point};
+use create_bench::{banner, emit, jarvis_deployment, min_voltage_point, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
 use create_tensor::Precision;
@@ -13,14 +13,23 @@ use create_tensor::Precision;
 fn main() {
     let _t = Stopwatch::start("fig18");
 
-    banner("Fig. 18", "per-inference energy breakdown (reference scale)");
+    banner(
+        "Fig. 18",
+        "per-inference energy breakdown (reference scale)",
+    );
     let planners = [
         ("JARVIS-1 planner", PlannerPreset::jarvis().inference_cost()),
         ("OpenVLA", PlannerPreset::openvla().inference_cost()),
-        ("RoboFlamingo", PlannerPreset::roboflamingo().inference_cost()),
+        (
+            "RoboFlamingo",
+            PlannerPreset::roboflamingo().inference_cost(),
+        ),
     ];
     let controllers = [
-        ("JARVIS-1 controller", ControllerPreset::jarvis().inference_cost()),
+        (
+            "JARVIS-1 controller",
+            ControllerPreset::jarvis().inference_cost(),
+        ),
         ("RT-1", ControllerPreset::rt1().inference_cost()),
         ("Octo", ControllerPreset::octo().inference_cost()),
     ];
@@ -62,8 +71,8 @@ fn main() {
         let nominal = run_point(&dep, task, &CreateConfig::golden(), reps, 0x18A);
         // Full CREATE stack at this task's searched minimal iso-quality
         // voltage (same acceptance rule as Fig. 16b).
-        let (_, protected) = min_voltage_point(&dep, task, &nominal, reps, 0x18A, |v| {
-            CreateConfig {
+        let (_, protected) =
+            min_voltage_point(&dep, task, &nominal, reps, 0x18A, |v| CreateConfig {
                 planner_ad: true,
                 controller_ad: true,
                 wr: true,
@@ -72,8 +81,7 @@ fn main() {
                 planner_error: Some(ErrorSpec::voltage()),
                 controller_error: Some(ErrorSpec::voltage()),
                 ..CreateConfig::golden()
-            }
-        });
+            });
         let compute_savings = 1.0 - protected.avg_compute_j / nominal.avg_compute_j;
         let chip_savings = 1.0 - protected.avg_energy_j / nominal.avg_energy_j;
         // Battery life: computation is ~50% of total robot power (Sec. 6.8

@@ -4,7 +4,7 @@
 //! insights are independent of the specific error model.
 
 use create_accel::TimingModel;
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_bench::{banner, emit, jarvis_deployment, LabeledGrid, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
 
@@ -19,19 +19,14 @@ fn main() {
         "planner: uniform vs hardware error model at matched BER (wooden)",
     );
     let mut t = TextTable::new(vec!["ber", "model", "success_rate", "avg_steps"]);
+    let mut grid = LabeledGrid::new();
     for ber in [1e-8, 1e-7, 1e-6, 1e-5] {
         let uniform = CreateConfig {
             planner_error: Some(ErrorSpec::uniform(ber)),
             planner_ad: true,
             ..CreateConfig::golden()
         };
-        let p = run_point(&dep, TaskId::Wooden, &uniform, reps, 0x19);
-        t.row(vec![
-            sci(ber),
-            "uniform".into(),
-            pct(p.success_rate),
-            format!("{:.0}", p.avg_steps),
-        ]);
+        grid.push(vec![sci(ber), "uniform".into()], TaskId::Wooden, uniform);
         let v = timing.voltage_for_ber(ber);
         let hw = CreateConfig {
             planner_error: Some(ErrorSpec::voltage()),
@@ -39,13 +34,12 @@ fn main() {
             planner_ad: true,
             ..CreateConfig::golden()
         };
-        let p = run_point(&dep, TaskId::Wooden, &hw, reps, 0x19);
-        t.row(vec![
-            sci(ber),
-            format!("hw@{v:.3}V"),
-            pct(p.success_rate),
-            format!("{:.0}", p.avg_steps),
-        ]);
+        grid.push(vec![sci(ber), format!("hw@{v:.3}V")], TaskId::Wooden, hw);
+    }
+    for (label, p) in grid.run(&dep, reps, 0x19) {
+        let mut row = label;
+        row.extend([pct(p.success_rate), format!("{:.0}", p.avg_steps)]);
+        t.row(row);
     }
     emit(&t, "fig19a_planner_error_models");
 
@@ -54,19 +48,14 @@ fn main() {
         "controller: uniform vs hardware error model at matched BER (wooden)",
     );
     let mut t = TextTable::new(vec!["ber", "model", "success_rate", "avg_steps"]);
+    let mut grid = LabeledGrid::new();
     for ber in [1e-5, 1e-4, 1e-3, 1e-2] {
         let uniform = CreateConfig {
             controller_error: Some(ErrorSpec::uniform(ber)),
             controller_ad: true,
             ..CreateConfig::golden()
         };
-        let p = run_point(&dep, TaskId::Wooden, &uniform, reps, 0x19B);
-        t.row(vec![
-            sci(ber),
-            "uniform".into(),
-            pct(p.success_rate),
-            format!("{:.0}", p.avg_steps),
-        ]);
+        grid.push(vec![sci(ber), "uniform".into()], TaskId::Wooden, uniform);
         let v = timing.voltage_for_ber(ber);
         let hw = CreateConfig {
             controller_error: Some(ErrorSpec::voltage()),
@@ -74,13 +63,12 @@ fn main() {
             voltage: VoltageControl::Fixed(v),
             ..CreateConfig::golden()
         };
-        let p = run_point(&dep, TaskId::Wooden, &hw, reps, 0x19B);
-        t.row(vec![
-            sci(ber),
-            format!("hw@{v:.3}V"),
-            pct(p.success_rate),
-            format!("{:.0}", p.avg_steps),
-        ]);
+        grid.push(vec![sci(ber), format!("hw@{v:.3}V")], TaskId::Wooden, hw);
+    }
+    for (label, p) in grid.run(&dep, reps, 0x19B) {
+        let mut row = label;
+        row.extend([pct(p.success_rate), format!("{:.0}", p.avg_steps)]);
+        t.row(row);
     }
     emit(&t, "fig19b_controller_error_models");
     println!(

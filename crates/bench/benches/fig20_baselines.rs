@@ -9,7 +9,7 @@
 //! charges grow as voltage falls.
 
 use create_baselines::BaselineKind;
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_bench::{banner, emit, jarvis_deployment, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
 

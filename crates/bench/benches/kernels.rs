@@ -3,16 +3,16 @@
 //! "negligible overhead" claim in software terms) and the fast
 //! Walsh–Hadamard transform used by weight rotation.
 
+use create_accel::ctx::{Component, LayerCtx, Unit};
 use create_accel::ecc::Codeword;
 use create_accel::inject::{ErrorModel, InjectionTarget, Injector};
 use create_accel::sram::{MemoryFaultModel, Protection, SramBuffer};
 use create_accel::{ad, array};
-use create_accel::ctx::{Component, LayerCtx, Unit};
 use create_tensor::hadamard::fwht_normalized;
 use create_tensor::{Matrix, Precision, QuantMatrix};
-use criterion::{Criterion, criterion_group, criterion_main};
-use rand::SeedableRng;
+use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_gemm(c: &mut Criterion) {
@@ -83,7 +83,9 @@ fn bench_secded(c: &mut Criterion) {
 }
 
 fn bench_sram_snapshot(c: &mut Criterion) {
-    let data: Vec<i8> = (0..16_384).map(|i| ((i * 37 + 11) % 255) as u8 as i8).collect();
+    let data: Vec<i8> = (0..16_384)
+        .map(|i| ((i * 37 + 11) % 255) as u8 as i8)
+        .collect();
     let buf = SramBuffer::store(&data, Protection::Secded, MemoryFaultModel::new());
     let mut rng = StdRng::seed_from_u64(3);
     c.bench_function("sram_snapshot_secded_16k_0p72v", |b| {

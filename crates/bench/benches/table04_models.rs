@@ -2,9 +2,9 @@
 //! (what energy is book-kept against), the proxy architectures actually
 //! trained and deployed, and the task registry.
 
-use create_agents::AgentSystem;
 use create_agents::presets::{ControllerPreset, PlannerPreset, PredictorPreset};
-use create_bench::{Stopwatch, banner, emit};
+use create_agents::AgentSystem;
+use create_bench::{banner, emit, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
 

@@ -2,7 +2,7 @@
 //! rate converges by ~100 repetitions, justifying the paper's ≥100-trial
 //! protocol (and this reproduction's CREATE_REPS scaling knob).
 
-use create_bench::{Stopwatch, banner, emit, jarvis_deployment};
+use create_bench::{banner, emit, jarvis_deployment, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
 

@@ -14,7 +14,7 @@
 //!   undetected-error band — is evaluated there.
 
 use create_agents::AgentSystem;
-use create_bench::{Stopwatch, banner, emit};
+use create_bench::{banner, emit, Stopwatch};
 use create_core::prelude::*;
 use create_env::TaskId;
 use create_tensor::Precision;

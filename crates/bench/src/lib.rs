@@ -64,6 +64,46 @@ pub fn min_voltage_point(
     (best_v, best)
 }
 
+/// A labeled experiment grid: harnesses collect `(row labels, task,
+/// config)` cells from their nested loops, then fan **every trial of every
+/// cell** over one engine worker pool with [`LabeledGrid::run`] — instead
+/// of spinning a fresh pool per cell the way the old per-point loops did.
+#[derive(Default)]
+pub struct LabeledGrid {
+    cells: Vec<(Vec<String>, TaskId, CreateConfig)>,
+}
+
+impl LabeledGrid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one cell; `label` is whatever row prefix the figure's table
+    /// needs to identify it.
+    pub fn push(&mut self, label: Vec<String>, task: TaskId, config: CreateConfig) {
+        self.cells.push((label, task, config));
+    }
+
+    /// Runs all cells at `reps` trials each over one worker pool and
+    /// returns `(label, point)` per cell, in insertion order.
+    pub fn run(self, dep: &Deployment, reps: u32, seed: u64) -> Vec<(Vec<String>, SweepPoint)> {
+        let points = run_config_grid(
+            dep,
+            self.cells
+                .iter()
+                .map(|(_, task, config)| (*task, config.clone())),
+            reps,
+            seed,
+        );
+        self.cells
+            .into_iter()
+            .zip(points)
+            .map(|((label, _, _), p)| (label, p))
+            .collect()
+    }
+}
+
 /// Prints a figure banner.
 pub fn banner(figure: &str, caption: &str) {
     println!();
@@ -92,7 +132,11 @@ impl Stopwatch {
 
 impl Drop for Stopwatch {
     fn drop(&mut self) {
-        println!("[{}] completed in {:.1}s", self.1, self.0.elapsed().as_secs_f64());
+        println!(
+            "[{}] completed in {:.1}s",
+            self.1,
+            self.0.elapsed().as_secs_f64()
+        );
     }
 }
 

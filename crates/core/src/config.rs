@@ -1,9 +1,9 @@
 //! Experiment configuration: which CREATE techniques are active, what
 //! errors are injected where, and the mission step budgets.
 
-use create_accel::Scheme;
 use create_accel::inject::{ErrorModel, InjectionTarget, Injector};
 use create_accel::timing::{TimingModel, V_NOMINAL};
+use create_accel::Scheme;
 use create_tensor::Precision;
 
 use crate::policy::EntropyPolicy;
@@ -172,7 +172,7 @@ impl Default for CreateConfig {
             ad_bound_scale: 1.0,
             limits: MissionLimits::default(),
             temperature: 0.7,
-        record_traces: false,
+            record_traces: false,
         }
     }
 }
@@ -228,10 +228,12 @@ mod tests {
 
     #[test]
     fn full_create_enables_all_techniques() {
-        let c = CreateConfig::undervolted(0.75)
-            .with_full_create(EntropyPolicy::preset_c());
+        let c = CreateConfig::undervolted(0.75).with_full_create(EntropyPolicy::preset_c());
         assert!(c.planner_ad && c.controller_ad && c.wr);
-        assert!(matches!(c.voltage, VoltageControl::Adaptive { interval: 5, .. }));
+        assert!(matches!(
+            c.voltage,
+            VoltageControl::Adaptive { interval: 5, .. }
+        ));
     }
 
     #[test]

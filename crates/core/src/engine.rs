@@ -1,0 +1,434 @@
+//! The parallel experiment engine: one worker pool for every sweep.
+//!
+//! Every CREATE experiment has the same shape — a *grid* of experiment
+//! points (a task × config × voltage × BER … cell), each of which runs `n`
+//! independent trials and aggregates them. This module owns that shape
+//! once, so `stats`, `memory` and the per-figure harnesses never hand-roll
+//! worker pools:
+//!
+//! * trials from **all** points fan out over one pool (a long point cannot
+//!   serialize the grid behind it);
+//! * per-trial seeds derive deterministically from `(base seed, point
+//!   index, trial index)` via [`derive_seed`], so results are bit-identical
+//!   regardless of thread count or scheduling;
+//! * outcomes stream into per-point [`Accumulator`]s in trial order (a
+//!   small reorder window — see `OrderedFold`) instead of buffering every
+//!   raw outcome;
+//! * the pool size comes from `CREATE_THREADS` (validated, falling back to
+//!   the machine's parallelism) and progress reporting from
+//!   `CREATE_PROGRESS`.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Streaming aggregation of one experiment point's outcomes.
+///
+/// `push` is called exactly once per trial, **in trial order**, so a
+/// left-fold accumulator produces bit-identical floats to a sequential
+/// loop over the same outcomes.
+pub trait Accumulator<O>: Send {
+    /// The aggregated result type.
+    type Summary;
+
+    /// Folds one outcome in.
+    fn push(&mut self, outcome: O);
+
+    /// Consumes the accumulator into its summary.
+    fn finish(self) -> Self::Summary;
+}
+
+/// Collects outcomes into a `Vec` in trial order — the "raw outcomes"
+/// aggregator behind [`crate::stats::run_outcomes`].
+#[derive(Debug)]
+pub struct CollectAll<O>(Vec<O>);
+
+impl<O> Default for CollectAll<O> {
+    fn default() -> Self {
+        CollectAll(Vec::new())
+    }
+}
+
+impl<O: Send> Accumulator<O> for CollectAll<O> {
+    type Summary = Vec<O>;
+
+    fn push(&mut self, outcome: O) {
+        self.0.push(outcome);
+    }
+
+    fn finish(self) -> Vec<O> {
+        self.0
+    }
+}
+
+/// One cell of an experiment grid.
+///
+/// The point is shared immutably across workers; each trial gets its own
+/// deterministic seed.
+pub trait ExperimentPoint: Sync {
+    /// What one trial produces.
+    type Outcome: Send;
+    /// How this point's trials aggregate.
+    type Acc: Accumulator<Self::Outcome>;
+
+    /// Number of trials this point runs.
+    fn trials(&self) -> u32;
+
+    /// A fresh accumulator for this point.
+    fn accumulator(&self) -> Self::Acc;
+
+    /// Runs trial `trial` with the engine-derived `seed`.
+    fn run_trial(&self, trial: u32, seed: u64) -> Self::Outcome;
+}
+
+/// Derives the seed for one trial from `(base_seed, point_index,
+/// trial_index)` with a SplitMix64-style finalizer, so neighbouring
+/// points/trials get decorrelated streams and the mapping never depends
+/// on scheduling.
+pub fn derive_seed(base_seed: u64, point_index: usize, trial_index: u32) -> u64 {
+    let mut z = base_seed
+        .wrapping_add((point_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((trial_index as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Reads a positive integer environment variable, rejecting `0` and
+/// unparseable values with a stderr warning and a clear fallback rather
+/// than silently misbehaving.
+pub(crate) fn positive_env(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(v) if v > 0 => v,
+            _ => {
+                eprintln!(
+                    "[create] ignoring {name}={raw:?}: expected a positive integer; \
+                     using default {default}"
+                );
+                default
+            }
+        },
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// Worker-pool size: `CREATE_THREADS` when set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn default_threads() -> usize {
+    positive_env("CREATE_THREADS", available_threads())
+}
+
+/// How the engine reports sweep progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// No reporting (the default).
+    Silent,
+    /// A single self-overwriting stderr line (`CREATE_PROGRESS=1`).
+    Stderr,
+}
+
+/// Engine tuning knobs, normally read from the environment.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Worker threads to fan trials over.
+    pub threads: usize,
+    /// Progress reporting sink.
+    pub progress: Progress,
+}
+
+impl EngineOptions {
+    /// Options from `CREATE_THREADS` / `CREATE_PROGRESS`.
+    pub fn from_env() -> Self {
+        let progress = match std::env::var("CREATE_PROGRESS") {
+            Ok(v) if v != "0" && !v.is_empty() => Progress::Stderr,
+            _ => Progress::Silent,
+        };
+        EngineOptions {
+            threads: default_threads(),
+            progress,
+        }
+    }
+
+    /// Overrides the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// Reorders out-of-order trial completions into a strict in-order fold.
+///
+/// Workers finish trials out of order; folding them as they land would make
+/// float sums depend on scheduling. Instead each completion is offered
+/// here: the contiguous prefix is folded immediately and only the
+/// not-yet-contiguous tail is parked, so at most (threads − 1) outcomes per
+/// point are ever buffered — not the whole sweep.
+struct OrderedFold<A, O> {
+    acc: A,
+    next: u32,
+    pending: BTreeMap<u32, O>,
+}
+
+impl<O, A: Accumulator<O>> OrderedFold<A, O> {
+    fn new(acc: A) -> Self {
+        OrderedFold {
+            acc,
+            next: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    fn offer(&mut self, trial: u32, outcome: O) {
+        if trial == self.next {
+            self.acc.push(outcome);
+            self.next += 1;
+            while let Some(o) = self.pending.remove(&self.next) {
+                self.acc.push(o);
+                self.next += 1;
+            }
+        } else {
+            self.pending.insert(trial, outcome);
+        }
+    }
+
+    fn finish(self, expected: u32) -> A::Summary {
+        debug_assert!(self.pending.is_empty(), "trials lost in reorder buffer");
+        debug_assert_eq!(self.next, expected, "not all trials folded");
+        let _ = expected;
+        self.acc.finish()
+    }
+}
+
+/// Runs every trial of every point in `points` across the worker pool and
+/// returns one summary per point, in point order.
+///
+/// Seeds derive from [`derive_seed`]`(base_seed, point_index, trial_index)`
+/// and aggregation folds in trial order, so the result is bit-identical
+/// for any thread count (the determinism test in `tests/engine.rs` pins
+/// this down).
+pub fn run_grid<P, I>(
+    points: I,
+    base_seed: u64,
+) -> Vec<<P::Acc as Accumulator<P::Outcome>>::Summary>
+where
+    P: ExperimentPoint,
+    I: IntoIterator<Item = P>,
+{
+    run_grid_with(points, base_seed, &EngineOptions::from_env())
+}
+
+/// [`run_grid`] with explicit [`EngineOptions`].
+pub fn run_grid_with<P, I>(
+    points: I,
+    base_seed: u64,
+    options: &EngineOptions,
+) -> Vec<<P::Acc as Accumulator<P::Outcome>>::Summary>
+where
+    P: ExperimentPoint,
+    I: IntoIterator<Item = P>,
+{
+    let points: Vec<P> = points.into_iter().collect();
+    if points.is_empty() {
+        return Vec::new();
+    }
+
+    // Flatten the grid: global trial t maps to the point whose offset
+    // bracket contains it. `offsets[i]` is the first flat index of point i.
+    let mut offsets: Vec<usize> = Vec::with_capacity(points.len() + 1);
+    let mut total = 0usize;
+    for p in &points {
+        offsets.push(total);
+        total += p.trials() as usize;
+    }
+    offsets.push(total);
+
+    let folds: Vec<Mutex<OrderedFold<P::Acc, P::Outcome>>> = points
+        .iter()
+        .map(|p| Mutex::new(OrderedFold::new(p.accumulator())))
+        .collect();
+
+    if total > 0 {
+        let cursor = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let threads = options.threads.max(1).min(total);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let flat = cursor.fetch_add(1, Ordering::Relaxed);
+                    if flat >= total {
+                        break;
+                    }
+                    // partition_point returns how many offsets are <= flat;
+                    // the containing point is one before that.
+                    let point_idx = offsets.partition_point(|&o| o <= flat) - 1;
+                    let trial = (flat - offsets[point_idx]) as u32;
+                    let seed = derive_seed(base_seed, point_idx, trial);
+                    let outcome = points[point_idx].run_trial(trial, seed);
+                    folds[point_idx]
+                        .lock()
+                        .expect("engine fold poisoned")
+                        .offer(trial, outcome);
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if options.progress == Progress::Stderr {
+                        report_progress(finished, total);
+                    }
+                });
+            }
+        });
+        if options.progress == Progress::Stderr {
+            eprintln!();
+        }
+    }
+
+    folds
+        .into_iter()
+        .zip(&points)
+        .map(|(fold, p)| {
+            fold.into_inner()
+                .expect("engine fold poisoned")
+                .finish(p.trials())
+        })
+        .collect()
+}
+
+fn report_progress(finished: usize, total: usize) {
+    // Only ~100 updates per sweep: report when a percent boundary is crossed.
+    let pct = finished * 100 / total;
+    let prev_pct = (finished - 1) * 100 / total;
+    if pct != prev_pct || finished == total {
+        let mut err = std::io::stderr().lock();
+        let _ = write!(err, "\r[create] trials {finished}/{total} ({pct}%)");
+        let _ = err.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cheap arithmetic point: trial i at seed s yields (i, s).
+    struct Cell {
+        trials: u32,
+    }
+
+    #[derive(Default)]
+    struct SeedSum {
+        order: Vec<u32>,
+        seeds: Vec<u64>,
+    }
+
+    impl Accumulator<(u32, u64)> for SeedSum {
+        type Summary = (Vec<u32>, Vec<u64>);
+
+        fn push(&mut self, (trial, seed): (u32, u64)) {
+            self.order.push(trial);
+            self.seeds.push(seed);
+        }
+
+        fn finish(self) -> (Vec<u32>, Vec<u64>) {
+            (self.order, self.seeds)
+        }
+    }
+
+    impl ExperimentPoint for Cell {
+        type Outcome = (u32, u64);
+        type Acc = SeedSum;
+
+        fn trials(&self) -> u32 {
+            self.trials
+        }
+
+        fn accumulator(&self) -> SeedSum {
+            SeedSum::default()
+        }
+
+        fn run_trial(&self, trial: u32, seed: u64) -> (u32, u64) {
+            (trial, seed)
+        }
+    }
+
+    fn options(threads: usize) -> EngineOptions {
+        EngineOptions {
+            threads,
+            progress: Progress::Silent,
+        }
+    }
+
+    #[test]
+    fn folds_arrive_in_trial_order_regardless_of_threads() {
+        for threads in [1, 2, 8] {
+            let grid = vec![Cell { trials: 17 }, Cell { trials: 3 }, Cell { trials: 9 }];
+            let out = run_grid_with(grid, 99, &options(threads));
+            for (point, (order, _)) in out.iter().enumerate() {
+                let expect: Vec<u32> = (0..out[point].0.len() as u32).collect();
+                assert_eq!(order, &expect, "threads={threads} point={point}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_depend_on_point_and_trial_only() {
+        let a = run_grid_with(vec![Cell { trials: 5 }, Cell { trials: 5 }], 7, &options(1));
+        let b = run_grid_with(vec![Cell { trials: 5 }, Cell { trials: 5 }], 7, &options(8));
+        assert_eq!(a, b, "seed assignment must not depend on thread count");
+        assert_ne!(a[0].1, a[1].1, "distinct points get distinct seed streams");
+        let c = run_grid_with(vec![Cell { trials: 5 }], 8, &options(1));
+        assert_ne!(a[0].1, c[0].1, "base seed changes the stream");
+    }
+
+    #[test]
+    fn empty_grid_and_zero_trials_are_safe() {
+        let empty: Vec<Cell> = vec![];
+        assert!(run_grid_with(empty, 1, &options(4)).is_empty());
+        let out = run_grid_with(vec![Cell { trials: 0 }], 1, &options(4));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].0.is_empty());
+    }
+
+    #[test]
+    fn ordered_fold_reorders_a_scrambled_completion_order() {
+        let mut fold = OrderedFold::new(SeedSum::default());
+        for trial in [3u32, 0, 2, 1, 4] {
+            fold.offer(trial, (trial, trial as u64));
+        }
+        let (order, _) = fold.finish(5);
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn positive_env_accepts_positive_integers() {
+        std::env::set_var("CREATE_TEST_ENGINE_OK", "12");
+        assert_eq!(positive_env("CREATE_TEST_ENGINE_OK", 40), 12);
+        std::env::remove_var("CREATE_TEST_ENGINE_OK");
+    }
+
+    #[test]
+    fn positive_env_rejects_zero_and_garbage() {
+        assert_eq!(positive_env("CREATE_TEST_ENGINE_UNSET", 40), 40);
+        std::env::set_var("CREATE_TEST_ENGINE_ZERO", "0");
+        assert_eq!(positive_env("CREATE_TEST_ENGINE_ZERO", 40), 40);
+        std::env::remove_var("CREATE_TEST_ENGINE_ZERO");
+        std::env::set_var("CREATE_TEST_ENGINE_BAD", "not-a-number");
+        assert_eq!(positive_env("CREATE_TEST_ENGINE_BAD", 40), 40);
+        std::env::remove_var("CREATE_TEST_ENGINE_BAD");
+        std::env::set_var("CREATE_TEST_ENGINE_NEG", "-3");
+        assert_eq!(positive_env("CREATE_TEST_ENGINE_NEG", 40), 40);
+        std::env::remove_var("CREATE_TEST_ENGINE_NEG");
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_neighbours() {
+        let s = derive_seed(1, 0, 0);
+        assert_ne!(s, derive_seed(1, 0, 1));
+        assert_ne!(s, derive_seed(1, 1, 0));
+        assert_ne!(s, derive_seed(2, 0, 0));
+    }
+}

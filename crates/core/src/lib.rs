@@ -30,27 +30,39 @@
 //! ```
 
 pub mod config;
+pub mod engine;
 pub mod memory;
 pub mod mission;
 pub mod policy;
 pub mod report;
 pub mod stats;
 
-#[cfg(test)]
-mod testutil;
+#[cfg(any(test, feature = "testutil"))]
+pub mod testutil;
 
 pub use config::{CreateConfig, ErrorSpec, MissionLimits, PhaseGate, VoltageControl};
-pub use memory::{MemTarget, MemoryConfig, MemoryPoint, run_memory_point};
-pub use mission::{Deployment, MissionOutcome, run_trial};
+pub use engine::{run_grid, run_grid_with, Accumulator, EngineOptions, ExperimentPoint};
+pub use memory::{
+    run_memory_grid, run_memory_point, MemTarget, MemoryCell, MemoryConfig, MemoryPoint,
+};
+pub use mission::{run_trial, Deployment, MissionOutcome};
 pub use policy::EntropyPolicy;
-pub use stats::{SweepPoint, default_reps, run_outcomes, run_point};
+pub use stats::{
+    default_reps, run_config_grid, run_outcomes, run_point, run_point_with, GridCell, SweepPoint,
+};
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
     pub use crate::config::{CreateConfig, ErrorSpec, MissionLimits, PhaseGate, VoltageControl};
-    pub use crate::memory::{MemTarget, MemoryConfig, MemoryPoint, run_memory_point};
-    pub use crate::mission::{Deployment, MissionOutcome, run_trial};
+    pub use crate::engine::{run_grid, run_grid_with, EngineOptions};
+    pub use crate::memory::{
+        run_memory_grid, run_memory_point, MemTarget, MemoryCell, MemoryConfig, MemoryPoint,
+    };
+    pub use crate::mission::{run_trial, Deployment, MissionOutcome};
     pub use crate::policy::EntropyPolicy;
-    pub use crate::report::{TextTable, joules, pct, results_dir, sci};
-    pub use crate::stats::{SweepPoint, default_reps, run_outcomes, run_point};
+    pub use crate::report::{joules, pct, results_dir, sci, TextTable};
+    pub use crate::stats::{
+        default_reps, run_config_grid, run_outcomes, run_point, run_point_with, GridCell,
+        SweepPoint,
+    };
 }

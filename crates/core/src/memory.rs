@@ -22,18 +22,18 @@
 //! quantifying the assumption the paper makes in prose.
 
 use crate::config::CreateConfig;
-use crate::mission::{Deployment, MissionOutcome, run_trial};
-use crate::stats::SweepPoint;
+use crate::engine::{self, Accumulator, ExperimentPoint};
+use crate::mission::{run_trial, Deployment, MissionOutcome};
+use crate::stats::{SweepAccumulator, SweepPoint};
 use create_accel::sram::{MemoryFaultModel, Protection, ReadStats, SramBuffer};
 use create_agents::controller::QuantController;
 use create_agents::planner::QuantPlanner;
 use create_env::TaskId;
 use create_tensor::QuantMatrix;
+use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rand::rngs::StdRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Which unit's weight buffer sits on the scaled memory rail.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,7 +77,12 @@ impl MemoryConfig {
 
 /// Routes one weight matrix through the modeled SRAM and writes the fault
 /// snapshot back in place, accumulating counters into `stats`.
-fn fault_weight(w: &mut QuantMatrix, cfg: &MemoryConfig, rng: &mut impl Rng, stats: &mut ReadStats) {
+fn fault_weight(
+    w: &mut QuantMatrix,
+    cfg: &MemoryConfig,
+    rng: &mut impl Rng,
+    stats: &mut ReadStats,
+) {
     let buf = SramBuffer::store(w.as_slice(), cfg.protection, cfg.model);
     let (read, s) = buf.snapshot(cfg.voltage, rng);
     w.as_mut_slice().copy_from_slice(&read);
@@ -151,12 +156,84 @@ pub struct MemoryPoint {
     pub stats: ReadStats,
 }
 
+/// Streams `(outcome, snapshot stats)` pairs into a [`MemoryPoint`]:
+/// mission aggregation via [`SweepAccumulator`], fault counters merged in
+/// trial order.
+#[derive(Default)]
+pub struct MemoryAccumulator {
+    sweep: SweepAccumulator,
+    stats: ReadStats,
+}
+
+impl Accumulator<(MissionOutcome, ReadStats)> for MemoryAccumulator {
+    type Summary = MemoryPoint;
+
+    fn push(&mut self, (outcome, stats): (MissionOutcome, ReadStats)) {
+        self.sweep.push(outcome);
+        self.stats.merge(stats);
+    }
+
+    fn finish(self) -> MemoryPoint {
+        MemoryPoint {
+            sweep: self.sweep.finish(),
+            stats: self.stats,
+        }
+    }
+}
+
+/// One memory-rail experiment cell: every trial draws a fresh
+/// retention-fault snapshot of the targeted unit before running the
+/// mission.
+pub struct MemoryCell<'a> {
+    /// The shared golden deployment (snapshots are per-trial copies).
+    pub dep: &'a Deployment,
+    /// Task to run.
+    pub task: TaskId,
+    /// Technique/error configuration (datapath side).
+    pub config: CreateConfig,
+    /// Which unit's weights sit on the scaled rail.
+    pub target: MemTarget,
+    /// The memory-rail configuration.
+    pub mem: MemoryConfig,
+    /// Trials for this cell.
+    pub trials: u32,
+}
+
+impl ExperimentPoint for MemoryCell<'_> {
+    type Outcome = (MissionOutcome, ReadStats);
+    type Acc = MemoryAccumulator;
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn accumulator(&self) -> MemoryAccumulator {
+        MemoryAccumulator::default()
+    }
+
+    fn run_trial(&self, _trial: u32, seed: u64) -> (MissionOutcome, ReadStats) {
+        let (faulted, stats) =
+            faulty_deployment(self.dep, self.target, &self.mem, self.config.wr, seed);
+        (run_trial(&faulted, self.task, &self.config, seed), stats)
+    }
+}
+
+/// Runs a grid of [`MemoryCell`]s with all trials fanned over one worker
+/// pool, returning one [`MemoryPoint`] per cell in input order.
+pub fn run_memory_grid<'a>(
+    cells: impl IntoIterator<Item = MemoryCell<'a>>,
+    base_seed: u64,
+) -> Vec<MemoryPoint> {
+    engine::run_grid(cells, base_seed)
+}
+
 /// Runs `n` trials where each trial draws a fresh retention-fault snapshot
 /// of the targeted unit's weights before executing the mission.
 ///
 /// Datapath injection, AD, WR and voltage control follow `config`
 /// unchanged, so memory faults compose with the rest of CREATE exactly as
-/// they would on the platform.
+/// they would on the platform. Fan-out, seeding and aggregation all come
+/// from [`crate::engine`].
 pub fn run_memory_point(
     dep: &Deployment,
     task: TaskId,
@@ -166,44 +243,19 @@ pub fn run_memory_point(
     n: u32,
     base_seed: u64,
 ) -> MemoryPoint {
-    let counter = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, MissionOutcome, ReadStats)>> =
-        Mutex::new(Vec::with_capacity(n as usize));
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1) as usize);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let idx = counter.fetch_add(1, Ordering::Relaxed);
-                if idx >= n as usize {
-                    break;
-                }
-                let seed = base_seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(idx as u64 * 7919);
-                let (faulted, stats) = faulty_deployment(dep, target, mem, config.wr, seed);
-                let outcome = run_trial(&faulted, task, config, seed);
-                results.lock().unwrap().push((idx, outcome, stats));
-            });
-        }
-    })
-    .expect("memory trial worker panicked");
-    let mut raw = results.into_inner().unwrap();
-    raw.sort_by_key(|(i, _, _)| *i);
-    let mut stats = ReadStats::default();
-    let outcomes: Vec<MissionOutcome> = raw
-        .into_iter()
-        .map(|(_, o, s)| {
-            stats.merge(s);
-            o
-        })
-        .collect();
-    MemoryPoint {
-        sweep: SweepPoint::from_outcomes(&outcomes),
-        stats,
-    }
+    run_memory_grid(
+        std::iter::once(MemoryCell {
+            dep,
+            task,
+            config: config.clone(),
+            target,
+            mem: *mem,
+            trials: n,
+        }),
+        base_seed,
+    )
+    .pop()
+    .expect("one cell in, one point out")
 }
 
 #[cfg(test)]
@@ -255,9 +307,14 @@ mod tests {
     fn secded_repairs_the_same_snapshot_voltage() {
         let (dep, _) = crate::testutil::tiny_deployment();
         let v = MemoryFaultModel::new().voltage_for_upset(2e-4);
-        let plain = faulty_controller(&dep.controller, &MemoryConfig::new(v, Protection::None), 7).1;
-        let ecc =
-            faulty_controller(&dep.controller, &MemoryConfig::new(v, Protection::Secded), 7).1;
+        let plain =
+            faulty_controller(&dep.controller, &MemoryConfig::new(v, Protection::None), 7).1;
+        let ecc = faulty_controller(
+            &dep.controller,
+            &MemoryConfig::new(v, Protection::Secded),
+            7,
+        )
+        .1;
         assert!(plain.corrupt_fraction() > 0.0);
         assert!(
             ecc.corrupt_fraction() < 0.25 * plain.corrupt_fraction(),

@@ -199,10 +199,8 @@ mod tests {
     fn presets_are_ordered_by_aggressiveness() {
         let presets = EntropyPolicy::presets();
         for w in presets.windows(2) {
-            let mean_a: f64 =
-                w[0].voltages().iter().sum::<f64>() / w[0].voltages().len() as f64;
-            let mean_b: f64 =
-                w[1].voltages().iter().sum::<f64>() / w[1].voltages().len() as f64;
+            let mean_a: f64 = w[0].voltages().iter().sum::<f64>() / w[0].voltages().len() as f64;
+            let mean_b: f64 = w[1].voltages().iter().sum::<f64>() / w[1].voltages().len() as f64;
             assert!(mean_a > mean_b, "{} should be gentler than {}", w[0], w[1]);
         }
     }

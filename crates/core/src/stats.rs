@@ -1,15 +1,16 @@
-//! Parallel trial execution and aggregation.
+//! Trial aggregation and the mission-level experiment points.
 //!
-//! Experiments fan trials out over worker threads (the deployment is
-//! immutable and shared); per-trial seeds derive from the base seed and the
-//! trial index, so results are identical regardless of thread count.
+//! All fan-out lives in [`crate::engine`]; this module defines what a
+//! CREATE trial *is* (run one mission) and how outcomes aggregate (a
+//! [`SweepPoint`] via the streaming [`SweepAccumulator`]). Per-trial seeds
+//! derive from `(base seed, point index, trial index)`, so results are
+//! identical regardless of thread count.
 
 use crate::config::CreateConfig;
-use crate::mission::{Deployment, MissionOutcome, run_trial};
+use crate::engine::{self, Accumulator, CollectAll, EngineOptions, ExperimentPoint};
+use crate::mission::{run_trial, Deployment, MissionOutcome};
 use create_env::TaskId;
 use create_tensor::stats::wilson_interval;
-use std::sync::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Aggregated results for one experiment point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,53 +39,171 @@ pub struct SweepPoint {
 impl SweepPoint {
     /// Aggregates trial outcomes.
     pub fn from_outcomes(outcomes: &[MissionOutcome]) -> SweepPoint {
-        let n = outcomes.len() as u32;
-        let successes = outcomes.iter().filter(|o| o.success).count() as u32;
-        let success_rate = if n == 0 { 0.0 } else { successes as f64 / n as f64 };
-        let ci = wilson_interval(successes as u64, n as u64);
-        let avg_steps = if successes == 0 {
-            0.0
-        } else {
-            outcomes
-                .iter()
-                .filter(|o| o.success)
-                .map(|o| o.steps as f64)
-                .sum::<f64>()
-                / successes as f64
-        };
-        let avg = |f: &dyn Fn(&MissionOutcome) -> f64| {
-            if n == 0 {
-                0.0
-            } else {
-                outcomes.iter().map(f).sum::<f64>() / n as f64
-            }
-        };
+        let mut acc = SweepAccumulator::default();
+        for o in outcomes {
+            acc.push_ref(o);
+        }
+        acc.finish()
+    }
+}
+
+/// Streaming aggregation into a [`SweepPoint`]: left-fold sums in trial
+/// order, so the result is bit-identical to a sequential loop over the
+/// same outcomes (and therefore independent of thread count).
+#[derive(Debug, Default)]
+pub struct SweepAccumulator {
+    n: u32,
+    successes: u32,
+    steps_sum: f64,
+    energy_sum: f64,
+    compute_sum: f64,
+    voltage_sum: f64,
+    plans_sum: f64,
+}
+
+impl SweepAccumulator {
+    fn push_ref(&mut self, o: &MissionOutcome) {
+        self.n += 1;
+        if o.success {
+            self.successes += 1;
+            self.steps_sum += o.steps as f64;
+        }
+        self.energy_sum += o.energy_j();
+        self.compute_sum += o.compute_j();
+        self.voltage_sum += o.effective_voltage();
+        self.plans_sum += o.plans as f64;
+    }
+}
+
+impl Accumulator<MissionOutcome> for SweepAccumulator {
+    type Summary = SweepPoint;
+
+    fn push(&mut self, outcome: MissionOutcome) {
+        self.push_ref(&outcome);
+    }
+
+    fn finish(self) -> SweepPoint {
+        let n = self.n;
+        let successes = self.successes;
+        let mean = |sum: f64| if n == 0 { 0.0 } else { sum / n as f64 };
         SweepPoint {
             n,
             successes,
-            success_rate,
-            ci,
-            avg_steps,
-            avg_energy_j: avg(&|o| o.energy_j()),
-            avg_compute_j: avg(&|o| o.compute_j()),
-            effective_voltage: avg(&|o| o.effective_voltage()),
-            avg_plans: avg(&|o| o.plans as f64),
+            success_rate: if n == 0 {
+                0.0
+            } else {
+                successes as f64 / n as f64
+            },
+            ci: wilson_interval(successes as u64, n as u64),
+            avg_steps: if successes == 0 {
+                0.0
+            } else {
+                self.steps_sum / successes as f64
+            },
+            avg_energy_j: mean(self.energy_sum),
+            avg_compute_j: mean(self.compute_sum),
+            effective_voltage: mean(self.voltage_sum),
+            avg_plans: mean(self.plans_sum),
         }
     }
 }
 
 /// Number of repetitions per experiment point: defaults to 40 and scales
 /// with the `CREATE_REPS` environment variable (the paper uses ≥100; 40
-/// gives a ~±15% CI and Table 5 shows convergence by 100).
+/// gives a ~±15% CI and Table 5 shows convergence by 100). Zero,
+/// unparseable or over-`u32` values are rejected with a warning and fall
+/// back to the default.
 pub fn default_reps() -> u32 {
-    std::env::var("CREATE_REPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(40)
+    clamp_reps(engine::positive_env("CREATE_REPS", 40))
+}
+
+/// Rejects rep counts that would truncate when narrowed to `u32`.
+fn clamp_reps(reps: usize) -> u32 {
+    u32::try_from(reps).unwrap_or_else(|_| {
+        eprintln!("[create] ignoring CREATE_REPS={reps}: exceeds u32::MAX; using default 40");
+        40
+    })
+}
+
+/// One `(task, config)` cell of a mission experiment grid.
+pub struct GridCell<'a> {
+    /// The shared immutable deployment.
+    pub dep: &'a Deployment,
+    /// Task to run.
+    pub task: TaskId,
+    /// Technique/error configuration.
+    pub config: CreateConfig,
+    /// Trials for this cell.
+    pub trials: u32,
+}
+
+impl ExperimentPoint for GridCell<'_> {
+    type Outcome = MissionOutcome;
+    type Acc = SweepAccumulator;
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn accumulator(&self) -> SweepAccumulator {
+        SweepAccumulator::default()
+    }
+
+    fn run_trial(&self, _trial: u32, seed: u64) -> MissionOutcome {
+        run_trial(self.dep, self.task, &self.config, seed)
+    }
+}
+
+/// Runs a whole grid of `(task, config)` cells at `reps` trials each,
+/// fanning every trial of every cell across one worker pool, and returns
+/// one [`SweepPoint`] per cell in input order.
+///
+/// This is the bulk entry point the per-figure harnesses use: a BER sweep
+/// is one call, not one pool per BER.
+pub fn run_config_grid(
+    dep: &Deployment,
+    cells: impl IntoIterator<Item = (TaskId, CreateConfig)>,
+    reps: u32,
+    base_seed: u64,
+) -> Vec<SweepPoint> {
+    engine::run_grid(
+        cells.into_iter().map(|(task, config)| GridCell {
+            dep,
+            task,
+            config,
+            trials: reps,
+        }),
+        base_seed,
+    )
+}
+
+/// A single-cell grid whose raw outcomes are wanted in trial order.
+struct RawCell<'a> {
+    dep: &'a Deployment,
+    task: TaskId,
+    config: &'a CreateConfig,
+    trials: u32,
+}
+
+impl ExperimentPoint for RawCell<'_> {
+    type Outcome = MissionOutcome;
+    type Acc = CollectAll<MissionOutcome>;
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn accumulator(&self) -> CollectAll<MissionOutcome> {
+        CollectAll::default()
+    }
+
+    fn run_trial(&self, _trial: u32, seed: u64) -> MissionOutcome {
+        run_trial(self.dep, self.task, self.config, seed)
+    }
 }
 
 /// Runs `n` trials of `task` under `config` in parallel and collects the
-/// raw outcomes (sorted by trial index for determinism).
+/// raw outcomes (in trial order, deterministic in `base_seed`).
 pub fn run_outcomes(
     dep: &Deployment,
     task: TaskId,
@@ -92,34 +211,23 @@ pub fn run_outcomes(
     n: u32,
     base_seed: u64,
 ) -> Vec<MissionOutcome> {
-    let counter = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, MissionOutcome)>> = Mutex::new(Vec::with_capacity(n as usize));
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1) as usize);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let idx = counter.fetch_add(1, Ordering::Relaxed);
-                if idx >= n as usize {
-                    break;
-                }
-                let seed = base_seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(idx as u64 * 7919);
-                let outcome = run_trial(dep, task, config, seed);
-                results.lock().unwrap().push((idx, outcome));
-            });
-        }
-    })
-    .expect("trial worker panicked");
-    let mut raw = results.into_inner().unwrap();
-    raw.sort_by_key(|(i, _)| *i);
-    raw.into_iter().map(|(_, o)| o).collect()
+    engine::run_grid(
+        std::iter::once(RawCell {
+            dep,
+            task,
+            config,
+            trials: n,
+        }),
+        base_seed,
+    )
+    .pop()
+    .unwrap_or_default()
 }
 
 /// Runs `n` trials and aggregates them into a [`SweepPoint`].
+///
+/// Seeds match [`run_outcomes`] (same point index 0), so
+/// `run_point(..) == SweepPoint::from_outcomes(&run_outcomes(..))`.
 pub fn run_point(
     dep: &Deployment,
     task: TaskId,
@@ -127,7 +235,31 @@ pub fn run_point(
     n: u32,
     base_seed: u64,
 ) -> SweepPoint {
-    SweepPoint::from_outcomes(&run_outcomes(dep, task, config, n, base_seed))
+    run_point_with(dep, task, config, n, base_seed, &EngineOptions::from_env())
+}
+
+/// [`run_point`] with explicit [`EngineOptions`] (used by the determinism
+/// tests to pin thread counts without touching the environment).
+pub fn run_point_with(
+    dep: &Deployment,
+    task: TaskId,
+    config: &CreateConfig,
+    n: u32,
+    base_seed: u64,
+    options: &EngineOptions,
+) -> SweepPoint {
+    engine::run_grid_with(
+        std::iter::once(GridCell {
+            dep,
+            task,
+            config: config.clone(),
+            trials: n,
+        }),
+        base_seed,
+        options,
+    )
+    .pop()
+    .expect("one cell in, one point out")
 }
 
 #[cfg(test)]
@@ -155,7 +287,10 @@ mod tests {
         assert_eq!(p.n, 3);
         assert_eq!(p.successes, 2);
         assert!((p.success_rate - 2.0 / 3.0).abs() < 1e-9);
-        assert!((p.avg_steps - 150.0).abs() < 1e-9, "steps only over successes");
+        assert!(
+            (p.avg_steps - 150.0).abs() < 1e-9,
+            "steps only over successes"
+        );
     }
 
     #[test]
@@ -163,6 +298,18 @@ mod tests {
         let p = SweepPoint::from_outcomes(&[]);
         assert_eq!(p.n, 0);
         assert_eq!(p.success_rate, 0.0);
+        assert_eq!(p.avg_steps, 0.0);
+        assert_eq!(p.avg_energy_j, 0.0);
+    }
+
+    #[test]
+    fn streaming_accumulator_matches_buffered_aggregation() {
+        let outcomes: Vec<_> = (0..32).map(|i| outcome(i % 3 != 0, 10 + i)).collect();
+        let mut acc = SweepAccumulator::default();
+        for o in &outcomes {
+            acc.push(o.clone());
+        }
+        assert_eq!(acc.finish(), SweepPoint::from_outcomes(&outcomes));
     }
 
     #[test]
@@ -177,6 +324,17 @@ mod tests {
         // No env set in tests: default is 40.
         if std::env::var("CREATE_REPS").is_err() {
             assert_eq!(default_reps(), 40);
+        }
+    }
+
+    #[test]
+    fn reps_beyond_u32_fall_back_instead_of_truncating() {
+        assert_eq!(clamp_reps(40), 40);
+        assert_eq!(clamp_reps(u32::MAX as usize), u32::MAX);
+        #[cfg(target_pointer_width = "64")]
+        {
+            // 2^32 would silently truncate to 0 trials under a plain `as u32`.
+            assert_eq!(clamp_reps(u32::MAX as usize + 1), 40);
         }
     }
 }

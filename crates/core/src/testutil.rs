@@ -4,11 +4,11 @@
 
 use crate::mission::Deployment;
 use create_agents::presets::{ControllerPreset, PlannerPreset, PredictorPreset};
-use create_agents::{ControllerModel, EntropyPredictor, PlannerModel, datasets, vocab};
+use create_agents::{datasets, vocab, ControllerModel, EntropyPredictor, PlannerModel};
 use create_env::TaskId;
 use create_tensor::Precision;
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::sync::{Arc, OnceLock};
 
 static TINY: OnceLock<Deployment> = OnceLock::new();
@@ -16,7 +16,7 @@ static TINY: OnceLock<Deployment> = OnceLock::new();
 /// A miniature two-task deployment (log + seed), trained in seconds and
 /// cached for the lifetime of the test binary. Returns the deployment and
 /// a task it was trained for.
-pub(crate) fn tiny_deployment() -> (Deployment, TaskId) {
+pub fn tiny_deployment() -> (Deployment, TaskId) {
     let dep = TINY.get_or_init(build).clone();
     (dep, TaskId::Log)
 }

@@ -11,9 +11,9 @@ use crate::observe::{cell_id, Observation, STATUS_DIMS, VIEW_CELLS, VIEW_RADIUS,
 use crate::subtask::{ArmObject, ArmTarget, Subtask};
 use crate::task::TaskId;
 use crate::types::{Action, Pos};
+use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rand::rngs::StdRng;
 use std::collections::VecDeque;
 
 /// Tabletop edge length.
@@ -86,9 +86,9 @@ impl ArmWorld {
             })
             .collect();
         let spawn = |objects: &mut Vec<(ArmObject, Pos)>,
-                         used: &mut Vec<Pos>,
-                         kind: ArmObject,
-                         rng: &mut StdRng| {
+                     used: &mut Vec<Pos>,
+                     kind: ArmObject,
+                     rng: &mut StdRng| {
             for _ in 0..200 {
                 let p = Pos::new(
                     rng.random_range(1..TABLE_SIZE - 1),
@@ -242,14 +242,17 @@ impl ArmWorld {
             return;
         }
         match self.subtask {
-            Subtask::Pick(o) => {
-                if self.holding.is_none() {
-                    if let Some(i) = self.objects.iter().position(|&(k, p)| k == o && p == target) {
-                        self.objects.swap_remove(i);
-                        self.holding = Some(o);
-                    }
+            Subtask::Pick(o) if self.holding.is_none() => {
+                if let Some(i) = self
+                    .objects
+                    .iter()
+                    .position(|&(k, p)| k == o && p == target)
+                {
+                    self.objects.swap_remove(i);
+                    self.holding = Some(o);
                 }
             }
+            Subtask::Pick(_) => {}
             Subtask::PlaceAt(t) => {
                 if let Some(obj) = self.holding.take() {
                     self.placements.push((obj, t));
@@ -359,8 +362,7 @@ impl ArmWorld {
             let dx = (target.x - self.agent.x).signum();
             let dy = (target.y - self.agent.y).signum();
             let pushed = Pos::new(target.x + dx, target.y + dy);
-            let toward_drawer =
-                pushed.manhattan(drawer_pos()) < target.manhattan(drawer_pos());
+            let toward_drawer = pushed.manhattan(drawer_pos()) < target.manhattan(drawer_pos());
             if toward_drawer {
                 probs[Action::Interact.index()] = 1.0;
                 return probs;
@@ -476,7 +478,11 @@ impl ArmWorld {
         {
             let p = self.agent.stepped(a);
             status[12 + i] = if self.passable(p) { 1.0 } else { 0.0 };
-            status[16 + i] = if Some(p) == self.subtask_target() { 1.0 } else { 0.0 };
+            status[16 + i] = if Some(p) == self.subtask_target() {
+                1.0
+            } else {
+                0.0
+            };
         }
 
         Observation {

@@ -15,9 +15,9 @@ use crate::observe::{cell_id, Observation, STATUS_DIMS, VIEW_CELLS, VIEW_RADIUS,
 use crate::subtask::Subtask;
 use crate::task::{Biome, TaskId};
 use crate::types::{Action, Pos};
+use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use rand::rngs::StdRng;
 use std::collections::VecDeque;
 
 /// Grid edge length.
@@ -263,8 +263,8 @@ impl CraftWorld {
         match cell {
             Cell::Tree => Some(3),
             Cell::TallGrass => Some(1),
-            Cell::Stone | Cell::CoalOre if self.inv.has(Item::WoodenPickaxe)
-                || self.inv.has(Item::StonePickaxe) =>
+            Cell::Stone | Cell::CoalOre
+                if self.inv.has(Item::WoodenPickaxe) || self.inv.has(Item::StonePickaxe) =>
             {
                 Some(2)
             }
@@ -521,7 +521,11 @@ impl CraftWorld {
             return probs;
         }
         // Gathering subtasks. Mid-streak or adjacent target: interact.
-        let adjacent_target = self.agent.neighbors().into_iter().any(|p| self.is_target(p));
+        let adjacent_target = self
+            .agent
+            .neighbors()
+            .into_iter()
+            .any(|p| self.is_target(p));
         if adjacent_target {
             probs[Action::Interact.index()] = 1.0;
             return probs;
@@ -621,10 +625,7 @@ impl CraftWorld {
         // Compass toward the nearest target (Euclidean nearest).
         let mut compass = [0.0f32; 4];
         let targets = self.target_positions();
-        if let Some(&nearest) = targets
-            .iter()
-            .min_by_key(|p| self.agent.manhattan(**p))
-        {
+        if let Some(&nearest) = targets.iter().min_by_key(|p| self.agent.manhattan(**p)) {
             let dx = (nearest.x - self.agent.x) as f32;
             let dy = (nearest.y - self.agent.y) as f32;
             let d = (dx * dx + dy * dy).sqrt().max(1e-6);
@@ -643,13 +644,29 @@ impl CraftWorld {
         status[3] = (self.inv.count(Item::Plank) as f32 / 12.0).min(1.0);
         status[4] = (self.inv.count(Item::Stick) as f32 / 8.0).min(1.0);
         status[5] = (self.inv.count(Item::Cobblestone) as f32 / 11.0).min(1.0);
-        status[6] = if self.inv.has(Item::WoodenPickaxe) { 1.0 } else { 0.0 };
-        status[7] = if self.inv.has(Item::StonePickaxe) { 1.0 } else { 0.0 };
-        status[8] = if self.inv.has(Item::CraftingTable) { 1.0 } else { 0.0 };
-        status[9] = if self.inv.has(Item::Furnace) { 1.0 } else { 0.0 };
+        status[6] = if self.inv.has(Item::WoodenPickaxe) {
+            1.0
+        } else {
+            0.0
+        };
+        status[7] = if self.inv.has(Item::StonePickaxe) {
+            1.0
+        } else {
+            0.0
+        };
+        status[8] = if self.inv.has(Item::CraftingTable) {
+            1.0
+        } else {
+            0.0
+        };
+        status[9] = if self.inv.has(Item::Furnace) {
+            1.0
+        } else {
+            0.0
+        };
         status[10] = subtask_progress(&self.inv, self.subtask);
         status[11] = 0.0; // holding flag (manipulation world only)
-        // Neighbour passability and target flags (N, S, E, W).
+                          // Neighbour passability and target flags (N, S, E, W).
         for (i, a) in [Action::North, Action::South, Action::East, Action::West]
             .into_iter()
             .enumerate()
@@ -835,7 +852,7 @@ mod tests {
     }
 
     #[test]
-    fn hunting_chicken_succeeds_with_expert(){
+    fn hunting_chicken_succeeds_with_expert() {
         let mut w = CraftWorld::new(TaskId::Chicken, 19);
         w.set_subtask(Subtask::HuntChicken(1));
         let mut rng = StdRng::seed_from_u64(99);

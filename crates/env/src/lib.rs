@@ -36,7 +36,7 @@ pub use armworld::ArmWorld;
 pub use craftworld::CraftWorld;
 pub use item::{Inventory, Item};
 pub use observe::{Observation, STATUS_DIMS, VIEW_CELLS, VIEW_SIZE};
-pub use subtask::{ArmObject, ArmTarget, SUBTASK_VOCAB, Subtask};
+pub use subtask::{ArmObject, ArmTarget, Subtask, SUBTASK_VOCAB};
 pub use task::{Benchmark, Biome, TaskId};
 pub use types::{Action, Pos};
 
@@ -138,7 +138,10 @@ mod tests {
 
     #[test]
     fn for_task_picks_the_right_world() {
-        assert!(matches!(World::for_task(TaskId::Wooden, 0), World::Craft(_)));
+        assert!(matches!(
+            World::for_task(TaskId::Wooden, 0),
+            World::Craft(_)
+        ));
         assert!(matches!(World::for_task(TaskId::Wine, 0), World::Arm(_)));
     }
 

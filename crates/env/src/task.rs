@@ -296,7 +296,11 @@ impl TaskId {
             Carrot => vec![Pick(ArmObject::Carrot), PlaceAt(ArmTarget::Plate)],
             Open => vec![PullDrawer],
             Move => vec![Pick(ArmObject::Widget), PlaceAt(ArmTarget::Zone)],
-            Place => vec![PullDrawer, Pick(ArmObject::Widget), PlaceAt(ArmTarget::DrawerSpot)],
+            Place => vec![
+                PullDrawer,
+                Pick(ArmObject::Widget),
+                PlaceAt(ArmTarget::DrawerSpot),
+            ],
         }
     }
 }
@@ -351,9 +355,9 @@ mod tests {
                     Subtask::ShearWool(n) => inv.add(crate::item::Item::Wool, n),
                     Subtask::CollectSeeds(n) => inv.add(crate::item::Item::WheatSeeds, n),
                     _ => {
-                        let recipe = st.craft_recipe().unwrap_or_else(|| {
-                            panic!("{task}: {st:?} has no recipe")
-                        });
+                        let recipe = st
+                            .craft_recipe()
+                            .unwrap_or_else(|| panic!("{task}: {st:?} has no recipe"));
                         let mut guard = 0;
                         while !st.goal_met(&inv) {
                             assert!(
@@ -365,7 +369,10 @@ mod tests {
                         }
                     }
                 }
-                assert!(st.goal_met(&inv), "{task}: {st:?} goal unmet after execution");
+                assert!(
+                    st.goal_met(&inv),
+                    "{task}: {st:?} goal unmet after execution"
+                );
             }
         }
     }

@@ -14,7 +14,11 @@ pub fn relu(x: &Matrix) -> Matrix {
 pub fn relu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
     assert_eq!(x.shape(), dy.shape(), "relu backward shape mismatch");
     Matrix::from_fn(x.rows(), x.cols(), |r, c| {
-        if x.get(r, c) > 0.0 { dy.get(r, c) } else { 0.0 }
+        if x.get(r, c) > 0.0 {
+            dy.get(r, c)
+        } else {
+            0.0
+        }
     })
 }
 
@@ -100,16 +104,10 @@ pub fn logits_entropy(logits: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
-    fn finite_diff(
-        f: impl Fn(&Matrix) -> f32,
-        x: &Matrix,
-        r: usize,
-        c: usize,
-        eps: f32,
-    ) -> f32 {
+    fn finite_diff(f: impl Fn(&Matrix) -> f32, x: &Matrix, r: usize, c: usize, eps: f32) -> f32 {
         let mut plus = x.clone();
         plus.set(r, c, x.get(r, c) + eps);
         let mut minus = x.clone();

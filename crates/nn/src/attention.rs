@@ -83,7 +83,10 @@ impl Mha {
     ///
     /// Panics if `heads` does not divide `d`.
     pub fn new(d: usize, heads: usize, causal: bool, rng: &mut impl Rng) -> Self {
-        assert!(d % heads == 0, "heads {heads} must divide width {d}");
+        assert!(
+            d.is_multiple_of(heads),
+            "heads {heads} must divide width {d}"
+        );
         Self {
             wq: Linear::new(d, d, false, rng),
             wk: Linear::new(d, d, false, rng),
@@ -224,9 +227,15 @@ impl QuantMha {
         let d = self.wq.fan_in();
         let dh = d / self.heads;
         let scale = 1.0 / (dh as f32).sqrt();
-        let q = self.wq.forward(accel, x, LayerCtx::new(unit, Component::Q, layer));
-        let k = self.wk.forward(accel, x, LayerCtx::new(unit, Component::K, layer));
-        let v = self.wv.forward(accel, x, LayerCtx::new(unit, Component::V, layer));
+        let q = self
+            .wq
+            .forward(accel, x, LayerCtx::new(unit, Component::Q, layer));
+        let k = self
+            .wk
+            .forward(accel, x, LayerCtx::new(unit, Component::K, layer));
+        let v = self
+            .wv
+            .forward(accel, x, LayerCtx::new(unit, Component::V, layer));
         let mut context = Matrix::zeros(x.rows(), d);
         for h in 0..self.heads {
             let qh = head_slice(&q, h, dh);
@@ -248,8 +257,8 @@ impl QuantMha {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn forward_shape_is_preserved() {

@@ -6,7 +6,7 @@ use crate::activation::{relu, relu_backward, silu, silu_backward};
 use crate::attention::{CalRange, Mha, MhaCache, MhaGrads, QuantMha};
 use crate::linear::{Linear, LinearGrads, QuantLinear};
 use crate::norm::{
-    NormStats, layernorm_backward, layernorm_with_stats, rmsnorm_backward, rmsnorm_with_stats,
+    layernorm_backward, layernorm_with_stats, rmsnorm_backward, rmsnorm_with_stats, NormStats,
 };
 use create_accel::{Accelerator, Component, LayerCtx, Unit};
 use create_tensor::{Matrix, Precision};
@@ -438,17 +438,23 @@ impl QuantPlannerBlock {
         let a = self.attn.forward(accel, &n1, Unit::Planner, layer);
         let y = x.add(&a);
         let n2 = rmsnorm(&y);
-        let gate = self
-            .wgate
-            .forward(accel, &n2, LayerCtx::new(Unit::Planner, Component::Gate, layer));
-        let up = self
-            .wup
-            .forward(accel, &n2, LayerCtx::new(Unit::Planner, Component::Up, layer));
+        let gate = self.wgate.forward(
+            accel,
+            &n2,
+            LayerCtx::new(Unit::Planner, Component::Gate, layer),
+        );
+        let up = self.wup.forward(
+            accel,
+            &n2,
+            LayerCtx::new(Unit::Planner, Component::Up, layer),
+        );
         let act = silu(&gate);
         let prod = Matrix::from_fn(act.rows(), act.cols(), |r, c| act.get(r, c) * up.get(r, c));
-        let m = self
-            .wdown
-            .forward(accel, &prod, LayerCtx::new(Unit::Planner, Component::Down, layer));
+        let m = self.wdown.forward(
+            accel,
+            &prod,
+            LayerCtx::new(Unit::Planner, Component::Down, layer),
+        );
         y.add(&m)
     }
 }
@@ -521,13 +527,17 @@ impl QuantControllerBlock {
         let a = self.attn.forward(accel, &n1, Unit::Controller, layer);
         let y = x.add(&a);
         let n2 = layernorm(&y);
-        let pre = self
-            .fc1
-            .forward(accel, &n2, LayerCtx::new(Unit::Controller, Component::Fc1, layer));
+        let pre = self.fc1.forward(
+            accel,
+            &n2,
+            LayerCtx::new(Unit::Controller, Component::Fc1, layer),
+        );
         let hidden = relu(&pre);
-        let m = self
-            .fc2
-            .forward(accel, &hidden, LayerCtx::new(Unit::Controller, Component::Fc2, layer));
+        let m = self.fc2.forward(
+            accel,
+            &hidden,
+            LayerCtx::new(Unit::Controller, Component::Fc2, layer),
+        );
         y.add(&m)
     }
 }
@@ -535,8 +545,8 @@ impl QuantControllerBlock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn planner_block_preserves_shape() {

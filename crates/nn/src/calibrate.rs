@@ -130,7 +130,9 @@ impl PlannerBlock {
     /// Forward pass that records calibration maxima.
     pub fn forward_calibrate(&self, x: &Matrix, cal: &mut PlannerBlockCal) -> Matrix {
         let n1 = rmsnorm(x);
-        let a = mha_calibrate(&self.attn, &n1, &mut cal.q, &mut cal.k, &mut cal.v, &mut cal.o);
+        let a = mha_calibrate(
+            &self.attn, &n1, &mut cal.q, &mut cal.k, &mut cal.v, &mut cal.o,
+        );
         let y = x.add(&a);
         let n2 = rmsnorm(&y);
         let gate = self.mlp.wgate.forward(&n2);
@@ -149,7 +151,9 @@ impl ControllerBlock {
     /// Forward pass that records calibration maxima.
     pub fn forward_calibrate(&self, x: &Matrix, cal: &mut ControllerBlockCal) -> Matrix {
         let n1 = layernorm(x);
-        let a = mha_calibrate(&self.attn, &n1, &mut cal.q, &mut cal.k, &mut cal.v, &mut cal.o);
+        let a = mha_calibrate(
+            &self.attn, &n1, &mut cal.q, &mut cal.k, &mut cal.v, &mut cal.o,
+        );
         let y = x.add(&a);
         let n2 = layernorm(&y);
         let pre = self.mlp.fc1.forward(&n2);
@@ -210,8 +214,8 @@ impl QuantControllerBlock {
 mod tests {
     use super::*;
     use create_accel::Accelerator;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn calibrated_forward_matches_regular_forward() {

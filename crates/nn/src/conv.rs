@@ -180,8 +180,8 @@ impl Conv2d {
                                 if ic < 0 || ic >= x.w as isize {
                                     continue;
                                 }
-                                acc += self.w_at(co, ci, kh, kw)
-                                    * x.get(ci, ir as usize, ic as usize);
+                                acc +=
+                                    self.w_at(co, ci, kh, kw) * x.get(ci, ir as usize, ic as usize);
                             }
                         }
                     }
@@ -216,15 +216,9 @@ impl Conv2d {
                                 if ic < 0 || ic >= x.w as isize {
                                     continue;
                                 }
-                                let widx =
-                                    ((co * self.c_in + ci) * self.k + kh) * self.k + kw;
+                                let widx = ((co * self.c_in + ci) * self.k + kh) * self.k + kw;
                                 grads.dw[widx] += g * x.get(ci, ir as usize, ic as usize);
-                                dx.add_at(
-                                    ci,
-                                    ir as usize,
-                                    ic as usize,
-                                    g * self.weight[widx],
-                                );
+                                dx.add_at(ci, ir as usize, ic as usize, g * self.weight[widx]);
                             }
                         }
                     }
@@ -283,11 +277,7 @@ pub fn maxpool2(x: &Tensor3) -> (Tensor3, Vec<usize>) {
 }
 
 /// Backward for [`maxpool2`]: routes gradients to the argmax positions.
-pub fn maxpool2_backward(
-    x_shape: (usize, usize, usize),
-    arg: &[usize],
-    dy: &Tensor3,
-) -> Tensor3 {
+pub fn maxpool2_backward(x_shape: (usize, usize, usize), arg: &[usize], dy: &Tensor3) -> Tensor3 {
     let (c, h, w) = x_shape;
     let mut dx = Tensor3::zeros(c, h, w);
     for (i, &src) in arg.iter().enumerate() {
@@ -337,8 +327,8 @@ pub fn flatten(x: &Tensor3) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn out_size_matches_table9_pipeline() {

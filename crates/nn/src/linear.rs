@@ -156,8 +156,8 @@ impl QuantLinear {
 mod tests {
     use super::*;
     use create_accel::{Component, Unit};
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn ctx() -> LayerCtx {
         LayerCtx::new(Unit::Controller, Component::Fc1, 0)
@@ -167,11 +167,9 @@ mod tests {
     fn forward_applies_bias() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut layer = Linear::new(3, 2, true, &mut rng);
-        layer.w = Matrix::identity(3).rows_range(0, 3).matmul(&Matrix::from_vec(
-            3,
-            2,
-            vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0],
-        ));
+        layer.w = Matrix::identity(3)
+            .rows_range(0, 3)
+            .matmul(&Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0]));
         layer.b = Some(vec![10.0, 20.0]);
         let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
         let y = layer.forward(&x);
@@ -188,7 +186,11 @@ mod tests {
         // Loss = 0.5 * ||y - target||².
         let loss = |l: &Linear, xx: &Matrix| {
             let y = l.forward(xx);
-            y.sub(&target).as_slice().iter().map(|v| 0.5 * v * v).sum::<f32>()
+            y.sub(&target)
+                .as_slice()
+                .iter()
+                .map(|v| 0.5 * v * v)
+                .sum::<f32>()
         };
         let y = layer.forward(&x);
         let dy = y.sub(&target);
@@ -262,6 +264,10 @@ mod tests {
             0,
         );
         let _ = q.forward(&mut accel, &x, ctx());
-        assert_eq!(accel.ad_stats().cleared, 0, "AD must not fire on clean data");
+        assert_eq!(
+            accel.ad_stats().cleared,
+            0,
+            "AD must not fire on clean data"
+        );
     }
 }

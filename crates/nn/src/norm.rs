@@ -80,13 +80,7 @@ pub fn layernorm_with_stats(x: &Matrix) -> (Matrix, NormStats) {
         means.push(mu);
         denom.push(sd);
     }
-    (
-        out,
-        NormStats {
-            mean: means,
-            denom,
-        },
-    )
+    (out, NormStats { mean: means, denom })
 }
 
 /// LayerNorm backward:
@@ -96,7 +90,13 @@ pub fn layernorm_backward(y: &Matrix, stats: &NormStats, dy: &Matrix) -> Matrix 
     let d = y.cols() as f32;
     Matrix::from_fn(y.rows(), y.cols(), |r, c| {
         let mean_dy: f32 = dy.row(r).iter().sum::<f32>() / d;
-        let dot: f32 = y.row(r).iter().zip(dy.row(r)).map(|(a, b)| a * b).sum::<f32>() / d;
+        let dot: f32 = y
+            .row(r)
+            .iter()
+            .zip(dy.row(r))
+            .map(|(a, b)| a * b)
+            .sum::<f32>()
+            / d;
         (dy.get(r, c) - mean_dy - y.get(r, c) * dot) / stats.denom[r]
     })
 }
@@ -105,16 +105,10 @@ pub fn layernorm_backward(y: &Matrix, stats: &NormStats, dy: &Matrix) -> Matrix 
 mod tests {
     use super::*;
     use create_tensor::hadamard::Rotation;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
-    fn finite_diff(
-        f: impl Fn(&Matrix) -> f32,
-        x: &Matrix,
-        r: usize,
-        c: usize,
-        eps: f32,
-    ) -> f32 {
+    fn finite_diff(f: impl Fn(&Matrix) -> f32, x: &Matrix, r: usize, c: usize, eps: f32) -> f32 {
         let mut plus = x.clone();
         plus.set(r, c, x.get(r, c) + eps);
         let mut minus = x.clone();

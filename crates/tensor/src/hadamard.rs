@@ -22,7 +22,7 @@ use crate::Matrix;
 /// construction `H_{2^k} = H_2 ⊗ H_{2^{k-1}}` from the paper.
 #[inline]
 pub fn hadamard_sign(i: usize, j: usize) -> f32 {
-    if (i & j).count_ones() % 2 == 0 {
+    if (i & j).count_ones().is_multiple_of(2) {
         1.0
     } else {
         -1.0
@@ -37,7 +37,10 @@ pub fn hadamard_sign(i: usize, j: usize) -> f32 {
 ///
 /// Panics if `n` is zero or not a power of two.
 pub fn hadamard_matrix(n: usize) -> Matrix {
-    assert!(n.is_power_of_two(), "Hadamard size must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "Hadamard size must be a power of two, got {n}"
+    );
     let norm = 1.0 / (n as f32).sqrt();
     Matrix::from_fn(n, n, |i, j| hadamard_sign(i, j) * norm)
 }
@@ -52,7 +55,10 @@ pub fn hadamard_matrix(n: usize) -> Matrix {
 /// Panics if `data.len()` is zero or not a power of two.
 pub fn fwht_normalized(data: &mut [f32]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FWHT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FWHT length must be a power of two, got {n}"
+    );
     let mut h = 1;
     while h < n {
         let mut i = 0;
@@ -203,8 +209,8 @@ impl Rotation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn hadamard_is_orthogonal() {
@@ -225,8 +231,8 @@ mod tests {
         let h4 = hadamard_matrix(4);
         for i in 0..4 {
             for j in 0..4 {
-                let expect = h2.get(i / 2, j / 2) * h2.get(i % 2, j % 2) * 2.0f32.sqrt()
-                    / 2.0f32.sqrt();
+                let expect =
+                    h2.get(i / 2, j / 2) * h2.get(i % 2, j % 2) * 2.0f32.sqrt() / 2.0f32.sqrt();
                 assert!((h4.get(i, j) - expect).abs() < 1e-6);
             }
         }
@@ -265,7 +271,11 @@ mod tests {
         // All the energy lands in channel 2.
         assert!((y.get(0, 2).abs() - norm).abs() < 1e-4);
         for j in [0usize, 1, 3] {
-            assert!(y.get(0, j).abs() < 1e-4, "channel {j} leaked {}", y.get(0, j));
+            assert!(
+                y.get(0, j).abs() < 1e-4,
+                "channel {j} leaked {}",
+                y.get(0, j)
+            );
         }
     }
 

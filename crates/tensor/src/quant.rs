@@ -121,7 +121,11 @@ impl QuantMatrix {
     /// This is the deployment path: scales are profiled offline on
     /// calibration data, and runtime tensors are clamped into that grid.
     pub fn quantize_with(m: &Matrix, params: QuantParams) -> Self {
-        let data = m.as_slice().iter().map(|&v| params.quantize_value(v)).collect();
+        let data = m
+            .as_slice()
+            .iter()
+            .map(|&v| params.quantize_value(v))
+            .collect();
         Self {
             rows: m.rows(),
             cols: m.cols(),
@@ -185,8 +189,8 @@ impl QuantMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn precision_limits() {

@@ -62,7 +62,11 @@ impl OnlineStats {
 
     /// Sample mean (0 when empty).
     pub fn mean(&self) -> f64 {
-        if self.count == 0 { 0.0 } else { self.mean }
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Population standard deviation (0 when fewer than 2 samples).
@@ -148,7 +152,11 @@ pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Panics if the slices have different lengths.
 pub fn r2_score(actual: &[f32], predicted: &[f32]) -> f32 {
-    assert_eq!(actual.len(), predicted.len(), "r2 inputs must have equal length");
+    assert_eq!(
+        actual.len(),
+        predicted.len(),
+        "r2 inputs must have equal length"
+    );
     if actual.is_empty() {
         return 0.0;
     }

@@ -1,11 +1,11 @@
 //! Property-based tests for the tensor substrate.
 
-use create_tensor::hadamard::{Rotation, fwht_normalized, hadamard_matrix};
-use create_tensor::stats::{Histogram, OnlineStats, r2_score, wilson_interval};
+use create_tensor::hadamard::{fwht_normalized, hadamard_matrix, Rotation};
+use create_tensor::stats::{r2_score, wilson_interval, Histogram, OnlineStats};
 use create_tensor::{Matrix, Precision, QuantMatrix};
 use proptest::prelude::*;
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn matrix(rows: usize, cols: usize, seed: u64, scale: f32) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);

@@ -16,7 +16,12 @@ fn main() {
     let system = AgentSystem::build(PlannerPreset::openvla(), ControllerPreset::octo());
     let deployment = Deployment::new(&system, Precision::Int8);
 
-    for task in [TaskId::Wine, TaskId::Alphabet, TaskId::Eggplant, TaskId::Coke] {
+    for task in [
+        TaskId::Wine,
+        TaskId::Alphabet,
+        TaskId::Eggplant,
+        TaskId::Coke,
+    ] {
         let limits = MissionLimits::manipulation();
         let golden = run_trial(
             &deployment,

@@ -26,7 +26,10 @@ fn main() {
     }
     println!();
     println!("controller weight buffer on a scaled memory rail ({TRIALS} trials each):");
-    println!("{:>10} {:>10} {:>9} {:>12} {:>11} {:>13}", "mem rail", "protect", "success", "bits upset", "corrected", "uncorrectable");
+    println!(
+        "{:>10} {:>10} {:>9} {:>12} {:>11} {:>13}",
+        "mem rail", "protect", "success", "bits upset", "corrected", "uncorrectable"
+    );
     for &v in &[0.85, 0.74, 0.66] {
         for protection in [Protection::None, Protection::Secded] {
             let mem = MemoryConfig::new(v, protection);

@@ -16,7 +16,10 @@ fn main() {
     // Decode and show the plan first.
     let mut accel = create_ai::accel::Accelerator::ideal(0);
     let plan = deployment.planner.decode(&mut accel, TaskId::Iron, &[]);
-    println!("planner decomposition for `iron` ({} subtasks):", plan.len());
+    println!(
+        "planner decomposition for `iron` ({} subtasks):",
+        plan.len()
+    );
     for (i, st) in plan.iter().enumerate() {
         println!("  {:>2}. {st}", i + 1);
     }

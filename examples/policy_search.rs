@@ -35,13 +35,16 @@ fn main() {
             voltage: VoltageControl::adaptive(policy.clone()),
             ..CreateConfig::golden()
         };
-        let p = run_point(&deployment, TaskId::Wooden, &config, reps, 0x90 as u64);
+        let p = run_point(&deployment, TaskId::Wooden, &config, reps, 0x90);
         results.push((policy, p.effective_voltage, p.success_rate));
     }
 
     // Pareto frontier: no other policy has both lower voltage and higher SR.
     results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-    println!("\n  {:<10} {:>10} {:>9}  pareto", "policy", "eff volt", "success");
+    println!(
+        "\n  {:<10} {:>10} {:>9}  pareto",
+        "policy", "eff volt", "success"
+    );
     let mut best_sr = -1.0f64;
     for (policy, v_eff, sr) in results.iter().rev() {
         let pareto = *sr > best_sr;

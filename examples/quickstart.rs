@@ -26,7 +26,12 @@ fn main() {
 
     // 3. Aggressive undervolting without protection: timing errors corrupt
     //    the planner's GEMMs and the mission degrades.
-    let raw = run_trial(&deployment, TaskId::Wooden, &CreateConfig::undervolted(0.84), 42);
+    let raw = run_trial(
+        &deployment,
+        TaskId::Wooden,
+        &CreateConfig::undervolted(0.84),
+        42,
+    );
     println!(
         "0.84 V   : success={} steps={:<4} energy={:.2} J (unprotected)",
         raw.success,

@@ -1,0 +1,100 @@
+//! Workspace-level guarantees of the parallel experiment engine: results
+//! are bit-identical across thread counts, and degenerate grids are safe.
+
+use create_core::engine::{EngineOptions, Progress};
+use create_core::prelude::*;
+use create_core::testutil::tiny_deployment;
+
+fn options(threads: usize) -> EngineOptions {
+    EngineOptions {
+        threads,
+        progress: Progress::Silent,
+    }
+}
+
+/// The tentpole determinism property: the same grid at `CREATE_THREADS=1`
+/// and `CREATE_THREADS=8` (here pinned via `EngineOptions` so the test is
+/// immune to the environment) produces **bit-identical** `SweepPoint`s —
+/// every float compared with `==`, no tolerance.
+#[test]
+fn sweep_points_are_bit_identical_across_thread_counts() {
+    let (dep, task) = tiny_deployment();
+    let config = CreateConfig::golden();
+    let single = run_point_with(&dep, task, &config, 8, 0xC0FFEE, &options(1));
+    let eight = run_point_with(&dep, task, &config, 8, 0xC0FFEE, &options(8));
+    // `SweepPoint: PartialEq` compares every field, floats included.
+    assert_eq!(single, eight);
+    assert_eq!(single.n, 8);
+}
+
+/// Multi-cell grids keep the property: per-point seeds derive from the
+/// point *index*, not from scheduling, so a whole grid is reproducible
+/// too.
+#[test]
+fn grids_are_bit_identical_across_thread_counts() {
+    let (dep, task) = tiny_deployment();
+    let cells = || {
+        vec![
+            (task, CreateConfig::golden()),
+            (task, CreateConfig::undervolted(0.84)),
+        ]
+    };
+    let single = run_grid_with(
+        cells().into_iter().map(|(t, c)| GridCell {
+            dep: &dep,
+            task: t,
+            config: c,
+            trials: 6,
+        }),
+        0xBEEF,
+        &options(1),
+    );
+    let eight = run_grid_with(
+        cells().into_iter().map(|(t, c)| GridCell {
+            dep: &dep,
+            task: t,
+            config: c,
+            trials: 6,
+        }),
+        0xBEEF,
+        &options(8),
+    );
+    assert_eq!(single, eight);
+    assert_eq!(single.len(), 2);
+}
+
+/// An empty grid returns an empty result without touching a deployment.
+#[test]
+fn empty_grid_is_safe() {
+    let (dep, _) = tiny_deployment();
+    let points = run_config_grid(&dep, std::iter::empty(), 10, 1);
+    assert!(points.is_empty());
+}
+
+/// Zero trials exercises the `n == 0` guards in the sweep aggregation:
+/// every mean must come back 0 rather than NaN.
+#[test]
+fn zero_trials_yield_a_zeroed_point() {
+    let (dep, task) = tiny_deployment();
+    let p = run_point(&dep, task, &CreateConfig::golden(), 0, 5);
+    assert_eq!(p.n, 0);
+    assert_eq!(p.successes, 0);
+    assert_eq!(p.success_rate, 0.0);
+    assert_eq!(p.avg_steps, 0.0);
+    assert_eq!(p.avg_energy_j, 0.0);
+    assert_eq!(p.avg_compute_j, 0.0);
+    assert_eq!(p.effective_voltage, 0.0);
+    assert_eq!(p.avg_plans, 0.0);
+    assert!(p.ci.0.is_finite() && p.ci.1.is_finite());
+}
+
+/// `run_point` and `run_outcomes` share seed derivation, so aggregating
+/// raw outcomes reproduces the point exactly.
+#[test]
+fn run_point_matches_aggregated_run_outcomes() {
+    let (dep, task) = tiny_deployment();
+    let config = CreateConfig::golden();
+    let point = run_point(&dep, task, &config, 5, 77);
+    let raw = run_outcomes(&dep, task, &config, 5, 77);
+    assert_eq!(point, SweepPoint::from_outcomes(&raw));
+}

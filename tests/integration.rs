@@ -6,10 +6,10 @@
 //! full cached testbed, so `cargo test` works from a clean checkout.
 
 use create_ai::agents::presets::{ControllerPreset, PlannerPreset, PredictorPreset};
-use create_ai::agents::{ControllerModel, PlannerModel, datasets, vocab};
+use create_ai::agents::{datasets, vocab, ControllerModel, PlannerModel};
 use create_ai::prelude::*;
-use rand::SeedableRng;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::sync::{Arc, OnceLock};
 
 fn tiny_deployment() -> &'static Deployment {
@@ -46,8 +46,17 @@ fn tiny_deployment() -> &'static Deployment {
             Some(create_ai::agents::OutlierSpec::default()),
             &mut rng,
         );
-        assert!(planner.plan_accuracy(&samples) > 0.99, "tiny planner must converge");
-        let bc = datasets::collect_bc(&[TaskId::Wooden, TaskId::Log, TaskId::Seed], 2, 400, 0.05, 5);
+        assert!(
+            planner.plan_accuracy(&samples) > 0.99,
+            "tiny planner must converge"
+        );
+        let bc = datasets::collect_bc(
+            &[TaskId::Wooden, TaskId::Log, TaskId::Seed],
+            2,
+            400,
+            0.05,
+            5,
+        );
         let mut controller = ControllerModel::new(&controller_preset, &mut rng);
         controller.train(&bc, 10, 2e-3, &mut rng);
         let mut rotated = planner.clone();

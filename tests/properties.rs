@@ -1,7 +1,7 @@
 //! Workspace-level property-based tests (proptest): invariants that must
 //! hold for arbitrary inputs across the crates' public APIs.
 
-use create_ai::accel::inject::{ErrorModel, InjectionTarget, Injector, flip_acc_bit};
+use create_ai::accel::inject::{flip_acc_bit, ErrorModel, InjectionTarget, Injector};
 use create_ai::accel::ldo::Ldo;
 use create_ai::accel::timing::TimingModel;
 use create_ai::accel::{ad, array};

@@ -1,0 +1,40 @@
+//! The per-test deterministic generator and case-level error type.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The generator handed to strategies: `StdRng` seeded from the test name,
+/// so a test's case set never depends on execution order or thread count.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the generator from `name` (FNV-1a over the bytes).
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x1_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the runner draws a fresh case.
+    Reject(String),
+    /// `prop_assert!`-family failure; the runner panics with this message.
+    Fail(String),
+}

@@ -1,0 +1,192 @@
+//! Distributions: standard (full-domain) and uniform-in-range sampling.
+
+use crate::RngCore;
+
+/// Types that can be sampled uniformly over their whole domain
+/// (`[0,1)` for floats), mirroring upstream's `StandardUniform`.
+pub trait StandardUniform: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0,1)` with 53 bits of precision.
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    /// Uniform in `[0,1)` with 24 bits of precision.
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform-in-range sampling.
+pub mod uniform {
+    use super::StandardUniform;
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that support uniform sampling over a caller-supplied range.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// Uniform draw from `[lo, hi)`.
+        fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        /// Uniform draw from `[lo, hi]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo < hi, "random_range: empty range");
+                    let span = (hi as i128 - lo as i128) as u128;
+                    // Widening-multiply range reduction (Lemire); the
+                    // residual bias over a 64-bit draw is < 2^-64 per call,
+                    // far below anything the simulations can observe.
+                    let hi64 = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (lo as i128 + hi64) as $t
+                }
+
+                #[inline]
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo <= hi, "random_range: empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let hi64 = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (lo as i128 + hi64) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo < hi, "random_range: empty range");
+                    let u = <$t as StandardUniform>::sample_standard(rng);
+                    let v = lo + (hi - lo) * u;
+                    // Guard against rounding up to `hi` at the top of the
+                    // range; `next_down` is correct for zero and negative
+                    // `hi` too, where bit arithmetic would produce NaN or
+                    // leave the range.
+                    if v < hi { v } else { hi.next_down() }
+                }
+
+                #[inline]
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo <= hi, "random_range: empty range");
+                    lo + (hi - lo) * <$t as StandardUniform>::sample_standard(rng)
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(f32, f64);
+
+    /// Range expressions accepted by [`Rng::random_range`](crate::Rng::random_range).
+    pub trait SampleRange<T: SampleUniform> {
+        /// Draws a single value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v: usize = r.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = r.random_range(-6..=6);
+            assert!((-6..=6).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_ranges_reach_both_ends() {
+        let mut r = StdRng::seed_from_u64(9);
+        let draws: Vec<usize> = (0..2_000).map(|_| r.random_range(0..4)).collect();
+        for target in 0..4 {
+            assert!(draws.contains(&target), "never drew {target}");
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let v: f64 = r.random_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&v));
+            let u: f64 = r.random_range(f64::MIN_POSITIVE..1.0);
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+
+    #[test]
+    fn float_ranges_ending_at_or_below_zero_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            // A subnormal-width range ending at +0.0 exercises the
+            // rounding guard: the result must never be NaN or 0.0.
+            let v: f64 = r.random_range(-1e-320..0.0);
+            assert!(v.is_finite() && (-1e-320..0.0).contains(&v), "v = {v}");
+            let w: f64 = r.random_range(-3.0..-1.0);
+            assert!((-3.0..-1.0).contains(&w), "w = {w}");
+        }
+    }
+
+    #[test]
+    fn bool_probability_tracks_p() {
+        let mut r = StdRng::seed_from_u64(8);
+        let hits = (0..20_000).filter(|_| r.random_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline, API-compatible subset of the [`rand`](https://crates.io/crates/rand)
+//! crate (0.9 naming), vendored so the workspace builds without a registry.
+//!
+//! Only the surface the workspace actually uses is provided:
+//!
+//! * [`Rng`] with `random`, `random_range` and `random_bool`
+//! * [`SeedableRng`] with `seed_from_u64` / `from_seed`
+//! * [`rngs::StdRng`] — a xoshiro256++ generator seeded via SplitMix64
+//! * [`seq::SliceRandom`] with `shuffle` / `choose`
+//!
+//! The generator is *not* the upstream ChaCha12 `StdRng`; streams differ
+//! from real `rand`, but every draw is fully deterministic in the seed,
+//! which is the property the experiment engine relies on.
+
+pub mod distr;
+pub mod rngs;
+pub mod seq;
+
+use distr::uniform::{SampleRange, SampleUniform};
+use distr::StandardUniform;
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly over the type's full domain (`[0,1)` for
+    /// floats), matching `StandardUniform`.
+    #[inline]
+    fn random<T>(&mut self) -> T
+    where
+        T: StandardUniform,
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0,1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible generators from seeds.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64 as
+    /// upstream `rand` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_exact_mut(8) {
+            chunk.copy_from_slice(&rngs::splitmix64(&mut state).to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
