@@ -5,6 +5,12 @@
 //! accumulators (paper Fig. 8b). This module computes the *values* that
 //! datapath would produce — including 24-bit wrap-around on overflow — so
 //! that bit-flip injection and anomaly detection act on bit-exact state.
+//!
+//! [`gemm_i8_acc`] is the *reference* implementation: it defines the bit
+//! pattern every [`GemmBackend`](crate::gemm::GemmBackend) must reproduce.
+//! The accelerator facade dispatches through [`crate::gemm`], which wraps
+//! this loop as `ScalarBackend` and ships a faster bit-identical
+//! `BlockedBackend` beside it.
 
 use create_tensor::QuantMatrix;
 
@@ -14,7 +20,32 @@ const ACC_MASK: i32 = 0x00FF_FFFF;
 /// Wraps a wide sum into 24-bit two's complement (sign-extended `i32`).
 #[inline]
 pub fn wrap_acc24(v: i64) -> i32 {
-    (((v as i32) & ACC_MASK) << 8) >> 8
+    wrap_acc24_i32(v as i32)
+}
+
+/// Wraps an `i32` running sum (exact mod 2³²) into 24-bit two's
+/// complement. Backends that accumulate in `i32` lanes use this; it
+/// agrees with [`wrap_acc24`] because the wrap only observes the low 24
+/// bits.
+#[inline]
+pub fn wrap_acc24_i32(v: i32) -> i32 {
+    ((v & ACC_MASK) << 8) >> 8
+}
+
+/// Panics with the canonical `gemm shape mismatch` message if inner
+/// dimensions disagree. Every backend routes its shape check here so the
+/// panic is uniform no matter which implementation is selected.
+#[inline]
+pub fn check_gemm_shapes(a: &QuantMatrix, w: &QuantMatrix) {
+    assert_eq!(
+        a.cols(),
+        w.rows(),
+        "gemm shape mismatch: {}x{} @ {}x{}",
+        a.rows(),
+        a.cols(),
+        w.rows(),
+        w.cols()
+    );
 }
 
 /// Computes the INT8 GEMM `a (m×k) @ w (k×n)` with 24-bit accumulation.
@@ -26,15 +57,7 @@ pub fn wrap_acc24(v: i64) -> i32 {
 ///
 /// Panics if inner dimensions disagree.
 pub fn gemm_i8_acc(a: &QuantMatrix, w: &QuantMatrix) -> Vec<i32> {
-    assert_eq!(
-        a.cols(),
-        w.rows(),
-        "gemm shape mismatch: {}x{} @ {}x{}",
-        a.rows(),
-        a.cols(),
-        w.rows(),
-        w.cols()
-    );
+    check_gemm_shapes(a, w);
     let (m, k, n) = (a.rows(), a.cols(), w.cols());
     let mut acc = vec![0i64; m * n];
     let w_data = w.as_slice();
@@ -103,6 +126,21 @@ mod tests {
         assert_eq!(wrap_acc24(8_388_608), -8_388_608);
         assert_eq!(wrap_acc24(-8_388_609), 8_388_607);
         assert_eq!(wrap_acc24(0), 0);
+    }
+
+    #[test]
+    fn wrap_acc24_i32_agrees_with_the_i64_wrap() {
+        for v in [
+            -8_388_609i64,
+            -1,
+            0,
+            8_388_607,
+            8_388_608,
+            i32::MAX as i64,
+            i32::MIN as i64,
+        ] {
+            assert_eq!(wrap_acc24(v), wrap_acc24_i32(v as i32));
+        }
     }
 
     #[test]

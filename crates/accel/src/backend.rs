@@ -6,10 +6,18 @@
 //! and dequantization. A single choke point guarantees that every
 //! experiment (characterization, ablations, baselines) exercises the same
 //! code path and differs only in configuration.
+//!
+//! The clean accumulation step itself is pluggable: it dispatches through
+//! the [`GemmBackend`] trait object selected by [`AccelConfig::backend`],
+//! while every downstream stage (injection, AD, requantization, profiler,
+//! MAC/energy accounting) consumes the backend's output buffer unchanged.
+//! Because all shipped backends are bit-identical, swapping them changes
+//! wall-clock time and nothing else.
 
 use crate::ad::{self, AdStats};
 use crate::array;
 use crate::ctx::LayerCtx;
+use crate::gemm::{GemmBackend, GemmBackendKind};
 use crate::inject::{InjectionStats, Injector};
 use crate::scheme::{apply_scheme, Scheme};
 use crate::timing::V_NOMINAL;
@@ -66,15 +74,23 @@ pub struct AccelConfig {
     /// configuration; `<1` clips golden activations, `>1` lets larger
     /// surviving errors through. See the `abl_ad_bound` bench target.
     pub bound_scale: f32,
+    /// Which [`GemmBackend`] computes the clean accumulators. All shipped
+    /// backends are bit-identical, so this is a pure performance knob.
+    pub backend: GemmBackendKind,
 }
 
 impl Default for AccelConfig {
+    /// The default configuration reads `CREATE_GEMM_BACKEND` (validated,
+    /// falling back to `blocked`), so the whole workspace — tests, figure
+    /// harnesses, examples — can be pinned to one backend from the
+    /// environment without touching construction sites.
     fn default() -> Self {
         Self {
             injector: None,
             ad_enabled: false,
             scheme: Scheme::default(),
             bound_scale: 1.0,
+            backend: GemmBackendKind::from_env(),
         }
     }
 }
@@ -98,6 +114,7 @@ impl Default for AccelConfig {
 #[derive(Debug)]
 pub struct Accelerator {
     config: AccelConfig,
+    backend: Box<dyn GemmBackend>,
     voltage: f64,
     rng: StdRng,
     ad_stats: AdStats,
@@ -112,8 +129,10 @@ impl Accelerator {
     /// Creates an accelerator with the given configuration at nominal
     /// voltage, seeded deterministically.
     pub fn new(config: AccelConfig, seed: u64) -> Self {
+        let backend = config.backend.instantiate();
         Self {
             config,
+            backend,
             voltage: V_NOMINAL,
             rng: StdRng::seed_from_u64(seed),
             ad_stats: AdStats::default(),
@@ -141,6 +160,11 @@ impl Accelerator {
     }
 
     /// Replaces the injector (e.g. to sweep BER within one trial).
+    ///
+    /// Injection perturbs the accumulator buffer *after* the clean GEMM
+    /// backend has produced it, so swapping injectors never interacts
+    /// with [`AccelConfig::backend`]: the same flips land on the same
+    /// bit-identical clean state whichever backend is selected.
     pub fn set_injector(&mut self, injector: Option<Injector>) {
         self.config.injector = injector;
     }
@@ -156,8 +180,19 @@ impl Accelerator {
     }
 
     /// Reseeds the RNG (per-trial reproducibility).
+    ///
+    /// Only injection and the redundancy schemes draw from this stream —
+    /// the clean GEMM backends are deterministic functions of their
+    /// inputs — so a reseeded accelerator replays identical faults on any
+    /// backend and the engine's `(base seed, point, trial)` derivation
+    /// stays backend-agnostic.
     pub fn reseed(&mut self, seed: u64) {
         self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Name of the active GEMM backend (`"scalar"`, `"blocked"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 
     /// Attaches an output profiler.
@@ -204,9 +239,15 @@ impl Accelerator {
     ///   the AD units (pass `f32::INFINITY` to disable the bound even when
     ///   AD is on).
     ///
+    /// The clean accumulators come from the configured [`GemmBackend`];
+    /// injection, AD, requantization saturation, profiling and MAC
+    /// accounting then run on that buffer in datapath order, identically
+    /// for every backend.
+    ///
     /// # Panics
     ///
-    /// Panics if inner dimensions disagree.
+    /// Panics if inner dimensions disagree (the check is routed through
+    /// the backend trait object, with one canonical message).
     pub fn linear(
         &mut self,
         x: &Matrix,
@@ -223,7 +264,7 @@ impl Accelerator {
         self.gemms += 1;
         let mut acc;
         if let Some(injector) = self.config.injector.clone() {
-            let clean = array::gemm_i8_acc(&xq, w);
+            let clean = self.backend.gemm_i8_acc(&xq, w);
             match self.config.scheme {
                 Scheme::Plain => {
                     acc = clean;
@@ -255,7 +296,7 @@ impl Accelerator {
                 }
             }
         } else {
-            acc = array::gemm_i8_acc(&xq, w);
+            acc = self.backend.gemm_i8_acc(&xq, w);
             self.macs += gemm_macs;
         }
         if self.config.ad_enabled {
@@ -434,6 +475,61 @@ mod tests {
             acc.linear(&x, &w, params, bound, ctx()).max_abs()
         };
         assert!(run(8.0) > run(1.0), "loose bounds admit larger residuals");
+    }
+
+    #[test]
+    fn full_pipeline_is_backend_agnostic() {
+        // Same seed, same config, different backend: clean accumulators
+        // are bit-identical, so the injected faults, AD clearances and
+        // MAC/energy counters must all coincide exactly.
+        let (x, w, params) = random_setup(36);
+        let injector = Injector::new(ErrorModel::Uniform { ber: 1e-3 }, InjectionTarget::All, 1.0);
+        let run = |backend: GemmBackendKind| {
+            let mut acc = Accelerator::new(
+                AccelConfig {
+                    injector: Some(injector.clone()),
+                    ad_enabled: true,
+                    backend,
+                    ..Default::default()
+                },
+                99,
+            );
+            let y = acc.linear(&x, &w, params, 4.0, ctx());
+            (y, acc.ad_stats(), acc.injection_stats(), acc.macs())
+        };
+        let scalar = run(GemmBackendKind::Scalar);
+        let blocked = run(GemmBackendKind::Blocked);
+        assert_eq!(scalar, blocked);
+    }
+
+    #[test]
+    fn backend_name_reports_the_selected_backend() {
+        for kind in GemmBackendKind::ALL {
+            let acc = Accelerator::new(
+                AccelConfig {
+                    backend: kind,
+                    ..Default::default()
+                },
+                0,
+            );
+            assert_eq!(acc.backend_name(), kind.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm shape mismatch")]
+    fn linear_shape_mismatch_panics_through_the_trait_object() {
+        let mut acc = Accelerator::new(
+            AccelConfig {
+                backend: GemmBackendKind::Blocked,
+                ..Default::default()
+            },
+            0,
+        );
+        let x = Matrix::zeros(2, 3);
+        let w = QuantMatrix::quantize(&Matrix::zeros(4, 2), Precision::Int8);
+        let params = QuantParams::from_max_abs(1.0, Precision::Int8);
+        let _ = acc.linear(&x, &w, params, f32::INFINITY, ctx());
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //! tile is loaded once (array-height cycles), then `M` input rows stream
 //! through with a pipeline-drain tail. Latencies for Table 3 come from the
 //! reference model workloads.
+//!
+//! Cycle counts are a function of GEMM shape and array geometry only —
+//! they model the simulated hardware, not the host — so they are
+//! identical for every [`GemmBackend`](crate::gemm::GemmBackend).
 
 /// Geometry and clock of the accelerator platform.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -15,6 +15,11 @@
 //! With the Table 4 workloads these reproduce the paper's chip-level
 //! splits: computation ≈ 62–67% of planner energy and ≈ 77–79% of
 //! controller energy.
+//!
+//! Energy is billed per *modeled* MAC (the `Accelerator`'s logical/
+//! physical MAC counters), never per host instruction, so swapping the
+//! software [`GemmBackend`](crate::gemm::GemmBackend) changes wall-clock
+//! simulation time but not one joule of accounted energy.
 
 use crate::ctx::Unit;
 use crate::timing::V_NOMINAL;

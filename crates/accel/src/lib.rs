@@ -6,6 +6,9 @@
 //!
 //! * [`array`](mod@array) — the INT8 × INT8 → 24-bit-accumulator GEMM datapath,
 //!   bit-exact so flips land on real accumulator state.
+//! * [`gemm`] — pluggable [`GemmBackend`] implementations of that datapath
+//!   (scalar reference + blocked fast path, bit-identical, selected via
+//!   `CREATE_GEMM_BACKEND` / [`AccelConfig::backend`]).
 //! * [`timing`] — the voltage→per-bit timing-error model calibrated to the
 //!   paper's PrimeTime/HSPICE characterization (Fig. 4a).
 //! * [`inject`] — uniform and hardware-derived bit-flip injection into
@@ -40,6 +43,7 @@ pub mod ctx;
 pub mod cycles;
 pub mod ecc;
 pub mod energy;
+pub mod gemm;
 pub mod inject;
 pub mod ldo;
 pub mod platform;
@@ -50,6 +54,7 @@ pub mod timing;
 pub use backend::{AccelConfig, Accelerator, OutputProfiler};
 pub use ctx::{Component, LayerCtx, Unit};
 pub use energy::{EnergyMeter, InferenceCost};
+pub use gemm::{BlockedBackend, GemmBackend, GemmBackendKind, ScalarBackend};
 pub use inject::{ErrorModel, InjectionTarget, Injector};
 pub use ldo::Ldo;
 pub use scheme::Scheme;

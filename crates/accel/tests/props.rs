@@ -2,6 +2,7 @@
 
 use create_accel::array;
 use create_accel::ecc::{Codeword, Decoded, CODE_BITS};
+use create_accel::gemm::{GemmBackend, GemmBackendKind, ScalarBackend};
 use create_accel::inject::{sample_poisson, ErrorModel, InjectionTarget, Injector};
 use create_accel::scheme::{apply_scheme, Scheme};
 use create_accel::sram::{MemoryFaultModel, Protection, SramBuffer};
@@ -46,6 +47,42 @@ proptest! {
         let ysum = array::gemm_i8_acc(&quant(&a1.add(&a2)), &wq);
         for i in 0..y1.len() {
             prop_assert_eq!(ysum[i], y1[i] + y2[i]);
+        }
+    }
+
+    /// Every shipped GEMM backend produces accumulators bit-identical to
+    /// the scalar reference across random shapes — including zero-row,
+    /// zero-inner-dim and zero-col edges — and saturated codes large
+    /// enough to exercise the 24-bit wrap.
+    #[test]
+    fn gemm_backends_are_bit_identical(
+        seed in 0u64..400,
+        m in 0usize..5,
+        k in 0usize..70,
+        n in 0usize..20,
+        saturated in any::<bool>(),
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fill = |rows: usize, cols: usize, rng: &mut StdRng| {
+            QuantMatrix::quantize_with(
+                &Matrix::from_fn(rows, cols, |_, _| {
+                    if saturated {
+                        127.0
+                    } else {
+                        rng.random_range(-127i32..=127) as f32
+                    }
+                }),
+                create_tensor::QuantParams::from_scale(1.0, Precision::Int8),
+            )
+        };
+        let a = fill(m, k, &mut rng);
+        let w = fill(k, n, &mut rng);
+        let reference = ScalarBackend.gemm_i8_acc(&a, &w);
+        prop_assert_eq!(reference.len(), m * n);
+        for kind in GemmBackendKind::ALL {
+            let out = kind.instantiate().gemm_i8_acc(&a, &w);
+            prop_assert_eq!(&out, &reference, "backend {} diverged", kind);
         }
     }
 

@@ -621,17 +621,34 @@ mod tests {
         let samples = datasets::collect_bc(&[TaskId::Log], 2, 200, 0.05, 10);
         model.train(&samples, 6, 2e-3, &mut rng);
         let quant = model.deploy(&samples, Precision::Int8);
-        let mut accel = Accelerator::new(
-            create_accel::AccelConfig {
-                injector: None,
-                ad_enabled: true,
-                ..Default::default()
-            },
-            0,
-        );
-        for s in samples.iter().take(50) {
-            let _ = quant.logits(&mut accel, &s.obs, None);
+        let mut per_backend = Vec::new();
+        for backend in create_accel::GemmBackendKind::ALL {
+            let mut accel = Accelerator::new(
+                create_accel::AccelConfig {
+                    injector: None,
+                    ad_enabled: true,
+                    backend,
+                    ..Default::default()
+                },
+                0,
+            );
+            let logits: Vec<_> = samples
+                .iter()
+                .take(50)
+                .map(|s| quant.logits(&mut accel, &s.obs, None))
+                .collect();
+            assert_eq!(
+                accel.ad_stats().cleared,
+                0,
+                "AD fired on calibration data ({backend})"
+            );
+            per_backend.push(logits);
         }
-        assert_eq!(accel.ad_stats().cleared, 0, "AD fired on calibration data");
+        for (kind, logits) in create_accel::GemmBackendKind::ALL.iter().zip(&per_backend) {
+            assert_eq!(
+                logits, &per_backend[0],
+                "deployed controller logits must be backend-invariant ({kind})"
+            );
+        }
     }
 }

@@ -708,16 +708,30 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         model.train(&samples, 120, 3e-3, None, &mut rng);
         let quant = model.deploy(&samples, Precision::Int8);
-        let mut accel = Accelerator::new(
-            create_accel::AccelConfig {
-                injector: None,
-                ad_enabled: true,
-                ..Default::default()
-            },
-            0,
-        );
-        let _ = quant.decode(&mut accel, TaskId::Log, &[]);
-        assert_eq!(accel.ad_stats().cleared, 0, "AD fired on a golden run");
+        let mut plans = Vec::new();
+        for backend in create_accel::GemmBackendKind::ALL {
+            let mut accel = Accelerator::new(
+                create_accel::AccelConfig {
+                    injector: None,
+                    ad_enabled: true,
+                    backend,
+                    ..Default::default()
+                },
+                0,
+            );
+            plans.push(quant.decode(&mut accel, TaskId::Log, &[]));
+            assert_eq!(
+                accel.ad_stats().cleared,
+                0,
+                "AD fired on a golden run ({backend})"
+            );
+        }
+        for (kind, plan) in create_accel::GemmBackendKind::ALL.iter().zip(&plans) {
+            assert_eq!(
+                plan, &plans[0],
+                "decoded plans must be backend-invariant ({kind})"
+            );
+        }
     }
 
     #[test]

@@ -2,22 +2,29 @@
 //! pipeline shows (1) outputs rarely occupy the most significant bits and
 //! (2) most elements sit near zero — the two properties that justify
 //! clamping out-of-bound results to zero (Sec. 5.1).
+//!
+//! The harness is parameterized over every [`GemmBackendKind`]: the same
+//! planner/controller traffic is profiled once per backend and the
+//! histograms are asserted bin-for-bin identical, so the figure doubles as
+//! an end-to-end backend-parity check on real model workloads.
 
-use create_accel::{Accelerator, OutputProfiler};
+use create_accel::gemm::GemmBackendKind;
+use create_accel::{AccelConfig, Accelerator, OutputProfiler};
 use create_agents::vocab;
 use create_bench::{banner, emit, jarvis_deployment, Stopwatch};
 use create_core::prelude::*;
 use create_env::{TaskId, World};
+use create_tensor::stats::Histogram;
 
-fn main() {
-    let _t = Stopwatch::start("fig08");
-    let dep = jarvis_deployment();
-
-    banner(
-        "Fig. 8(a)",
-        "runtime GEMM output distribution (golden pipeline)",
+/// One profiled pass of representative planner + controller GEMMs.
+fn profile_backend(dep: &create_core::Deployment, backend: GemmBackendKind) -> Histogram {
+    let mut accel = Accelerator::new(
+        AccelConfig {
+            backend,
+            ..Default::default()
+        },
+        0,
     );
-    let mut accel = Accelerator::ideal(0);
     accel.set_profiler(Some(OutputProfiler::new(-40.0, 40.0, 40, 7)));
     // Drive both models over representative inputs.
     let tokens = vocab::context_tokens(TaskId::Iron, &[]);
@@ -29,22 +36,55 @@ fn main() {
         world.step(create_env::Action::North);
     }
     let profiler = accel.take_profiler().expect("profiler");
-    let hist = profiler.histogram();
+    profiler.histogram().clone()
+}
+
+fn main() {
+    let _t = Stopwatch::start("fig08");
+    let dep = jarvis_deployment();
+
+    banner(
+        "Fig. 8(a)",
+        "runtime GEMM output distribution (golden pipeline, all backends)",
+    );
+    // ALL is reference-first, so hists[0] is the scalar reference; each
+    // backend is profiled exactly once.
+    let hists: Vec<(GemmBackendKind, Histogram)> = GemmBackendKind::ALL
+        .into_iter()
+        .map(|kind| (kind, profile_backend(&dep, kind)))
+        .collect();
+    let (_, reference) = &hists[0];
+    for (kind, hist) in &hists {
+        assert_eq!(
+            (hist.bins(), hist.underflow(), hist.overflow()),
+            (
+                reference.bins(),
+                reference.underflow(),
+                reference.overflow()
+            ),
+            "backend {kind} produced a different output distribution"
+        );
+        println!("backend {kind:<8} histogram matches the scalar reference");
+    }
+
     let mut t = TextTable::new(vec!["bin_center", "count"]);
-    for i in 0..hist.bins().len() {
+    for (i, count) in reference.bins().iter().enumerate() {
         t.row(vec![
-            format!("{:.1}", hist.bin_center(i)),
-            hist.bins()[i].to_string(),
+            format!("{:.1}", reference.bin_center(i)),
+            count.to_string(),
         ]);
     }
     emit(&t, "fig08a_gemm_profile");
-    let total = hist.total();
-    let near_zero: u64 = (17..23).map(|i| hist.bins()[i]).sum();
+    let total = reference.total();
+    let near_zero: u64 = (0..reference.bins().len())
+        .filter(|&i| reference.bin_center(i).abs() < 6.0)
+        .map(|i| reference.bins()[i])
+        .sum();
     println!(
         "samples: {total}; fraction within |value| < 6: {:.1}%; overflow \
          (beyond ±40): {}",
         100.0 * near_zero as f64 / total.max(1) as f64,
-        hist.overflow() + hist.underflow()
+        reference.overflow() + reference.underflow()
     );
     println!("Expected shape: sharply peaked at zero with thin tails.");
 }

@@ -1,13 +1,16 @@
 //! Criterion microbenchmarks of the performance-critical kernels: the
-//! INT8 systolic GEMM, error injection, anomaly detection (to quantify its
-//! "negligible overhead" claim in software terms) and the fast
-//! Walsh–Hadamard transform used by weight rotation.
+//! INT8 systolic GEMM (per [`GemmBackendKind`], so scalar-vs-blocked
+//! speedups are measured head-to-head on identical inputs), error
+//! injection, anomaly detection (to quantify its "negligible overhead"
+//! claim in software terms) and the fast Walsh–Hadamard transform used by
+//! weight rotation.
 
+use create_accel::ad;
 use create_accel::ctx::{Component, LayerCtx, Unit};
 use create_accel::ecc::Codeword;
+use create_accel::gemm::GemmBackendKind;
 use create_accel::inject::{ErrorModel, InjectionTarget, Injector};
 use create_accel::sram::{MemoryFaultModel, Protection, SramBuffer};
-use create_accel::{ad, array};
 use create_tensor::hadamard::fwht_normalized;
 use create_tensor::{Matrix, Precision, QuantMatrix};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -17,17 +20,22 @@ use std::hint::black_box;
 
 fn bench_gemm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let a = QuantMatrix::quantize(
-        &Matrix::random_uniform(16, 256, 1.0, &mut rng),
-        Precision::Int8,
-    );
-    let w = QuantMatrix::quantize(
-        &Matrix::random_uniform(256, 256, 1.0, &mut rng),
-        Precision::Int8,
-    );
-    c.bench_function("gemm_i8_16x256x256", |b| {
-        b.iter(|| black_box(array::gemm_i8_acc(black_box(&a), black_box(&w))))
-    });
+    for (m, k, n) in [(16usize, 256usize, 256usize), (1, 512, 128)] {
+        let a = QuantMatrix::quantize(
+            &Matrix::random_uniform(m, k, 1.0, &mut rng),
+            Precision::Int8,
+        );
+        let w = QuantMatrix::quantize(
+            &Matrix::random_uniform(k, n, 1.0, &mut rng),
+            Precision::Int8,
+        );
+        for kind in GemmBackendKind::ALL {
+            let backend = kind.instantiate();
+            c.bench_function(&format!("gemm_i8_{m}x{k}x{n}/{kind}"), |b| {
+                b.iter(|| black_box(backend.gemm_i8_acc(black_box(&a), black_box(&w))))
+            });
+        }
+    }
 }
 
 fn bench_injection(c: &mut Criterion) {

@@ -126,6 +126,9 @@ pub fn run_trial(
             ad_enabled: config.planner_ad,
             scheme: config.scheme,
             bound_scale: config.ad_bound_scale,
+            // GEMM backend from CREATE_GEMM_BACKEND; outcomes are
+            // backend-invariant (bit-identical clean accumulators).
+            ..AccelConfig::default()
         },
         seed ^ 0x9A,
     );
@@ -139,6 +142,7 @@ pub fn run_trial(
             ad_enabled: config.controller_ad,
             scheme: config.scheme,
             bound_scale: config.ad_bound_scale,
+            ..AccelConfig::default()
         },
         seed ^ 0xC7,
     );

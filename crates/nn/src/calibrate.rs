@@ -253,21 +253,28 @@ mod tests {
             inputs.push(x);
         }
         let q = QuantPlannerBlock::from_block_cal(&block, &cal, 1.25, Precision::Int8);
-        let mut accel = Accelerator::new(
-            create_accel::AccelConfig {
-                injector: None,
-                ad_enabled: true,
-                ..Default::default()
-            },
-            0,
-        );
-        for x in &inputs {
-            let (z, _) = block.forward(x);
-            let zq = q.forward(&mut accel, x, 0, None);
-            let err = z.max_abs_diff(&zq);
-            assert!(err < 0.25 * z.max_abs().max(1.0), "quant error {err}");
+        for backend in create_accel::GemmBackendKind::ALL {
+            let mut accel = Accelerator::new(
+                create_accel::AccelConfig {
+                    injector: None,
+                    ad_enabled: true,
+                    backend,
+                    ..Default::default()
+                },
+                0,
+            );
+            for x in &inputs {
+                let (z, _) = block.forward(x);
+                let zq = q.forward(&mut accel, x, 0, None);
+                let err = z.max_abs_diff(&zq);
+                assert!(err < 0.25 * z.max_abs().max(1.0), "quant error {err}");
+            }
+            assert_eq!(
+                accel.ad_stats().cleared,
+                0,
+                "AD fired on calibration data ({backend})"
+            );
         }
-        assert_eq!(accel.ad_stats().cleared, 0, "AD fired on calibration data");
     }
 
     #[test]

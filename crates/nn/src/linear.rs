@@ -249,25 +249,32 @@ mod tests {
     }
 
     #[test]
-    fn golden_run_never_trips_anomaly_detection() {
+    fn golden_run_never_trips_anomaly_detection_on_any_backend() {
         let mut rng = StdRng::seed_from_u64(4);
         let layer = Linear::new(32, 16, false, &mut rng);
         let x = Matrix::random_uniform(8, 32, 1.0, &mut rng);
         let y_float = layer.forward(&x);
         let q = QuantLinear::from_calibrated(&layer, 1.0, y_float.max_abs(), 1.25, Precision::Int8);
-        let mut accel = Accelerator::new(
-            create_accel::AccelConfig {
-                injector: None,
-                ad_enabled: true,
-                ..Default::default()
-            },
-            0,
-        );
-        let _ = q.forward(&mut accel, &x, ctx());
-        assert_eq!(
-            accel.ad_stats().cleared,
-            0,
-            "AD must not fire on clean data"
-        );
+        let mut outputs = Vec::new();
+        for backend in create_accel::GemmBackendKind::ALL {
+            let mut accel = Accelerator::new(
+                create_accel::AccelConfig {
+                    injector: None,
+                    ad_enabled: true,
+                    backend,
+                    ..Default::default()
+                },
+                0,
+            );
+            outputs.push(q.forward(&mut accel, &x, ctx()));
+            assert_eq!(
+                accel.ad_stats().cleared,
+                0,
+                "AD must not fire on clean data ({backend})"
+            );
+        }
+        for (kind, out) in create_accel::GemmBackendKind::ALL.iter().zip(&outputs) {
+            assert_eq!(out, &outputs[0], "backend {kind} must agree bit-exactly");
+        }
     }
 }
