@@ -78,10 +78,52 @@ pub fn gemm_i8_acc(a: &QuantMatrix, w: &QuantMatrix) -> Vec<i32> {
     acc.into_iter().map(wrap_acc24).collect()
 }
 
+/// [`gemm_i8_acc`] into a caller-provided accumulator buffer.
+///
+/// Accumulates in `i32` with wrapping adds — exact modulo 2³², which is
+/// all the final 24-bit wrap can observe — so the result is bit-identical
+/// to the `i64` reference for every input while reusing `acc`'s capacity
+/// (zero heap allocation once warmed up at the largest `m·n`).
+///
+/// # Panics
+///
+/// Panics if inner dimensions disagree.
+pub fn gemm_i8_acc_into(a: &QuantMatrix, w: &QuantMatrix, acc: &mut Vec<i32>) {
+    check_gemm_shapes(a, w);
+    let (m, k, n) = (a.rows(), a.cols(), w.cols());
+    acc.clear();
+    acc.resize(m * n, 0);
+    let w_data = w.as_slice();
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = &mut acc[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate().take(k) {
+            if av == 0 {
+                continue;
+            }
+            let av = av as i32;
+            let w_row = &w_data[kk * n..(kk + 1) * n];
+            for (o, &wv) in out_row.iter_mut().zip(w_row) {
+                *o = o.wrapping_add(av * wv as i32);
+            }
+        }
+    }
+    for v in acc.iter_mut() {
+        *v = wrap_acc24_i32(*v);
+    }
+}
+
 /// Dequantizes an accumulator buffer into real values using the combined
 /// input×weight scale.
 pub fn acc_to_f32(acc: &[i32], combined_scale: f32) -> Vec<f32> {
     acc.iter().map(|&v| v as f32 * combined_scale).collect()
+}
+
+/// [`acc_to_f32`] into a caller-provided buffer (identical values, reused
+/// capacity).
+pub fn acc_to_f32_into(acc: &[i32], combined_scale: f32, out: &mut Vec<f32>) {
+    out.clear();
+    out.extend(acc.iter().map(|&v| v as f32 * combined_scale));
 }
 
 #[cfg(test)]
@@ -159,5 +201,40 @@ mod tests {
         let a = QuantMatrix::quantize(&Matrix::zeros(2, 3), Precision::Int8);
         let w = QuantMatrix::quantize(&Matrix::zeros(4, 2), Precision::Int8);
         let _ = gemm_i8_acc(&a, &w);
+    }
+
+    #[test]
+    fn gemm_into_matches_reference_incl_wrap_and_reuses_capacity() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut acc = Vec::new();
+        // Saturated k=600 rows wrap past 24 bits, pinning the i32-lane
+        // equivalence; the shrinking shapes pin capacity reuse.
+        let big = Matrix::from_fn(2, 600, |_, _| 127.0);
+        let bq = QuantMatrix::quantize(&big, Precision::Int8);
+        let btq = QuantMatrix::quantize(&big.transpose(), Precision::Int8);
+        gemm_i8_acc_into(&bq, &btq, &mut acc);
+        assert_eq!(acc, gemm_i8_acc(&bq, &btq));
+        let ptr = acc.as_ptr();
+        for (m, k, n) in [(2usize, 3usize, 2usize), (1, 16, 4), (0, 5, 3)] {
+            let a = QuantMatrix::quantize(
+                &Matrix::random_uniform(m, k, 1.0, &mut rng),
+                Precision::Int8,
+            );
+            let w = QuantMatrix::quantize(
+                &Matrix::random_uniform(k, n, 1.0, &mut rng),
+                Precision::Int8,
+            );
+            gemm_i8_acc_into(&a, &w, &mut acc);
+            assert_eq!(acc, gemm_i8_acc(&a, &w));
+            assert_eq!(acc.as_ptr(), ptr, "accumulator buffer must be reused");
+        }
+    }
+
+    #[test]
+    fn acc_to_f32_into_matches_allocating_form() {
+        let acc = [0i32, 1, -8_388_608, 8_388_607, 42];
+        let mut out = vec![9.0f32; 2];
+        acc_to_f32_into(&acc, 0.031_25, &mut out);
+        assert_eq!(out, acc_to_f32(&acc, 0.031_25));
     }
 }

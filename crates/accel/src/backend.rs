@@ -15,14 +15,13 @@
 //! wall-clock time and nothing else.
 
 use crate::ad::{self, AdStats};
-use crate::array;
 use crate::ctx::LayerCtx;
 use crate::gemm::{GemmBackend, GemmBackendKind};
 use crate::inject::{InjectionStats, Injector};
-use crate::scheme::{apply_scheme, Scheme};
+use crate::scheme::{apply_scheme_into, Scheme, SchemeBuffers};
 use crate::timing::V_NOMINAL;
 use create_tensor::stats::Histogram;
-use create_tensor::{Matrix, QuantMatrix, QuantParams};
+use create_tensor::{Matrix, Precision, QuantMatrix, QuantParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -95,6 +94,42 @@ impl Default for AccelConfig {
     }
 }
 
+/// Persistent per-accelerator scratch buffers for the steady-state
+/// inference path.
+///
+/// One fault-injection campaign runs millions of small GEMMs through
+/// [`Accelerator::linear`]; allocating a quantized-input buffer, an
+/// accumulator buffer and (under redundancy schemes) replica clones on
+/// every call dominated wall-clock on small layers. All of that state
+/// lives here instead: buffers are resized in place and fully
+/// overwritten each call, so after one warm-up call at the largest layer
+/// shape the whole datapath — quantize → GEMM → inject → scheme → AD →
+/// dequant — performs **zero heap allocations** (asserted by the
+/// counting-allocator test in `tests/alloc.rs`). Scratch contents never
+/// influence results: every buffer is written before it is read.
+#[derive(Debug)]
+struct Scratch {
+    /// Quantized input operand.
+    xq: QuantMatrix,
+    /// Clean accumulators from the GEMM backend.
+    clean: Vec<i32>,
+    /// First (injected) execution under redundancy schemes.
+    first: Vec<i32>,
+    /// Replica buffers for DMR/ABFT recomputes.
+    scheme: SchemeBuffers,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self {
+            xq: QuantMatrix::empty(QuantParams::from_scale(1.0, Precision::Int8)),
+            clean: Vec::new(),
+            first: Vec::new(),
+            scheme: SchemeBuffers::default(),
+        }
+    }
+}
+
 /// A voltage-scaled, possibly-faulty systolic accelerator.
 ///
 /// # Example
@@ -123,6 +158,7 @@ pub struct Accelerator {
     macs: u64,
     logical_macs: u64,
     gemms: u64,
+    scratch: Scratch,
 }
 
 impl Accelerator {
@@ -141,6 +177,7 @@ impl Accelerator {
             macs: 0,
             logical_macs: 0,
             gemms: 0,
+            scratch: Scratch::default(),
         }
     }
 
@@ -256,55 +293,107 @@ impl Accelerator {
         out_bound: f32,
         ctx: LayerCtx,
     ) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.linear_into(x, w, input_params, out_bound, ctx, &mut out);
+        out
+    }
+
+    /// [`linear`](Self::linear) into a caller-provided output matrix.
+    ///
+    /// This is the steady-state entry point: the quantized input, the
+    /// accumulators, the redundancy replicas and the output all live in
+    /// reused storage (the accelerator's persistent scratch plus `out`),
+    /// so after one warm-up call at the largest layer shape the whole
+    /// datapath performs **zero heap allocations** — asserted by the
+    /// counting-allocator test in `tests/alloc.rs`. Outputs are
+    /// bit-identical to [`linear`](Self::linear): same quantization, same
+    /// RNG draws, same accumulator state, every scheme and backend.
+    pub fn linear_into(
+        &mut self,
+        x: &Matrix,
+        w: &QuantMatrix,
+        input_params: QuantParams,
+        out_bound: f32,
+        ctx: LayerCtx,
+        out: &mut Matrix,
+    ) {
         let out_bound = out_bound * self.config.bound_scale;
-        let xq = QuantMatrix::quantize_with(x, input_params);
         let gemm_macs = (x.rows() * x.cols() * w.cols()) as u64;
         let combined = input_params.scale() * w.params().scale();
         self.logical_macs += gemm_macs;
         self.gemms += 1;
-        let mut acc;
-        if let Some(injector) = self.config.injector.clone() {
-            let clean = self.backend.gemm_i8_acc(&xq, w);
-            match self.config.scheme {
+        QuantMatrix::quantize_with_into(x, input_params, &mut self.scratch.xq);
+
+        // Split borrows: the injector is *borrowed* from the config (it
+        // used to be deep-cloned on every GEMM, which dominated small
+        // layers), while the RNG, counters and scratch are taken as
+        // disjoint mutable fields.
+        let voltage = self.voltage;
+        let Self {
+            config,
+            backend,
+            rng,
+            ad_stats,
+            inj_stats,
+            profiler,
+            macs,
+            scratch,
+            ..
+        } = self;
+        let Scratch {
+            xq,
+            clean,
+            first,
+            scheme: scheme_bufs,
+        } = scratch;
+        backend.gemm_i8_acc_into(xq, w, clean);
+        let acc: &mut Vec<i32> = if let Some(injector) = config.injector.as_ref() {
+            match config.scheme {
                 Scheme::Plain => {
-                    acc = clean;
-                    let stats = injector.inject(&mut acc, ctx, self.voltage, &mut self.rng);
-                    self.inj_stats.corrupted += stats.corrupted;
-                    self.inj_stats.total += stats.total;
-                    self.macs += gemm_macs;
+                    let stats = injector.inject(clean, ctx, voltage, rng);
+                    inj_stats.corrupted += stats.corrupted;
+                    inj_stats.total += stats.total;
+                    *macs += gemm_macs;
+                    clean
                 }
                 scheme => {
-                    let voltage = self.voltage;
-                    let mut first = clean.clone();
-                    let stats = injector.inject(&mut first, ctx, voltage, &mut self.rng);
-                    self.inj_stats.corrupted += stats.corrupted;
-                    self.inj_stats.total += stats.total;
-                    let (out, outcome) = apply_scheme(
+                    let clean_ref: &[i32] = clean;
+                    first.clear();
+                    first.extend_from_slice(clean_ref);
+                    let stats = injector.inject(first, ctx, voltage, rng);
+                    inj_stats.corrupted += stats.corrupted;
+                    inj_stats.total += stats.total;
+                    let outcome = apply_scheme_into(
                         scheme,
-                        &clean,
+                        clean_ref,
                         first,
-                        |rng| {
-                            let mut replica = clean.clone();
-                            injector.inject(&mut replica, ctx, voltage, rng);
-                            replica
+                        scheme_bufs,
+                        |replica, rng| {
+                            replica.clear();
+                            replica.extend_from_slice(clean_ref);
+                            injector.inject(replica, ctx, voltage, rng);
                         },
-                        &mut self.rng,
+                        rng,
                     );
-                    acc = out;
-                    self.macs += gemm_macs * outcome.executions as u64
+                    *macs += gemm_macs * outcome.executions as u64
                         + (gemm_macs as f64 * outcome.extra_mac_fraction).round() as u64;
+                    first
                 }
             }
         } else {
-            acc = self.backend.gemm_i8_acc(&xq, w);
-            self.macs += gemm_macs;
-        }
-        if self.config.ad_enabled {
+            *macs += gemm_macs;
+            clean
+        };
+        if config.ad_enabled {
             let bound_acc = ad::bound_in_acc_units(out_bound, combined);
-            let stats = ad::clear_anomalies(&mut acc, bound_acc);
-            self.ad_stats.merge(stats);
+            let stats = ad::clear_anomalies(acc, bound_acc);
+            ad_stats.merge(stats);
         }
-        let mut values = array::acc_to_f32(&acc, combined);
+        // Dequantize straight into the output storage.
+        out.reset_zeros(x.rows(), w.cols());
+        for (o, &a) in out.as_mut_slice().iter_mut().zip(acc.iter()) {
+            *o = a as f32 * combined;
+        }
         // Requantization saturation: the output stage re-quantizes results
         // to INT8 against the offline scale (out_bound = 127 codes), so no
         // emitted value can exceed the profiled bound. This is what makes
@@ -313,14 +402,25 @@ impl Accelerator {
         // clears out-of-bound values to zero *before* saturation pins them
         // at the rail.)
         if out_bound.is_finite() {
-            for v in values.iter_mut() {
+            for v in out.as_mut_slice().iter_mut() {
                 *v = v.clamp(-out_bound, out_bound);
             }
         }
-        if let Some(profiler) = &mut self.profiler {
-            profiler.record(&values);
+        if let Some(profiler) = profiler {
+            profiler.record(out.as_slice());
         }
-        Matrix::from_vec(x.rows(), w.cols(), values)
+    }
+
+    /// Current capacities of the persistent scratch buffers `(input
+    /// codes, clean acc, first replica)` — exposed so tests can assert
+    /// that repeated [`linear_into`](Self::linear_into) calls reuse
+    /// storage instead of reallocating.
+    pub fn scratch_capacities(&self) -> (usize, usize, usize) {
+        (
+            self.scratch.xq.capacity(),
+            self.scratch.clean.capacity(),
+            self.scratch.first.capacity(),
+        )
     }
 }
 
@@ -538,5 +638,74 @@ mod tests {
         assert_eq!(acc.voltage(), V_NOMINAL);
         acc.set_voltage(0.75);
         assert_eq!(acc.voltage(), 0.75);
+    }
+
+    #[test]
+    fn linear_into_is_bit_identical_to_linear_for_every_scheme_and_backend() {
+        // Same seed, same config: the buffer-out path must reproduce the
+        // allocating path exactly — outputs, fault draws, AD clearances
+        // and MAC counters — even with a dirty, differently-shaped
+        // scratch left over from a previous layer.
+        let (x, w, params) = random_setup(40);
+        let (x_small, w_small, _) = random_setup(41);
+        let x_small = x_small.rows_range(0, 1);
+        let injector = Injector::new(ErrorModel::Uniform { ber: 5e-3 }, InjectionTarget::All, 1.0);
+        for backend in GemmBackendKind::ALL {
+            for scheme in [
+                Scheme::Plain,
+                Scheme::Dmr,
+                Scheme::ThunderVolt,
+                Scheme::Razor,
+                Scheme::Abft { max_retries: 3 },
+            ] {
+                let config = AccelConfig {
+                    injector: Some(injector.clone()),
+                    ad_enabled: true,
+                    scheme,
+                    backend,
+                    ..Default::default()
+                };
+                let mut a = Accelerator::new(config.clone(), 17);
+                let mut b = Accelerator::new(config, 17);
+                let ya = a.linear(&x, &w, params, 4.0, ctx());
+                let mut yb = Matrix::zeros(3, 3); // dirty out buffer
+                b.linear_into(&x, &w, params, 4.0, ctx(), &mut yb);
+                assert_eq!(ya, yb, "{backend:?}/{scheme:?}");
+                // Second call at a smaller shape reuses the scratch.
+                let ya2 = a.linear(&x_small, &w_small, params, 4.0, ctx());
+                b.linear_into(&x_small, &w_small, params, 4.0, ctx(), &mut yb);
+                assert_eq!(ya2, yb, "{backend:?}/{scheme:?} (2nd shape)");
+                assert_eq!(a.macs(), b.macs());
+                assert_eq!(a.ad_stats(), b.ad_stats());
+                assert_eq!(a.injection_stats(), b.injection_stats());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_capacities_stabilize_after_warm_up() {
+        // The zero-allocation steady-state contract, observable without a
+        // custom allocator: after one call at the largest shape, repeated
+        // calls (including smaller shapes) never grow any scratch buffer.
+        let (x, w, params) = random_setup(42);
+        let injector = Injector::new(ErrorModel::Uniform { ber: 1e-2 }, InjectionTarget::All, 1.0);
+        let mut acc = Accelerator::new(
+            AccelConfig {
+                injector: Some(injector),
+                ad_enabled: true,
+                scheme: Scheme::Dmr,
+                ..Default::default()
+            },
+            3,
+        );
+        let mut out = Matrix::zeros(0, 0);
+        acc.linear_into(&x, &w, params, 4.0, ctx(), &mut out);
+        let warm = acc.scratch_capacities();
+        let out_ptr = out.as_slice().as_ptr();
+        for i in 0..50 {
+            acc.linear_into(&x, &w, params, 4.0, ctx(), &mut out);
+            assert_eq!(acc.scratch_capacities(), warm, "iteration {i}");
+            assert_eq!(out.as_slice().as_ptr(), out_ptr, "output storage reused");
+        }
     }
 }

@@ -64,6 +64,26 @@ pub trait GemmBackend: fmt::Debug + Send + Sync {
     ///
     /// Panics if `a.cols() != w.rows()`.
     fn gemm_i8_acc(&self, a: &QuantMatrix, w: &QuantMatrix) -> Vec<i32>;
+
+    /// [`gemm_i8_acc`](Self::gemm_i8_acc) into a caller-provided buffer.
+    ///
+    /// The contract is *bit-identical output, reused capacity*: `acc` is
+    /// resized to `m·n` and fully overwritten, and once it has been
+    /// warmed up at the largest shape the call performs no heap
+    /// allocation. This is the accelerator's steady-state entry point —
+    /// [`Accelerator::linear`](crate::Accelerator::linear) routes every
+    /// clean GEMM through it against a persistent scratch buffer.
+    ///
+    /// The default implementation delegates to the allocating path (so
+    /// third-party backends stay correct without changes); both shipped
+    /// backends override it with a true in-place computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != w.rows()`.
+    fn gemm_i8_acc_into(&self, a: &QuantMatrix, w: &QuantMatrix, acc: &mut Vec<i32>) {
+        *acc = self.gemm_i8_acc(a, w);
+    }
 }
 
 /// The reference backend: the original scalar triple loop
@@ -79,6 +99,10 @@ impl GemmBackend for ScalarBackend {
 
     fn gemm_i8_acc(&self, a: &QuantMatrix, w: &QuantMatrix) -> Vec<i32> {
         array::gemm_i8_acc(a, w)
+    }
+
+    fn gemm_i8_acc_into(&self, a: &QuantMatrix, w: &QuantMatrix, acc: &mut Vec<i32>) {
+        array::gemm_i8_acc_into(a, w, acc);
     }
 }
 
@@ -106,11 +130,18 @@ impl GemmBackend for BlockedBackend {
     }
 
     fn gemm_i8_acc(&self, a: &QuantMatrix, w: &QuantMatrix) -> Vec<i32> {
+        let mut acc = Vec::new();
+        self.gemm_i8_acc_into(a, w, &mut acc);
+        acc
+    }
+
+    fn gemm_i8_acc_into(&self, a: &QuantMatrix, w: &QuantMatrix, acc: &mut Vec<i32>) {
         array::check_gemm_shapes(a, w);
         let (m, k, n) = (a.rows(), a.cols(), w.cols());
-        let mut acc = vec![0i32; m * n];
+        acc.clear();
+        acc.resize(m * n, 0);
         if n == 0 {
-            return acc;
+            return;
         }
         let w_data = w.as_slice();
         for i in 0..m {
@@ -159,7 +190,6 @@ impl GemmBackend for BlockedBackend {
         for v in acc.iter_mut() {
             *v = array::wrap_acc24_i32(*v);
         }
-        acc
     }
 }
 
@@ -322,6 +352,29 @@ mod tests {
             scalar.iter().any(|&v| v < 0),
             "test must actually exercise wrap-around"
         );
+    }
+
+    #[test]
+    fn into_path_is_bit_identical_and_reuses_capacity_for_all_backends() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for kind in GemmBackendKind::ALL {
+            let backend = kind.instantiate();
+            let mut acc = Vec::new();
+            // Warm up at the largest shape, then shrink: same bits, same
+            // buffer.
+            let warm_a = random_quant(4, 64, &mut rng);
+            let warm_w = random_quant(64, 300, &mut rng);
+            backend.gemm_i8_acc_into(&warm_a, &warm_w, &mut acc);
+            assert_eq!(acc, backend.gemm_i8_acc(&warm_a, &warm_w), "{kind}");
+            let ptr = acc.as_ptr();
+            for (m, k, n) in [(2usize, 7usize, 9usize), (1, 1, 1), (0, 3, 2), (3, 0, 4)] {
+                let a = random_quant(m, k, &mut rng);
+                let w = random_quant(k, n, &mut rng);
+                backend.gemm_i8_acc_into(&a, &w, &mut acc);
+                assert_eq!(acc, backend.gemm_i8_acc(&a, &w), "{kind} {m}x{k}x{n}");
+                assert_eq!(acc.as_ptr(), ptr, "{kind}: buffer must be reused");
+            }
+        }
     }
 
     #[test]

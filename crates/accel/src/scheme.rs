@@ -79,9 +79,24 @@ pub struct SchemeOutcome {
     pub extra_mac_fraction: f64,
 }
 
+/// Reusable replica buffers for [`apply_scheme_into`].
+///
+/// DMR needs up to two extra replicas per GEMM and ABFT one per retry;
+/// holding them here (the accelerator keeps one set in its persistent
+/// scratch) means the redundant-execution schemes allocate nothing in
+/// steady state — today's equivalent of the old per-replica `clone()`.
+#[derive(Debug, Default)]
+pub struct SchemeBuffers {
+    second: Vec<i32>,
+    third: Vec<i32>,
+}
+
 /// Applies `scheme` given the clean accumulator and independently corrupted
 /// replicas produced by `corrupt` (a closure that clones the clean buffer
 /// and injects a fresh error pattern).
+///
+/// Allocating convenience wrapper over [`apply_scheme_into`]; both draw
+/// from the RNG in the same order and return bit-identical results.
 pub fn apply_scheme<R: Rng>(
     scheme: Scheme,
     clean: &[i32],
@@ -89,61 +104,75 @@ pub fn apply_scheme<R: Rng>(
     mut corrupt: impl FnMut(&mut R) -> Vec<i32>,
     rng: &mut R,
 ) -> (Vec<i32>, SchemeOutcome) {
+    let mut out = first;
+    let mut bufs = SchemeBuffers::default();
+    let outcome = apply_scheme_into(
+        scheme,
+        clean,
+        &mut out,
+        &mut bufs,
+        |buf, rng| *buf = corrupt(rng),
+        rng,
+    );
+    (out, outcome)
+}
+
+/// Buffer-reuse form of [`apply_scheme`].
+///
+/// On entry `out` holds the first (possibly corrupted) execution; on exit
+/// it holds the scheme's final output. `corrupt_into` must refill its
+/// buffer with a freshly corrupted replica of the clean accumulator
+/// (overwriting whatever it held). Replica storage comes from `bufs`, so
+/// a warmed-up caller performs no heap allocation on any scheme path.
+pub fn apply_scheme_into<R: Rng>(
+    scheme: Scheme,
+    clean: &[i32],
+    out: &mut Vec<i32>,
+    bufs: &mut SchemeBuffers,
+    mut corrupt_into: impl FnMut(&mut Vec<i32>, &mut R),
+    rng: &mut R,
+) -> SchemeOutcome {
     match scheme {
-        Scheme::Plain => {
-            let residual = first != clean;
-            (
-                first,
-                SchemeOutcome {
-                    executions: 1,
-                    residual_corruption: residual,
-                    extra_mac_fraction: 0.0,
-                },
-            )
-        }
+        Scheme::Plain => SchemeOutcome {
+            executions: 1,
+            residual_corruption: out[..] != *clean,
+            extra_mac_fraction: 0.0,
+        },
         Scheme::Dmr => {
-            let second = corrupt(rng);
-            if first == second {
-                let residual = first != clean;
-                return (
-                    first,
-                    SchemeOutcome {
-                        executions: 2,
-                        residual_corruption: residual,
-                        extra_mac_fraction: 0.0,
-                    },
-                );
+            corrupt_into(&mut bufs.second, rng);
+            if *out == bufs.second {
+                return SchemeOutcome {
+                    executions: 2,
+                    residual_corruption: out[..] != *clean,
+                    extra_mac_fraction: 0.0,
+                };
             }
             // Mismatch: recompute and take the per-element majority.
-            let third = corrupt(rng);
-            let mut out = Vec::with_capacity(first.len());
+            corrupt_into(&mut bufs.third, rng);
             let mut residual = false;
-            for i in 0..first.len() {
-                let v = if first[i] == second[i] || first[i] == third[i] {
-                    first[i]
-                } else if second[i] == third[i] {
-                    second[i]
+            for i in 0..out.len() {
+                let first = out[i];
+                let v = if first == bufs.second[i] || first == bufs.third[i] {
+                    first
+                } else if bufs.second[i] == bufs.third[i] {
+                    bufs.second[i]
                 } else {
                     // Three-way disagreement: keep the recomputed value.
-                    third[i]
+                    bufs.third[i]
                 };
                 if v != clean[i] {
                     residual = true;
                 }
-                out.push(v);
+                out[i] = v;
             }
-            (
-                out,
-                SchemeOutcome {
-                    executions: 3,
-                    residual_corruption: residual,
-                    extra_mac_fraction: 0.0,
-                },
-            )
+            SchemeOutcome {
+                executions: 3,
+                residual_corruption: residual,
+                extra_mac_fraction: 0.0,
+            }
         }
         Scheme::ThunderVolt => {
             // Per-output timing detection: corrupted outputs are zeroed.
-            let mut out = first;
             let mut residual = false;
             for (o, &c) in out.iter_mut().zip(clean) {
                 if *o != c {
@@ -151,20 +180,16 @@ pub fn apply_scheme<R: Rng>(
                     residual = true; // the dropped value is still a loss
                 }
             }
-            (
-                out,
-                SchemeOutcome {
-                    executions: 1,
-                    residual_corruption: residual,
-                    extra_mac_fraction: 0.0,
-                },
-            )
+            SchemeOutcome {
+                executions: 1,
+                residual_corruption: residual,
+                extra_mac_fraction: 0.0,
+            }
         }
         Scheme::Razor => {
             // Shadow-FF detection with pipeline replay: detected values are
             // recovered exactly (time borrowing re-evaluates the late
             // path), at a replay cost per detection; misses stay corrupt.
-            let mut out = first;
             let mut residual = false;
             let mut detected = 0u64;
             for (o, &c) in out.iter_mut().zip(clean) {
@@ -182,37 +207,30 @@ pub fn apply_scheme<R: Rng>(
             } else {
                 RAZOR_REPLAY_PENALTY * detected as f64 / out.len() as f64
             };
-            (
-                out,
-                SchemeOutcome {
-                    executions: 1,
-                    residual_corruption: residual,
-                    extra_mac_fraction: extra,
-                },
-            )
+            SchemeOutcome {
+                executions: 1,
+                residual_corruption: residual,
+                extra_mac_fraction: extra,
+            }
         }
         Scheme::Abft { max_retries } => {
             let coverage = scheme.abft_coverage();
-            let mut current = first;
             let mut executions = 1u32;
             for _ in 0..max_retries {
-                let corrupted = current != clean;
+                let corrupted = out[..] != *clean;
                 let detected = corrupted && rng.random_range(0.0..1.0) < coverage;
                 if !detected {
                     break;
                 }
-                current = corrupt(rng);
+                corrupt_into(&mut bufs.second, rng);
+                std::mem::swap(out, &mut bufs.second);
                 executions += 1;
             }
-            let residual = current != clean;
-            (
-                current,
-                SchemeOutcome {
-                    executions,
-                    residual_corruption: residual,
-                    extra_mac_fraction: 0.0,
-                },
-            )
+            SchemeOutcome {
+                executions,
+                residual_corruption: out[..] != *clean,
+                extra_mac_fraction: 0.0,
+            }
         }
     }
 }

@@ -1,0 +1,139 @@
+//! The zero-allocation steady-state contract, enforced with a counting
+//! global allocator.
+//!
+//! `Accelerator::linear_into` must perform **no heap allocation** after a
+//! warm-up call at the layer's shape — the quantized input, accumulator,
+//! redundancy replicas and output all live in reused storage. `linear`
+//! (the allocating convenience wrapper) must allocate only the returned
+//! output matrix. A regression that reintroduces a per-call allocation on
+//! either path fails this test immediately.
+//!
+//! All scenarios run inside one `#[test]` so no concurrent test thread
+//! can perturb the allocation counter.
+
+use create_accel::{
+    AccelConfig, Accelerator, Component, ErrorModel, InjectionTarget, Injector, LayerCtx, Scheme,
+    Unit,
+};
+use create_tensor::{Matrix, Precision, QuantMatrix, QuantParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Smallest allocation delta over several measurement windows of `body`.
+///
+/// A per-call allocation in the measured path inflates *every* window, so
+/// the minimum still catches it; taking the minimum merely shields the
+/// assertion from rare allocations made concurrently by the test harness
+/// itself.
+fn min_alloc_delta(windows: usize, mut body: impl FnMut()) -> u64 {
+    let mut min = u64::MAX;
+    for _ in 0..windows {
+        let before = allocations();
+        body();
+        min = min.min(allocations() - before);
+    }
+    min
+}
+
+fn setup(seed: u64) -> (Matrix, QuantMatrix, QuantParams) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = Matrix::from_fn(4, 32, |_, _| rng.random_range(-1.0..1.0));
+    let w_f = Matrix::from_fn(32, 16, |_, _| rng.random_range(-0.5..0.5));
+    let w = QuantMatrix::quantize(&w_f, Precision::Int8);
+    let params = QuantParams::from_max_abs(1.0, Precision::Int8);
+    (x, w, params)
+}
+
+fn ctx() -> LayerCtx {
+    LayerCtx::new(Unit::Controller, Component::Fc1, 0)
+}
+
+#[test]
+fn linear_into_is_allocation_free_after_warm_up() {
+    let (x, w, params) = setup(7);
+
+    // Clean path (the characterization campaigns' golden runs).
+    let mut clean = Accelerator::ideal(0);
+    let mut out = Matrix::zeros(0, 0);
+    clean.linear_into(&x, &w, params, 4.0, ctx(), &mut out);
+    clean.linear_into(&x, &w, params, 4.0, ctx(), &mut out);
+    let delta = min_alloc_delta(3, || {
+        for _ in 0..200 {
+            clean.linear_into(&x, &w, params, 4.0, ctx(), &mut out);
+        }
+    });
+    assert_eq!(
+        delta, 0,
+        "clean linear_into must not allocate after warm-up"
+    );
+
+    // Injection under a redundant-execution scheme (worst case: DMR
+    // recomputes draw two extra replicas per mismatching GEMM).
+    let injector = Injector::new(ErrorModel::Uniform { ber: 1e-2 }, InjectionTarget::All, 1.0);
+    let mut faulty = Accelerator::new(
+        AccelConfig {
+            injector: Some(injector),
+            ad_enabled: true,
+            scheme: Scheme::Dmr,
+            ..Default::default()
+        },
+        9,
+    );
+    for _ in 0..3 {
+        faulty.linear_into(&x, &w, params, 4.0, ctx(), &mut out);
+    }
+    let delta = min_alloc_delta(3, || {
+        for _ in 0..200 {
+            faulty.linear_into(&x, &w, params, 4.0, ctx(), &mut out);
+        }
+    });
+    assert_eq!(
+        delta, 0,
+        "injected DMR linear_into must not allocate after warm-up"
+    );
+
+    // The allocating wrapper allocates exactly one buffer per call: the
+    // returned output matrix.
+    let mut wrapper = Accelerator::ideal(0);
+    let _ = wrapper.linear(&x, &w, params, 4.0, ctx());
+    let reps = 50u64;
+    let delta = min_alloc_delta(3, || {
+        for _ in 0..reps {
+            let y = wrapper.linear(&x, &w, params, 4.0, ctx());
+            assert_eq!(y.rows(), 4);
+        }
+    });
+    assert_eq!(
+        delta, reps,
+        "linear must allocate only the returned matrix per call"
+    );
+}

@@ -10,7 +10,7 @@ use create_accel::timing::{TimingModel, ACC_BITS, V_NOMINAL};
 use create_tensor::{Matrix, Precision, QuantMatrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -286,6 +286,140 @@ proptest! {
             stats_e.corrupt_fraction() <= stats_p.corrupt_fraction() + 0.15,
             "ecc {:?} plain {:?}", stats_e, stats_p
         );
+    }
+
+    /// The buffer-reuse scheme executor is bit-identical to the
+    /// allocating one — same outputs, same outcome, same RNG consumption —
+    /// for every scheme, with arbitrary pre-existing garbage in the
+    /// replica buffers.
+    #[test]
+    fn apply_scheme_into_matches_apply_scheme(
+        clean in prop::collection::vec(-5000i32..5000, 0..80),
+        flips in prop::collection::vec(any::<bool>(), 0..80),
+        garbage in prop::collection::vec(-9i32..9, 0..20),
+        scheme_sel in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        use create_accel::scheme::{apply_scheme_into, SchemeBuffers};
+        let scheme = [
+            Scheme::Plain,
+            Scheme::Dmr,
+            Scheme::ThunderVolt,
+            Scheme::Razor,
+            Scheme::Abft { max_retries: 3 },
+        ][scheme_sel];
+        let first: Vec<i32> = clean
+            .iter()
+            .zip(flips.iter().chain(std::iter::repeat(&false)))
+            .map(|(&v, &f)| if f { v ^ 0x40_0000 } else { v })
+            .collect();
+        // A corrupt process that actually consumes RNG, so divergent draw
+        // order between the two forms would be caught.
+        let corrupt = |clean: &[i32], rng: &mut StdRng| -> Vec<i32> {
+            clean
+                .iter()
+                .map(|&v| {
+                    if rng.random_range(0.0..1.0) < 0.3 {
+                        v ^ (1 << rng.random_range(0..24u32))
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        };
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let (out_a, outcome_a) = apply_scheme(
+            scheme,
+            &clean,
+            first.clone(),
+            |rng| corrupt(&clean, rng),
+            &mut rng_a,
+        );
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let mut out_b = first;
+        let mut bufs = SchemeBuffers::default();
+        // Pre-dirty the replica buffers through a throwaway run.
+        if !garbage.is_empty() {
+            let mut pre_rng = StdRng::seed_from_u64(seed ^ 1);
+            let mut pre_out = garbage.clone();
+            let _ = apply_scheme_into(
+                Scheme::Dmr,
+                &garbage,
+                &mut pre_out,
+                &mut bufs,
+                |buf, rng| *buf = corrupt(&garbage, rng),
+                &mut pre_rng,
+            );
+        }
+        let outcome_b = apply_scheme_into(
+            scheme,
+            &clean,
+            &mut out_b,
+            &mut bufs,
+            |buf, rng| *buf = corrupt(&clean, rng),
+            &mut rng_b,
+        );
+        prop_assert_eq!(out_a, out_b);
+        prop_assert_eq!(outcome_a, outcome_b);
+        // Same RNG consumption: the next draw must agree.
+        prop_assert_eq!(rng_a.random_range(0..u64::MAX), rng_b.random_range(0..u64::MAX));
+    }
+
+    /// `linear_into` is bit-identical to `linear` across random shapes
+    /// (including empty operands), backends, schemes and AD settings —
+    /// outputs, counters, fault statistics and subsequent RNG state.
+    #[test]
+    fn accelerator_linear_into_matches_linear(
+        seed in 0u64..400,
+        m in 0usize..5,
+        k in 0usize..40,
+        n in 0usize..48,
+        backend_sel in 0usize..2,
+        scheme_sel in 0usize..5,
+        ad in any::<bool>(),
+        inject in any::<bool>(),
+    ) {
+        use create_accel::{AccelConfig, Accelerator};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Matrix::from_fn(m, k, |_, _| rng.random_range(-1.0f32..1.0));
+        let w = QuantMatrix::quantize(
+            &Matrix::from_fn(k, n, |_, _| rng.random_range(-0.5f32..0.5)),
+            Precision::Int8,
+        );
+        let params = create_tensor::QuantParams::from_max_abs(1.0, Precision::Int8);
+        let scheme = [
+            Scheme::Plain,
+            Scheme::Dmr,
+            Scheme::ThunderVolt,
+            Scheme::Razor,
+            Scheme::Abft { max_retries: 2 },
+        ][scheme_sel];
+        let config = AccelConfig {
+            injector: inject.then(|| {
+                Injector::new(ErrorModel::Uniform { ber: 5e-3 }, InjectionTarget::All, 1.0)
+            }),
+            ad_enabled: ad,
+            scheme,
+            backend: GemmBackendKind::ALL[backend_sel],
+            ..Default::default()
+        };
+        let ctx = create_accel::LayerCtx::new(
+            create_accel::Unit::Controller,
+            create_accel::Component::Fc1,
+            0,
+        );
+        let mut a = Accelerator::new(config.clone(), seed ^ 0xAB);
+        let mut b = Accelerator::new(config, seed ^ 0xAB);
+        let mut out = Matrix::zeros(2, 2); // dirty output buffer
+        for _ in 0..2 {
+            let ya = a.linear(&x, &w, params, 3.0, ctx);
+            b.linear_into(&x, &w, params, 3.0, ctx, &mut out);
+            prop_assert_eq!(&ya, &out);
+        }
+        prop_assert_eq!(a.macs(), b.macs());
+        prop_assert_eq!(a.logical_macs(), b.logical_macs());
+        prop_assert_eq!(a.ad_stats(), b.ad_stats());
+        prop_assert_eq!(a.injection_stats(), b.injection_stats());
     }
 
     /// The memory fault model is monotone in voltage and its inverse is

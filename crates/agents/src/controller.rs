@@ -14,13 +14,13 @@ use crate::vocab::{self};
 use create_accel::{Accelerator, Component, LayerCtx, Unit};
 use create_env::observe::CELL_TYPES;
 use create_env::{Action, Observation, STATUS_DIMS, VIEW_CELLS};
-use create_nn::activation::{logits_entropy, softmax_rows};
+use create_nn::activation::{logits_entropy_with, softmax_rows, softmax_rows_in_place};
 use create_nn::block::{
     ActivationTap, ControllerBlock, ControllerBlockGrads, QuantControllerBlock,
 };
 use create_nn::calibrate::{Cal, ControllerBlockCal};
 use create_nn::linear::{Linear, LinearGrads, QuantLinear};
-use create_nn::norm::{layernorm, layernorm_backward, layernorm_with_stats};
+use create_nn::norm::{layernorm, layernorm_backward, layernorm_into, layernorm_with_stats};
 use create_nn::optim::{AdamState, AdamWConfig};
 use create_tensor::{Matrix, Precision};
 use rand::seq::SliceRandom;
@@ -50,26 +50,40 @@ pub struct BcSample {
 /// Expands an observation's view grid into a one-hot row vector.
 pub fn view_one_hot(obs: &Observation) -> Matrix {
     let mut m = Matrix::zeros(1, VIEW_FEATURES);
+    view_one_hot_into(obs, &mut m);
+    m
+}
+
+/// [`view_one_hot`] into a caller-provided matrix (identical values,
+/// reused storage — the deployed controller builds this every step).
+pub fn view_one_hot_into(obs: &Observation, out: &mut Matrix) {
+    out.reset_zeros(1, VIEW_FEATURES);
     for (cell, &id) in obs.view.iter().enumerate() {
-        m.set(
+        out.set(
             0,
             cell * CELL_TYPES + (id as usize).min(CELL_TYPES - 1),
             1.0,
         );
     }
-    m
 }
 
 /// Packs compass + status into a row vector.
 pub fn stat_vector(obs: &Observation) -> Matrix {
     let mut m = Matrix::zeros(1, STAT_FEATURES);
+    stat_vector_into(obs, &mut m);
+    m
+}
+
+/// [`stat_vector`] into a caller-provided matrix (identical values,
+/// reused storage).
+pub fn stat_vector_into(obs: &Observation, out: &mut Matrix) {
+    out.reset_zeros(1, STAT_FEATURES);
     for (i, &v) in obs.compass.iter().enumerate() {
-        m.set(0, i, v);
+        out.set(0, i, v);
     }
     for (i, &v) in obs.status.iter().enumerate() {
-        m.set(0, 4 + i, v);
+        out.set(0, 4 + i, v);
     }
-    m
 }
 
 /// Trainable controller.
@@ -431,6 +445,28 @@ fn step_bias(
     }
 }
 
+/// Reusable buffers for the deployed controller's per-step inference.
+///
+/// The mission runner holds one of these per trial and reuses it across
+/// every environment step (and, with engine trial batching, across the
+/// trials of a batch), so the steady-state `act` path performs no heap
+/// allocation. Contents never influence results — every buffer is fully
+/// overwritten before use.
+#[derive(Debug, Default)]
+pub struct ControllerScratch {
+    onehot: Matrix,
+    statvec: Matrix,
+    view_tok: Matrix,
+    stat_tok: Matrix,
+    x: Matrix,
+    x_next: Matrix,
+    block: create_nn::QuantControllerBlockScratch,
+    normed: Matrix,
+    cls_row: Matrix,
+    logits: Matrix,
+    probs: Matrix,
+}
+
 /// Deployed, quantized controller executing on the accelerator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantController {
@@ -475,37 +511,74 @@ impl QuantController {
         &self,
         accel: &mut Accelerator,
         obs: &Observation,
-        mut tap: Option<&mut ActivationTap>,
+        tap: Option<&mut ActivationTap>,
     ) -> Vec<f32> {
+        let mut scratch = ControllerScratch::default();
+        self.logits_with(accel, obs, tap, &mut scratch)
+    }
+
+    /// [`logits`](Self::logits) with caller-provided scratch buffers —
+    /// bit-identical, and allocation-free except for the returned vector.
+    pub fn logits_with(
+        &self,
+        accel: &mut Accelerator,
+        obs: &Observation,
+        tap: Option<&mut ActivationTap>,
+        scratch: &mut ControllerScratch,
+    ) -> Vec<f32> {
+        self.logits_into(accel, obs, tap, scratch);
+        scratch.logits.row(0).to_vec()
+    }
+
+    /// Runs the stack, leaving the logits in `scratch.logits` (1 ×
+    /// `Action::COUNT`). Everything, including the output, lives in
+    /// reused storage.
+    fn logits_into(
+        &self,
+        accel: &mut Accelerator,
+        obs: &Observation,
+        mut tap: Option<&mut ActivationTap>,
+        scratch: &mut ControllerScratch,
+    ) {
         let d = self.cls.cols();
-        let view_tok = self.view_embed.forward(
+        view_one_hot_into(obs, &mut scratch.onehot);
+        self.view_embed.forward_into(
             accel,
-            &view_one_hot(obs),
+            &scratch.onehot,
             LayerCtx::new(Unit::Controller, Component::Embed, 0),
+            &mut scratch.view_tok,
         );
-        let stat_tok = self.stat_embed.forward(
+        stat_vector_into(obs, &mut scratch.statvec);
+        self.stat_embed.forward_into(
             accel,
-            &stat_vector(obs),
+            &scratch.statvec,
             LayerCtx::new(Unit::Controller, Component::Embed, 0),
+            &mut scratch.stat_tok,
         );
-        let mut x = Matrix::zeros(N_TOKENS, d);
+        scratch.x.reset_zeros(N_TOKENS, d);
         for c in 0..d {
-            x.set(0, c, self.cls.get(0, c));
-            x.set(1, c, self.subtask_embed.get(obs.subtask_token, c));
-            x.set(2, c, view_tok.get(0, c));
-            x.set(3, c, stat_tok.get(0, c));
+            scratch.x.set(0, c, self.cls.get(0, c));
+            scratch
+                .x
+                .set(1, c, self.subtask_embed.get(obs.subtask_token, c));
+            scratch.x.set(2, c, scratch.view_tok.get(0, c));
+            scratch.x.set(3, c, scratch.stat_tok.get(0, c));
         }
-        for (l, block) in self.blocks.iter().enumerate() {
-            x = block.forward(accel, &x, l, tap.as_deref_mut());
+        let ControllerScratch {
+            x, x_next, block, ..
+        } = scratch;
+        for (l, blk) in self.blocks.iter().enumerate() {
+            blk.forward_into(accel, x, l, tap.as_deref_mut(), block, x_next);
+            std::mem::swap(x, x_next);
         }
-        let normed = layernorm(&x);
-        let cls_row = normed.rows_range(0, 1);
-        let logits = self.head.forward(
+        layernorm_into(&scratch.x, &mut scratch.normed);
+        scratch.normed.rows_range_into(0, 1, &mut scratch.cls_row);
+        self.head.forward_into(
             accel,
-            &cls_row,
+            &scratch.cls_row,
             LayerCtx::new(Unit::Controller, Component::Head, self.blocks.len()),
+            &mut scratch.logits,
         );
-        logits.row(0).to_vec()
     }
 
     /// Samples an action from `softmax(logits / temperature)`.
@@ -519,14 +592,32 @@ impl QuantController {
         temperature: f32,
         rng: &mut impl Rng,
     ) -> (Action, f32) {
-        let logits = self.logits(accel, obs, None);
-        let entropy = logits_entropy(&logits);
-        let scaled: Vec<f32> = logits.iter().map(|v| v / temperature.max(1e-3)).collect();
-        let m = Matrix::from_vec(1, scaled.len(), scaled);
-        let probs = softmax_rows(&m);
+        let mut scratch = ControllerScratch::default();
+        self.act_with(accel, obs, temperature, rng, &mut scratch)
+    }
+
+    /// [`act`](Self::act) with caller-provided scratch buffers —
+    /// bit-identical action, entropy and RNG consumption, zero
+    /// steady-state allocation.
+    pub fn act_with(
+        &self,
+        accel: &mut Accelerator,
+        obs: &Observation,
+        temperature: f32,
+        rng: &mut impl Rng,
+        scratch: &mut ControllerScratch,
+    ) -> (Action, f32) {
+        self.logits_into(accel, obs, None, scratch);
+        let entropy = logits_entropy_with(&scratch.logits, &mut scratch.probs);
+        scratch.probs.copy_from(&scratch.logits);
+        let temp = temperature.max(1e-3);
+        for v in scratch.probs.as_mut_slice().iter_mut() {
+            *v /= temp;
+        }
+        softmax_rows_in_place(&mut scratch.probs);
         let mut r: f32 = rng.random_range(0.0..1.0);
         let mut action = Action::Wait;
-        for (i, &p) in probs.row(0).iter().enumerate() {
+        for (i, &p) in scratch.probs.row(0).iter().enumerate() {
             if r < p {
                 action = Action::from_index(i);
                 break;
@@ -612,6 +703,34 @@ mod tests {
         let (action, entropy) = quant.act(&mut accel, &samples[0].obs, 1.0, &mut rng);
         assert!(Action::ALL.contains(&action));
         assert!((0.0..=(Action::COUNT as f32).ln() + 1e-3).contains(&entropy));
+    }
+
+    #[test]
+    fn scratch_inference_is_bit_identical_to_allocating_inference() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = ControllerModel::new(&tiny_preset(), &mut rng);
+        let samples = datasets::collect_bc(&[TaskId::Seed, TaskId::Log], 1, 60, 0.05, 11);
+        let quant = model.deploy(&samples, Precision::Int8);
+        let mut accel_a = Accelerator::ideal(1);
+        let mut accel_b = Accelerator::ideal(1);
+        let mut rng_a = StdRng::seed_from_u64(2);
+        let mut rng_b = StdRng::seed_from_u64(2);
+        let mut scratch = ControllerScratch::default();
+        for s in samples.iter().take(30) {
+            // One scratch instance across many observations: logits,
+            // sampled actions, entropies and RNG consumption must all
+            // match the allocating path exactly.
+            let la = quant.logits(&mut accel_a, &s.obs, None);
+            let lb = quant.logits_with(&mut accel_b, &s.obs, None, &mut scratch);
+            assert_eq!(la, lb);
+            let (act_a, ent_a) = quant.act(&mut accel_a, &s.obs, 0.7, &mut rng_a);
+            let (act_b, ent_b) =
+                quant.act_with(&mut accel_b, &s.obs, 0.7, &mut rng_b, &mut scratch);
+            assert_eq!(act_a, act_b);
+            assert_eq!(ent_a, ent_b);
+        }
+        assert_eq!(accel_a.macs(), accel_b.macs());
+        assert_eq!(accel_a.gemms(), accel_b.gemms());
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub mod presets;
 pub mod vocab;
 
 pub use bundle::AgentSystem;
-pub use controller::{BcSample, ControllerModel, QuantController};
-pub use planner::{OutlierSpec, PlannerModel, QuantPlanner};
+pub use controller::{BcSample, ControllerModel, ControllerScratch, QuantController};
+pub use planner::{OutlierSpec, PlannerModel, PlannerScratch, QuantPlanner};
 pub use predictor::EntropyPredictor;
 pub use presets::{ControllerPreset, PlannerPreset, PredictorPreset};

@@ -26,7 +26,7 @@ use create_nn::activation::softmax_rows;
 use create_nn::block::{ActivationTap, PlannerBlock, PlannerBlockGrads, QuantPlannerBlock};
 use create_nn::calibrate::{Cal, PlannerBlockCal};
 use create_nn::linear::{Linear, QuantLinear};
-use create_nn::norm::{rmsnorm, rmsnorm_backward, rmsnorm_with_stats};
+use create_nn::norm::{rmsnorm, rmsnorm_backward, rmsnorm_into, rmsnorm_with_stats};
 use create_nn::optim::{AdamState, AdamWConfig};
 use create_tensor::hadamard::Rotation;
 use create_tensor::{Matrix, Precision};
@@ -457,6 +457,24 @@ impl PlannerModel {
     }
 }
 
+/// Reusable buffers for the deployed planner's sequential decode loop.
+///
+/// One instance serves a whole mission (initial plan plus every replan):
+/// the sequence buffers grow to the longest decoded context once and are
+/// then reused for every token step, so steady-state decoding performs no
+/// heap allocation beyond the returned plan. Contents never influence
+/// results.
+#[derive(Debug, Default)]
+pub struct PlannerScratch {
+    tokens: Vec<usize>,
+    x: Matrix,
+    x_next: Matrix,
+    block: create_nn::QuantPlannerBlockScratch,
+    normed: Matrix,
+    last: Matrix,
+    logits: Matrix,
+}
+
 /// Deployed, quantized planner executing on the accelerator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantPlanner {
@@ -489,11 +507,15 @@ impl QuantPlanner {
         f(self.head.weight_mut());
     }
 
-    fn embed_tokens(&self, tokens: &[usize]) -> Matrix {
+    /// Embeds a token sequence (token + positional) into a reused matrix.
+    fn embed_tokens_into(&self, tokens: &[usize], out: &mut Matrix) {
         let d = self.embed.cols();
-        Matrix::from_fn(tokens.len(), d, |r, c| {
-            self.embed.get(tokens[r], c) + self.pos.get(r, c)
-        })
+        out.reset_zeros(tokens.len(), d);
+        for (r, &tok) in tokens.iter().enumerate() {
+            for c in 0..d {
+                out.set(r, c, self.embed.get(tok, c) + self.pos.get(r, c));
+            }
+        }
     }
 
     /// Runs the stack and returns the last position's logits; optionally
@@ -502,20 +524,55 @@ impl QuantPlanner {
         &self,
         accel: &mut Accelerator,
         tokens: &[usize],
-        mut tap: Option<&mut ActivationTap>,
+        tap: Option<&mut ActivationTap>,
     ) -> Vec<f32> {
-        let mut x = self.embed_tokens(tokens);
-        for (l, block) in self.blocks.iter().enumerate() {
-            x = block.forward(accel, &x, l, tap.as_deref_mut());
+        let mut scratch = PlannerScratch::default();
+        self.last_logits_with(accel, tokens, tap, &mut scratch)
+    }
+
+    /// [`last_logits`](Self::last_logits) with caller-provided scratch —
+    /// bit-identical, allocation-free except for the returned vector.
+    pub fn last_logits_with(
+        &self,
+        accel: &mut Accelerator,
+        tokens: &[usize],
+        tap: Option<&mut ActivationTap>,
+        scratch: &mut PlannerScratch,
+    ) -> Vec<f32> {
+        self.last_logits_into(accel, tokens, tap, scratch);
+        scratch.logits.row(0).to_vec()
+    }
+
+    /// Runs the stack, leaving the last position's logits in
+    /// `scratch.logits` (1 × `VOCAB`). Everything lives in reused
+    /// storage.
+    fn last_logits_into(
+        &self,
+        accel: &mut Accelerator,
+        tokens: &[usize],
+        mut tap: Option<&mut ActivationTap>,
+        scratch: &mut PlannerScratch,
+    ) {
+        self.embed_tokens_into(tokens, &mut scratch.x);
+        let PlannerScratch {
+            x, x_next, block, ..
+        } = scratch;
+        for (l, blk) in self.blocks.iter().enumerate() {
+            blk.forward_into(accel, x, l, tap.as_deref_mut(), block, x_next);
+            std::mem::swap(x, x_next);
         }
-        let normed = rmsnorm(&x);
-        let last = normed.rows_range(normed.rows() - 1, normed.rows());
-        let logits = self.head.forward(
-            accel,
-            &last,
-            LayerCtx::new(Unit::Planner, Component::Head, self.blocks.len()),
+        rmsnorm_into(&scratch.x, &mut scratch.normed);
+        scratch.normed.rows_range_into(
+            scratch.normed.rows() - 1,
+            scratch.normed.rows(),
+            &mut scratch.last,
         );
-        logits.row(0).to_vec()
+        self.head.forward_into(
+            accel,
+            &scratch.last,
+            LayerCtx::new(Unit::Planner, Component::Head, self.blocks.len()),
+            &mut scratch.logits,
+        );
     }
 
     /// Greedy-decodes a plan on the accelerator.
@@ -530,14 +587,31 @@ impl QuantPlanner {
         task: TaskId,
         completed: &[Subtask],
     ) -> Vec<Subtask> {
-        let mut tokens = vocab::context_tokens(task, completed);
+        let mut scratch = PlannerScratch::default();
+        self.decode_with(accel, task, completed, &mut scratch)
+    }
+
+    /// [`decode`](Self::decode) with caller-provided scratch — the same
+    /// greedy decode, token for token, with every per-step temporary
+    /// (embeddings, block activations, logits) in reused storage. Only
+    /// the returned plan allocates in steady state.
+    pub fn decode_with(
+        &self,
+        accel: &mut Accelerator,
+        task: TaskId,
+        completed: &[Subtask],
+        scratch: &mut PlannerScratch,
+    ) -> Vec<Subtask> {
+        let mut tokens = std::mem::take(&mut scratch.tokens);
+        tokens.clear();
+        tokens.extend_from_slice(&vocab::context_tokens(task, completed));
         let mut plan = Vec::new();
         for _ in 0..MAX_PLAN {
             if tokens.len() >= MAX_SEQ {
                 break;
             }
-            let logits = self.last_logits(accel, &tokens, None);
-            let tok = argmax(&logits);
+            self.last_logits_into(accel, &tokens, None, scratch);
+            let tok = argmax(scratch.logits.row(0));
             if tok == EOS || tok == PAD || tok == SEP {
                 break;
             }
@@ -546,6 +620,7 @@ impl QuantPlanner {
                 plan.push(st);
             }
         }
+        scratch.tokens = tokens;
         if plan.is_empty() {
             plan.push(Subtask::Idle);
         }
@@ -732,6 +807,35 @@ mod tests {
                 "decoded plans must be backend-invariant ({kind})"
             );
         }
+    }
+
+    #[test]
+    fn scratch_decode_is_bit_identical_to_allocating_decode() {
+        let (mut model, samples) = tiny_setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        model.train(&samples, 220, 3e-3, None, &mut rng);
+        let quant = model.deploy(&samples, Precision::Int8);
+        let mut accel_a = Accelerator::ideal(0);
+        let mut accel_b = Accelerator::ideal(0);
+        let mut scratch = PlannerScratch::default();
+        // One scratch across several decodes of different context lengths.
+        for task in [TaskId::Wooden, TaskId::Log, TaskId::Button] {
+            let plan_a = quant.decode(&mut accel_a, task, &[]);
+            let plan_b = quant.decode_with(&mut accel_b, task, &[], &mut scratch);
+            assert_eq!(plan_a, plan_b, "{task:?}");
+            let done = &plan_a[..plan_a.len().min(1)];
+            let rest_a = quant.decode(&mut accel_a, task, done);
+            let rest_b = quant.decode_with(&mut accel_b, task, done, &mut scratch);
+            assert_eq!(rest_a, rest_b, "{task:?} replan");
+        }
+        assert_eq!(accel_a.macs(), accel_b.macs());
+        assert_eq!(accel_a.gemms(), accel_b.gemms());
+        // Raw logits agree too.
+        let tokens = &samples[0].tokens;
+        assert_eq!(
+            quant.last_logits(&mut accel_a, tokens, None),
+            quant.last_logits_with(&mut accel_b, tokens, None, &mut scratch)
+        );
     }
 
     #[test]

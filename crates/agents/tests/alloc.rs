@@ -1,0 +1,89 @@
+//! The zero-allocation steady-state contract at the *agent* level: the
+//! deployed controller's per-step `act_with` path — the innermost loop of
+//! every mission trial — must perform no heap allocation once its scratch
+//! is warm. (The accelerator-level counterpart lives in
+//! `create-accel/tests/alloc.rs`.)
+//!
+//! One `#[test]` only, so no concurrent test thread can perturb the
+//! counter.
+
+use create_accel::Accelerator;
+use create_agents::datasets;
+use create_agents::presets::ControllerPreset;
+use create_agents::{ControllerModel, ControllerScratch};
+use create_env::TaskId;
+use create_tensor::Precision;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Smallest allocation delta over several windows of `body` (the minimum
+/// shields against rare harness-side allocations; a per-call allocation
+/// in the measured path inflates every window and is still caught).
+fn min_alloc_delta(windows: usize, mut body: impl FnMut()) -> u64 {
+    let mut min = u64::MAX;
+    for _ in 0..windows {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        body();
+        min = min.min(ALLOCATIONS.load(Ordering::Relaxed) - before);
+    }
+    min
+}
+
+#[test]
+fn deployed_controller_act_with_is_allocation_free_after_warm_up() {
+    // An untrained tiny controller is enough: allocation behavior does
+    // not depend on the weights.
+    let mut rng = StdRng::seed_from_u64(1);
+    let preset = ControllerPreset {
+        proxy_layers: 1,
+        proxy_hidden: 32,
+        proxy_mlp: 64,
+        proxy_heads: 4,
+        ..ControllerPreset::jarvis()
+    };
+    let model = ControllerModel::new(&preset, &mut rng);
+    let samples = datasets::collect_bc(&[TaskId::Seed], 1, 40, 0.0, 9);
+    let quant = model.deploy(&samples, Precision::Int8);
+    let mut accel = Accelerator::ideal(0);
+    let mut scratch = ControllerScratch::default();
+    let observations: Vec<_> = samples.iter().take(8).map(|s| s.obs.clone()).collect();
+    for obs in &observations {
+        let _ = quant.act_with(&mut accel, obs, 0.8, &mut rng, &mut scratch);
+    }
+    let delta = min_alloc_delta(3, || {
+        for obs in &observations {
+            for _ in 0..20 {
+                let _ = quant.act_with(&mut accel, obs, 0.8, &mut rng, &mut scratch);
+            }
+        }
+    });
+    assert_eq!(
+        delta, 0,
+        "the per-step act_with path must not allocate after warm-up"
+    );
+}

@@ -4,9 +4,12 @@
 //! efficiency-reliability tension CREATE resolves.
 
 use create_accel::TimingModel;
-use create_bench::{banner, emit, jarvis_deployment, LabeledGrid, Stopwatch};
+use create_bench::{
+    banner, emit, emit_bench_json, jarvis_deployment, BenchRecord, LabeledGrid, Stopwatch,
+};
 use create_core::prelude::*;
 use create_env::TaskId;
+use std::time::Instant;
 
 fn main() {
     let _t = Stopwatch::start("fig01");
@@ -32,14 +35,20 @@ fn main() {
     let reps = default_reps();
     let mut t = TextTable::new(vec!["voltage_v", "success_rate", "avg_steps", "energy_j"]);
     let mut grid = LabeledGrid::new();
-    for v in [0.90, 0.88, 0.87, 0.86, 0.85, 0.84, 0.82] {
+    let voltages = [0.90, 0.88, 0.87, 0.86, 0.85, 0.84, 0.82];
+    for v in voltages {
         grid.push(
             vec![format!("{v:.2}")],
             TaskId::Stone,
             CreateConfig::undervolted(v),
         );
     }
-    for (label, p) in grid.run(&dep, reps, 0x01) {
+    let cells = voltages.len() as u64;
+    let sweep_start = Instant::now();
+    let points = grid.run(&dep, reps, 0x01);
+    let sweep_elapsed = sweep_start.elapsed().as_secs_f64();
+    let mut total_steps = 0u64;
+    for (label, p) in points {
         let mut row = label;
         row.extend([
             pct(p.success_rate),
@@ -47,8 +56,25 @@ fn main() {
             format!("{:.2}", p.avg_energy_j),
         ]);
         t.row(row);
+        total_steps += (p.avg_steps * p.n as f64) as u64;
     }
     emit(&t, "fig01cd_quality_energy");
+    // Machine-readable end-to-end numbers: the voltage sweep is the PR's
+    // canonical mission workload, so its throughput is the trajectory
+    // future perf PRs compare against.
+    let trials = cells * reps as u64;
+    emit_bench_json(
+        "fig01",
+        &[BenchRecord::new()
+            .str("bench", "fig01_voltage_sweep")
+            .str("backend", create_accel::GemmBackendKind::from_env().name())
+            .int("cells", cells)
+            .int("reps", reps as u64)
+            .int("trials", trials)
+            .int("approx_success_steps", total_steps)
+            .num("elapsed_s", sweep_elapsed)
+            .num("trials_per_s", trials as f64 / sweep_elapsed.max(1e-9))],
+    );
     println!(
         "Expected shape: success falls and steps/energy rise as voltage drops\n\
          below the planner's unprotected margin (~0.87 V)."

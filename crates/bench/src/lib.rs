@@ -104,6 +104,115 @@ impl LabeledGrid {
     }
 }
 
+/// One machine-readable benchmark record destined for a
+/// `results/BENCH_*.json` file.
+///
+/// Fields are kept in insertion order and rendered as one flat JSON
+/// object; numbers are emitted as JSON numbers, everything else as
+/// strings. Future PRs diff these files to track the performance
+/// trajectory (see `BENCH_kernels.json` / `BENCH_fig01.json`).
+#[derive(Debug, Clone, Default)]
+pub struct BenchRecord {
+    fields: Vec<(String, String)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl BenchRecord {
+    /// An empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: impl AsRef<str>) -> Self {
+        self.fields.push((
+            key.to_string(),
+            format!("\"{}\"", json_escape(value.as_ref())),
+        ));
+        self
+    }
+
+    /// Adds a numeric field (rendered with enough precision to diff).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value:.6}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+            .collect();
+        format!("  {{{}}}", body.join(", "))
+    }
+}
+
+/// Writes `records` to `results/BENCH_<name>.json` as a JSON array (one
+/// record per line, so diffs stay reviewable) and logs the path.
+pub fn emit_bench_json(name: &str, records: &[BenchRecord]) {
+    let path = results_dir().join(format!("BENCH_{name}.json"));
+    let body: Vec<String> = records.iter().map(BenchRecord::render).collect();
+    let json = format!("[\n{}\n]\n", body.join(",\n"));
+    match std::fs::create_dir_all(results_dir()).and_then(|()| std::fs::write(&path, json)) {
+        Ok(()) => println!("[bench-json] {}", path.display()),
+        Err(e) => eprintln!("[bench-json] failed to write {}: {e}", path.display()),
+    }
+}
+
+/// Median wall-clock nanoseconds per iteration of `f`, measured with a
+/// short calibration warm-up — the fixed-cost timer behind the
+/// `BENCH_*.json` records (criterion's shim prints human-readable output;
+/// this produces the machine-readable numbers).
+pub fn measure_ns_per_iter(mut f: impl FnMut()) -> f64 {
+    use std::time::Instant;
+    // Calibrate: how many iterations fit ~20 ms?
+    let start = Instant::now();
+    let mut calib_iters = 0u64;
+    while start.elapsed().as_millis() < 20 {
+        f();
+        calib_iters += 1;
+    }
+    let per_iter = start.elapsed().as_secs_f64() / calib_iters.max(1) as f64;
+    let iters_per_sample = ((0.02 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+    // 9 samples of ~20 ms each; report the median against noise.
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                f();
+            }
+            t.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    samples[samples.len() / 2]
+}
+
 /// Prints a figure banner.
 pub fn banner(figure: &str, caption: &str) {
     println!();
@@ -155,6 +264,31 @@ pub fn ber_grid(lo_exp: i32, hi_exp: i32, per_decade: &[f64]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_records_render_as_flat_json_objects() {
+        let r = BenchRecord::new()
+            .str("bench", "gemm_i8")
+            .str("shape", "16x256x256")
+            .num("ns_per_iter", 1234.5)
+            .int("macs", 1_048_576);
+        assert_eq!(
+            r.render(),
+            "  {\"bench\": \"gemm_i8\", \"shape\": \"16x256x256\", \
+             \"ns_per_iter\": 1234.500000, \"macs\": 1048576}"
+        );
+        let quoted = BenchRecord::new().str("k", "a\"b\\c");
+        assert_eq!(quoted.render(), "  {\"k\": \"a\\\"b\\\\c\"}");
+    }
+
+    #[test]
+    fn measure_ns_per_iter_is_positive_and_sane() {
+        let mut x = 0u64;
+        let ns = measure_ns_per_iter(|| {
+            x = x.wrapping_add(std::hint::black_box(1));
+        });
+        assert!(ns > 0.0 && ns < 1e7, "implausible ns/iter: {ns}");
+    }
 
     #[test]
     fn ber_grid_is_log_spaced_and_sorted() {

@@ -80,6 +80,22 @@ pub trait ExperimentPoint: Sync {
 
     /// Runs trial `trial` with the engine-derived `seed`.
     fn run_trial(&self, trial: u32, seed: u64) -> Self::Outcome;
+
+    /// Runs the contiguous trials `first_trial .. first_trial +
+    /// seeds.len()` of this point, appending one outcome per trial to
+    /// `out` **in trial order**.
+    ///
+    /// The engine calls this once per claimed batch (`CREATE_TRIAL_BATCH`
+    /// trials at a time), so points whose trials share expensive per-trial
+    /// setup — inference scratch buffers, deployment clones — can override
+    /// it to pay that setup once per batch. Outcomes must be identical to
+    /// calling [`run_trial`](Self::run_trial) per entry, which is exactly
+    /// what the default implementation does.
+    fn run_batch(&self, first_trial: u32, seeds: &[u64], out: &mut Vec<Self::Outcome>) {
+        for (i, &seed) in seeds.iter().enumerate() {
+            out.push(self.run_trial(first_trial + i as u32, seed));
+        }
+    }
 }
 
 /// Derives the seed for one trial from `(base_seed, point_index,
@@ -142,10 +158,21 @@ pub struct EngineOptions {
     pub threads: usize,
     /// Progress reporting sink.
     pub progress: Progress,
+    /// Trials a worker claims per batch (`CREATE_TRIAL_BATCH`, default
+    /// 1 — one claim per trial, the pre-batching behavior).
+    ///
+    /// Larger batches amortize per-trial setup — each batch runs through
+    /// one [`ExperimentPoint::run_batch`] call, so a point can reuse
+    /// inference scratch across the whole batch — at the cost of coarser
+    /// load balancing. Results are **bit-identical for any batch size**:
+    /// seeds still derive from `(base seed, point, trial)` and folding
+    /// stays in trial order (pinned by `tests/engine.rs`).
+    pub batch: usize,
 }
 
 impl EngineOptions {
-    /// Options from `CREATE_THREADS` / `CREATE_PROGRESS`.
+    /// Options from `CREATE_THREADS` / `CREATE_PROGRESS` /
+    /// `CREATE_TRIAL_BATCH`.
     pub fn from_env() -> Self {
         let progress = match std::env::var("CREATE_PROGRESS") {
             Ok(v) if v != "0" && !v.is_empty() => Progress::Stderr,
@@ -154,12 +181,19 @@ impl EngineOptions {
         EngineOptions {
             threads: default_threads(),
             progress,
+            batch: positive_env("CREATE_TRIAL_BATCH", 1),
         }
     }
 
     /// Overrides the thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the per-worker trial batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
         self
     }
 }
@@ -259,26 +293,54 @@ where
         let cursor = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let threads = options.threads.max(1).min(total);
+        let batch = options.batch.max(1);
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let flat = cursor.fetch_add(1, Ordering::Relaxed);
-                    if flat >= total {
-                        break;
-                    }
-                    // partition_point returns how many offsets are <= flat;
-                    // the containing point is one before that.
-                    let point_idx = offsets.partition_point(|&o| o <= flat) - 1;
-                    let trial = (flat - offsets[point_idx]) as u32;
-                    let seed = derive_seed(base_seed, point_idx, trial);
-                    let outcome = points[point_idx].run_trial(trial, seed);
-                    folds[point_idx]
-                        .lock()
-                        .expect("engine fold poisoned")
-                        .offer(trial, outcome);
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if options.progress == Progress::Stderr {
-                        report_progress(finished, total);
+                scope.spawn(|| {
+                    let mut seeds: Vec<u64> = Vec::new();
+                    let mut outcomes: Vec<P::Outcome> = Vec::new();
+                    loop {
+                        // Claim a contiguous batch of flat trial indices.
+                        let start = cursor.fetch_add(batch, Ordering::Relaxed);
+                        if start >= total {
+                            break;
+                        }
+                        let end = (start + batch).min(total);
+                        // A claim can straddle point boundaries; each
+                        // same-point span runs as one run_batch call.
+                        let mut flat = start;
+                        while flat < end {
+                            // partition_point returns how many offsets are
+                            // <= flat; the containing point is one before.
+                            let point_idx = offsets.partition_point(|&o| o <= flat) - 1;
+                            let span_end = offsets[point_idx + 1].min(end);
+                            let first_trial = (flat - offsets[point_idx]) as u32;
+                            let span = span_end - flat;
+                            seeds.clear();
+                            seeds.extend(
+                                (0..span as u32)
+                                    .map(|i| derive_seed(base_seed, point_idx, first_trial + i)),
+                            );
+                            outcomes.clear();
+                            points[point_idx].run_batch(first_trial, &seeds, &mut outcomes);
+                            debug_assert_eq!(
+                                outcomes.len(),
+                                span,
+                                "run_batch must yield one outcome per seed"
+                            );
+                            {
+                                let mut fold =
+                                    folds[point_idx].lock().expect("engine fold poisoned");
+                                for (i, outcome) in outcomes.drain(..).enumerate() {
+                                    fold.offer(first_trial + i as u32, outcome);
+                                }
+                            }
+                            let finished = done.fetch_add(span, Ordering::Relaxed) + span;
+                            if options.progress == Progress::Stderr {
+                                report_progress(finished, span, total);
+                            }
+                            flat = span_end;
+                        }
                     }
                 });
             }
@@ -299,10 +361,11 @@ where
         .collect()
 }
 
-fn report_progress(finished: usize, total: usize) {
-    // Only ~100 updates per sweep: report when a percent boundary is crossed.
+fn report_progress(finished: usize, span: usize, total: usize) {
+    // Only ~100 updates per sweep: report when a percent boundary is
+    // crossed by the just-finished span of trials.
     let pct = finished * 100 / total;
-    let prev_pct = (finished - 1) * 100 / total;
+    let prev_pct = (finished - span) * 100 / total;
     if pct != prev_pct || finished == total {
         let mut err = std::io::stderr().lock();
         let _ = write!(err, "\r[create] trials {finished}/{total} ({pct}%)");
@@ -359,6 +422,7 @@ mod tests {
         EngineOptions {
             threads,
             progress: Progress::Silent,
+            batch: 1,
         }
     }
 
@@ -422,6 +486,41 @@ mod tests {
         std::env::set_var("CREATE_TEST_ENGINE_NEG", "-3");
         assert_eq!(positive_env("CREATE_TEST_ENGINE_NEG", 40), 40);
         std::env::remove_var("CREATE_TEST_ENGINE_NEG");
+    }
+
+    #[test]
+    fn batched_claims_are_bit_identical_to_per_trial_claims() {
+        // CREATE_TRIAL_BATCH is a pure wall-clock knob: any batch size —
+        // including one larger than every point's trial count — must give
+        // identical seeds and fold order as batch=1, at any thread count.
+        let grid = || vec![Cell { trials: 17 }, Cell { trials: 3 }, Cell { trials: 9 }];
+        let reference = run_grid_with(grid(), 99, &options(1));
+        for threads in [1, 2, 8] {
+            for batch in [1usize, 3, 18, 64] {
+                let out = run_grid_with(grid(), 99, &options(threads).with_batch(batch));
+                assert_eq!(out, reference, "threads={threads} batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_default_matches_per_trial_outcomes() {
+        let cell = Cell { trials: 5 };
+        let seeds: Vec<u64> = (0..4u32).map(|t| derive_seed(7, 0, 2 + t)).collect();
+        let mut batched = Vec::new();
+        cell.run_batch(2, &seeds, &mut batched);
+        let singles: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| cell.run_trial(2 + i as u32, s))
+            .collect();
+        assert_eq!(batched, singles);
+    }
+
+    #[test]
+    fn with_batch_clamps_to_one() {
+        assert_eq!(options(1).with_batch(0).batch, 1);
+        assert_eq!(options(1).with_batch(12).batch, 12);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use engine::{run_grid, run_grid_with, Accumulator, EngineOptions, Experiment
 pub use memory::{
     run_memory_grid, run_memory_point, MemTarget, MemoryCell, MemoryConfig, MemoryPoint,
 };
-pub use mission::{run_trial, Deployment, MissionOutcome};
+pub use mission::{run_trial, run_trial_with, Deployment, MissionOutcome, TrialScratch};
 pub use policy::EntropyPolicy;
 pub use stats::{
     default_reps, run_config_grid, run_outcomes, run_point, run_point_with, GridCell, SweepPoint,
@@ -58,7 +58,7 @@ pub mod prelude {
     pub use crate::memory::{
         run_memory_grid, run_memory_point, MemTarget, MemoryCell, MemoryConfig, MemoryPoint,
     };
-    pub use crate::mission::{run_trial, Deployment, MissionOutcome};
+    pub use crate::mission::{run_trial, run_trial_with, Deployment, MissionOutcome, TrialScratch};
     pub use crate::policy::EntropyPolicy;
     pub use crate::report::{joules, pct, results_dir, sci, TextTable};
     pub use crate::stats::{

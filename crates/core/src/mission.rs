@@ -106,12 +106,39 @@ fn is_execution_phase(obs: &Observation) -> bool {
     streak || adjacent || craft_ready
 }
 
+/// Reusable inference buffers for one worker's trials.
+///
+/// A mission runs the controller every environment step and the planner
+/// on every (re)plan; their scratch buffers live here so one trial — and,
+/// with engine trial batching (`CREATE_TRIAL_BATCH`), a whole batch of
+/// trials on the same worker — reuses a single set of allocations.
+/// Scratch state carries no information between steps or trials: every
+/// buffer is fully overwritten before being read, so outcomes are
+/// bit-identical whether a scratch is fresh or recycled.
+#[derive(Debug, Default)]
+pub struct TrialScratch {
+    controller: create_agents::ControllerScratch,
+    planner: create_agents::PlannerScratch,
+}
+
 /// Runs one mission trial.
 pub fn run_trial(
     dep: &Deployment,
     task: TaskId,
     config: &CreateConfig,
     seed: u64,
+) -> MissionOutcome {
+    run_trial_with(dep, task, config, seed, &mut TrialScratch::default())
+}
+
+/// [`run_trial`] with caller-provided inference scratch, the batched
+/// engine's entry point. Outcomes are bit-identical to [`run_trial`].
+pub fn run_trial_with(
+    dep: &Deployment,
+    task: TaskId,
+    config: &CreateConfig,
+    seed: u64,
+    scratch: &mut TrialScratch,
 ) -> MissionOutcome {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x51EED);
     let mut world = World::for_task(task, seed);
@@ -186,7 +213,7 @@ pub fn run_trial(
 
     // Initial plan.
     let (p0, l0) = (planner_accel.macs(), planner_accel.logical_macs());
-    let mut plan = planner_model.decode(&mut planner_accel, task, &[]);
+    let mut plan = planner_model.decode_with(&mut planner_accel, task, &[], &mut scratch.planner);
     meter.record(
         Unit::Planner,
         &scaled(
@@ -228,7 +255,12 @@ pub fn run_trial(
         // Replan when the plan is exhausted or the subtask stalls.
         if plan_idx >= plan.len() || subtask_steps >= config.limits.subtask_timeout {
             let (p0, l0) = (planner_accel.macs(), planner_accel.logical_macs());
-            plan = planner_model.decode(&mut planner_accel, task, &completed);
+            plan = planner_model.decode_with(
+                &mut planner_accel,
+                task,
+                &completed,
+                &mut scratch.planner,
+            );
             meter.record(
                 Unit::Planner,
                 &scaled(
@@ -290,9 +322,13 @@ pub fn run_trial(
         }
 
         let (c0, cl0) = (ctrl_accel.macs(), ctrl_accel.logical_macs());
-        let (action, entropy) =
-            dep.controller
-                .act(&mut ctrl_accel, &obs, config.temperature, &mut rng);
+        let (action, entropy) = dep.controller.act_with(
+            &mut ctrl_accel,
+            &obs,
+            config.temperature,
+            &mut rng,
+            &mut scratch.controller,
+        );
         meter.record(
             Unit::Controller,
             &scaled(&ctrl_cost, accel_factor(&ctrl_accel, c0, cl0) * overhead),

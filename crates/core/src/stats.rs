@@ -8,7 +8,7 @@
 
 use crate::config::CreateConfig;
 use crate::engine::{self, Accumulator, CollectAll, EngineOptions, ExperimentPoint};
-use crate::mission::{run_trial, Deployment, MissionOutcome};
+use crate::mission::{run_trial, run_trial_with, Deployment, MissionOutcome, TrialScratch};
 use create_env::TaskId;
 use create_tensor::stats::wilson_interval;
 
@@ -125,6 +125,24 @@ fn clamp_reps(reps: usize) -> u32 {
     })
 }
 
+/// Shared [`ExperimentPoint::run_batch`] body for the mission cells: one
+/// [`TrialScratch`] serves every trial of the batch, so the controller
+/// and planner inference buffers are allocated once per batch instead of
+/// once per trial (outcomes are scratch-independent, hence
+/// bit-identical).
+fn run_mission_batch(
+    dep: &Deployment,
+    task: TaskId,
+    config: &CreateConfig,
+    seeds: &[u64],
+    out: &mut Vec<MissionOutcome>,
+) {
+    let mut scratch = TrialScratch::default();
+    for &seed in seeds {
+        out.push(run_trial_with(dep, task, config, seed, &mut scratch));
+    }
+}
+
 /// One `(task, config)` cell of a mission experiment grid.
 pub struct GridCell<'a> {
     /// The shared immutable deployment.
@@ -151,6 +169,10 @@ impl ExperimentPoint for GridCell<'_> {
 
     fn run_trial(&self, _trial: u32, seed: u64) -> MissionOutcome {
         run_trial(self.dep, self.task, &self.config, seed)
+    }
+
+    fn run_batch(&self, _first_trial: u32, seeds: &[u64], out: &mut Vec<MissionOutcome>) {
+        run_mission_batch(self.dep, self.task, &self.config, seeds, out);
     }
 }
 
@@ -199,6 +221,10 @@ impl ExperimentPoint for RawCell<'_> {
 
     fn run_trial(&self, _trial: u32, seed: u64) -> MissionOutcome {
         run_trial(self.dep, self.task, self.config, seed)
+    }
+
+    fn run_batch(&self, _first_trial: u32, seeds: &[u64], out: &mut Vec<MissionOutcome>) {
+        run_mission_batch(self.dep, self.task, self.config, seeds, out);
     }
 }
 

@@ -10,6 +10,15 @@ pub fn relu(x: &Matrix) -> Matrix {
     x.map(|v| v.max(0.0))
 }
 
+/// [`relu`] into a caller-provided matrix (identical values, reused
+/// storage — the deployed forward paths run this every step).
+pub fn relu_into(x: &Matrix, out: &mut Matrix) {
+    out.copy_from(x);
+    for v in out.as_mut_slice().iter_mut() {
+        *v = v.max(0.0);
+    }
+}
+
 /// ReLU backward: `dx = dy ⊙ [x > 0]`.
 pub fn relu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
     assert_eq!(x.shape(), dy.shape(), "relu backward shape mismatch");
@@ -38,6 +47,15 @@ pub fn silu(x: &Matrix) -> Matrix {
     x.map(|v| v * sigmoid(v))
 }
 
+/// [`silu`] into a caller-provided matrix (identical values, reused
+/// storage).
+pub fn silu_into(x: &Matrix, out: &mut Matrix) {
+    out.copy_from(x);
+    for v in out.as_mut_slice().iter_mut() {
+        *v *= sigmoid(*v);
+    }
+}
+
 /// SiLU backward: `d/dx [x σ(x)] = σ(x)(1 + x(1 − σ(x)))`.
 pub fn silu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
     assert_eq!(x.shape(), dy.shape(), "silu backward shape mismatch");
@@ -51,8 +69,14 @@ pub fn silu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
 /// Row-wise softmax with max-subtraction for stability.
 pub fn softmax_rows(x: &Matrix) -> Matrix {
     let mut out = x.clone();
-    for r in 0..out.rows() {
-        let row = out.row_mut(r);
+    softmax_rows_in_place(&mut out);
+    out
+}
+
+/// [`softmax_rows`] applied in place (identical values, no allocation).
+pub fn softmax_rows_in_place(x: &mut Matrix) {
+    for r in 0..x.rows() {
+        let row = x.row_mut(r);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
         for v in row.iter_mut() {
@@ -65,7 +89,6 @@ pub fn softmax_rows(x: &Matrix) -> Matrix {
             }
         }
     }
-    out
 }
 
 /// Softmax backward given the softmax output `p` and upstream `dy`:
@@ -99,6 +122,14 @@ pub fn logits_entropy(logits: &[f32]) -> f32 {
     let m = Matrix::from_vec(1, logits.len(), logits.to_vec());
     let p = softmax_rows(&m);
     entropy(p.row(0))
+}
+
+/// [`logits_entropy`] of row 0 of `logits`, using `probs` as the softmax
+/// workspace (identical value, no allocation once `probs` is warm).
+pub fn logits_entropy_with(logits: &Matrix, probs: &mut Matrix) -> f32 {
+    probs.copy_from(logits);
+    softmax_rows_in_place(probs);
+    entropy(probs.row(0))
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! Error injection targets the Q/K/V/O *weight* GEMMs (the INT8 operations
 //! the paper quantizes, Sec. 3.2); the score/probability math runs in f32.
 
-use crate::activation::{softmax_backward, softmax_rows};
+use crate::activation::{softmax_backward, softmax_rows, softmax_rows_in_place};
 use crate::linear::{Linear, LinearGrads, QuantLinear};
 use create_accel::{Accelerator, Component, LayerCtx, Unit};
 use create_tensor::{Matrix, Precision};
@@ -13,6 +13,16 @@ use rand::Rng;
 /// Extracts columns `[h*dh, (h+1)*dh)` of `m`.
 fn head_slice(m: &Matrix, h: usize, dh: usize) -> Matrix {
     Matrix::from_fn(m.rows(), dh, |r, c| m.get(r, h * dh + c))
+}
+
+/// [`head_slice`] into a caller-provided matrix (identical values, reused
+/// storage).
+fn head_slice_into(m: &Matrix, h: usize, dh: usize, out: &mut Matrix) {
+    out.reset_zeros(m.rows(), dh);
+    for r in 0..m.rows() {
+        let src = &m.row(r)[h * dh..(h + 1) * dh];
+        out.row_mut(r).copy_from_slice(src);
+    }
 }
 
 /// Adds `part` back into columns `[h*dh, (h+1)*dh)` of `m`.
@@ -181,6 +191,26 @@ impl Mha {
     }
 }
 
+/// Reusable buffers for one [`QuantMha::forward_into`] call.
+///
+/// Holds the Q/K/V/context activations plus the per-head slices and
+/// score/context temporaries; every matrix is resized in place and fully
+/// overwritten each call, so a sequential token loop (planner decode,
+/// controller steps) allocates nothing once the buffers are warm.
+/// Scratch contents never influence results.
+#[derive(Debug, Default)]
+pub struct MhaScratch {
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    context: Matrix,
+    qh: Matrix,
+    kh: Matrix,
+    vh: Matrix,
+    scores: Matrix,
+    ch: Matrix,
+}
+
 /// Deployed multi-head attention with quantized projections.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantMha {
@@ -224,33 +254,65 @@ impl QuantMha {
 
     /// Forward pass on the accelerator.
     pub fn forward(&self, accel: &mut Accelerator, x: &Matrix, unit: Unit, layer: usize) -> Matrix {
+        let mut scratch = MhaScratch::default();
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(accel, x, unit, layer, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`forward`](Self::forward) with caller-provided scratch and output
+    /// buffers — bit-identical results, zero steady-state allocation.
+    pub fn forward_into(
+        &self,
+        accel: &mut Accelerator,
+        x: &Matrix,
+        unit: Unit,
+        layer: usize,
+        scratch: &mut MhaScratch,
+        out: &mut Matrix,
+    ) {
         let d = self.wq.fan_in();
         let dh = d / self.heads;
         let scale = 1.0 / (dh as f32).sqrt();
-        let q = self
-            .wq
-            .forward(accel, x, LayerCtx::new(unit, Component::Q, layer));
-        let k = self
-            .wk
-            .forward(accel, x, LayerCtx::new(unit, Component::K, layer));
-        let v = self
-            .wv
-            .forward(accel, x, LayerCtx::new(unit, Component::V, layer));
-        let mut context = Matrix::zeros(x.rows(), d);
+        self.wq.forward_into(
+            accel,
+            x,
+            LayerCtx::new(unit, Component::Q, layer),
+            &mut scratch.q,
+        );
+        self.wk.forward_into(
+            accel,
+            x,
+            LayerCtx::new(unit, Component::K, layer),
+            &mut scratch.k,
+        );
+        self.wv.forward_into(
+            accel,
+            x,
+            LayerCtx::new(unit, Component::V, layer),
+            &mut scratch.v,
+        );
+        scratch.context.reset_zeros(x.rows(), d);
         for h in 0..self.heads {
-            let qh = head_slice(&q, h, dh);
-            let kh = head_slice(&k, h, dh);
-            let vh = head_slice(&v, h, dh);
-            let mut scores = qh.matmul_nt(&kh).scale(scale);
+            head_slice_into(&scratch.q, h, dh, &mut scratch.qh);
+            head_slice_into(&scratch.k, h, dh, &mut scratch.kh);
+            head_slice_into(&scratch.v, h, dh, &mut scratch.vh);
+            scratch.qh.matmul_nt_into(&scratch.kh, &mut scratch.scores);
+            scratch.scores.scale_in_place(scale);
             if self.causal {
-                causal_mask(&mut scores);
+                causal_mask(&mut scratch.scores);
             }
-            let p = softmax_rows(&scores);
-            let ch = p.matmul(&vh);
-            head_unslice(&mut context, &ch, h, dh);
+            // `scores` becomes the softmax probabilities in place.
+            softmax_rows_in_place(&mut scratch.scores);
+            scratch.scores.matmul_into(&scratch.vh, &mut scratch.ch);
+            head_unslice(&mut scratch.context, &scratch.ch, h, dh);
         }
-        self.wo
-            .forward(accel, &context, LayerCtx::new(unit, Component::O, layer))
+        self.wo.forward_into(
+            accel,
+            &scratch.context,
+            LayerCtx::new(unit, Component::O, layer),
+            out,
+        );
     }
 }
 

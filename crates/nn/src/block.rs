@@ -2,8 +2,8 @@
 //! the controller's pre-LayerNorm attention + ReLU MLP (paper Fig. 3), in
 //! trainable `f32` and quantized accelerator-backed forms.
 
-use crate::activation::{relu, relu_backward, silu, silu_backward};
-use crate::attention::{CalRange, Mha, MhaCache, MhaGrads, QuantMha};
+use crate::activation::{relu, relu_backward, relu_into, silu, silu_backward, silu_into};
+use crate::attention::{CalRange, Mha, MhaCache, MhaGrads, MhaScratch, QuantMha};
 use crate::linear::{Linear, LinearGrads, QuantLinear};
 use crate::norm::{
     layernorm_backward, layernorm_with_stats, rmsnorm_backward, rmsnorm_with_stats, NormStats,
@@ -430,33 +430,86 @@ impl QuantPlannerBlock {
         layer: usize,
         tap: Option<&mut ActivationTap>,
     ) -> Matrix {
-        use crate::norm::rmsnorm;
+        let mut scratch = QuantPlannerBlockScratch::default();
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(accel, x, layer, tap, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`forward`](Self::forward) with caller-provided scratch and output
+    /// buffers — bit-identical results, zero steady-state allocation
+    /// (except the activation-tap copies, which only study harnesses
+    /// request).
+    pub fn forward_into(
+        &self,
+        accel: &mut Accelerator,
+        x: &Matrix,
+        layer: usize,
+        tap: Option<&mut ActivationTap>,
+        scratch: &mut QuantPlannerBlockScratch,
+        out: &mut Matrix,
+    ) {
+        use crate::norm::rmsnorm_into;
         if let Some(tap) = tap {
             tap.pre_norm.push(x.clone());
         }
-        let n1 = rmsnorm(x);
-        let a = self.attn.forward(accel, &n1, Unit::Planner, layer);
-        let y = x.add(&a);
-        let n2 = rmsnorm(&y);
-        let gate = self.wgate.forward(
+        rmsnorm_into(x, &mut scratch.norm);
+        self.attn.forward_into(
             accel,
-            &n2,
+            &scratch.norm,
+            Unit::Planner,
+            layer,
+            &mut scratch.attn,
+            &mut scratch.attn_out,
+        );
+        scratch.y.copy_from(x);
+        scratch.y.add_assign(&scratch.attn_out);
+        rmsnorm_into(&scratch.y, &mut scratch.norm);
+        self.wgate.forward_into(
+            accel,
+            &scratch.norm,
             LayerCtx::new(Unit::Planner, Component::Gate, layer),
+            &mut scratch.gate,
         );
-        let up = self.wup.forward(
+        self.wup.forward_into(
             accel,
-            &n2,
+            &scratch.norm,
             LayerCtx::new(Unit::Planner, Component::Up, layer),
+            &mut scratch.up,
         );
-        let act = silu(&gate);
-        let prod = Matrix::from_fn(act.rows(), act.cols(), |r, c| act.get(r, c) * up.get(r, c));
-        let m = self.wdown.forward(
+        // act ⊙ up, written over the gate activation.
+        silu_into(&scratch.gate, &mut scratch.act);
+        for (a, &u) in scratch
+            .act
+            .as_mut_slice()
+            .iter_mut()
+            .zip(scratch.up.as_slice())
+        {
+            *a *= u;
+        }
+        self.wdown.forward_into(
             accel,
-            &prod,
+            &scratch.act,
             LayerCtx::new(Unit::Planner, Component::Down, layer),
+            &mut scratch.mlp_out,
         );
-        y.add(&m)
+        out.copy_from(&scratch.y);
+        out.add_assign(&scratch.mlp_out);
     }
+}
+
+/// Reusable buffers for one [`QuantPlannerBlock::forward_into`] call.
+/// One instance serves every layer of a stacked forward pass in turn.
+#[derive(Debug, Default)]
+pub struct QuantPlannerBlockScratch {
+    attn: MhaScratch,
+    norm: Matrix,
+    attn_out: Matrix,
+    y: Matrix,
+    gate: Matrix,
+    up: Matrix,
+    act: Matrix,
+    mlp_out: Matrix,
 }
 
 /// Quantized controller block.
@@ -519,27 +572,70 @@ impl QuantControllerBlock {
         layer: usize,
         tap: Option<&mut ActivationTap>,
     ) -> Matrix {
-        use crate::norm::layernorm;
+        let mut scratch = QuantControllerBlockScratch::default();
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(accel, x, layer, tap, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`forward`](Self::forward) with caller-provided scratch and output
+    /// buffers — bit-identical results, zero steady-state allocation
+    /// (except the activation-tap copies, which only study harnesses
+    /// request).
+    pub fn forward_into(
+        &self,
+        accel: &mut Accelerator,
+        x: &Matrix,
+        layer: usize,
+        tap: Option<&mut ActivationTap>,
+        scratch: &mut QuantControllerBlockScratch,
+        out: &mut Matrix,
+    ) {
+        use crate::norm::layernorm_into;
         if let Some(tap) = tap {
             tap.pre_norm.push(x.clone());
         }
-        let n1 = layernorm(x);
-        let a = self.attn.forward(accel, &n1, Unit::Controller, layer);
-        let y = x.add(&a);
-        let n2 = layernorm(&y);
-        let pre = self.fc1.forward(
+        layernorm_into(x, &mut scratch.norm);
+        self.attn.forward_into(
             accel,
-            &n2,
+            &scratch.norm,
+            Unit::Controller,
+            layer,
+            &mut scratch.attn,
+            &mut scratch.attn_out,
+        );
+        scratch.y.copy_from(x);
+        scratch.y.add_assign(&scratch.attn_out);
+        layernorm_into(&scratch.y, &mut scratch.norm);
+        self.fc1.forward_into(
+            accel,
+            &scratch.norm,
             LayerCtx::new(Unit::Controller, Component::Fc1, layer),
+            &mut scratch.pre,
         );
-        let hidden = relu(&pre);
-        let m = self.fc2.forward(
+        relu_into(&scratch.pre, &mut scratch.hidden);
+        self.fc2.forward_into(
             accel,
-            &hidden,
+            &scratch.hidden,
             LayerCtx::new(Unit::Controller, Component::Fc2, layer),
+            &mut scratch.mlp_out,
         );
-        y.add(&m)
+        out.copy_from(&scratch.y);
+        out.add_assign(&scratch.mlp_out);
     }
+}
+
+/// Reusable buffers for one [`QuantControllerBlock::forward_into`] call.
+/// One instance serves every layer of a stacked forward pass in turn.
+#[derive(Debug, Default)]
+pub struct QuantControllerBlockScratch {
+    attn: MhaScratch,
+    norm: Matrix,
+    attn_out: Matrix,
+    y: Matrix,
+    pre: Matrix,
+    hidden: Matrix,
+    mlp_out: Matrix,
 }
 
 #[cfg(test)]

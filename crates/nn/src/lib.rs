@@ -27,9 +27,10 @@ pub mod norm;
 pub mod optim;
 
 pub use activation::{entropy, logits_entropy, softmax_rows};
-pub use attention::{Mha, QuantMha};
+pub use attention::{Mha, MhaScratch, QuantMha};
 pub use block::{
-    ActivationTap, ControllerBlock, PlannerBlock, QuantControllerBlock, QuantPlannerBlock,
+    ActivationTap, ControllerBlock, PlannerBlock, QuantControllerBlock,
+    QuantControllerBlockScratch, QuantPlannerBlock, QuantPlannerBlockScratch,
 };
 pub use conv::{Conv2d, Tensor3};
 pub use linear::{Linear, QuantLinear};

@@ -140,15 +140,31 @@ impl QuantLinear {
 
     /// Executes the layer on the accelerator (bias added after dequant).
     pub fn forward(&self, accel: &mut Accelerator, x: &Matrix, ctx: LayerCtx) -> Matrix {
-        let mut y = accel.linear(x, &self.w_q, self.input_params, self.out_bound, ctx);
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(accel, x, ctx, &mut y);
+        y
+    }
+
+    /// [`forward`](Self::forward) into a caller-provided output matrix.
+    ///
+    /// Bit-identical to the allocating form; together with the
+    /// accelerator's persistent scratch this makes a deployed layer's
+    /// steady-state forward pass allocation-free.
+    pub fn forward_into(
+        &self,
+        accel: &mut Accelerator,
+        x: &Matrix,
+        ctx: LayerCtx,
+        out: &mut Matrix,
+    ) {
+        accel.linear_into(x, &self.w_q, self.input_params, self.out_bound, ctx, out);
         if let Some(b) = &self.bias {
-            for r in 0..y.rows() {
-                for (v, add) in y.row_mut(r).iter_mut().zip(b) {
+            for r in 0..out.rows() {
+                for (v, add) in out.row_mut(r).iter_mut().zip(b) {
                     *v += add;
                 }
             }
         }
-        y
     }
 }
 

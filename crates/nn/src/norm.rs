@@ -27,6 +27,21 @@ pub fn rmsnorm(x: &Matrix) -> Matrix {
     rmsnorm_with_stats(x).0
 }
 
+/// [`rmsnorm`] into a caller-provided matrix (identical values, reused
+/// storage; per-row statistics are not captured).
+pub fn rmsnorm_into(x: &Matrix, out: &mut Matrix) {
+    let d = x.cols() as f32;
+    out.copy_from(x);
+    for r in 0..x.rows() {
+        let row = out.row_mut(r);
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d;
+        let rms = (ms + EPS).sqrt();
+        for v in row.iter_mut() {
+            *v /= rms;
+        }
+    }
+}
+
 /// RMSNorm forward returning the per-row statistics.
 pub fn rmsnorm_with_stats(x: &Matrix) -> (Matrix, NormStats) {
     let d = x.cols() as f32;
@@ -61,6 +76,22 @@ pub fn rmsnorm_backward(y: &Matrix, stats: &NormStats, dy: &Matrix) -> Matrix {
 /// LayerNorm forward: `y = (x − μ) / sqrt(var + eps)` per row.
 pub fn layernorm(x: &Matrix) -> Matrix {
     layernorm_with_stats(x).0
+}
+
+/// [`layernorm`] into a caller-provided matrix (identical values, reused
+/// storage; per-row statistics are not captured).
+pub fn layernorm_into(x: &Matrix, out: &mut Matrix) {
+    let d = x.cols() as f32;
+    out.copy_from(x);
+    for r in 0..x.rows() {
+        let row = out.row_mut(r);
+        let mu: f32 = row.iter().sum::<f32>() / d;
+        let var: f32 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d;
+        let sd = (var + EPS).sqrt();
+        for v in row.iter_mut() {
+            *v = (*v - mu) / sd;
+        }
+    }
 }
 
 /// LayerNorm forward returning the per-row statistics.

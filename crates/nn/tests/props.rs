@@ -1,10 +1,14 @@
 //! Property-based tests for the NN layer invariants.
 
-use create_nn::activation::{entropy, relu, silu, softmax_rows};
-use create_nn::norm::{layernorm, rmsnorm};
+use create_nn::activation::{
+    entropy, relu, relu_into, silu, silu_into, softmax_rows, softmax_rows_in_place,
+};
+use create_nn::norm::{layernorm, layernorm_into, rmsnorm, rmsnorm_into};
 use create_nn::optim::{AdamState, AdamWConfig};
 use create_tensor::Matrix;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -81,6 +85,103 @@ proptest! {
             *v /= z;
         }
         prop_assert!(entropy(&tilted) <= entropy(&uniform) + 1e-5);
+    }
+
+    /// Every buffer-out forward helper is bit-identical to its allocating
+    /// counterpart, with a dirty scratch of a different shape.
+    #[test]
+    fn into_forwards_are_bit_identical(
+        rows in 1usize..5,
+        cols in 1usize..32,
+        seed in 0u64..500,
+        scale in 0.1f32..20.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Matrix::random_uniform(rows, cols, scale, &mut rng);
+        let mut out = Matrix::random_uniform(2, 3, 1.0, &mut rng); // dirty
+        relu_into(&x, &mut out);
+        prop_assert_eq!(&out, &relu(&x));
+        silu_into(&x, &mut out);
+        prop_assert_eq!(&out, &silu(&x));
+        layernorm_into(&x, &mut out);
+        prop_assert_eq!(&out, &layernorm(&x));
+        rmsnorm_into(&x, &mut out);
+        prop_assert_eq!(&out, &rmsnorm(&x));
+        let mut sm = x.clone();
+        softmax_rows_in_place(&mut sm);
+        prop_assert_eq!(&sm, &softmax_rows(&x));
+    }
+
+    /// The scratch-threaded quantized attention and block forwards are
+    /// bit-identical to the allocating forwards, including when one
+    /// scratch instance is reused across differently-shaped calls.
+    #[test]
+    fn quant_forward_into_matches_forward(seed in 0u64..60) {
+        use create_accel::Accelerator;
+        use create_nn::attention::{Mha, MhaScratch, QuantMha};
+        use create_nn::block::{
+            ControllerBlock, QuantControllerBlock, QuantControllerBlockScratch,
+        };
+        use create_tensor::Precision;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = 16usize;
+        let mha = Mha::new(d, 4, seed % 2 == 0, &mut rng);
+        let x = Matrix::random_uniform(4, d, 1.0, &mut rng);
+        let (y_float, _) = mha.forward(&x);
+        let cal = |m: &Matrix| m.max_abs();
+        // Generous fixed output bounds: parity is what is under test, so
+        // exact calibration quality is irrelevant.
+        let q = QuantMha::from_calibrated(
+            &mha,
+            (cal(&x), 5.0),
+            (cal(&x), 5.0),
+            (cal(&x), 5.0),
+            (5.0, cal(&y_float).max(1.0) * 2.0),
+            1.25,
+            Precision::Int8,
+        );
+        let mut accel_a = Accelerator::ideal(seed);
+        let mut accel_b = Accelerator::ideal(seed);
+        let mut scratch = MhaScratch::default();
+        let mut out = Matrix::random_uniform(1, 2, 1.0, &mut rng); // dirty
+        for t in 1..4 {
+            // Growing sequence lengths exercise scratch reshaping.
+            let xt = x.rows_range(0, t);
+            let ya = q.forward(&mut accel_a, &xt, create_accel::Unit::Controller, 0);
+            q.forward_into(
+                &mut accel_b,
+                &xt,
+                create_accel::Unit::Controller,
+                0,
+                &mut scratch,
+                &mut out,
+            );
+            prop_assert_eq!(&ya, &out);
+        }
+        prop_assert_eq!(accel_a.macs(), accel_b.macs());
+
+        let block = ControllerBlock::new(d, 2 * d, 4, &mut rng);
+        let (zf, _) = block.forward(&x);
+        let n1 = create_nn::norm::layernorm(&x);
+        let qb = QuantControllerBlock::from_calibrated(
+            &block,
+            (n1.max_abs(), 5.0),
+            (n1.max_abs(), 5.0),
+            (n1.max_abs(), 5.0),
+            (5.0, 5.0),
+            (5.0, zf.max_abs() * 2.0),
+            (5.0, zf.max_abs() * 2.0),
+            1.25,
+            Precision::Int8,
+        );
+        let mut bs = QuantControllerBlockScratch::default();
+        for t in [4usize, 2, 4] {
+            let xt = x.rows_range(0, t);
+            let za = qb.forward(&mut accel_a, &xt, 0, None);
+            qb.forward_into(&mut accel_b, &xt, 0, None, &mut bs, &mut out);
+            prop_assert_eq!(&za, &out);
+        }
+        prop_assert_eq!(accel_a.macs(), accel_b.macs());
     }
 
     /// AdamW with zero gradient and zero weight decay leaves parameters

@@ -26,6 +26,14 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+impl Default for Matrix {
+    /// An empty 0×0 matrix — the seed state for reusable scratch buffers
+    /// that are later filled by the `_into` operations.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl fmt::Debug for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Matrix({}x{})", self.rows, self.cols)?;
@@ -44,6 +52,30 @@ impl Matrix {
             cols,
             data: vec![0.0; rows * cols],
         }
+    }
+
+    /// Reshapes `self` to `rows × cols` with every element zeroed,
+    /// **reusing the existing heap allocation** when its capacity
+    /// suffices.
+    ///
+    /// This is the in-place counterpart of [`Matrix::zeros`], used by the
+    /// inference scratch buffers: after a warm-up call at the largest
+    /// shape, subsequent calls perform no heap allocation. Values are
+    /// identical to a freshly constructed zero matrix.
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` a copy of `src`, reusing the existing allocation when
+    /// capacity suffices (the in-place counterpart of `clone`).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Creates a matrix from a closure over `(row, col)`.
@@ -188,6 +220,37 @@ impl Matrix {
         out
     }
 
+    /// [`matmul`](Self::matmul) into a caller-provided output matrix.
+    ///
+    /// Bit-identical to the allocating form (same accumulation order);
+    /// `out`'s storage is reused, so steady-state callers allocate
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.reset_zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+
     /// Matrix product `self @ other.T` without materializing the transpose.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(
@@ -208,6 +271,32 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// [`matmul_nt`](Self::matmul_nt) into a caller-provided output matrix
+    /// (bit-identical, storage reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared inner dimensions disagree.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} @ ({}x{}).T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.reset_zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.set(i, j, acc);
+            }
+        }
     }
 
     /// Matrix product `self.T @ other` without materializing the transpose.
@@ -289,6 +378,14 @@ impl Matrix {
         }
     }
 
+    /// Scales every element by `s` in place (bit-identical to
+    /// [`scale`](Self::scale), no allocation).
+    pub fn scale_in_place(&mut self, s: f32) {
+        for v in self.data.iter_mut() {
+            *v *= s;
+        }
+    }
+
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         let data = self.data.iter().map(|&v| f(v)).collect();
@@ -350,6 +447,17 @@ impl Matrix {
             cols: self.cols,
             data: self.data[start * self.cols..end * self.cols].to_vec(),
         }
+    }
+
+    /// [`rows_range`](Self::rows_range) into a caller-provided matrix
+    /// (storage reused, values identical).
+    pub fn rows_range_into(&self, start: usize, end: usize, out: &mut Matrix) {
+        assert!(start <= end && end <= self.rows, "row range out of bounds");
+        out.rows = end - start;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data
+            .extend_from_slice(&self.data[start * self.cols..end * self.cols]);
     }
 }
 
@@ -434,5 +542,41 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_and_reuse_storage() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut out = Matrix::zeros(8, 8); // warm scratch
+        let ptr = out.as_slice().as_ptr();
+        for (m, k, n) in [(3usize, 4usize, 5usize), (1, 8, 2), (2, 1, 1)] {
+            let a = Matrix::random_uniform(m, k, 1.0, &mut rng);
+            let b = Matrix::random_uniform(k, n, 1.0, &mut rng);
+            let bt = Matrix::random_uniform(n, k, 1.0, &mut rng);
+            a.matmul_into(&b, &mut out);
+            assert_eq!(out, a.matmul(&b));
+            assert_eq!(out.as_slice().as_ptr(), ptr, "matmul_into must reuse");
+            a.matmul_nt_into(&bt, &mut out);
+            assert_eq!(out, a.matmul_nt(&bt));
+            assert_eq!(out.as_slice().as_ptr(), ptr, "matmul_nt_into must reuse");
+        }
+    }
+
+    #[test]
+    fn reset_zeros_copy_from_and_rows_range_into_match_allocating_forms() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let src = Matrix::random_uniform(5, 6, 2.0, &mut rng);
+        let mut buf = Matrix::zeros(6, 6);
+        let ptr = buf.as_slice().as_ptr();
+        buf.reset_zeros(4, 3);
+        assert_eq!(buf, Matrix::zeros(4, 3));
+        buf.copy_from(&src);
+        assert_eq!(buf, src);
+        src.rows_range_into(1, 4, &mut buf);
+        assert_eq!(buf, src.rows_range(1, 4));
+        assert_eq!(buf.as_slice().as_ptr(), ptr, "storage must be reused");
+        let mut scaled = src.clone();
+        scaled.scale_in_place(0.37);
+        assert_eq!(scaled, src.scale(0.37));
     }
 }

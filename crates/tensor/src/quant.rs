@@ -134,6 +134,35 @@ impl QuantMatrix {
         }
     }
 
+    /// An empty (0×0) quantized matrix — the seed state for scratch
+    /// buffers that are later filled by
+    /// [`quantize_with_into`](Self::quantize_with_into).
+    pub fn empty(params: QuantParams) -> Self {
+        Self {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+            params,
+        }
+    }
+
+    /// [`quantize_with`](Self::quantize_with) into a caller-provided
+    /// quantized matrix, reusing its code buffer.
+    ///
+    /// Produces bit-identical codes to the allocating form (same
+    /// per-element rounding); after a warm-up call at the largest input
+    /// shape, no heap allocation occurs. This is what keeps the
+    /// accelerator's per-GEMM input quantization allocation-free in
+    /// steady state.
+    pub fn quantize_with_into(m: &Matrix, params: QuantParams, out: &mut QuantMatrix) {
+        out.rows = m.rows();
+        out.cols = m.cols();
+        out.params = params;
+        out.data.clear();
+        out.data
+            .extend(m.as_slice().iter().map(|&v| params.quantize_value(v)));
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -152,6 +181,12 @@ impl QuantMatrix {
     /// Integer codes, row-major.
     pub fn as_slice(&self) -> &[i8] {
         &self.data
+    }
+
+    /// Heap capacity of the code buffer (for the allocation-stability
+    /// checks guarding the zero-allocation steady-state contract).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Mutable integer codes, row-major.
@@ -250,5 +285,24 @@ mod tests {
     #[should_panic(expected = "scale must be positive")]
     fn from_scale_rejects_zero() {
         let _ = QuantParams::from_scale(0.0, Precision::Int8);
+    }
+
+    #[test]
+    fn quantize_with_into_matches_allocating_form_and_reuses_capacity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let params = QuantParams::from_max_abs(2.0, Precision::Int8);
+        let mut scratch = QuantMatrix::empty(params);
+        // Warm up at the largest shape, then requantize smaller inputs:
+        // the code buffer must be reused (stable pointer, no realloc) and
+        // every code must match the allocating form bit-for-bit.
+        let warm = Matrix::random_uniform(8, 16, 3.0, &mut rng);
+        QuantMatrix::quantize_with_into(&warm, params, &mut scratch);
+        let ptr = scratch.data.as_ptr();
+        for (rows, cols) in [(4usize, 4usize), (1, 7), (0, 3), (8, 16)] {
+            let m = Matrix::random_uniform(rows, cols, 3.0, &mut rng);
+            QuantMatrix::quantize_with_into(&m, params, &mut scratch);
+            assert_eq!(scratch, QuantMatrix::quantize_with(&m, params));
+            assert_eq!(scratch.data.as_ptr(), ptr, "buffer must be reused");
+        }
     }
 }

@@ -122,6 +122,51 @@ proptest! {
         }
     }
 
+    /// The buffer-reuse quantization path is bit-identical to the
+    /// allocating one over random shapes, including zero-dimension edges,
+    /// regardless of what the scratch previously held.
+    #[test]
+    fn quantize_with_into_is_bit_identical(
+        seed in 0u64..500,
+        rows in 0usize..7,
+        cols in 0usize..40,
+        prev_rows in 0usize..7,
+        prev_cols in 0usize..40,
+        max_abs in 0.1f32..8.0,
+    ) {
+        let params = create_tensor::QuantParams::from_max_abs(max_abs, Precision::Int8);
+        let m = matrix(rows, cols, seed, 4.0);
+        // Pre-dirty the scratch with an unrelated quantization.
+        let mut scratch = QuantMatrix::quantize_with(&matrix(prev_rows, prev_cols, seed ^ 7, 4.0), params);
+        QuantMatrix::quantize_with_into(&m, params, &mut scratch);
+        prop_assert_eq!(scratch, QuantMatrix::quantize_with(&m, params));
+    }
+
+    /// The in-place matrix helpers are bit-identical to their allocating
+    /// counterparts on random shapes (the nn scratch paths rely on this).
+    #[test]
+    fn matrix_into_helpers_are_bit_identical(
+        seed in 0u64..500,
+        m in 1usize..5,
+        k in 1usize..6,
+        n in 1usize..5,
+        s in -2.0f32..2.0,
+    ) {
+        let a = matrix(m, k, seed, 1.0);
+        let b = matrix(k, n, seed ^ 1, 1.0);
+        let bt = matrix(n, k, seed ^ 2, 1.0);
+        let mut out = matrix(m.max(2), n.max(3), seed ^ 3, 1.0); // dirty scratch
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.matmul(&b));
+        a.matmul_nt_into(&bt, &mut out);
+        prop_assert_eq!(&out, &a.matmul_nt(&bt));
+        let mut scaled = a.clone();
+        scaled.scale_in_place(s);
+        prop_assert_eq!(&scaled, &a.scale(s));
+        a.rows_range_into(0, m, &mut out);
+        prop_assert_eq!(&out, &a.rows_range(0, m));
+    }
+
     /// R² of a prediction equal to the truth is 1; adding noise lowers it.
     #[test]
     fn r2_ordering(values in prop::collection::vec(-10.0f32..10.0, 8..64), noise in 0.5f32..5.0) {

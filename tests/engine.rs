@@ -9,6 +9,7 @@ fn options(threads: usize) -> EngineOptions {
     EngineOptions {
         threads,
         progress: Progress::Silent,
+        batch: 1,
     }
 }
 
@@ -86,6 +87,38 @@ fn zero_trials_yield_a_zeroed_point() {
     assert_eq!(p.effective_voltage, 0.0);
     assert_eq!(p.avg_plans, 0.0);
     assert!(p.ci.0.is_finite() && p.ci.1.is_finite());
+}
+
+/// Trial batching (`CREATE_TRIAL_BATCH`) is a pure wall-clock knob on
+/// real mission grids too: batch sizes 1, 3 and trials+1 produce
+/// **bit-identical** `SweepPoint`s — batched trials share one inference
+/// scratch per worker, and scratch state must never leak into outcomes.
+#[test]
+fn mission_grids_are_bit_identical_across_batch_sizes() {
+    let (dep, task) = tiny_deployment();
+    let trials = 6u32;
+    let cells = || {
+        vec![
+            (task, CreateConfig::golden()),
+            (task, CreateConfig::undervolted(0.84)),
+        ]
+    };
+    let run = |batch: usize| {
+        run_grid_with(
+            cells().into_iter().map(|(t, c)| GridCell {
+                dep: &dep,
+                task: t,
+                config: c,
+                trials,
+            }),
+            0xBA7C4,
+            &options(2).with_batch(batch),
+        )
+    };
+    let reference = run(1);
+    for batch in [3usize, trials as usize + 1] {
+        assert_eq!(run(batch), reference, "batch={batch}");
+    }
 }
 
 /// `run_point` and `run_outcomes` share seed derivation, so aggregating
