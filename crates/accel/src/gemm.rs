@@ -260,20 +260,15 @@ impl GemmBackendKind {
     ///
     /// Unset, empty and whitespace-only select the default silently; a
     /// non-empty unknown value warns on stderr and falls back to the
-    /// default rather than silently misbehaving — the same validated
-    /// fallback contract as `CREATE_REPS`/`CREATE_THREADS`. Exposed (not
+    /// default rather than silently misbehaving — the shared validated
+    /// fallback contract of [`create_tensor::envcfg`], same as
+    /// `CREATE_REPS`/`CREATE_THREADS`/`CREATE_F32_BACKEND`. Exposed (not
     /// just `from_env`) so tests can cover parsing without racing on the
     /// process environment.
     pub fn parse_env(raw: Option<&str>) -> Self {
-        match raw {
-            None => Self::default(),
-            Some(s) if s.trim().is_empty() => Self::default(),
-            Some(s) => s.parse().unwrap_or_else(|err: String| {
-                let default = Self::default();
-                eprintln!("[create] ignoring CREATE_GEMM_BACKEND: {err}; using default {default}");
-                default
-            }),
-        }
+        create_tensor::envcfg::parse_validated("CREATE_GEMM_BACKEND", raw, Self::default(), |s| {
+            s.parse()
+        })
     }
 
     /// The backend selected by the `CREATE_GEMM_BACKEND` environment

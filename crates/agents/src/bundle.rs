@@ -67,7 +67,9 @@ fn t2v(tensors: &[NamedTensor], name: &str) -> Option<Vec<f32>> {
 // Planner persistence
 // ---------------------------------------------------------------------------
 
-fn planner_to_tensors(p: &PlannerModel) -> Vec<NamedTensor> {
+/// Serializes a trained planner's weights (used by the bundle cache
+/// and `create-core`'s test-deployment cache).
+pub fn planner_to_tensors(p: &PlannerModel) -> Vec<NamedTensor> {
     let mut out = vec![
         m2t("embed", &p.embed),
         m2t("pos", &p.pos),
@@ -85,7 +87,12 @@ fn planner_to_tensors(p: &PlannerModel) -> Vec<NamedTensor> {
     out
 }
 
-fn planner_from_tensors(preset: &PlannerPreset, tensors: &[NamedTensor]) -> Option<PlannerModel> {
+/// Rebuilds a planner from [`planner_to_tensors`] output (`None` on a
+/// shape/section mismatch).
+pub fn planner_from_tensors(
+    preset: &PlannerPreset,
+    tensors: &[NamedTensor],
+) -> Option<PlannerModel> {
     let mut rng = StdRng::seed_from_u64(0);
     let mut model = PlannerModel::new(preset, &mut rng);
     model.embed = t2m(tensors, "embed")?;
@@ -125,7 +132,9 @@ fn linear_from_tensors(tensors: &[NamedTensor], name: &str, l: &mut Linear) -> O
     Some(())
 }
 
-fn controller_to_tensors(c: &ControllerModel) -> Vec<NamedTensor> {
+/// Serializes a trained controller's weights (used by the bundle cache
+/// and `create-core`'s test-deployment cache).
+pub fn controller_to_tensors(c: &ControllerModel) -> Vec<NamedTensor> {
     let mut out = vec![m2t("subtask", &c.subtask_embed), m2t("cls", &c.cls)];
     linear_to_tensors("view", &c.view_embed, &mut out);
     linear_to_tensors("stat", &c.stat_embed, &mut out);
@@ -141,7 +150,9 @@ fn controller_to_tensors(c: &ControllerModel) -> Vec<NamedTensor> {
     out
 }
 
-fn controller_from_tensors(
+/// Rebuilds a controller from [`controller_to_tensors`] output (`None`
+/// on a shape/section mismatch).
+pub fn controller_from_tensors(
     preset: &ControllerPreset,
     tensors: &[NamedTensor],
 ) -> Option<ControllerModel> {

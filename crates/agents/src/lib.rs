@@ -12,7 +12,9 @@ pub mod presets;
 pub mod vocab;
 
 pub use bundle::AgentSystem;
-pub use controller::{BcSample, ControllerModel, ControllerScratch, QuantController};
-pub use planner::{OutlierSpec, PlannerModel, PlannerScratch, QuantPlanner};
+pub use controller::{
+    BcSample, ControllerModel, ControllerScratch, ControllerTrainScratch, QuantController,
+};
+pub use planner::{OutlierSpec, PlannerModel, PlannerScratch, PlannerTrainScratch, QuantPlanner};
 pub use predictor::EntropyPredictor;
 pub use presets::{ControllerPreset, PlannerPreset, PredictorPreset};

@@ -1,0 +1,105 @@
+//! The zero-allocation steady-state contract at the *training* level:
+//! once a [`ControllerTrainScratch`] / [`PlannerTrainScratch`] has been
+//! warmed up by one training run over a sample set, a subsequent run over
+//! the same samples — every forward, backward, gradient accumulation and
+//! AdamW step — must perform **no heap allocation**. (The inference-side
+//! counterpart lives in `tests/alloc.rs`; the accelerator-level one in
+//! `create-accel/tests/alloc.rs`.)
+//!
+//! One `#[test]` only, so no concurrent test thread can perturb the
+//! counter.
+
+use create_agents::presets::{ControllerPreset, PlannerPreset};
+use create_agents::{
+    datasets, vocab, ControllerModel, ControllerTrainScratch, PlannerModel, PlannerTrainScratch,
+};
+use create_env::TaskId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Smallest allocation delta over several windows of `body` (the minimum
+/// shields against rare harness-side allocations; a per-step allocation
+/// in the measured path inflates every window and is still caught).
+fn min_alloc_delta(windows: usize, mut body: impl FnMut()) -> u64 {
+    let mut min = u64::MAX;
+    for _ in 0..windows {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        body();
+        min = min.min(ALLOCATIONS.load(Ordering::Relaxed) - before);
+    }
+    min
+}
+
+#[test]
+fn train_steps_are_allocation_free_after_warm_up() {
+    // Controller: behaviour cloning on a small expert set. Allocation
+    // behavior does not depend on convergence, so one epoch per window
+    // keeps the test fast.
+    let mut rng = StdRng::seed_from_u64(1);
+    let preset = ControllerPreset {
+        proxy_layers: 1,
+        proxy_hidden: 32,
+        proxy_mlp: 64,
+        proxy_heads: 4,
+        ..ControllerPreset::jarvis()
+    };
+    let mut controller = ControllerModel::new(&preset, &mut rng);
+    let bc = datasets::collect_bc(&[TaskId::Seed], 1, 64, 0.0, 9);
+    let mut c_scratch = ControllerTrainScratch::default();
+    let mut train_rng = StdRng::seed_from_u64(2);
+    // Warm-up: sizes every buffer at the shapes this sample set needs.
+    let _ = controller.train_with(&bc, 1, 2e-3, &mut train_rng, &mut c_scratch);
+    let delta = min_alloc_delta(3, || {
+        let _ = controller.train_with(&bc, 1, 2e-3, &mut train_rng, &mut c_scratch);
+    });
+    assert_eq!(
+        delta, 0,
+        "controller train step must not allocate once its scratch is warm"
+    );
+
+    // Planner: teacher forcing over a few short plans (different sequence
+    // lengths per sample — the scratch warms to the longest and reuses).
+    let p_preset = PlannerPreset {
+        proxy_layers: 2,
+        proxy_hidden: 32,
+        proxy_mlp: 64,
+        proxy_heads: 4,
+        ..PlannerPreset::jarvis()
+    };
+    let mut planner = PlannerModel::new(&p_preset, &mut rng);
+    let samples: Vec<_> = vocab::training_samples().into_iter().take(24).collect();
+    let mut p_scratch = PlannerTrainScratch::default();
+    let _ = planner.train_with(&samples, 1, 3e-3, None, &mut train_rng, &mut p_scratch);
+    let delta = min_alloc_delta(3, || {
+        let _ = planner.train_with(&samples, 1, 3e-3, None, &mut train_rng, &mut p_scratch);
+    });
+    assert_eq!(
+        delta, 0,
+        "planner train step must not allocate once its scratch is warm"
+    );
+}

@@ -113,21 +113,11 @@ pub fn derive_seed(base_seed: u64, point_index: usize, trial_index: u32) -> u64 
 
 /// Reads a positive integer environment variable, rejecting `0` and
 /// unparseable values with a stderr warning and a clear fallback rather
-/// than silently misbehaving.
+/// than silently misbehaving (the shared [`create_tensor::envcfg`]
+/// contract — `CREATE_REPS`, `CREATE_THREADS` and `CREATE_TRIAL_BATCH`
+/// all parse through here).
 pub(crate) fn positive_env(name: &str, default: usize) -> usize {
-    match std::env::var(name) {
-        Err(_) => default,
-        Ok(raw) => match raw.trim().parse::<usize>() {
-            Ok(v) if v > 0 => v,
-            _ => {
-                eprintln!(
-                    "[create] ignoring {name}={raw:?}: expected a positive integer; \
-                     using default {default}"
-                );
-                default
-            }
-        },
-    }
+    create_tensor::envcfg::read_positive_usize(name, default)
 }
 
 fn available_threads() -> usize {

@@ -1,42 +1,160 @@
 //! Shared test fixtures: a miniature deployment trained once per test
-//! binary (training even the tiny stack costs seconds, and several test
-//! modules need the same models).
+//! binary and cached **on disk** across binaries.
+//!
+//! Training even the tiny stack costs seconds, and a `cargo test`
+//! invocation spawns one binary per test target — each of which used to
+//! retrain the same models. The trained f32 bundle (planner, controller,
+//! predictor) is therefore persisted under the workspace `target/`
+//! directory via [`create_agents::io`], keyed by
+//! [`TESTUTIL_SCHEMA_VERSION`]: bump the constant whenever the fixture's
+//! architecture, data or training recipe changes and every binary
+//! retrains exactly once.
+//!
+//! Correctness contract: a cache hit must be **bit-identical** to a
+//! retrain. The deployment is a pure function of the trained weights and
+//! the (deterministically regenerated) calibration data, and on every
+//! cache *miss* the freshly written file is read back and asserted equal
+//! to what was trained before it is used — so a hit can never diverge
+//! from the miss path. Set `CREATE_TESTUTIL_CACHE=0` to opt out and
+//! always retrain.
 
 use crate::mission::Deployment;
+use create_agents::bundle::{
+    controller_from_tensors, controller_to_tensors, planner_from_tensors, planner_to_tensors,
+};
+use create_agents::io::{self, NamedTensor};
 use create_agents::presets::{ControllerPreset, PlannerPreset, PredictorPreset};
 use create_agents::{datasets, vocab, ControllerModel, EntropyPredictor, PlannerModel};
+use create_agents::{BcSample, ControllerTrainScratch, PlannerTrainScratch};
 use create_env::TaskId;
 use create_tensor::Precision;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, OnceLock};
+
+/// Bump for cache-format or recipe changes the automatic fingerprint
+/// cannot see (the file name also embeds an FNV-1a fingerprint of the
+/// presets, the training hyperparameters and the *regenerated training
+/// data itself*, so dataset/preset/hyperparameter drift — including
+/// upstream `create-env`/vocab changes that alter the samples — already
+/// misses the cache without touching this constant).
+pub const TESTUTIL_SCHEMA_VERSION: u32 = 1;
+
+/// Fixture training recipe (also folded into the cache fingerprint).
+const TRAIN_SEED: u64 = 77;
+const PLANNER_EPOCHS: usize = 200;
+const PLANNER_LR: f32 = 3e-3;
+const CONTROLLER_EPOCHS: usize = 8;
+const CONTROLLER_LR: f32 = 2e-3;
 
 static TINY: OnceLock<Deployment> = OnceLock::new();
 
-/// A miniature two-task deployment (log + seed), trained in seconds and
-/// cached for the lifetime of the test binary. Returns the deployment and
-/// a task it was trained for.
+/// A miniature two-task deployment (log + seed), trained in seconds,
+/// cached for the lifetime of the test binary *and* (via `target/`) for
+/// sibling test binaries. Returns the deployment and a task it was
+/// trained for.
 pub fn tiny_deployment() -> (Deployment, TaskId) {
-    let dep = TINY.get_or_init(build).clone();
+    let dep = TINY
+        .get_or_init(|| build_with(default_cache_dir().as_deref()))
+        .clone();
     (dep, TaskId::Log)
 }
 
-fn build() -> Deployment {
-    let planner_preset = PlannerPreset {
+/// The on-disk directory for trained bundles, or `None` when caching is
+/// disabled via `CREATE_TESTUTIL_CACHE=0`.
+fn default_cache_dir() -> Option<PathBuf> {
+    if matches!(std::env::var("CREATE_TESTUTIL_CACHE"), Ok(v) if v.trim() == "0") {
+        return None;
+    }
+    // crates/core -> workspace root -> target/. Deliberately under the
+    // build directory: `cargo clean` clears it and it is never committed.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/testutil-cache")
+        .components()
+        .collect();
+    Some(path)
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Fingerprints everything the trained bundle depends on besides the
+/// training *code*: architecture presets, hyperparameters, and the full
+/// regenerated sample sets (which transitively cover vocab layout, task
+/// plans and environment/expert behavior). Training-code changes are
+/// covered by the bit-parity contract instead; anything that evades both
+/// needs a [`TESTUTIL_SCHEMA_VERSION`] bump.
+fn recipe_fingerprint(samples: &[vocab::PlanSample], bc: &[BcSample]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let p = planner_preset();
+    let c = controller_preset();
+    for v in [
+        p.proxy_layers,
+        p.proxy_hidden,
+        p.proxy_mlp,
+        p.proxy_heads,
+        c.proxy_layers,
+        c.proxy_hidden,
+        c.proxy_mlp,
+        c.proxy_heads,
+        PLANNER_EPOCHS,
+        CONTROLLER_EPOCHS,
+        vocab::VOCAB,
+    ] {
+        fnv1a(&mut h, &(v as u64).to_le_bytes());
+    }
+    fnv1a(&mut h, &TRAIN_SEED.to_le_bytes());
+    fnv1a(&mut h, &PLANNER_LR.to_bits().to_le_bytes());
+    fnv1a(&mut h, &CONTROLLER_LR.to_bits().to_le_bytes());
+    for s in samples {
+        fnv1a(&mut h, &(s.sep_index as u64).to_le_bytes());
+        for &tok in &s.tokens {
+            fnv1a(&mut h, &(tok as u64).to_le_bytes());
+        }
+    }
+    for s in bc {
+        for &cell in s.obs.view.iter() {
+            fnv1a(&mut h, &[cell]);
+        }
+        for &v in s.obs.compass.iter().chain(s.obs.status.iter()) {
+            fnv1a(&mut h, &v.to_bits().to_le_bytes());
+        }
+        fnv1a(&mut h, &(s.obs.subtask_token as u64).to_le_bytes());
+        for &t in &s.target {
+            fnv1a(&mut h, &t.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
+fn planner_preset() -> PlannerPreset {
+    PlannerPreset {
         proxy_layers: 2,
         proxy_hidden: 32,
         proxy_mlp: 64,
         proxy_heads: 4,
         ..PlannerPreset::jarvis()
-    };
-    let controller_preset = ControllerPreset {
+    }
+}
+
+fn controller_preset() -> ControllerPreset {
+    ControllerPreset {
         proxy_layers: 1,
         proxy_hidden: 32,
         proxy_mlp: 64,
         proxy_heads: 4,
         ..ControllerPreset::jarvis()
-    };
-    let mut rng = StdRng::seed_from_u64(77);
+    }
+}
+
+/// Deterministically regenerates the training/calibration data the tiny
+/// deployment is built from.
+fn tiny_data() -> (Vec<vocab::PlanSample>, Vec<BcSample>) {
     let samples: Vec<_> = vocab::training_samples()
         .into_iter()
         .filter(|s| {
@@ -44,20 +162,128 @@ fn build() -> Deployment {
                 || s.tokens[0] == vocab::task_token(TaskId::Seed)
         })
         .collect();
-    let mut planner = PlannerModel::new(&planner_preset, &mut rng);
-    planner.train(&samples, 200, 3e-3, None, &mut rng);
     let bc = datasets::collect_bc(&[TaskId::Log, TaskId::Seed], 2, 300, 0.05, 3);
-    let mut controller = ControllerModel::new(&controller_preset, &mut rng);
-    controller.train(&bc, 8, 2e-3, &mut rng);
-    let predictor = EntropyPredictor::new(vocab::N_SUBTASKS, &mut rng);
+    (samples, bc)
+}
+
+/// Quantizes and assembles the deployment from trained f32 models — the
+/// single code path shared by cache hits and misses, so both produce the
+/// same bits given the same weights.
+fn deploy(
+    planner: &PlannerModel,
+    controller: &ControllerModel,
+    predictor: EntropyPredictor,
+    samples: &[vocab::PlanSample],
+    bc: &[BcSample],
+) -> Deployment {
     Deployment {
-        planner: Arc::new(planner.deploy(&samples, Precision::Int8)),
-        planner_wr: Arc::new(planner.deploy(&samples, Precision::Int8)),
-        controller: Arc::new(controller.deploy(&bc, Precision::Int8)),
+        planner: Arc::new(planner.deploy(samples, Precision::Int8)),
+        planner_wr: Arc::new(planner.deploy(samples, Precision::Int8)),
+        controller: Arc::new(controller.deploy(bc, Precision::Int8)),
         predictor: Arc::new(predictor),
-        planner_preset,
-        controller_preset,
+        planner_preset: planner_preset(),
+        controller_preset: controller_preset(),
         predictor_preset: PredictorPreset::paper(),
         tasks: vec![TaskId::Log, TaskId::Seed],
     }
+}
+
+fn prefixed(prefix: &str, tensors: Vec<NamedTensor>) -> Vec<NamedTensor> {
+    tensors
+        .into_iter()
+        .map(|t| NamedTensor::new(format!("{prefix}/{}", t.name), t.shape, t.data))
+        .collect()
+}
+
+fn section(prefix: &str, tensors: &[NamedTensor]) -> Vec<NamedTensor> {
+    let want = format!("{prefix}/");
+    tensors
+        .iter()
+        .filter(|t| t.name.starts_with(&want))
+        .map(|t| {
+            NamedTensor::new(
+                t.name[want.len()..].to_string(),
+                t.shape.clone(),
+                t.data.clone(),
+            )
+        })
+        .collect()
+}
+
+fn bundle_to_tensors(
+    planner: &PlannerModel,
+    controller: &ControllerModel,
+    predictor: &EntropyPredictor,
+) -> Vec<NamedTensor> {
+    let mut out = prefixed("planner", planner_to_tensors(planner));
+    out.extend(prefixed("controller", controller_to_tensors(controller)));
+    out.extend(prefixed("predictor", predictor.export_tensors()));
+    out
+}
+
+fn bundle_from_tensors(
+    tensors: &[NamedTensor],
+) -> Option<(PlannerModel, ControllerModel, EntropyPredictor)> {
+    let planner = planner_from_tensors(&planner_preset(), &section("planner", tensors))?;
+    let controller =
+        controller_from_tensors(&controller_preset(), &section("controller", tensors))?;
+    let predictor = EntropyPredictor::import_tensors(&section("predictor", tensors))?;
+    Some((planner, controller, predictor))
+}
+
+/// Builds the deployment, loading the trained bundle from `cache_dir`
+/// when possible and persisting (with a read-back bit-identity assertion)
+/// on a miss. The file name inside the directory embeds both
+/// [`TESTUTIL_SCHEMA_VERSION`] and the [recipe
+/// fingerprint](recipe_fingerprint), so a changed recipe simply never
+/// finds a stale bundle. Exposed to the cache tests; everyone else goes
+/// through [`tiny_deployment`].
+pub fn build_with(cache_dir: Option<&Path>) -> Deployment {
+    let (samples, bc) = tiny_data();
+    let cache = cache_dir.map(|dir| {
+        dir.join(format!(
+            "tiny_v{TESTUTIL_SCHEMA_VERSION}_{:016x}.bin",
+            recipe_fingerprint(&samples, &bc)
+        ))
+    });
+    if let Some(path) = &cache {
+        if let Ok(tensors) = io::load_tensors(path) {
+            if let Some((planner, controller, predictor)) = bundle_from_tensors(&tensors) {
+                return deploy(&planner, &controller, predictor, &samples, &bc);
+            }
+        }
+    }
+    // Cache miss (or caching disabled): train from scratch.
+    let mut rng = StdRng::seed_from_u64(TRAIN_SEED);
+    let mut planner = PlannerModel::new(&planner_preset(), &mut rng);
+    planner.train_with(
+        &samples,
+        PLANNER_EPOCHS,
+        PLANNER_LR,
+        None,
+        &mut rng,
+        &mut PlannerTrainScratch::default(),
+    );
+    let mut controller = ControllerModel::new(&controller_preset(), &mut rng);
+    controller.train_with(
+        &bc,
+        CONTROLLER_EPOCHS,
+        CONTROLLER_LR,
+        &mut rng,
+        &mut ControllerTrainScratch::default(),
+    );
+    let predictor = EntropyPredictor::new(vocab::N_SUBTASKS, &mut rng);
+    if let Some(path) = &cache {
+        let written = bundle_to_tensors(&planner, &controller, &predictor);
+        if io::save_tensors(path, &written).is_ok() {
+            // The next binary will trust this file blindly, so prove now
+            // that a reload reproduces the trained weights bit for bit.
+            let reread = io::load_tensors(path).expect("reread testutil cache");
+            assert_eq!(
+                reread, written,
+                "testutil cache roundtrip must be bit-identical"
+            );
+        }
+    }
+    deploy(&planner, &controller, predictor, &samples, &bc)
 }

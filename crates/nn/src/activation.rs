@@ -21,14 +21,25 @@ pub fn relu_into(x: &Matrix, out: &mut Matrix) {
 
 /// ReLU backward: `dx = dy ⊙ [x > 0]`.
 pub fn relu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    let mut out = Matrix::default();
+    relu_backward_into(x, dy, &mut out);
+    out
+}
+
+/// [`relu_backward`] into a caller-provided matrix (identical values,
+/// reused storage — the allocation-free train step runs this every
+/// sample).
+pub fn relu_backward_into(x: &Matrix, dy: &Matrix, out: &mut Matrix) {
     assert_eq!(x.shape(), dy.shape(), "relu backward shape mismatch");
-    Matrix::from_fn(x.rows(), x.cols(), |r, c| {
-        if x.get(r, c) > 0.0 {
-            dy.get(r, c)
-        } else {
-            0.0
+    out.copy_from(dy);
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        // Same predicate as the allocating form (NaN inputs zero the
+        // gradient, which a `v <= 0.0` test would not).
+        let positive = v > 0.0;
+        if !positive {
+            *o = 0.0;
         }
-    })
+    }
 }
 
 /// Numerically safe logistic sigmoid.
@@ -58,12 +69,21 @@ pub fn silu_into(x: &Matrix, out: &mut Matrix) {
 
 /// SiLU backward: `d/dx [x σ(x)] = σ(x)(1 + x(1 − σ(x)))`.
 pub fn silu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    let mut out = Matrix::default();
+    silu_backward_into(x, dy, &mut out);
+    out
+}
+
+/// [`silu_backward`] into a caller-provided matrix (identical values,
+/// reused storage).
+pub fn silu_backward_into(x: &Matrix, dy: &Matrix, out: &mut Matrix) {
     assert_eq!(x.shape(), dy.shape(), "silu backward shape mismatch");
-    Matrix::from_fn(x.rows(), x.cols(), |r, c| {
-        let v = x.get(r, c);
+    out.copy_from(x);
+    for (o, &g) in out.as_mut_slice().iter_mut().zip(dy.as_slice()) {
+        let v = *o;
         let s = sigmoid(v);
-        dy.get(r, c) * s * (1.0 + v * (1.0 - s))
-    })
+        *o = g * s * (1.0 + v * (1.0 - s));
+    }
 }
 
 /// Row-wise softmax with max-subtraction for stability.
@@ -94,15 +114,22 @@ pub fn softmax_rows_in_place(x: &mut Matrix) {
 /// Softmax backward given the softmax output `p` and upstream `dy`:
 /// `ds = p ⊙ (dy − rowsum(dy ⊙ p))`.
 pub fn softmax_backward(p: &Matrix, dy: &Matrix) -> Matrix {
+    let mut out = Matrix::default();
+    softmax_backward_into(p, dy, &mut out);
+    out
+}
+
+/// [`softmax_backward`] into a caller-provided matrix (identical values,
+/// reused storage).
+pub fn softmax_backward_into(p: &Matrix, dy: &Matrix, out: &mut Matrix) {
     assert_eq!(p.shape(), dy.shape(), "softmax backward shape mismatch");
-    let mut out = Matrix::zeros(p.rows(), p.cols());
+    out.reset_zeros(p.rows(), p.cols());
     for r in 0..p.rows() {
         let dot: f32 = p.row(r).iter().zip(dy.row(r)).map(|(a, b)| a * b).sum();
         for c in 0..p.cols() {
             out.set(r, c, p.get(r, c) * (dy.get(r, c) - dot));
         }
     }
-    out
 }
 
 /// Shannon entropy (nats) of a probability vector.

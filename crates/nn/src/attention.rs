@@ -4,19 +4,14 @@
 //! Error injection targets the Q/K/V/O *weight* GEMMs (the INT8 operations
 //! the paper quantizes, Sec. 3.2); the score/probability math runs in f32.
 
-use crate::activation::{softmax_backward, softmax_rows, softmax_rows_in_place};
+use crate::activation::{softmax_backward_into, softmax_rows_in_place};
 use crate::linear::{Linear, LinearGrads, QuantLinear};
 use create_accel::{Accelerator, Component, LayerCtx, Unit};
 use create_tensor::{Matrix, Precision};
 use rand::Rng;
 
-/// Extracts columns `[h*dh, (h+1)*dh)` of `m`.
-fn head_slice(m: &Matrix, h: usize, dh: usize) -> Matrix {
-    Matrix::from_fn(m.rows(), dh, |r, c| m.get(r, h * dh + c))
-}
-
-/// [`head_slice`] into a caller-provided matrix (identical values, reused
-/// storage).
+/// Extracts columns `[h*dh, (h+1)*dh)` of `m` into a caller-provided
+/// matrix (reused storage).
 fn head_slice_into(m: &Matrix, h: usize, dh: usize, out: &mut Matrix) {
     out.reset_zeros(m.rows(), dh);
     for r in 0..m.rows() {
@@ -62,7 +57,10 @@ pub struct Mha {
 }
 
 /// Cached forward state for the backward pass.
-#[derive(Debug, Clone)]
+///
+/// `Default` yields an empty cache whose buffers
+/// [`Mha::forward_cached`] fills and reuses across samples.
+#[derive(Debug, Clone, Default)]
 pub struct MhaCache {
     pub(crate) x: Matrix,
     pub(crate) q: Matrix,
@@ -73,7 +71,7 @@ pub struct MhaCache {
 }
 
 /// Gradient buffers for [`Mha`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MhaGrads {
     /// Query projection gradients.
     pub wq: LinearGrads,
@@ -83,6 +81,45 @@ pub struct MhaGrads {
     pub wv: LinearGrads,
     /// Output projection gradients.
     pub wo: LinearGrads,
+}
+
+impl MhaGrads {
+    /// Zeroes all projection gradients in place, (re)shaped for `mha`
+    /// (contents identical to [`Mha::zero_grads`], storage kept).
+    pub fn reset_for(&mut self, mha: &Mha) {
+        self.wq.reset_for(&mha.wq);
+        self.wk.reset_for(&mha.wk);
+        self.wv.reset_for(&mha.wv);
+        self.wo.reset_for(&mha.wo);
+    }
+}
+
+/// Reusable temporaries for one [`Mha::forward_cached`] /
+/// [`Mha::backward_with`] pair.
+///
+/// Holds the per-head slices and gradient intermediates of the *training*
+/// attention path (the inference twin is [`MhaScratch`]). Every buffer is
+/// fully overwritten before use; one instance serves every layer of a
+/// stacked model and every sample of a batch in turn.
+#[derive(Debug, Default)]
+pub struct MhaTrainScratch {
+    qh: Matrix,
+    kh: Matrix,
+    vh: Matrix,
+    scores: Matrix,
+    ch: Matrix,
+    dcontext: Matrix,
+    dch: Matrix,
+    dp: Matrix,
+    dvh: Matrix,
+    dscores: Matrix,
+    dqh: Matrix,
+    dkh: Matrix,
+    dq: Matrix,
+    dk: Matrix,
+    dv: Matrix,
+    dx_tmp: Matrix,
+    lin_tmp: Matrix,
 }
 
 impl Mha {
@@ -114,70 +151,124 @@ impl Mha {
 
     /// Forward pass over a `(T, d)` sequence.
     pub fn forward(&self, x: &Matrix) -> (Matrix, MhaCache) {
+        let mut cache = MhaCache::default();
+        let mut scratch = MhaTrainScratch::default();
+        let mut y = Matrix::default();
+        self.forward_cached(x, &mut cache, &mut scratch, &mut y);
+        (y, cache)
+    }
+
+    /// [`forward`](Self::forward) into caller-provided cache and output
+    /// buffers — bit-identical activations and cache contents, zero
+    /// steady-state allocation once the buffers are warm.
+    pub fn forward_cached(
+        &self,
+        x: &Matrix,
+        cache: &mut MhaCache,
+        scratch: &mut MhaTrainScratch,
+        out: &mut Matrix,
+    ) {
         let d = self.width();
         let dh = d / self.heads;
         let scale = 1.0 / (dh as f32).sqrt();
-        let q = self.wq.forward(x);
-        let k = self.wk.forward(x);
-        let v = self.wv.forward(x);
-        let mut context = Matrix::zeros(x.rows(), d);
-        let mut probs = Vec::with_capacity(self.heads);
+        cache.x.copy_from(x);
+        self.wq.forward_into(x, &mut cache.q);
+        self.wk.forward_into(x, &mut cache.k);
+        self.wv.forward_into(x, &mut cache.v);
+        cache.context.reset_zeros(x.rows(), d);
+        cache.probs.resize_with(self.heads, Matrix::default);
         for h in 0..self.heads {
-            let qh = head_slice(&q, h, dh);
-            let kh = head_slice(&k, h, dh);
-            let vh = head_slice(&v, h, dh);
-            let mut scores = qh.matmul_nt(&kh).scale(scale);
+            head_slice_into(&cache.q, h, dh, &mut scratch.qh);
+            head_slice_into(&cache.k, h, dh, &mut scratch.kh);
+            head_slice_into(&cache.v, h, dh, &mut scratch.vh);
+            scratch.qh.matmul_nt_into(&scratch.kh, &mut scratch.scores);
+            scratch.scores.scale_in_place(scale);
             if self.causal {
-                causal_mask(&mut scores);
+                causal_mask(&mut scratch.scores);
             }
-            let p = softmax_rows(&scores);
-            let ch = p.matmul(&vh);
-            head_unslice(&mut context, &ch, h, dh);
-            probs.push(p);
+            let p = &mut cache.probs[h];
+            p.copy_from(&scratch.scores);
+            softmax_rows_in_place(p);
+            p.matmul_into(&scratch.vh, &mut scratch.ch);
+            head_unslice(&mut cache.context, &scratch.ch, h, dh);
         }
-        let y = self.wo.forward(&context);
-        let cache = MhaCache {
-            x: x.clone(),
-            q,
-            k,
-            v,
-            probs,
-            context,
-        };
-        (y, cache)
+        self.wo.forward_into(&cache.context, out);
     }
 
     /// Backward pass; returns `dx` and fills `grads`.
     pub fn backward(&self, cache: &MhaCache, dy: &Matrix, grads: &mut MhaGrads) -> Matrix {
+        let mut scratch = MhaTrainScratch::default();
+        let mut dx = Matrix::default();
+        self.backward_with(cache, dy, grads, &mut scratch, &mut dx);
+        dx
+    }
+
+    /// [`backward`](Self::backward) with caller-provided scratch and
+    /// output buffers — bit-identical gradients (every reduction keeps
+    /// the allocating form's order, including the `dx_q + dx_k + dx_v`
+    /// residual sum), zero steady-state allocation.
+    pub fn backward_with(
+        &self,
+        cache: &MhaCache,
+        dy: &Matrix,
+        grads: &mut MhaGrads,
+        scratch: &mut MhaTrainScratch,
+        dx: &mut Matrix,
+    ) {
         let d = self.width();
         let dh = d / self.heads;
         let scale = 1.0 / (dh as f32).sqrt();
+        let MhaTrainScratch {
+            qh,
+            kh,
+            vh,
+            dcontext,
+            dch,
+            dp,
+            dvh,
+            dscores,
+            dqh,
+            dkh,
+            dq,
+            dk,
+            dv,
+            dx_tmp,
+            lin_tmp,
+            ..
+        } = scratch;
         // Through the output projection.
-        let dcontext = self.wo.backward(&cache.context, dy, &mut grads.wo);
-        let mut dq = Matrix::zeros(cache.x.rows(), d);
-        let mut dk = Matrix::zeros(cache.x.rows(), d);
-        let mut dv = Matrix::zeros(cache.x.rows(), d);
+        self.wo
+            .backward_with(&cache.context, dy, &mut grads.wo, lin_tmp, dcontext);
+        dq.reset_zeros(cache.x.rows(), d);
+        dk.reset_zeros(cache.x.rows(), d);
+        dv.reset_zeros(cache.x.rows(), d);
         for h in 0..self.heads {
-            let qh = head_slice(&cache.q, h, dh);
-            let kh = head_slice(&cache.k, h, dh);
-            let vh = head_slice(&cache.v, h, dh);
-            let dch = head_slice(&dcontext, h, dh);
+            head_slice_into(&cache.q, h, dh, qh);
+            head_slice_into(&cache.k, h, dh, kh);
+            head_slice_into(&cache.v, h, dh, vh);
+            head_slice_into(dcontext, h, dh, dch);
             let p = &cache.probs[h];
             // context_h = p @ v_h
-            let dp = dch.matmul_nt(&vh);
-            let dvh = p.matmul_tn(&dch);
-            let dscores = softmax_backward(p, &dp);
+            dch.matmul_nt_into(vh, dp);
+            p.matmul_tn_into(dch, dvh);
+            softmax_backward_into(p, dp, dscores);
             // scores = scale * q_h @ k_h^T
-            let dqh = dscores.matmul(&kh).scale(scale);
-            let dkh = dscores.matmul_tn(&qh).scale(scale);
-            head_unslice(&mut dq, &dqh, h, dh);
-            head_unslice(&mut dk, &dkh, h, dh);
-            head_unslice(&mut dv, &dvh, h, dh);
+            dscores.matmul_into(kh, dqh);
+            dqh.scale_in_place(scale);
+            dscores.matmul_tn_into(qh, dkh);
+            dkh.scale_in_place(scale);
+            head_unslice(dq, dqh, h, dh);
+            head_unslice(dk, dkh, h, dh);
+            head_unslice(dv, dvh, h, dh);
         }
-        let dx_q = self.wq.backward(&cache.x, &dq, &mut grads.wq);
-        let dx_k = self.wk.backward(&cache.x, &dk, &mut grads.wk);
-        let dx_v = self.wv.backward(&cache.x, &dv, &mut grads.wv);
-        dx_q.add(&dx_k).add(&dx_v)
+        self.wq
+            .backward_with(&cache.x, dq, &mut grads.wq, lin_tmp, dx);
+        self.wk
+            .backward_with(&cache.x, dk, &mut grads.wk, lin_tmp, dx_tmp);
+        dx.add_assign(dx_tmp);
+        self.wv
+            .backward_with(&cache.x, dv, &mut grads.wv, lin_tmp, dx_tmp);
+        dx.add_assign(dx_tmp);
     }
 
     /// Zero-filled gradient buffers.

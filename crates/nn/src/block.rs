@@ -2,12 +2,10 @@
 //! the controller's pre-LayerNorm attention + ReLU MLP (paper Fig. 3), in
 //! trainable `f32` and quantized accelerator-backed forms.
 
-use crate::activation::{relu, relu_backward, relu_into, silu, silu_backward, silu_into};
-use crate::attention::{CalRange, Mha, MhaCache, MhaGrads, MhaScratch, QuantMha};
+use crate::activation::{relu_into, silu_into};
+use crate::attention::{CalRange, Mha, MhaCache, MhaGrads, MhaScratch, MhaTrainScratch, QuantMha};
 use crate::linear::{Linear, LinearGrads, QuantLinear};
-use crate::norm::{
-    layernorm_backward, layernorm_with_stats, rmsnorm_backward, rmsnorm_with_stats, NormStats,
-};
+use crate::norm::NormStats;
 use create_accel::{Accelerator, Component, LayerCtx, Unit};
 use create_tensor::{Matrix, Precision};
 use rand::Rng;
@@ -28,7 +26,10 @@ pub struct SwiGlu {
 }
 
 /// Cached forward state for [`SwiGlu`].
-#[derive(Debug, Clone)]
+///
+/// `Default` yields an empty cache whose buffers
+/// [`SwiGlu::forward_cached`] fills and reuses across samples.
+#[derive(Debug, Clone, Default)]
 pub struct SwiGluCache {
     x: Matrix,
     gate: Matrix,
@@ -38,7 +39,7 @@ pub struct SwiGluCache {
 }
 
 /// Gradient buffers for [`SwiGlu`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SwiGluGrads {
     /// Gate projection gradients.
     pub wgate: LinearGrads,
@@ -46,6 +47,16 @@ pub struct SwiGluGrads {
     pub wup: LinearGrads,
     /// Down projection gradients.
     pub wdown: LinearGrads,
+}
+
+impl SwiGluGrads {
+    /// Zeroes all buffers in place, (re)shaped for `mlp` (contents
+    /// identical to [`SwiGlu::zero_grads`], storage kept).
+    pub fn reset_for(&mut self, mlp: &SwiGlu) {
+        self.wgate.reset_for(&mlp.wgate);
+        self.wup.reset_for(&mlp.wup);
+        self.wdown.reset_for(&mlp.wdown);
+    }
 }
 
 impl SwiGlu {
@@ -60,46 +71,95 @@ impl SwiGlu {
 
     /// Forward pass.
     pub fn forward(&self, x: &Matrix) -> (Matrix, SwiGluCache) {
-        let gate = self.wgate.forward(x);
-        let up = self.wup.forward(x);
-        let act = silu(&gate);
-        let prod = Matrix::from_fn(act.rows(), act.cols(), |r, c| act.get(r, c) * up.get(r, c));
-        let y = self.wdown.forward(&prod);
-        (
-            y,
-            SwiGluCache {
-                x: x.clone(),
-                gate,
-                up,
-                act,
-                prod,
-            },
-        )
+        let mut cache = SwiGluCache::default();
+        let mut y = Matrix::default();
+        self.forward_cached(x, &mut cache, &mut y);
+        (y, cache)
+    }
+
+    /// [`forward`](Self::forward) into caller-provided cache and output
+    /// buffers — bit-identical, zero steady-state allocation.
+    pub fn forward_cached(&self, x: &Matrix, cache: &mut SwiGluCache, out: &mut Matrix) {
+        cache.x.copy_from(x);
+        self.wgate.forward_into(x, &mut cache.gate);
+        self.wup.forward_into(x, &mut cache.up);
+        silu_into(&cache.gate, &mut cache.act);
+        cache.prod.copy_from(&cache.act);
+        for (p, &u) in cache
+            .prod
+            .as_mut_slice()
+            .iter_mut()
+            .zip(cache.up.as_slice())
+        {
+            *p *= u;
+        }
+        self.wdown.forward_into(&cache.prod, out);
     }
 
     /// Backward pass; returns `dx`.
     pub fn backward(&self, cache: &SwiGluCache, dy: &Matrix, grads: &mut SwiGluGrads) -> Matrix {
-        let dprod = self.wdown.backward(&cache.prod, dy, &mut grads.wdown);
-        let dact = Matrix::from_fn(dprod.rows(), dprod.cols(), |r, c| {
-            dprod.get(r, c) * cache.up.get(r, c)
-        });
-        let dup = Matrix::from_fn(dprod.rows(), dprod.cols(), |r, c| {
-            dprod.get(r, c) * cache.act.get(r, c)
-        });
-        let dgate = silu_backward(&cache.gate, &dact);
-        let dx_g = self.wgate.backward(&cache.x, &dgate, &mut grads.wgate);
-        let dx_u = self.wup.backward(&cache.x, &dup, &mut grads.wup);
-        dx_g.add(&dx_u)
+        let mut scratch = MlpTrainScratch::default();
+        let mut dx = Matrix::default();
+        self.backward_with(cache, dy, grads, &mut scratch, &mut dx);
+        dx
+    }
+
+    /// [`backward`](Self::backward) with caller-provided scratch —
+    /// bit-identical gradients, zero steady-state allocation.
+    pub fn backward_with(
+        &self,
+        cache: &SwiGluCache,
+        dy: &Matrix,
+        grads: &mut SwiGluGrads,
+        scratch: &mut MlpTrainScratch,
+        dx: &mut Matrix,
+    ) {
+        let MlpTrainScratch {
+            d1: dprod,
+            d2: dact,
+            d3: dup,
+            d4: dgate,
+            dx_tmp,
+            lin_tmp,
+        } = scratch;
+        self.wdown
+            .backward_with(&cache.prod, dy, &mut grads.wdown, lin_tmp, dprod);
+        dact.copy_from(dprod);
+        for (a, &u) in dact.as_mut_slice().iter_mut().zip(cache.up.as_slice()) {
+            *a *= u;
+        }
+        dup.copy_from(dprod);
+        for (u, &a) in dup.as_mut_slice().iter_mut().zip(cache.act.as_slice()) {
+            *u *= a;
+        }
+        crate::activation::silu_backward_into(&cache.gate, dact, dgate);
+        self.wgate
+            .backward_with(&cache.x, dgate, &mut grads.wgate, lin_tmp, dx);
+        self.wup
+            .backward_with(&cache.x, dup, &mut grads.wup, lin_tmp, dx_tmp);
+        dx.add_assign(dx_tmp);
     }
 
     /// Zero-filled gradient buffers.
     pub fn zero_grads(&self) -> SwiGluGrads {
-        SwiGluGrads {
-            wgate: self.wgate.zero_grads(),
-            wup: self.wup.zero_grads(),
-            wdown: self.wdown.zero_grads(),
-        }
+        let mut grads = SwiGluGrads::default();
+        grads.reset_for(self);
+        grads
     }
+}
+
+/// Reusable temporaries for the MLP backward passes (`d1..d4` hold the
+/// pass-specific intermediates — `dprod`/`dact`/`dup`/`dgate` for
+/// [`SwiGlu`], `dhidden`/`dpre` for [`ReluMlp`]). Fully overwritten
+/// before use; contents never influence results.
+#[derive(Debug, Default)]
+pub struct MlpTrainScratch {
+    d1: Matrix,
+    d2: Matrix,
+    d3: Matrix,
+    d4: Matrix,
+    dx_tmp: Matrix,
+    lin_tmp: Matrix,
 }
 
 // ---------------------------------------------------------------------------
@@ -116,7 +176,10 @@ pub struct ReluMlp {
 }
 
 /// Cached forward state for [`ReluMlp`].
-#[derive(Debug, Clone)]
+///
+/// `Default` yields an empty cache whose buffers
+/// [`ReluMlp::forward_cached`] fills and reuses across samples.
+#[derive(Debug, Clone, Default)]
 pub struct ReluMlpCache {
     x: Matrix,
     pre: Matrix,
@@ -124,12 +187,21 @@ pub struct ReluMlpCache {
 }
 
 /// Gradient buffers for [`ReluMlp`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ReluMlpGrads {
     /// First-layer gradients.
     pub fc1: LinearGrads,
     /// Second-layer gradients.
     pub fc2: LinearGrads,
+}
+
+impl ReluMlpGrads {
+    /// Zeroes both buffers in place, (re)shaped for `mlp` (contents
+    /// identical to [`ReluMlp::zero_grads`], storage kept).
+    pub fn reset_for(&mut self, mlp: &ReluMlp) {
+        self.fc1.reset_for(&mlp.fc1);
+        self.fc2.reset_for(&mlp.fc2);
+    }
 }
 
 impl ReluMlp {
@@ -143,32 +215,57 @@ impl ReluMlp {
 
     /// Forward pass.
     pub fn forward(&self, x: &Matrix) -> (Matrix, ReluMlpCache) {
-        let pre = self.fc1.forward(x);
-        let hidden = relu(&pre);
-        let y = self.fc2.forward(&hidden);
-        (
-            y,
-            ReluMlpCache {
-                x: x.clone(),
-                pre,
-                hidden,
-            },
-        )
+        let mut cache = ReluMlpCache::default();
+        let mut y = Matrix::default();
+        self.forward_cached(x, &mut cache, &mut y);
+        (y, cache)
+    }
+
+    /// [`forward`](Self::forward) into caller-provided cache and output
+    /// buffers — bit-identical, zero steady-state allocation.
+    pub fn forward_cached(&self, x: &Matrix, cache: &mut ReluMlpCache, out: &mut Matrix) {
+        cache.x.copy_from(x);
+        self.fc1.forward_into(x, &mut cache.pre);
+        relu_into(&cache.pre, &mut cache.hidden);
+        self.fc2.forward_into(&cache.hidden, out);
     }
 
     /// Backward pass; returns `dx`.
     pub fn backward(&self, cache: &ReluMlpCache, dy: &Matrix, grads: &mut ReluMlpGrads) -> Matrix {
-        let dhidden = self.fc2.backward(&cache.hidden, dy, &mut grads.fc2);
-        let dpre = relu_backward(&cache.pre, &dhidden);
-        self.fc1.backward(&cache.x, &dpre, &mut grads.fc1)
+        let mut scratch = MlpTrainScratch::default();
+        let mut dx = Matrix::default();
+        self.backward_with(cache, dy, grads, &mut scratch, &mut dx);
+        dx
+    }
+
+    /// [`backward`](Self::backward) with caller-provided scratch —
+    /// bit-identical gradients, zero steady-state allocation.
+    pub fn backward_with(
+        &self,
+        cache: &ReluMlpCache,
+        dy: &Matrix,
+        grads: &mut ReluMlpGrads,
+        scratch: &mut MlpTrainScratch,
+        dx: &mut Matrix,
+    ) {
+        let MlpTrainScratch {
+            d1: dhidden,
+            d2: dpre,
+            lin_tmp,
+            ..
+        } = scratch;
+        self.fc2
+            .backward_with(&cache.hidden, dy, &mut grads.fc2, lin_tmp, dhidden);
+        crate::activation::relu_backward_into(&cache.pre, dhidden, dpre);
+        self.fc1
+            .backward_with(&cache.x, dpre, &mut grads.fc1, lin_tmp, dx);
     }
 
     /// Zero-filled gradient buffers.
     pub fn zero_grads(&self) -> ReluMlpGrads {
-        ReluMlpGrads {
-            fc1: self.fc1.zero_grads(),
-            fc2: self.fc2.zero_grads(),
-        }
+        let mut grads = ReluMlpGrads::default();
+        grads.reset_for(self);
+        grads
     }
 }
 
@@ -186,7 +283,10 @@ pub struct PlannerBlock {
 }
 
 /// Cached forward state for [`PlannerBlock`].
-#[derive(Debug, Clone)]
+///
+/// `Default` yields an empty cache that
+/// [`PlannerBlock::forward_cached`] fills and reuses across samples.
+#[derive(Debug, Clone, Default)]
 pub struct PlannerBlockCache {
     n1: Matrix,
     n1_stats: NormStats,
@@ -197,12 +297,37 @@ pub struct PlannerBlockCache {
 }
 
 /// Gradient buffers for [`PlannerBlock`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PlannerBlockGrads {
     /// Attention gradients.
     pub attn: MhaGrads,
     /// MLP gradients.
     pub mlp: SwiGluGrads,
+}
+
+impl PlannerBlockGrads {
+    /// Zeroes all buffers in place, (re)shaped for `block` (contents
+    /// identical to [`PlannerBlock::zero_grads`], storage kept).
+    pub fn reset_for(&mut self, block: &PlannerBlock) {
+        self.attn.reset_for(&block.attn);
+        self.mlp.reset_for(&block.mlp);
+    }
+}
+
+/// Reusable temporaries shared by the training forward/backward of
+/// [`PlannerBlock`] and [`ControllerBlock`]. One instance serves every
+/// layer of a stacked model and every sample of a batch in turn; every
+/// buffer is fully overwritten before use.
+#[derive(Debug, Default)]
+pub struct BlockTrainScratch {
+    attn: MhaTrainScratch,
+    mlp: MlpTrainScratch,
+    attn_out: Matrix,
+    y: Matrix,
+    mlp_out: Matrix,
+    dn1: Matrix,
+    dn2: Matrix,
+    norm_tmp: Matrix,
 }
 
 impl PlannerBlock {
@@ -216,23 +341,38 @@ impl PlannerBlock {
 
     /// Forward: `y = x + attn(rms(x)); z = y + mlp(rms(y))`.
     pub fn forward(&self, x: &Matrix) -> (Matrix, PlannerBlockCache) {
-        let (n1, n1_stats) = rmsnorm_with_stats(x);
-        let (a, attn_cache) = self.attn.forward(&n1);
-        let y = x.add(&a);
-        let (n2, n2_stats) = rmsnorm_with_stats(&y);
-        let (m, mlp_cache) = self.mlp.forward(&n2);
-        let z = y.add(&m);
-        (
-            z,
-            PlannerBlockCache {
-                n1,
-                n1_stats,
-                attn: attn_cache,
-                n2,
-                n2_stats,
-                mlp: mlp_cache,
-            },
-        )
+        let mut cache = PlannerBlockCache::default();
+        let mut scratch = BlockTrainScratch::default();
+        let mut z = Matrix::default();
+        self.forward_cached(x, &mut cache, &mut scratch, &mut z);
+        (z, cache)
+    }
+
+    /// [`forward`](Self::forward) into caller-provided cache and scratch
+    /// buffers — bit-identical activations and cache, zero steady-state
+    /// allocation.
+    pub fn forward_cached(
+        &self,
+        x: &Matrix,
+        cache: &mut PlannerBlockCache,
+        scratch: &mut BlockTrainScratch,
+        out: &mut Matrix,
+    ) {
+        use crate::norm::rmsnorm_with_stats_into;
+        rmsnorm_with_stats_into(x, &mut cache.n1, &mut cache.n1_stats);
+        self.attn.forward_cached(
+            &cache.n1,
+            &mut cache.attn,
+            &mut scratch.attn,
+            &mut scratch.attn_out,
+        );
+        scratch.y.copy_from(x);
+        scratch.y.add_assign(&scratch.attn_out);
+        rmsnorm_with_stats_into(&scratch.y, &mut cache.n2, &mut cache.n2_stats);
+        self.mlp
+            .forward_cached(&cache.n2, &mut cache.mlp, &mut scratch.mlp_out);
+        out.copy_from(&scratch.y);
+        out.add_assign(&scratch.mlp_out);
     }
 
     /// Backward pass; returns `dx`.
@@ -242,22 +382,63 @@ impl PlannerBlock {
         dz: &Matrix,
         grads: &mut PlannerBlockGrads,
     ) -> Matrix {
+        let mut scratch = BlockTrainScratch::default();
+        let mut dx = Matrix::default();
+        self.backward_with(cache, dz, grads, &mut scratch, &mut dx);
+        dx
+    }
+
+    /// [`backward`](Self::backward) with caller-provided scratch —
+    /// bit-identical gradients (every residual sum keeps the allocating
+    /// form's order), zero steady-state allocation.
+    pub fn backward_with(
+        &self,
+        cache: &PlannerBlockCache,
+        dz: &Matrix,
+        grads: &mut PlannerBlockGrads,
+        scratch: &mut BlockTrainScratch,
+        dx: &mut Matrix,
+    ) {
+        use crate::norm::rmsnorm_backward_into;
         // z = y + mlp(n2)
-        let dn2 = self.mlp.backward(&cache.mlp, dz, &mut grads.mlp);
-        let mut dy = dz.add(&rmsnorm_backward(&cache.n2, &cache.n2_stats, &dn2));
+        self.mlp.backward_with(
+            &cache.mlp,
+            dz,
+            &mut grads.mlp,
+            &mut scratch.mlp,
+            &mut scratch.dn2,
+        );
+        rmsnorm_backward_into(
+            &cache.n2,
+            &cache.n2_stats,
+            &scratch.dn2,
+            &mut scratch.norm_tmp,
+        );
+        // `dx` plays the role of `dy` from here on.
+        dx.copy_from(dz);
+        dx.add_assign(&scratch.norm_tmp);
         // y = x + attn(n1)
-        let dn1 = self.attn.backward(&cache.attn, &dy, &mut grads.attn);
-        let dx_norm = rmsnorm_backward(&cache.n1, &cache.n1_stats, &dn1);
-        dy.add_assign(&dx_norm);
-        dy
+        self.attn.backward_with(
+            &cache.attn,
+            dx,
+            &mut grads.attn,
+            &mut scratch.attn,
+            &mut scratch.dn1,
+        );
+        rmsnorm_backward_into(
+            &cache.n1,
+            &cache.n1_stats,
+            &scratch.dn1,
+            &mut scratch.norm_tmp,
+        );
+        dx.add_assign(&scratch.norm_tmp);
     }
 
     /// Zero-filled gradient buffers.
     pub fn zero_grads(&self) -> PlannerBlockGrads {
-        PlannerBlockGrads {
-            attn: self.attn.zero_grads(),
-            mlp: self.mlp.zero_grads(),
-        }
+        let mut grads = PlannerBlockGrads::default();
+        grads.reset_for(self);
+        grads
     }
 }
 
@@ -275,7 +456,10 @@ pub struct ControllerBlock {
 }
 
 /// Cached forward state for [`ControllerBlock`].
-#[derive(Debug, Clone)]
+///
+/// `Default` yields an empty cache that
+/// [`ControllerBlock::forward_cached`] fills and reuses across samples.
+#[derive(Debug, Clone, Default)]
 pub struct ControllerBlockCache {
     n1: Matrix,
     n1_stats: NormStats,
@@ -286,12 +470,21 @@ pub struct ControllerBlockCache {
 }
 
 /// Gradient buffers for [`ControllerBlock`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ControllerBlockGrads {
     /// Attention gradients.
     pub attn: MhaGrads,
     /// MLP gradients.
     pub mlp: ReluMlpGrads,
+}
+
+impl ControllerBlockGrads {
+    /// Zeroes all buffers in place, (re)shaped for `block` (contents
+    /// identical to [`ControllerBlock::zero_grads`], storage kept).
+    pub fn reset_for(&mut self, block: &ControllerBlock) {
+        self.attn.reset_for(&block.attn);
+        self.mlp.reset_for(&block.mlp);
+    }
 }
 
 impl ControllerBlock {
@@ -305,23 +498,38 @@ impl ControllerBlock {
 
     /// Forward: `y = x + attn(ln(x)); z = y + mlp(ln(y))`.
     pub fn forward(&self, x: &Matrix) -> (Matrix, ControllerBlockCache) {
-        let (n1, n1_stats) = layernorm_with_stats(x);
-        let (a, attn_cache) = self.attn.forward(&n1);
-        let y = x.add(&a);
-        let (n2, n2_stats) = layernorm_with_stats(&y);
-        let (m, mlp_cache) = self.mlp.forward(&n2);
-        let z = y.add(&m);
-        (
-            z,
-            ControllerBlockCache {
-                n1,
-                n1_stats,
-                attn: attn_cache,
-                n2,
-                n2_stats,
-                mlp: mlp_cache,
-            },
-        )
+        let mut cache = ControllerBlockCache::default();
+        let mut scratch = BlockTrainScratch::default();
+        let mut z = Matrix::default();
+        self.forward_cached(x, &mut cache, &mut scratch, &mut z);
+        (z, cache)
+    }
+
+    /// [`forward`](Self::forward) into caller-provided cache and scratch
+    /// buffers — bit-identical activations and cache, zero steady-state
+    /// allocation.
+    pub fn forward_cached(
+        &self,
+        x: &Matrix,
+        cache: &mut ControllerBlockCache,
+        scratch: &mut BlockTrainScratch,
+        out: &mut Matrix,
+    ) {
+        use crate::norm::layernorm_with_stats_into;
+        layernorm_with_stats_into(x, &mut cache.n1, &mut cache.n1_stats);
+        self.attn.forward_cached(
+            &cache.n1,
+            &mut cache.attn,
+            &mut scratch.attn,
+            &mut scratch.attn_out,
+        );
+        scratch.y.copy_from(x);
+        scratch.y.add_assign(&scratch.attn_out);
+        layernorm_with_stats_into(&scratch.y, &mut cache.n2, &mut cache.n2_stats);
+        self.mlp
+            .forward_cached(&cache.n2, &mut cache.mlp, &mut scratch.mlp_out);
+        out.copy_from(&scratch.y);
+        out.add_assign(&scratch.mlp_out);
     }
 
     /// Backward pass; returns `dx`.
@@ -331,20 +539,59 @@ impl ControllerBlock {
         dz: &Matrix,
         grads: &mut ControllerBlockGrads,
     ) -> Matrix {
-        let dn2 = self.mlp.backward(&cache.mlp, dz, &mut grads.mlp);
-        let mut dy = dz.add(&layernorm_backward(&cache.n2, &cache.n2_stats, &dn2));
-        let dn1 = self.attn.backward(&cache.attn, &dy, &mut grads.attn);
-        let dx_norm = layernorm_backward(&cache.n1, &cache.n1_stats, &dn1);
-        dy.add_assign(&dx_norm);
-        dy
+        let mut scratch = BlockTrainScratch::default();
+        let mut dx = Matrix::default();
+        self.backward_with(cache, dz, grads, &mut scratch, &mut dx);
+        dx
+    }
+
+    /// [`backward`](Self::backward) with caller-provided scratch —
+    /// bit-identical gradients, zero steady-state allocation.
+    pub fn backward_with(
+        &self,
+        cache: &ControllerBlockCache,
+        dz: &Matrix,
+        grads: &mut ControllerBlockGrads,
+        scratch: &mut BlockTrainScratch,
+        dx: &mut Matrix,
+    ) {
+        use crate::norm::layernorm_backward_into;
+        self.mlp.backward_with(
+            &cache.mlp,
+            dz,
+            &mut grads.mlp,
+            &mut scratch.mlp,
+            &mut scratch.dn2,
+        );
+        layernorm_backward_into(
+            &cache.n2,
+            &cache.n2_stats,
+            &scratch.dn2,
+            &mut scratch.norm_tmp,
+        );
+        dx.copy_from(dz);
+        dx.add_assign(&scratch.norm_tmp);
+        self.attn.backward_with(
+            &cache.attn,
+            dx,
+            &mut grads.attn,
+            &mut scratch.attn,
+            &mut scratch.dn1,
+        );
+        layernorm_backward_into(
+            &cache.n1,
+            &cache.n1_stats,
+            &scratch.dn1,
+            &mut scratch.norm_tmp,
+        );
+        dx.add_assign(&scratch.norm_tmp);
     }
 
     /// Zero-filled gradient buffers.
     pub fn zero_grads(&self) -> ControllerBlockGrads {
-        ControllerBlockGrads {
-            attn: self.attn.zero_grads(),
-            mlp: self.mlp.zero_grads(),
-        }
+        let mut grads = ControllerBlockGrads::default();
+        grads.reset_for(self);
+        grads
     }
 }
 
@@ -641,6 +888,7 @@ pub struct QuantControllerBlockScratch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::activation::silu;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -104,7 +104,8 @@ fn mha_calibrate(
         let qh = slice(&q);
         let kh = slice(&k);
         let vh = slice(&v);
-        let mut scores = qh.matmul_nt(&kh).scale(scale);
+        let mut scores = qh.matmul_nt(&kh);
+        scores.scale_in_place(scale);
         if attn.causal {
             for r in 0..scores.rows() {
                 for c in (r + 1)..scores.cols() {

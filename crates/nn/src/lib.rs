@@ -27,9 +27,9 @@ pub mod norm;
 pub mod optim;
 
 pub use activation::{entropy, logits_entropy, softmax_rows};
-pub use attention::{Mha, MhaScratch, QuantMha};
+pub use attention::{Mha, MhaScratch, MhaTrainScratch, QuantMha};
 pub use block::{
-    ActivationTap, ControllerBlock, PlannerBlock, QuantControllerBlock,
+    ActivationTap, BlockTrainScratch, ControllerBlock, PlannerBlock, QuantControllerBlock,
     QuantControllerBlockScratch, QuantPlannerBlock, QuantPlannerBlockScratch,
 };
 pub use conv::{Conv2d, Tensor3};

@@ -25,20 +25,62 @@ impl Linear {
 
     /// Forward pass.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul(&self.w);
+        let mut y = Matrix::default();
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// [`forward`](Self::forward) into a caller-provided output matrix
+    /// (bit-identical, storage reused — the training forward pass runs
+    /// through here so the steady-state train step allocates nothing).
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.w, out);
         if let Some(b) = &self.b {
-            for r in 0..y.rows() {
-                for (v, add) in y.row_mut(r).iter_mut().zip(b) {
+            for r in 0..out.rows() {
+                for (v, add) in out.row_mut(r).iter_mut().zip(b) {
                     *v += add;
                 }
             }
         }
-        y
     }
 
     /// Backward pass: returns `dx` and fills `grads`.
     pub fn backward(&self, x: &Matrix, dy: &Matrix, grads: &mut LinearGrads) -> Matrix {
-        grads.dw.add_assign(&x.matmul_tn(dy));
+        let mut tmp = Matrix::default();
+        let mut dx = Matrix::default();
+        self.backward_with(x, dy, grads, &mut tmp, &mut dx);
+        dx
+    }
+
+    /// [`backward`](Self::backward) with caller-provided scratch: `tmp`
+    /// receives the weight-gradient GEMM before it is accumulated (the
+    /// same compute-then-add order as the allocating form, so results
+    /// are bit-identical) and `dx` receives the input gradient. Both
+    /// buffers are fully overwritten; storage is reused.
+    pub fn backward_with(
+        &self,
+        x: &Matrix,
+        dy: &Matrix,
+        grads: &mut LinearGrads,
+        tmp: &mut Matrix,
+        dx: &mut Matrix,
+    ) {
+        self.accumulate_grads(x, dy, grads, tmp);
+        dy.matmul_nt_into(&self.w, dx);
+    }
+
+    /// The parameter-gradient half of [`backward`](Self::backward)
+    /// (`dw`/`db` accumulation without computing `dx`) — for the first
+    /// layer of a stack, whose input gradient nobody consumes.
+    pub fn accumulate_grads(
+        &self,
+        x: &Matrix,
+        dy: &Matrix,
+        grads: &mut LinearGrads,
+        tmp: &mut Matrix,
+    ) {
+        x.matmul_tn_into(dy, tmp);
+        grads.dw.add_assign(tmp);
         if let Some(db) = &mut grads.db {
             for r in 0..dy.rows() {
                 for (g, v) in db.iter_mut().zip(dy.row(r)) {
@@ -46,25 +88,41 @@ impl Linear {
                 }
             }
         }
-        dy.matmul_nt(&self.w)
     }
 
     /// Zero-filled gradient buffers matching this layer.
     pub fn zero_grads(&self) -> LinearGrads {
-        LinearGrads {
-            dw: Matrix::zeros(self.w.rows(), self.w.cols()),
-            db: self.b.as_ref().map(|b| vec![0.0; b.len()]),
-        }
+        let mut grads = LinearGrads::default();
+        grads.reset_for(self);
+        grads
     }
 }
 
 /// Gradient buffers for a [`Linear`] layer.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LinearGrads {
     /// Gradient of the weight.
     pub dw: Matrix,
     /// Gradient of the bias, when present.
     pub db: Option<Vec<f32>>,
+}
+
+impl LinearGrads {
+    /// Zeroes the buffers in place, (re)shaped for `layer` — identical
+    /// contents to [`Linear::zero_grads`] with the heap storage kept, so
+    /// the per-batch gradient reset of a warmed-up train step allocates
+    /// nothing.
+    pub fn reset_for(&mut self, layer: &Linear) {
+        self.dw.reset_zeros(layer.w.rows(), layer.w.cols());
+        match (&mut self.db, &layer.b) {
+            (db, None) => *db = None,
+            (Some(db), Some(b)) => {
+                db.clear();
+                db.resize(b.len(), 0.0);
+            }
+            (db @ None, Some(b)) => *db = Some(vec![0.0; b.len()]),
+        }
+    }
 }
 
 /// A deployed linear layer: INT8/INT4 weight plus offline-profiled input

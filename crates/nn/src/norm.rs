@@ -14,12 +14,21 @@ const EPS: f32 = 1e-5;
 ///
 /// Exposed so the characterization experiments can report how a single
 /// injected fault skews μ and σ (paper Fig. 5 k–l).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct NormStats {
     /// Per-row means (zero for RMSNorm, which does not center).
     pub mean: Vec<f32>,
     /// Per-row denominators (RMS or standard deviation).
     pub denom: Vec<f32>,
+}
+
+impl NormStats {
+    /// Empties both vectors while keeping their capacity (the in-place
+    /// forward passes refill them row by row).
+    fn clear(&mut self) {
+        self.mean.clear();
+        self.denom.clear();
+    }
 }
 
 /// RMSNorm forward: `y = x / sqrt(mean(x²) + eps)` per row.
@@ -44,9 +53,19 @@ pub fn rmsnorm_into(x: &Matrix, out: &mut Matrix) {
 
 /// RMSNorm forward returning the per-row statistics.
 pub fn rmsnorm_with_stats(x: &Matrix) -> (Matrix, NormStats) {
+    let mut out = Matrix::default();
+    let mut stats = NormStats::default();
+    rmsnorm_with_stats_into(x, &mut out, &mut stats);
+    (out, stats)
+}
+
+/// [`rmsnorm_with_stats`] into caller-provided output and stats buffers
+/// (identical values, reused storage — the training forward pass runs
+/// this twice per block per sample).
+pub fn rmsnorm_with_stats_into(x: &Matrix, out: &mut Matrix, stats: &mut NormStats) {
     let d = x.cols() as f32;
-    let mut out = x.clone();
-    let mut denom = Vec::with_capacity(x.rows());
+    out.copy_from(x);
+    stats.clear();
     for r in 0..x.rows() {
         let row = out.row_mut(r);
         let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d;
@@ -54,23 +73,34 @@ pub fn rmsnorm_with_stats(x: &Matrix) -> (Matrix, NormStats) {
         for v in row.iter_mut() {
             *v /= rms;
         }
-        denom.push(rms);
+        stats.mean.push(0.0);
+        stats.denom.push(rms);
     }
-    let stats = NormStats {
-        mean: vec![0.0; x.rows()],
-        denom,
-    };
-    (out, stats)
 }
 
 /// RMSNorm backward: `dx = (dy − y · mean(dy ⊙ y)) / rms` per row.
 pub fn rmsnorm_backward(y: &Matrix, stats: &NormStats, dy: &Matrix) -> Matrix {
+    let mut out = Matrix::default();
+    rmsnorm_backward_into(y, stats, dy, &mut out);
+    out
+}
+
+/// [`rmsnorm_backward`] into a caller-provided matrix (identical values,
+/// reused storage; the per-row reduction is hoisted out of the element
+/// loop, which cannot change any bit — every element sees the same dot
+/// product).
+pub fn rmsnorm_backward_into(y: &Matrix, stats: &NormStats, dy: &Matrix, out: &mut Matrix) {
     assert_eq!(y.shape(), dy.shape(), "rmsnorm backward shape mismatch");
     let d = y.cols() as f32;
-    Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+    out.reset_zeros(y.rows(), y.cols());
+    for r in 0..y.rows() {
         let dot: f32 = y.row(r).iter().zip(dy.row(r)).map(|(a, b)| a * b).sum();
-        (dy.get(r, c) - y.get(r, c) * dot / d) / stats.denom[r]
-    })
+        let denom = stats.denom[r];
+        let out_row = out.row_mut(r);
+        for (c, o) in out_row.iter_mut().enumerate() {
+            *o = (dy.get(r, c) - y.get(r, c) * dot / d) / denom;
+        }
+    }
 }
 
 /// LayerNorm forward: `y = (x − μ) / sqrt(var + eps)` per row.
@@ -96,10 +126,18 @@ pub fn layernorm_into(x: &Matrix, out: &mut Matrix) {
 
 /// LayerNorm forward returning the per-row statistics.
 pub fn layernorm_with_stats(x: &Matrix) -> (Matrix, NormStats) {
+    let mut out = Matrix::default();
+    let mut stats = NormStats::default();
+    layernorm_with_stats_into(x, &mut out, &mut stats);
+    (out, stats)
+}
+
+/// [`layernorm_with_stats`] into caller-provided output and stats buffers
+/// (identical values, reused storage).
+pub fn layernorm_with_stats_into(x: &Matrix, out: &mut Matrix, stats: &mut NormStats) {
     let d = x.cols() as f32;
-    let mut out = x.clone();
-    let mut means = Vec::with_capacity(x.rows());
-    let mut denom = Vec::with_capacity(x.rows());
+    out.copy_from(x);
+    stats.clear();
     for r in 0..x.rows() {
         let row = out.row_mut(r);
         let mu: f32 = row.iter().sum::<f32>() / d;
@@ -108,18 +146,27 @@ pub fn layernorm_with_stats(x: &Matrix) -> (Matrix, NormStats) {
         for v in row.iter_mut() {
             *v = (*v - mu) / sd;
         }
-        means.push(mu);
-        denom.push(sd);
+        stats.mean.push(mu);
+        stats.denom.push(sd);
     }
-    (out, NormStats { mean: means, denom })
 }
 
 /// LayerNorm backward:
 /// `dx = (dy − mean(dy) − y · mean(dy ⊙ y)) / σ` per row.
 pub fn layernorm_backward(y: &Matrix, stats: &NormStats, dy: &Matrix) -> Matrix {
+    let mut out = Matrix::default();
+    layernorm_backward_into(y, stats, dy, &mut out);
+    out
+}
+
+/// [`layernorm_backward`] into a caller-provided matrix (identical
+/// values, reused storage; the per-row reductions are hoisted out of the
+/// element loop, which cannot change any bit).
+pub fn layernorm_backward_into(y: &Matrix, stats: &NormStats, dy: &Matrix, out: &mut Matrix) {
     assert_eq!(y.shape(), dy.shape(), "layernorm backward shape mismatch");
     let d = y.cols() as f32;
-    Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+    out.reset_zeros(y.rows(), y.cols());
+    for r in 0..y.rows() {
         let mean_dy: f32 = dy.row(r).iter().sum::<f32>() / d;
         let dot: f32 = y
             .row(r)
@@ -128,8 +175,12 @@ pub fn layernorm_backward(y: &Matrix, stats: &NormStats, dy: &Matrix) -> Matrix 
             .map(|(a, b)| a * b)
             .sum::<f32>()
             / d;
-        (dy.get(r, c) - mean_dy - y.get(r, c) * dot) / stats.denom[r]
-    })
+        let denom = stats.denom[r];
+        let out_row = out.row_mut(r);
+        for (c, o) in out_row.iter_mut().enumerate() {
+            *o = (dy.get(r, c) - mean_dy - y.get(r, c) * dot) / denom;
+        }
+    }
 }
 
 #[cfg(test)]

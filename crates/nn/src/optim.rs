@@ -79,12 +79,22 @@ impl AdamState {
         }
     }
 
-    /// Applies one AdamW update to a [`Matrix`] parameter.
+    /// Applies one AdamW update to a [`Matrix`] parameter
+    /// (allocation-free: the gradient slice is borrowed directly).
     pub fn step_matrix(&mut self, params: &mut Matrix, grads: &Matrix, cfg: &AdamWConfig, t: u64) {
         assert_eq!(params.shape(), grads.shape(), "param/grad shape mismatch");
-        // SAFETY of shapes checked above; reuse the flat path.
-        let g = grads.as_slice().to_vec();
-        self.step(params.as_mut_slice(), &g, cfg, t);
+        self.step(params.as_mut_slice(), grads.as_slice(), cfg, t);
+    }
+
+    /// Zeroes the moments in place, resized for `n` parameters — the
+    /// state of a freshly constructed [`AdamState::new`] without giving
+    /// up the existing heap buffers. Training scratch reuse calls this at
+    /// the start of every training run.
+    pub fn reset(&mut self, n: usize) {
+        self.m.clear();
+        self.m.resize(n, 0.0);
+        self.v.clear();
+        self.v.resize(n, 0.0);
     }
 }
 

@@ -1,0 +1,592 @@
+//! Bit-parity against the **pre-refactor kernels**, kept here verbatim.
+//!
+//! The PR that introduced the scratch/`_into` training paths also
+//! rewrote the allocating forms to delegate to them — so a test that
+//! compares `forward` with `forward_cached` only checks the new code
+//! against itself. This suite closes that loop: every rewritten kernel
+//! (activation/norm backwards, `Linear`, `Mha`, the MLPs and both block
+//! types) is compared against a *local verbatim copy of the pre-refactor
+//! implementation*. The legacy copies bottom out in `Matrix` ops whose
+//! own pre-refactor loops live on verbatim as `ScalarF32Backend` (and
+//! the backend proptests pin `blocked == scalar`), so the chain of
+//! custody back to the original bits is complete.
+
+use create_nn::activation::{
+    relu_backward, sigmoid, silu_backward, softmax_backward, softmax_rows,
+};
+use create_nn::block::{ControllerBlock, PlannerBlock, ReluMlp, SwiGlu};
+use create_nn::linear::{Linear, LinearGrads};
+use create_nn::norm::{
+    layernorm_backward, layernorm_with_stats, rmsnorm_backward, rmsnorm_with_stats, NormStats,
+};
+use create_nn::Mha;
+use create_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Verbatim pre-refactor implementations (do not "modernize" these — their
+// value is being frozen history).
+// ---------------------------------------------------------------------------
+
+fn legacy_relu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(x.shape(), dy.shape(), "relu backward shape mismatch");
+    Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+        if x.get(r, c) > 0.0 {
+            dy.get(r, c)
+        } else {
+            0.0
+        }
+    })
+}
+
+fn legacy_silu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(x.shape(), dy.shape(), "silu backward shape mismatch");
+    Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+        let v = x.get(r, c);
+        let s = sigmoid(v);
+        dy.get(r, c) * s * (1.0 + v * (1.0 - s))
+    })
+}
+
+fn legacy_softmax_backward(p: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(p.shape(), dy.shape(), "softmax backward shape mismatch");
+    let mut out = Matrix::zeros(p.rows(), p.cols());
+    for r in 0..p.rows() {
+        let dot: f32 = p.row(r).iter().zip(dy.row(r)).map(|(a, b)| a * b).sum();
+        for c in 0..p.cols() {
+            out.set(r, c, p.get(r, c) * (dy.get(r, c) - dot));
+        }
+    }
+    out
+}
+
+const EPS: f32 = 1e-5;
+
+fn legacy_rmsnorm_with_stats(x: &Matrix) -> (Matrix, NormStats) {
+    let d = x.cols() as f32;
+    let mut out = x.clone();
+    let mut denom = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let row = out.row_mut(r);
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d;
+        let rms = (ms + EPS).sqrt();
+        for v in row.iter_mut() {
+            *v /= rms;
+        }
+        denom.push(rms);
+    }
+    let stats = NormStats {
+        mean: vec![0.0; x.rows()],
+        denom,
+    };
+    (out, stats)
+}
+
+fn legacy_rmsnorm_backward(y: &Matrix, stats: &NormStats, dy: &Matrix) -> Matrix {
+    assert_eq!(y.shape(), dy.shape(), "rmsnorm backward shape mismatch");
+    let d = y.cols() as f32;
+    Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+        let dot: f32 = y.row(r).iter().zip(dy.row(r)).map(|(a, b)| a * b).sum();
+        (dy.get(r, c) - y.get(r, c) * dot / d) / stats.denom[r]
+    })
+}
+
+fn legacy_layernorm_with_stats(x: &Matrix) -> (Matrix, NormStats) {
+    let d = x.cols() as f32;
+    let mut out = x.clone();
+    let mut means = Vec::with_capacity(x.rows());
+    let mut denom = Vec::with_capacity(x.rows());
+    for r in 0..x.rows() {
+        let row = out.row_mut(r);
+        let mu: f32 = row.iter().sum::<f32>() / d;
+        let var: f32 = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / d;
+        let sd = (var + EPS).sqrt();
+        for v in row.iter_mut() {
+            *v = (*v - mu) / sd;
+        }
+        means.push(mu);
+        denom.push(sd);
+    }
+    (out, NormStats { mean: means, denom })
+}
+
+fn legacy_layernorm_backward(y: &Matrix, stats: &NormStats, dy: &Matrix) -> Matrix {
+    assert_eq!(y.shape(), dy.shape(), "layernorm backward shape mismatch");
+    let d = y.cols() as f32;
+    Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+        let mean_dy: f32 = dy.row(r).iter().sum::<f32>() / d;
+        let dot: f32 = y
+            .row(r)
+            .iter()
+            .zip(dy.row(r))
+            .map(|(a, b)| a * b)
+            .sum::<f32>()
+            / d;
+        (dy.get(r, c) - mean_dy - y.get(r, c) * dot) / stats.denom[r]
+    })
+}
+
+fn legacy_linear_forward(l: &Linear, x: &Matrix) -> Matrix {
+    let mut y = x.matmul(&l.w);
+    if let Some(b) = &l.b {
+        for r in 0..y.rows() {
+            for (v, add) in y.row_mut(r).iter_mut().zip(b) {
+                *v += add;
+            }
+        }
+    }
+    y
+}
+
+fn legacy_linear_backward(l: &Linear, x: &Matrix, dy: &Matrix, grads: &mut LinearGrads) -> Matrix {
+    grads.dw.add_assign(&x.matmul_tn(dy));
+    if let Some(db) = &mut grads.db {
+        for r in 0..dy.rows() {
+            for (g, v) in db.iter_mut().zip(dy.row(r)) {
+                *g += v;
+            }
+        }
+    }
+    dy.matmul_nt(&l.w)
+}
+
+fn head_slice(m: &Matrix, h: usize, dh: usize) -> Matrix {
+    Matrix::from_fn(m.rows(), dh, |r, c| m.get(r, h * dh + c))
+}
+
+fn head_unslice(m: &mut Matrix, part: &Matrix, h: usize, dh: usize) {
+    for r in 0..part.rows() {
+        for c in 0..part.cols() {
+            let cur = m.get(r, h * dh + c);
+            m.set(r, h * dh + c, cur + part.get(r, c));
+        }
+    }
+}
+
+fn causal_mask(scores: &mut Matrix) {
+    for r in 0..scores.rows() {
+        for c in (r + 1)..scores.cols() {
+            scores.set(r, c, f32::NEG_INFINITY);
+        }
+    }
+}
+
+struct LegacyMhaCache {
+    x: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    probs: Vec<Matrix>,
+    context: Matrix,
+}
+
+fn legacy_mha_forward(mha: &Mha, x: &Matrix) -> (Matrix, LegacyMhaCache) {
+    let d = mha.width();
+    let dh = d / mha.heads;
+    let scale = 1.0 / (dh as f32).sqrt();
+    let q = legacy_linear_forward(&mha.wq, x);
+    let k = legacy_linear_forward(&mha.wk, x);
+    let v = legacy_linear_forward(&mha.wv, x);
+    let mut context = Matrix::zeros(x.rows(), d);
+    let mut probs = Vec::with_capacity(mha.heads);
+    for h in 0..mha.heads {
+        let qh = head_slice(&q, h, dh);
+        let kh = head_slice(&k, h, dh);
+        let vh = head_slice(&v, h, dh);
+        let mut scores = qh.matmul_nt(&kh).scale(scale);
+        if mha.causal {
+            causal_mask(&mut scores);
+        }
+        let p = softmax_rows(&scores);
+        let ch = p.matmul(&vh);
+        head_unslice(&mut context, &ch, h, dh);
+        probs.push(p);
+    }
+    let y = legacy_linear_forward(&mha.wo, &context);
+    let cache = LegacyMhaCache {
+        x: x.clone(),
+        q,
+        k,
+        v,
+        probs,
+        context,
+    };
+    (y, cache)
+}
+
+/// Legacy grads mirror: `(wq, wk, wv, wo)` as plain `LinearGrads`.
+type LegacyMhaGrads = [LinearGrads; 4];
+
+fn legacy_mha_backward(
+    mha: &Mha,
+    cache: &LegacyMhaCache,
+    dy: &Matrix,
+    grads: &mut LegacyMhaGrads,
+) -> Matrix {
+    let d = mha.width();
+    let dh = d / mha.heads;
+    let scale = 1.0 / (dh as f32).sqrt();
+    let dcontext = legacy_linear_backward(&mha.wo, &cache.context, dy, &mut grads[3]);
+    let mut dq = Matrix::zeros(cache.x.rows(), d);
+    let mut dk = Matrix::zeros(cache.x.rows(), d);
+    let mut dv = Matrix::zeros(cache.x.rows(), d);
+    for h in 0..mha.heads {
+        let qh = head_slice(&cache.q, h, dh);
+        let kh = head_slice(&cache.k, h, dh);
+        let vh = head_slice(&cache.v, h, dh);
+        let dch = head_slice(&dcontext, h, dh);
+        let p = &cache.probs[h];
+        let dp = dch.matmul_nt(&vh);
+        let dvh = p.matmul_tn(&dch);
+        let dscores = legacy_softmax_backward(p, &dp);
+        let dqh = dscores.matmul(&kh).scale(scale);
+        let dkh = dscores.matmul_tn(&qh).scale(scale);
+        head_unslice(&mut dq, &dqh, h, dh);
+        head_unslice(&mut dk, &dkh, h, dh);
+        head_unslice(&mut dv, &dvh, h, dh);
+    }
+    let dx_q = legacy_linear_backward(&mha.wq, &cache.x, &dq, &mut grads[0]);
+    let dx_k = legacy_linear_backward(&mha.wk, &cache.x, &dk, &mut grads[1]);
+    let dx_v = legacy_linear_backward(&mha.wv, &cache.x, &dv, &mut grads[2]);
+    dx_q.add(&dx_k).add(&dx_v)
+}
+
+struct LegacySwiGluCache {
+    x: Matrix,
+    gate: Matrix,
+    up: Matrix,
+    act: Matrix,
+    prod: Matrix,
+}
+
+fn legacy_silu(x: &Matrix) -> Matrix {
+    x.map(|v| v * sigmoid(v))
+}
+
+fn legacy_relu(x: &Matrix) -> Matrix {
+    x.map(|v| v.max(0.0))
+}
+
+fn legacy_swiglu_forward(mlp: &SwiGlu, x: &Matrix) -> (Matrix, LegacySwiGluCache) {
+    let gate = legacy_linear_forward(&mlp.wgate, x);
+    let up = legacy_linear_forward(&mlp.wup, x);
+    let act = legacy_silu(&gate);
+    let prod = Matrix::from_fn(act.rows(), act.cols(), |r, c| act.get(r, c) * up.get(r, c));
+    let y = legacy_linear_forward(&mlp.wdown, &prod);
+    (
+        y,
+        LegacySwiGluCache {
+            x: x.clone(),
+            gate,
+            up,
+            act,
+            prod,
+        },
+    )
+}
+
+/// Legacy grads mirror: `(wgate, wup, wdown)`.
+type LegacySwiGluGrads = [LinearGrads; 3];
+
+fn legacy_swiglu_backward(
+    mlp: &SwiGlu,
+    cache: &LegacySwiGluCache,
+    dy: &Matrix,
+    grads: &mut LegacySwiGluGrads,
+) -> Matrix {
+    let dprod = legacy_linear_backward(&mlp.wdown, &cache.prod, dy, &mut grads[2]);
+    let dact = Matrix::from_fn(dprod.rows(), dprod.cols(), |r, c| {
+        dprod.get(r, c) * cache.up.get(r, c)
+    });
+    let dup = Matrix::from_fn(dprod.rows(), dprod.cols(), |r, c| {
+        dprod.get(r, c) * cache.act.get(r, c)
+    });
+    let dgate = legacy_silu_backward(&cache.gate, &dact);
+    let dx_g = legacy_linear_backward(&mlp.wgate, &cache.x, &dgate, &mut grads[0]);
+    let dx_u = legacy_linear_backward(&mlp.wup, &cache.x, &dup, &mut grads[1]);
+    dx_g.add(&dx_u)
+}
+
+struct LegacyReluMlpCache {
+    x: Matrix,
+    pre: Matrix,
+    hidden: Matrix,
+}
+
+fn legacy_relumlp_forward(mlp: &ReluMlp, x: &Matrix) -> (Matrix, LegacyReluMlpCache) {
+    let pre = legacy_linear_forward(&mlp.fc1, x);
+    let hidden = legacy_relu(&pre);
+    let y = legacy_linear_forward(&mlp.fc2, &hidden);
+    (
+        y,
+        LegacyReluMlpCache {
+            x: x.clone(),
+            pre,
+            hidden,
+        },
+    )
+}
+
+/// Legacy grads mirror: `(fc1, fc2)`.
+type LegacyReluMlpGrads = [LinearGrads; 2];
+
+fn legacy_relumlp_backward(
+    mlp: &ReluMlp,
+    cache: &LegacyReluMlpCache,
+    dy: &Matrix,
+    grads: &mut LegacyReluMlpGrads,
+) -> Matrix {
+    let dhidden = legacy_linear_backward(&mlp.fc2, &cache.hidden, dy, &mut grads[1]);
+    let dpre = legacy_relu_backward(&cache.pre, &dhidden);
+    legacy_linear_backward(&mlp.fc1, &cache.x, &dpre, &mut grads[0])
+}
+
+struct LegacyPlannerBlockCache {
+    n1: Matrix,
+    n1_stats: NormStats,
+    attn: LegacyMhaCache,
+    n2: Matrix,
+    n2_stats: NormStats,
+    mlp: LegacySwiGluCache,
+}
+
+fn legacy_planner_forward(block: &PlannerBlock, x: &Matrix) -> (Matrix, LegacyPlannerBlockCache) {
+    let (n1, n1_stats) = legacy_rmsnorm_with_stats(x);
+    let (a, attn_cache) = legacy_mha_forward(&block.attn, &n1);
+    let y = x.add(&a);
+    let (n2, n2_stats) = legacy_rmsnorm_with_stats(&y);
+    let (m, mlp_cache) = legacy_swiglu_forward(&block.mlp, &n2);
+    let z = y.add(&m);
+    (
+        z,
+        LegacyPlannerBlockCache {
+            n1,
+            n1_stats,
+            attn: attn_cache,
+            n2,
+            n2_stats,
+            mlp: mlp_cache,
+        },
+    )
+}
+
+fn legacy_planner_backward(
+    block: &PlannerBlock,
+    cache: &LegacyPlannerBlockCache,
+    dz: &Matrix,
+    attn_grads: &mut LegacyMhaGrads,
+    mlp_grads: &mut LegacySwiGluGrads,
+) -> Matrix {
+    let dn2 = legacy_swiglu_backward(&block.mlp, &cache.mlp, dz, mlp_grads);
+    let mut dy = dz.add(&legacy_rmsnorm_backward(&cache.n2, &cache.n2_stats, &dn2));
+    let dn1 = legacy_mha_backward(&block.attn, &cache.attn, &dy, attn_grads);
+    let dx_norm = legacy_rmsnorm_backward(&cache.n1, &cache.n1_stats, &dn1);
+    dy.add_assign(&dx_norm);
+    dy
+}
+
+struct LegacyControllerBlockCache {
+    n1: Matrix,
+    n1_stats: NormStats,
+    attn: LegacyMhaCache,
+    n2: Matrix,
+    n2_stats: NormStats,
+    mlp: LegacyReluMlpCache,
+}
+
+fn legacy_controller_forward(
+    block: &ControllerBlock,
+    x: &Matrix,
+) -> (Matrix, LegacyControllerBlockCache) {
+    let (n1, n1_stats) = legacy_layernorm_with_stats(x);
+    let (a, attn_cache) = legacy_mha_forward(&block.attn, &n1);
+    let y = x.add(&a);
+    let (n2, n2_stats) = legacy_layernorm_with_stats(&y);
+    let (m, mlp_cache) = legacy_relumlp_forward(&block.mlp, &n2);
+    let z = y.add(&m);
+    (
+        z,
+        LegacyControllerBlockCache {
+            n1,
+            n1_stats,
+            attn: attn_cache,
+            n2,
+            n2_stats,
+            mlp: mlp_cache,
+        },
+    )
+}
+
+fn legacy_controller_backward(
+    block: &ControllerBlock,
+    cache: &LegacyControllerBlockCache,
+    dz: &Matrix,
+    attn_grads: &mut LegacyMhaGrads,
+    mlp_grads: &mut LegacyReluMlpGrads,
+) -> Matrix {
+    let dn2 = legacy_relumlp_backward(&block.mlp, &cache.mlp, dz, mlp_grads);
+    let mut dy = dz.add(&legacy_layernorm_backward(&cache.n2, &cache.n2_stats, &dn2));
+    let dn1 = legacy_mha_backward(&block.attn, &cache.attn, &dy, attn_grads);
+    let dx_norm = legacy_layernorm_backward(&cache.n1, &cache.n1_stats, &dn1);
+    dy.add_assign(&dx_norm);
+    dy
+}
+
+// ---------------------------------------------------------------------------
+// Parity tests
+// ---------------------------------------------------------------------------
+
+fn random(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    // Salt with exact zeros to exercise the zero-skip paths.
+    Matrix::from_fn(rows, cols, |_, _| {
+        if rng.random_range(0.0f32..1.0) < 0.2 {
+            0.0
+        } else {
+            rng.random_range(-1.5f32..1.5)
+        }
+    })
+}
+
+fn zero_grads(l: &Linear) -> LinearGrads {
+    LinearGrads {
+        dw: Matrix::zeros(l.w.rows(), l.w.cols()),
+        db: l.b.as_ref().map(|b| vec![0.0; b.len()]),
+    }
+}
+
+#[test]
+fn elementwise_kernels_match_legacy_bit_for_bit() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for _ in 0..20 {
+        let rows = rng.random_range(1usize..6);
+        let cols = rng.random_range(1usize..40);
+        let x = random(rows, cols, &mut rng);
+        let dy = random(rows, cols, &mut rng);
+        assert_eq!(relu_backward(&x, &dy), legacy_relu_backward(&x, &dy));
+        assert_eq!(silu_backward(&x, &dy), legacy_silu_backward(&x, &dy));
+        let p = softmax_rows(&x);
+        assert_eq!(softmax_backward(&p, &dy), legacy_softmax_backward(&p, &dy));
+        let (y_new, s_new) = rmsnorm_with_stats(&x);
+        let (y_old, s_old) = legacy_rmsnorm_with_stats(&x);
+        assert_eq!(y_new, y_old);
+        assert_eq!(s_new, s_old);
+        assert_eq!(
+            rmsnorm_backward(&y_new, &s_new, &dy),
+            legacy_rmsnorm_backward(&y_old, &s_old, &dy)
+        );
+        let (y_new, s_new) = layernorm_with_stats(&x);
+        let (y_old, s_old) = legacy_layernorm_with_stats(&x);
+        assert_eq!(y_new, y_old);
+        assert_eq!(s_new, s_old);
+        assert_eq!(
+            layernorm_backward(&y_new, &s_new, &dy),
+            legacy_layernorm_backward(&y_old, &s_old, &dy)
+        );
+    }
+}
+
+#[test]
+fn linear_matches_legacy_bit_for_bit() {
+    let mut rng = StdRng::seed_from_u64(32);
+    for bias in [false, true] {
+        let l = Linear::new(6, 4, bias, &mut rng);
+        let mut g_new = l.zero_grads();
+        let mut g_old = zero_grads(&l);
+        for _ in 0..4 {
+            let x = random(3, 6, &mut rng);
+            let dy = random(3, 4, &mut rng);
+            assert_eq!(l.forward(&x), legacy_linear_forward(&l, &x));
+            let dx_new = l.backward(&x, &dy, &mut g_new);
+            let dx_old = legacy_linear_backward(&l, &x, &dy, &mut g_old);
+            assert_eq!(dx_new, dx_old);
+            assert_eq!(g_new.dw, g_old.dw);
+            assert_eq!(g_new.db, g_old.db);
+        }
+    }
+}
+
+#[test]
+fn attention_and_blocks_match_legacy_bit_for_bit() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let mha = Mha::new(8, 2, true, &mut rng);
+    let planner = PlannerBlock::new(8, 16, 2, &mut rng);
+    let controller = ControllerBlock::new(8, 16, 2, &mut rng);
+
+    let mut mha_new = mha.zero_grads();
+    let mut mha_old: LegacyMhaGrads = [
+        zero_grads(&mha.wq),
+        zero_grads(&mha.wk),
+        zero_grads(&mha.wv),
+        zero_grads(&mha.wo),
+    ];
+    let mut p_new = planner.zero_grads();
+    let mut p_attn_old: LegacyMhaGrads = [
+        zero_grads(&planner.attn.wq),
+        zero_grads(&planner.attn.wk),
+        zero_grads(&planner.attn.wv),
+        zero_grads(&planner.attn.wo),
+    ];
+    let mut p_mlp_old: LegacySwiGluGrads = [
+        zero_grads(&planner.mlp.wgate),
+        zero_grads(&planner.mlp.wup),
+        zero_grads(&planner.mlp.wdown),
+    ];
+    let mut c_new = controller.zero_grads();
+    let mut c_attn_old: LegacyMhaGrads = [
+        zero_grads(&controller.attn.wq),
+        zero_grads(&controller.attn.wk),
+        zero_grads(&controller.attn.wv),
+        zero_grads(&controller.attn.wo),
+    ];
+    let mut c_mlp_old: LegacyReluMlpGrads = [
+        zero_grads(&controller.mlp.fc1),
+        zero_grads(&controller.mlp.fc2),
+    ];
+
+    for rows in [3usize, 1, 5] {
+        let x = random(rows, 8, &mut rng);
+        let dz = random(rows, 8, &mut rng);
+
+        let (y_new, cache_new) = mha.forward(&x);
+        let (y_old, cache_old) = legacy_mha_forward(&mha, &x);
+        assert_eq!(y_new, y_old);
+        let dx_new = mha.backward(&cache_new, &dz, &mut mha_new);
+        let dx_old = legacy_mha_backward(&mha, &cache_old, &dz, &mut mha_old);
+        assert_eq!(dx_new, dx_old);
+        assert_eq!(mha_new.wq.dw, mha_old[0].dw);
+        assert_eq!(mha_new.wk.dw, mha_old[1].dw);
+        assert_eq!(mha_new.wv.dw, mha_old[2].dw);
+        assert_eq!(mha_new.wo.dw, mha_old[3].dw);
+
+        let (z_new, cache_new) = planner.forward(&x);
+        let (z_old, cache_old) = legacy_planner_forward(&planner, &x);
+        assert_eq!(z_new, z_old);
+        let dx_new = planner.backward(&cache_new, &dz, &mut p_new);
+        let dx_old =
+            legacy_planner_backward(&planner, &cache_old, &dz, &mut p_attn_old, &mut p_mlp_old);
+        assert_eq!(dx_new, dx_old);
+        assert_eq!(p_new.attn.wq.dw, p_attn_old[0].dw);
+        assert_eq!(p_new.attn.wo.dw, p_attn_old[3].dw);
+        assert_eq!(p_new.mlp.wgate.dw, p_mlp_old[0].dw);
+        assert_eq!(p_new.mlp.wup.dw, p_mlp_old[1].dw);
+        assert_eq!(p_new.mlp.wdown.dw, p_mlp_old[2].dw);
+
+        let (z_new, cache_new) = controller.forward(&x);
+        let (z_old, cache_old) = legacy_controller_forward(&controller, &x);
+        assert_eq!(z_new, z_old);
+        let dx_new = controller.backward(&cache_new, &dz, &mut c_new);
+        let dx_old = legacy_controller_backward(
+            &controller,
+            &cache_old,
+            &dz,
+            &mut c_attn_old,
+            &mut c_mlp_old,
+        );
+        assert_eq!(dx_new, dx_old);
+        assert_eq!(c_new.attn.wv.dw, c_attn_old[2].dw);
+        assert_eq!(c_new.mlp.fc1.dw, c_mlp_old[0].dw);
+        assert_eq!(c_new.mlp.fc1.db, c_mlp_old[0].db);
+        assert_eq!(c_new.mlp.fc2.dw, c_mlp_old[1].dw);
+    }
+}

@@ -112,6 +112,117 @@ proptest! {
         prop_assert_eq!(&sm, &softmax_rows(&x));
     }
 
+    /// The scratch-threaded *training* forward/backward paths are
+    /// bit-identical to the allocating forms — activations, caches-in-use,
+    /// accumulated gradients and input gradients — including when one
+    /// cache/scratch pair is reused, dirty, across samples of different
+    /// sequence lengths. This is the contract that lets `train` reuse its
+    /// buffers across every sample of every epoch.
+    #[test]
+    fn train_scratch_reuse_is_bit_identical(seed in 0u64..120) {
+        use create_nn::block::{ControllerBlock, PlannerBlock};
+        use create_nn::{BlockTrainScratch, MhaTrainScratch};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let planner = PlannerBlock::new(8, 16, 2, &mut rng);
+        let controller = ControllerBlock::new(8, 16, 2, &mut rng);
+        let attn = create_nn::Mha::new(8, 2, true, &mut rng);
+
+        // Reused (and progressively dirtied) buffers.
+        let mut p_cache = Default::default();
+        let mut c_cache = Default::default();
+        let mut a_cache = Default::default();
+        let mut block_scratch = BlockTrainScratch::default();
+        let mut attn_scratch = MhaTrainScratch::default();
+        let mut out = Matrix::default();
+        let mut dx = Matrix::default();
+
+        // Accumulating gradient buffers, reused vs freshly allocated.
+        let mut pg_new = planner.zero_grads();
+        let mut pg_ref = planner.zero_grads();
+        let mut cg_new = controller.zero_grads();
+        let mut cg_ref = controller.zero_grads();
+        let mut ag_new = attn.zero_grads();
+        let mut ag_ref = attn.zero_grads();
+
+        for rows in [3usize, 1, 5, 2] {
+            let x = Matrix::random_uniform(rows, 8, 0.8, &mut rng);
+            let dz = Matrix::random_uniform(rows, 8, 1.0, &mut rng);
+
+            let (z_ref, pc_ref) = planner.forward(&x);
+            planner.forward_cached(&x, &mut p_cache, &mut block_scratch, &mut out);
+            prop_assert_eq!(&out, &z_ref);
+            let dx_ref = planner.backward(&pc_ref, &dz, &mut pg_ref);
+            planner.backward_with(&p_cache, &dz, &mut pg_new, &mut block_scratch, &mut dx);
+            prop_assert_eq!(&dx, &dx_ref);
+            prop_assert_eq!(&pg_new.attn.wq.dw, &pg_ref.attn.wq.dw);
+            prop_assert_eq!(&pg_new.mlp.wdown.dw, &pg_ref.mlp.wdown.dw);
+
+            let (z_ref, cc_ref) = controller.forward(&x);
+            controller.forward_cached(&x, &mut c_cache, &mut block_scratch, &mut out);
+            prop_assert_eq!(&out, &z_ref);
+            let dx_ref = controller.backward(&cc_ref, &dz, &mut cg_ref);
+            controller.backward_with(&c_cache, &dz, &mut cg_new, &mut block_scratch, &mut dx);
+            prop_assert_eq!(&dx, &dx_ref);
+            prop_assert_eq!(&cg_new.attn.wo.dw, &cg_ref.attn.wo.dw);
+            prop_assert_eq!(&cg_new.mlp.fc1.dw, &cg_ref.mlp.fc1.dw);
+            prop_assert_eq!(&cg_new.mlp.fc1.db, &cg_ref.mlp.fc1.db);
+
+            let (y_ref, ac_ref) = attn.forward(&x);
+            attn.forward_cached(&x, &mut a_cache, &mut attn_scratch, &mut out);
+            prop_assert_eq!(&out, &y_ref);
+            let dx_ref = attn.backward(&ac_ref, &dz, &mut ag_ref);
+            attn.backward_with(&a_cache, &dz, &mut ag_new, &mut attn_scratch, &mut dx);
+            prop_assert_eq!(&dx, &dx_ref);
+            prop_assert_eq!(&ag_new.wq.dw, &ag_ref.wq.dw);
+            prop_assert_eq!(&ag_new.wv.dw, &ag_ref.wv.dw);
+        }
+    }
+
+    /// The buffer-out backward helpers are bit-identical to their
+    /// allocating counterparts on dirty scratch buffers.
+    #[test]
+    fn into_backwards_are_bit_identical(
+        rows in 1usize..5,
+        cols in 1usize..24,
+        seed in 0u64..500,
+    ) {
+        use create_nn::activation::{
+            relu_backward, relu_backward_into, silu_backward, silu_backward_into,
+            softmax_backward, softmax_backward_into,
+        };
+        use create_nn::norm::{
+            layernorm_backward, layernorm_backward_into, layernorm_with_stats,
+            layernorm_with_stats_into, rmsnorm_backward, rmsnorm_backward_into,
+            rmsnorm_with_stats, rmsnorm_with_stats_into,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Matrix::random_uniform(rows, cols, 3.0, &mut rng);
+        let dy = Matrix::random_uniform(rows, cols, 2.0, &mut rng);
+        let mut out = Matrix::random_uniform(3, 2, 1.0, &mut rng); // dirty
+        relu_backward_into(&x, &dy, &mut out);
+        prop_assert_eq!(&out, &relu_backward(&x, &dy));
+        silu_backward_into(&x, &dy, &mut out);
+        prop_assert_eq!(&out, &silu_backward(&x, &dy));
+        let p = softmax_rows(&x);
+        softmax_backward_into(&p, &dy, &mut out);
+        prop_assert_eq!(&out, &softmax_backward(&p, &dy));
+        let (y, stats) = rmsnorm_with_stats(&x);
+        let mut y2 = Matrix::random_uniform(1, 4, 1.0, &mut rng);
+        let mut stats2 = Default::default();
+        rmsnorm_with_stats_into(&x, &mut y2, &mut stats2);
+        prop_assert_eq!(&y2, &y);
+        prop_assert_eq!(&stats2, &stats);
+        rmsnorm_backward_into(&y, &stats, &dy, &mut out);
+        prop_assert_eq!(&out, &rmsnorm_backward(&y, &stats, &dy));
+        let (y, stats) = layernorm_with_stats(&x);
+        layernorm_with_stats_into(&x, &mut y2, &mut stats2);
+        prop_assert_eq!(&y2, &y);
+        prop_assert_eq!(&stats2, &stats);
+        layernorm_backward_into(&y, &stats, &dy, &mut out);
+        prop_assert_eq!(&out, &layernorm_backward(&y, &stats, &dy));
+    }
+
     /// The scratch-threaded quantized attention and block forwards are
     /// bit-identical to the allocating forwards, including when one
     /// scratch instance is reused across differently-shaped calls.

@@ -1,0 +1,107 @@
+//! Shared validated environment-variable parsing.
+//!
+//! Every tuning knob in the workspace follows the same contract
+//! (`CREATE_REPS`, `CREATE_THREADS`, `CREATE_TRIAL_BATCH`,
+//! `CREATE_GEMM_BACKEND`, `CREATE_F32_BACKEND`):
+//!
+//! * unset, empty or whitespace-only selects the default **silently**;
+//! * a non-empty value that fails to parse or validate warns once on
+//!   stderr and falls back to the default rather than silently
+//!   misbehaving or aborting.
+//!
+//! The pattern used to be re-implemented at each site; this module is the
+//! single home for it. `create-tensor` sits at the bottom of the crate
+//! graph, so every crate can reach it.
+
+use std::fmt::Display;
+
+/// Resolves a raw environment value (`None` = unset) against `parse`.
+///
+/// `parse` receives the raw (untrimmed) value and returns either the
+/// parsed setting or a human-readable reason for rejecting it, which is
+/// reported as `[create] ignoring NAME="raw": reason; using default D`.
+/// Exposed with the raw value as an argument (rather than reading the
+/// environment itself) so tests can cover parsing without racing on the
+/// process environment.
+pub fn parse_validated<T, F>(name: &str, raw: Option<&str>, default: T, parse: F) -> T
+where
+    T: Display,
+    F: FnOnce(&str) -> Result<T, String>,
+{
+    match raw {
+        None => default,
+        Some(s) if s.trim().is_empty() => default,
+        Some(s) => match parse(s) {
+            Ok(v) => v,
+            Err(err) => {
+                eprintln!("[create] ignoring {name}={s:?}: {err}; using default {default}");
+                default
+            }
+        },
+    }
+}
+
+/// [`parse_validated`] over the live process environment.
+pub fn read_validated<T, F>(name: &str, default: T, parse: F) -> T
+where
+    T: Display,
+    F: FnOnce(&str) -> Result<T, String>,
+{
+    parse_validated(name, std::env::var(name).ok().as_deref(), default, parse)
+}
+
+/// Parses a positive integer setting, rejecting `0` and garbage with the
+/// shared warn-and-fallback contract (the `CREATE_REPS` /
+/// `CREATE_THREADS` / `CREATE_TRIAL_BATCH` shape).
+pub fn positive_usize(name: &str, raw: Option<&str>, default: usize) -> usize {
+    parse_validated(name, raw, default, |s| match s.trim().parse::<usize>() {
+        Ok(v) if v > 0 => Ok(v),
+        _ => Err("expected a positive integer".to_string()),
+    })
+}
+
+/// [`positive_usize`] over the live process environment.
+pub fn read_positive_usize(name: &str, default: usize) -> usize {
+    positive_usize(name, std::env::var(name).ok().as_deref(), default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_and_blank_select_default_silently() {
+        assert_eq!(positive_usize("CREATE_TEST_X", None, 7), 7);
+        assert_eq!(positive_usize("CREATE_TEST_X", Some(""), 7), 7);
+        assert_eq!(positive_usize("CREATE_TEST_X", Some("  \t"), 7), 7);
+    }
+
+    #[test]
+    fn valid_values_parse() {
+        assert_eq!(positive_usize("CREATE_TEST_X", Some("12"), 7), 12);
+        assert_eq!(positive_usize("CREATE_TEST_X", Some(" 3 "), 7), 3);
+    }
+
+    #[test]
+    fn zero_and_garbage_fall_back() {
+        assert_eq!(positive_usize("CREATE_TEST_X", Some("0"), 7), 7);
+        assert_eq!(positive_usize("CREATE_TEST_X", Some("-4"), 7), 7);
+        assert_eq!(positive_usize("CREATE_TEST_X", Some("lots"), 7), 7);
+    }
+
+    #[test]
+    fn custom_parse_and_validation_compose() {
+        let parse = |s: &str| match s.trim() {
+            "on" => Ok(true),
+            "off" => Ok(false),
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        assert!(parse_validated("CREATE_TEST_F", Some("on"), false, parse));
+        assert!(!parse_validated(
+            "CREATE_TEST_F",
+            Some("maybe"),
+            false,
+            parse
+        ));
+    }
+}

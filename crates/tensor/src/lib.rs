@@ -5,6 +5,13 @@
 //!
 //! * [`Matrix`] — a row-major `f32` matrix with the handful of operations
 //!   the planner/controller stacks need (GEMM, transpose, map/zip, slicing).
+//! * [`fgemm`] — pluggable `f32` GEMM backends behind the `Matrix`
+//!   multiply entry points (`CREATE_F32_BACKEND=scalar|blocked`,
+//!   bit-identical by contract); the training-stack twin of
+//!   `create-accel`'s INT8 `GemmBackend`.
+//! * [`envcfg`] — the shared validated environment-variable helper every
+//!   `CREATE_*` knob parses through (silent default when unset/blank,
+//!   warn-and-fallback on garbage).
 //! * [`quant`] — per-tensor symmetric INT8/INT4 quantization, mirroring the
 //!   accelerator datapath of the paper (8-bit multipliers, 24-bit
 //!   accumulators, offline-profiled scales).
@@ -31,10 +38,13 @@
 //! assert!((n0 - n1).abs() < 1e-3);
 //! ```
 
+pub mod envcfg;
+pub mod fgemm;
 pub mod hadamard;
 pub mod matrix;
 pub mod quant;
 pub mod stats;
 
+pub use fgemm::{BlockedF32Backend, FloatBackendKind, FloatGemmBackend, ScalarF32Backend};
 pub use matrix::Matrix;
 pub use quant::{Precision, QuantMatrix, QuantParams};

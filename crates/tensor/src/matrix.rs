@@ -194,29 +194,18 @@ impl Matrix {
 
     /// Matrix product `self @ other`.
     ///
+    /// Dispatches through the process-wide [`FloatGemmBackend`]
+    /// (`CREATE_F32_BACKEND`); every backend is bit-identical, including
+    /// the zero-skip (`self` entries equal to `0.0` contribute nothing).
+    ///
     /// # Panics
     ///
     /// Panics if inner dimensions disagree.
+    ///
+    /// [`FloatGemmBackend`]: crate::fgemm::FloatGemmBackend
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul shape mismatch: {}x{} @ {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = Matrix::default();
+        self.matmul_into(other, &mut out);
         out
     }
 
@@ -230,46 +219,15 @@ impl Matrix {
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul shape mismatch: {}x{} @ {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        out.reset_zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::fgemm::active().matmul_into(self, other, out);
     }
 
-    /// Matrix product `self @ other.T` without materializing the transpose.
+    /// Matrix product `self @ other.T` without materializing the
+    /// transpose (backend-dispatched like [`matmul`](Self::matmul); no
+    /// zero-skip — every product participates).
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_nt shape mismatch: {}x{} @ ({}x{}).T",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.set(i, j, acc);
-            }
-        }
+        let mut out = Matrix::default();
+        self.matmul_nt_into(other, &mut out);
         out
     }
 
@@ -280,47 +238,28 @@ impl Matrix {
     ///
     /// Panics if the shared inner dimensions disagree.
     pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_nt shape mismatch: {}x{} @ ({}x{}).T",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        out.reset_zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.set(i, j, acc);
-            }
-        }
+        crate::fgemm::active().matmul_nt_into(self, other, out);
     }
 
-    /// Matrix product `self.T @ other` without materializing the transpose.
+    /// Matrix product `self.T @ other` without materializing the
+    /// transpose (backend-dispatched like [`matmul`](Self::matmul),
+    /// zero-skip on `self` entries).
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows, other.rows,
-            "matmul_tn shape mismatch: ({}x{}).T @ {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        let mut out = Matrix::default();
+        self.matmul_tn_into(other, &mut out);
         out
+    }
+
+    /// [`matmul_tn`](Self::matmul_tn) into a caller-provided output matrix
+    /// (bit-identical, storage reused) — the backward pass's
+    /// weight-gradient GEMM, so the training scratch paths run it every
+    /// step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared outer dimensions disagree.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        crate::fgemm::active().matmul_tn_into(self, other, out);
     }
 
     /// Transposed copy.

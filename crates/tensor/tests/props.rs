@@ -2,10 +2,10 @@
 
 use create_tensor::hadamard::{fwht_normalized, hadamard_matrix, Rotation};
 use create_tensor::stats::{r2_score, wilson_interval, Histogram, OnlineStats};
-use create_tensor::{Matrix, Precision, QuantMatrix};
+use create_tensor::{FloatGemmBackend, Matrix, Precision, QuantMatrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn matrix(rows: usize, cols: usize, seed: u64, scale: f32) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -165,6 +165,67 @@ proptest! {
         prop_assert_eq!(&scaled, &a.scale(s));
         a.rows_range_into(0, m, &mut out);
         prop_assert_eq!(&out, &a.rows_range(0, m));
+    }
+
+    /// Every f32 GEMM backend is bit-identical to the scalar reference on
+    /// random shapes — including zero dimensions and matrices salted with
+    /// exact zeros, which exercise the `a == 0.0` zero-skip path the
+    /// one-hot featurizers and ReLU activations hit constantly during
+    /// training. This is the contract that makes training results
+    /// independent of `CREATE_F32_BACKEND`.
+    #[test]
+    fn f32_backends_are_bit_identical(
+        seed in 0u64..500,
+        m in 0usize..6,
+        k in 0usize..40,
+        n in 0usize..160,
+        zero_frac in 0.0f32..0.9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut salted = |rows: usize, cols: usize| {
+            Matrix::from_fn(rows, cols, |_, _| {
+                if rng.random_range(0.0f32..1.0) < zero_frac {
+                    0.0
+                } else {
+                    rng.random_range(-2.0f32..2.0)
+                }
+            })
+        };
+        let a = salted(m, k);
+        let b = salted(k, n);
+        let bt = salted(n, k);
+        let c = salted(m, n);
+        let reference = create_tensor::ScalarF32Backend;
+        let mut want = Matrix::default();
+        let mut got = Matrix::default();
+        for kind in create_tensor::FloatBackendKind::ALL {
+            let backend = kind.backend();
+            reference.matmul_into(&a, &b, &mut want);
+            backend.matmul_into(&a, &b, &mut got);
+            prop_assert_eq!(&got, &want);
+            reference.matmul_nt_into(&a, &bt, &mut want);
+            backend.matmul_nt_into(&a, &bt, &mut got);
+            prop_assert_eq!(&got, &want);
+            reference.matmul_tn_into(&a, &c, &mut want);
+            backend.matmul_tn_into(&a, &c, &mut got);
+            prop_assert_eq!(&got, &want);
+        }
+    }
+
+    /// `matmul_tn_into` matches the allocating `matmul_tn` bit-for-bit on
+    /// a dirty scratch (the weight-gradient GEMM of every backward pass).
+    #[test]
+    fn matmul_tn_into_is_bit_identical(
+        seed in 0u64..500,
+        m in 1usize..6,
+        k in 1usize..8,
+        n in 1usize..6,
+    ) {
+        let a = matrix(k, m, seed, 1.0);
+        let b = matrix(k, n, seed ^ 11, 1.0);
+        let mut out = matrix(m + 1, n + 2, seed ^ 12, 1.0); // dirty scratch
+        a.matmul_tn_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.matmul_tn(&b));
     }
 
     /// R² of a prediction equal to the truth is 1; adding noise lowers it.

@@ -1,0 +1,56 @@
+//! The test-deployment disk cache must be invisible except for speed: a
+//! cache hit has to produce the same deployment, bit for bit, as the
+//! training (miss) path it replaced.
+
+use create_core::testutil::build_with;
+use std::path::PathBuf;
+
+fn cache_files(dir: &std::path::Path) -> Vec<PathBuf> {
+    match std::fs::read_dir(dir) {
+        Ok(entries) => entries.filter_map(|e| Some(e.ok()?.path())).collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+#[test]
+fn testutil_cache_hit_is_bit_identical_to_retraining() {
+    let dir = std::env::temp_dir().join(format!("create-testutil-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Miss: trains, saves, and internally asserts the write-then-read
+    // roundtrip reproduces the trained weights exactly. The file name
+    // embeds the schema version and the recipe fingerprint.
+    let trained = build_with(Some(&dir));
+    let files = cache_files(&dir);
+    assert_eq!(files.len(), 1, "miss must persist exactly one bundle");
+    assert!(
+        files[0]
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("tiny_v") && n.ends_with(".bin")),
+        "bundle name must embed the schema version: {files:?}"
+    );
+
+    // Hit: loads the bundle and redeploys — every quantized artifact must
+    // match the trained deployment bit for bit.
+    let loaded = build_with(Some(&dir));
+    assert_eq!(*trained.planner, *loaded.planner);
+    assert_eq!(*trained.planner_wr, *loaded.planner_wr);
+    assert_eq!(*trained.controller, *loaded.controller);
+    assert_eq!(
+        trained.predictor.export_tensors(),
+        loaded.predictor.export_tensors(),
+        "predictor weights must survive the cache"
+    );
+    assert_eq!(trained.tasks, loaded.tasks);
+
+    // A corrupt cache must fall back to retraining, not panic or deploy
+    // garbage (recipe drift is covered separately: changed presets,
+    // hyperparameters or data change the fingerprint in the file name, so
+    // a stale bundle is simply never found).
+    std::fs::write(&files[0], b"junk").expect("corrupt the cache");
+    let rebuilt = build_with(Some(&dir));
+    assert_eq!(*rebuilt.controller, *loaded.controller);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
