@@ -4,13 +4,18 @@
 //! (pre-injection) accumulator buffer through a [`GemmBackend`] trait
 //! object, so alternative implementations can slot in under the unchanged
 //! injection, anomaly-detection, requantization and MAC/energy-accounting
-//! stages. Two backends ship:
+//! stages. Three backends ship:
 //!
 //! * [`ScalarBackend`] — the original triple loop from
 //!   [`array::gemm_i8_acc`], kept as the bit-exact reference;
 //! * [`BlockedBackend`] — a cache-blocked, 4-way k-unrolled rewrite that
 //!   accumulates in `i32` lanes (autovectorization-friendly) and is
-//!   **bit-identical** to the reference for every input.
+//!   **bit-identical** to the reference for every input;
+//! * [`WideBackend`] — a lane-parallel rewrite carrying [`I8_LANES`]
+//!   independent output columns in a fixed-size `[i32; I8_LANES]`
+//!   register block across the whole k-loop (one output write per lane
+//!   group instead of one read-modify-write per k-step), equally
+//!   bit-identical.
 //!
 //! The parity guarantee is not approximate: integer addition is exact and
 //! associative, and the final 24-bit wrap only depends on the low 32 bits
@@ -21,8 +26,8 @@
 //! # Selecting a backend
 //!
 //! The backend is part of [`AccelConfig`](crate::AccelConfig); its default
-//! comes from the `CREATE_GEMM_BACKEND` environment variable (`scalar` or
-//! `blocked`, case-insensitive). Unset or empty selects [the
+//! comes from the `CREATE_GEMM_BACKEND` environment variable (`scalar`,
+//! `blocked` or `wide`, case-insensitive). Unset or empty selects [the
 //! default](GemmBackendKind::default) (`blocked`); any other value warns on
 //! stderr and falls back to the default, mirroring `CREATE_REPS` /
 //! `CREATE_THREADS` validation.
@@ -54,7 +59,7 @@ use std::str::FromStr;
 /// all consume the returned buffer, so any deviation would silently change
 /// experiment semantics.
 pub trait GemmBackend: fmt::Debug + Send + Sync {
-    /// Stable lower-case identifier (`"scalar"`, `"blocked"`).
+    /// Stable lower-case identifier (`"scalar"`, `"blocked"`, `"wide"`).
     fn name(&self) -> &'static str;
 
     /// Computes the row-major `m·n` accumulator buffer, each entry a
@@ -193,6 +198,86 @@ impl GemmBackend for BlockedBackend {
     }
 }
 
+/// Lane width of [`WideBackend`]: eight `i32` accumulators — a full
+/// 256-bit vector register — per lane group, autovectorized from the
+/// fixed-size array loops without intrinsics.
+pub const I8_LANES: usize = 8;
+
+/// The lane-parallel backend: [`I8_LANES`] independent output columns are
+/// carried as one `[i32; I8_LANES]` accumulator array across the entire
+/// k-loop, so each output element is written exactly once. Every lane
+/// owns one output and accumulates in ascending k-order; integer
+/// addition is exact, so (as with [`BlockedBackend`]) the result is
+/// bit-identical to the reference for every input. Zero multipliers are
+/// skipped with a scalar branch shared by the whole lane group — a pure
+/// speed heuristic (one-hot featurizer rows are mostly zeros) that
+/// cannot affect integer sums.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WideBackend;
+
+impl GemmBackend for WideBackend {
+    fn name(&self) -> &'static str {
+        "wide"
+    }
+
+    fn gemm_i8_acc(&self, a: &QuantMatrix, w: &QuantMatrix) -> Vec<i32> {
+        let mut acc = Vec::new();
+        self.gemm_i8_acc_into(a, w, &mut acc);
+        acc
+    }
+
+    fn gemm_i8_acc_into(&self, a: &QuantMatrix, w: &QuantMatrix, acc: &mut Vec<i32>) {
+        array::check_gemm_shapes(a, w);
+        let (m, k, n) = (a.rows(), a.cols(), w.cols());
+        acc.clear();
+        acc.resize(m * n, 0);
+        if n == 0 {
+            return;
+        }
+        let w_data = w.as_slice();
+        for i in 0..m {
+            let a_row = a.row(i);
+            let out_row = &mut acc[i * n..(i + 1) * n];
+            let mut j0 = 0;
+            while j0 + I8_LANES <= n {
+                let mut lanes = [0i32; I8_LANES];
+                for kk in 0..k {
+                    // Products fit i16 (|p| ≤ 16384) and the running i32
+                    // sum is exact mod 2^32 — all the final 24-bit wrap
+                    // can observe (same argument as BlockedBackend).
+                    let av = a_row[kk] as i16;
+                    if av == 0 {
+                        continue;
+                    }
+                    let w_row = &w_data[kk * n + j0..][..I8_LANES];
+                    for l in 0..I8_LANES {
+                        lanes[l] = lanes[l].wrapping_add((av * w_row[l] as i16) as i32);
+                    }
+                }
+                out_row[j0..j0 + I8_LANES].copy_from_slice(&lanes);
+                j0 += I8_LANES;
+            }
+            // Ragged tail: same accumulation, variable lane count.
+            if j0 < n {
+                let tail = &mut out_row[j0..];
+                for kk in 0..k {
+                    let av = a_row[kk] as i16;
+                    if av == 0 {
+                        continue;
+                    }
+                    let w_row = &w_data[kk * n + j0..][..tail.len()];
+                    for (o, &wv) in tail.iter_mut().zip(w_row) {
+                        *o = o.wrapping_add((av * wv as i16) as i32);
+                    }
+                }
+            }
+        }
+        for v in acc.iter_mut() {
+            *v = array::wrap_acc24_i32(*v);
+        }
+    }
+}
+
 /// Which [`GemmBackend`] an [`AccelConfig`](crate::AccelConfig) selects.
 ///
 /// This is the (cheaply copyable) configuration-side handle; the
@@ -204,6 +289,8 @@ pub enum GemmBackendKind {
     Scalar,
     /// [`BlockedBackend`] — tiled/unrolled, bit-identical, faster.
     Blocked,
+    /// [`WideBackend`] — lane-parallel output columns, bit-identical.
+    Wide,
 }
 
 impl Default for GemmBackendKind {
@@ -228,8 +315,9 @@ impl FromStr for GemmBackendKind {
         match s.trim().to_ascii_lowercase().as_str() {
             "scalar" => Ok(GemmBackendKind::Scalar),
             "blocked" => Ok(GemmBackendKind::Blocked),
+            "wide" => Ok(GemmBackendKind::Wide),
             other => Err(format!(
-                "unknown GEMM backend {other:?}: expected \"scalar\" or \"blocked\""
+                "unknown GEMM backend {other:?}: expected \"scalar\", \"blocked\" or \"wide\""
             )),
         }
     }
@@ -238,13 +326,18 @@ impl FromStr for GemmBackendKind {
 impl GemmBackendKind {
     /// Every shipped backend, in reference-first order. Parity tests and
     /// the bench harnesses iterate this list.
-    pub const ALL: [GemmBackendKind; 2] = [GemmBackendKind::Scalar, GemmBackendKind::Blocked];
+    pub const ALL: [GemmBackendKind; 3] = [
+        GemmBackendKind::Scalar,
+        GemmBackendKind::Blocked,
+        GemmBackendKind::Wide,
+    ];
 
     /// The backend's stable lower-case name.
     pub fn name(self) -> &'static str {
         match self {
             GemmBackendKind::Scalar => ScalarBackend.name(),
             GemmBackendKind::Blocked => BlockedBackend.name(),
+            GemmBackendKind::Wide => WideBackend.name(),
         }
     }
 
@@ -253,6 +346,7 @@ impl GemmBackendKind {
         match self {
             GemmBackendKind::Scalar => Box::new(ScalarBackend),
             GemmBackendKind::Blocked => Box::new(BlockedBackend),
+            GemmBackendKind::Wide => Box::new(WideBackend),
         }
     }
 
@@ -303,6 +397,12 @@ mod tests {
         }))
     }
 
+    /// Every non-reference backend, asserted bit-equal to the scalar
+    /// reference on the same inputs.
+    fn fast_backends() -> [Box<dyn GemmBackend>; 2] {
+        [Box::new(BlockedBackend), Box::new(WideBackend)]
+    }
+
     #[test]
     fn backends_agree_on_random_shapes() {
         let mut rng = StdRng::seed_from_u64(11);
@@ -312,24 +412,44 @@ mod tests {
             let n = rng.random_range(1usize..300);
             let a = random_quant(m, k, &mut rng);
             let w = random_quant(k, n, &mut rng);
-            assert_eq!(
-                ScalarBackend.gemm_i8_acc(&a, &w),
-                BlockedBackend.gemm_i8_acc(&a, &w),
-                "shape {m}x{k}x{n}"
-            );
+            let reference = ScalarBackend.gemm_i8_acc(&a, &w);
+            for fast in fast_backends() {
+                assert_eq!(
+                    reference,
+                    fast.gemm_i8_acc(&a, &w),
+                    "{} shape {m}x{k}x{n}",
+                    fast.name()
+                );
+            }
         }
     }
 
     #[test]
     fn backends_agree_on_zero_row_and_zero_col_edges() {
         let mut rng = StdRng::seed_from_u64(12);
-        for (m, k, n) in [(0, 7, 5), (3, 0, 5), (3, 7, 0), (0, 0, 0), (1, 1, 1)] {
+        // Includes short-k (below any unroll width) and n below / not a
+        // multiple of the wide lane count.
+        for (m, k, n) in [
+            (0, 7, 5),
+            (3, 0, 5),
+            (3, 7, 0),
+            (0, 0, 0),
+            (1, 1, 1),
+            (2, 3, 7),
+            (4, 2, 13),
+        ] {
             let a = random_quant(m, k, &mut rng);
             let w = random_quant(k, n, &mut rng);
             let scalar = ScalarBackend.gemm_i8_acc(&a, &w);
-            let blocked = BlockedBackend.gemm_i8_acc(&a, &w);
             assert_eq!(scalar.len(), m * n);
-            assert_eq!(scalar, blocked, "shape {m}x{k}x{n}");
+            for fast in fast_backends() {
+                assert_eq!(
+                    scalar,
+                    fast.gemm_i8_acc(&a, &w),
+                    "{} shape {m}x{k}x{n}",
+                    fast.name()
+                );
+            }
         }
     }
 
@@ -341,12 +461,13 @@ mod tests {
         let a = quant_unit(&ones);
         let w = quant_unit(&ones.transpose());
         let scalar = ScalarBackend.gemm_i8_acc(&a, &w);
-        let blocked = BlockedBackend.gemm_i8_acc(&a, &w);
-        assert_eq!(scalar, blocked);
         assert!(
             scalar.iter().any(|&v| v < 0),
             "test must actually exercise wrap-around"
         );
+        for fast in fast_backends() {
+            assert_eq!(scalar, fast.gemm_i8_acc(&a, &w), "{}", fast.name());
+        }
     }
 
     #[test]
@@ -382,10 +503,20 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "gemm shape mismatch")]
+    fn wide_shape_mismatch_panics_like_the_reference() {
+        let a = quant_unit(&Matrix::zeros(2, 3));
+        let w = quant_unit(&Matrix::zeros(4, 2));
+        let backend: Box<dyn GemmBackend> = GemmBackendKind::Wide.instantiate();
+        let _ = backend.gemm_i8_acc(&a, &w);
+    }
+
+    #[test]
     fn kind_parses_case_insensitively() {
         assert_eq!("scalar".parse(), Ok(GemmBackendKind::Scalar));
         assert_eq!("SCALAR".parse(), Ok(GemmBackendKind::Scalar));
         assert_eq!(" Blocked\n".parse(), Ok(GemmBackendKind::Blocked));
+        assert_eq!("WIDE".parse(), Ok(GemmBackendKind::Wide));
         assert!("simd".parse::<GemmBackendKind>().is_err());
     }
 

@@ -54,7 +54,7 @@ pub mod timing;
 pub use backend::{AccelConfig, Accelerator, OutputProfiler};
 pub use ctx::{Component, LayerCtx, Unit};
 pub use energy::{EnergyMeter, InferenceCost};
-pub use gemm::{BlockedBackend, GemmBackend, GemmBackendKind, ScalarBackend};
+pub use gemm::{BlockedBackend, GemmBackend, GemmBackendKind, ScalarBackend, WideBackend};
 pub use inject::{ErrorModel, InjectionTarget, Injector};
 pub use ldo::Ldo;
 pub use scheme::Scheme;

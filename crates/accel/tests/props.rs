@@ -61,14 +61,21 @@ proptest! {
         k in 0usize..70,
         n in 0usize..20,
         saturated in any::<bool>(),
+        zero_frac in 0.0f32..0.9,
     ) {
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(seed);
+        // `n` below/around the wide lane width exercises the ragged lane
+        // tail; `k` below the blocked unroll width exercises short-k; the
+        // zero salting exercises every backend's zero-multiplier skip
+        // (one-hot featurizer rows are mostly zeros).
         let fill = |rows: usize, cols: usize, rng: &mut StdRng| {
             QuantMatrix::quantize_with(
                 &Matrix::from_fn(rows, cols, |_, _| {
                     if saturated {
                         127.0
+                    } else if rng.random_range(0.0f32..1.0) < zero_frac {
+                        0.0
                     } else {
                         rng.random_range(-127i32..=127) as f32
                     }
@@ -374,7 +381,7 @@ proptest! {
         m in 0usize..5,
         k in 0usize..40,
         n in 0usize..48,
-        backend_sel in 0usize..2,
+        backend_sel in 0usize..GemmBackendKind::ALL.len(),
         scheme_sel in 0usize..5,
         ad in any::<bool>(),
         inject in any::<bool>(),

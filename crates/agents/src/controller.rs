@@ -203,8 +203,8 @@ impl ControllerGrads {
 }
 
 /// Per-sample forward/backward buffers for one behaviour-cloning step.
-/// Fully overwritten before use; one instance serves every sample of
-/// every epoch.
+/// Fully overwritten before use; one instance serves every sample a
+/// worker claims, across every epoch.
 #[derive(Debug, Default)]
 struct ControllerFwdScratch {
     onehot: Matrix,
@@ -227,24 +227,77 @@ struct ControllerFwdScratch {
     dx_next: Matrix,
     dview: Matrix,
     dstat: Matrix,
-    lin_tmp: Matrix,
+}
+
+/// One sample's gradient contribution, captured by a data-parallel
+/// worker and folded into the shared [`ControllerGrads`] **in sample
+/// order** by the reducing thread.
+///
+/// The capture is designed so the ordered fold replays, addend for
+/// addend, exactly the floating-point additions the sequential loop
+/// performs on each shared gradient element (f32 addition is not
+/// associative, so this is what makes parallel training bit-identical):
+///
+/// * weight gradients that the sequential loop adds as one product per
+///   sample (`head_dw`, `view_dw`, `stat_dw`) are stored as the *raw
+///   GEMM product*, so the fold's `add_assign` is the sequential
+///   statement verbatim;
+/// * block weight gradients are accumulated into a zeroed per-sample
+///   [`ControllerBlockGrads`] by the unchanged nn backward kernels;
+///   `0.0 + p` differs from `p` only in the sign of a zero, and adding
+///   either to the shared accumulator (which is never `-0.0`: it starts
+///   at `+0.0` and IEEE-754 round-to-nearest sums can only produce
+///   `-0.0` from two negative zeros) yields bit-identical results;
+/// * bias gradients whose per-sample contribution is *several* row adds
+///   (`fc1`/`fc2`, fed by `N_TOKENS`-row `dy`s) store the dy rows
+///   themselves (`block_dz`, `block_dpre`) and the fold replays the row
+///   adds one by one, as do the single-row `dlogits`/`dview`/`dstat`
+///   and the cls/subtask rows in `dx01` — the per-sample `blocks`
+///   entries keep their bias slots `None` so the nn kernels do not also
+///   row-sum a throwaway copy.
+#[derive(Debug, Default)]
+struct ControllerSampleDelta {
+    loss: f32,
+    /// Head weight-gradient product `cls_rowᵀ @ dlogits`.
+    head_dw: Matrix,
+    /// The sample's `1 × Action::COUNT` logit gradient (head-bias row).
+    dlogits: Matrix,
+    /// Rows 0–1 of the input gradient: the cls and subtask rows.
+    dx01: Matrix,
+    /// Row 2 of the input gradient (view-featurizer bias row).
+    dview: Matrix,
+    /// Row 3 of the input gradient (stat-featurizer bias row).
+    dstat: Matrix,
+    /// View featurizer weight-gradient product `onehotᵀ @ dview`.
+    view_dw: Matrix,
+    /// Stat featurizer weight-gradient product `statvecᵀ @ dstat`.
+    stat_dw: Matrix,
+    /// Per-block gradients accumulated from zero by the nn kernels.
+    blocks: Vec<ControllerBlockGrads>,
+    /// Per block: the incoming `dz` (the `fc2` bias rows).
+    block_dz: Vec<Matrix>,
+    /// Per block: the `fc1` pre-activation gradient rows.
+    block_dpre: Vec<Matrix>,
 }
 
 /// Reusable training state for [`ControllerModel::train_with`]: the
-/// AdamW moments, the accumulated gradients, the shuffled sample order
-/// and every forward/backward temporary.
+/// AdamW moments, the accumulated gradients, the shuffled sample order,
+/// one forward/backward scratch per worker thread and one gradient delta
+/// per minibatch slot.
 ///
 /// All buffers are value-reset at the start of each training run and
 /// fully overwritten during it, so reusing one instance is bit-identical
-/// to training with fresh buffers — after a warm-up run, a train step
-/// performs **no heap allocation** (pinned by
-/// `crates/agents/tests/train_alloc.rs`).
+/// to training with fresh buffers — after a warm-up run, a worker's
+/// train step performs **no heap allocation** (pinned by
+/// `crates/agents/tests/train_alloc.rs` on the inline single-worker
+/// path, which runs the identical per-sample code).
 #[derive(Debug, Default)]
 pub struct ControllerTrainScratch {
     opt: ControllerOpt,
     grads: ControllerGrads,
     order: Vec<usize>,
-    fwd: ControllerFwdScratch,
+    workers: Vec<ControllerFwdScratch>,
+    deltas: Vec<ControllerSampleDelta>,
 }
 
 impl ControllerModel {
@@ -325,18 +378,23 @@ impl ControllerModel {
         self.head.forward(&cls).row(0).to_vec()
     }
 
-    /// One BC sample: cross-entropy against the expert's soft distribution.
+    /// One BC sample: cross-entropy against the expert's soft
+    /// distribution, captured into a per-sample [`ControllerSampleDelta`]
+    /// instead of shared gradient accumulators — the data-parallel worker
+    /// half of the train step. [`fold_sample_delta`](Self::fold_sample_delta)
+    /// applies the capture to the shared gradients in sample order;
+    /// together they are bit-identical to the historical sequential
+    /// accumulation (pinned by the `train_matches_allocating_reference`
+    /// test below).
     ///
-    /// Every temporary lives in `fwd` (value-reset before use), so a
-    /// warmed-up call allocates nothing; results are bit-identical to the
-    /// historical allocating implementation (pinned by the
-    /// `train_matches_allocating_reference` test below).
-    fn backprop_sample_with(
+    /// Every temporary lives in `fwd` or `delta` (value-reset before
+    /// use), so a warmed-up call allocates nothing.
+    fn backprop_sample_delta(
         &self,
         sample: &BcSample,
-        grads: &mut ControllerGrads,
+        delta: &mut ControllerSampleDelta,
         fwd: &mut ControllerFwdScratch,
-    ) -> f32 {
+    ) {
         let d = self.width();
         self.tokens_into(
             &sample.obs,
@@ -347,6 +405,34 @@ impl ControllerModel {
             &mut fwd.x,
         );
         fwd.caches.resize_with(self.blocks.len(), Default::default);
+        delta
+            .blocks
+            .resize_with(self.blocks.len(), Default::default);
+        delta
+            .block_dz
+            .resize_with(self.blocks.len(), Matrix::default);
+        delta
+            .block_dpre
+            .resize_with(self.blocks.len(), Matrix::default);
+        for (g, b) in delta.blocks.iter_mut().zip(&self.blocks) {
+            // Like `reset_for`, but the per-sample fc1/fc2 bias slots
+            // stay `None`: the fold replays the bias rows from
+            // `block_dz`/`block_dpre` (it must, for bit-identity), so
+            // letting `accumulate_grads` also row-sum them into the
+            // delta would be pure throwaway work on the hot path. The
+            // attention projections are bias-free, so their `reset_for`
+            // never creates a bias slot either.
+            g.attn.reset_for(&b.attn);
+            g.mlp
+                .fc1
+                .dw
+                .reset_zeros(b.mlp.fc1.w.rows(), b.mlp.fc1.w.cols());
+            g.mlp
+                .fc2
+                .dw
+                .reset_zeros(b.mlp.fc2.w.rows(), b.mlp.fc2.w.cols());
+            debug_assert!(g.mlp.fc1.db.is_none() && g.mlp.fc2.db.is_none());
+        }
         {
             let ControllerFwdScratch {
                 x,
@@ -374,13 +460,12 @@ impl ControllerModel {
             }
             fwd.dlogits.set(0, a, fwd.probs.get(0, a) - t);
         }
-        self.head.backward_with(
-            &fwd.cls_row,
-            &fwd.dlogits,
-            &mut grads.head,
-            &mut fwd.lin_tmp,
-            &mut fwd.dcls,
-        );
+        // Head: capture the raw weight-gradient product and the bias row;
+        // `dcls` is the same input gradient `Linear::backward_with`
+        // computes.
+        fwd.cls_row.matmul_tn_into(&fwd.dlogits, &mut delta.head_dw);
+        delta.dlogits.copy_from(&fwd.dlogits);
+        fwd.dlogits.matmul_nt_into(&self.head.w, &mut fwd.dcls);
         // Scatter the CLS gradient into the full normed matrix.
         fwd.dnormed.reset_zeros(N_TOKENS, d);
         for c in 0..d {
@@ -396,36 +481,77 @@ impl ControllerModel {
                 ..
             } = fwd;
             for l in (0..self.blocks.len()).rev() {
-                self.blocks[l].backward_with(&caches[l], dx, &mut grads.blocks[l], block, dx_next);
+                // `dx` is the dy the block feeds to `mlp.fc2`; `dpre` is
+                // what it feeds to `mlp.fc1` — snapshot both so the fold
+                // can replay their bias-row adds exactly.
+                delta.block_dz[l].copy_from(dx);
+                self.blocks[l].backward_with(&caches[l], dx, &mut delta.blocks[l], block, dx_next);
+                delta.block_dpre[l].copy_from(block.relu_fc1_dy());
                 std::mem::swap(dx, dx_next);
             }
         }
-        // Token gradients back into the featurizers.
-        for c in 0..d {
-            grads.cls.set(0, c, grads.cls.get(0, c) + fwd.dx.get(0, c));
-            let st = sample.obs.subtask_token;
-            grads
-                .subtask
-                .set(st, c, grads.subtask.get(st, c) + fwd.dx.get(1, c));
-        }
+        // Token gradients: keep the cls/subtask rows for the fold.
+        fwd.dx.rows_range_into(0, 2, &mut delta.dx01);
         fwd.dx.rows_range_into(2, 3, &mut fwd.dview);
         fwd.dx.rows_range_into(3, 4, &mut fwd.dstat);
         // The featurizers' input gradient is never consumed, so only the
-        // parameter gradients are accumulated (the allocating form
+        // parameter-gradient products are captured (the allocating form
         // computed and discarded `dx`, which no observable state saw).
-        self.view_embed.accumulate_grads(
-            &fwd.onehot,
-            &fwd.dview,
-            &mut grads.view,
-            &mut fwd.lin_tmp,
-        );
-        self.stat_embed.accumulate_grads(
-            &fwd.statvec,
-            &fwd.dstat,
-            &mut grads.stat,
-            &mut fwd.lin_tmp,
-        );
-        loss
+        fwd.onehot.matmul_tn_into(&fwd.dview, &mut delta.view_dw);
+        delta.dview.copy_from(&fwd.dview);
+        fwd.statvec.matmul_tn_into(&fwd.dstat, &mut delta.stat_dw);
+        delta.dstat.copy_from(&fwd.dstat);
+        delta.loss = loss;
+    }
+
+    /// Folds one captured sample delta into the shared gradients,
+    /// replaying the sequential loop's additions addend for addend (see
+    /// [`ControllerSampleDelta`]); returns the sample's loss. Called in
+    /// sample order by the reducing thread.
+    fn fold_sample_delta(
+        &self,
+        sample: &BcSample,
+        delta: &ControllerSampleDelta,
+        grads: &mut ControllerGrads,
+    ) -> f32 {
+        let add_rows = |db: &mut Option<Vec<f32>>, dy: &Matrix| {
+            if let Some(db) = db.as_mut() {
+                for r in 0..dy.rows() {
+                    for (g, v) in db.iter_mut().zip(dy.row(r)) {
+                        *g += v;
+                    }
+                }
+            }
+        };
+        grads.head.dw.add_assign(&delta.head_dw);
+        add_rows(&mut grads.head.db, &delta.dlogits);
+        for l in (0..self.blocks.len()).rev() {
+            let g = &delta.blocks[l];
+            let sh = &mut grads.blocks[l];
+            sh.mlp.fc2.dw.add_assign(&g.mlp.fc2.dw);
+            add_rows(&mut sh.mlp.fc2.db, &delta.block_dz[l]);
+            sh.mlp.fc1.dw.add_assign(&g.mlp.fc1.dw);
+            add_rows(&mut sh.mlp.fc1.db, &delta.block_dpre[l]);
+            sh.attn.wo.dw.add_assign(&g.attn.wo.dw);
+            sh.attn.wq.dw.add_assign(&g.attn.wq.dw);
+            sh.attn.wk.dw.add_assign(&g.attn.wk.dw);
+            sh.attn.wv.dw.add_assign(&g.attn.wv.dw);
+        }
+        let d = self.width();
+        let st = sample.obs.subtask_token;
+        for c in 0..d {
+            grads
+                .cls
+                .set(0, c, grads.cls.get(0, c) + delta.dx01.get(0, c));
+            grads
+                .subtask
+                .set(st, c, grads.subtask.get(st, c) + delta.dx01.get(1, c));
+        }
+        grads.view.dw.add_assign(&delta.view_dw);
+        add_rows(&mut grads.view.db, &delta.dview);
+        grads.stat.dw.add_assign(&delta.stat_dw);
+        add_rows(&mut grads.stat.db, &delta.dstat);
+        delta.loss
     }
 
     /// Behaviour-clones the expert dataset; returns the final epoch's mean
@@ -446,7 +572,9 @@ impl ControllerModel {
         )
     }
 
-    /// [`train`](Self::train) with caller-provided training scratch.
+    /// [`train`](Self::train) with caller-provided training scratch,
+    /// data-parallel over the `CREATE_THREADS` worker pool (see
+    /// [`train_with_threads`](Self::train_with_threads)).
     ///
     /// Bit-identical to `train` (the scratch is value-reset up front):
     /// same RNG draw order, same losses, same final weights. Reusing one
@@ -462,6 +590,39 @@ impl ControllerModel {
         rng: &mut impl Rng,
         scratch: &mut ControllerTrainScratch,
     ) -> f32 {
+        self.train_with_threads(
+            samples,
+            epochs,
+            lr,
+            rng,
+            create_tensor::par::default_threads(),
+            scratch,
+        )
+    }
+
+    /// [`train_with`](Self::train_with) with an explicit worker count.
+    ///
+    /// Each minibatch fans its per-sample forward/backward passes over
+    /// `threads` workers ([`create_tensor::par::scoped_map`] — the same
+    /// scoped-pool primitive behind the experiment engine); each worker
+    /// owns one [`ControllerFwdScratch`] and writes one
+    /// [`ControllerSampleDelta`] per sample, and the deltas are folded
+    /// into the shared gradients **in sample order** before the AdamW
+    /// step. The fold replays the sequential loop's additions exactly,
+    /// so losses and final weights are **bit-identical for every
+    /// `threads` value** (pinned by the thread-parity test below and by
+    /// `train_matches_allocating_reference_bit_for_bit` against the
+    /// pre-refactor loop). With `threads == 1` the samples run inline on
+    /// the calling thread and no threads are spawned.
+    pub fn train_with_threads(
+        &mut self,
+        samples: &[BcSample],
+        epochs: usize,
+        lr: f32,
+        rng: &mut impl Rng,
+        threads: usize,
+        scratch: &mut ControllerTrainScratch,
+    ) -> f32 {
         let cfg = AdamWConfig {
             lr,
             weight_decay: 1e-4,
@@ -471,12 +632,15 @@ impl ControllerModel {
             opt,
             grads,
             order,
-            fwd,
+            workers,
+            deltas,
         } = scratch;
         opt.reset_for(self);
         order.clear();
         order.extend(0..samples.len());
         let batch = 32usize;
+        workers.resize_with(threads.max(1), Default::default);
+        deltas.resize_with(batch.min(samples.len().max(1)), Default::default);
         let mut step = 0u64;
         let mut last = f32::INFINITY;
         for _ in 0..epochs {
@@ -484,8 +648,13 @@ impl ControllerModel {
             let mut epoch_loss = 0.0;
             for chunk in order.chunks(batch) {
                 grads.reset_for(self);
-                for &i in chunk {
-                    epoch_loss += self.backprop_sample_with(&samples[i], grads, fwd);
+                let model = &*self;
+                let slots = &mut deltas[..chunk.len()];
+                create_tensor::par::scoped_map(slots, workers, |pos, delta, fwd| {
+                    model.backprop_sample_delta(&samples[chunk[pos]], delta, fwd);
+                });
+                for (delta, &i) in slots.iter().zip(chunk) {
+                    epoch_loss += model.fold_sample_delta(&samples[i], delta, grads);
                 }
                 grads.scale_in_place(1.0 / chunk.len() as f32);
                 step += 1;
@@ -1035,6 +1204,66 @@ mod tests {
             assert_eq!(a.mlp.fc1.w, b.mlp.fc1.w);
             assert_eq!(a.mlp.fc1.b, b.mlp.fc1.b);
             assert_eq!(a.mlp.fc2.w, b.mlp.fc2.w);
+        }
+    }
+
+    #[test]
+    fn train_is_bit_identical_across_worker_counts() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let base = ControllerModel::new(&tiny_preset(), &mut rng);
+        let samples = datasets::collect_bc(&[TaskId::Log], 1, 120, 0.05, 21);
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let mut model = base.clone();
+            let mut train_rng = StdRng::seed_from_u64(7);
+            // A dirtied, reused scratch must not change results either.
+            let mut scratch = ControllerTrainScratch::default();
+            let _ = model.clone().train_with_threads(
+                &samples[..40],
+                1,
+                2e-3,
+                &mut train_rng.clone(),
+                threads,
+                &mut scratch,
+            );
+            let loss =
+                model.train_with_threads(&samples, 2, 2e-3, &mut train_rng, threads, &mut scratch);
+            runs.push((threads, loss, model));
+        }
+        let (_, loss_1, model_1) = &runs[0];
+        for (threads, loss, model) in &runs[1..] {
+            assert_eq!(
+                loss.to_bits(),
+                loss_1.to_bits(),
+                "loss must not depend on threads={threads}"
+            );
+            assert_eq!(
+                model.view_embed.w, model_1.view_embed.w,
+                "threads={threads}"
+            );
+            assert_eq!(
+                model.view_embed.b, model_1.view_embed.b,
+                "threads={threads}"
+            );
+            assert_eq!(
+                model.stat_embed.w, model_1.stat_embed.w,
+                "threads={threads}"
+            );
+            assert_eq!(
+                model.subtask_embed, model_1.subtask_embed,
+                "threads={threads}"
+            );
+            assert_eq!(model.cls, model_1.cls, "threads={threads}");
+            assert_eq!(model.head.w, model_1.head.w, "threads={threads}");
+            assert_eq!(model.head.b, model_1.head.b, "threads={threads}");
+            for (a, b) in model.blocks.iter().zip(&model_1.blocks) {
+                assert_eq!(a.attn.wq.w, b.attn.wq.w, "threads={threads}");
+                assert_eq!(a.attn.wo.w, b.attn.wo.w, "threads={threads}");
+                assert_eq!(a.mlp.fc1.w, b.mlp.fc1.w, "threads={threads}");
+                assert_eq!(a.mlp.fc1.b, b.mlp.fc1.b, "threads={threads}");
+                assert_eq!(a.mlp.fc2.w, b.mlp.fc2.w, "threads={threads}");
+                assert_eq!(a.mlp.fc2.b, b.mlp.fc2.b, "threads={threads}");
+            }
         }
     }
 

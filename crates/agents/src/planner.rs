@@ -146,8 +146,9 @@ impl PlannerGrads {
 }
 
 /// Per-sample forward/backward buffers for one teacher-forcing step.
-/// Fully overwritten before use; one instance serves every sample of
-/// every epoch (buffers warm up to the longest token sequence).
+/// Fully overwritten before use; one instance serves every sample a
+/// worker claims, across every epoch (buffers warm up to the longest
+/// token sequence).
 #[derive(Debug, Default)]
 struct PlannerFwdScratch {
     x: Matrix,
@@ -160,28 +161,54 @@ struct PlannerFwdScratch {
     logits: Matrix,
     probs: Matrix,
     dlogits: Matrix,
-    head_grads: create_nn::linear::LinearGrads,
     dnormed: Matrix,
     dx: Matrix,
     dx_next: Matrix,
-    lin_tmp: Matrix,
+}
+
+/// One sample's gradient contribution, captured by a data-parallel
+/// worker and folded into the shared [`PlannerGrads`] **in sample
+/// order** by the reducing thread.
+///
+/// The planner's per-sample contributions decompose cleanly (every
+/// block projection is bias-free, so each shared weight-gradient
+/// element receives exactly one addend per sample): `head_dw` stores
+/// the raw head GEMM product, `blocks` the per-sample block gradients
+/// accumulated from zero by the unchanged nn kernels (`0.0 + p` vs `p`
+/// differs only in zero signs, which cannot change the shared sums —
+/// see `ControllerSampleDelta`), and `dx` the final input gradient so
+/// the fold can replay the embedding/positional scatter exactly (a
+/// token repeated within one sample folds its rows in row order, as
+/// the sequential loop does).
+#[derive(Debug, Default)]
+struct PlannerSampleDelta {
+    loss: f32,
+    /// Head weight-gradient product `normedᵀ @ dlogits`.
+    head_dw: Matrix,
+    /// The sample's full input gradient (embed/pos scatter replay).
+    dx: Matrix,
+    /// Per-block gradients accumulated from zero by the nn kernels.
+    blocks: Vec<PlannerBlockGrads>,
 }
 
 /// Reusable training state for [`PlannerModel::train_with`]: AdamW
-/// moments, accumulated gradients, the shuffled sample order and every
-/// forward/backward temporary.
+/// moments, accumulated gradients, the shuffled sample order, one
+/// forward/backward scratch per worker thread and one gradient delta per
+/// minibatch slot.
 ///
 /// All buffers are value-reset at the start of each training run and
 /// fully overwritten during it, so reusing one instance is bit-identical
-/// to training with fresh buffers — after a warm-up run, a train step
-/// performs **no heap allocation** (pinned by
-/// `crates/agents/tests/train_alloc.rs`).
+/// to training with fresh buffers — after a warm-up run, a worker's
+/// train step performs **no heap allocation** (pinned by
+/// `crates/agents/tests/train_alloc.rs` on the inline single-worker
+/// path, which runs the identical per-sample code).
 #[derive(Debug, Default)]
 pub struct PlannerTrainScratch {
     opt: PlannerOpt,
     grads: PlannerGrads,
     order: Vec<usize>,
-    fwd: PlannerFwdScratch,
+    workers: Vec<PlannerFwdScratch>,
+    deltas: Vec<PlannerSampleDelta>,
 }
 
 impl PlannerModel {
@@ -251,25 +278,34 @@ impl PlannerModel {
         }
     }
 
-    /// One teacher-forcing sample: returns the CE loss and accumulates
-    /// gradients.
+    /// One teacher-forcing sample: computes the CE loss and captures the
+    /// sample's gradient contribution into a [`PlannerSampleDelta`] — the
+    /// data-parallel worker half of the train step.
+    /// [`fold_sample_delta`](Self::fold_sample_delta) applies the capture
+    /// to the shared gradients in sample order; together they are
+    /// bit-identical to the historical sequential accumulation (pinned by
+    /// the `train_matches_allocating_reference` test below).
     ///
-    /// Every temporary lives in `fwd` (value-reset before use), so a
-    /// warmed-up call allocates nothing; results are bit-identical to the
-    /// historical allocating implementation (pinned by the
-    /// `train_matches_allocating_reference` test below).
-    fn backprop_sample_with(
+    /// Every temporary lives in `fwd` or `delta` (value-reset before
+    /// use), so a warmed-up call allocates nothing.
+    fn backprop_sample_delta(
         &self,
         sample: &PlanSample,
         outlier: Option<OutlierSpec>,
-        grads: &mut PlannerGrads,
+        delta: &mut PlannerSampleDelta,
         fwd: &mut PlannerFwdScratch,
-    ) -> f32 {
+    ) {
         let tokens = &sample.tokens;
         let t_len = tokens.len();
         self.embed_tokens_into(tokens, &mut fwd.x);
         fwd.inputs.resize_with(self.blocks.len(), Matrix::default);
         fwd.caches.resize_with(self.blocks.len(), Default::default);
+        delta
+            .blocks
+            .resize_with(self.blocks.len(), Default::default);
+        for (g, b) in delta.blocks.iter_mut().zip(&self.blocks) {
+            g.reset_for(b);
+        }
         {
             let PlannerFwdScratch {
                 x,
@@ -306,15 +342,11 @@ impl PlannerModel {
         }
 
         // Backward: head -> final norm -> blocks (+ outlier aux) -> embed.
-        fwd.head_grads.reset_for(&self.head);
-        self.head.backward_with(
-            &fwd.normed,
-            &fwd.dlogits,
-            &mut fwd.head_grads,
-            &mut fwd.lin_tmp,
-            &mut fwd.dnormed,
-        );
-        grads.head.add_assign(&fwd.head_grads.dw);
+        // The head is bias-free, so its capture is the raw GEMM product;
+        // `dnormed` is the same input gradient `Linear::backward_with`
+        // computes.
+        fwd.normed.matmul_tn_into(&fwd.dlogits, &mut delta.head_dw);
+        fwd.dlogits.matmul_nt_into(&self.head.w, &mut fwd.dnormed);
         rmsnorm_backward_into(&fwd.normed, &fwd.norm_stats, &fwd.dnormed, &mut fwd.dx);
         let mut aux_loss = 0.0;
         for l in (0..self.blocks.len()).rev() {
@@ -326,7 +358,7 @@ impl PlannerModel {
                     block,
                     ..
                 } = fwd;
-                self.blocks[l].backward_with(&caches[l], dx, &mut grads.blocks[l], block, dx_next);
+                self.blocks[l].backward_with(&caches[l], dx, &mut delta.blocks[l], block, dx_next);
                 std::mem::swap(dx, dx_next);
             }
             // Outliers accumulate along the residual stream in real LLMs,
@@ -349,15 +381,42 @@ impl PlannerModel {
                 }
             }
         }
-        // Embedding/positional gradients.
-        for (r, &tok) in tokens.iter().enumerate() {
+        // Embedding/positional gradients scatter from `dx`; keep it for
+        // the ordered fold.
+        delta.dx.copy_from(&fwd.dx);
+        delta.loss = loss + aux_loss;
+    }
+
+    /// Folds one captured sample delta into the shared gradients,
+    /// replaying the sequential loop's additions addend for addend (see
+    /// [`PlannerSampleDelta`]); returns the sample's loss. Called in
+    /// sample order by the reducing thread.
+    fn fold_sample_delta(
+        &self,
+        sample: &PlanSample,
+        delta: &PlannerSampleDelta,
+        grads: &mut PlannerGrads,
+    ) -> f32 {
+        grads.head.add_assign(&delta.head_dw);
+        for l in (0..self.blocks.len()).rev() {
+            let g = &delta.blocks[l];
+            let sh = &mut grads.blocks[l];
+            sh.mlp.wdown.dw.add_assign(&g.mlp.wdown.dw);
+            sh.mlp.wgate.dw.add_assign(&g.mlp.wgate.dw);
+            sh.mlp.wup.dw.add_assign(&g.mlp.wup.dw);
+            sh.attn.wo.dw.add_assign(&g.attn.wo.dw);
+            sh.attn.wq.dw.add_assign(&g.attn.wq.dw);
+            sh.attn.wk.dw.add_assign(&g.attn.wk.dw);
+            sh.attn.wv.dw.add_assign(&g.attn.wv.dw);
+        }
+        for (r, &tok) in sample.tokens.iter().enumerate() {
             for c in 0..self.width() {
-                let g = fwd.dx.get(r, c);
+                let g = delta.dx.get(r, c);
                 grads.embed.set(tok, c, grads.embed.get(tok, c) + g);
                 grads.pos.set(r, c, grads.pos.get(r, c) + g);
             }
         }
-        loss + aux_loss
+        delta.loss
     }
 
     /// Trains with AdamW on `samples` for `epochs` epochs; returns the
@@ -380,7 +439,9 @@ impl PlannerModel {
         )
     }
 
-    /// [`train`](Self::train) with caller-provided training scratch.
+    /// [`train`](Self::train) with caller-provided training scratch,
+    /// data-parallel over the `CREATE_THREADS` worker pool (see
+    /// [`train_with_threads`](Self::train_with_threads)).
     ///
     /// Bit-identical to `train` (the scratch is value-reset up front):
     /// same RNG draw order, same losses, same final weights. Reusing one
@@ -397,6 +458,40 @@ impl PlannerModel {
         rng: &mut impl Rng,
         scratch: &mut PlannerTrainScratch,
     ) -> f32 {
+        self.train_with_threads(
+            samples,
+            epochs,
+            lr,
+            outlier,
+            rng,
+            create_tensor::par::default_threads(),
+            scratch,
+        )
+    }
+
+    /// [`train_with`](Self::train_with) with an explicit worker count.
+    ///
+    /// Each minibatch fans its per-sample forward/backward passes over
+    /// `threads` workers ([`create_tensor::par::scoped_map`]); each
+    /// worker owns one forward/backward scratch and writes one
+    /// [`PlannerSampleDelta`] per sample, and the deltas are folded into
+    /// the shared gradients **in sample order** before the AdamW step.
+    /// The fold replays the sequential loop's additions exactly, so
+    /// losses and final weights are **bit-identical for every `threads`
+    /// value** (pinned by the thread-parity test below and by
+    /// `train_matches_allocating_reference_bit_for_bit` against the
+    /// pre-refactor loop). With `threads == 1` the samples run inline on
+    /// the calling thread and no threads are spawned.
+    pub fn train_with_threads(
+        &mut self,
+        samples: &[PlanSample],
+        epochs: usize,
+        lr: f32,
+        outlier: Option<OutlierSpec>,
+        rng: &mut impl Rng,
+        threads: usize,
+        scratch: &mut PlannerTrainScratch,
+    ) -> f32 {
         let cfg = AdamWConfig {
             lr,
             weight_decay: 1e-4,
@@ -406,12 +501,24 @@ impl PlannerModel {
             opt,
             grads,
             order,
-            fwd,
+            workers,
+            deltas,
         } = scratch;
         opt.reset_for(self);
         order.clear();
         order.extend(0..samples.len());
         let batch = 16usize;
+        workers.resize_with(threads.max(1), Default::default);
+        deltas.resize_with(batch.min(samples.len().max(1)), Default::default);
+        // Shuffling maps samples to different delta slots every epoch, so
+        // pre-size the only length-dependent delta buffer to the longest
+        // sequence — otherwise a slot could first meet the longest sample
+        // after warm-up and reallocate. Contents are fully overwritten
+        // before every read.
+        let max_t = samples.iter().map(|s| s.tokens.len()).max().unwrap_or(0);
+        for delta in deltas.iter_mut() {
+            delta.dx.reset_zeros(max_t, self.width());
+        }
         let mut step = 0u64;
         let mut last_loss = f32::INFINITY;
         for _epoch in 0..epochs {
@@ -419,8 +526,13 @@ impl PlannerModel {
             let mut epoch_loss = 0.0;
             for chunk in order.chunks(batch) {
                 grads.reset_for(self);
-                for &i in chunk {
-                    epoch_loss += self.backprop_sample_with(&samples[i], outlier, grads, fwd);
+                let model = &*self;
+                let slots = &mut deltas[..chunk.len()];
+                create_tensor::par::scoped_map(slots, workers, |pos, delta, fwd| {
+                    model.backprop_sample_delta(&samples[chunk[pos]], outlier, delta, fwd);
+                });
+                for (delta, &i) in slots.iter().zip(chunk) {
+                    epoch_loss += model.fold_sample_delta(&samples[i], delta, grads);
                 }
                 grads.scale_in_place(1.0 / chunk.len() as f32);
                 step += 1;
@@ -981,6 +1093,64 @@ mod tests {
                 assert_eq!(a.mlp.wgate.w, b.mlp.wgate.w);
                 assert_eq!(a.mlp.wup.w, b.mlp.wup.w);
                 assert_eq!(a.mlp.wdown.w, b.mlp.wdown.w);
+            }
+        }
+    }
+
+    #[test]
+    fn train_is_bit_identical_across_worker_counts() {
+        let (base, samples) = tiny_setup();
+        let spec = OutlierSpec {
+            channel: 3,
+            target: 20.0,
+            weight: 0.5,
+        };
+        for outlier in [None, Some(spec)] {
+            let mut runs = Vec::new();
+            for threads in [1usize, 2, 4] {
+                let mut model = base.clone();
+                let mut rng = StdRng::seed_from_u64(9);
+                // A dirtied, reused scratch must not change results.
+                let mut scratch = PlannerTrainScratch::default();
+                let _ = base.clone().train_with_threads(
+                    &samples[..4],
+                    1,
+                    3e-3,
+                    None,
+                    &mut StdRng::seed_from_u64(1),
+                    threads,
+                    &mut scratch,
+                );
+                let loss = model.train_with_threads(
+                    &samples,
+                    2,
+                    3e-3,
+                    outlier,
+                    &mut rng,
+                    threads,
+                    &mut scratch,
+                );
+                runs.push((threads, loss, model));
+            }
+            let (_, loss_1, model_1) = &runs[0];
+            for (threads, loss, model) in &runs[1..] {
+                assert_eq!(
+                    loss.to_bits(),
+                    loss_1.to_bits(),
+                    "loss must not depend on threads={threads} (outlier={outlier:?})"
+                );
+                assert_eq!(model.embed, model_1.embed, "threads={threads}");
+                assert_eq!(model.pos, model_1.pos, "threads={threads}");
+                assert_eq!(model.head.w, model_1.head.w, "threads={threads}");
+                for (a, b) in model.blocks.iter().zip(&model_1.blocks) {
+                    assert_eq!(a.attn.wq.w, b.attn.wq.w, "threads={threads}");
+                    assert_eq!(a.attn.wk.w, b.attn.wk.w, "threads={threads}");
+                    assert_eq!(a.attn.wv.w, b.attn.wv.w, "threads={threads}");
+                    assert_eq!(a.attn.wo.w, b.attn.wo.w, "threads={threads}");
+                    assert_eq!(a.mlp.wgate.w, b.mlp.wgate.w, "threads={threads}");
+                    assert_eq!(a.mlp.wup.w, b.mlp.wup.w, "threads={threads}");
+                    assert_eq!(a.mlp.wdown.w, b.mlp.wdown.w, "threads={threads}");
+                }
             }
         }
     }

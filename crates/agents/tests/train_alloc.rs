@@ -1,10 +1,17 @@
 //! The zero-allocation steady-state contract at the *training* level:
 //! once a [`ControllerTrainScratch`] / [`PlannerTrainScratch`] has been
 //! warmed up by one training run over a sample set, a subsequent run over
-//! the same samples — every forward, backward, gradient accumulation and
-//! AdamW step — must perform **no heap allocation**. (The inference-side
-//! counterpart lives in `tests/alloc.rs`; the accelerator-level one in
-//! `create-accel/tests/alloc.rs`.)
+//! the same samples — every forward, backward, gradient capture, ordered
+//! fold and AdamW step — must perform **no heap allocation**. (The
+//! inference-side counterpart lives in `tests/alloc.rs`; the
+//! accelerator-level one in `create-accel/tests/alloc.rs`.)
+//!
+//! The runs are pinned to one worker (`train_with_threads(.., 1, ..)`):
+//! that executes the identical per-sample capture and fold code the
+//! data-parallel workers run, inline on this thread, where a global
+//! counting allocator can observe it — OS thread spawning (outside any
+//! worker's steady state) would otherwise drown the signal on multi-core
+//! boxes.
 //!
 //! One `#[test]` only, so no concurrent test thread can perturb the
 //! counter.
@@ -73,9 +80,9 @@ fn train_steps_are_allocation_free_after_warm_up() {
     let mut c_scratch = ControllerTrainScratch::default();
     let mut train_rng = StdRng::seed_from_u64(2);
     // Warm-up: sizes every buffer at the shapes this sample set needs.
-    let _ = controller.train_with(&bc, 1, 2e-3, &mut train_rng, &mut c_scratch);
+    let _ = controller.train_with_threads(&bc, 1, 2e-3, &mut train_rng, 1, &mut c_scratch);
     let delta = min_alloc_delta(3, || {
-        let _ = controller.train_with(&bc, 1, 2e-3, &mut train_rng, &mut c_scratch);
+        let _ = controller.train_with_threads(&bc, 1, 2e-3, &mut train_rng, 1, &mut c_scratch);
     });
     assert_eq!(
         delta, 0,
@@ -94,9 +101,10 @@ fn train_steps_are_allocation_free_after_warm_up() {
     let mut planner = PlannerModel::new(&p_preset, &mut rng);
     let samples: Vec<_> = vocab::training_samples().into_iter().take(24).collect();
     let mut p_scratch = PlannerTrainScratch::default();
-    let _ = planner.train_with(&samples, 1, 3e-3, None, &mut train_rng, &mut p_scratch);
+    let _ = planner.train_with_threads(&samples, 1, 3e-3, None, &mut train_rng, 1, &mut p_scratch);
     let delta = min_alloc_delta(3, || {
-        let _ = planner.train_with(&samples, 1, 3e-3, None, &mut train_rng, &mut p_scratch);
+        let _ =
+            planner.train_with_threads(&samples, 1, 3e-3, None, &mut train_rng, 1, &mut p_scratch);
     });
     assert_eq!(
         delta, 0,

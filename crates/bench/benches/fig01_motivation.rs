@@ -71,7 +71,10 @@ fn main() {
             .int("cells", cells)
             .int("reps", reps as u64)
             .int("trials", trials)
-            .int("approx_success_steps", total_steps)
+            // Measured outcome, not configuration: emit as a float so it
+            // stays out of `record_key` and a behavior change cannot
+            // silently unmatch this record from its committed baseline.
+            .num("approx_success_steps", total_steps as f64)
             .num("elapsed_s", sweep_elapsed)
             .num("trials_per_s", trials as f64 / sweep_elapsed.max(1e-9))],
     );

@@ -1,15 +1,16 @@
 //! Training-stack benchmark: the f32 GEMM kernels at the testbed shapes
 //! the planner/controller training loops actually run, head-to-head
 //! across [`FloatBackendKind`]s, plus end-to-end training throughput
-//! (epochs/s) for both proxy agents.
+//! (epochs/s) for both proxy agents at 1, 2 and 4 data-parallel workers.
 //!
 //! Writes `results/BENCH_train.json` so every future PR has a training
-//! baseline to beat, next to `BENCH_kernels.json` / `BENCH_fig01.json`.
-//! The GEMM section measures *both* backends in-process (they are called
-//! directly, not through the env-selected global), so a single run
-//! records the scalar-vs-blocked speedup; the end-to-end section runs
-//! under whatever `CREATE_F32_BACKEND` selected (recorded per record) —
-//! CI runs it under both values.
+//! baseline to beat (`bench_report` diffs it against
+//! `results/baseline/`). The GEMM section measures *every* backend
+//! in-process (they are called directly, not through the env-selected
+//! global), so a single run records the scalar-vs-blocked-vs-wide
+//! speedups; the end-to-end section runs under whatever
+//! `CREATE_F32_BACKEND` selected (recorded per record) — CI runs it
+//! under several values.
 
 use create_agents::presets::{ControllerPreset, PlannerPreset};
 use create_agents::{
@@ -57,7 +58,10 @@ fn sparse_rowlike(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
 }
 
 fn bench_f32_gemms(records: &mut Vec<BenchRecord>) {
-    banner("train/gemm", "f32 training GEMMs, scalar vs blocked");
+    banner(
+        "train/gemm",
+        "f32 training GEMMs, scalar vs blocked vs wide",
+    );
     let mut rng = StdRng::seed_from_u64(11);
     for (label, m, k, n) in training_shapes() {
         let a = if label == "view_onehot" {
@@ -101,22 +105,31 @@ fn bench_f32_gemms(records: &mut Vec<BenchRecord>) {
             }
             per_backend.push((kind, [nn, nt, tn]));
         }
-        if let [(_, scalar), (_, blocked)] = per_backend.as_slice() {
-            println!(
-                "  {label:<12} {m}x{k}x{n}: speedup nn {:.2}x  nt {:.2}x  tn {:.2}x",
-                scalar[0] / blocked[0],
-                scalar[1] / blocked[1],
-                scalar[2] / blocked[2],
-            );
+        if let Some((_, scalar)) = per_backend.first() {
+            for (kind, ns) in &per_backend[1..] {
+                println!(
+                    "  {label:<12} {m}x{k}x{n} {kind:>8}: speedup nn {:.2}x  nt {:.2}x  tn {:.2}x",
+                    scalar[0] / ns[0],
+                    scalar[1] / ns[1],
+                    scalar[2] / ns[2],
+                );
+            }
         }
     }
 }
+
+/// The worker counts the end-to-end section measures: sequential, plus
+/// the data-parallel pool at 2 and 4 workers. On a single-core box the
+/// extra worker counts measure the coordination overhead honestly;
+/// results are bit-identical at every count by contract.
+const TRAIN_THREADS: [usize; 3] = [1, 2, 4];
 
 /// Times `epochs` epochs of a training closure after a 1-epoch warm-up,
 /// recording seconds/epoch and epochs/s.
 fn timed_epochs(
     records: &mut Vec<BenchRecord>,
     name: &str,
+    threads: usize,
     samples: u64,
     epochs: usize,
     mut run_epochs: impl FnMut(usize),
@@ -127,7 +140,7 @@ fn timed_epochs(
     let elapsed = start.elapsed().as_secs_f64();
     let backend = FloatBackendKind::from_env().name();
     println!(
-        "  {name}: {:.3} s/epoch ({:.2} epochs/s) on the `{backend}` backend",
+        "  {name}: {:.3} s/epoch ({:.2} epochs/s) on the `{backend}` backend, {threads} worker(s)",
         elapsed / epochs as f64,
         epochs as f64 / elapsed,
     );
@@ -135,6 +148,7 @@ fn timed_epochs(
         BenchRecord::new()
             .str("bench", name)
             .str("backend", backend)
+            .int("threads", threads as u64)
             .int("samples", samples)
             .int("epochs", epochs as u64)
             .num("s_per_epoch", elapsed / epochs as f64)
@@ -168,9 +182,19 @@ fn bench_training_throughput(records: &mut Vec<BenchRecord>) {
     let mut planner = PlannerModel::new(&preset, &mut rng);
     let mut p_scratch = PlannerTrainScratch::default();
     let n = samples.len() as u64;
-    timed_epochs(records, "train_planner", n, 40, |epochs| {
-        let _ = planner.train_with(&samples, epochs, 3e-3, None, &mut rng, &mut p_scratch);
-    });
+    for threads in TRAIN_THREADS {
+        timed_epochs(records, "train_planner", threads, n, 40, |epochs| {
+            let _ = planner.train_with_threads(
+                &samples,
+                epochs,
+                3e-3,
+                None,
+                &mut rng,
+                threads,
+                &mut p_scratch,
+            );
+        });
+    }
 
     // Controller: behaviour cloning on a 2-task expert set.
     let c_preset = ControllerPreset {
@@ -184,9 +208,12 @@ fn bench_training_throughput(records: &mut Vec<BenchRecord>) {
     let mut controller = ControllerModel::new(&c_preset, &mut rng);
     let mut c_scratch = ControllerTrainScratch::default();
     let n = bc.len() as u64;
-    timed_epochs(records, "train_controller", n, 4, |epochs| {
-        let _ = controller.train_with(&bc, epochs, 2e-3, &mut rng, &mut c_scratch);
-    });
+    for threads in TRAIN_THREADS {
+        timed_epochs(records, "train_controller", threads, n, 4, |epochs| {
+            let _ =
+                controller.train_with_threads(&bc, epochs, 2e-3, &mut rng, threads, &mut c_scratch);
+        });
+    }
 }
 
 fn main() {

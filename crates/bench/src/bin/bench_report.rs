@@ -1,0 +1,152 @@
+//! Diffs freshly written `results/BENCH_*.json` files against the
+//! committed baselines in `results/baseline/`, prints a per-shape
+//! speedup table, and exits non-zero when any gated metric regressed by
+//! more than the tolerance (`CREATE_BENCH_TOLERANCE`, default `0.20` =
+//! 20%).
+//!
+//! Records are matched by their configuration identity (every string
+//! field plus every integer field — bench name, shape, backend, thread
+//! count, …); the gated metric per record is wall-clock
+//! (`ns_per_iter`/`s_per_epoch`, lower is better) or throughput
+//! (`trials_per_s`, higher is better). Fresh records without a baseline
+//! counterpart are reported as `new` and never gate; a missing fresh
+//! file is skipped (that bench simply did not run), while a missing
+//! baseline directory is a hard error — commit one with
+//! `cp results/BENCH_*.json results/baseline/`.
+//!
+//! ```text
+//! cargo run -p create-bench --bin bench_report
+//! ```
+
+use create_bench::{parse_bench_json, primary_metric, record_key, FlatRecord};
+use create_core::prelude::results_dir;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// The bench files the report covers (the machine-readable trajectory).
+const BENCH_FILES: [&str; 3] = ["BENCH_kernels.json", "BENCH_fig01.json", "BENCH_train.json"];
+
+fn load(path: &Path) -> Result<Vec<FlatRecord>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_bench_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// One comparison row: `(key, baseline, current, speedup)`.
+struct Row {
+    key: String,
+    metric: &'static str,
+    baseline: f64,
+    current: f64,
+    speedup: f64,
+}
+
+fn main() -> ExitCode {
+    let tolerance = create_tensor::envcfg::read_validated("CREATE_BENCH_TOLERANCE", 0.20f64, |s| {
+        match s.trim().parse::<f64>() {
+            Ok(v) if v.is_finite() && v >= 0.0 => Ok(v),
+            _ => Err("expected a non-negative fraction, e.g. 0.20".to_string()),
+        }
+    });
+    let fresh_dir = results_dir();
+    let baseline_dir = fresh_dir.join("baseline");
+    if !baseline_dir.is_dir() {
+        eprintln!(
+            "[bench-report] no baseline directory at {} — commit one with \
+             `cp results/BENCH_*.json results/baseline/`",
+            baseline_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for file in BENCH_FILES {
+        let fresh_path = fresh_dir.join(file);
+        if !fresh_path.is_file() {
+            println!("[bench-report] {file}: no fresh results, skipped");
+            continue;
+        }
+        let baseline_path = baseline_dir.join(file);
+        if !baseline_path.is_file() {
+            println!("[bench-report] {file}: no committed baseline, skipped");
+            continue;
+        }
+        let (fresh, baseline) = match (load(&fresh_path), load(&baseline_path)) {
+            (Ok(f), Ok(b)) => (f, b),
+            (f, b) => {
+                for err in [f.err(), b.err()].into_iter().flatten() {
+                    eprintln!("[bench-report] {err}");
+                }
+                return ExitCode::FAILURE;
+            }
+        };
+        let by_key: BTreeMap<String, &FlatRecord> =
+            baseline.iter().map(|r| (record_key(r), r)).collect();
+        let mut rows: Vec<Row> = Vec::new();
+        let mut fresh_only = 0usize;
+        for record in &fresh {
+            let Some((metric, current, higher_is_better)) = primary_metric(record) else {
+                continue;
+            };
+            let key = record_key(record);
+            let Some(base_record) = by_key.get(&key) else {
+                fresh_only += 1;
+                continue;
+            };
+            let Some((_, base, _)) = primary_metric(base_record) else {
+                continue;
+            };
+            if !(base.is_finite() && current.is_finite()) || base <= 0.0 || current <= 0.0 {
+                continue;
+            }
+            // Speedup > 1 always means "this run is faster than baseline".
+            let speedup = if higher_is_better {
+                current / base
+            } else {
+                base / current
+            };
+            rows.push(Row {
+                key,
+                metric,
+                baseline: base,
+                current,
+                speedup,
+            });
+        }
+        println!();
+        println!(
+            "=== {file}: {} compared, {fresh_only} new (tolerance {:.0}%) ===",
+            rows.len(),
+            tolerance * 100.0
+        );
+        let width = rows.iter().map(|r| r.key.len()).max().unwrap_or(0).min(90);
+        for row in &rows {
+            let flag = if row.speedup < 1.0 - tolerance {
+                regressions += 1;
+                "  << REGRESSION"
+            } else if row.speedup > 1.0 + tolerance {
+                "  (improved)"
+            } else {
+                ""
+            };
+            println!(
+                "  {:<width$}  {:>12} {:>14.3} -> {:>14.3}  {:>6.2}x{flag}",
+                row.key, row.metric, row.baseline, row.current, row.speedup,
+            );
+        }
+        compared += rows.len();
+    }
+    println!();
+    if regressions > 0 {
+        eprintln!(
+            "[bench-report] {regressions} metric(s) regressed by more than {:.0}% \
+             against results/baseline/",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("[bench-report] {compared} metrics within tolerance of the committed baselines");
+    ExitCode::SUCCESS
+}

@@ -184,6 +184,187 @@ pub fn emit_bench_json(name: &str, records: &[BenchRecord]) {
     }
 }
 
+/// A value in a parsed flat bench record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchValue {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number, with its raw rendering kept so configuration
+    /// integers (no `.`) can be told apart from measured floats.
+    Num { raw: String, value: f64 },
+    /// `null` (a non-finite measurement).
+    Null,
+}
+
+/// One parsed record from a `results/BENCH_*.json` file: ordered
+/// key/value pairs, exactly as [`BenchRecord`] emitted them.
+pub type FlatRecord = Vec<(String, BenchValue)>;
+
+type BenchChars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn bench_json_skip_ws(chars: &mut BenchChars<'_>) {
+    while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn bench_json_string(chars: &mut BenchChars<'_>) -> Result<String, String> {
+    let mut s = String::new();
+    loop {
+        match chars.next() {
+            Some((_, '"')) => return Ok(s),
+            Some((_, '\\')) => match chars.next() {
+                Some((_, '"')) => s.push('"'),
+                Some((_, '\\')) => s.push('\\'),
+                Some((_, 'n')) => s.push('\n'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (at, c) = chars.next().ok_or("bench json: truncated \\u")?;
+                        code = code * 16
+                            + c.to_digit(16)
+                                .ok_or(format!("bench json: bad \\u digit at byte {at}"))?;
+                    }
+                    s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                other => return Err(format!("bench json: bad escape {other:?}")),
+            },
+            Some((_, c)) => s.push(c),
+            None => return Err("bench json: unterminated string".to_string()),
+        }
+    }
+}
+
+fn bench_json_value(chars: &mut BenchChars<'_>) -> Result<BenchValue, String> {
+    match chars.peek().copied() {
+        Some((_, '"')) => {
+            chars.next();
+            Ok(BenchValue::Str(bench_json_string(chars)?))
+        }
+        Some((_, 'n')) => {
+            for want in "null".chars() {
+                match chars.next() {
+                    Some((_, c)) if c == want => {}
+                    other => return Err(format!("bench json: expected null, got {other:?}")),
+                }
+            }
+            Ok(BenchValue::Null)
+        }
+        Some((num_at, _)) => {
+            let mut raw = String::new();
+            while matches!(
+                chars.peek(),
+                Some((_, c)) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+            ) {
+                raw.push(chars.next().expect("peeked").1);
+            }
+            let value = raw
+                .parse::<f64>()
+                .map_err(|e| format!("bench json: bad number at byte {num_at}: {e}"))?;
+            Ok(BenchValue::Num { raw, value })
+        }
+        None => Err("bench json: expected value, got end of input".to_string()),
+    }
+}
+
+/// Parses the JSON [`emit_bench_json`] writes: an array of flat objects
+/// whose values are strings, numbers or `null`. This is a deliberately
+/// small hand-rolled parser (the build environment has no registry, so
+/// no serde) that accepts exactly the emitter's value grammar plus
+/// arbitrary whitespace.
+pub fn parse_bench_json(text: &str) -> Result<Vec<FlatRecord>, String> {
+    let mut chars = text.char_indices().peekable();
+    let mut records = Vec::new();
+    bench_json_skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '[')) => {}
+        other => return Err(format!("bench json: expected '[', got {other:?}")),
+    }
+    loop {
+        bench_json_skip_ws(&mut chars);
+        match chars.peek().copied() {
+            Some((_, ']')) => {
+                chars.next();
+                return Ok(records);
+            }
+            Some((_, ',')) => {
+                chars.next();
+            }
+            Some((_, '{')) => {
+                chars.next();
+                let mut record = FlatRecord::new();
+                loop {
+                    bench_json_skip_ws(&mut chars);
+                    match chars.next() {
+                        Some((_, '}')) => break,
+                        Some((_, ',')) => continue,
+                        Some((_, '"')) => {
+                            let key = bench_json_string(&mut chars)?;
+                            bench_json_skip_ws(&mut chars);
+                            match chars.next() {
+                                Some((_, ':')) => {}
+                                other => {
+                                    return Err(format!("bench json: expected ':', got {other:?}"))
+                                }
+                            }
+                            bench_json_skip_ws(&mut chars);
+                            record.push((key, bench_json_value(&mut chars)?));
+                        }
+                        other => return Err(format!("bench json: expected key, got {other:?}")),
+                    }
+                }
+                records.push(record);
+            }
+            other => return Err(format!("bench json: expected record, got {other:?}")),
+        }
+    }
+}
+
+/// The identity of a record across runs: every string field plus every
+/// *configuration* number (rendered without a decimal point — shapes,
+/// thread counts, rep counts). [`BenchRecord::num`] always renders with
+/// a decimal point, so values emitted through it never leak into the
+/// key — which is why emitters must route **measured** quantities
+/// through `.num(..)` (even integral ones, e.g. fig01's
+/// `approx_success_steps`) and reserve `.int(..)`/`.str(..)` for
+/// configuration: a measured value in the key would silently unmatch
+/// the record from its baseline the moment behavior changes, turning
+/// the regression gate off exactly when it matters.
+pub fn record_key(record: &FlatRecord) -> String {
+    let mut key = String::new();
+    for (k, v) in record {
+        match v {
+            BenchValue::Str(s) => {
+                key.push_str(&format!("{k}={s};"));
+            }
+            BenchValue::Num { raw, .. } if !raw.contains('.') => {
+                key.push_str(&format!("{k}={raw};"));
+            }
+            _ => {}
+        }
+    }
+    key
+}
+
+/// The measured metric `bench_report` gates on, per record:
+/// `(field, value, higher_is_better)`. Wall-clock style metrics
+/// (`ns_per_iter`, `s_per_epoch`) gate as lower-is-better; throughput
+/// metrics (`trials_per_s`) as higher-is-better. Records without a
+/// recognized metric (or with a `null` one) are not gated.
+pub fn primary_metric(record: &FlatRecord) -> Option<(&'static str, f64, bool)> {
+    const METRICS: [(&str, bool); 3] = [
+        ("ns_per_iter", false),
+        ("s_per_epoch", false),
+        ("trials_per_s", true),
+    ];
+    for (name, higher_is_better) in METRICS {
+        if let Some((_, BenchValue::Num { value, .. })) = record.iter().find(|(k, _)| k == name) {
+            return Some((name, *value, higher_is_better));
+        }
+    }
+    None
+}
+
 /// Median wall-clock nanoseconds per iteration of `f`, measured with a
 /// short calibration warm-up — the fixed-cost timer behind the
 /// `BENCH_*.json` records (criterion's shim prints human-readable output;
@@ -279,6 +460,55 @@ mod tests {
         );
         let quoted = BenchRecord::new().str("k", "a\"b\\c");
         assert_eq!(quoted.render(), "  {\"k\": \"a\\\"b\\\\c\"}");
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_the_parser() {
+        let records = [
+            BenchRecord::new()
+                .str("bench", "gemm_i8")
+                .str("shape", "4x32x32")
+                .str("backend", "wide")
+                .num("ns_per_iter", 123.25)
+                .int("macs", 4096)
+                .num("macs_per_s", 3.3e10),
+            BenchRecord::new().str("k", "a\"b\\c").num("nan", f64::NAN),
+        ];
+        let body: Vec<String> = records.iter().map(BenchRecord::render).collect();
+        let json = format!("[\n{}\n]\n", body.join(",\n"));
+        let parsed = parse_bench_json(&json).expect("parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(
+            parsed[0][0],
+            ("bench".to_string(), BenchValue::Str("gemm_i8".to_string()))
+        );
+        assert_eq!(
+            record_key(&parsed[0]),
+            "bench=gemm_i8;shape=4x32x32;backend=wide;macs=4096;"
+        );
+        let (metric, value, higher) = primary_metric(&parsed[0]).expect("metric");
+        assert_eq!(metric, "ns_per_iter");
+        assert!((value - 123.25).abs() < 1e-9);
+        assert!(!higher);
+        // Non-finite metrics render as null and are not gated.
+        assert_eq!(parsed[1][1], ("nan".to_string(), BenchValue::Null));
+        assert_eq!(primary_metric(&parsed[1]), None);
+        assert!(parse_bench_json("not json").is_err());
+    }
+
+    #[test]
+    fn throughput_metrics_gate_as_higher_is_better() {
+        let r = BenchRecord::new()
+            .str("bench", "fig01_voltage_sweep")
+            .int("reps", 8)
+            .num("elapsed_s", 8.5)
+            .num("trials_per_s", 6.4);
+        let parsed = parse_bench_json(&format!("[\n{}\n]\n", r.render())).expect("parse");
+        let (metric, value, higher) = primary_metric(&parsed[0]).expect("metric");
+        assert_eq!(metric, "trials_per_s");
+        assert!((value - 6.4).abs() < 1e-9);
+        assert!(higher);
+        assert_eq!(record_key(&parsed[0]), "bench=fig01_voltage_sweep;reps=8;");
     }
 
     #[test]

@@ -16,12 +16,21 @@
 //!   raw outcome;
 //! * the pool size comes from `CREATE_THREADS` (validated, falling back to
 //!   the machine's parallelism) and progress reporting from
-//!   `CREATE_PROGRESS`.
+//!   `CREATE_PROGRESS` (both through the shared
+//!   [`create_tensor::envcfg`] warn-and-fallback contract).
+//!
+//! The scoped worker-pool primitive itself ([`scoped_map`], re-exported
+//! here) lives in [`create_tensor::par`], at the bottom of the crate
+//! graph, because the data-parallel training loops in `create-agents`
+//! share it and `create-core` depends on `create-agents`.
 
 use std::collections::BTreeMap;
 use std::io::Write;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+pub use create_tensor::par::scoped_map;
 
 /// Streaming aggregation of one experiment point's outcomes.
 ///
@@ -120,16 +129,12 @@ pub(crate) fn positive_env(name: &str, default: usize) -> usize {
     create_tensor::envcfg::read_positive_usize(name, default)
 }
 
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-}
-
 /// Worker-pool size: `CREATE_THREADS` when set to a positive integer,
-/// otherwise the machine's available parallelism.
+/// otherwise the machine's available parallelism. Delegates to
+/// [`create_tensor::par::default_threads`] — one resolution (cached per
+/// process) shared with the data-parallel training loops.
 pub fn default_threads() -> usize {
-    positive_env("CREATE_THREADS", available_threads())
+    create_tensor::par::default_threads()
 }
 
 /// How the engine reports sweep progress.
@@ -139,6 +144,42 @@ pub enum Progress {
     Silent,
     /// A single self-overwriting stderr line (`CREATE_PROGRESS=1`).
     Stderr,
+}
+
+impl std::fmt::Display for Progress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Progress::Silent => "0",
+            Progress::Stderr => "1",
+        })
+    }
+}
+
+impl FromStr for Progress {
+    type Err = String;
+
+    /// `"0"` = silent, `"1"` = stderr (whitespace-tolerant).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "0" => Ok(Progress::Silent),
+            "1" => Ok(Progress::Stderr),
+            other => Err(format!("unknown progress mode {other:?}: expected 0 or 1")),
+        }
+    }
+}
+
+impl Progress {
+    /// Resolves a raw `CREATE_PROGRESS` value (`None` = unset) with the
+    /// shared warn-and-fallback contract
+    /// ([`create_tensor::envcfg::parse_validated`]) — the same shape as
+    /// every other `CREATE_*` knob: unset/blank selects [`Silent`]
+    /// silently, garbage warns on stderr and falls back instead of
+    /// silently misbehaving.
+    ///
+    /// [`Silent`]: Progress::Silent
+    pub fn parse_env(raw: Option<&str>) -> Self {
+        create_tensor::envcfg::parse_validated("CREATE_PROGRESS", raw, Progress::Silent, str::parse)
+    }
 }
 
 /// Engine tuning knobs, normally read from the environment.
@@ -164,13 +205,9 @@ impl EngineOptions {
     /// Options from `CREATE_THREADS` / `CREATE_PROGRESS` /
     /// `CREATE_TRIAL_BATCH`.
     pub fn from_env() -> Self {
-        let progress = match std::env::var("CREATE_PROGRESS") {
-            Ok(v) if v != "0" && !v.is_empty() => Progress::Stderr,
-            _ => Progress::Silent,
-        };
         EngineOptions {
             threads: default_threads(),
-            progress,
+            progress: Progress::parse_env(std::env::var("CREATE_PROGRESS").ok().as_deref()),
             batch: positive_env("CREATE_TRIAL_BATCH", 1),
         }
     }
@@ -511,6 +548,25 @@ mod tests {
     fn with_batch_clamps_to_one() {
         assert_eq!(options(1).with_batch(0).batch, 1);
         assert_eq!(options(1).with_batch(12).batch, 12);
+    }
+
+    #[test]
+    fn progress_parses_through_the_shared_validated_contract() {
+        // Unset and blank select Silent silently.
+        assert_eq!(Progress::parse_env(None), Progress::Silent);
+        assert_eq!(Progress::parse_env(Some("")), Progress::Silent);
+        assert_eq!(Progress::parse_env(Some("  \t")), Progress::Silent);
+        // The two valid values, whitespace-tolerant.
+        assert_eq!(Progress::parse_env(Some("0")), Progress::Silent);
+        assert_eq!(Progress::parse_env(Some("1")), Progress::Stderr);
+        assert_eq!(Progress::parse_env(Some(" 1 ")), Progress::Stderr);
+        // Garbage warns and falls back instead of silently enabling.
+        assert_eq!(Progress::parse_env(Some("yes")), Progress::Silent);
+        assert_eq!(Progress::parse_env(Some("2")), Progress::Silent);
+        // Display round-trips through FromStr like the backend kinds.
+        for p in [Progress::Silent, Progress::Stderr] {
+            assert_eq!(p.to_string().parse(), Ok(p));
+        }
     }
 
     #[test]

@@ -330,6 +330,21 @@ pub struct BlockTrainScratch {
     norm_tmp: Matrix,
 }
 
+impl BlockTrainScratch {
+    /// The `fc1` pre-activation gradient rows (`dpre`) left behind by the
+    /// most recent [`ControllerBlock::backward_with`] /
+    /// [`ReluMlp::backward_with`] call through this scratch.
+    ///
+    /// Data-parallel training snapshots this between block backwards: the
+    /// bias gradient `fc1.db` folds `dpre` row by row, so replaying those
+    /// exact rows (in sample order) is what keeps the parallel
+    /// reduction bit-identical to the sequential loop. Valid only until
+    /// the next backward call through the same scratch.
+    pub fn relu_fc1_dy(&self) -> &Matrix {
+        &self.mlp.d2
+    }
+}
+
 impl PlannerBlock {
     /// Random initialization.
     pub fn new(d: usize, m: usize, heads: usize, rng: &mut impl Rng) -> Self {

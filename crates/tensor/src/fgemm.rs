@@ -6,12 +6,16 @@
 //! forms). Those entry points dispatch through a [`FloatGemmBackend`], so
 //! faster implementations can slot in under the unchanged training loops
 //! — the f32 twin of the INT8 `GemmBackend` story in `create-accel`.
-//! Two backends ship:
+//! Three backends ship:
 //!
 //! * [`ScalarF32Backend`] — the original triple loops, kept as the
 //!   bit-exact reference;
 //! * [`BlockedF32Backend`] — a column-tiled, k-unrolled rewrite that is
-//!   **bit-identical** to the reference for every input.
+//!   **bit-identical** to the reference for every input;
+//! * [`WideF32Backend`] — a lane-parallel rewrite that computes
+//!   [`F32_LANES`] *independent output columns* at once in a fixed-size
+//!   `[f32; F32_LANES]` register block, also **bit-identical** (each lane
+//!   owns one output and accumulates in the reference's k-order).
 //!
 //! # Why the parity guarantee holds for floats
 //!
@@ -23,14 +27,24 @@
 //! through signed zeros, so it is part of the contract). The rewrite only
 //! changes *which* outputs are in flight at once:
 //!
-//! * `matmul` / `matmul_tn`: the k-loop is unrolled 4-wide with the four
-//!   products added one after another in k-order (register-resident
-//!   partial, one load/store of the output tile per 4 k-steps instead of
-//!   per k-step), and output columns are tiled for locality;
-//! * `matmul_nt`: four output columns are computed per pass, giving four
-//!   *independent* sequential dot-product chains — the reference's single
-//!   latency-bound chain becomes 4-way instruction-level parallelism with
-//!   each chain's order untouched.
+//! * `matmul` / `matmul_tn` (blocked): the k-loop is unrolled 4-wide with
+//!   the four products added one after another in k-order
+//!   (register-resident partial, one load/store of the output tile per 4
+//!   k-steps instead of per k-step), and output columns are tiled for
+//!   locality;
+//! * `matmul_nt` (blocked): four output columns are computed per pass,
+//!   giving four *independent* sequential dot-product chains — the
+//!   reference's single latency-bound chain becomes 4-way
+//!   instruction-level parallelism with each chain's order untouched;
+//! * all three kernels (wide): [`F32_LANES`] output columns are carried as
+//!   one `[f32; F32_LANES]` accumulator array across the *entire* k-loop,
+//!   so the output is written exactly once per lane group and the inner
+//!   `acc[l] += a * b[l]` statement maps onto a single vector FMA-free
+//!   multiply-add per lane; the zero-skip test (`a == 0.0`) is a scalar
+//!   branch shared by every lane, because the skipped multiplier is the
+//!   same for all columns of a lane group — so skipping acts as a
+//!   uniform per-lane select and no lane ever sees a contribution the
+//!   reference would not have added.
 //!
 //! Rust/LLVM does not fuse `a * b + c` into an FMA or apply fast-math
 //! reassociation by default, so products and sums round exactly as the
@@ -42,8 +56,8 @@
 //! # Selecting a backend
 //!
 //! `Matrix`'s multiply entry points read the process-wide backend from
-//! the `CREATE_F32_BACKEND` environment variable (`scalar` or `blocked`,
-//! case-insensitive) once, on first use. Unset or empty selects
+//! the `CREATE_F32_BACKEND` environment variable (`scalar`, `blocked` or
+//! `wide`, case-insensitive) once, on first use. Unset or empty selects
 //! [the default](FloatBackendKind::default) (`blocked`); any other value
 //! warns on stderr and falls back to the default — the same validated
 //! fallback contract as `CREATE_GEMM_BACKEND` / `CREATE_REPS`
@@ -71,7 +85,7 @@ use std::str::FromStr;
 /// All three methods fully overwrite `out` (resizing it in place), so a
 /// warmed-up output buffer makes the call allocation-free.
 pub trait FloatGemmBackend: fmt::Debug + Send + Sync {
-    /// Stable lower-case identifier (`"scalar"`, `"blocked"`).
+    /// Stable lower-case identifier (`"scalar"`, `"blocked"`, `"wide"`).
     fn name(&self) -> &'static str;
 
     /// `out = a @ b`.
@@ -379,6 +393,162 @@ impl FloatGemmBackend for BlockedF32Backend {
     }
 }
 
+/// Lane width of [`WideF32Backend`]: one `[f32; F32_LANES]` accumulator
+/// block covers eight output columns — a full 256-bit vector register —
+/// and LLVM autovectorizes the fixed-size lane loops without intrinsics.
+pub const F32_LANES: usize = 8;
+
+/// The lane-parallel backend: every kernel computes [`F32_LANES`]
+/// *independent* output columns per pass, carrying them in a fixed-size
+/// `[f32; F32_LANES]` accumulator array across the whole k-loop.
+///
+/// Bit-identical to [`ScalarF32Backend`] by construction: each lane owns
+/// exactly one output element and receives its contributions in the
+/// reference's sequential k-order (lanes never exchange or reassociate
+/// partial sums), and the `a == 0.0` zero-skip is a scalar branch on the
+/// shared multiplier, so it selects the same contributions per lane that
+/// the reference adds per element. Compared to [`BlockedF32Backend`]'s
+/// tile-update scheme, the output is read and written once per lane group
+/// instead of once per k-unroll step, which is what pays off at the small
+/// row counts (`m` ∈ 1..28) the training loops actually run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WideF32Backend;
+
+impl WideF32Backend {
+    /// Shared lane kernel: `out_group[l] = Σ_k a_at(k) · b[k·n + j0 + l]`
+    /// for `out_group.len() ≤ F32_LANES` columns, accumulated in register
+    /// lanes in ascending k-order with the reference's zero-skip.
+    #[inline]
+    fn lane_group(
+        out_group: &mut [f32],
+        b_data: &[f32],
+        n: usize,
+        j0: usize,
+        k_end: usize,
+        a_at: impl Fn(usize) -> f32,
+    ) {
+        if out_group.len() == F32_LANES {
+            let mut acc = [0.0f32; F32_LANES];
+            for k in 0..k_end {
+                let av = a_at(k);
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[k * n + j0..][..F32_LANES];
+                for l in 0..F32_LANES {
+                    acc[l] += av * b_row[l];
+                }
+            }
+            out_group.copy_from_slice(&acc);
+        } else {
+            // Ragged tail (< F32_LANES columns): same per-element k-order,
+            // variable lane count.
+            let len = out_group.len();
+            for v in out_group.iter_mut() {
+                *v = 0.0;
+            }
+            for k in 0..k_end {
+                let av = a_at(k);
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[k * n + j0..][..len];
+                for (o, &bv) in out_group.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+impl FloatGemmBackend for WideF32Backend {
+    fn name(&self) -> &'static str {
+        "wide"
+    }
+
+    fn matmul_into(&self, a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        check_nn(a, b);
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        out.reset_zeros(m, n);
+        if n == 0 {
+            return;
+        }
+        let b_data = b.as_slice();
+        for i in 0..m {
+            let a_row = a.row(i);
+            let out_row = out.row_mut(i);
+            for j0 in (0..n).step_by(F32_LANES) {
+                let j1 = (j0 + F32_LANES).min(n);
+                Self::lane_group(&mut out_row[j0..j1], b_data, n, j0, k, |kk| a_row[kk]);
+            }
+        }
+    }
+
+    fn matmul_nt_into(&self, a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        check_nt(a, b);
+        let (m, k, p) = (a.rows(), a.cols(), b.rows());
+        out.reset_zeros(m, p);
+        let b_data = b.as_slice();
+        for i in 0..m {
+            let a_row = a.row(i);
+            let mut j = 0;
+            // F32_LANES independent dot-product chains advance in
+            // lockstep; each chain's internal order is the reference's
+            // (no zero-skip in `matmul_nt`, matching the reference).
+            while j + F32_LANES <= p {
+                let mut acc = [0.0f32; F32_LANES];
+                let rows: [&[f32]; F32_LANES] =
+                    std::array::from_fn(|l| &b_data[(j + l) * k..][..k]);
+                for (kk, &av) in a_row.iter().enumerate() {
+                    for l in 0..F32_LANES {
+                        acc[l] += av * rows[l][kk];
+                    }
+                }
+                out.row_mut(i)[j..j + F32_LANES].copy_from_slice(&acc);
+                j += F32_LANES;
+            }
+            while j < p {
+                let b_row = b.row(j);
+                let mut acc = 0.0;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                out.set(i, j, acc);
+                j += 1;
+            }
+        }
+    }
+
+    fn matmul_tn_into(&self, a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        check_tn(a, b);
+        let (kdim, m, n) = (a.rows(), a.cols(), b.cols());
+        // Same heuristic as the blocked backend: with almost no shared
+        // rows the reference's k-outer loop (one zero test per `a`
+        // element) is strictly better — the one-hot featurizer's weight
+        // gradient has kdim == 1. Both paths are bit-identical, so this
+        // is purely a performance choice.
+        if kdim < 2 {
+            ScalarF32Backend.matmul_tn_into(a, b, out);
+            return;
+        }
+        out.reset_zeros(m, n);
+        if n == 0 {
+            return;
+        }
+        let a_data = a.as_slice();
+        let b_data = b.as_slice();
+        for i in 0..m {
+            let out_row = out.row_mut(i);
+            for j0 in (0..n).step_by(F32_LANES) {
+                let j1 = (j0 + F32_LANES).min(n);
+                Self::lane_group(&mut out_row[j0..j1], b_data, n, j0, kdim, |kk| {
+                    a_data[kk * m + i]
+                });
+            }
+        }
+    }
+}
+
 /// Which [`FloatGemmBackend`] the process multiplies with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FloatBackendKind {
@@ -386,6 +556,8 @@ pub enum FloatBackendKind {
     Scalar,
     /// [`BlockedF32Backend`] — tiled/unrolled, bit-identical, faster.
     Blocked,
+    /// [`WideF32Backend`] — lane-parallel output columns, bit-identical.
+    Wide,
 }
 
 impl Default for FloatBackendKind {
@@ -410,8 +582,9 @@ impl FromStr for FloatBackendKind {
         match s.trim().to_ascii_lowercase().as_str() {
             "scalar" => Ok(FloatBackendKind::Scalar),
             "blocked" => Ok(FloatBackendKind::Blocked),
+            "wide" => Ok(FloatBackendKind::Wide),
             other => Err(format!(
-                "unknown f32 backend {other:?}: expected \"scalar\" or \"blocked\""
+                "unknown f32 backend {other:?}: expected \"scalar\", \"blocked\" or \"wide\""
             )),
         }
     }
@@ -420,22 +593,28 @@ impl FromStr for FloatBackendKind {
 impl FloatBackendKind {
     /// Every shipped backend, in reference-first order. Parity tests and
     /// the `train` bench harness iterate this list.
-    pub const ALL: [FloatBackendKind; 2] = [FloatBackendKind::Scalar, FloatBackendKind::Blocked];
+    pub const ALL: [FloatBackendKind; 3] = [
+        FloatBackendKind::Scalar,
+        FloatBackendKind::Blocked,
+        FloatBackendKind::Wide,
+    ];
 
     /// The backend's stable lower-case name.
     pub fn name(self) -> &'static str {
         match self {
             FloatBackendKind::Scalar => ScalarF32Backend.name(),
             FloatBackendKind::Blocked => BlockedF32Backend.name(),
+            FloatBackendKind::Wide => WideF32Backend.name(),
         }
     }
 
-    /// The selected implementation (both are zero-sized, so a static
+    /// The selected implementation (all are zero-sized, so a static
     /// borrow suffices — no boxing).
     pub fn backend(self) -> &'static dyn FloatGemmBackend {
         match self {
             FloatBackendKind::Scalar => &ScalarF32Backend,
             FloatBackendKind::Blocked => &BlockedF32Backend,
+            FloatBackendKind::Wide => &WideF32Backend,
         }
     }
 
@@ -481,6 +660,12 @@ mod tests {
         })
     }
 
+    /// Every non-reference backend, asserted bit-equal to the scalar
+    /// reference on the same inputs.
+    fn fast_backends() -> [&'static dyn FloatGemmBackend; 2] {
+        [&BlockedF32Backend, &WideF32Backend]
+    }
+
     #[test]
     fn backends_agree_bitwise_on_random_and_zero_laden_inputs() {
         let mut rng = StdRng::seed_from_u64(21);
@@ -492,17 +677,19 @@ mod tests {
             let n = rng.random_range(1usize..200);
             let a = random_with_zeros(m, k, &mut rng);
             let b = random_with_zeros(k, n, &mut rng);
-            ScalarF32Backend.matmul_into(&a, &b, &mut s);
-            BlockedF32Backend.matmul_into(&a, &b, &mut f);
-            assert_eq!(s, f, "nn {m}x{k}x{n}");
             let bt = random_with_zeros(n, k, &mut rng);
-            ScalarF32Backend.matmul_nt_into(&a, &bt, &mut s);
-            BlockedF32Backend.matmul_nt_into(&a, &bt, &mut f);
-            assert_eq!(s, f, "nt {m}x{k}x{n}");
             let c = random_with_zeros(m, n, &mut rng);
-            ScalarF32Backend.matmul_tn_into(&a, &c, &mut s);
-            BlockedF32Backend.matmul_tn_into(&a, &c, &mut f);
-            assert_eq!(s, f, "tn {m}x{k}x{n}");
+            for fast in fast_backends() {
+                ScalarF32Backend.matmul_into(&a, &b, &mut s);
+                fast.matmul_into(&a, &b, &mut f);
+                assert_eq!(s, f, "{} nn {m}x{k}x{n}", fast.name());
+                ScalarF32Backend.matmul_nt_into(&a, &bt, &mut s);
+                fast.matmul_nt_into(&a, &bt, &mut f);
+                assert_eq!(s, f, "{} nt {m}x{k}x{n}", fast.name());
+                ScalarF32Backend.matmul_tn_into(&a, &c, &mut s);
+                fast.matmul_tn_into(&a, &c, &mut f);
+                assert_eq!(s, f, "{} tn {m}x{k}x{n}", fast.name());
+            }
         }
     }
 
@@ -510,13 +697,39 @@ mod tests {
     fn backends_agree_on_zero_dimension_edges() {
         let mut s = Matrix::default();
         let mut f = Matrix::default();
-        for (m, k, n) in [(0usize, 5usize, 3usize), (2, 0, 3), (2, 5, 0), (0, 0, 0)] {
-            let a = Matrix::zeros(m, k);
-            let b = Matrix::zeros(k, n);
+        for fast in fast_backends() {
+            for (m, k, n) in [(0usize, 5usize, 3usize), (2, 0, 3), (2, 5, 0), (0, 0, 0)] {
+                let a = Matrix::zeros(m, k);
+                let b = Matrix::zeros(k, n);
+                ScalarF32Backend.matmul_into(&a, &b, &mut s);
+                fast.matmul_into(&a, &b, &mut f);
+                assert_eq!(s.shape(), (m, n));
+                assert_eq!(s, f, "{} nn {m}x{k}x{n}", fast.name());
+            }
+        }
+    }
+
+    #[test]
+    fn wide_agrees_on_short_k_and_ragged_lane_tails() {
+        // k below any unroll width, and n not a multiple of F32_LANES, so
+        // both the ragged-tail lane path and the short-k cases are hit.
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut s = Matrix::default();
+        let mut f = Matrix::default();
+        for (m, k, n) in [(1usize, 1usize, 1usize), (3, 2, 7), (2, 3, 13), (5, 1, 9)] {
+            let a = random_with_zeros(m, k, &mut rng);
+            let b = random_with_zeros(k, n, &mut rng);
             ScalarF32Backend.matmul_into(&a, &b, &mut s);
-            BlockedF32Backend.matmul_into(&a, &b, &mut f);
-            assert_eq!(s.shape(), (m, n));
+            WideF32Backend.matmul_into(&a, &b, &mut f);
             assert_eq!(s, f, "nn {m}x{k}x{n}");
+            let bt = random_with_zeros(n, k, &mut rng);
+            ScalarF32Backend.matmul_nt_into(&a, &bt, &mut s);
+            WideF32Backend.matmul_nt_into(&a, &bt, &mut f);
+            assert_eq!(s, f, "nt {m}x{k}x{n}");
+            let c = random_with_zeros(m, n, &mut rng);
+            ScalarF32Backend.matmul_tn_into(&a, &c, &mut s);
+            WideF32Backend.matmul_tn_into(&a, &c, &mut f);
+            assert_eq!(s, f, "tn {m}x{k}x{n}");
         }
     }
 
@@ -527,11 +740,13 @@ mod tests {
         let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
         let b = Matrix::from_vec(2, 1, vec![f32::NAN, 2.0]);
         let mut s = Matrix::default();
-        let mut f = Matrix::default();
         ScalarF32Backend.matmul_into(&a, &b, &mut s);
-        BlockedF32Backend.matmul_into(&a, &b, &mut f);
         assert_eq!(s.get(0, 0), 2.0, "zero-skip must shield the NaN");
-        assert_eq!(f.get(0, 0), 2.0);
+        for fast in fast_backends() {
+            let mut f = Matrix::default();
+            fast.matmul_into(&a, &b, &mut f);
+            assert_eq!(f.get(0, 0), 2.0, "{}", fast.name());
+        }
     }
 
     #[test]
@@ -543,9 +758,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn wide_nn_shape_mismatch_panics_like_the_reference() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        WideF32Backend.matmul_into(&a, &b, &mut Matrix::default());
+    }
+
+    #[test]
     fn kind_parses_case_insensitively_and_round_trips() {
         assert_eq!("scalar".parse(), Ok(FloatBackendKind::Scalar));
         assert_eq!(" BLOCKED\n".parse(), Ok(FloatBackendKind::Blocked));
+        assert_eq!("Wide".parse(), Ok(FloatBackendKind::Wide));
         assert!("simd".parse::<FloatBackendKind>().is_err());
         for kind in FloatBackendKind::ALL {
             assert_eq!(kind.name().parse(), Ok(kind));
@@ -575,6 +799,10 @@ mod tests {
         assert_eq!(
             FloatBackendKind::parse_env(Some("blocked")),
             FloatBackendKind::Blocked
+        );
+        assert_eq!(
+            FloatBackendKind::parse_env(Some(" wide ")),
+            FloatBackendKind::Wide
         );
     }
 }

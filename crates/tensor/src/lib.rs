@@ -6,12 +6,17 @@
 //! * [`Matrix`] — a row-major `f32` matrix with the handful of operations
 //!   the planner/controller stacks need (GEMM, transpose, map/zip, slicing).
 //! * [`fgemm`] — pluggable `f32` GEMM backends behind the `Matrix`
-//!   multiply entry points (`CREATE_F32_BACKEND=scalar|blocked`,
+//!   multiply entry points (`CREATE_F32_BACKEND=scalar|blocked|wide`,
 //!   bit-identical by contract); the training-stack twin of
 //!   `create-accel`'s INT8 `GemmBackend`.
 //! * [`envcfg`] — the shared validated environment-variable helper every
 //!   `CREATE_*` knob parses through (silent default when unset/blank,
 //!   warn-and-fallback on garbage).
+//! * [`par`] — the scoped worker-pool primitive (`CREATE_THREADS`-sized
+//!   [`par::scoped_map`]) shared by the experiment engine in
+//!   `create-core` and the data-parallel training loops in
+//!   `create-agents`; it lives here, at the bottom of the crate graph,
+//!   so both can reach it.
 //! * [`quant`] — per-tensor symmetric INT8/INT4 quantization, mirroring the
 //!   accelerator datapath of the paper (8-bit multipliers, 24-bit
 //!   accumulators, offline-profiled scales).
@@ -42,9 +47,12 @@ pub mod envcfg;
 pub mod fgemm;
 pub mod hadamard;
 pub mod matrix;
+pub mod par;
 pub mod quant;
 pub mod stats;
 
-pub use fgemm::{BlockedF32Backend, FloatBackendKind, FloatGemmBackend, ScalarF32Backend};
+pub use fgemm::{
+    BlockedF32Backend, FloatBackendKind, FloatGemmBackend, ScalarF32Backend, WideF32Backend,
+};
 pub use matrix::Matrix;
 pub use quant::{Precision, QuantMatrix, QuantParams};

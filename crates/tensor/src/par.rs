@@ -1,0 +1,155 @@
+//! Scoped worker-pool primitives shared across the workspace.
+//!
+//! Two consumers fan work over a `CREATE_THREADS`-sized pool: the
+//! experiment engine in `create-core` (trials of a sweep grid) and the
+//! data-parallel training loops in `create-agents` (per-sample
+//! forward/backward of a minibatch). `create-core` depends on
+//! `create-agents`, so the shared primitive lives here, at the bottom of
+//! the crate graph; `create_core::engine` re-exports it.
+//!
+//! [`scoped_map`] is deliberately minimal: it runs one closure over a
+//! slice of disjoint `&mut` item slots, giving each worker thread its own
+//! `&mut` worker state, and guarantees that **which thread processes
+//! which item can never influence the result** as long as the closure
+//! writes only through its two `&mut` arguments (the usual scratch-buffer
+//! contract: fully overwritten before use). Determinism then comes for
+//! free — callers fold the item slots afterwards in slice order.
+
+use std::sync::Mutex;
+
+/// Worker threads the process defaults to: `CREATE_THREADS` when set to a
+/// positive integer (validated, warn-and-fallback), otherwise the
+/// machine's available parallelism.
+///
+/// The resolution is cached for the life of the process — it sits on the
+/// per-train-step hot path, `available_parallelism` reads procfs/cgroups
+/// (allocating) on Linux, and the fallback warning should print once, not
+/// once per call (the same once-per-run contract as the backend kinds).
+pub fn default_threads() -> usize {
+    static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| crate::envcfg::read_positive_usize("CREATE_THREADS", available_threads()))
+}
+
+/// The machine's available parallelism (4 when it cannot be queried).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+}
+
+/// Runs `f(index, &mut items[index], &mut worker_state)` exactly once per
+/// item, fanned over `workers.len()` threads.
+///
+/// * Items are claimed dynamically (a shared iterator), so a slow item
+///   cannot serialize the rest behind a static partition.
+/// * Each spawned thread owns one element of `workers` for its whole
+///   lifetime — per-worker scratch buffers are reused across the items
+///   that worker claims and never shared.
+/// * With a single worker (or zero/one items) the loop runs inline on the
+///   calling thread: no threads are spawned and **no heap allocation** is
+///   performed by the dispatch itself, which is what keeps warmed-up
+///   single-threaded callers allocation-free.
+///
+/// The assignment of items to workers is scheduling-dependent; results
+/// are deterministic if and only if `f`'s output for item `i` depends
+/// only on `i`, the item slot and state the closure fully overwrites —
+/// the contract every caller in this workspace already pins with
+/// scratch-reuse parity tests.
+///
+/// # Panics
+///
+/// Panics if `workers` is empty (a pool needs at least one worker), or
+/// propagates the first panic of `f`.
+pub fn scoped_map<I, W, F>(items: &mut [I], workers: &mut [W], f: F)
+where
+    I: Send,
+    W: Send,
+    F: Fn(usize, &mut I, &mut W) + Sync,
+{
+    assert!(!workers.is_empty(), "scoped_map needs at least one worker");
+    if workers.len() == 1 || items.len() <= 1 {
+        let worker = &mut workers[0];
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item, worker);
+        }
+        return;
+    }
+    // Never park more threads than there are items to claim.
+    let n_workers = workers.len().min(items.len());
+    let queue = Mutex::new(items.iter_mut().enumerate());
+    let (queue, f) = (&queue, &f);
+    std::thread::scope(|scope| {
+        for worker in workers[..n_workers].iter_mut() {
+            scope.spawn(move || loop {
+                let claimed = queue.lock().expect("scoped_map queue poisoned").next();
+                match claimed {
+                    Some((i, item)) => f(i, item, worker),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn maps_every_item_exactly_once_at_any_worker_count() {
+        for threads in [1usize, 2, 4, 9] {
+            let mut items: Vec<(usize, usize)> = (0..23).map(|i| (i, 0)).collect();
+            let mut workers: Vec<u64> = vec![0; threads];
+            scoped_map(&mut items, &mut workers, |idx, item, w| {
+                assert_eq!(idx, item.0);
+                item.1 += idx * 2 + 1;
+                *w += 1;
+            });
+            for (i, (idx, val)) in items.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert_eq!(*val, i * 2 + 1, "threads={threads}");
+            }
+            let total: u64 = workers.iter().sum();
+            assert_eq!(total, 23, "each item claimed exactly once");
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_inline_in_order() {
+        let mut items = [(); 5];
+        let mut workers = [()];
+        let tid = std::thread::current().id();
+        let order = Mutex::new(Vec::new());
+        scoped_map(&mut items, &mut workers, |i, _, _| {
+            assert_eq!(std::thread::current().id(), tid, "must not spawn");
+            order.lock().unwrap().push(i);
+        });
+        assert_eq!(order.into_inner().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_items_are_a_no_op() {
+        let mut items: [u8; 0] = [];
+        let mut workers = [0u8; 3];
+        let calls = AtomicUsize::new(0);
+        scoped_map(&mut items, &mut workers, |_, _, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_worker_set_panics() {
+        let mut items = [0u8; 2];
+        let mut workers: [u8; 0] = [];
+        scoped_map(&mut items, &mut workers, |_, _, _| {});
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+        assert!(available_threads() >= 1);
+    }
+}

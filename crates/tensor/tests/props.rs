@@ -212,6 +212,57 @@ proptest! {
         }
     }
 
+    /// Short-k (below any unroll/lane width) and lane-ragged shapes with
+    /// NaN/∞ planted in `b` behind zeroed `a` positions: the `a == 0.0`
+    /// zero-skip must shield the poison on every backend (a backend that
+    /// multiplied-then-discarded skipped terms would leak NaN), and the
+    /// unshielded columns must still agree bit for bit. This pins the
+    /// wide backend's per-lane select semantics for the skip.
+    #[test]
+    fn f32_zero_skip_shields_nan_on_every_backend(
+        seed in 0u64..400,
+        m in 1usize..4,
+        k in 1usize..7,   // < F32_LANES and < any k-unroll width
+        n in 1usize..20,  // exercises ragged lane tails
+        poison_row in 0usize..7,
+    ) {
+        let poison_row = poison_row % k;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Column `poison_row` of `a` is exactly zero; the matching row of
+        // `b` is poisoned.
+        let a = Matrix::from_fn(m, k, |_, c| {
+            if c == poison_row { 0.0 } else { rng.random_range(-2.0f32..2.0) }
+        });
+        let b = Matrix::from_fn(k, n, |r, c| {
+            if r == poison_row {
+                if c % 2 == 0 { f32::NAN } else { f32::INFINITY }
+            } else {
+                rng.random_range(-2.0f32..2.0)
+            }
+        });
+        let reference = create_tensor::ScalarF32Backend;
+        let mut want = Matrix::default();
+        let mut got = Matrix::default();
+        reference.matmul_into(&a, &b, &mut want);
+        prop_assert!(
+            want.as_slice().iter().all(|v| v.is_finite()),
+            "reference zero-skip must shield the poison"
+        );
+        for kind in create_tensor::FloatBackendKind::ALL {
+            kind.backend().matmul_into(&a, &b, &mut got);
+            prop_assert_eq!(&got, &want, "backend {} diverged", kind);
+        }
+        // Same shield through the tn kernel (aᵀ zero-skips on `a` too):
+        // poison column `poison_row` of the tn input's rows.
+        let at = Matrix::from_fn(k, m, |r, c| a.get(c, r));
+        reference.matmul_tn_into(&at, &b, &mut want);
+        prop_assert!(want.as_slice().iter().all(|v| v.is_finite()));
+        for kind in create_tensor::FloatBackendKind::ALL {
+            kind.backend().matmul_tn_into(&at, &b, &mut got);
+            prop_assert_eq!(&got, &want, "tn backend {} diverged", kind);
+        }
+    }
+
     /// `matmul_tn_into` matches the allocating `matmul_tn` bit-for-bit on
     /// a dirty scratch (the weight-gradient GEMM of every backward pass).
     #[test]
