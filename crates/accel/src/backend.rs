@@ -227,7 +227,8 @@ impl Accelerator {
         self.rng = StdRng::seed_from_u64(seed);
     }
 
-    /// Name of the active GEMM backend (`"scalar"`, `"blocked"`).
+    /// Name of the active GEMM backend (`"scalar"`, `"blocked"`,
+    /// `"wide"`, or `"auto"` for the per-shape dispatcher).
     pub fn backend_name(&self) -> &'static str {
         self.backend.name()
     }

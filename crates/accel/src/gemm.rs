@@ -4,7 +4,7 @@
 //! (pre-injection) accumulator buffer through a [`GemmBackend`] trait
 //! object, so alternative implementations can slot in under the unchanged
 //! injection, anomaly-detection, requantization and MAC/energy-accounting
-//! stages. Three backends ship:
+//! stages. Four backends ship:
 //!
 //! * [`ScalarBackend`] — the original triple loop from
 //!   [`array::gemm_i8_acc`], kept as the bit-exact reference;
@@ -15,7 +15,14 @@
 //!   independent output columns in a fixed-size `[i32; I8_LANES]`
 //!   register block across the whole k-loop (one output write per lane
 //!   group instead of one read-modify-write per k-step), equally
-//!   bit-identical.
+//!   bit-identical;
+//! * [`DispatchBackend`] (`auto`, the default) — a per-shape router:
+//!   each call's `(m, k, n)` is bucketed by size class
+//!   ([`create_tensor::dispatch`]) and forwarded to the
+//!   measured-fastest concrete backend for that bucket (the committed
+//!   `BENCH_kernels.json` shows `wide` winning narrow and
+//!   long-reduction shapes, `blocked` the rest). Routing between
+//!   bit-identical kernels is itself bit-identical.
 //!
 //! The parity guarantee is not approximate: integer addition is exact and
 //! associative, and the final 24-bit wrap only depends on the low 32 bits
@@ -27,12 +34,16 @@
 //!
 //! The backend is part of [`AccelConfig`](crate::AccelConfig); its default
 //! comes from the `CREATE_GEMM_BACKEND` environment variable (`scalar`,
-//! `blocked` or `wide`, case-insensitive). Unset or empty selects [the
-//! default](GemmBackendKind::default) (`blocked`); any other value warns on
-//! stderr and falls back to the default, mirroring `CREATE_REPS` /
-//! `CREATE_THREADS` validation.
+//! `blocked`, `wide`, `auto` or `auto:<table.json>`, case-insensitive).
+//! Unset or empty selects [the default](GemmBackendKind::default)
+//! (`auto`); any other value warns on stderr and falls back to the
+//! default, mirroring `CREATE_REPS` / `CREATE_THREADS` validation. With
+//! `CREATE_GEMM_AUTOTUNE=1` the `auto` router measures the candidates on
+//! the actual host at first use and caches the winning table under
+//! `target/create-autotune/`; a malformed table or cache file warns and
+//! falls back to the compiled-in static table, never aborting.
 //!
-//! # Adding a third backend
+//! # Adding another backend
 //!
 //! 1. Implement [`GemmBackend`] (delegate the shape check to
 //!    [`array::check_gemm_shapes`] so mismatch panics stay uniform, and
@@ -45,8 +56,9 @@
 //!    automatically held to the bit-parity bar.
 
 use crate::array;
-use create_tensor::QuantMatrix;
+use create_tensor::{dispatch, QuantMatrix};
 use std::fmt;
+use std::path::Path;
 use std::str::FromStr;
 
 /// A clean-compute GEMM implementation for the INT8 datapath.
@@ -278,6 +290,229 @@ impl GemmBackend for WideBackend {
     }
 }
 
+/// The `auto` backend: a per-shape router over the concrete INT8
+/// backends.
+///
+/// Holds a flat [`dispatch::N_BUCKETS`]-entry lookup table indexed by the
+/// size-class bucket of `(m, k, n)` = (`a.rows()`, `a.cols()`,
+/// `w.cols()`). Dispatch is three integer compares plus an array index —
+/// no allocation, no string work — so the accelerator's steady-state
+/// allocation-free `linear_into` contract is untouched. Every cell is a
+/// *concrete* kind (nesting `auto` is rejected at construction), and
+/// every concrete backend is bit-identical, so routing cannot change a
+/// single accumulator bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchBackend {
+    lut: [GemmBackendKind; dispatch::N_BUCKETS],
+}
+
+/// File name of the INT8 autotune cache under the autotune directory.
+pub const I8_AUTOTUNE_FILE: &str = "gemm_i8.json";
+
+/// The op name INT8 dispatch rules use in table JSON.
+const I8_OP: &str = "gemm_i8";
+
+/// The representative shapes the one-shot autotune measures — the
+/// `kernels` bench's GEMM shape set (planner prefill, controller decode,
+/// small attention products, the one-hot view featurizer).
+pub const AUTOTUNE_SHAPES: [(usize, usize, usize); 5] = [
+    (16, 256, 256),
+    (1, 512, 128),
+    (4, 32, 32),
+    (1, 64, 16),
+    (4, 686, 32),
+];
+
+impl DispatchBackend {
+    /// The compiled-in static dispatch table, derived from the committed
+    /// `results/baseline/BENCH_kernels.json`: `wide` wins narrow outputs
+    /// (`n` lo — the controller head) and long reductions into mid-width
+    /// outputs (`k` hi, `n` mid — the one-hot featurizer); `blocked`
+    /// keeps everything else. To regenerate after re-benching, compare
+    /// per-shape winners in `BENCH_kernels.json` (see README §
+    /// Performance).
+    pub fn built_in_table() -> dispatch::RawTable {
+        use dispatch::Band::{Hi, Lo, Mid};
+        let rule = |k: Option<dispatch::Band>, n: Option<dispatch::Band>, backend: &str| {
+            dispatch::RawRule {
+                op: I8_OP.to_string(),
+                m: None,
+                k,
+                n,
+                backend: backend.to_string(),
+            }
+        };
+        dispatch::RawTable {
+            version: dispatch::TABLE_VERSION,
+            rules: vec![
+                rule(None, Some(Lo), "wide"),
+                rule(Some(Hi), Some(Mid), "wide"),
+                rule(None, None, "blocked"),
+            ],
+        }
+    }
+
+    /// The router resolved from the compiled-in static table.
+    pub fn built_in() -> Self {
+        Self::from_table(&Self::built_in_table()).expect("static table must resolve")
+    }
+
+    /// Resolves a raw dispatch table, overlaying it on the static table
+    /// (buckets the table does not cover keep the committed defaults).
+    /// Fails on unsupported versions, unknown backends, or `auto`
+    /// nesting — so callers can fall back to [`built_in`](Self::built_in).
+    pub fn from_table(table: &dispatch::RawTable) -> Result<Self, String> {
+        let parse = |s: &str| match GemmBackendKind::from_str(s) {
+            Ok(GemmBackendKind::Auto) | Err(_) => None,
+            Ok(kind) => Some(kind),
+        };
+        let base = [GemmBackendKind::Blocked; dispatch::N_BUCKETS];
+        let built_in = Self::built_in_table().resolve(I8_OP, base, parse)?;
+        Ok(DispatchBackend {
+            lut: table.resolve(I8_OP, built_in, parse)?,
+        })
+    }
+
+    /// Full resolution policy — identical to the f32 router's
+    /// (`create_tensor::fgemm::DispatchF32Backend::resolve`): explicit
+    /// table > autotune cache > one-shot measurement > static, with
+    /// every parse/measure failure warning and falling back to the
+    /// static table. Exposed with explicit arguments so tests avoid
+    /// racing on the process environment.
+    pub fn resolve(explicit_table: Option<&Path>, autotune: bool, cache: &Path) -> Self {
+        if let Some(path) = explicit_table {
+            return match dispatch::load_table(path).and_then(|t| Self::from_table(&t)) {
+                Ok(backend) => backend,
+                Err(err) => {
+                    eprintln!(
+                        "[create] ignoring INT8 dispatch table {}: {err}; using built-in table",
+                        path.display()
+                    );
+                    Self::built_in()
+                }
+            };
+        }
+        if autotune {
+            if cache.exists() {
+                return match dispatch::load_table(cache).and_then(|t| Self::from_table(&t)) {
+                    Ok(backend) => backend,
+                    Err(err) => {
+                        eprintln!(
+                            "[create] ignoring corrupt INT8 autotune cache {}: {err}; \
+                             using built-in table",
+                            cache.display()
+                        );
+                        Self::built_in()
+                    }
+                };
+            }
+            let table = Self::autotune();
+            if let Err(err) = dispatch::store_table(cache, &table) {
+                eprintln!(
+                    "[create] cannot cache INT8 autotune table at {}: {err}",
+                    cache.display()
+                );
+            }
+            return match Self::from_table(&table) {
+                Ok(backend) => backend,
+                Err(err) => {
+                    eprintln!("[create] INT8 autotune produced an unusable table: {err}");
+                    Self::built_in()
+                }
+            };
+        }
+        Self::built_in()
+    }
+
+    /// One-shot autotune: times the concrete backends' `_into` path on
+    /// [`AUTOTUNE_SHAPES`] and emits per-bucket winners; uncovered
+    /// buckets keep the static table via the
+    /// [`from_table`](Self::from_table) overlay.
+    pub fn autotune() -> dispatch::RawTable {
+        let candidates = [
+            GemmBackendKind::Scalar,
+            GemmBackendKind::Blocked,
+            GemmBackendKind::Wide,
+        ];
+        let mut samples: Vec<(&str, usize, &str, f64)> = Vec::new();
+        let mut acc = Vec::new();
+        for &(m, k, n) in &AUTOTUNE_SHAPES {
+            let a = probe_quant(m, k, 1);
+            let w = probe_quant(k, n, 2);
+            let idx = dispatch::bucket(m, k, n);
+            for kind in candidates {
+                let backend = kind.instantiate();
+                samples.push((
+                    I8_OP,
+                    idx,
+                    kind.name(),
+                    dispatch::measure_ns(|| backend.gemm_i8_acc_into(&a, &w, &mut acc)),
+                ));
+            }
+        }
+        dispatch::table_from_measurements(&samples)
+    }
+
+    /// The process-wide `auto` router, resolved once from
+    /// `CREATE_GEMM_BACKEND=auto:<path>` / `CREATE_GEMM_AUTOTUNE`.
+    pub fn from_env() -> Self {
+        static AUTO: std::sync::OnceLock<DispatchBackend> = std::sync::OnceLock::new();
+        *AUTO.get_or_init(|| {
+            let raw = std::env::var("CREATE_GEMM_BACKEND").ok();
+            let explicit = raw
+                .as_deref()
+                .and_then(|s| s.trim().strip_prefix("auto:"))
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(Path::new);
+            Self::resolve(
+                explicit,
+                dispatch::autotune_requested(),
+                &dispatch::autotune_cache_path(I8_AUTOTUNE_FILE),
+            )
+        })
+    }
+
+    fn select(&self, a: &QuantMatrix, w: &QuantMatrix) -> &'static dyn GemmBackend {
+        match self.lut[dispatch::bucket(a.rows(), a.cols(), w.cols())] {
+            GemmBackendKind::Scalar => &ScalarBackend,
+            GemmBackendKind::Blocked => &BlockedBackend,
+            GemmBackendKind::Wide => &WideBackend,
+            // Unreachable by construction (from_table rejects nesting);
+            // route to the default concrete backend rather than recurse.
+            GemmBackendKind::Auto => &BlockedBackend,
+        }
+    }
+}
+
+impl GemmBackend for DispatchBackend {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn gemm_i8_acc(&self, a: &QuantMatrix, w: &QuantMatrix) -> Vec<i32> {
+        self.select(a, w).gemm_i8_acc(a, w)
+    }
+
+    fn gemm_i8_acc_into(&self, a: &QuantMatrix, w: &QuantMatrix, acc: &mut Vec<i32>) {
+        self.select(a, w).gemm_i8_acc_into(a, w, acc)
+    }
+}
+
+/// Deterministic autotune probe data: an LCG fill over the full INT8
+/// code range (no RNG dependency, identical across runs).
+fn probe_quant(rows: usize, cols: usize, seed: u64) -> QuantMatrix {
+    use create_tensor::{Matrix, Precision, QuantParams};
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let m = Matrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 32) as i64 % 255 - 127) as f32
+    });
+    QuantMatrix::quantize_with(&m, QuantParams::from_scale(1.0, Precision::Int8))
+}
+
 /// Which [`GemmBackend`] an [`AccelConfig`](crate::AccelConfig) selects.
 ///
 /// This is the (cheaply copyable) configuration-side handle; the
@@ -291,13 +526,17 @@ pub enum GemmBackendKind {
     Blocked,
     /// [`WideBackend`] — lane-parallel output columns, bit-identical.
     Wide,
+    /// [`DispatchBackend`] — per-shape routing to the measured-fastest
+    /// concrete backend, bit-identical because every route is.
+    Auto,
 }
 
 impl Default for GemmBackendKind {
-    /// `Blocked`: parity with the reference is bit-exact, so everyone
-    /// gets the fast path unless `CREATE_GEMM_BACKEND=scalar` opts out.
+    /// `Auto`: the committed baselines prove per-shape routing matches or
+    /// beats every single backend, and parity is bit-exact, so everyone
+    /// gets per-shape dispatch unless `CREATE_GEMM_BACKEND` opts out.
     fn default() -> Self {
-        GemmBackendKind::Blocked
+        GemmBackendKind::Auto
     }
 }
 
@@ -316,8 +555,13 @@ impl FromStr for GemmBackendKind {
             "scalar" => Ok(GemmBackendKind::Scalar),
             "blocked" => Ok(GemmBackendKind::Blocked),
             "wide" => Ok(GemmBackendKind::Wide),
+            "auto" => Ok(GemmBackendKind::Auto),
+            // `auto:<table.json>` — the path is read by
+            // `DispatchBackend::from_env`, the kind is still `Auto`.
+            other if other.starts_with("auto:") => Ok(GemmBackendKind::Auto),
             other => Err(format!(
-                "unknown GEMM backend {other:?}: expected \"scalar\", \"blocked\" or \"wide\""
+                "unknown GEMM backend {other:?}: expected \"scalar\", \"blocked\", \"wide\", \
+                 \"auto\" or \"auto:<table.json>\""
             )),
         }
     }
@@ -326,10 +570,11 @@ impl FromStr for GemmBackendKind {
 impl GemmBackendKind {
     /// Every shipped backend, in reference-first order. Parity tests and
     /// the bench harnesses iterate this list.
-    pub const ALL: [GemmBackendKind; 3] = [
+    pub const ALL: [GemmBackendKind; 4] = [
         GemmBackendKind::Scalar,
         GemmBackendKind::Blocked,
         GemmBackendKind::Wide,
+        GemmBackendKind::Auto,
     ];
 
     /// The backend's stable lower-case name.
@@ -338,6 +583,7 @@ impl GemmBackendKind {
             GemmBackendKind::Scalar => ScalarBackend.name(),
             GemmBackendKind::Blocked => BlockedBackend.name(),
             GemmBackendKind::Wide => WideBackend.name(),
+            GemmBackendKind::Auto => "auto",
         }
     }
 
@@ -347,6 +593,7 @@ impl GemmBackendKind {
             GemmBackendKind::Scalar => Box::new(ScalarBackend),
             GemmBackendKind::Blocked => Box::new(BlockedBackend),
             GemmBackendKind::Wide => Box::new(WideBackend),
+            GemmBackendKind::Auto => Box::new(DispatchBackend::from_env()),
         }
     }
 
@@ -398,9 +645,14 @@ mod tests {
     }
 
     /// Every non-reference backend, asserted bit-equal to the scalar
-    /// reference on the same inputs.
-    fn fast_backends() -> [Box<dyn GemmBackend>; 2] {
-        [Box::new(BlockedBackend), Box::new(WideBackend)]
+    /// reference on the same inputs. The dispatcher rides along: routing
+    /// between bit-identical kernels must itself be bit-identical.
+    fn fast_backends() -> [Box<dyn GemmBackend>; 3] {
+        [
+            Box::new(BlockedBackend),
+            Box::new(WideBackend),
+            Box::new(DispatchBackend::built_in()),
+        ]
     }
 
     #[test]
@@ -517,7 +769,128 @@ mod tests {
         assert_eq!("SCALAR".parse(), Ok(GemmBackendKind::Scalar));
         assert_eq!(" Blocked\n".parse(), Ok(GemmBackendKind::Blocked));
         assert_eq!("WIDE".parse(), Ok(GemmBackendKind::Wide));
+        assert_eq!("auto".parse(), Ok(GemmBackendKind::Auto));
+        assert_eq!(
+            " Auto:/some/table.json ".parse(),
+            Ok(GemmBackendKind::Auto),
+            "auto:<path> selects the dispatcher; the path is read separately"
+        );
         assert!("simd".parse::<GemmBackendKind>().is_err());
+    }
+
+    #[test]
+    fn dispatch_static_table_routes_by_size_class() {
+        let auto = DispatchBackend::built_in();
+        // The five committed bench shapes, routed per the measured
+        // winners in results/baseline/BENCH_kernels.json.
+        for (m, k, n, want) in [
+            (1usize, 64usize, 16usize, GemmBackendKind::Wide), // n lo: controller head
+            (4, 686, 32, GemmBackendKind::Wide),               // k hi, n mid: featurizer
+            (16, 256, 256, GemmBackendKind::Blocked),          // planner prefill
+            (1, 512, 128, GemmBackendKind::Blocked),           // planner decode
+            (4, 32, 32, GemmBackendKind::Blocked),             // attention products
+        ] {
+            assert_eq!(
+                auto.lut[dispatch::bucket(m, k, n)],
+                want,
+                "shape {m}x{k}x{n}"
+            );
+            assert_eq!(
+                auto.select(
+                    &quant_unit(&Matrix::zeros(m, k)),
+                    &quant_unit(&Matrix::zeros(k, n))
+                )
+                .name(),
+                want.name(),
+                "select() must agree with the lut for {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_rejects_auto_nesting_but_overlays_partial_tables() {
+        let nested = dispatch::RawTable {
+            version: dispatch::TABLE_VERSION,
+            rules: vec![dispatch::RawRule {
+                op: "gemm_i8".to_string(),
+                m: None,
+                k: None,
+                n: None,
+                backend: "auto".to_string(),
+            }],
+        };
+        assert!(
+            DispatchBackend::from_table(&nested).is_err(),
+            "auto must not route to itself"
+        );
+
+        // A partial table only overrides the buckets it names; everything
+        // else keeps the static defaults.
+        let partial = dispatch::RawTable {
+            version: dispatch::TABLE_VERSION,
+            rules: vec![dispatch::RawRule {
+                op: "gemm_i8".to_string(),
+                m: None,
+                k: None,
+                n: Some(dispatch::Band::Lo),
+                backend: "scalar".to_string(),
+            }],
+        };
+        let auto = DispatchBackend::from_table(&partial).expect("partial tables resolve");
+        assert_eq!(
+            auto.lut[dispatch::bucket(1, 64, 16)],
+            GemmBackendKind::Scalar
+        );
+        assert_eq!(
+            auto.lut[dispatch::bucket(4, 686, 32)],
+            GemmBackendKind::Wide,
+            "uncovered buckets keep the static table"
+        );
+    }
+
+    #[test]
+    fn dispatch_resolve_falls_back_on_missing_and_corrupt_tables() {
+        let dir = std::env::temp_dir().join(format!("create-i8-dispatch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let corrupt = dir.join("corrupt.json");
+        std::fs::write(&corrupt, "{\"version\": 1, \"rules\": [{\"op\": tru").expect("write");
+        let cache = dir.join("unused-cache.json");
+        // Explicit-but-corrupt table → static, never a panic.
+        assert_eq!(
+            DispatchBackend::resolve(Some(&corrupt), false, &cache),
+            DispatchBackend::built_in()
+        );
+        // Explicit-but-missing table → static.
+        assert_eq!(
+            DispatchBackend::resolve(Some(&dir.join("nope.json")), false, &cache),
+            DispatchBackend::built_in()
+        );
+        // Autotune enabled but the cache is corrupt → static, and the
+        // corrupt cache is left in place for inspection (never
+        // re-measured, never deleted, never aborts).
+        assert_eq!(
+            DispatchBackend::resolve(None, true, &corrupt),
+            DispatchBackend::built_in()
+        );
+        assert!(corrupt.exists(), "fallback must not delete the evidence");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn autotune_measures_writes_cache_and_reloads_identically() {
+        let dir = std::env::temp_dir().join(format!("create-i8-autotune-{}", std::process::id()));
+        let cache = dir.join(I8_AUTOTUNE_FILE);
+        std::fs::remove_file(&cache).ok();
+        let first = DispatchBackend::resolve(None, true, &cache);
+        assert!(cache.exists(), "one-shot autotune must persist its table");
+        let reloaded = DispatchBackend::resolve(None, true, &cache);
+        assert_eq!(first, reloaded, "cache reload must reproduce the router");
+        // Whatever won, the routed results stay bit-identical to scalar.
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = random_quant(4, 33, &mut rng);
+        let w = random_quant(33, 20, &mut rng);
+        assert_eq!(first.gemm_i8_acc(&a, &w), ScalarBackend.gemm_i8_acc(&a, &w));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -602,18 +602,12 @@ impl ControllerModel {
 
     /// [`train_with`](Self::train_with) with an explicit worker count.
     ///
-    /// Each minibatch fans its per-sample forward/backward passes over
-    /// `threads` workers ([`create_tensor::par::scoped_map`] — the same
-    /// scoped-pool primitive behind the experiment engine); each worker
-    /// owns one [`ControllerFwdScratch`] and writes one
-    /// [`ControllerSampleDelta`] per sample, and the deltas are folded
-    /// into the shared gradients **in sample order** before the AdamW
-    /// step. The fold replays the sequential loop's additions exactly,
-    /// so losses and final weights are **bit-identical for every
-    /// `threads` value** (pinned by the thread-parity test below and by
-    /// `train_matches_allocating_reference_bit_for_bit` against the
-    /// pre-refactor loop). With `threads == 1` the samples run inline on
-    /// the calling thread and no threads are spawned.
+    /// Spawns one persistent [`create_tensor::par::WorkerPool`] for the
+    /// whole call — workers park on a condvar between minibatch chunks
+    /// instead of being spawned and joined per chunk, removing the
+    /// ~10%-of-a-train-step thread-churn overhead the committed baselines
+    /// measured. With `threads == 1` the pool runs inline on the calling
+    /// thread and no threads are spawned.
     pub fn train_with_threads(
         &mut self,
         samples: &[BcSample],
@@ -621,6 +615,35 @@ impl ControllerModel {
         lr: f32,
         rng: &mut impl Rng,
         threads: usize,
+        scratch: &mut ControllerTrainScratch,
+    ) -> f32 {
+        let mut pool = create_tensor::par::WorkerPool::new(threads);
+        self.train_with_mapper(samples, epochs, lr, rng, &mut pool, scratch)
+    }
+
+    /// [`train_with_threads`](Self::train_with_threads) with an explicit
+    /// chunk-fan-out strategy (any [`MinibatchMap`]): the persistent
+    /// [`WorkerPool`](create_tensor::par::WorkerPool) in production, or
+    /// [`SpawnPerChunk`](create_tensor::par::SpawnPerChunk) when the
+    /// `train` bench measures the pool against the old behaviour.
+    ///
+    /// Each minibatch fans its per-sample forward/backward passes over
+    /// the mapper's workers; each worker owns one
+    /// [`ControllerFwdScratch`] and writes one [`ControllerSampleDelta`]
+    /// per sample, and the deltas are folded into the shared gradients
+    /// **in sample order** before the AdamW step. The fold replays the
+    /// sequential loop's additions exactly, so losses and final weights
+    /// are **bit-identical for every mapper and worker count** (pinned by
+    /// the thread-parity test below and by
+    /// `train_matches_allocating_reference_bit_for_bit` against the
+    /// pre-refactor loop).
+    pub fn train_with_mapper(
+        &mut self,
+        samples: &[BcSample],
+        epochs: usize,
+        lr: f32,
+        rng: &mut impl Rng,
+        mapper: &mut impl create_tensor::par::MinibatchMap,
         scratch: &mut ControllerTrainScratch,
     ) -> f32 {
         let cfg = AdamWConfig {
@@ -639,7 +662,7 @@ impl ControllerModel {
         order.clear();
         order.extend(0..samples.len());
         let batch = 32usize;
-        workers.resize_with(threads.max(1), Default::default);
+        workers.resize_with(mapper.workers(), Default::default);
         deltas.resize_with(batch.min(samples.len().max(1)), Default::default);
         let mut step = 0u64;
         let mut last = f32::INFINITY;
@@ -650,7 +673,7 @@ impl ControllerModel {
                 grads.reset_for(self);
                 let model = &*self;
                 let slots = &mut deltas[..chunk.len()];
-                create_tensor::par::scoped_map(slots, workers, |pos, delta, fwd| {
+                mapper.map(slots, workers, |pos, delta, fwd| {
                     model.backprop_sample_delta(&samples[chunk[pos]], delta, fwd);
                 });
                 for (delta, &i) in slots.iter().zip(chunk) {
@@ -1264,6 +1287,45 @@ mod tests {
                 assert_eq!(a.mlp.fc2.w, b.mlp.fc2.w, "threads={threads}");
                 assert_eq!(a.mlp.fc2.b, b.mlp.fc2.b, "threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn pool_training_matches_spawn_per_chunk_bit_for_bit() {
+        // The persistent WorkerPool is a pure scheduling change: routed
+        // through train_with_mapper, it must reproduce the old
+        // spawn-per-chunk run exactly, weights and loss bits included.
+        let mut rng = StdRng::seed_from_u64(23);
+        let base = ControllerModel::new(&tiny_preset(), &mut rng);
+        let samples = datasets::collect_bc(&[TaskId::Log], 1, 120, 0.05, 21);
+        let mut spawn_model = base.clone();
+        let mut spawn = create_tensor::par::SpawnPerChunk(3);
+        let spawn_loss = spawn_model.train_with_mapper(
+            &samples,
+            2,
+            2e-3,
+            &mut StdRng::seed_from_u64(7),
+            &mut spawn,
+            &mut ControllerTrainScratch::default(),
+        );
+        let mut pool_model = base.clone();
+        let mut pool = create_tensor::par::WorkerPool::new(3);
+        let pool_loss = pool_model.train_with_mapper(
+            &samples,
+            2,
+            2e-3,
+            &mut StdRng::seed_from_u64(7),
+            &mut pool,
+            &mut ControllerTrainScratch::default(),
+        );
+        assert_eq!(spawn_loss.to_bits(), pool_loss.to_bits());
+        assert_eq!(spawn_model.view_embed.w, pool_model.view_embed.w);
+        assert_eq!(spawn_model.cls, pool_model.cls);
+        assert_eq!(spawn_model.head.w, pool_model.head.w);
+        for (a, b) in spawn_model.blocks.iter().zip(&pool_model.blocks) {
+            assert_eq!(a.attn.wq.w, b.attn.wq.w);
+            assert_eq!(a.mlp.fc1.w, b.mlp.fc1.w);
+            assert_eq!(a.mlp.fc2.w, b.mlp.fc2.w);
         }
     }
 

@@ -471,17 +471,12 @@ impl PlannerModel {
 
     /// [`train_with`](Self::train_with) with an explicit worker count.
     ///
-    /// Each minibatch fans its per-sample forward/backward passes over
-    /// `threads` workers ([`create_tensor::par::scoped_map`]); each
-    /// worker owns one forward/backward scratch and writes one
-    /// [`PlannerSampleDelta`] per sample, and the deltas are folded into
-    /// the shared gradients **in sample order** before the AdamW step.
-    /// The fold replays the sequential loop's additions exactly, so
-    /// losses and final weights are **bit-identical for every `threads`
-    /// value** (pinned by the thread-parity test below and by
-    /// `train_matches_allocating_reference_bit_for_bit` against the
-    /// pre-refactor loop). With `threads == 1` the samples run inline on
-    /// the calling thread and no threads are spawned.
+    /// Spawns one persistent [`create_tensor::par::WorkerPool`] for the
+    /// whole call — workers park on a condvar between minibatch chunks
+    /// instead of being spawned and joined per chunk, removing the
+    /// ~10%-of-a-train-step thread-churn overhead the committed baselines
+    /// measured. With `threads == 1` the pool runs inline on the calling
+    /// thread and no threads are spawned.
     pub fn train_with_threads(
         &mut self,
         samples: &[PlanSample],
@@ -490,6 +485,36 @@ impl PlannerModel {
         outlier: Option<OutlierSpec>,
         rng: &mut impl Rng,
         threads: usize,
+        scratch: &mut PlannerTrainScratch,
+    ) -> f32 {
+        let mut pool = create_tensor::par::WorkerPool::new(threads);
+        self.train_with_mapper(samples, epochs, lr, outlier, rng, &mut pool, scratch)
+    }
+
+    /// [`train_with_threads`](Self::train_with_threads) with an explicit
+    /// chunk-fan-out strategy (any [`MinibatchMap`]): the persistent
+    /// [`WorkerPool`](create_tensor::par::WorkerPool) in production, or
+    /// [`SpawnPerChunk`](create_tensor::par::SpawnPerChunk) when the
+    /// `train` bench measures the pool against the old behaviour.
+    ///
+    /// Each minibatch fans its per-sample forward/backward passes over
+    /// the mapper's workers; each worker owns one forward/backward
+    /// scratch and writes one [`PlannerSampleDelta`] per sample, and the
+    /// deltas are folded into the shared gradients **in sample order**
+    /// before the AdamW step. The fold replays the sequential loop's
+    /// additions exactly, so losses and final weights are
+    /// **bit-identical for every mapper and worker count** (pinned by
+    /// the thread-parity test below and by
+    /// `train_matches_allocating_reference_bit_for_bit` against the
+    /// pre-refactor loop).
+    pub fn train_with_mapper(
+        &mut self,
+        samples: &[PlanSample],
+        epochs: usize,
+        lr: f32,
+        outlier: Option<OutlierSpec>,
+        rng: &mut impl Rng,
+        mapper: &mut impl create_tensor::par::MinibatchMap,
         scratch: &mut PlannerTrainScratch,
     ) -> f32 {
         let cfg = AdamWConfig {
@@ -508,7 +533,7 @@ impl PlannerModel {
         order.clear();
         order.extend(0..samples.len());
         let batch = 16usize;
-        workers.resize_with(threads.max(1), Default::default);
+        workers.resize_with(mapper.workers(), Default::default);
         deltas.resize_with(batch.min(samples.len().max(1)), Default::default);
         // Shuffling maps samples to different delta slots every epoch, so
         // pre-size the only length-dependent delta buffer to the longest
@@ -528,7 +553,7 @@ impl PlannerModel {
                 grads.reset_for(self);
                 let model = &*self;
                 let slots = &mut deltas[..chunk.len()];
-                create_tensor::par::scoped_map(slots, workers, |pos, delta, fwd| {
+                mapper.map(slots, workers, |pos, delta, fwd| {
                     model.backprop_sample_delta(&samples[chunk[pos]], outlier, delta, fwd);
                 });
                 for (delta, &i) in slots.iter().zip(chunk) {
@@ -1152,6 +1177,45 @@ mod tests {
                     assert_eq!(a.mlp.wdown.w, b.mlp.wdown.w, "threads={threads}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn pool_training_matches_spawn_per_chunk_bit_for_bit() {
+        // The persistent WorkerPool is a pure scheduling change: routed
+        // through train_with_mapper, it must reproduce the old
+        // spawn-per-chunk run exactly, weights and loss bits included.
+        let (base, samples) = tiny_setup();
+        let mut spawn_model = base.clone();
+        let mut spawn = create_tensor::par::SpawnPerChunk(3);
+        let spawn_loss = spawn_model.train_with_mapper(
+            &samples,
+            2,
+            3e-3,
+            None,
+            &mut StdRng::seed_from_u64(9),
+            &mut spawn,
+            &mut PlannerTrainScratch::default(),
+        );
+        let mut pool_model = base.clone();
+        let mut pool = create_tensor::par::WorkerPool::new(3);
+        let pool_loss = pool_model.train_with_mapper(
+            &samples,
+            2,
+            3e-3,
+            None,
+            &mut StdRng::seed_from_u64(9),
+            &mut pool,
+            &mut PlannerTrainScratch::default(),
+        );
+        assert_eq!(spawn_loss.to_bits(), pool_loss.to_bits());
+        assert_eq!(spawn_model.embed, pool_model.embed);
+        assert_eq!(spawn_model.pos, pool_model.pos);
+        assert_eq!(spawn_model.head.w, pool_model.head.w);
+        for (a, b) in spawn_model.blocks.iter().zip(&pool_model.blocks) {
+            assert_eq!(a.attn.wq.w, b.attn.wq.w);
+            assert_eq!(a.mlp.wgate.w, b.mlp.wgate.w);
+            assert_eq!(a.mlp.wdown.w, b.mlp.wdown.w);
         }
     }
 

@@ -7,10 +7,12 @@
 //! baseline to beat (`bench_report` diffs it against
 //! `results/baseline/`). The GEMM section measures *every* backend
 //! in-process (they are called directly, not through the env-selected
-//! global), so a single run records the scalar-vs-blocked-vs-wide
-//! speedups; the end-to-end section runs under whatever
+//! global), so a single run records the scalar-vs-blocked-vs-wide-vs-auto
+//! speedups and lets `bench_report` gate `auto` against the best single
+//! backend per shape; the end-to-end section runs under whatever
 //! `CREATE_F32_BACKEND` selected (recorded per record) — CI runs it
-//! under several values.
+//! under several values — and measures the persistent worker pool
+//! against the old spawn-per-chunk fan-out at 1, 2 and 4 workers.
 
 use create_agents::presets::{ControllerPreset, PlannerPreset};
 use create_agents::{
@@ -124,11 +126,19 @@ fn bench_f32_gemms(records: &mut Vec<BenchRecord>) {
 /// results are bit-identical at every count by contract.
 const TRAIN_THREADS: [usize; 3] = [1, 2, 4];
 
+/// The chunk-fan-out strategies measured head-to-head: the persistent
+/// condvar-parked [`WorkerPool`](create_tensor::par::WorkerPool) that
+/// `train_with_threads` now uses, and the pre-pool
+/// [`SpawnPerChunk`](create_tensor::par::SpawnPerChunk) behaviour it
+/// replaced. `bench_report` gates pool ≥ spawn at 4 workers.
+const TRAIN_MODES: [&str; 2] = ["pool", "spawn"];
+
 /// Times `epochs` epochs of a training closure after a 1-epoch warm-up,
 /// recording seconds/epoch and epochs/s.
 fn timed_epochs(
     records: &mut Vec<BenchRecord>,
     name: &str,
+    mode: &str,
     threads: usize,
     samples: u64,
     epochs: usize,
@@ -140,7 +150,8 @@ fn timed_epochs(
     let elapsed = start.elapsed().as_secs_f64();
     let backend = FloatBackendKind::from_env().name();
     println!(
-        "  {name}: {:.3} s/epoch ({:.2} epochs/s) on the `{backend}` backend, {threads} worker(s)",
+        "  {name}: {:.3} s/epoch ({:.2} epochs/s) on the `{backend}` backend, \
+         {threads} worker(s), {mode} fan-out",
         elapsed / epochs as f64,
         epochs as f64 / elapsed,
     );
@@ -148,6 +159,7 @@ fn timed_epochs(
         BenchRecord::new()
             .str("bench", name)
             .str("backend", backend)
+            .str("mode", mode)
             .int("threads", threads as u64)
             .int("samples", samples)
             .int("epochs", epochs as u64)
@@ -183,17 +195,35 @@ fn bench_training_throughput(records: &mut Vec<BenchRecord>) {
     let mut p_scratch = PlannerTrainScratch::default();
     let n = samples.len() as u64;
     for threads in TRAIN_THREADS {
-        timed_epochs(records, "train_planner", threads, n, 40, |epochs| {
-            let _ = planner.train_with_threads(
-                &samples,
-                epochs,
-                3e-3,
-                None,
-                &mut rng,
-                threads,
-                &mut p_scratch,
-            );
-        });
+        for mode in TRAIN_MODES {
+            timed_epochs(records, "train_planner", mode, threads, n, 40, |epochs| {
+                // "pool" is the production path (train_with_threads spawns
+                // one persistent pool per call); "spawn" replays the
+                // pre-pool per-chunk thread churn for comparison.
+                if mode == "pool" {
+                    let _ = planner.train_with_threads(
+                        &samples,
+                        epochs,
+                        3e-3,
+                        None,
+                        &mut rng,
+                        threads,
+                        &mut p_scratch,
+                    );
+                } else {
+                    let mut spawn = create_tensor::par::SpawnPerChunk(threads);
+                    let _ = planner.train_with_mapper(
+                        &samples,
+                        epochs,
+                        3e-3,
+                        None,
+                        &mut rng,
+                        &mut spawn,
+                        &mut p_scratch,
+                    );
+                }
+            });
+        }
     }
 
     // Controller: behaviour cloning on a 2-task expert set.
@@ -209,10 +239,30 @@ fn bench_training_throughput(records: &mut Vec<BenchRecord>) {
     let mut c_scratch = ControllerTrainScratch::default();
     let n = bc.len() as u64;
     for threads in TRAIN_THREADS {
-        timed_epochs(records, "train_controller", threads, n, 4, |epochs| {
-            let _ =
-                controller.train_with_threads(&bc, epochs, 2e-3, &mut rng, threads, &mut c_scratch);
-        });
+        for mode in TRAIN_MODES {
+            timed_epochs(records, "train_controller", mode, threads, n, 4, |epochs| {
+                if mode == "pool" {
+                    let _ = controller.train_with_threads(
+                        &bc,
+                        epochs,
+                        2e-3,
+                        &mut rng,
+                        threads,
+                        &mut c_scratch,
+                    );
+                } else {
+                    let mut spawn = create_tensor::par::SpawnPerChunk(threads);
+                    let _ = controller.train_with_mapper(
+                        &bc,
+                        epochs,
+                        2e-3,
+                        &mut rng,
+                        &mut spawn,
+                        &mut c_scratch,
+                    );
+                }
+            });
+        }
     }
 }
 

@@ -1,0 +1,744 @@
+//! Shape-bucketed dispatch tables for the pluggable GEMM backends.
+//!
+//! The committed baselines (`results/baseline/BENCH_kernels.json`,
+//! `BENCH_train.json`) show no single GEMM backend dominates: `wide` wins
+//! the small/sparse INT8 shapes and every f32 `matmul_nt`, `blocked`
+//! keeps the rank-1-update kernels, and `scalar` still wins the one-hot
+//! featurizer's zero-heavy products. This module is the shared substrate
+//! for the `auto` backends (`create_tensor::fgemm::DispatchF32Backend`,
+//! `create_accel::gemm::DispatchBackend`) that route every call to the
+//! measured-fastest concrete backend by **size class** instead of one
+//! global choice:
+//!
+//! * each GEMM dimension is bucketed into a coarse [`Band`]
+//!   (`lo`/`mid`/`hi`, thresholds below), giving 27 buckets per op —
+//!   coarse on purpose: the tables stay tiny, lookups are three integer
+//!   compares, and a band either has a clear winner in the bench data or
+//!   the backends are within noise of each other;
+//! * a [`RawTable`] is an ordered list of first-match-wins [`RawRule`]s
+//!   (op + optional band constraints → concrete backend name), stored as
+//!   a small JSON document so autotuned tables can be cached under
+//!   `target/` and hand-written tables can be passed via
+//!   `CREATE_GEMM_BACKEND=auto:<table.json>`;
+//! * consumers resolve a table into a flat 27-entry lookup table per op
+//!   ([`RawTable::resolve`]) **once**, so steady-state dispatch performs
+//!   no allocation and no string work.
+//!
+//! Everything here follows the `envcfg` warn-and-fallback contract: a
+//! malformed or truncated table file (including a corrupt autotune cache
+//! under `target/`) must never abort a run — callers warn once on stderr
+//! and fall back to their compiled-in static table.
+
+use std::path::{Path, PathBuf};
+
+/// Version stamp for on-disk dispatch tables. Bumped if the bucket
+/// thresholds or the JSON schema change, so a stale autotune cache from
+/// an older build is rejected (and falls back) instead of silently
+/// misrouting.
+pub const TABLE_VERSION: u64 = 1;
+
+/// Number of size-class buckets per op: three [`Band`]s per dimension.
+pub const N_BUCKETS: usize = 27;
+
+/// Coarse size class of one GEMM dimension.
+///
+/// The thresholds (see [`band_m`], [`band_k`], [`band_n`]) were chosen to
+/// separate the workspace's recorded bench shapes wherever the committed
+/// baselines show different winners, while keeping each band wide enough
+/// that an autotune pass with a handful of probe shapes covers the
+/// buckets that matter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Band {
+    /// Degenerate-to-tiny (single output row, vector-like).
+    Lo,
+    /// Small — the bread-and-butter training shapes.
+    Mid,
+    /// Large — reduction- or bandwidth-bound.
+    Hi,
+}
+
+impl Band {
+    /// All bands, in ascending order (index order of [`bucket`]).
+    pub const ALL: [Band; 3] = [Band::Lo, Band::Mid, Band::Hi];
+
+    /// Stable lower-case name, as written in table JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Band::Lo => "lo",
+            Band::Mid => "mid",
+            Band::Hi => "hi",
+        }
+    }
+
+    /// Parses a band name or the `"*"` wildcard (`None`).
+    pub fn parse_spec(s: &str) -> Result<Option<Band>, String> {
+        match s.trim() {
+            "*" => Ok(None),
+            "lo" => Ok(Some(Band::Lo)),
+            "mid" => Ok(Some(Band::Mid)),
+            "hi" => Ok(Some(Band::Hi)),
+            other => Err(format!(
+                "unknown band {other:?}: expected \"lo\", \"mid\", \"hi\" or \"*\""
+            )),
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Band::Lo => 0,
+            Band::Mid => 1,
+            Band::Hi => 2,
+        }
+    }
+}
+
+/// Size class of the output-row dimension `m` (lo ≤ 2, mid ≤ 8, hi above).
+pub fn band_m(m: usize) -> Band {
+    if m <= 2 {
+        Band::Lo
+    } else if m <= 8 {
+        Band::Mid
+    } else {
+        Band::Hi
+    }
+}
+
+/// Size class of the reduction dimension `k` (lo ≤ 8, mid ≤ 128, hi above).
+pub fn band_k(k: usize) -> Band {
+    if k <= 8 {
+        Band::Lo
+    } else if k <= 128 {
+        Band::Mid
+    } else {
+        Band::Hi
+    }
+}
+
+/// Size class of the output-column dimension `n` (lo ≤ 16, mid ≤ 48, hi
+/// above). The mid/hi boundary sits between 32 and 64 because the
+/// committed `matmul_tn` baselines flip winners exactly there.
+pub fn band_n(n: usize) -> Band {
+    if n <= 16 {
+        Band::Lo
+    } else if n <= 48 {
+        Band::Mid
+    } else {
+        Band::Hi
+    }
+}
+
+/// Flat bucket index of a canonical `(m, k, n)` GEMM shape, in
+/// `0..N_BUCKETS`. `m`/`k`/`n` are always *output rows*, *reduction
+/// length* and *output columns* — transposed ops canonicalize before
+/// calling this.
+pub fn bucket(m: usize, k: usize, n: usize) -> usize {
+    band_m(m).index() * 9 + band_k(k).index() * 3 + band_n(n).index()
+}
+
+/// The `(m, k, n)` bands of a flat bucket index (inverse of [`bucket`]).
+pub fn bucket_bands(idx: usize) -> (Band, Band, Band) {
+    (
+        Band::ALL[(idx / 9) % 3],
+        Band::ALL[(idx / 3) % 3],
+        Band::ALL[idx % 3],
+    )
+}
+
+/// One dispatch rule: route `op` calls whose bands match the (optional,
+/// `None` = wildcard) constraints to the named concrete backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawRule {
+    /// Operation name (`"gemm_i8"`, `"matmul"`, `"matmul_nt"`,
+    /// `"matmul_tn"`).
+    pub op: String,
+    /// Output-row band constraint (`None` matches every band).
+    pub m: Option<Band>,
+    /// Reduction band constraint.
+    pub k: Option<Band>,
+    /// Output-column band constraint.
+    pub n: Option<Band>,
+    /// Concrete backend name (`"auto"` is rejected at resolution — a
+    /// table cell must not recurse into the dispatcher).
+    pub backend: String,
+}
+
+impl RawRule {
+    fn matches(&self, op: &str, bands: (Band, Band, Band)) -> bool {
+        self.op == op
+            && self.m.is_none_or(|b| b == bands.0)
+            && self.k.is_none_or(|b| b == bands.1)
+            && self.n.is_none_or(|b| b == bands.2)
+    }
+}
+
+/// An ordered, first-match-wins dispatch table, the unit of storage and
+/// exchange (static tables, autotune caches, `auto:<table.json>` files).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawTable {
+    /// Schema/threshold version; must equal [`TABLE_VERSION`] to resolve.
+    pub version: u64,
+    /// Rules, tried in order; buckets no rule matches keep the caller's
+    /// base value.
+    pub rules: Vec<RawRule>,
+}
+
+impl RawTable {
+    /// Resolves `op`'s rules into a flat per-bucket lookup table, overlaid
+    /// on `base` (buckets no rule matches keep their `base` entry — for
+    /// the autotune path `base` is the compiled-in static table, so
+    /// unmeasured buckets keep the committed defaults).
+    ///
+    /// `parse_backend` maps a backend name to the caller's concrete
+    /// backend handle; returning `None` (unknown name, or `"auto"`
+    /// nesting) fails the **whole** table so callers fall back to their
+    /// static table rather than mixing a half-applied one.
+    pub fn resolve<B: Copy>(
+        &self,
+        op: &str,
+        base: [B; N_BUCKETS],
+        parse_backend: impl Fn(&str) -> Option<B>,
+    ) -> Result<[B; N_BUCKETS], String> {
+        if self.version != TABLE_VERSION {
+            return Err(format!(
+                "table version {} does not match supported version {TABLE_VERSION}",
+                self.version
+            ));
+        }
+        let mut lut = base;
+        for (idx, slot) in lut.iter_mut().enumerate() {
+            let bands = bucket_bands(idx);
+            if let Some(rule) = self.rules.iter().find(|r| r.matches(op, bands)) {
+                *slot = parse_backend(&rule.backend).ok_or_else(|| {
+                    format!(
+                        "rule for op {op:?} names unusable backend {:?}",
+                        rule.backend
+                    )
+                })?;
+            }
+        }
+        Ok(lut)
+    }
+
+    /// Parses the JSON form produced by [`render`](Self::render).
+    pub fn parse(json: &str) -> Result<RawTable, String> {
+        let value = json::parse(json)?;
+        let obj = value.as_object().ok_or("top level must be an object")?;
+        let version = json::get(obj, "version")
+            .and_then(json::Value::as_u64)
+            .ok_or("missing integer \"version\"")?;
+        let rules_val = json::get(obj, "rules").ok_or("missing \"rules\" array")?;
+        let rules_arr = rules_val.as_array().ok_or("\"rules\" must be an array")?;
+        let mut rules = Vec::with_capacity(rules_arr.len());
+        for (i, rule_val) in rules_arr.iter().enumerate() {
+            let rule = rule_val
+                .as_object()
+                .ok_or_else(|| format!("rule {i} must be an object"))?;
+            let field = |name: &str| -> Result<Option<Band>, String> {
+                match json::get(rule, name) {
+                    None => Ok(None),
+                    Some(v) => {
+                        let s = v
+                            .as_str()
+                            .ok_or_else(|| format!("rule {i}: {name:?} must be a string"))?;
+                        Band::parse_spec(s).map_err(|e| format!("rule {i}: {e}"))
+                    }
+                }
+            };
+            let text = |name: &str| -> Result<String, String> {
+                json::get(rule, name)
+                    .and_then(json::Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("rule {i}: missing string {name:?}"))
+            };
+            rules.push(RawRule {
+                op: text("op")?,
+                m: field("m")?,
+                k: field("k")?,
+                n: field("n")?,
+                backend: text("backend")?,
+            });
+        }
+        Ok(RawTable { version, rules })
+    }
+
+    /// Renders the table as JSON (the exact form [`parse`](Self::parse)
+    /// accepts; band wildcards are written as `"*"`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"version\": {},\n  \"rules\": [\n",
+            self.version
+        ));
+        for (i, r) in self.rules.iter().enumerate() {
+            let spec = |b: Option<Band>| b.map_or("*", Band::name);
+            out.push_str(&format!(
+                "    {{\"op\": \"{}\", \"m\": \"{}\", \"k\": \"{}\", \"n\": \"{}\", \"backend\": \"{}\"}}{}\n",
+                r.op,
+                spec(r.m),
+                spec(r.k),
+                spec(r.n),
+                r.backend,
+                if i + 1 < self.rules.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Builds a dispatch table from autotune measurements: one sample per
+/// `(op, bucket, backend)` triple with its measured ns; total ns are
+/// accumulated per backend within each `(op, bucket)` and the fastest
+/// backend wins the bucket's rule. Buckets with no samples get no rule
+/// (resolution keeps the static base there).
+pub fn table_from_measurements(samples: &[(&str, usize, &str, f64)]) -> RawTable {
+    // Per-backend accumulated ns within one `(op, bucket)` group.
+    type BackendTotals<'a> = Vec<(&'a str, f64)>;
+    let mut rules = Vec::new();
+    // Keyed accumulation without hashing: the sample lists are tiny.
+    let mut groups: Vec<(&str, usize, BackendTotals)> = Vec::new();
+    for &(op, idx, backend, ns) in samples {
+        let group = match groups.iter_mut().find(|(o, i, _)| *o == op && *i == idx) {
+            Some(g) => &mut g.2,
+            None => {
+                groups.push((op, idx, Vec::new()));
+                &mut groups.last_mut().expect("just pushed").2
+            }
+        };
+        match group.iter_mut().find(|(b, _)| *b == backend) {
+            Some(slot) => slot.1 += ns,
+            None => group.push((backend, ns)),
+        }
+    }
+    for (op, idx, totals) in groups {
+        let winner = totals
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|&(b, _)| b);
+        if let Some(backend) = winner {
+            let (m, k, n) = bucket_bands(idx);
+            rules.push(RawRule {
+                op: op.to_string(),
+                m: Some(m),
+                k: Some(k),
+                n: Some(n),
+                backend: backend.to_string(),
+            });
+        }
+    }
+    RawTable {
+        version: TABLE_VERSION,
+        rules,
+    }
+}
+
+/// Loads and parses a dispatch table file; every failure mode (missing,
+/// unreadable, malformed) is a `String` so callers can warn-and-fallback.
+pub fn load_table(path: &Path) -> Result<RawTable, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    RawTable::parse(&text)
+}
+
+/// Writes a dispatch table to `path` (creating parent directories),
+/// through a temp-file rename so concurrent readers never observe a
+/// truncated table — at worst they see the old file or none at all.
+pub fn store_table(path: &Path, table: &RawTable) -> Result<(), String> {
+    let dir = path.parent().ok_or("table path has no parent directory")?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, table.render()).map_err(|e| format!("cannot write {tmp:?}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename into {path:?}: {e}"))
+}
+
+/// Default location of the one-shot autotune cache for `file_name`
+/// (e.g. `f32.json`): `$CREATE_AUTOTUNE_DIR` when set, otherwise
+/// `<target dir>/create-autotune/` of this workspace — deliberately under
+/// `target/` so `cargo clean` clears stale measurements.
+pub fn autotune_cache_path(file_name: &str) -> PathBuf {
+    let dir = match std::env::var_os("CREATE_AUTOTUNE_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::var_os("CARGO_TARGET_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target"))
+            .join("create-autotune"),
+    };
+    dir.join(file_name)
+}
+
+/// Whether `CREATE_GEMM_AUTOTUNE` requests the one-shot autotune
+/// (`1`/`true`; `0`/`false`/unset disable; garbage warns and falls back
+/// to off). Cached for the life of the process — both GEMM traits consult
+/// it on their first `auto` dispatch.
+pub fn autotune_requested() -> bool {
+    static CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| crate::envcfg::read_flag("CREATE_GEMM_AUTOTUNE", false))
+}
+
+/// Best-of-three ns-per-call timing for an autotune candidate: each
+/// repetition scales the iteration count until the window exceeds 500 µs,
+/// and the minimum over repetitions is reported (robust against
+/// scheduling noise, same policy as the bench harness's measurement
+/// loop). Total cost per candidate is a couple of milliseconds, keeping
+/// the whole one-shot autotune well under a second.
+pub fn measure_ns(mut f: impl FnMut()) -> f64 {
+    f(); // warm caches and any lazy init outside the timed window
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut iters: u64 = 1;
+        loop {
+            let start = std::time::Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= std::time::Duration::from_micros(500) || iters >= 1 << 24 {
+                best = best.min(elapsed.as_nanos() as f64 / iters as f64);
+                break;
+            }
+            iters *= 2;
+        }
+    }
+    best
+}
+
+/// A deliberately minimal JSON reader for dispatch tables: objects,
+/// arrays, strings (no escapes beyond `\" \\ \/ \n \t \r`), and
+/// non-negative integers — exactly the grammar [`RawTable::render`]
+/// emits. Anything else is a parse error, which the callers' fallback
+/// contract turns into "use the static table".
+mod json {
+    pub enum Value {
+        Object(Vec<(String, Value)>),
+        Array(Vec<Value>),
+        Str(String),
+        Num(u64),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn get<'a>(obj: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+        obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&ch) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", ch as char, *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+            Some(c) if c.is_ascii_digit() => parse_number(bytes, pos),
+            Some(c) => Err(format!("unexpected {:?} at byte {}", *c as char, *pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            expect(bytes, pos, b':')?;
+            let value = parse_value(bytes, pos)?;
+            fields.push((key, value));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {}", *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while let Some(&c) = bytes.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = bytes.get(*pos).copied().ok_or("unterminated escape")?;
+                    *pos += 1;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => {
+                            return Err(format!("unsupported escape \\{}", other as char));
+                        }
+                    });
+                }
+                other => out.push(other as char),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> RawTable {
+        RawTable {
+            version: TABLE_VERSION,
+            rules: vec![
+                RawRule {
+                    op: "matmul".to_string(),
+                    m: Some(Band::Lo),
+                    k: Some(Band::Hi),
+                    n: None,
+                    backend: "scalar".to_string(),
+                },
+                RawRule {
+                    op: "matmul".to_string(),
+                    m: None,
+                    k: None,
+                    n: None,
+                    backend: "blocked".to_string(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bucket_round_trips_through_bands() {
+        for idx in 0..N_BUCKETS {
+            let (m, k, n) = bucket_bands(idx);
+            let probe = |b: Band, lo: usize, mid: usize, hi: usize| match b {
+                Band::Lo => lo,
+                Band::Mid => mid,
+                Band::Hi => hi,
+            };
+            let got = bucket(
+                probe(m, 1, 5, 100),
+                probe(k, 2, 64, 500),
+                probe(n, 8, 32, 256),
+            );
+            assert_eq!(got, idx);
+        }
+    }
+
+    #[test]
+    fn band_thresholds_separate_the_recorded_bench_shapes() {
+        // The committed baselines flip winners across exactly these
+        // boundaries; a threshold change that merges them would make the
+        // static tables unrepresentable.
+        assert_eq!(band_m(1), Band::Lo);
+        assert_eq!(band_m(4), Band::Mid);
+        assert_eq!(band_m(16), Band::Hi);
+        assert_eq!(band_k(4), Band::Lo);
+        assert_eq!(band_k(64), Band::Mid);
+        assert_eq!(band_k(686), Band::Hi);
+        assert_eq!(band_n(16), Band::Lo);
+        assert_eq!(band_n(32), Band::Mid);
+        assert_eq!(band_n(64), Band::Hi);
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let table = sample_table();
+        let parsed = RawTable::parse(&table.render()).expect("round trip");
+        assert_eq!(parsed, table);
+    }
+
+    #[test]
+    fn resolve_applies_first_match_and_overlay_base() {
+        let table = sample_table();
+        let lut = table
+            .resolve("matmul", ["base"; N_BUCKETS], |s| match s {
+                "scalar" => Some("scalar"),
+                "blocked" => Some("blocked"),
+                _ => None,
+            })
+            .expect("resolves");
+        let sparse = bucket(1, 686, 32);
+        assert_eq!(lut[sparse], "scalar", "specific rule wins over catch-all");
+        assert_eq!(lut[bucket(28, 32, 32)], "blocked");
+        // A different op keeps the base everywhere.
+        let other = table
+            .resolve("matmul_nt", ["base"; N_BUCKETS], |_| Some("rule"))
+            .expect("resolves");
+        assert!(other.iter().all(|b| *b == "base"));
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_backends_and_versions() {
+        let mut table = sample_table();
+        table.rules[0].backend = "auto".to_string();
+        let err = table
+            .resolve("matmul", [0u8; N_BUCKETS], |s| match s {
+                "blocked" => Some(1u8),
+                _ => None,
+            })
+            .expect_err("auto nesting must fail the table");
+        assert!(err.contains("auto"), "{err}");
+        let mut stale = sample_table();
+        stale.version = TABLE_VERSION + 1;
+        assert!(stale
+            .resolve("matmul", [0u8; N_BUCKETS], |_| Some(0u8))
+            .is_err());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_panic() {
+        for text in [
+            "",
+            "{",
+            "not json",
+            "{\"version\": 1}",
+            "{\"version\": 1, \"rules\": [{\"op\": \"matmul\"",
+            "{\"version\": 1, \"rules\": [{\"op\": 3, \"backend\": \"x\"}]}",
+            "{\"version\": 1, \"rules\": [{\"op\": \"matmul\", \"m\": \"huge\", \"backend\": \"x\"}]}",
+            "{\"version\": 1, \"rules\": 7}",
+            "{\"version\": 1, \"rules\": []} trailing",
+        ] {
+            assert!(RawTable::parse(text).is_err(), "{text:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn measurements_fold_into_per_bucket_winners() {
+        let b = bucket(28, 32, 32);
+        let table = table_from_measurements(&[
+            ("matmul", b, "blocked", 10.0),
+            ("matmul", b, "wide", 4.0),
+            ("matmul", b, "wide", 9.0), // totals: blocked 10, wide 13
+            ("matmul_nt", b, "wide", 1.0),
+        ]);
+        assert_eq!(table.rules.len(), 2);
+        let nn = &table.rules[0];
+        assert_eq!((nn.op.as_str(), nn.backend.as_str()), ("matmul", "blocked"));
+        assert_eq!(nn.m, Some(Band::Hi));
+        assert_eq!(table.rules[1].backend, "wide");
+        // The emitted table survives its own render/parse/resolve cycle.
+        let lut = RawTable::parse(&table.render())
+            .expect("parses")
+            .resolve("matmul", ["base"; N_BUCKETS], |s| match s {
+                "blocked" => Some("blocked"),
+                "wide" => Some("wide"),
+                _ => None,
+            })
+            .expect("resolves");
+        assert_eq!(lut[b], "blocked");
+    }
+
+    #[test]
+    fn store_and_load_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("create-dispatch-{}", std::process::id()));
+        let path = dir.join("table.json");
+        let table = sample_table();
+        store_table(&path, &table).expect("store");
+        assert_eq!(load_table(&path).expect("load"), table);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_failures_are_errors_not_panics() {
+        assert!(load_table(Path::new("/definitely/not/a/table.json")).is_err());
+    }
+}

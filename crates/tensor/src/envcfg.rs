@@ -65,6 +65,24 @@ pub fn read_positive_usize(name: &str, default: usize) -> usize {
     positive_usize(name, std::env::var(name).ok().as_deref(), default)
 }
 
+/// Parses an on/off switch (`1`/`true` on, `0`/`false` off,
+/// case-insensitive) with the shared warn-and-fallback contract — the
+/// `CREATE_GEMM_AUTOTUNE` shape.
+pub fn flag(name: &str, raw: Option<&str>, default: bool) -> bool {
+    parse_validated(name, raw, default, |s| {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" => Ok(true),
+            "0" | "false" => Ok(false),
+            _ => Err("expected 0/1 or true/false".to_string()),
+        }
+    })
+}
+
+/// [`flag`] over the live process environment.
+pub fn read_flag(name: &str, default: bool) -> bool {
+    flag(name, std::env::var(name).ok().as_deref(), default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +105,17 @@ mod tests {
         assert_eq!(positive_usize("CREATE_TEST_X", Some("0"), 7), 7);
         assert_eq!(positive_usize("CREATE_TEST_X", Some("-4"), 7), 7);
         assert_eq!(positive_usize("CREATE_TEST_X", Some("lots"), 7), 7);
+    }
+
+    #[test]
+    fn flags_parse_with_fallback() {
+        assert!(!flag("CREATE_TEST_FLAG", None, false));
+        assert!(flag("CREATE_TEST_FLAG", None, true));
+        assert!(flag("CREATE_TEST_FLAG", Some("1"), false));
+        assert!(flag("CREATE_TEST_FLAG", Some(" TRUE "), false));
+        assert!(!flag("CREATE_TEST_FLAG", Some("0"), true));
+        assert!(!flag("CREATE_TEST_FLAG", Some("false"), true));
+        assert!(!flag("CREATE_TEST_FLAG", Some("yes-please"), false));
     }
 
     #[test]

@@ -6,9 +6,13 @@
 //! * [`Matrix`] — a row-major `f32` matrix with the handful of operations
 //!   the planner/controller stacks need (GEMM, transpose, map/zip, slicing).
 //! * [`fgemm`] — pluggable `f32` GEMM backends behind the `Matrix`
-//!   multiply entry points (`CREATE_F32_BACKEND=scalar|blocked|wide`,
+//!   multiply entry points (`CREATE_F32_BACKEND=scalar|blocked|wide|auto`,
 //!   bit-identical by contract); the training-stack twin of
 //!   `create-accel`'s INT8 `GemmBackend`.
+//! * [`dispatch`] — the shape-bucketed dispatch tables behind both
+//!   traits' `auto` backends: size-class buckets, the JSON table format
+//!   (static, autotuned-and-cached under `target/`, or user-supplied via
+//!   `auto:<table.json>`), and the one-shot autotune helpers.
 //! * [`envcfg`] — the shared validated environment-variable helper every
 //!   `CREATE_*` knob parses through (silent default when unset/blank,
 //!   warn-and-fallback on garbage).
@@ -43,6 +47,7 @@
 //! assert!((n0 - n1).abs() < 1e-3);
 //! ```
 
+pub mod dispatch;
 pub mod envcfg;
 pub mod fgemm;
 pub mod hadamard;
@@ -52,7 +57,8 @@ pub mod quant;
 pub mod stats;
 
 pub use fgemm::{
-    BlockedF32Backend, FloatBackendKind, FloatGemmBackend, ScalarF32Backend, WideF32Backend,
+    BlockedF32Backend, DispatchF32Backend, FloatBackendKind, FloatGemmBackend, ScalarF32Backend,
+    WideF32Backend,
 };
 pub use matrix::Matrix;
 pub use quant::{Precision, QuantMatrix, QuantParams};

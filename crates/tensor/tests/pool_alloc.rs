@@ -1,0 +1,87 @@
+//! The persistent pool's zero-allocation steady-state contract, enforced
+//! with a counting global allocator.
+//!
+//! [`WorkerPool::run`] must perform **no heap allocation** once the pool
+//! is spawned: the per-chunk job closure lives on the submitter's stack
+//! and is published to the parked workers by pointer, and the chunk
+//! barrier is a condvar wait — that is the entire point of replacing the
+//! spawn-per-chunk `scoped_map` in the training loops. A regression that
+//! reintroduces a per-chunk allocation (boxing the job, collecting
+//! handles, growing a queue) fails this test immediately.
+//!
+//! One `#[test]` per file so no concurrent test thread can perturb the
+//! allocation counter (same harness as `create-accel/tests/alloc.rs`).
+
+use create_tensor::par::WorkerPool;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Smallest allocation delta over several measurement windows of `body`
+/// (the minimum shields against rare harness-side allocations; a
+/// per-chunk allocation in the pool would inflate every window).
+fn min_alloc_delta(windows: usize, mut body: impl FnMut()) -> u64 {
+    let mut min = u64::MAX;
+    for _ in 0..windows {
+        let before = allocations();
+        body();
+        min = min.min(allocations() - before);
+    }
+    min
+}
+
+#[test]
+fn pool_chunks_are_allocation_free_after_spawn() {
+    for threads in [1usize, 2, 4] {
+        let mut pool = WorkerPool::new(threads);
+        let mut items: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let mut workers: Vec<u64> = vec![0; pool.threads()];
+        // Warm up: first chunks touch lazy per-thread state (unwind
+        // tables, TLS), which is exactly what steady state excludes.
+        for _ in 0..3 {
+            pool.run(&mut items, &mut workers, |i, item, w| {
+                *item = (i as f32).sqrt() + *item * 0.5;
+                *w += 1;
+            });
+        }
+        let delta = min_alloc_delta(3, || {
+            for _ in 0..100 {
+                pool.run(&mut items, &mut workers, |i, item, w| {
+                    *item = (i as f32).sqrt() + *item * 0.5;
+                    *w += 1;
+                });
+            }
+        });
+        assert_eq!(
+            delta, 0,
+            "WorkerPool::run must not allocate per chunk (threads={threads})"
+        );
+        assert!(workers.iter().sum::<u64>() > 0, "work actually ran");
+    }
+}
