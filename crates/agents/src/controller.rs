@@ -1001,6 +1001,19 @@ impl QuantController {
         }
         (action, entropy)
     }
+
+    /// Pre-sizes `scratch` for this model by running one clean inference
+    /// on an empty observation through a throwaway error-free
+    /// accelerator, so the first real request pays no buffer growth — a
+    /// serving worker warms its session before admission opens. Scratch
+    /// contents never influence outcomes, so warming cannot change any
+    /// subsequent result.
+    pub fn warm(&self, scratch: &mut ControllerScratch) {
+        let mut accel = Accelerator::new(create_accel::AccelConfig::default(), 0);
+        self.logits_into(&mut accel, &Observation::empty(), None, scratch);
+        // `act_with` also touches the sampling buffer.
+        let _ = logits_entropy_with(&scratch.logits, &mut scratch.probs);
+    }
 }
 
 fn argmax(values: &[f32]) -> usize {

@@ -897,6 +897,16 @@ impl QuantPlanner {
         plan
     }
 
+    /// Pre-sizes `scratch` for this model by running one clean decode of
+    /// `task`'s initial plan through a throwaway error-free accelerator,
+    /// so a serving worker's first real request pays no buffer growth.
+    /// Scratch contents never influence outcomes, so warming cannot
+    /// change any subsequent result.
+    pub fn warm(&self, task: TaskId, scratch: &mut PlannerScratch) {
+        let mut accel = Accelerator::new(create_accel::AccelConfig::default(), 0);
+        let _ = self.decode_with(&mut accel, task, &[], scratch);
+    }
+
     /// The AD output bound profiled for a component at block `layer`
     /// (used to demonstrate WR tightening the bounds).
     pub fn ad_bound(&self, layer: usize, component: Component) -> f32 {

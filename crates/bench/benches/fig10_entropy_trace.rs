@@ -16,10 +16,12 @@ fn main() {
         record_traces: true,
         ..CreateConfig::golden()
     };
-    // Pick the longest successful trace among a few seeds.
+    // Pick the longest successful trace among a few seeds; one session
+    // reuses the inference scratch across the candidate trials.
+    let mut session = MissionSession::new(&dep);
     let mut best: Option<MissionOutcome> = None;
     for seed in 0..6 {
-        let out = run_trial(&dep, TaskId::Log, &config, seed);
+        let out = session.run(TaskId::Log, &config, seed);
         if out.success && best.as_ref().map(|b| out.steps > b.steps).unwrap_or(true) {
             best = Some(out);
         }

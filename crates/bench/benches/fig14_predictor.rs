@@ -49,7 +49,7 @@ fn main() {
         record_traces: true,
         ..CreateConfig::golden()
     };
-    let out = run_trial(&dep, TaskId::Stone, &config, 0xB14);
+    let out = MissionSession::new(&dep).run(TaskId::Stone, &config, 0xB14);
     let mut t = TextTable::new(vec!["step", "golden_entropy", "predicted", "voltage_v"]);
     for i in 0..out.entropy_trace.len() {
         let predicted = out

@@ -8,7 +8,8 @@
 //! field plus every integer field — bench name, shape, backend, thread
 //! count, …); the gated metric per record is wall-clock
 //! (`ns_per_iter`/`s_per_epoch`, lower is better) or throughput
-//! (`trials_per_s`, higher is better). Fresh records without a baseline
+//! (`trials_per_s`/`missions_per_s`, higher is better). Fresh records
+//! without a baseline
 //! counterpart are reported as `new` and never gate; a missing fresh
 //! file is skipped (that bench simply did not run), while a missing
 //! baseline directory is a hard error — commit one with
@@ -171,7 +172,12 @@ fn gate_pool_vs_spawn(file: &str, fresh: &[FlatRecord], tolerance: f64) -> usize
 }
 
 /// The bench files the report covers (the machine-readable trajectory).
-const BENCH_FILES: [&str; 3] = ["BENCH_kernels.json", "BENCH_fig01.json", "BENCH_train.json"];
+const BENCH_FILES: [&str; 4] = [
+    "BENCH_kernels.json",
+    "BENCH_fig01.json",
+    "BENCH_train.json",
+    "BENCH_serve.json",
+];
 
 fn load(path: &Path) -> Result<Vec<FlatRecord>, String> {
     let text = std::fs::read_to_string(path)

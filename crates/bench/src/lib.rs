@@ -349,13 +349,15 @@ pub fn record_key(record: &FlatRecord) -> String {
 /// The measured metric `bench_report` gates on, per record:
 /// `(field, value, higher_is_better)`. Wall-clock style metrics
 /// (`ns_per_iter`, `s_per_epoch`) gate as lower-is-better; throughput
-/// metrics (`trials_per_s`) as higher-is-better. Records without a
-/// recognized metric (or with a `null` one) are not gated.
+/// metrics (`trials_per_s`, the serve bench's `missions_per_s`) as
+/// higher-is-better. Records without a recognized metric (or with a
+/// `null` one) are not gated.
 pub fn primary_metric(record: &FlatRecord) -> Option<(&'static str, f64, bool)> {
-    const METRICS: [(&str, bool); 3] = [
+    const METRICS: [(&str, bool); 4] = [
         ("ns_per_iter", false),
         ("s_per_epoch", false),
         ("trials_per_s", true),
+        ("missions_per_s", true),
     ];
     for (name, higher_is_better) in METRICS {
         if let Some((_, BenchValue::Num { value, .. })) = record.iter().find(|(k, _)| k == name) {

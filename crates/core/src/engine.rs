@@ -202,26 +202,66 @@ pub struct EngineOptions {
 }
 
 impl EngineOptions {
+    /// A validated builder; unset knobs fall back to their env-backed
+    /// defaults at [`build`](EngineOptionsBuilder::build) time.
+    pub fn builder() -> EngineOptionsBuilder {
+        EngineOptionsBuilder::default()
+    }
+
     /// Options from `CREATE_THREADS` / `CREATE_PROGRESS` /
-    /// `CREATE_TRIAL_BATCH`.
+    /// `CREATE_TRIAL_BATCH` — [`builder`](Self::builder) with nothing
+    /// overridden.
     pub fn from_env() -> Self {
+        Self::builder().build()
+    }
+}
+
+/// Validated builder for [`EngineOptions`] — the single config path
+/// shared by grid callers and the serving layer's `ServeConfig` builder:
+/// explicit settings are clamped to the same ranges the env parsers
+/// enforce (thread and batch counts are floored at 1), and anything left
+/// unset resolves through the env-backed `CREATE_*` defaults at
+/// [`build`](Self::build) time, so an out-of-range value cannot sneak in
+/// through code that the env contract would have rejected.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptionsBuilder {
+    threads: Option<usize>,
+    progress: Option<Progress>,
+    batch: Option<usize>,
+}
+
+impl EngineOptionsBuilder {
+    /// Worker threads to fan trials over (floored at 1; default
+    /// `CREATE_THREADS` / machine parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Progress reporting sink (default `CREATE_PROGRESS`).
+    pub fn progress(mut self, progress: Progress) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Trials a worker claims per batch (floored at 1; default
+    /// `CREATE_TRIAL_BATCH`).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = Some(batch.max(1));
+        self
+    }
+
+    /// Resolves unset knobs from the environment and builds the options.
+    pub fn build(self) -> EngineOptions {
         EngineOptions {
-            threads: default_threads(),
-            progress: Progress::parse_env(std::env::var("CREATE_PROGRESS").ok().as_deref()),
-            batch: positive_env("CREATE_TRIAL_BATCH", 1),
+            threads: self.threads.unwrap_or_else(default_threads),
+            progress: self.progress.unwrap_or_else(|| {
+                Progress::parse_env(std::env::var("CREATE_PROGRESS").ok().as_deref())
+            }),
+            batch: self
+                .batch
+                .unwrap_or_else(|| positive_env("CREATE_TRIAL_BATCH", 1)),
         }
-    }
-
-    /// Overrides the thread count.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
-        self
-    }
-
-    /// Overrides the per-worker trial batch size.
-    pub fn with_batch(mut self, batch: usize) -> Self {
-        self.batch = batch.max(1);
-        self
     }
 }
 
@@ -446,11 +486,19 @@ mod tests {
     }
 
     fn options(threads: usize) -> EngineOptions {
-        EngineOptions {
-            threads,
-            progress: Progress::Silent,
-            batch: 1,
-        }
+        EngineOptions::builder()
+            .threads(threads)
+            .progress(Progress::Silent)
+            .batch(1)
+            .build()
+    }
+
+    fn options_batched(threads: usize, batch: usize) -> EngineOptions {
+        EngineOptions::builder()
+            .threads(threads)
+            .progress(Progress::Silent)
+            .batch(batch)
+            .build()
     }
 
     #[test]
@@ -524,7 +572,7 @@ mod tests {
         let reference = run_grid_with(grid(), 99, &options(1));
         for threads in [1, 2, 8] {
             for batch in [1usize, 3, 18, 64] {
-                let out = run_grid_with(grid(), 99, &options(threads).with_batch(batch));
+                let out = run_grid_with(grid(), 99, &options_batched(threads, batch));
                 assert_eq!(out, reference, "threads={threads} batch={batch}");
             }
         }
@@ -545,9 +593,15 @@ mod tests {
     }
 
     #[test]
-    fn with_batch_clamps_to_one() {
-        assert_eq!(options(1).with_batch(0).batch, 1);
-        assert_eq!(options(1).with_batch(12).batch, 12);
+    fn builder_clamps_threads_and_batch_to_one() {
+        let opts = EngineOptions::builder()
+            .threads(0)
+            .progress(Progress::Silent)
+            .batch(0)
+            .build();
+        assert_eq!(opts.threads, 1);
+        assert_eq!(opts.batch, 1);
+        assert_eq!(options_batched(1, 12).batch, 12);
     }
 
     #[test]

@@ -41,11 +41,15 @@ pub mod stats;
 pub mod testutil;
 
 pub use config::{CreateConfig, ErrorSpec, MissionLimits, PhaseGate, VoltageControl};
-pub use engine::{run_grid, run_grid_with, Accumulator, EngineOptions, ExperimentPoint};
+pub use engine::{
+    run_grid, run_grid_with, Accumulator, EngineOptions, EngineOptionsBuilder, ExperimentPoint,
+};
 pub use memory::{
     run_memory_grid, run_memory_point, MemTarget, MemoryCell, MemoryConfig, MemoryPoint,
 };
-pub use mission::{run_trial, run_trial_with, Deployment, MissionOutcome, TrialScratch};
+pub use mission::{
+    run_trial, run_trial_with, Deployment, MissionOutcome, MissionSession, TrialScratch,
+};
 pub use policy::EntropyPolicy;
 pub use stats::{
     default_reps, run_config_grid, run_outcomes, run_point, run_point_with, GridCell, SweepPoint,
@@ -54,11 +58,13 @@ pub use stats::{
 /// Convenient glob import for examples and benches.
 pub mod prelude {
     pub use crate::config::{CreateConfig, ErrorSpec, MissionLimits, PhaseGate, VoltageControl};
-    pub use crate::engine::{run_grid, run_grid_with, EngineOptions};
+    pub use crate::engine::{run_grid, run_grid_with, EngineOptions, EngineOptionsBuilder};
     pub use crate::memory::{
         run_memory_grid, run_memory_point, MemTarget, MemoryCell, MemoryConfig, MemoryPoint,
     };
-    pub use crate::mission::{run_trial, run_trial_with, Deployment, MissionOutcome, TrialScratch};
+    pub use crate::mission::{
+        run_trial, run_trial_with, Deployment, MissionOutcome, MissionSession, TrialScratch,
+    };
     pub use crate::policy::EntropyPolicy;
     pub use crate::report::{joules, pct, results_dir, sci, TextTable};
     pub use crate::stats::{

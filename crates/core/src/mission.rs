@@ -60,7 +60,12 @@ impl Deployment {
 }
 
 /// Everything measured in one trial.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field — floats with `==`, no tolerance —
+/// which is what the served-vs-offline replay contract pins on: a served
+/// mission and its offline [`run_trial_with`] replay at the same seed
+/// must be **bit-identical**, not merely close.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MissionOutcome {
     /// Whether the task goal was achieved within the budget.
     pub success: bool,
@@ -119,6 +124,72 @@ fn is_execution_phase(obs: &Observation) -> bool {
 pub struct TrialScratch {
     controller: create_agents::ControllerScratch,
     planner: create_agents::PlannerScratch,
+}
+
+impl TrialScratch {
+    /// Pre-sizes every inference buffer for `dep` by running one clean
+    /// throwaway inference per agent, so the first real trial pays no
+    /// buffer growth. A serving worker warms its session before
+    /// admission opens; outcomes are unaffected (scratch contents never
+    /// influence results — the same contract that lets scratch be reused
+    /// across trials at all).
+    pub fn warm(&mut self, dep: &Deployment) {
+        dep.controller.warm(&mut self.controller);
+        if let Some(&task) = dep.tasks.first() {
+            dep.planner.warm(task, &mut self.planner);
+        }
+    }
+}
+
+/// A reusable mission-running handle: one deployment plus warm inference
+/// scratch.
+///
+/// This is the **one code path** every mission executor goes through —
+/// the batch engine's grid cells (`stats::run_mission_batch`), the
+/// resident serving workers (`create-serve`), and offline replays all
+/// call [`run`](Self::run), which is exactly [`run_trial_with`] over the
+/// session's own scratch. Outcomes are bit-identical however the session
+/// is reused: scratch carries no information between trials.
+///
+/// Prefer a session over threading a [`TrialScratch`] through call sites
+/// by hand; `run_trial`/`run_trial_with` remain as the underlying
+/// primitives (and as the offline replay anchor for served missions).
+#[derive(Debug)]
+pub struct MissionSession<'d> {
+    dep: &'d Deployment,
+    scratch: TrialScratch,
+}
+
+impl<'d> MissionSession<'d> {
+    /// A session over `dep` with cold (empty) buffers; they grow to size
+    /// on the first trial and are reused afterwards.
+    pub fn new(dep: &'d Deployment) -> Self {
+        MissionSession {
+            dep,
+            scratch: TrialScratch::default(),
+        }
+    }
+
+    /// A session with pre-sized buffers ([`TrialScratch::warm`]) — what
+    /// a serving worker starts from, so first-request latency excludes
+    /// allocation.
+    pub fn warmed(dep: &'d Deployment) -> Self {
+        let mut session = Self::new(dep);
+        session.scratch.warm(dep);
+        session
+    }
+
+    /// The deployment this session runs against.
+    pub fn deployment(&self) -> &'d Deployment {
+        self.dep
+    }
+
+    /// Runs one mission trial — bit-identical to
+    /// [`run_trial`]`(dep, task, config, seed)` regardless of what this
+    /// session ran before.
+    pub fn run(&mut self, task: TaskId, config: &CreateConfig, seed: u64) -> MissionOutcome {
+        run_trial_with(self.dep, task, config, seed, &mut self.scratch)
+    }
 }
 
 /// Runs one mission trial.
@@ -429,6 +500,23 @@ mod tests {
             );
         }
         assert!(successes >= 4, "golden success {successes}/5");
+    }
+
+    #[test]
+    fn sessions_match_run_trial_bit_for_bit_cold_or_warm() {
+        // One session reused across trials — cold-started or pre-warmed —
+        // must reproduce the standalone runner exactly: every float
+        // compared with `==` through MissionOutcome's PartialEq.
+        let dep = tiny_deployment();
+        let config = CreateConfig::golden();
+        let mut cold = MissionSession::new(&dep);
+        let mut warm = MissionSession::warmed(&dep);
+        assert!(std::ptr::eq(warm.deployment(), &dep));
+        for seed in [3u64, 9, 11] {
+            let reference = run_trial(&dep, TaskId::Log, &config, seed);
+            assert_eq!(cold.run(TaskId::Log, &config, seed), reference);
+            assert_eq!(warm.run(TaskId::Log, &config, seed), reference);
+        }
     }
 
     #[test]

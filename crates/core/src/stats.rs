@@ -8,7 +8,7 @@
 
 use crate::config::CreateConfig;
 use crate::engine::{self, Accumulator, CollectAll, EngineOptions, ExperimentPoint};
-use crate::mission::{run_trial, run_trial_with, Deployment, MissionOutcome, TrialScratch};
+use crate::mission::{run_trial, Deployment, MissionOutcome, MissionSession};
 use create_env::TaskId;
 use create_tensor::stats::wilson_interval;
 
@@ -125,10 +125,12 @@ fn clamp_reps(reps: usize) -> u32 {
     })
 }
 
-/// Shared [`ExperimentPoint::run_batch`] body for the mission cells: one
-/// [`TrialScratch`] serves every trial of the batch, so the controller
-/// and planner inference buffers are allocated once per batch instead of
-/// once per trial (outcomes are scratch-independent, hence
+/// Shared [`ExperimentPoint::run_batch`] body for the mission cells: a
+/// grid cell is a thin client of the same [`MissionSession`] path the
+/// resident serving engine (`create-serve`) runs requests through — one
+/// session serves every trial of the batch, so the controller and
+/// planner inference buffers are allocated once per batch instead of
+/// once per trial (outcomes are session-independent, hence
 /// bit-identical).
 fn run_mission_batch(
     dep: &Deployment,
@@ -137,9 +139,9 @@ fn run_mission_batch(
     seeds: &[u64],
     out: &mut Vec<MissionOutcome>,
 ) {
-    let mut scratch = TrialScratch::default();
+    let mut session = MissionSession::new(dep);
     for &seed in seeds {
-        out.push(run_trial_with(dep, task, config, seed, &mut scratch));
+        out.push(session.run(task, config, seed));
     }
 }
 

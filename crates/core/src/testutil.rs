@@ -62,9 +62,11 @@ pub fn tiny_deployment() -> (Deployment, TaskId) {
 }
 
 /// The on-disk directory for trained bundles, or `None` when caching is
-/// disabled via `CREATE_TESTUTIL_CACHE=0`.
+/// disabled via `CREATE_TESTUTIL_CACHE=0`/`false` (parsed through the
+/// shared [`create_tensor::envcfg`] warn-and-fallback contract like every
+/// other `CREATE_*` knob).
 fn default_cache_dir() -> Option<PathBuf> {
-    if matches!(std::env::var("CREATE_TESTUTIL_CACHE"), Ok(v) if v.trim() == "0") {
+    if !create_tensor::envcfg::read_flag("CREATE_TESTUTIL_CACHE", true) {
         return None;
     }
     // crates/core -> workspace root -> target/. Deliberately under the

@@ -1,0 +1,531 @@
+//! Resident mission-serving engine for the CREATE testbed.
+//!
+//! The per-figure harnesses run *batch* experiments: build a grid, fan it
+//! over a pool, exit. This crate keeps a deployment **resident** and
+//! serves missions on demand — the shape an embodied-AI stack has in
+//! deployment, where task requests arrive continuously and the models
+//! stay warm between them:
+//!
+//! * [`MissionEngine::start`] spawns a pool of workers, each owning a
+//!   warmed [`MissionSession`] (controller/planner inference buffers
+//!   pre-sized before the first request, so there is no first-request
+//!   allocation spike);
+//! * requests flow through a **bounded** queue
+//!   ([`create_tensor::par::BoundedQueue`] — the same parking machinery
+//!   as the training `WorkerPool`): when the queue is full,
+//!   [`MissionEngine::submit`] rejects immediately with
+//!   [`RejectReason::QueueFull`] instead of blocking or growing without
+//!   bound — admission control, not back-pressure by stalling;
+//! * every admitted request gets a dense id in admission order and a
+//!   deterministic seed via [`request_seed`], so any served mission can
+//!   be replayed **bit-identically** offline with
+//!   [`create_core::run_trial_with`] (or [`MissionSession::run`]) at the
+//!   ticket's seed — the replay contract the serve tests pin;
+//! * [`MissionEngine::shutdown`] closes admission, drains every request
+//!   already accepted, and joins the workers; tickets for drained
+//!   requests still resolve.
+//!
+//! Configuration follows the workspace env contract
+//! ([`create_tensor::envcfg`]): `CREATE_SERVE_WORKERS` (default: the
+//! engine thread count, i.e. `CREATE_THREADS` / machine parallelism) and
+//! `CREATE_SERVE_QUEUE` (default 256), both overridable in code through
+//! [`ServeConfig::builder`].
+//!
+//! # Example
+//!
+//! ```no_run
+//! use create_serve::{MissionEngine, MissionRequest, ServeConfig};
+//! use create_core::config::CreateConfig;
+//! use std::sync::Arc;
+//!
+//! // In an application this deployment comes from
+//! // `Deployment::new(&AgentSystem::jarvis(), Precision::Int8)`.
+//! let (dep, task) = create_core::testutil::tiny_deployment();
+//! let engine = MissionEngine::start(Arc::new(dep), ServeConfig::from_env());
+//! let ticket = engine
+//!     .submit(MissionRequest::new(task, CreateConfig::golden()))
+//!     .expect("queue has room");
+//! let served = ticket.wait();
+//! println!("id={} seed={} success={}", served.request_id, served.seed, served.outcome.success);
+//! engine.shutdown();
+//! ```
+
+use create_core::config::CreateConfig;
+use create_core::mission::{Deployment, MissionOutcome, MissionSession};
+use create_env::TaskId;
+use create_tensor::par::{BoundedQueue, PushError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One mission to serve: which task, under which technique/error config.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissionRequest {
+    /// Task to run.
+    pub task: TaskId,
+    /// Technique/error configuration for the trial.
+    pub config: CreateConfig,
+}
+
+impl MissionRequest {
+    /// A request for `task` under `config`.
+    pub fn new(task: TaskId, config: CreateConfig) -> Self {
+        MissionRequest { task, config }
+    }
+}
+
+/// Why [`MissionEngine::submit`] refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded request queue is at capacity; retry later or shed load.
+    QueueFull {
+        /// The queue's fixed capacity.
+        capacity: usize,
+    },
+    /// The engine is shutting down and no longer admits requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            RejectReason::ShuttingDown => f.write_str("engine is shutting down"),
+        }
+    }
+}
+
+/// A refused submission: the request comes back to the caller untouched,
+/// with the reason, so callers can retry, redirect or drop it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejected {
+    /// The request, returned to the caller.
+    pub request: MissionRequest,
+    /// Why it was refused.
+    pub reason: RejectReason,
+}
+
+/// Derives the seed a served request runs at from `(engine base seed,
+/// request id)` with the same SplitMix64-style finalizer the batch
+/// engine's `derive_seed` uses for `(point, trial)` cells.
+///
+/// This mapping **is** the replay contract: a [`ServedOutcome`] carries
+/// its `request_id` and `seed`, and running
+/// [`create_core::run_trial_with`] offline at that seed reproduces the
+/// served [`MissionOutcome`] bit for bit.
+pub fn request_seed(base_seed: u64, request_id: u64) -> u64 {
+    let mut z =
+        base_seed.wrapping_add((request_id.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A completed served mission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedOutcome {
+    /// Dense admission-order id of the request.
+    pub request_id: u64,
+    /// The deterministic seed the mission ran at
+    /// ([`request_seed`]`(base_seed, request_id)`).
+    pub seed: u64,
+    /// The mission outcome — bit-identical to an offline replay at
+    /// `seed`.
+    pub outcome: MissionOutcome,
+    /// Nanoseconds the request waited in the queue before a worker
+    /// claimed it.
+    pub queue_ns: u64,
+    /// Nanoseconds the worker spent running the mission.
+    pub service_ns: u64,
+}
+
+impl ServedOutcome {
+    /// End-to-end latency (queue wait + service) in nanoseconds.
+    pub fn latency_ns(&self) -> u64 {
+        self.queue_ns + self.service_ns
+    }
+}
+
+/// One-slot rendezvous between the worker that runs a mission and the
+/// ticket holder waiting on it.
+#[derive(Debug, Default)]
+struct TicketShared {
+    slot: Mutex<Option<ServedOutcome>>,
+    done: Condvar,
+}
+
+impl TicketShared {
+    fn fulfill(&self, outcome: ServedOutcome) {
+        let mut slot = self.slot.lock().expect("ticket poisoned");
+        *slot = Some(outcome);
+        self.done.notify_all();
+    }
+}
+
+/// A claim on one admitted request's future [`ServedOutcome`].
+///
+/// The id and seed are assigned at admission, so a caller can predict —
+/// and later replay — the mission before it even runs.
+#[derive(Debug)]
+pub struct MissionTicket {
+    request_id: u64,
+    seed: u64,
+    shared: Arc<TicketShared>,
+}
+
+impl MissionTicket {
+    /// Dense admission-order id of the request.
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// The deterministic seed the mission will run at.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the outcome is already available ([`wait`](Self::wait)
+    /// would return without blocking).
+    pub fn is_ready(&self) -> bool {
+        self.shared.slot.lock().expect("ticket poisoned").is_some()
+    }
+
+    /// Blocks until the mission completes and returns its outcome.
+    ///
+    /// Always returns: shutdown drains every admitted request, so a
+    /// ticket can only exist for a mission that will run.
+    pub fn wait(self) -> ServedOutcome {
+        let mut slot = self.shared.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.shared.done.wait(slot).expect("ticket poisoned");
+        }
+    }
+}
+
+/// Serving-engine configuration. Build one with [`ServeConfig::builder`]
+/// (explicit, validated) or [`ServeConfig::from_env`] (the `CREATE_SERVE_*`
+/// environment contract).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, each owning one warmed [`MissionSession`].
+    pub workers: usize,
+    /// Request-queue capacity; submissions beyond it are rejected with
+    /// [`RejectReason::QueueFull`]. Zero admits nothing (useful to test
+    /// pure rejection paths).
+    pub queue: usize,
+    /// Base seed mixed into every request's [`request_seed`].
+    pub base_seed: u64,
+}
+
+impl ServeConfig {
+    /// A validated builder; unset knobs fall back to their env-backed
+    /// defaults at [`build`](ServeConfigBuilder::build) time.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder::default()
+    }
+
+    /// Configuration from `CREATE_SERVE_WORKERS` / `CREATE_SERVE_QUEUE` —
+    /// [`builder`](Self::builder) with nothing overridden.
+    pub fn from_env() -> Self {
+        Self::builder().build()
+    }
+}
+
+/// Validated builder for [`ServeConfig`], the serving-side counterpart of
+/// [`create_core::EngineOptions::builder`]: explicit settings are clamped
+/// the same way the env parsers validate, and anything left unset
+/// resolves through the `CREATE_SERVE_*` environment at
+/// [`build`](Self::build) time.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfigBuilder {
+    workers: Option<usize>,
+    queue: Option<usize>,
+    base_seed: Option<u64>,
+}
+
+impl ServeConfigBuilder {
+    /// Worker-thread count (floored at 1; default `CREATE_SERVE_WORKERS`,
+    /// falling back to the batch engine's thread count —
+    /// `CREATE_THREADS` / machine parallelism — so batch and serve scale
+    /// together unless told otherwise).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Request-queue capacity (default `CREATE_SERVE_QUEUE`, falling back
+    /// to 256). Unlike the env knob, an explicit `0` is honored: a
+    /// zero-capacity queue rejects every submission, which the saturation
+    /// tests rely on.
+    pub fn queue(mut self, queue: usize) -> Self {
+        self.queue = Some(queue);
+        self
+    }
+
+    /// Base seed mixed into every request seed (default 0).
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = Some(base_seed);
+        self
+    }
+
+    /// Resolves unset knobs from the environment and builds the config.
+    pub fn build(self) -> ServeConfig {
+        ServeConfig {
+            workers: self.workers.unwrap_or_else(|| {
+                create_tensor::envcfg::read_positive_usize(
+                    "CREATE_SERVE_WORKERS",
+                    create_core::engine::default_threads(),
+                )
+            }),
+            queue: self.queue.unwrap_or_else(|| {
+                create_tensor::envcfg::read_positive_usize("CREATE_SERVE_QUEUE", 256)
+            }),
+            base_seed: self.base_seed.unwrap_or(0),
+        }
+    }
+}
+
+/// One queued unit of work: the admitted request plus its pre-assigned
+/// identity and the ticket to fulfill.
+struct Job {
+    request_id: u64,
+    seed: u64,
+    request: MissionRequest,
+    shared: Arc<TicketShared>,
+    admitted: Instant,
+}
+
+/// Shared engine state: the bounded queue plus admission counters.
+struct EngineShared {
+    queue: BoundedQueue<Job>,
+    /// Next request id; incremented under the queue lock (inside
+    /// `push_with`), so ids are dense and in admission order.
+    next_id: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// The resident serving engine: a warm worker pool behind a bounded
+/// request queue. See the [crate docs](crate) for the full contract.
+pub struct MissionEngine {
+    shared: Arc<EngineShared>,
+    config: ServeConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl MissionEngine {
+    /// Starts `config.workers` serving threads over `deployment`, each
+    /// warming its [`MissionSession`] before accepting work.
+    pub fn start(deployment: Arc<Deployment>, config: ServeConfig) -> Self {
+        let shared = Arc::new(EngineShared {
+            queue: BoundedQueue::new(config.queue),
+            next_id: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let dep = Arc::clone(&deployment);
+                std::thread::Builder::new()
+                    .name(format!("create-serve-{i}"))
+                    .spawn(move || Self::worker(&shared, &dep))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        MissionEngine {
+            shared,
+            config,
+            workers,
+        }
+    }
+
+    /// One worker: a warmed session serving jobs until the queue closes
+    /// and drains.
+    fn worker(shared: &EngineShared, dep: &Deployment) {
+        let mut session = MissionSession::warmed(dep);
+        while let Some(job) = shared.queue.pop() {
+            let queue_ns = saturating_elapsed_ns(job.admitted);
+            let started = Instant::now();
+            let outcome = session.run(job.request.task, &job.request.config, job.seed);
+            let service_ns = saturating_elapsed_ns(started);
+            job.shared.fulfill(ServedOutcome {
+                request_id: job.request_id,
+                seed: job.seed,
+                outcome,
+                queue_ns,
+                service_ns,
+            });
+        }
+    }
+
+    /// Submits a request. Admission is immediate and non-blocking: either
+    /// the request is queued and a [`MissionTicket`] (with its final id
+    /// and seed) comes back, or it is refused and handed back in a
+    /// [`Rejected`] — never silently dropped, never blocked on a full
+    /// queue.
+    // The Err variant intentionally carries the whole request back to
+    // the caller (retry/redirect without a clone); rejection is the
+    // slow path, so its size does not matter.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, request: MissionRequest) -> Result<MissionTicket, Rejected> {
+        let mut pending = Some(request);
+        let mut ticket = None;
+        let pushed = self.shared.queue.push_with(|| {
+            // Runs under the queue lock, only on admission: ids are dense,
+            // in admission order, with no gaps for rejected requests.
+            let request_id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+            let seed = request_seed(self.config.base_seed, request_id);
+            let shared = Arc::new(TicketShared::default());
+            ticket = Some(MissionTicket {
+                request_id,
+                seed,
+                shared: Arc::clone(&shared),
+            });
+            Job {
+                request_id,
+                seed,
+                request: pending.take().expect("request consumed once"),
+                shared,
+                admitted: Instant::now(),
+            }
+        });
+        match pushed {
+            Ok(()) => {
+                self.shared.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(ticket.expect("admitted request has a ticket"))
+            }
+            Err(err) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                let reason = match err {
+                    PushError::Full => RejectReason::QueueFull {
+                        capacity: self.shared.queue.capacity(),
+                    },
+                    PushError::Closed => RejectReason::ShuttingDown,
+                };
+                Err(Rejected {
+                    request: pending.take().expect("rejected request is handed back"),
+                    reason,
+                })
+            }
+        }
+    }
+
+    /// The configuration the engine started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Requests currently queued (admitted, not yet claimed by a worker).
+    pub fn queued(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Requests admitted so far.
+    pub fn accepted(&self) -> u64 {
+        self.shared.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused so far (queue full or shutting down).
+    pub fn rejected(&self) -> u64 {
+        self.shared.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Stops admitting new requests: every subsequent
+    /// [`submit`](Self::submit) is refused with
+    /// [`RejectReason::ShuttingDown`]. Requests already accepted are
+    /// still drained and their tickets still resolve. Idempotent.
+    pub fn close(&self) {
+        self.shared.queue.close();
+    }
+
+    /// Graceful shutdown: stops admitting ([`close`](Self::close)),
+    /// **drains** every request already accepted (their tickets still
+    /// resolve), then joins the workers. Dropping the engine does the
+    /// same.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked mid-mission already poisoned its
+            // ticket; propagate rather than hide it.
+            if let Err(panic) = worker.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+impl Drop for MissionEngine {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Monotonic elapsed nanoseconds, saturated into `u64` (585 years of
+/// latency headroom).
+fn saturating_elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_seeds_are_deterministic_and_decorrelated() {
+        assert_eq!(request_seed(7, 0), request_seed(7, 0));
+        assert_ne!(request_seed(7, 0), request_seed(7, 1));
+        assert_ne!(request_seed(7, 0), request_seed(8, 0));
+        // Dense neighbouring ids must not produce near-identical seeds.
+        let a = request_seed(0, 0);
+        let b = request_seed(0, 1);
+        assert!((a ^ b).count_ones() > 8, "a={a:#x} b={b:#x}");
+    }
+
+    #[test]
+    fn builder_floors_workers_and_honors_zero_queue() {
+        let cfg = ServeConfig::builder()
+            .workers(0)
+            .queue(0)
+            .base_seed(9)
+            .build();
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.queue, 0, "explicit zero capacity is honored");
+        assert_eq!(cfg.base_seed, 9);
+    }
+
+    #[test]
+    fn env_defaults_resolve_when_unset() {
+        // The test env leaves CREATE_SERVE_* unset.
+        if std::env::var("CREATE_SERVE_WORKERS").is_err()
+            && std::env::var("CREATE_SERVE_QUEUE").is_err()
+        {
+            let cfg = ServeConfig::from_env();
+            assert_eq!(cfg.workers, create_core::engine::default_threads());
+            assert_eq!(cfg.queue, 256);
+            assert_eq!(cfg.base_seed, 0);
+        }
+    }
+
+    #[test]
+    fn reject_reasons_render() {
+        assert_eq!(
+            RejectReason::QueueFull { capacity: 4 }.to_string(),
+            "request queue full (capacity 4)"
+        );
+        assert_eq!(
+            RejectReason::ShuttingDown.to_string(),
+            "engine is shutting down"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Contract tests for the resident serving engine: admission control on
+//! the bounded queue, graceful shutdown with requests in flight, and the
+//! served-vs-offline bit-identical replay guarantee at every tested
+//! worker count.
+
+use create_core::config::CreateConfig;
+use create_core::mission::MissionSession;
+use create_core::testutil::tiny_deployment;
+use create_serve::{request_seed, MissionEngine, MissionRequest, RejectReason, ServeConfig};
+use std::sync::Arc;
+
+fn request(dep_task: create_env::TaskId) -> MissionRequest {
+    MissionRequest::new(dep_task, CreateConfig::golden())
+}
+
+/// A zero-capacity queue admits nothing: every submission is refused
+/// immediately with `QueueFull`, nothing deadlocks, and shutdown is
+/// clean even though the workers never see a job.
+#[test]
+fn zero_capacity_queue_rejects_every_request() {
+    let (dep, task) = tiny_deployment();
+    let engine = MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder().workers(1).queue(0).build(),
+    );
+    for _ in 0..5 {
+        let rejected = engine
+            .submit(request(task))
+            .expect_err("capacity 0 admits nothing");
+        assert_eq!(rejected.reason, RejectReason::QueueFull { capacity: 0 });
+        assert_eq!(rejected.request, request(task), "request is handed back");
+    }
+    assert_eq!(engine.accepted(), 0);
+    assert_eq!(engine.rejected(), 5);
+    engine.shutdown();
+}
+
+/// The replay contract, at every tested concurrency level: a served
+/// mission is **bit-identical** to an offline `MissionSession` replay of
+/// the same `(task, config, seed)` — ids are dense in admission order
+/// and seeds derive from `(base_seed, request_id)` alone, so neither
+/// worker count nor scheduling can leak into outcomes.
+#[test]
+fn served_missions_replay_bit_identically_offline() {
+    let (dep, task) = tiny_deployment();
+    let dep = Arc::new(dep);
+    let base_seed = 0xC0FFEE;
+    let configs = [
+        CreateConfig::golden(),
+        CreateConfig::undervolted(0.84),
+        CreateConfig::golden(),
+        CreateConfig::undervolted(0.9),
+        CreateConfig::golden(),
+        CreateConfig::undervolted(0.84),
+    ];
+    let mut reference: Option<Vec<_>> = None;
+    for workers in [1usize, 2, 4] {
+        let engine = MissionEngine::start(
+            Arc::clone(&dep),
+            ServeConfig::builder()
+                .workers(workers)
+                .queue(configs.len())
+                .base_seed(base_seed)
+                .build(),
+        );
+        let tickets: Vec<_> = configs
+            .iter()
+            .map(|config| {
+                engine
+                    .submit(MissionRequest::new(task, config.clone()))
+                    .expect("queue sized to the burst")
+            })
+            .collect();
+        for (i, ticket) in tickets.iter().enumerate() {
+            assert_eq!(
+                ticket.request_id(),
+                i as u64,
+                "ids are dense, admission order"
+            );
+            assert_eq!(ticket.seed(), request_seed(base_seed, i as u64));
+        }
+        let served: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        engine.shutdown();
+
+        // Offline replay through the same session path.
+        let mut session = MissionSession::new(&dep);
+        for (config, s) in configs.iter().zip(&served) {
+            let replayed = session.run(task, config, s.seed);
+            assert_eq!(s.outcome, replayed, "workers={workers} id={}", s.request_id);
+        }
+        // And identical across worker counts, not just within one run.
+        let outcomes: Vec<_> = served.iter().map(|s| s.outcome.clone()).collect();
+        match &reference {
+            None => reference = Some(outcomes),
+            Some(reference) => assert_eq!(&outcomes, reference, "workers={workers}"),
+        }
+    }
+}
+
+/// Shutdown with requests still in flight drains them: every admitted
+/// ticket resolves, none are dropped.
+#[test]
+fn shutdown_drains_requests_in_flight() {
+    let (dep, task) = tiny_deployment();
+    let engine = MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder().workers(1).queue(16).build(),
+    );
+    let tickets: Vec<_> = (0..8)
+        .map(|_| engine.submit(request(task)).expect("queue has room"))
+        .collect();
+    // Most of these are still queued behind the single worker.
+    engine.shutdown();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let served = ticket.wait();
+        assert_eq!(served.request_id, i as u64);
+    }
+}
+
+/// After `close`, submission is refused with `ShuttingDown` (and the
+/// request handed back), while previously admitted requests still
+/// resolve.
+#[test]
+fn close_refuses_new_requests_but_resolves_admitted_ones() {
+    let (dep, task) = tiny_deployment();
+    let engine = MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder().workers(2).queue(8).build(),
+    );
+    let admitted: Vec<_> = (0..4)
+        .map(|_| engine.submit(request(task)).expect("queue has room"))
+        .collect();
+    engine.close();
+    let rejected = engine
+        .submit(request(task))
+        .expect_err("closed engine admits nothing");
+    assert_eq!(rejected.reason, RejectReason::ShuttingDown);
+    assert_eq!(rejected.request, request(task));
+    for ticket in admitted {
+        ticket.wait();
+    }
+    assert_eq!(engine.accepted(), 4);
+    assert_eq!(engine.rejected(), 1);
+    engine.shutdown();
+}
+
+/// Saturation: a burst far beyond capacity is refused at the door, not
+/// buffered — the queue never exceeds its capacity, nothing blocks, and
+/// every admitted ticket still resolves.
+#[test]
+fn burst_beyond_capacity_is_rejected_not_buffered() {
+    let (dep, task) = tiny_deployment();
+    let capacity = 2usize;
+    let engine = MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder().workers(1).queue(capacity).build(),
+    );
+    let burst = 64;
+    let mut tickets = Vec::new();
+    let mut rejections = 0u64;
+    for _ in 0..burst {
+        match engine.submit(request(task)) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(rejected) => {
+                assert_eq!(rejected.reason, RejectReason::QueueFull { capacity });
+                rejections += 1;
+            }
+        }
+        assert!(engine.queued() <= capacity, "queue must stay bounded");
+    }
+    assert!(
+        rejections > 0,
+        "a 64-deep instant burst into a 2-deep queue behind one worker must shed load"
+    );
+    assert_eq!(engine.accepted() + engine.rejected(), burst);
+    assert_eq!(engine.rejected(), rejections);
+    // Ids of admitted requests are dense even with rejections in between.
+    for (i, ticket) in tickets.iter().enumerate() {
+        assert_eq!(ticket.request_id(), i as u64);
+    }
+    for ticket in tickets {
+        let served = ticket.wait();
+        assert_eq!(served.latency_ns(), served.queue_ns + served.service_ns);
+    }
+    engine.shutdown();
+}

@@ -25,6 +25,7 @@
 //! The [`MinibatchMap`] trait abstracts over both so benches can measure
 //! one against the other.
 
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -443,6 +444,146 @@ fn worker_loop(shared: &Shared, slot: usize) {
     }
 }
 
+/// Why [`BoundedQueue`] refused an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue holds `capacity` items; admitting another would grow it.
+    Full,
+    /// The queue was closed; no new items are admitted.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PushError::Full => "queue full",
+            PushError::Closed => "queue closed",
+        })
+    }
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue with condvar-parked
+/// consumers — the serving-side sibling of [`WorkerPool`]'s parking
+/// machinery (same `Mutex` + `Condvar` + shutdown-flag shape, same
+/// "park between work, wake on publish" discipline).
+///
+/// The contract is built for admission control, not buffering:
+///
+/// * [`push_with`](Self::push_with) **never blocks and never grows the
+///   queue past `capacity`** — when full (or closed) it refuses with a
+///   [`PushError`] and the item constructor is never run, so a saturated
+///   producer learns immediately instead of stalling or allocating;
+/// * [`pop`](Self::pop) parks the consumer until an item or close
+///   arrives; after [`close`](Self::close) consumers drain the remaining
+///   items and then observe `None`, so accepted work is never dropped;
+/// * a zero-capacity queue admits nothing (every push is
+///   [`PushError::Full`]) — the degenerate end of the admission dial.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    /// Consumers park here between items (woken by a push or a close).
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue admitting at most `capacity` undelivered items.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The admission bound this queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (admitted, not yet popped).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether no items are currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission: runs `make` (under the queue lock) and
+    /// enqueues its item only if there is room and the queue is open —
+    /// side effects of constructing the item (ticket registration, id
+    /// assignment) therefore happen **iff** the item was admitted, with
+    /// no id gaps from rejected attempts.
+    pub fn push_with<F: FnOnce() -> T>(&self, make: F) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        state.items.push_back(make());
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking admission of an already-built item; on refusal the
+    /// item is handed back alongside the reason.
+    pub fn push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut slot = Some(item);
+        self.push_with(|| slot.take().expect("push_with runs make at most once"))
+            .map_err(|e| (slot.take().expect("refused item handed back"), e))
+    }
+
+    /// Blocks (condvar-parked) until an item is available and delivers
+    /// it; returns `None` once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Removes an item without parking: `None` means "nothing queued
+    /// right now" (the queue may still be open).
+    pub fn try_pop(&self) -> Option<T> {
+        self.state.lock().expect("queue poisoned").items.pop_front()
+    }
+
+    /// Closes the queue: subsequent pushes refuse with
+    /// [`PushError::Closed`], and parked consumers wake to drain the
+    /// remaining items before observing `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,5 +759,115 @@ mod tests {
         let mut workers = vec![(); mapper.workers()];
         mapper.map(&mut items, &mut workers, |i, item, _| *item = i + 1);
         assert_eq!(items, [1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn queue_refuses_beyond_capacity_without_blocking_or_growing() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.push(1), Ok(()));
+        assert_eq!(q.push(2), Ok(()));
+        // Full: the item comes back with the reason, the queue stays at
+        // capacity, and nothing blocked.
+        assert_eq!(q.push(3), Err((3, PushError::Full)));
+        assert_eq!(q.len(), 2);
+        // Draining one slot re-opens admission.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(4), Ok(()));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_queue_admits_nothing() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.push(7u8), Err((7, PushError::Full)));
+        assert_eq!(q.try_pop(), None);
+        q.close();
+        assert_eq!(q.push(8u8), Err((8, PushError::Closed)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_with_runs_the_constructor_only_on_admission() {
+        let q = BoundedQueue::new(1);
+        let built = AtomicUsize::new(0);
+        let make = || {
+            built.fetch_add(1, Ordering::Relaxed);
+            42u8
+        };
+        assert_eq!(q.push_with(make), Ok(()));
+        assert_eq!(q.push_with(make), Err(PushError::Full));
+        assert_eq!(built.load(Ordering::Relaxed), 1, "refusals never build");
+        q.close();
+        assert_eq!(q.push_with(make), Err(PushError::Closed));
+        assert_eq!(built.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn close_wakes_parked_consumers_and_drains_first() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.push(1u32).unwrap();
+        q.push(2u32).unwrap();
+        // Two parked consumers plus the queued items: after close, every
+        // queued item is delivered exactly once and both consumers
+        // observe the end of the stream.
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        q.push(3u32).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().expect("consumer panicked"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3], "drained exactly once, none lost");
+    }
+
+    #[test]
+    fn queue_delivers_across_producer_and_consumer_threads() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut rejected = 0usize;
+                for v in 0..100u32 {
+                    // Spin on admission: bounded queue + slow consumer
+                    // means some pushes get refused, never blocked.
+                    loop {
+                        match q.push(v) {
+                            Ok(()) => break,
+                            Err((_, PushError::Full)) => {
+                                rejected += 1;
+                                std::thread::yield_now();
+                            }
+                            Err((_, PushError::Closed)) => unreachable!("not closed"),
+                        }
+                    }
+                    assert!(q.len() <= q.capacity(), "bounded at all times");
+                }
+                q.close();
+                rejected
+            })
+        };
+        let mut got = Vec::new();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        producer.join().expect("producer panicked");
+        assert_eq!(got, (0..100).collect::<Vec<_>>(), "FIFO, exactly once");
     }
 }

@@ -16,6 +16,8 @@ fn main() {
     let system = AgentSystem::build(PlannerPreset::openvla(), ControllerPreset::octo());
     let deployment = Deployment::new(&system, Precision::Int8);
 
+    // One session reuses the inference scratch across all eight trials.
+    let mut session = MissionSession::new(&deployment);
     for task in [
         TaskId::Wine,
         TaskId::Alphabet,
@@ -23,8 +25,7 @@ fn main() {
         TaskId::Coke,
     ] {
         let limits = MissionLimits::manipulation();
-        let golden = run_trial(
-            &deployment,
+        let golden = session.run(
             task,
             &CreateConfig {
                 limits,
@@ -32,8 +33,7 @@ fn main() {
             },
             5,
         );
-        let protected = run_trial(
-            &deployment,
+        let protected = session.run(
             task,
             &CreateConfig {
                 planner_ad: true,

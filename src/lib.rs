@@ -19,6 +19,8 @@
 //! * [`baselines`] — DMR / ThUnderVolt / ABFT comparison configs
 //! * [`core`] — the CREATE framework: configs, mission runner, policies,
 //!   parallel statistics
+//! * [`serve`] — the resident mission-serving engine: a warm session pool
+//!   behind a bounded request queue with deterministic replay seeds
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@ pub use create_baselines as baselines;
 pub use create_core as core;
 pub use create_env as env;
 pub use create_nn as nn;
+pub use create_serve as serve;
 pub use create_tensor as tensor;
 
 /// One-stop import for applications.

@@ -6,11 +6,11 @@ use create_core::prelude::*;
 use create_core::testutil::tiny_deployment;
 
 fn options(threads: usize) -> EngineOptions {
-    EngineOptions {
-        threads,
-        progress: Progress::Silent,
-        batch: 1,
-    }
+    EngineOptions::builder()
+        .threads(threads)
+        .progress(Progress::Silent)
+        .batch(1)
+        .build()
 }
 
 /// The tentpole determinism property: the same grid at `CREATE_THREADS=1`
@@ -112,7 +112,11 @@ fn mission_grids_are_bit_identical_across_batch_sizes() {
                 trials,
             }),
             0xBA7C4,
-            &options(2).with_batch(batch),
+            &EngineOptions::builder()
+                .threads(2)
+                .progress(Progress::Silent)
+                .batch(batch)
+                .build(),
         )
     };
     let reference = run(1);
