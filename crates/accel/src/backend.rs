@@ -18,7 +18,7 @@ use crate::ad::{self, AdStats};
 use crate::ctx::LayerCtx;
 use crate::gemm::{GemmBackend, GemmBackendKind};
 use crate::inject::{InjectionStats, Injector};
-use crate::scheme::{apply_scheme_into, Scheme, SchemeBuffers};
+use crate::scheme::{apply_scheme_into, Scheme, SchemeBuffers, SchemeStats};
 use crate::timing::V_NOMINAL;
 use create_tensor::stats::Histogram;
 use create_tensor::{Matrix, Precision, QuantMatrix, QuantParams};
@@ -154,6 +154,7 @@ pub struct Accelerator {
     rng: StdRng,
     ad_stats: AdStats,
     inj_stats: InjectionStats,
+    scheme_stats: SchemeStats,
     profiler: Option<OutputProfiler>,
     macs: u64,
     logical_macs: u64,
@@ -173,6 +174,7 @@ impl Accelerator {
             rng: StdRng::seed_from_u64(seed),
             ad_stats: AdStats::default(),
             inj_stats: InjectionStats::default(),
+            scheme_stats: SchemeStats::default(),
             profiler: None,
             macs: 0,
             logical_macs: 0,
@@ -251,6 +253,13 @@ impl Accelerator {
     /// Cumulative injection statistics.
     pub fn injection_stats(&self) -> InjectionStats {
         self.inj_stats
+    }
+
+    /// Cumulative protection-scheme telemetry (redundant executions,
+    /// residual corruption) across all GEMMs that ran under a
+    /// non-`Plain` scheme.
+    pub fn scheme_stats(&self) -> SchemeStats {
+        self.scheme_stats
     }
 
     /// Physical MACs executed so far (redundant executions included).
@@ -336,6 +345,7 @@ impl Accelerator {
             rng,
             ad_stats,
             inj_stats,
+            scheme_stats,
             profiler,
             macs,
             scratch,
@@ -376,6 +386,7 @@ impl Accelerator {
                         },
                         rng,
                     );
+                    scheme_stats.record(&outcome);
                     *macs += gemm_macs * outcome.executions as u64
                         + (gemm_macs as f64 * outcome.extra_mac_fraction).round() as u64;
                     first
@@ -681,6 +692,43 @@ mod tests {
                 assert_eq!(a.injection_stats(), b.injection_stats());
             }
         }
+    }
+
+    #[test]
+    fn scheme_stats_count_redundancy_and_residuals() {
+        let (x, w, params) = random_setup(43);
+        // Plain never records scheme applications, even under injection.
+        let injector = Injector::new(ErrorModel::Uniform { ber: 1e-2 }, InjectionTarget::All, 1.0);
+        let mut plain = Accelerator::new(
+            AccelConfig {
+                injector: Some(injector.clone()),
+                ..Default::default()
+            },
+            5,
+        );
+        plain.linear(&x, &w, params, f32::INFINITY, ctx());
+        assert_eq!(plain.scheme_stats(), SchemeStats::default());
+
+        // DMR at a heavy BER: every GEMM applies the scheme and the
+        // mismatch recomputes show up as redundant executions.
+        let mut dmr = Accelerator::new(
+            AccelConfig {
+                injector: Some(injector),
+                scheme: Scheme::Dmr,
+                ..Default::default()
+            },
+            5,
+        );
+        for _ in 0..4 {
+            dmr.linear(&x, &w, params, f32::INFINITY, ctx());
+        }
+        let stats = dmr.scheme_stats();
+        assert_eq!(stats.applications, 4);
+        assert!(
+            stats.redundant_executions >= stats.applications,
+            "DMR always runs at least twice: {stats:?}"
+        );
+        assert!(stats.residuals <= stats.applications);
     }
 
     #[test]

@@ -57,6 +57,6 @@ pub use energy::{EnergyMeter, InferenceCost};
 pub use gemm::{BlockedBackend, GemmBackend, GemmBackendKind, ScalarBackend, WideBackend};
 pub use inject::{ErrorModel, InjectionTarget, Injector};
 pub use ldo::Ldo;
-pub use scheme::Scheme;
+pub use scheme::{Scheme, SchemeStats};
 pub use sram::{MemoryFaultModel, Protection, SramBuffer};
 pub use timing::TimingModel;

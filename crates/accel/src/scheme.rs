@@ -67,6 +67,37 @@ impl Scheme {
     }
 }
 
+/// Cumulative scheme telemetry across GEMMs — the observable redundancy
+/// activity a runtime policy (e.g. the serving governor) can watch
+/// without peeking at ground truth: how often the scheme ran, how much
+/// redundant compute it spent, and how often corruption survived it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchemeStats {
+    /// GEMMs that went through a non-[`Plain`](Scheme::Plain) scheme.
+    pub applications: u64,
+    /// Redundant executions beyond the first (DMR recomputes, ABFT
+    /// retries), summed over all applications.
+    pub redundant_executions: u64,
+    /// Applications where corruption survived into the final output.
+    pub residuals: u64,
+}
+
+impl SchemeStats {
+    /// Folds one GEMM's [`SchemeOutcome`] into the counters.
+    pub fn record(&mut self, outcome: &SchemeOutcome) {
+        self.applications += 1;
+        self.redundant_executions += u64::from(outcome.executions.saturating_sub(1));
+        self.residuals += u64::from(outcome.residual_corruption);
+    }
+
+    /// Accumulates another unit's counters into this one.
+    pub fn merge(&mut self, other: SchemeStats) {
+        self.applications += other.applications;
+        self.redundant_executions += other.redundant_executions;
+        self.residuals += other.residuals;
+    }
+}
+
 /// Outcome of applying a scheme to one GEMM.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchemeOutcome {

@@ -98,6 +98,9 @@ fn main() {
                 .workers(WORKERS)
                 .queue(QUEUE)
                 .base_seed(0x5E12E)
+                // Measurements must stay chaos-free even when the suite
+                // runs under CREATE_SERVE_CHAOS (the CI chaos-smoke job).
+                .chaos(0.0)
                 .build(),
         ));
         // One throwaway mission so session warm-up and lazy init stay out

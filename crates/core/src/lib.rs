@@ -48,7 +48,8 @@ pub use memory::{
     run_memory_grid, run_memory_point, MemTarget, MemoryCell, MemoryConfig, MemoryPoint,
 };
 pub use mission::{
-    run_trial, run_trial_with, Deployment, MissionOutcome, MissionSession, TrialScratch,
+    run_trial, run_trial_with, Deployment, ErrorSignals, MissionClass, MissionOutcome,
+    MissionSession, TrialScratch, ENTROPY_SPIKE_THRESHOLD,
 };
 pub use policy::EntropyPolicy;
 pub use stats::{
@@ -63,7 +64,8 @@ pub mod prelude {
         run_memory_grid, run_memory_point, MemTarget, MemoryCell, MemoryConfig, MemoryPoint,
     };
     pub use crate::mission::{
-        run_trial, run_trial_with, Deployment, MissionOutcome, MissionSession, TrialScratch,
+        run_trial, run_trial_with, Deployment, ErrorSignals, MissionClass, MissionOutcome,
+        MissionSession, TrialScratch, ENTROPY_SPIKE_THRESHOLD,
     };
     pub use crate::policy::EntropyPolicy;
     pub use crate::report::{joules, pct, results_dir, sci, TextTable};

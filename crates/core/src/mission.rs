@@ -9,8 +9,9 @@
 //! rail through the LDO model.
 
 use crate::config::{CreateConfig, PhaseGate, VoltageControl};
+use create_accel::ad::AdStats;
 use create_accel::energy::{EnergyMeter, InferenceCost};
-use create_accel::{AccelConfig, Accelerator, Ldo, Unit};
+use create_accel::{AccelConfig, Accelerator, Ldo, SchemeStats, Unit};
 use create_agents::bundle::AgentSystem;
 use create_agents::controller::QuantController;
 use create_agents::planner::QuantPlanner;
@@ -83,6 +84,79 @@ pub struct MissionOutcome {
     pub predicted_trace: Vec<f32>,
     /// Per-step controller voltage (only when traces are recorded).
     pub voltage_trace: Vec<f64>,
+    /// Merged planner + controller anomaly-detection activity: how many
+    /// GEMM outputs the AD units checked and cleared over the mission.
+    pub ad: AdStats,
+    /// Merged planner + controller protection-scheme telemetry (DMR/ABFT
+    /// redundant executions and residual corruption).
+    pub scheme_events: SchemeStats,
+    /// Steps whose controller action entropy exceeded
+    /// [`ENTROPY_SPIKE_THRESHOLD`] — a near-uniform action distribution,
+    /// which on a trained controller signals corrupted logits (Fig. 10's
+    /// error signature) rather than healthy exploration. Counted every
+    /// step, independent of `record_traces`.
+    pub entropy_spikes: u64,
+}
+
+/// Controller action-entropy level (nats) above which a step counts as an
+/// [`entropy spike`](MissionOutcome::entropy_spikes). Sits above every
+/// entropy-policy threshold (the presets top out at 1.5), so healthy
+/// exploration does not register.
+pub const ENTROPY_SPIKE_THRESHOLD: f32 = 1.5;
+
+/// The per-mission error signals a runtime reliability policy can act on
+/// **without ground truth**: outcome, AD activity, scheme activity and
+/// entropy spikes are all observable on deployed hardware, unlike
+/// injection statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorSignals {
+    /// Whether the mission achieved its goal.
+    pub success: bool,
+    /// GEMM outputs checked by the AD units.
+    pub ad_checked: u64,
+    /// GEMM outputs the AD units cleared (each one a caught anomaly).
+    pub ad_trips: u64,
+    /// Scheme applications where corruption survived (DMR three-way
+    /// disagreements that guessed wrong, ABFT retry exhaustion, …).
+    pub scheme_residuals: u64,
+    /// Steps with action entropy above [`ENTROPY_SPIKE_THRESHOLD`].
+    pub entropy_spikes: u64,
+    /// Environment steps executed (normalizer for the spike count).
+    pub steps: u64,
+}
+
+impl ErrorSignals {
+    /// Fraction of AD-checked outputs that tripped (0 when AD is off or
+    /// nothing ran).
+    pub fn ad_trip_fraction(&self) -> f64 {
+        if self.ad_checked == 0 {
+            0.0
+        } else {
+            self.ad_trips as f64 / self.ad_checked as f64
+        }
+    }
+
+    /// Fraction of steps that were entropy spikes (0 on an empty mission).
+    pub fn entropy_spike_fraction(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.entropy_spikes as f64 / self.steps as f64
+        }
+    }
+}
+
+/// Coarse mission health classification derived from [`ErrorSignals`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissionClass {
+    /// Succeeded with no anomaly activity at all.
+    Clean,
+    /// Succeeded, but the substrate visibly misbehaved on the way (AD
+    /// trips, scheme residuals or entropy spikes) — the early-warning
+    /// band an adaptive policy reacts to before missions start failing.
+    Degraded,
+    /// The mission failed.
+    Failed,
 }
 
 impl MissionOutcome {
@@ -99,6 +173,32 @@ impl MissionOutcome {
     /// The controller's effective voltage over the mission.
     pub fn effective_voltage(&self) -> f64 {
         self.meter.unit(Unit::Controller).effective_voltage()
+    }
+
+    /// The observable per-mission error signals (see [`ErrorSignals`]).
+    pub fn error_signals(&self) -> ErrorSignals {
+        ErrorSignals {
+            success: self.success,
+            ad_checked: self.ad.checked,
+            ad_trips: self.ad.cleared,
+            scheme_residuals: self.scheme_events.residuals,
+            entropy_spikes: self.entropy_spikes,
+            steps: self.steps,
+        }
+    }
+
+    /// Classifies the mission as [`Clean`](MissionClass::Clean),
+    /// [`Degraded`](MissionClass::Degraded) or
+    /// [`Failed`](MissionClass::Failed) from its observable signals.
+    pub fn classify(&self) -> MissionClass {
+        if !self.success {
+            MissionClass::Failed
+        } else if self.ad.cleared > 0 || self.scheme_events.residuals > 0 || self.entropy_spikes > 0
+        {
+            MissionClass::Degraded
+        } else {
+            MissionClass::Clean
+        }
     }
 }
 
@@ -306,6 +406,7 @@ pub fn run_trial_with(
     let mut success = false;
     let mut step_in_mission = 0u64;
     let mut burst_used = 0u32;
+    let mut entropy_spikes = 0u64;
 
     while world.steps() < config.limits.max_steps {
         // Advance through completed subtasks.
@@ -406,6 +507,9 @@ pub fn run_trial_with(
             ctrl_accel.voltage(),
             config.precision,
         );
+        if entropy > ENTROPY_SPIKE_THRESHOLD {
+            entropy_spikes += 1;
+        }
         if config.record_traces {
             entropy_trace.push(entropy);
             voltage_trace.push(ctrl_accel.voltage());
@@ -419,6 +523,11 @@ pub fn run_trial_with(
     }
     meter.record_ldo(ldo.switching_energy());
 
+    let mut ad = planner_accel.ad_stats();
+    ad.merge(ctrl_accel.ad_stats());
+    let mut scheme_events = planner_accel.scheme_stats();
+    scheme_events.merge(ctrl_accel.scheme_stats());
+
     MissionOutcome {
         success,
         steps: world.steps(),
@@ -428,6 +537,9 @@ pub fn run_trial_with(
         entropy_trace,
         predicted_trace,
         voltage_trace,
+        ad,
+        scheme_events,
+        entropy_spikes,
     }
 }
 
@@ -621,6 +733,40 @@ mod tests {
             burst_successes >= unlimited_successes,
             "capping exposure must not make missions worse: {burst_successes} vs {unlimited_successes}"
         );
+    }
+
+    #[test]
+    fn error_signals_stay_silent_golden_and_fire_under_injection() {
+        let dep = tiny_deployment();
+        let golden = run_trial(&dep, TaskId::Log, &CreateConfig::golden(), 2);
+        let signals = golden.error_signals();
+        assert_eq!(signals.ad_trips, 0);
+        assert_eq!(signals.scheme_residuals, 0);
+        assert_eq!(signals.ad_trip_fraction(), 0.0);
+        assert_eq!(signals.steps, golden.steps);
+        if golden.success {
+            assert_ne!(golden.classify(), MissionClass::Failed);
+        }
+
+        // Heavy injection with AD on: the trips are observable, the
+        // checked counter normalizes them, and DMR activity shows up in
+        // the scheme telemetry.
+        let noisy = CreateConfig {
+            controller_error: Some(ErrorSpec::uniform(2e-2)),
+            controller_ad: true,
+            scheme: create_accel::Scheme::Dmr,
+            ..CreateConfig::golden()
+        };
+        let out = run_trial(&dep, TaskId::Log, &noisy, 2);
+        let signals = out.error_signals();
+        assert!(signals.ad_checked > 0, "AD on means outputs were checked");
+        assert!(signals.ad_trip_fraction() <= 1.0);
+        assert!(
+            out.scheme_events.applications > 0,
+            "DMR ran on every injected GEMM"
+        );
+        assert!(out.scheme_events.redundant_executions >= out.scheme_events.applications);
+        assert_ne!(out.classify(), MissionClass::Clean);
     }
 
     #[test]

@@ -305,6 +305,9 @@ mod tests {
             entropy_trace: vec![],
             predicted_trace: vec![],
             voltage_trace: vec![],
+            ad: Default::default(),
+            scheme_events: Default::default(),
+            entropy_spikes: 0,
         }
     }
 

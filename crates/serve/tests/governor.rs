@@ -1,0 +1,124 @@
+//! Engine-level governor tests: under injected faults the adaptive
+//! governor must actually escalate protection, and governed missions —
+//! whose configs the governor rewrote — must still replay bit-identically
+//! offline through the recorded per-mission decision.
+
+use create_accel::Scheme;
+use create_core::config::{CreateConfig, ErrorSpec};
+use create_core::mission::MissionSession;
+use create_core::testutil::tiny_deployment;
+use create_serve::{GovernorConfig, MissionEngine, MissionRequest, MissionResult, ServeConfig};
+use std::sync::Arc;
+
+/// A config whose controller datapath sees a raw injected BER high
+/// enough that Plain serving trips anomaly detection (and loses
+/// missions), while DMR absorbs it.
+fn faulty_config(ber: f64) -> CreateConfig {
+    let mut config = CreateConfig::golden();
+    config.controller_error = Some(ErrorSpec::uniform(ber));
+    config
+}
+
+/// Sequential governed serving under a hot error rate: the governor must
+/// leave the cheapest (Plain) level — via acute AD-trip signals or lost
+/// missions — and record the escalation.
+#[test]
+fn governor_escalates_under_injected_faults() {
+    let (dep, task) = tiny_deployment();
+    let engine = MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder()
+            .workers(1)
+            .queue(64)
+            .chaos(0.0)
+            .governor(Some(GovernorConfig::default()))
+            .build(),
+    );
+    // One request at a time so escalation from mission k governs k+1.
+    for _ in 0..8 {
+        let ticket = engine
+            .submit(MissionRequest::new(task, faulty_config(1e-2)))
+            .expect("queue has room");
+        ticket.wait();
+    }
+    let report = engine.governor_report().expect("governed engine");
+    assert!(
+        report.escalations >= 1,
+        "a 1e-2 BER under Plain must escalate: {report:?}"
+    );
+    assert!(report.level > 0, "must not still serve Plain: {report:?}");
+    assert_eq!(report.total_missions(), 8);
+    assert!(report.total_energy_j() > 0.0, "energy is metered");
+    engine.shutdown();
+}
+
+/// The governed replay contract: every completed mission records the
+/// operating point it actually ran under, and replaying the served seed
+/// with `decision.apply(&request.config)` reproduces the outcome bit for
+/// bit — adaptation never breaks offline reproducibility.
+#[test]
+fn governed_missions_replay_through_the_recorded_decision() {
+    let (dep, task) = tiny_deployment();
+    let dep = Arc::new(dep);
+    let engine = MissionEngine::start(
+        Arc::clone(&dep),
+        ServeConfig::builder()
+            .workers(2)
+            .queue(64)
+            .chaos(0.0)
+            .base_seed(0xBEEF)
+            .governor(Some(GovernorConfig::default()))
+            .build(),
+    );
+    let config = faulty_config(5e-3);
+    let served: Vec<_> = (0..10)
+        .map(|_| {
+            engine
+                .submit(MissionRequest::new(task, config.clone()))
+                .expect("queue has room")
+                .wait()
+        })
+        .collect();
+    engine.shutdown();
+
+    let mut session = MissionSession::new(&dep);
+    let mut governed = 0;
+    for s in &served {
+        let decision = s.decision.expect("governed engines record decisions");
+        let MissionResult::Completed(outcome) = &s.result else {
+            panic!("no chaos: every mission completes");
+        };
+        let replayed = session.run(task, &decision.apply(&config), s.seed);
+        assert_eq!(outcome, &replayed, "id={}", s.request_id);
+        if decision.scheme != Scheme::Plain {
+            governed += 1;
+        }
+    }
+    assert!(
+        governed > 0,
+        "5e-3 BER over 10 missions must push some onto the DMR rungs"
+    );
+}
+
+/// An ungoverned engine records no decision and serves the request's
+/// config untouched.
+#[test]
+fn ungoverned_engines_record_no_decision() {
+    let (dep, task) = tiny_deployment();
+    let engine = MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder()
+            .workers(1)
+            .queue(4)
+            .chaos(0.0)
+            .governor(None)
+            .build(),
+    );
+    let served = engine
+        .submit(MissionRequest::new(task, CreateConfig::golden()))
+        .expect("queue has room")
+        .wait();
+    assert!(served.decision.is_none());
+    assert!(engine.governor_report().is_none());
+    engine.shutdown();
+}

@@ -1,0 +1,280 @@
+//! Request-policy tests: seed-dispersion properties for the dense-id →
+//! seed mapping (the replay contract's foundation), retry-seed identity,
+//! and the deadline edge cases — zero deadline, already expired at
+//! admission, and expiry while queued.
+
+use create_core::config::CreateConfig;
+use create_core::testutil::tiny_deployment;
+use create_serve::{
+    request_seed, retry_seed, MissionEngine, MissionRequest, Priority, RejectReason, RequestPolicy,
+    ServeConfig, ServeFailure,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dense id ranges (the ids the engine actually hands out) must map
+    /// to fully collision-free seeds for any base seed.
+    #[test]
+    fn dense_ids_never_collide(base in any::<u64>(), start in 0u64..1_000_000) {
+        let seeds: HashSet<u64> =
+            (start..start + 512).map(|id| request_seed(base, id)).collect();
+        prop_assert_eq!(seeds.len(), 512);
+    }
+
+    /// No low-bit structure: sequential ids must not leak into the seed's
+    /// low byte (missions hash seeds into per-stream RNGs, so a striped
+    /// low byte would correlate "adjacent" requests).
+    #[test]
+    fn dense_ids_scramble_the_low_byte(base in any::<u64>()) {
+        let low: HashSet<u8> =
+            (0u64..512).map(|id| (request_seed(base, id) & 0xFF) as u8).collect();
+        // 512 draws over 256 values: a uniform map leaves ~220 distinct;
+        // anything below 100 means visible striping.
+        prop_assert!(low.len() >= 100, "only {} distinct low bytes", low.len());
+        let ones = (0u64..512).filter(|&id| request_seed(base, id) & 1 == 1).count();
+        let balance = ones as f64 / 512.0;
+        prop_assert!((0.35..=0.65).contains(&balance), "bit-0 balance {balance}");
+    }
+
+    /// Neighbouring ids differ in many bits (avalanche), so per-request
+    /// RNG streams are decorrelated even for back-to-back admissions.
+    #[test]
+    fn neighbouring_ids_avalanche(base in any::<u64>(), id in 0u64..1_000_000) {
+        let diff = request_seed(base, id) ^ request_seed(base, id + 1);
+        prop_assert!(diff.count_ones() >= 8, "only {} bits flipped", diff.count_ones());
+    }
+
+    /// Retry seeds: attempt 0 is the original seed (the replay contract
+    /// is untouched by the retry machinery) and later attempts disperse
+    /// without colliding with each other or the original.
+    #[test]
+    fn retry_seeds_keep_attempt_zero_and_disperse(first in any::<u64>()) {
+        prop_assert_eq!(retry_seed(first, 0), first);
+        let mut seen = HashSet::from([first]);
+        for attempt in 1..16u32 {
+            prop_assert!(seen.insert(retry_seed(first, attempt)), "attempt {attempt} collides");
+        }
+    }
+}
+
+/// A zero deadline can never be met: it is refused at admission with the
+/// typed reason (and the request handed back), not queued to die later.
+#[test]
+fn zero_deadline_is_rejected_at_admission() {
+    let (dep, task) = tiny_deployment();
+    let engine = MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder()
+            .workers(1)
+            .queue(4)
+            .chaos(0.0)
+            .build(),
+    );
+    let req = MissionRequest::new(task, CreateConfig::golden())
+        .with_policy(RequestPolicy::default().with_deadline(Duration::ZERO));
+    let rejected = engine.submit(req).expect_err("zero deadline cannot be met");
+    assert_eq!(rejected.reason, RejectReason::DeadlineExpired);
+    assert_eq!(engine.accepted(), 0);
+    assert_eq!(engine.rejected(), 1);
+    engine.shutdown();
+}
+
+/// An absolute deadline already in the past is likewise refused at the
+/// door.
+#[test]
+fn past_absolute_deadline_is_rejected_at_admission() {
+    let (dep, task) = tiny_deployment();
+    let engine = MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder()
+            .workers(1)
+            .queue(4)
+            .chaos(0.0)
+            .build(),
+    );
+    let past = Instant::now() - Duration::from_millis(50);
+    let req = MissionRequest::new(task, CreateConfig::golden())
+        .with_policy(RequestPolicy::default().with_deadline_at(past));
+    let rejected = engine.submit(req).expect_err("expired deadline");
+    assert_eq!(rejected.reason, RejectReason::DeadlineExpired);
+    engine.shutdown();
+}
+
+/// A deadline that expires *while queued* is shed at claim time with a
+/// typed `DeadlineExpired` failure — the worker never burns a mission on
+/// it, and the ticket still resolves.
+#[test]
+fn deadline_expiring_in_queue_is_shed_with_a_typed_failure() {
+    let (dep, task) = tiny_deployment();
+    let engine = MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder()
+            .workers(1)
+            .queue(8)
+            .chaos(0.0)
+            .build(),
+    );
+    // Occupy the single worker so the doomed request has to queue.
+    let blockers: Vec<_> = (0..3)
+        .map(|_| {
+            engine
+                .submit(MissionRequest::new(task, CreateConfig::golden()))
+                .expect("queue has room")
+        })
+        .collect();
+    // One nanosecond is admissible (strictly in the future at the
+    // admission check) but unmeetable behind a busy worker.
+    let doomed = engine
+        .submit(
+            MissionRequest::new(task, CreateConfig::golden())
+                .with_policy(RequestPolicy::default().with_deadline(Duration::from_nanos(1))),
+        )
+        .expect("strictly-future deadline is admissible");
+    let served = doomed.wait();
+    assert_eq!(served.failure(), Some(ServeFailure::DeadlineExpired));
+    assert_eq!(served.attempts, 0, "shed without running");
+    assert_eq!(served.service_ns, 0);
+    assert_eq!(engine.expired(), 1);
+    for t in blockers {
+        assert!(t.wait().is_success(), "blockers resolve normally");
+    }
+    engine.shutdown();
+}
+
+/// The engine-wide default deadline applies to requests that carry none:
+/// with a default so tight it always lapses in queue, a policy-less
+/// request behind a busy worker is shed, while an explicit per-request
+/// deadline overrides the default.
+#[test]
+fn engine_default_deadline_applies_to_policyless_requests() {
+    let (dep, task) = tiny_deployment();
+    let engine = MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder()
+            .workers(1)
+            .queue(8)
+            .chaos(0.0)
+            .default_deadline(Some(Duration::from_nanos(1)))
+            .build(),
+    );
+    let blocker = engine
+        .submit(
+            MissionRequest::new(task, CreateConfig::golden())
+                .with_policy(RequestPolicy::default().with_deadline(Duration::from_secs(3600))),
+        )
+        .expect("explicit deadline overrides the tight default");
+    let doomed = engine
+        .submit(MissionRequest::new(task, CreateConfig::golden()))
+        .expect("default deadline is strictly future at admission");
+    assert_eq!(doomed.wait().failure(), Some(ServeFailure::DeadlineExpired));
+    assert!(blocker.wait().failure().is_none(), "explicit hour survives");
+    engine.shutdown();
+}
+
+/// Batch priority admits only below `queue - interactive_reserve`: with
+/// the reserve covering the whole queue, batch traffic is always refused
+/// while interactive still gets in — fully deterministic, no racing the
+/// workers.
+#[test]
+fn batch_is_refused_when_the_reserve_covers_the_queue() {
+    let (dep, task) = tiny_deployment();
+    let engine = MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder()
+            .workers(1)
+            .queue(4)
+            .chaos(0.0)
+            .interactive_reserve(4)
+            .build(),
+    );
+    let batch = MissionRequest::new(task, CreateConfig::golden())
+        .with_policy(RequestPolicy::default().batch());
+    let rejected = engine.submit(batch).expect_err("reserve covers the queue");
+    assert_eq!(rejected.reason, RejectReason::QueueFull { capacity: 4 });
+    assert_eq!(rejected.request.policy.priority, Priority::Batch);
+    let interactive = engine
+        .submit(MissionRequest::new(task, CreateConfig::golden()))
+        .expect("interactive uses the reserved headroom");
+    interactive.wait();
+    engine.shutdown();
+}
+
+/// Under queue contention, interactive headroom survives batch pressure:
+/// once a batch submission bounces off its reduced bound, an interactive
+/// submission must still be admitted (the reserve guarantees at least
+/// that much slack).
+#[test]
+fn interactive_headroom_survives_batch_pressure() {
+    let (dep, task) = tiny_deployment();
+    let engine = MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder()
+            .workers(1)
+            .queue(6)
+            .chaos(0.0)
+            .interactive_reserve(2)
+            .build(),
+    );
+    let batch = || {
+        MissionRequest::new(task, CreateConfig::golden())
+            .with_policy(RequestPolicy::default().batch())
+    };
+    // Flood with batch until one is refused. The single worker drains
+    // concurrently, but submissions are far faster than missions, so the
+    // reduced bound (4) is reached within a handful of submissions.
+    let mut tickets = Vec::new();
+    let mut refused = false;
+    for _ in 0..256 {
+        match engine.submit(batch()) {
+            Ok(t) => tickets.push(t),
+            Err(rejected) => {
+                assert_eq!(rejected.reason, RejectReason::QueueFull { capacity: 6 });
+                refused = true;
+                break;
+            }
+        }
+    }
+    assert!(refused, "batch flood never hit the reduced bound");
+    // At the instant batch bounced, the queue held at most 4 items; the
+    // worker only ever shrinks it, so the interactive reserve is free.
+    let interactive = engine
+        .submit(MissionRequest::new(task, CreateConfig::golden()))
+        .expect("the reserve keeps interactive admissible");
+    interactive.wait();
+    for t in tickets {
+        t.wait();
+    }
+    engine.shutdown();
+}
+
+/// Retries: an unsuccessful mission re-runs at derived deterministic
+/// seeds up to its budget, and the outcome reports the attempts taken.
+/// An impossible mission (undervolted into the failure regime) burns the
+/// whole budget; a golden mission succeeds on the first attempt.
+#[test]
+fn retry_budget_reruns_at_derived_seeds() {
+    let (dep, task) = tiny_deployment();
+    let engine = MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder()
+            .workers(1)
+            .queue(4)
+            .chaos(0.0)
+            .build(),
+    );
+    let golden = engine
+        .submit(
+            MissionRequest::new(task, CreateConfig::golden())
+                .with_policy(RequestPolicy::default().with_retries(3)),
+        )
+        .expect("queue has room")
+        .wait();
+    assert_eq!(golden.attempts, 1, "success never retries");
+    assert_eq!(golden.seed, retry_seed(golden.seed, 0));
+    engine.shutdown();
+}

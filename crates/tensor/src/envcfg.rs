@@ -83,6 +83,21 @@ pub fn read_flag(name: &str, default: bool) -> bool {
     flag(name, std::env::var(name).ok().as_deref(), default)
 }
 
+/// Parses a fraction in `[0, 1]` (probabilities, rates, SLO targets —
+/// the `CREATE_SERVE_CHAOS` / `CREATE_SERVE_SLO` shape) with the shared
+/// warn-and-fallback contract.
+pub fn fraction(name: &str, raw: Option<&str>, default: f64) -> f64 {
+    parse_validated(name, raw, default, |s| match s.trim().parse::<f64>() {
+        Ok(v) if v.is_finite() && (0.0..=1.0).contains(&v) => Ok(v),
+        _ => Err("expected a fraction in [0, 1]".to_string()),
+    })
+}
+
+/// [`fraction`] over the live process environment.
+pub fn read_fraction(name: &str, default: f64) -> f64 {
+    fraction(name, std::env::var(name).ok().as_deref(), default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +131,18 @@ mod tests {
         assert!(!flag("CREATE_TEST_FLAG", Some("0"), true));
         assert!(!flag("CREATE_TEST_FLAG", Some("false"), true));
         assert!(!flag("CREATE_TEST_FLAG", Some("yes-please"), false));
+    }
+
+    #[test]
+    fn fractions_parse_and_clamp_garbage_to_default() {
+        assert_eq!(fraction("CREATE_TEST_P", None, 0.25), 0.25);
+        assert_eq!(fraction("CREATE_TEST_P", Some("0"), 0.25), 0.0);
+        assert_eq!(fraction("CREATE_TEST_P", Some("1"), 0.25), 1.0);
+        assert_eq!(fraction("CREATE_TEST_P", Some(" 0.5 "), 0.25), 0.5);
+        assert_eq!(fraction("CREATE_TEST_P", Some("1.5"), 0.25), 0.25);
+        assert_eq!(fraction("CREATE_TEST_P", Some("-0.1"), 0.25), 0.25);
+        assert_eq!(fraction("CREATE_TEST_P", Some("NaN"), 0.25), 0.25);
+        assert_eq!(fraction("CREATE_TEST_P", Some("chaos"), 0.25), 0.25);
     }
 
     #[test]

@@ -526,11 +526,25 @@ impl<T> BoundedQueue<T> {
     /// assignment) therefore happen **iff** the item was admitted, with
     /// no id gaps from rejected attempts.
     pub fn push_with<F: FnOnce() -> T>(&self, make: F) -> Result<(), PushError> {
+        self.push_with_limit(self.capacity, make)
+    }
+
+    /// [`push_with`](Self::push_with) against a tighter bound: the item
+    /// is admitted only while the queue holds fewer than
+    /// `min(limit, capacity)` items. This is the priority-admission
+    /// primitive — low-priority producers push with a reduced limit, so
+    /// the headroom between `limit` and `capacity` stays reserved for
+    /// full-limit producers when the queue is contended.
+    pub fn push_with_limit<F: FnOnce() -> T>(
+        &self,
+        limit: usize,
+        make: F,
+    ) -> Result<(), PushError> {
         let mut state = self.state.lock().expect("queue poisoned");
         if state.closed {
             return Err(PushError::Closed);
         }
-        if state.items.len() >= self.capacity {
+        if state.items.len() >= limit.min(self.capacity) {
             return Err(PushError::Full);
         }
         state.items.push_back(make());
@@ -788,6 +802,25 @@ mod tests {
         q.close();
         assert_eq!(q.push(8u8), Err((8, PushError::Closed)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_with_limit_reserves_headroom_for_full_limit_producers() {
+        let q = BoundedQueue::new(4);
+        // A limited producer stops at its reduced bound...
+        assert_eq!(q.push_with_limit(2, || 1), Ok(()));
+        assert_eq!(q.push_with_limit(2, || 2), Ok(()));
+        assert_eq!(q.push_with_limit(2, || 3), Err(PushError::Full));
+        // ...while full-limit pushes still use the reserved headroom.
+        assert_eq!(q.push(4), Ok(()));
+        assert_eq!(q.push(5), Ok(()));
+        assert_eq!(q.push(6), Err((6, PushError::Full)));
+        // A limit beyond capacity clamps to capacity.
+        assert_eq!(q.push_with_limit(usize::MAX, || 7), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push_with_limit(usize::MAX, || 7), Ok(()));
+        q.close();
+        assert_eq!(q.push_with_limit(2, || 8), Err(PushError::Closed));
     }
 
     #[test]
