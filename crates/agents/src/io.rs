@@ -7,7 +7,7 @@
 //! `MAGIC, version, section count, then (name, shape, f32-LE data)*`.
 
 use std::fs;
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"CREATEv1";
@@ -52,15 +52,16 @@ pub fn cache_dir() -> PathBuf {
         .collect()
 }
 
-/// Writes tensors to `path` (creating parent directories).
+/// Writes tensors to `path` (creating parent directories) through
+/// [`create_tensor::atomicfile::write_atomic`], so a crash mid-write can
+/// never leave a torn bundle behind: readers see the old complete file,
+/// the new complete file, or no file — all of which the corrupt-cache
+/// fallback paths handle by retraining.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
 pub fn save_tensors(path: &Path, tensors: &[NamedTensor]) -> io::Result<()> {
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
-    }
     let mut buf: Vec<u8> = Vec::new();
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
@@ -77,9 +78,7 @@ pub fn save_tensors(path: &Path, tensors: &[NamedTensor]) -> io::Result<()> {
             buf.extend_from_slice(&v.to_le_bytes());
         }
     }
-    let tmp = path.with_extension("tmp");
-    fs::File::create(&tmp)?.write_all(&buf)?;
-    fs::rename(&tmp, path)
+    create_tensor::atomicfile::write_atomic(path, &buf)
 }
 
 /// Reads tensors from `path`.

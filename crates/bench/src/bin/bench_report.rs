@@ -11,9 +11,14 @@
 //! (`trials_per_s`/`missions_per_s`, higher is better). Fresh records
 //! without a baseline
 //! counterpart are reported as `new` and never gate; a missing fresh
-//! file is skipped (that bench simply did not run), while a missing
-//! baseline directory is a hard error — commit one with
-//! `cp results/BENCH_*.json results/baseline/`.
+//! file is skipped (that bench simply did not run). A missing or
+//! unparseable *individual* file — fresh or baseline — warns and skips
+//! that comparison rather than aborting the whole report: one corrupt
+//! artifact must not mask regressions visible in the other four. The
+//! report exits non-zero only on a true regression or when the entire
+//! comparison set ends up empty (nothing compared anywhere — e.g. no
+//! `results/baseline/` directory; commit one with
+//! `cp results/BENCH_*.json results/baseline/`).
 //!
 //! Two intra-run gates ride along, comparing fresh records against each
 //! other (so machine speed cancels out): the `auto` dispatch backend
@@ -297,12 +302,14 @@ fn main() -> ExitCode {
     let fresh_dir = results_dir();
     let baseline_dir = fresh_dir.join("baseline");
     if !baseline_dir.is_dir() {
+        // Warn but keep going: every comparison below will skip on its
+        // missing baseline file, and the empty-comparison-set check at
+        // the end turns "nothing was compared at all" into the failure.
         eprintln!(
             "[bench-report] no baseline directory at {} — commit one with \
              `cp results/BENCH_*.json results/baseline/`",
             baseline_dir.display()
         );
-        return ExitCode::FAILURE;
     }
 
     let mut regressions = 0usize;
@@ -321,10 +328,12 @@ fn main() -> ExitCode {
         let (fresh, baseline) = match (load(&fresh_path), load(&baseline_path)) {
             (Ok(f), Ok(b)) => (f, b),
             (f, b) => {
+                // A corrupt file knocks out this comparison, not the
+                // report: warn and move on to the remaining files.
                 for err in [f.err(), b.err()].into_iter().flatten() {
-                    eprintln!("[bench-report] {err}");
+                    eprintln!("[bench-report] {err} — skipping this comparison");
                 }
-                return ExitCode::FAILURE;
+                continue;
             }
         };
         let by_key: BTreeMap<String, &FlatRecord> =
@@ -405,6 +414,13 @@ fn main() -> ExitCode {
             "[bench-report] {regressions} metric(s) regressed by more than {:.0}% \
              against results/baseline/",
             tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    if compared == 0 {
+        eprintln!(
+            "[bench-report] empty comparison set: no fresh record matched any committed \
+             baseline — run the benches and/or refresh results/baseline/"
         );
         return ExitCode::FAILURE;
     }

@@ -4,7 +4,8 @@
 //! regenerates one table or figure of the paper: it loads the cached
 //! trained agents, runs the experiment at `CREATE_REPS` repetitions
 //! (default 40), prints the paper's rows/series as an aligned table, and
-//! mirrors the data into `results/*.csv`.
+//! mirrors the data into the schema-versioned results store
+//! (`results/*.json`, see [`create_core::results`]).
 
 use create_agents::AgentSystem;
 use create_core::prelude::*;
@@ -105,219 +106,39 @@ impl LabeledGrid {
 }
 
 /// One machine-readable benchmark record destined for a
-/// `results/BENCH_*.json` file.
-///
-/// Fields are kept in insertion order and rendered as one flat JSON
-/// object; numbers are emitted as JSON numbers, everything else as
-/// strings. Future PRs diff these files to track the performance
-/// trajectory (see `BENCH_kernels.json` / `BENCH_fig01.json`).
-#[derive(Debug, Clone, Default)]
-pub struct BenchRecord {
-    fields: Vec<(String, String)>,
-}
+/// `results/BENCH_*.json` store document — the results-store
+/// [`create_core::results::Record`] builder under its historical bench
+/// name. Future PRs diff these files to track the performance trajectory
+/// (see `BENCH_kernels.json` / `BENCH_fig01.json`).
+pub use create_core::results::Record as BenchRecord;
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+/// A value in a parsed flat bench record (the results-store
+/// [`create_core::results::Value`]).
+pub use create_core::results::Value as BenchValue;
 
-impl BenchRecord {
-    /// An empty record.
-    pub fn new() -> Self {
-        Self::default()
-    }
+/// One parsed record from a `results/BENCH_*.json` file: ordered
+/// key/value pairs, exactly as [`BenchRecord`] emitted them.
+pub use create_core::results::FlatRecord;
 
-    /// Adds a string field.
-    pub fn str(mut self, key: &str, value: impl AsRef<str>) -> Self {
-        self.fields.push((
-            key.to_string(),
-            format!("\"{}\"", json_escape(value.as_ref())),
-        ));
-        self
-    }
-
-    /// Adds a numeric field (rendered with enough precision to diff).
-    pub fn num(mut self, key: &str, value: f64) -> Self {
-        let rendered = if value.is_finite() {
-            format!("{value:.6}")
-        } else {
-            "null".to_string()
-        };
-        self.fields.push((key.to_string(), rendered));
-        self
-    }
-
-    /// Adds an integer field.
-    pub fn int(mut self, key: &str, value: u64) -> Self {
-        self.fields.push((key.to_string(), value.to_string()));
-        self
-    }
-
-    fn render(&self) -> String {
-        let body: Vec<String> = self
-            .fields
-            .iter()
-            .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
-            .collect();
-        format!("  {{{}}}", body.join(", "))
-    }
-}
-
-/// Writes `records` to `results/BENCH_<name>.json` as a JSON array (one
-/// record per line, so diffs stay reviewable) and logs the path.
+/// Writes `records` to `results/BENCH_<name>.json` as a schema-versioned
+/// store document (one record per line, so diffs stay reviewable),
+/// crash-safely (temp file + fsync + atomic rename), and logs the path.
 pub fn emit_bench_json(name: &str, records: &[BenchRecord]) {
     let path = results_dir().join(format!("BENCH_{name}.json"));
-    let body: Vec<String> = records.iter().map(BenchRecord::render).collect();
-    let json = format!("[\n{}\n]\n", body.join(",\n"));
-    match std::fs::create_dir_all(results_dir()).and_then(|()| std::fs::write(&path, json)) {
+    match create_core::results::write_doc(&path, name, records) {
         Ok(()) => println!("[bench-json] {}", path.display()),
         Err(e) => eprintln!("[bench-json] failed to write {}: {e}", path.display()),
     }
 }
 
-/// A value in a parsed flat bench record.
-#[derive(Debug, Clone, PartialEq)]
-pub enum BenchValue {
-    /// A JSON string.
-    Str(String),
-    /// A JSON number, with its raw rendering kept so configuration
-    /// integers (no `.`) can be told apart from measured floats.
-    Num { raw: String, value: f64 },
-    /// `null` (a non-finite measurement).
-    Null,
-}
-
-/// One parsed record from a `results/BENCH_*.json` file: ordered
-/// key/value pairs, exactly as [`BenchRecord`] emitted them.
-pub type FlatRecord = Vec<(String, BenchValue)>;
-
-type BenchChars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
-
-fn bench_json_skip_ws(chars: &mut BenchChars<'_>) {
-    while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
-        chars.next();
-    }
-}
-
-fn bench_json_string(chars: &mut BenchChars<'_>) -> Result<String, String> {
-    let mut s = String::new();
-    loop {
-        match chars.next() {
-            Some((_, '"')) => return Ok(s),
-            Some((_, '\\')) => match chars.next() {
-                Some((_, '"')) => s.push('"'),
-                Some((_, '\\')) => s.push('\\'),
-                Some((_, 'n')) => s.push('\n'),
-                Some((_, 'u')) => {
-                    let mut code = 0u32;
-                    for _ in 0..4 {
-                        let (at, c) = chars.next().ok_or("bench json: truncated \\u")?;
-                        code = code * 16
-                            + c.to_digit(16)
-                                .ok_or(format!("bench json: bad \\u digit at byte {at}"))?;
-                    }
-                    s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
-                }
-                other => return Err(format!("bench json: bad escape {other:?}")),
-            },
-            Some((_, c)) => s.push(c),
-            None => return Err("bench json: unterminated string".to_string()),
-        }
-    }
-}
-
-fn bench_json_value(chars: &mut BenchChars<'_>) -> Result<BenchValue, String> {
-    match chars.peek().copied() {
-        Some((_, '"')) => {
-            chars.next();
-            Ok(BenchValue::Str(bench_json_string(chars)?))
-        }
-        Some((_, 'n')) => {
-            for want in "null".chars() {
-                match chars.next() {
-                    Some((_, c)) if c == want => {}
-                    other => return Err(format!("bench json: expected null, got {other:?}")),
-                }
-            }
-            Ok(BenchValue::Null)
-        }
-        Some((num_at, _)) => {
-            let mut raw = String::new();
-            while matches!(
-                chars.peek(),
-                Some((_, c)) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
-            ) {
-                raw.push(chars.next().expect("peeked").1);
-            }
-            let value = raw
-                .parse::<f64>()
-                .map_err(|e| format!("bench json: bad number at byte {num_at}: {e}"))?;
-            Ok(BenchValue::Num { raw, value })
-        }
-        None => Err("bench json: expected value, got end of input".to_string()),
-    }
-}
-
-/// Parses the JSON [`emit_bench_json`] writes: an array of flat objects
-/// whose values are strings, numbers or `null`. This is a deliberately
-/// small hand-rolled parser (the build environment has no registry, so
-/// no serde) that accepts exactly the emitter's value grammar plus
-/// arbitrary whitespace.
+/// Parses the records of a `results/BENCH_*.json` file: either the
+/// schema-versioned envelope [`emit_bench_json`] writes today or the
+/// legacy bare-array format committed baselines still use (see
+/// [`create_core::results::parse_doc`] — the envelope metadata is
+/// dropped because record matching goes by [`record_key`], not by
+/// document identity).
 pub fn parse_bench_json(text: &str) -> Result<Vec<FlatRecord>, String> {
-    let mut chars = text.char_indices().peekable();
-    let mut records = Vec::new();
-    bench_json_skip_ws(&mut chars);
-    match chars.next() {
-        Some((_, '[')) => {}
-        other => return Err(format!("bench json: expected '[', got {other:?}")),
-    }
-    loop {
-        bench_json_skip_ws(&mut chars);
-        match chars.peek().copied() {
-            Some((_, ']')) => {
-                chars.next();
-                return Ok(records);
-            }
-            Some((_, ',')) => {
-                chars.next();
-            }
-            Some((_, '{')) => {
-                chars.next();
-                let mut record = FlatRecord::new();
-                loop {
-                    bench_json_skip_ws(&mut chars);
-                    match chars.next() {
-                        Some((_, '}')) => break,
-                        Some((_, ',')) => continue,
-                        Some((_, '"')) => {
-                            let key = bench_json_string(&mut chars)?;
-                            bench_json_skip_ws(&mut chars);
-                            match chars.next() {
-                                Some((_, ':')) => {}
-                                other => {
-                                    return Err(format!("bench json: expected ':', got {other:?}"))
-                                }
-                            }
-                            bench_json_skip_ws(&mut chars);
-                            record.push((key, bench_json_value(&mut chars)?));
-                        }
-                        other => return Err(format!("bench json: expected key, got {other:?}")),
-                    }
-                }
-                records.push(record);
-            }
-            other => return Err(format!("bench json: expected record, got {other:?}")),
-        }
-    }
+    create_core::results::parse_doc(text).map(|doc| doc.records)
 }
 
 /// The identity of a record across runs: every string field plus every
@@ -405,13 +226,15 @@ pub fn banner(figure: &str, caption: &str) {
     println!("=== {figure} — {caption} ===");
 }
 
-/// Prints a table and writes it to `results/<name>.csv`.
+/// Prints a table and mirrors it into the results store at
+/// `results/<name>.json` (crash-safe schema-versioned document; each row
+/// becomes one record keyed by the column headers).
 pub fn emit(table: &TextTable, name: &str) {
     println!("{}", table.render());
-    let path = results_dir().join(format!("{name}.csv"));
-    match table.write_csv(&path) {
-        Ok(()) => println!("[csv] {}", path.display()),
-        Err(e) => eprintln!("[csv] failed to write {}: {e}", path.display()),
+    let path = results_dir().join(format!("{name}.json"));
+    match create_core::results::write_doc(&path, name, &table.to_records()) {
+        Ok(()) => println!("[results] {}", path.display()),
+        Err(e) => eprintln!("[results] failed to write {}: {e}", path.display()),
     }
 }
 

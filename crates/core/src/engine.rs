@@ -48,6 +48,75 @@ pub trait Accumulator<O>: Send {
     fn finish(self) -> Self::Summary;
 }
 
+/// An [`Accumulator`] whose running fold state can be serialized,
+/// restored and merged — the contract the crash-resumable sweep fabric
+/// (`create-sweep`) journals between processes.
+///
+/// The laws, all *bit-exact* (`create-sweep` byte-diffs merged results):
+///
+/// * `decode_state(&a.encode_state())` reproduces `a` exactly — same
+///   `finish()` summary, same re-encoding;
+/// * `encode_state` is a pure function of the outcomes folded so far
+///   (no timestamps, addresses or other ambient state);
+/// * [`merge_state`](Self::merge_state) is deterministic: merging the
+///   same sequence of range states in the same order always produces the
+///   same state, no matter which process does it or how many crashes
+///   happened in between. (It is *not* required to reproduce the exact
+///   float rounding of one uninterrupted left-fold across the boundary —
+///   the fabric gets run-to-run identity by always merging fixed-size
+///   chunk states in chunk order, so the chunk decomposition, not the
+///   execution history, determines the result.)
+pub trait StateAccumulator<O>: Accumulator<O> + Sized {
+    /// Serializes the running fold state to bytes (deterministic).
+    fn encode_state(&self) -> Vec<u8>;
+
+    /// Restores a state produced by [`encode_state`](Self::encode_state).
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed bytes with a description (corrupt journals must
+    /// fail loudly at decode, not produce garbage statistics).
+    fn decode_state(bytes: &[u8]) -> Result<Self, String>;
+
+    /// Folds `other` — the state of the trial range immediately after
+    /// this one — into `self`.
+    fn merge_state(&mut self, other: &Self);
+}
+
+/// Runs the contiguous trials `first_trial .. first_trial + len` of one
+/// grid point sequentially and returns the resulting accumulator.
+///
+/// Seeds derive exactly as [`run_grid`] derives them —
+/// [`derive_seed`]`(base_seed, point_index, trial)` — so a range runner
+/// (the sweep fabric's shard worker) folds the *same trials at the same
+/// seeds* as the in-process engine would, just one chunk at a time. The
+/// fold is in trial order; outcomes go through
+/// [`ExperimentPoint::run_batch`] so per-batch setup amortizes the same
+/// way.
+pub fn run_point_range<P: ExperimentPoint>(
+    point: &P,
+    point_index: usize,
+    base_seed: u64,
+    first_trial: u32,
+    len: u32,
+) -> P::Acc {
+    let seeds: Vec<u64> = (0..len)
+        .map(|i| derive_seed(base_seed, point_index, first_trial + i))
+        .collect();
+    let mut outcomes = Vec::with_capacity(len as usize);
+    point.run_batch(first_trial, &seeds, &mut outcomes);
+    debug_assert_eq!(
+        outcomes.len(),
+        len as usize,
+        "run_batch must yield one outcome per seed"
+    );
+    let mut acc = point.accumulator();
+    for outcome in outcomes {
+        acc.push(outcome);
+    }
+    acc
+}
+
 /// Collects outcomes into a `Vec` in trial order — the "raw outcomes"
 /// aggregator behind [`crate::stats::run_outcomes`].
 #[derive(Debug)]
@@ -621,6 +690,17 @@ mod tests {
         for p in [Progress::Silent, Progress::Stderr] {
             assert_eq!(p.to_string().parse(), Ok(p));
         }
+    }
+
+    #[test]
+    fn run_point_range_matches_grid_seed_derivation() {
+        // The range runner must fold exactly the trials [2, 6) of point 1
+        // at the seeds run_grid would have handed them.
+        let grid = vec![Cell { trials: 4 }, Cell { trials: 9 }];
+        let full = run_grid_with(grid, 99, &options(1));
+        let (order, seeds) = run_point_range(&Cell { trials: 9 }, 1, 99, 2, 4).finish();
+        assert_eq!(order, vec![2, 3, 4, 5]);
+        assert_eq!(seeds, full[1].1[2..6].to_vec());
     }
 
     #[test]

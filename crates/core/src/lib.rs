@@ -13,7 +13,10 @@
 //! * [`memory`] — the memory-resilience extension (SRAM retention faults
 //!   vs. SECDED) the paper defers to future work;
 //! * [`stats`] — parallel trial execution with Wilson-interval aggregation;
-//! * [`report`] — text tables and CSV output for the experiment harnesses.
+//! * [`report`] — text tables for the experiment harnesses;
+//! * [`results`] — the schema-versioned structured results store every
+//!   machine-readable artifact (bench trajectories, figure tables, merged
+//!   sweep results) is written to and read from.
 //!
 //! # Example
 //!
@@ -35,6 +38,7 @@ pub mod memory;
 pub mod mission;
 pub mod policy;
 pub mod report;
+pub mod results;
 pub mod stats;
 
 #[cfg(any(test, feature = "testutil"))]
@@ -42,7 +46,8 @@ pub mod testutil;
 
 pub use config::{CreateConfig, ErrorSpec, MissionLimits, PhaseGate, VoltageControl};
 pub use engine::{
-    run_grid, run_grid_with, Accumulator, EngineOptions, EngineOptionsBuilder, ExperimentPoint,
+    run_grid, run_grid_with, run_point_range, Accumulator, EngineOptions, EngineOptionsBuilder,
+    ExperimentPoint, StateAccumulator,
 };
 pub use memory::{
     run_memory_grid, run_memory_point, MemTarget, MemoryCell, MemoryConfig, MemoryPoint,
@@ -59,7 +64,10 @@ pub use stats::{
 /// Convenient glob import for examples and benches.
 pub mod prelude {
     pub use crate::config::{CreateConfig, ErrorSpec, MissionLimits, PhaseGate, VoltageControl};
-    pub use crate::engine::{run_grid, run_grid_with, EngineOptions, EngineOptionsBuilder};
+    pub use crate::engine::{
+        run_grid, run_grid_with, run_point_range, EngineOptions, EngineOptionsBuilder,
+        StateAccumulator,
+    };
     pub use crate::memory::{
         run_memory_grid, run_memory_point, MemTarget, MemoryCell, MemoryConfig, MemoryPoint,
     };

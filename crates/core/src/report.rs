@@ -1,7 +1,12 @@
-//! Plain-text tables and CSV output for the experiment harnesses.
+//! Plain-text tables for the experiment harnesses.
 //!
 //! Every bench target prints the paper's rows/series as an aligned text
-//! table and mirrors them into `results/*.csv` for plotting.
+//! table and mirrors them into the schema-versioned results store
+//! (`results/*.json`, see [`crate::results`]) for plotting — via
+//! [`TextTable::to_records`], which turns each row into one structured
+//! record keyed by the column headers. CSV export ([`TextTable::write_csv`])
+//! remains available for spreadsheet use but is no longer the harnesses'
+//! emission path.
 
 use std::fs;
 use std::io;
@@ -74,6 +79,36 @@ impl TextTable {
             out.push('\n');
         }
         out
+    }
+
+    /// Converts each row into one results-store record keyed by the
+    /// column headers. Cells that are valid JSON numbers (digits, sign,
+    /// decimal point, exponent — and nothing else) are stored as numbers
+    /// with their exact rendering preserved; everything else (formatted
+    /// percentages, labels, scientific "0" placeholders with units) stays
+    /// a string.
+    pub fn to_records(&self) -> Vec<crate::results::Record> {
+        self.rows
+            .iter()
+            .map(|row| {
+                let mut record = crate::results::Record::new();
+                for (header, cell) in self.header.iter().zip(row) {
+                    let cell = cell.trim();
+                    let numeric_grammar = !cell.is_empty()
+                        && cell.chars().all(|c| {
+                            c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+                        });
+                    record = if numeric_grammar
+                        && cell.parse::<f64>().map(f64::is_finite).unwrap_or(false)
+                    {
+                        record.raw_num(header, cell)
+                    } else {
+                        record.str(header, cell)
+                    };
+                }
+                record
+            })
+            .collect()
     }
 
     /// Writes the table as CSV.
@@ -178,6 +213,30 @@ mod tests {
     fn row_width_is_enforced() {
         let mut t = TextTable::new(vec!["a", "b"]);
         t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn to_records_types_numeric_cells_and_keeps_labels() {
+        let mut t = TextTable::new(vec!["voltage_v", "ber", "success_rate", "note"]);
+        t.row(vec!["0.90", "2e-8", "90.6%", "ok"]);
+        let records = t.to_records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            records[0].render(),
+            "  {\"voltage_v\": 0.90, \"ber\": 2e-8, \
+             \"success_rate\": \"90.6%\", \"note\": \"ok\"}"
+        );
+        // The rendering round-trips through the store parser.
+        let doc =
+            crate::results::parse_doc(&crate::results::render_doc("t", &records)).expect("parse");
+        assert_eq!(doc.records.len(), 1);
+        match &doc.records[0][0].1 {
+            crate::results::Value::Num { raw, value } => {
+                assert_eq!(raw, "0.90");
+                assert_eq!(*value, 0.90);
+            }
+            other => panic!("expected number, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,545 @@
+//! The schema-versioned structured results store.
+//!
+//! Every machine-readable artifact the workspace emits — the
+//! `BENCH_*.json` trajectory files, the per-figure tables mirrored from
+//! the harnesses, the sweep fabric's merged grid results — is one *store
+//! document*: a JSON envelope carrying a schema version, the document
+//! name, and a flat array of records (ordered key/value pairs whose
+//! values are strings, numbers or `null`).
+//!
+//! ```json
+//! {"schema": 2, "name": "kernels", "records": [
+//!   {"bench": "gemm_i8", "shape": "16x256x256", "ns_per_iter": 1234.5},
+//!   ...
+//! ]}
+//! ```
+//!
+//! Three properties matter more than the format itself:
+//!
+//! * **Versioned**: [`RESULTS_SCHEMA_VERSION`] names the envelope
+//!   revision; writers stamp it, so a reader always knows what it holds.
+//! * **Forward-compatible reader**: [`parse_doc`] ignores envelope keys
+//!   it does not recognize and accepts documents stamped with a *newer*
+//!   schema than its own, as long as they still carry `records` — so a
+//!   v2 binary can diff results written by a v3 one. It also reads the
+//!   schema-1 legacy format (a bare array of records, what
+//!   `emit_bench_json` wrote before the envelope existed), so committed
+//!   baselines never need rewriting.
+//! * **Crash-safe writer**: [`write_doc`] goes through
+//!   [`create_tensor::atomicfile::write_atomic`], so a killed process
+//!   never leaves a torn results file.
+//!
+//! The hand-rolled parser is deliberately small (the build environment
+//! has no registry, so no serde) and accepts exactly the writer's value
+//! grammar plus arbitrary whitespace and unknown envelope values.
+
+use std::io;
+use std::path::Path;
+
+/// Envelope revision written by [`write_doc`] / [`render_doc`].
+///
+/// History: **1** — bare array of flat records, no envelope (PR 3–8);
+/// **2** — `{schema, name, records}` envelope (this revision).
+pub const RESULTS_SCHEMA_VERSION: u32 = 2;
+
+/// A value in a parsed flat record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number, with its raw rendering kept so configuration
+    /// integers (no `.`) can be told apart from measured floats.
+    Num {
+        /// The exact rendering found in the document.
+        raw: String,
+        /// The parsed value.
+        value: f64,
+    },
+    /// `null` (a non-finite measurement).
+    Null,
+}
+
+/// One parsed record: ordered key/value pairs, exactly as [`Record`]
+/// emitted them.
+pub type FlatRecord = Vec<(String, Value)>;
+
+/// A parsed store document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultsDoc {
+    /// The schema the document was stamped with (1 for legacy bare
+    /// arrays; may exceed [`RESULTS_SCHEMA_VERSION`] for documents from
+    /// the future, which still parse).
+    pub schema: u32,
+    /// The document name (empty for legacy bare arrays).
+    pub name: String,
+    /// The records, in document order.
+    pub records: Vec<FlatRecord>,
+}
+
+/// One record under construction, destined for a store document.
+///
+/// Fields are kept in insertion order and rendered as one flat JSON
+/// object; numbers are emitted as JSON numbers, everything else as
+/// strings.
+#[derive(Debug, Clone, Default)]
+pub struct Record {
+    fields: Vec<(String, String)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Record {
+    /// An empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: impl AsRef<str>) -> Self {
+        self.fields.push((
+            key.to_string(),
+            format!("\"{}\"", json_escape(value.as_ref())),
+        ));
+        self
+    }
+
+    /// Adds a numeric field (rendered with enough precision to diff).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value:.6}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds a numeric field with its exact raw rendering (callers that
+    /// need full-precision or integer-looking numbers beyond what
+    /// [`num`](Self::num)'s fixed format gives). The raw text must be a
+    /// valid JSON number; this is asserted in debug builds.
+    pub fn raw_num(mut self, key: &str, raw: impl Into<String>) -> Self {
+        let raw = raw.into();
+        debug_assert!(
+            raw.parse::<f64>().map(f64::is_finite).unwrap_or(false),
+            "raw_num must be a finite JSON number, got {raw:?}"
+        );
+        self.fields.push((key.to_string(), raw));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Renders the record as one flat JSON object (two-space indented,
+    /// the store's one-record-per-line layout).
+    pub fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+            .collect();
+        format!("  {{{}}}", body.join(", "))
+    }
+}
+
+/// Renders a full store document: the versioned envelope around one
+/// record per line (so diffs stay reviewable).
+pub fn render_doc(name: &str, records: &[Record]) -> String {
+    let body: Vec<String> = records.iter().map(Record::render).collect();
+    format!(
+        "{{\"schema\": {RESULTS_SCHEMA_VERSION}, \"name\": \"{}\", \"records\": [\n{}\n]}}\n",
+        json_escape(name),
+        body.join(",\n")
+    )
+}
+
+/// Writes a store document to `path` crash-safely (temp file, fsync,
+/// atomic rename — a killed process never leaves a torn document).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_doc(path: &Path, name: &str, records: &[Record]) -> io::Result<()> {
+    create_tensor::atomicfile::write_atomic(path, render_doc(name, records).as_bytes())
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(chars: &mut Chars<'_>) {
+    while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut Chars<'_>) -> Result<String, String> {
+    let mut s = String::new();
+    loop {
+        match chars.next() {
+            Some((_, '"')) => return Ok(s),
+            Some((_, '\\')) => match chars.next() {
+                Some((_, '"')) => s.push('"'),
+                Some((_, '\\')) => s.push('\\'),
+                Some((_, 'n')) => s.push('\n'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (at, c) = chars.next().ok_or("results json: truncated \\u")?;
+                        code = code * 16
+                            + c.to_digit(16)
+                                .ok_or(format!("results json: bad \\u digit at byte {at}"))?;
+                    }
+                    s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                other => return Err(format!("results json: bad escape {other:?}")),
+            },
+            Some((_, c)) => s.push(c),
+            None => return Err("results json: unterminated string".to_string()),
+        }
+    }
+}
+
+fn parse_value(chars: &mut Chars<'_>) -> Result<Value, String> {
+    match chars.peek().copied() {
+        Some((_, '"')) => {
+            chars.next();
+            Ok(Value::Str(parse_string(chars)?))
+        }
+        Some((_, 'n')) => {
+            expect_literal(chars, "null")?;
+            Ok(Value::Null)
+        }
+        Some((num_at, _)) => {
+            let mut raw = String::new();
+            while matches!(
+                chars.peek(),
+                Some((_, c)) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+            ) {
+                raw.push(chars.next().expect("peeked").1);
+            }
+            let value = raw
+                .parse::<f64>()
+                .map_err(|e| format!("results json: bad number at byte {num_at}: {e}"))?;
+            Ok(Value::Num { raw, value })
+        }
+        None => Err("results json: expected value, got end of input".to_string()),
+    }
+}
+
+fn expect_literal(chars: &mut Chars<'_>, literal: &str) -> Result<(), String> {
+    for want in literal.chars() {
+        match chars.next() {
+            Some((_, c)) if c == want => {}
+            other => return Err(format!("results json: expected {literal}, got {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// Skips one JSON value of any shape — the forward-compatibility hatch
+/// that lets the reader step over envelope fields added by future schema
+/// revisions (including nested objects and arrays).
+fn skip_value(chars: &mut Chars<'_>) -> Result<(), String> {
+    skip_ws(chars);
+    match chars.peek().copied() {
+        Some((_, '"')) => {
+            chars.next();
+            parse_string(chars).map(|_| ())
+        }
+        Some((_, 't')) => expect_literal(chars, "true"),
+        Some((_, 'f')) => expect_literal(chars, "false"),
+        Some((_, 'n')) => expect_literal(chars, "null"),
+        Some((_, '{')) => {
+            chars.next();
+            loop {
+                skip_ws(chars);
+                match chars.next() {
+                    Some((_, '}')) => return Ok(()),
+                    Some((_, ',')) => continue,
+                    Some((_, '"')) => {
+                        parse_string(chars)?;
+                        skip_ws(chars);
+                        match chars.next() {
+                            Some((_, ':')) => skip_value(chars)?,
+                            other => {
+                                return Err(format!("results json: expected ':', got {other:?}"))
+                            }
+                        }
+                    }
+                    other => return Err(format!("results json: expected key, got {other:?}")),
+                }
+            }
+        }
+        Some((_, '[')) => {
+            chars.next();
+            loop {
+                skip_ws(chars);
+                match chars.peek().copied() {
+                    Some((_, ']')) => {
+                        chars.next();
+                        return Ok(());
+                    }
+                    Some((_, ',')) => {
+                        chars.next();
+                    }
+                    Some(_) => skip_value(chars)?,
+                    None => return Err("results json: unterminated array".to_string()),
+                }
+            }
+        }
+        Some(_) => parse_value(chars).map(|_| ()),
+        None => Err("results json: expected value, got end of input".to_string()),
+    }
+}
+
+fn parse_record(chars: &mut Chars<'_>) -> Result<FlatRecord, String> {
+    let mut record = FlatRecord::new();
+    loop {
+        skip_ws(chars);
+        match chars.next() {
+            Some((_, '}')) => return Ok(record),
+            Some((_, ',')) => continue,
+            Some((_, '"')) => {
+                let key = parse_string(chars)?;
+                skip_ws(chars);
+                match chars.next() {
+                    Some((_, ':')) => {}
+                    other => return Err(format!("results json: expected ':', got {other:?}")),
+                }
+                skip_ws(chars);
+                record.push((key, parse_value(chars)?));
+            }
+            other => return Err(format!("results json: expected key, got {other:?}")),
+        }
+    }
+}
+
+fn parse_record_array(chars: &mut Chars<'_>) -> Result<Vec<FlatRecord>, String> {
+    let mut records = Vec::new();
+    loop {
+        skip_ws(chars);
+        match chars.peek().copied() {
+            Some((_, ']')) => {
+                chars.next();
+                return Ok(records);
+            }
+            Some((_, ',')) => {
+                chars.next();
+            }
+            Some((_, '{')) => {
+                chars.next();
+                records.push(parse_record(chars)?);
+            }
+            other => return Err(format!("results json: expected record, got {other:?}")),
+        }
+    }
+}
+
+/// Parses a store document, accepting both the versioned envelope and
+/// the schema-1 legacy bare array, ignoring unrecognized envelope fields
+/// (forward compatibility — see the module docs).
+pub fn parse_doc(text: &str) -> Result<ResultsDoc, String> {
+    let mut chars = text.char_indices().peekable();
+    skip_ws(&mut chars);
+    match chars.peek().copied() {
+        Some((_, '[')) => {
+            chars.next();
+            Ok(ResultsDoc {
+                schema: 1,
+                name: String::new(),
+                records: parse_record_array(&mut chars)?,
+            })
+        }
+        Some((_, '{')) => {
+            chars.next();
+            let mut schema: Option<u32> = None;
+            let mut name = String::new();
+            let mut records: Option<Vec<FlatRecord>> = None;
+            loop {
+                skip_ws(&mut chars);
+                match chars.next() {
+                    Some((_, '}')) => break,
+                    Some((_, ',')) => continue,
+                    Some((_, '"')) => {
+                        let key = parse_string(&mut chars)?;
+                        skip_ws(&mut chars);
+                        match chars.next() {
+                            Some((_, ':')) => {}
+                            other => {
+                                return Err(format!("results json: expected ':', got {other:?}"))
+                            }
+                        }
+                        skip_ws(&mut chars);
+                        match key.as_str() {
+                            "schema" => match parse_value(&mut chars)? {
+                                Value::Num { value, .. }
+                                    if value.fract() == 0.0 && (1.0..4e9).contains(&value) =>
+                                {
+                                    schema = Some(value as u32);
+                                }
+                                other => {
+                                    return Err(format!("results json: bad schema value {other:?}"))
+                                }
+                            },
+                            "name" => match parse_value(&mut chars)? {
+                                Value::Str(s) => name = s,
+                                other => {
+                                    return Err(format!("results json: bad name value {other:?}"))
+                                }
+                            },
+                            "records" => match chars.next() {
+                                Some((_, '[')) => records = Some(parse_record_array(&mut chars)?),
+                                other => {
+                                    return Err(format!(
+                                        "results json: expected records array, got {other:?}"
+                                    ))
+                                }
+                            },
+                            // Unknown envelope fields (from future schema
+                            // revisions) are skipped, whatever their shape.
+                            _ => skip_value(&mut chars)?,
+                        }
+                    }
+                    other => return Err(format!("results json: expected key, got {other:?}")),
+                }
+            }
+            Ok(ResultsDoc {
+                schema: schema.ok_or("results json: envelope missing \"schema\"")?,
+                name,
+                records: records.ok_or("results json: envelope missing \"records\"")?,
+            })
+        }
+        other => Err(format!("results json: expected document, got {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_render_as_flat_json_objects() {
+        let r = Record::new()
+            .str("bench", "gemm_i8")
+            .str("shape", "16x256x256")
+            .num("ns_per_iter", 1234.5)
+            .int("macs", 1_048_576);
+        assert_eq!(
+            r.render(),
+            "  {\"bench\": \"gemm_i8\", \"shape\": \"16x256x256\", \
+             \"ns_per_iter\": 1234.500000, \"macs\": 1048576}"
+        );
+        let quoted = Record::new().str("k", "a\"b\\c");
+        assert_eq!(quoted.render(), "  {\"k\": \"a\\\"b\\\\c\"}");
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let records = [
+            Record::new().str("a", "x").num("v", 1.5).int("n", 3),
+            Record::new().str("a", "y").num("nan", f64::NAN),
+        ];
+        let text = render_doc("my doc", &records);
+        let doc = parse_doc(&text).expect("parse");
+        assert_eq!(doc.schema, RESULTS_SCHEMA_VERSION);
+        assert_eq!(doc.name, "my doc");
+        assert_eq!(doc.records.len(), 2);
+        assert_eq!(
+            doc.records[0][0],
+            ("a".to_string(), Value::Str("x".to_string()))
+        );
+        assert_eq!(doc.records[1][1], ("nan".to_string(), Value::Null));
+    }
+
+    #[test]
+    fn legacy_bare_arrays_parse_as_schema_one() {
+        let text = "[\n  {\"bench\": \"k\", \"ns_per_iter\": 10.5},\n  {\"b\": 2}\n]\n";
+        let doc = parse_doc(text).expect("parse");
+        assert_eq!(doc.schema, 1);
+        assert_eq!(doc.name, "");
+        assert_eq!(doc.records.len(), 2);
+        assert_eq!(
+            doc.records[0][1],
+            (
+                "ns_per_iter".to_string(),
+                Value::Num {
+                    raw: "10.5".to_string(),
+                    value: 10.5
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn reader_is_forward_compatible_with_future_envelopes() {
+        // A hypothetical schema-3 document: a newer stamp, extra envelope
+        // fields of every JSON shape (nested object, array, bool, null,
+        // string, number) — the reader must step over all of them and
+        // still return the records.
+        let text = r#"{
+            "schema": 3,
+            "name": "future",
+            "generator": {"tool": "create", "nested": [1, {"deep": true}]},
+            "tags": ["a", "b"],
+            "sealed": false,
+            "comment": null,
+            "records": [ {"k": "v", "x": 1.25} ],
+            "trailer": "after records"
+        }"#;
+        let doc = parse_doc(text).expect("future envelope must parse");
+        assert_eq!(doc.schema, 3);
+        assert_eq!(doc.name, "future");
+        assert_eq!(doc.records.len(), 1);
+        assert_eq!(
+            doc.records[0][0],
+            ("k".to_string(), Value::Str("v".to_string()))
+        );
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "not json",
+            "{\"schema\": 2}",
+            "{\"records\": [{}]}",
+            "{\"schema\": \"two\", \"records\": []}",
+            "{\"schema\": 2, \"records\": [{\"k\": }]}",
+            "[{\"k\": \"unterminated",
+        ] {
+            assert!(parse_doc(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn write_doc_is_crash_safe_and_readable() {
+        let path =
+            std::env::temp_dir().join(format!("create-results-{}-store.json", std::process::id()));
+        write_doc(&path, "t", &[Record::new().str("k", "v")]).unwrap();
+        let doc = parse_doc(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.name, "t");
+        assert_eq!(doc.records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn raw_num_preserves_exact_rendering() {
+        let r = Record::new().raw_num("bits", "4614256656552045848");
+        assert_eq!(r.render(), "  {\"bits\": 4614256656552045848}");
+    }
+}

@@ -7,7 +7,9 @@
 //! identical regardless of thread count.
 
 use crate::config::CreateConfig;
-use crate::engine::{self, Accumulator, CollectAll, EngineOptions, ExperimentPoint};
+use crate::engine::{
+    self, Accumulator, CollectAll, EngineOptions, ExperimentPoint, StateAccumulator,
+};
 use crate::mission::{run_trial, Deployment, MissionOutcome, MissionSession};
 use create_env::TaskId;
 use create_tensor::stats::wilson_interval;
@@ -105,6 +107,70 @@ impl Accumulator<MissionOutcome> for SweepAccumulator {
             effective_voltage: mean(self.voltage_sum),
             avg_plans: mean(self.plans_sum),
         }
+    }
+}
+
+/// The journaled-state size: two `u32` counters plus five `f64` sums.
+const SWEEP_STATE_LEN: usize = 4 + 4 + 5 * 8;
+
+/// Serializable fold state for the crash-resumable sweep fabric: the
+/// counters and raw sums, little-endian, floats as [`f64::to_bits`] so
+/// the encoding is bit-exact. Merging adds counters and sums — the
+/// deterministic pairwise fold [`StateAccumulator`] requires.
+impl StateAccumulator<MissionOutcome> for SweepAccumulator {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SWEEP_STATE_LEN);
+        out.extend_from_slice(&self.n.to_le_bytes());
+        out.extend_from_slice(&self.successes.to_le_bytes());
+        for sum in [
+            self.steps_sum,
+            self.energy_sum,
+            self.compute_sum,
+            self.voltage_sum,
+            self.plans_sum,
+        ] {
+            out.extend_from_slice(&sum.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    fn decode_state(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() != SWEEP_STATE_LEN {
+            return Err(format!(
+                "sweep state must be {SWEEP_STATE_LEN} bytes, got {}",
+                bytes.len()
+            ));
+        }
+        let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        let f64_at = |at: usize| {
+            f64::from_bits(u64::from_le_bytes(
+                bytes[at..at + 8].try_into().expect("8 bytes"),
+            ))
+        };
+        let n = u32_at(0);
+        let successes = u32_at(4);
+        if successes > n {
+            return Err(format!("sweep state has {successes} successes out of {n}"));
+        }
+        Ok(SweepAccumulator {
+            n,
+            successes,
+            steps_sum: f64_at(8),
+            energy_sum: f64_at(16),
+            compute_sum: f64_at(24),
+            voltage_sum: f64_at(32),
+            plans_sum: f64_at(40),
+        })
+    }
+
+    fn merge_state(&mut self, other: &Self) {
+        self.n += other.n;
+        self.successes += other.successes;
+        self.steps_sum += other.steps_sum;
+        self.energy_sum += other.energy_sum;
+        self.compute_sum += other.compute_sum;
+        self.voltage_sum += other.voltage_sum;
+        self.plans_sum += other.plans_sum;
     }
 }
 
@@ -341,6 +407,46 @@ mod tests {
             acc.push(o.clone());
         }
         assert_eq!(acc.finish(), SweepPoint::from_outcomes(&outcomes));
+    }
+
+    #[test]
+    fn sweep_state_round_trips_bit_exactly() {
+        let outcomes: Vec<_> = (0..13).map(|i| outcome(i % 4 != 0, 10 + i)).collect();
+        let mut acc = SweepAccumulator::default();
+        for o in &outcomes {
+            acc.push_ref(o);
+        }
+        let bytes = acc.encode_state();
+        let decoded = SweepAccumulator::decode_state(&bytes).expect("decode");
+        assert_eq!(decoded.encode_state(), bytes);
+        assert_eq!(decoded.finish(), SweepPoint::from_outcomes(&outcomes));
+    }
+
+    #[test]
+    fn sweep_state_rejects_malformed_bytes() {
+        assert!(SweepAccumulator::decode_state(&[]).is_err());
+        assert!(SweepAccumulator::decode_state(&[0u8; 47]).is_err());
+        // successes > n is structurally impossible from a real fold.
+        let mut bytes = SweepAccumulator::default().encode_state();
+        bytes[4] = 1;
+        assert!(SweepAccumulator::decode_state(&bytes).is_err());
+    }
+
+    #[test]
+    fn merging_range_states_matches_one_sequential_fold() {
+        // Step counts are small integers and the test meter reads zero, so
+        // every sum here is exact and the comparison is bit-for-bit.
+        let outcomes: Vec<_> = (0..20).map(|i| outcome(i % 3 != 0, 10 + i)).collect();
+        let mut merged = SweepAccumulator::default();
+        for chunk in outcomes.chunks(7) {
+            let mut acc = SweepAccumulator::default();
+            for o in chunk {
+                acc.push_ref(o);
+            }
+            let decoded = SweepAccumulator::decode_state(&acc.encode_state()).expect("decode");
+            merged.merge_state(&decoded);
+        }
+        assert_eq!(merged.finish(), SweepPoint::from_outcomes(&outcomes));
     }
 
     #[test]

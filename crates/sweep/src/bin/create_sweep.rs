@@ -1,0 +1,225 @@
+//! The sweep fabric CLI: one shard of a crash-resumable voltage × task
+//! sweep per `run` invocation, `merge` to reassemble the results,
+//! `status` to inspect progress.
+//!
+//! ```text
+//! create_sweep run     # execute (or resume) shard CREATE_SWEEP_SHARD
+//! create_sweep merge   # fold all shards into <dir>/merged.json
+//! create_sweep status  # per-shard progress
+//! ```
+//!
+//! Knobs (all via the shared warn-and-fallback env contract):
+//!
+//! * `CREATE_SWEEP_SHARDS` — total shards (default 1)
+//! * `CREATE_SWEEP_SHARD`  — this process's shard index (default 0)
+//! * `CREATE_SWEEP_DIR`    — journal + output root (default
+//!   `target/create-sweep/`)
+//! * `CREATE_SWEEP_CHUNK`  — trials per checkpoint chunk (default 8)
+//! * `CREATE_SWEEP_CHAOS`  — deterministic kill probability per chunk
+//!   attempt (default 0; kills abort the process, resume with `run`)
+//! * `CREATE_REPS`         — trials per grid point (default 40)
+//!
+//! The workload is the cached miniature deployment's task grid at three
+//! supply voltages. `merge` writes one schema-versioned results-store
+//! record per grid point, including a `state_digest` hex field of the
+//! merged accumulator's exact bit state — so byte-diffing two
+//! `merged.json` files compares every last ulp, which is how the CI
+//! kill-and-resume smoke job proves chaos runs merge bit-identically to
+//! an uninterrupted reference run.
+
+use create_core::prelude::*;
+use create_core::results;
+use create_core::stats::{GridCell, SweepAccumulator};
+use create_core::testutil;
+use create_core::Accumulator;
+use create_env::TaskId;
+use create_sweep::{merge_states, run_shard, status, ChaosMode, Fingerprint, SweepConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Fixed engine base seed: the sweep is a reproducibility harness, so
+/// its canonical results are pinned, not time-varying.
+const BASE_SEED: u64 = 2026;
+
+/// The supply voltages the workload sweeps.
+const VOLTAGES: [f64; 3] = [0.90, 0.86, 0.82];
+
+fn sweep_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CREATE_SWEEP_DIR") {
+        if !dir.trim().is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/create-sweep")
+        .components()
+        .collect()
+}
+
+fn config_from_env() -> Result<SweepConfig, String> {
+    let shard_count = create_tensor::envcfg::read_positive_usize("CREATE_SWEEP_SHARDS", 1) as u32;
+    let shard_index = create_tensor::envcfg::read_nonneg_usize("CREATE_SWEEP_SHARD", 0) as u32;
+    if shard_index >= shard_count {
+        return Err(format!(
+            "CREATE_SWEEP_SHARD={shard_index} is out of range for \
+             CREATE_SWEEP_SHARDS={shard_count}"
+        ));
+    }
+    let chunk_trials = create_tensor::envcfg::read_positive_usize("CREATE_SWEEP_CHUNK", 8) as u32;
+    let chaos_p = create_tensor::envcfg::read_fraction("CREATE_SWEEP_CHAOS", 0.0);
+    Ok(SweepConfig {
+        shard_count,
+        shard_index,
+        chunk_trials,
+        base_seed: BASE_SEED,
+        dir: sweep_dir(),
+        chaos: if chaos_p > 0.0 {
+            ChaosMode::Process(chaos_p)
+        } else {
+            ChaosMode::Off
+        },
+    })
+}
+
+/// The grid: every deployment task at every voltage, `CREATE_REPS`
+/// trials each, plus the fingerprint that gates journal reuse.
+fn grid(dep: &Deployment, reps: u32) -> (Vec<GridCell<'_>>, u64) {
+    let mut cells = Vec::new();
+    let mut fp = Fingerprint::new().push_u64(u64::from(reps));
+    for &task in &dep.tasks {
+        for &v in &VOLTAGES {
+            fp = fp
+                .push_bytes(format!("{task:?}").as_bytes())
+                .push_u64(v.to_bits());
+            cells.push(GridCell {
+                dep,
+                task,
+                config: CreateConfig::undervolted(v),
+                trials: reps,
+            });
+        }
+    }
+    (cells, fp.finish())
+}
+
+fn labels(dep: &Deployment) -> Vec<(TaskId, f64)> {
+    let mut out = Vec::new();
+    for &task in &dep.tasks {
+        for &v in &VOLTAGES {
+            out.push((task, v));
+        }
+    }
+    out
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn cmd_run(config: &SweepConfig) -> Result<(), String> {
+    let (dep, _) = testutil::tiny_deployment();
+    let reps = default_reps();
+    let (cells, fingerprint) = grid(&dep, reps);
+    let report = run_shard(&cells, config, fingerprint).map_err(|e| e.to_string())?;
+    println!(
+        "[sweep] shard {}/{}: attempt {}, {} owned chunks ({} resumed from journal, {} run), \
+         {} torn file(s) healed",
+        config.shard_index,
+        config.shard_count,
+        report.generation,
+        report.owned,
+        report.resumed,
+        report.ran,
+        report.torn_files
+    );
+    Ok(())
+}
+
+fn cmd_merge(config: &SweepConfig) -> Result<(), String> {
+    let (dep, _) = testutil::tiny_deployment();
+    let reps = default_reps();
+    let (cells, fingerprint) = grid(&dep, reps);
+    let trials: Vec<u32> = cells.iter().map(|c| c.trials).collect();
+    let merged = merge_states::<_, SweepAccumulator>(&trials, config, fingerprint)
+        .map_err(|e| e.to_string())?;
+    let mut records = Vec::new();
+    for ((task, voltage), acc) in labels(&dep).into_iter().zip(merged) {
+        let digest = hex(&create_core::StateAccumulator::encode_state(&acc));
+        let point: SweepPoint = acc.finish();
+        records.push(
+            results::Record::new()
+                .str("task", format!("{task:?}"))
+                .raw_num("voltage_v", format!("{voltage:.2}"))
+                .int("n", u64::from(point.n))
+                .int("successes", u64::from(point.successes))
+                .num("success_rate", point.success_rate)
+                .num("avg_steps", point.avg_steps)
+                .num("avg_energy_j", point.avg_energy_j)
+                .num("avg_compute_j", point.avg_compute_j)
+                .num("effective_voltage", point.effective_voltage)
+                .num("avg_plans", point.avg_plans)
+                .str("state_digest", digest),
+        );
+    }
+    let path = config.dir.join("merged.json");
+    results::write_doc(&path, "sweep_merged", &records)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!(
+        "[sweep] merged {} points -> {}",
+        records.len(),
+        path.display()
+    );
+    Ok(())
+}
+
+fn cmd_status(config: &SweepConfig) -> Result<(), String> {
+    let (dep, _) = testutil::tiny_deployment();
+    let reps = default_reps();
+    let (cells, fingerprint) = grid(&dep, reps);
+    let trials: Vec<u32> = cells.iter().map(|c| c.trials).collect();
+    let shards = status(&trials, config, fingerprint).map_err(|e| e.to_string())?;
+    let mut table = TextTable::new(vec!["shard", "done", "owned", "attempts", "torn_files"]);
+    for s in &shards {
+        table.row(vec![
+            s.shard.to_string(),
+            s.done.to_string(),
+            s.owned.to_string(),
+            s.attempts.to_string(),
+            s.torn_files.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    let done: usize = shards.iter().map(|s| s.done).sum();
+    let owned: usize = shards.iter().map(|s| s.owned).sum();
+    println!("[sweep] {done}/{owned} chunks complete");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let command = std::env::args().nth(1).unwrap_or_default();
+    let config = match config_from_env() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("[sweep] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&config),
+        "merge" => cmd_merge(&config),
+        "status" => cmd_status(&config),
+        _ => {
+            eprintln!(
+                "usage: create_sweep <run|merge|status>  (see crate docs for CREATE_SWEEP_* knobs)"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("[sweep] {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

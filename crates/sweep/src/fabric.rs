@@ -1,0 +1,538 @@
+//! The shard coordinator: deterministic chunking, the resumable shard
+//! runner, and the bit-exact merge.
+//!
+//! # Why chunks, not shards, are the unit of everything
+//!
+//! f64 folds are not associative, so *any* decomposition of a point's
+//! trials changes the last few ulps of its sums. The fabric therefore
+//! fixes the decomposition **as a function of the grid alone**: every
+//! point's trials split into contiguous chunks of `chunk_trials` (the
+//! last chunk ragged), enumerated point-major into one global chunk
+//! list. Shards deal that list round-robin (`chunk.index % shard_count`)
+//! and the merge folds each point's chunk states **in chunk order** —
+//! so the merged result is a pure function of `(grid, base_seed,
+//! chunk_trials)`. Shard count, kill/resume history, and which process
+//! ran which chunk all cancel out, which is what lets CI byte-diff a
+//! chaos-ridden sweep against an uninterrupted one. With `chunk_trials
+//! >= trials` every point is one chunk and the merge reproduces
+//! [`create_core::run_grid`] bit for bit.
+
+use crate::chaos::{ChaosMode, KillSite};
+use crate::journal::{self, ChunkRecord, Manifest, Record, ShardJournal};
+use create_core::engine::{run_point_range, Accumulator, ExperimentPoint, StateAccumulator};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// Everything that parameterizes one sweep run, normally read from the
+/// `CREATE_SWEEP_*` environment knobs by the CLI.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Total worker processes the chunk space is dealt across.
+    pub shard_count: u32,
+    /// This process's shard in `0..shard_count`.
+    pub shard_index: u32,
+    /// Trials per chunk — the checkpoint granularity *and* the merge
+    /// fold granularity (changing it changes the canonical result's
+    /// float rounding, so it is part of the journal manifest).
+    pub chunk_trials: u32,
+    /// Engine base seed.
+    pub base_seed: u64,
+    /// Root directory holding one `shard-NNNN/` journal per shard.
+    pub dir: PathBuf,
+    /// Kill injection.
+    pub chaos: ChaosMode,
+}
+
+impl SweepConfig {
+    /// The journal directory of one shard.
+    pub fn shard_dir(&self, shard: u32) -> PathBuf {
+        self.dir.join(format!("shard-{shard:04}"))
+    }
+
+    fn manifest(&self, fingerprint: u64, shard: u32) -> Manifest {
+        Manifest {
+            fingerprint,
+            base_seed: self.base_seed,
+            shard_index: shard,
+            shard_count: self.shard_count,
+            chunk_trials: self.chunk_trials,
+        }
+    }
+}
+
+/// One chunk of the global decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Position in the global point-major chunk list.
+    pub index: usize,
+    /// Grid point the trials belong to.
+    pub point: usize,
+    /// First trial of the range.
+    pub first_trial: u32,
+    /// Trials in the range (ragged at each point's end).
+    pub len: u32,
+}
+
+/// The global chunk list for a grid with the given per-point trial
+/// counts — a pure function of the grid and `chunk_trials`, never of
+/// shard count.
+pub fn chunks(trials_per_point: &[u32], chunk_trials: u32) -> Vec<Chunk> {
+    let chunk_trials = chunk_trials.max(1);
+    let mut out = Vec::new();
+    for (point, &trials) in trials_per_point.iter().enumerate() {
+        let mut first = 0u32;
+        while first < trials {
+            let len = chunk_trials.min(trials - first);
+            out.push(Chunk {
+                index: out.len(),
+                point,
+                first_trial: first,
+                len,
+            });
+            first += len;
+        }
+    }
+    out
+}
+
+/// The deterministic identity seed of one chunk — what the chaos hook
+/// draws from. Derived from the *first trial's* engine seed so it moves
+/// with the same `(base_seed, point, trial)` contract as everything
+/// else.
+fn chunk_seed(base_seed: u64, chunk: &Chunk) -> u64 {
+    create_core::engine::derive_seed(base_seed, chunk.point, chunk.first_trial)
+}
+
+/// Errors the fabric can surface. Torn or corrupt journal content is
+/// *not* among them — that is recovered, not reported.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A journal on disk belongs to a different sweep (grid fingerprint,
+    /// seed, shard layout or chunk size mismatch).
+    ForeignJournal(String),
+    /// Merge found chunks nobody has completed yet.
+    Incomplete(String),
+    /// A journaled chunk state failed to decode (wrong accumulator type
+    /// or a corrupted record that still checksummed — both indicate the
+    /// journal is not this sweep's).
+    BadState(String),
+    /// Simulated chaos killed this attempt (the process-mode equivalent
+    /// is `std::process::abort()`; this variant only exists so tests can
+    /// drive kill/resume loops in-process).
+    ChaosKilled {
+        /// Where in the chunk lifecycle the kill landed.
+        site: KillSite,
+        /// Global index of the chunk that was being processed.
+        chunk_index: usize,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Io(e) => write!(f, "sweep i/o error: {e}"),
+            SweepError::ForeignJournal(why) => write!(f, "foreign journal: {why}"),
+            SweepError::Incomplete(why) => write!(f, "sweep incomplete: {why}"),
+            SweepError::BadState(why) => write!(f, "bad chunk state: {why}"),
+            SweepError::ChaosKilled { site, chunk_index } => {
+                write!(f, "chaos killed attempt at {site:?} on chunk {chunk_index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SweepError {
+    fn from(e: std::io::Error) -> Self {
+        SweepError::Io(e)
+    }
+}
+
+/// FNV-1a accumulator for grid fingerprints — callers hash whatever
+/// defines their grid (tasks, configs, trial counts) into one `u64` that
+/// gates journal reuse.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint(0xCBF2_9CE4_8422_2325)
+    }
+}
+
+impl Fingerprint {
+    /// A fresh accumulator at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds raw bytes in.
+    pub fn push_bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self
+    }
+
+    /// Folds one integer in (little-endian).
+    pub fn push_u64(self, v: u64) -> Self {
+        self.push_bytes(&v.to_le_bytes())
+    }
+
+    /// The fingerprint.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn check_manifests(
+    records: &[Record],
+    expected: &Manifest,
+    where_: &str,
+) -> Result<(), SweepError> {
+    for record in records {
+        if let Record::Manifest(m) = record {
+            if m != expected {
+                return Err(SweepError::ForeignJournal(format!(
+                    "{where_} was written by a different sweep \
+                     (found {m:?}, expected {expected:?}) — point CREATE_SWEEP_DIR \
+                     somewhere fresh or remove the stale journal"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// What one shard attempt did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Chunks this shard owns.
+    pub owned: usize,
+    /// Chunks whose journaled state let this attempt skip the work.
+    pub resumed: usize,
+    /// Chunks actually run (and journaled) by this attempt.
+    pub ran: usize,
+    /// Files whose torn tails recovery discarded on open.
+    pub torn_files: usize,
+    /// Attempt number (1 = first run, >1 = resume).
+    pub generation: u32,
+}
+
+/// Runs (or resumes) this process's shard: every owned chunk without a
+/// journaled state is executed via [`run_point_range`] and its encoded
+/// accumulator state appended durably to the shard journal. Safe to
+/// re-run any number of times; completed work is never recomputed.
+///
+/// # Errors
+///
+/// Filesystem errors, a foreign journal, or (simulated chaos only) an
+/// injected kill. A process-mode chaos kill does not return — it aborts.
+pub fn run_shard<P>(
+    points: &[P],
+    config: &SweepConfig,
+    fingerprint: u64,
+) -> Result<ShardReport, SweepError>
+where
+    P: ExperimentPoint,
+    P::Acc: StateAccumulator<P::Outcome>,
+{
+    let trials: Vec<u32> = points.iter().map(ExperimentPoint::trials).collect();
+    let all = chunks(&trials, config.chunk_trials);
+    let expected = config.manifest(fingerprint, config.shard_index);
+    let shard_dir = config.shard_dir(config.shard_index);
+    let (recovered, mut journal) = ShardJournal::open(&shard_dir, expected)?;
+    check_manifests(
+        &recovered.records,
+        &expected,
+        &shard_dir.display().to_string(),
+    )?;
+
+    let done: BTreeSet<(u32, u32, u32)> = recovered
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Chunk(c) => Some((c.point, c.first_trial, c.len)),
+            Record::Manifest(_) => None,
+        })
+        .collect();
+
+    let mut report = ShardReport {
+        owned: 0,
+        resumed: 0,
+        ran: 0,
+        torn_files: recovered.torn_files,
+        generation: recovered.generation,
+    };
+    let probability = config.chaos.probability();
+    for chunk in all
+        .iter()
+        .filter(|c| c.index as u32 % config.shard_count.max(1) == config.shard_index)
+    {
+        report.owned += 1;
+        if done.contains(&(chunk.point as u32, chunk.first_trial, chunk.len)) {
+            report.resumed += 1;
+            continue;
+        }
+        let draw =
+            crate::chaos::chaos_draw(chunk_seed(config.base_seed, chunk), recovered.generation);
+        let kill = crate::chaos::plan_kill(probability, draw);
+        if kill == Some(KillSite::Before) {
+            return Err(deliver_kill(&config.chaos, KillSite::Before, chunk.index));
+        }
+        let acc = run_point_range(
+            &points[chunk.point],
+            chunk.point,
+            config.base_seed,
+            chunk.first_trial,
+            chunk.len,
+        );
+        let record = Record::Chunk(ChunkRecord {
+            point: chunk.point as u32,
+            first_trial: chunk.first_trial,
+            len: chunk.len,
+            state: acc.encode_state(),
+        });
+        if kill == Some(KillSite::MidAppend) {
+            // Leave a realistic torn frame behind, then die.
+            let framed_len = journal::frame(&record.encode()).len();
+            let cut = 1 + (draw >> 8) as usize % (framed_len - 1);
+            journal.append_torn(&record, cut)?;
+            return Err(deliver_kill(
+                &config.chaos,
+                KillSite::MidAppend,
+                chunk.index,
+            ));
+        }
+        journal.append(&record)?;
+        report.ran += 1;
+        if kill == Some(KillSite::AfterAppend) {
+            return Err(deliver_kill(
+                &config.chaos,
+                KillSite::AfterAppend,
+                chunk.index,
+            ));
+        }
+    }
+    Ok(report)
+}
+
+fn deliver_kill(mode: &ChaosMode, site: KillSite, chunk_index: usize) -> SweepError {
+    match mode {
+        ChaosMode::Process(_) => {
+            eprintln!("[sweep] chaos kill at {site:?} on chunk {chunk_index}");
+            std::process::abort();
+        }
+        _ => SweepError::ChaosKilled { site, chunk_index },
+    }
+}
+
+/// Merges every shard's journal into one accumulator per point, folding
+/// chunk states **in chunk order** — the canonical result described in
+/// the module docs. Duplicate records for a range (possible after a
+/// crash between append and bookkeeping) are de-duplicated, first
+/// occurrence wins, so nothing is ever double-counted.
+///
+/// Generic over the accumulator only — merging needs the per-point trial
+/// counts and the state codec, not live experiment points.
+///
+/// # Errors
+///
+/// Filesystem errors, a foreign journal, undecodable states, or an
+/// incomplete sweep (some chunk has no journaled state anywhere).
+pub fn merge_states<O, A>(
+    trials_per_point: &[u32],
+    config: &SweepConfig,
+    fingerprint: u64,
+) -> Result<Vec<A>, SweepError>
+where
+    A: StateAccumulator<O> + Default,
+{
+    let all = chunks(trials_per_point, config.chunk_trials);
+    let mut states: BTreeMap<(u32, u32, u32), Vec<u8>> = BTreeMap::new();
+    for shard in 0..config.shard_count.max(1) {
+        let shard_dir = config.shard_dir(shard);
+        let recovered = journal::read_shard_dir(&shard_dir)?;
+        let expected = config.manifest(fingerprint, shard);
+        check_manifests(
+            &recovered.records,
+            &expected,
+            &shard_dir.display().to_string(),
+        )?;
+        for record in recovered.records {
+            if let Record::Chunk(c) = record {
+                // First occurrence wins; re-run ranges produce identical
+                // states anyway (same seeds, same fold), but the rule
+                // also guards against double-counting.
+                states
+                    .entry((c.point, c.first_trial, c.len))
+                    .or_insert(c.state);
+            }
+        }
+    }
+
+    let missing: Vec<&Chunk> = all
+        .iter()
+        .filter(|c| !states.contains_key(&(c.point as u32, c.first_trial, c.len)))
+        .collect();
+    if !missing.is_empty() {
+        return Err(SweepError::Incomplete(format!(
+            "{} of {} chunks have no journaled state (first missing: point {} trials {}..{}); \
+             run the remaining shards to completion first",
+            missing.len(),
+            all.len(),
+            missing[0].point,
+            missing[0].first_trial,
+            missing[0].first_trial + missing[0].len
+        )));
+    }
+
+    let mut merged: Vec<Option<A>> = (0..trials_per_point.len()).map(|_| None).collect();
+    for chunk in &all {
+        let state = &states[&(chunk.point as u32, chunk.first_trial, chunk.len)];
+        let acc = A::decode_state(state).map_err(|why| {
+            SweepError::BadState(format!(
+                "point {} trials {}..{}: {why}",
+                chunk.point,
+                chunk.first_trial,
+                chunk.first_trial + chunk.len
+            ))
+        })?;
+        match &mut merged[chunk.point] {
+            Some(m) => m.merge_state(&acc),
+            slot @ None => *slot = Some(acc),
+        }
+    }
+    Ok(merged.into_iter().map(|m| m.unwrap_or_default()).collect())
+}
+
+/// [`merge_states`] + `finish()`: the per-point summaries.
+///
+/// # Errors
+///
+/// Same as [`merge_states`].
+pub fn merge_summaries<O, A>(
+    trials_per_point: &[u32],
+    config: &SweepConfig,
+    fingerprint: u64,
+) -> Result<Vec<A::Summary>, SweepError>
+where
+    A: StateAccumulator<O> + Default,
+{
+    Ok(merge_states::<O, A>(trials_per_point, config, fingerprint)?
+        .into_iter()
+        .map(Accumulator::finish)
+        .collect())
+}
+
+/// Progress of one shard, as visible from its journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: u32,
+    /// Owned chunks with a journaled state.
+    pub done: usize,
+    /// Chunks this shard owns.
+    pub owned: usize,
+    /// Attempts recorded so far (manifest count).
+    pub attempts: u32,
+    /// Files with discarded torn tails.
+    pub torn_files: usize,
+}
+
+/// Reads every shard's progress without touching the journals.
+///
+/// # Errors
+///
+/// Filesystem errors or a foreign journal.
+pub fn status(
+    trials_per_point: &[u32],
+    config: &SweepConfig,
+    fingerprint: u64,
+) -> Result<Vec<ShardStatus>, SweepError> {
+    let all = chunks(trials_per_point, config.chunk_trials);
+    let mut out = Vec::new();
+    for shard in 0..config.shard_count.max(1) {
+        let shard_dir = config.shard_dir(shard);
+        let recovered = journal::read_shard_dir(&shard_dir)?;
+        let expected = config.manifest(fingerprint, shard);
+        check_manifests(
+            &recovered.records,
+            &expected,
+            &shard_dir.display().to_string(),
+        )?;
+        let done_set: BTreeSet<(u32, u32, u32)> = recovered
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Chunk(c) => Some((c.point, c.first_trial, c.len)),
+                Record::Manifest(_) => None,
+            })
+            .collect();
+        let owned: Vec<&Chunk> = all
+            .iter()
+            .filter(|c| c.index as u32 % config.shard_count.max(1) == shard)
+            .collect();
+        let done = owned
+            .iter()
+            .filter(|c| done_set.contains(&(c.point as u32, c.first_trial, c.len)))
+            .count();
+        out.push(ShardStatus {
+            shard,
+            done,
+            owned: owned.len(),
+            attempts: recovered.generation,
+            torn_files: recovered.torn_files,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_is_point_major_and_ragged() {
+        let c = chunks(&[5, 0, 3], 2);
+        let shape: Vec<(usize, u32, u32)> =
+            c.iter().map(|c| (c.point, c.first_trial, c.len)).collect();
+        assert_eq!(
+            shape,
+            vec![(0, 0, 2), (0, 2, 2), (0, 4, 1), (2, 0, 2), (2, 2, 1)]
+        );
+        assert!(c.iter().enumerate().all(|(i, c)| c.index == i));
+    }
+
+    #[test]
+    fn chunking_ignores_shard_count_by_construction() {
+        // The function does not even take a shard count; pin that the
+        // chunk list only changes with the grid or the chunk size.
+        assert_eq!(chunks(&[7], 3), chunks(&[7], 3));
+        assert_ne!(chunks(&[7], 3), chunks(&[7], 4));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_inputs() {
+        let a = Fingerprint::new().push_u64(1).push_bytes(b"log").finish();
+        let b = Fingerprint::new().push_u64(2).push_bytes(b"log").finish();
+        let c = Fingerprint::new().push_u64(1).push_bytes(b"seed").finish();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(
+            a,
+            Fingerprint::new().push_u64(1).push_bytes(b"log").finish()
+        );
+    }
+}

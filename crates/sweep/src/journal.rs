@@ -1,0 +1,456 @@
+//! The per-shard checkpoint journal: append-only, CRC-framed, fsync'd.
+//!
+//! A shard directory (`shard-0003/`) holds a sequence of **sealed
+//! segments** (`seg-00000001.crj`, immutable once named) plus one
+//! **active file** (`open.crj`) that the running shard appends to. Every
+//! file starts with a 12-byte header (magic + schema version); every
+//! record after it is one *frame*:
+//!
+//! ```text
+//! [payload len: u32 LE][CRC32 (IEEE) of payload: u32 LE][payload]
+//! ```
+//!
+//! Appends `fsync` before the shard acts on the record being durable, so
+//! a record the resume path skips work for is guaranteed on disk. A
+//! crash mid-append leaves a **torn tail** — a partial frame, or a frame
+//! whose CRC does not match. Recovery ([`ShardJournal::open`]) never
+//! aborts on one: it keeps the valid frame prefix of every file, warns,
+//! rewrites the damaged file to that prefix (temp file + fsync + atomic
+//! rename, via [`create_tensor::atomicfile`]), and the trial ranges whose
+//! records were torn off simply re-run. Double-appends (a record made it
+//! to disk but the process died before noting so) are harmless: readers
+//! de-duplicate chunk records by trial range, keeping the first
+//! occurrence.
+//!
+//! Each open also appends a fresh [`Record::Manifest`], so the number of
+//! manifests in a journal counts the shard's *attempts* — the recovery
+//! generation the chaos hook salts its kill decisions with (otherwise a
+//! deterministic kill would re-fire identically on every resume and the
+//! sweep could never finish).
+
+use create_tensor::atomicfile::write_atomic;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic for sweep journals.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"CRSWEEP\x01";
+
+/// Bump when the frame or record encoding changes incompatibly; readers
+/// reject other versions (a journal is scratch state, not an archive).
+pub const JOURNAL_SCHEMA_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 12;
+const FRAME_HEADER_LEN: usize = 8;
+
+/// Frames larger than this are treated as torn (a corrupt length field
+/// would otherwise make the reader try to allocate gigabytes).
+const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// CRC32 (IEEE 802.3, reflected) — hand-rolled, the build environment
+/// has no registry crates.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Identity of the sweep a journal belongs to. Every field must match
+/// for a resume to trust the journal; anything else is a *foreign
+/// journal* (a different grid, shard layout or seed writing into the
+/// same directory) and is a hard error — silently mixing two sweeps'
+/// chunk states would corrupt both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Manifest {
+    /// Fingerprint of the experiment grid (points, configs, trials).
+    pub fingerprint: u64,
+    /// Engine base seed the sweep derives trial seeds from.
+    pub base_seed: u64,
+    /// This shard's index in `0..shard_count`.
+    pub shard_index: u32,
+    /// Total shards the chunk space is dealt across.
+    pub shard_count: u32,
+    /// Trials per chunk (the unit of checkpointing and of merge folds).
+    pub chunk_trials: u32,
+}
+
+/// One completed chunk: the contiguous trials `first_trial ..
+/// first_trial + len` of point `point`, plus the serialized
+/// [`StateAccumulator`](create_core::StateAccumulator) fold state of
+/// exactly those trials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRecord {
+    /// Grid point index.
+    pub point: u32,
+    /// First trial of the range.
+    pub first_trial: u32,
+    /// Number of trials in the range.
+    pub len: u32,
+    /// Encoded accumulator state for the range.
+    pub state: Vec<u8>,
+}
+
+/// A journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// Written once per shard open (attempt).
+    Manifest(Manifest),
+    /// Written once per completed chunk, after the trials ran.
+    Chunk(ChunkRecord),
+}
+
+const KIND_MANIFEST: u8 = 1;
+const KIND_CHUNK: u8 = 2;
+
+impl Record {
+    /// Serializes the record payload (everything inside one frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Record::Manifest(m) => {
+                out.push(KIND_MANIFEST);
+                out.extend_from_slice(&m.fingerprint.to_le_bytes());
+                out.extend_from_slice(&m.base_seed.to_le_bytes());
+                out.extend_from_slice(&m.shard_index.to_le_bytes());
+                out.extend_from_slice(&m.shard_count.to_le_bytes());
+                out.extend_from_slice(&m.chunk_trials.to_le_bytes());
+            }
+            Record::Chunk(c) => {
+                out.push(KIND_CHUNK);
+                out.extend_from_slice(&c.point.to_le_bytes());
+                out.extend_from_slice(&c.first_trial.to_le_bytes());
+                out.extend_from_slice(&c.len.to_le_bytes());
+                out.extend_from_slice(&(c.state.len() as u32).to_le_bytes());
+                out.extend_from_slice(&c.state);
+            }
+        }
+        out
+    }
+
+    /// Parses one record payload.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown kinds and truncated payloads with a description.
+    pub fn decode(payload: &[u8]) -> Result<Record, String> {
+        let u32_at = |at: usize| -> Result<u32, String> {
+            payload
+                .get(at..at + 4)
+                .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+                .ok_or_else(|| "record truncated".to_string())
+        };
+        let u64_at = |at: usize| -> Result<u64, String> {
+            payload
+                .get(at..at + 8)
+                .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+                .ok_or_else(|| "record truncated".to_string())
+        };
+        match payload.first() {
+            Some(&KIND_MANIFEST) => {
+                let m = Manifest {
+                    fingerprint: u64_at(1)?,
+                    base_seed: u64_at(9)?,
+                    shard_index: u32_at(17)?,
+                    shard_count: u32_at(21)?,
+                    chunk_trials: u32_at(25)?,
+                };
+                if payload.len() != 29 {
+                    return Err(format!("manifest has {} bytes, expected 29", payload.len()));
+                }
+                Ok(Record::Manifest(m))
+            }
+            Some(&KIND_CHUNK) => {
+                let point = u32_at(1)?;
+                let first_trial = u32_at(5)?;
+                let len = u32_at(9)?;
+                let state_len = u32_at(13)? as usize;
+                let state = payload
+                    .get(17..17 + state_len)
+                    .ok_or_else(|| "chunk state truncated".to_string())?
+                    .to_vec();
+                if payload.len() != 17 + state_len {
+                    return Err("chunk record has trailing bytes".to_string());
+                }
+                Ok(Record::Chunk(ChunkRecord {
+                    point,
+                    first_trial,
+                    len,
+                    state,
+                }))
+            }
+            Some(&kind) => Err(format!("unknown record kind {kind}")),
+            None => Err("empty record".to_string()),
+        }
+    }
+}
+
+/// Wraps a record payload in one CRC frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The journal file header.
+pub fn file_header() -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN);
+    out.extend_from_slice(JOURNAL_MAGIC);
+    out.extend_from_slice(&JOURNAL_SCHEMA_VERSION.to_le_bytes());
+    out
+}
+
+/// The valid prefix of one journal file's bytes: decoded records, the
+/// byte length of the clean prefix, and whether a torn/corrupt tail was
+/// discarded. A file whose *header* is unreadable contributes nothing
+/// (clean length 0) and counts as torn if non-empty.
+pub fn scan_file(bytes: &[u8]) -> (Vec<Record>, usize, bool) {
+    if bytes.len() < HEADER_LEN
+        || &bytes[..8] != JOURNAL_MAGIC
+        || bytes[8..HEADER_LEN] != JOURNAL_SCHEMA_VERSION.to_le_bytes()
+    {
+        return (Vec::new(), 0, !bytes.is_empty());
+    }
+    let mut records = Vec::new();
+    let mut at = HEADER_LEN;
+    loop {
+        let Some(head) = bytes.get(at..at + FRAME_HEADER_LEN) else {
+            // Partial frame header (or clean EOF when nothing remains).
+            return (records, at, at != bytes.len());
+        };
+        let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes"));
+        let want_crc = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            return (records, at, true);
+        }
+        let Some(payload) = bytes.get(at + FRAME_HEADER_LEN..at + FRAME_HEADER_LEN + len as usize)
+        else {
+            return (records, at, true);
+        };
+        if crc32(payload) != want_crc {
+            return (records, at, true);
+        }
+        match Record::decode(payload) {
+            Ok(r) => records.push(r),
+            // A frame that checksums but does not decode is as torn as a
+            // bad CRC: keep the prefix, drop it and everything after.
+            Err(_) => return (records, at, true),
+        }
+        at += FRAME_HEADER_LEN + len as usize;
+    }
+}
+
+/// What [`ShardJournal::open`] recovered from disk.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Every valid record, in segment order then file order (manifests
+    /// included — one per prior attempt).
+    pub records: Vec<Record>,
+    /// Number of files whose torn/corrupt tails were discarded.
+    pub torn_files: usize,
+    /// Attempts so far *including this open* (= manifests now on disk).
+    pub generation: u32,
+}
+
+/// The active, append-only journal of one shard.
+#[derive(Debug)]
+pub struct ShardJournal {
+    dir: PathBuf,
+    open_path: PathBuf,
+    file: File,
+}
+
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+fn segment_paths(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut segs: Vec<PathBuf> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("seg-") && name.ends_with(".crj") {
+            segs.push(path);
+        }
+    }
+    segs.sort();
+    Ok(segs)
+}
+
+impl ShardJournal {
+    /// Opens (creating or recovering) the journal in `dir` and starts a
+    /// new attempt: sealed segments and any previous `open.crj` are
+    /// scanned, torn tails are discarded (with a stderr warning) and the
+    /// damaged files rewritten to their valid prefixes, the old
+    /// `open.crj` is sealed into the next segment, and a fresh `open.crj`
+    /// is created with `manifest` appended (durably) as the attempt
+    /// marker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors. Torn or corrupt journal *content*
+    /// is never an error.
+    pub fn open(dir: &Path, manifest: Manifest) -> std::io::Result<(Recovered, ShardJournal)> {
+        fs::create_dir_all(dir)?;
+        let mut records = Vec::new();
+        let mut torn_files = 0usize;
+
+        let segs = segment_paths(dir)?;
+        let mut next_seal = segs.len() as u64 + 1;
+        let open_path = dir.join("open.crj");
+        let mut to_scan: Vec<(PathBuf, bool)> = segs.into_iter().map(|p| (p, false)).collect();
+        if open_path.is_file() {
+            to_scan.push((open_path.clone(), true));
+        }
+        for (path, is_open) in to_scan {
+            let mut bytes = Vec::new();
+            File::open(&path)?.read_to_end(&mut bytes)?;
+            let (file_records, clean_len, torn) = scan_file(&bytes);
+            if torn {
+                torn_files += 1;
+                eprintln!(
+                    "[sweep] {}: discarding torn tail ({} of {} bytes valid, {} record(s) kept)",
+                    path.display(),
+                    clean_len,
+                    bytes.len(),
+                    file_records.len()
+                );
+            }
+            let keep = !file_records.is_empty();
+            if torn && keep {
+                // Rewrite the file to its valid prefix so the damage is
+                // healed once, not re-scanned (and re-warned) forever.
+                write_atomic(&path, &bytes[..clean_len])?;
+            }
+            if is_open {
+                // Seal the previous attempt's file (renames are atomic;
+                // a crash here just re-seals next open).
+                if keep {
+                    let seal = dir.join(format!("seg-{next_seal:08}.crj"));
+                    fs::rename(&path, &seal)?;
+                    next_seal += 1;
+                } else {
+                    fs::remove_file(&path)?;
+                }
+            } else if !keep {
+                // A sealed segment with no valid records is dead weight.
+                fs::remove_file(&path)?;
+            }
+            records.extend(file_records);
+        }
+
+        let prior_manifests = records
+            .iter()
+            .filter(|r| matches!(r, Record::Manifest(_)))
+            .count() as u32;
+
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&open_path)?;
+        file.write_all(&file_header())?;
+        file.sync_all()?;
+        sync_dir(dir);
+
+        let mut journal = ShardJournal {
+            dir: dir.to_path_buf(),
+            open_path,
+            file,
+        };
+        journal.append(&Record::Manifest(manifest))?;
+        Ok((
+            Recovered {
+                records,
+                torn_files,
+                generation: prior_manifests + 1,
+            },
+            journal,
+        ))
+    }
+
+    /// Appends one record durably (`fsync` before returning).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, record: &Record) -> std::io::Result<()> {
+        self.file.write_all(&frame(&record.encode()))?;
+        self.file.sync_all()
+    }
+
+    /// Appends the first `cut` bytes of `record`'s frame — a *torn*
+    /// append, exactly what a crash mid-write leaves behind. The chaos
+    /// hook's mid-append kill site writes through this so recovery paths
+    /// are exercised with realistic damage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append_torn(&mut self, record: &Record, cut: usize) -> std::io::Result<()> {
+        let framed = frame(&record.encode());
+        let cut = cut.min(framed.len().saturating_sub(1)).max(1);
+        self.file.write_all(&framed[..cut])?;
+        self.file.sync_all()
+    }
+
+    /// The shard directory this journal lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active file's path (`open.crj`).
+    pub fn open_path(&self) -> &Path {
+        &self.open_path
+    }
+}
+
+/// Reads every valid record in a shard directory **without** opening it
+/// for writing — the merge/status path. Torn tails are discarded with a
+/// warning, never an error; a missing directory reads as empty.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn read_shard_dir(dir: &Path) -> std::io::Result<Recovered> {
+    let mut records = Vec::new();
+    let mut torn_files = 0usize;
+    if dir.is_dir() {
+        let mut paths = segment_paths(dir)?;
+        let open_path = dir.join("open.crj");
+        if open_path.is_file() {
+            paths.push(open_path);
+        }
+        for path in paths {
+            let mut bytes = Vec::new();
+            File::open(&path)?.read_to_end(&mut bytes)?;
+            let (file_records, _, torn) = scan_file(&bytes);
+            if torn {
+                torn_files += 1;
+                eprintln!(
+                    "[sweep] {}: ignoring torn tail ({} record(s) kept)",
+                    path.display(),
+                    file_records.len()
+                );
+            }
+            records.extend(file_records);
+        }
+    }
+    let generation = records
+        .iter()
+        .filter(|r| matches!(r, Record::Manifest(_)))
+        .count() as u32;
+    Ok(Recovered {
+        records,
+        torn_files,
+        generation,
+    })
+}

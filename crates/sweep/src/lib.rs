@@ -1,0 +1,42 @@
+//! Crash-resumable sharded sweep fabric for the CREATE experiment grids.
+//!
+//! Long characterization sweeps die — OOM killers, preempted nodes,
+//! `kill -9` — and restarting a multi-hour grid from scratch is the
+//! difference between "rerun overnight" and "miss the deadline". This
+//! crate makes sweeps *resumable and shardable* without giving up the
+//! engine's bit-exact determinism:
+//!
+//! * [`fabric::chunks`] partitions a grid's `(point, trial)` space into
+//!   fixed chunks **independent of shard count**, and shards deal the
+//!   chunk list round-robin — N worker processes, zero coordination
+//!   beyond the filesystem;
+//! * [`journal`] gives each shard an append-only, CRC-checksummed,
+//!   fsync'd checkpoint journal of completed chunk ranges plus their
+//!   serialized [`create_core::StateAccumulator`] fold states; a
+//!   SIGKILL'd shard re-opened from the journal skips finished work,
+//!   and torn or corrupt tails are discarded (warn + heal), never fatal;
+//! * [`fabric::merge_summaries`] reassembles the per-point aggregates by
+//!   folding chunk states in chunk order — **bit-identical** to an
+//!   uninterrupted run of the same sweep, no matter how many shards ran
+//!   or how many times they were killed (CI byte-diffs exactly this);
+//! * [`chaos`] injects deterministic kills (`CREATE_SWEEP_CHAOS`, same
+//!   per-seed contract as the serving engine's `CREATE_SERVE_CHAOS`) at
+//!   three sites — before the chunk, mid-append with a torn frame, and
+//!   after the durable append — so the recovery paths are exercised on
+//!   every CI run, not trusted on faith.
+//!
+//! The `create_sweep` binary wires this to the real mission grid: `run`
+//! executes one shard of a voltage × task sweep over the cached
+//! miniature deployment, `merge` writes the merged points to the
+//! schema-versioned results store, `status` reports per-shard progress.
+
+pub mod chaos;
+pub mod fabric;
+pub mod journal;
+
+pub use chaos::{ChaosMode, KillSite};
+pub use fabric::{
+    chunks, merge_states, merge_summaries, run_shard, status, Chunk, Fingerprint, ShardReport,
+    ShardStatus, SweepConfig, SweepError,
+};
+pub use journal::{ChunkRecord, Manifest, Record, ShardJournal, JOURNAL_SCHEMA_VERSION};

@@ -1,0 +1,346 @@
+//! End-to-end fabric tests: kill/resume histories, shard-count
+//! invariance, torn-tail recovery, foreign-journal rejection and
+//! double-count protection — all against a cheap synthetic grid whose
+//! float sums are genuinely rounding-sensitive, so "bit-identical" means
+//! something.
+
+use create_core::engine::{
+    run_grid_with, Accumulator, EngineOptions, ExperimentPoint, Progress, StateAccumulator,
+};
+use create_sweep::journal::{ChunkRecord, Manifest, Record, ShardJournal};
+use create_sweep::{merge_summaries, run_shard, status, ChaosMode, SweepConfig, SweepError};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A synthetic grid point: trial `t` at seed `s` yields an irrational
+/// float in `[0, 1)` plus the raw seed, so sums pick up real rounding.
+struct TestPoint {
+    trials: u32,
+}
+
+#[derive(Debug, Default, PartialEq)]
+struct SumState {
+    n: u32,
+    sum: f64,
+    xor: u64,
+}
+
+impl Accumulator<(u64, f64)> for SumState {
+    type Summary = (u32, u64, u64);
+
+    fn push(&mut self, (seed, value): (u64, f64)) {
+        self.n += 1;
+        self.sum += value;
+        self.xor ^= seed;
+    }
+
+    fn finish(self) -> (u32, u64, u64) {
+        // Bit-exact summary: expose the sum's raw bits, not a rounded
+        // rendering.
+        (self.n, self.sum.to_bits(), self.xor)
+    }
+}
+
+impl StateAccumulator<(u64, f64)> for SumState {
+    fn encode_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20);
+        out.extend_from_slice(&self.n.to_le_bytes());
+        out.extend_from_slice(&self.sum.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.xor.to_le_bytes());
+        out
+    }
+
+    fn decode_state(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() != 20 {
+            return Err(format!("expected 20 bytes, got {}", bytes.len()));
+        }
+        Ok(SumState {
+            n: u32::from_le_bytes(bytes[..4].try_into().unwrap()),
+            sum: f64::from_bits(u64::from_le_bytes(bytes[4..12].try_into().unwrap())),
+            xor: u64::from_le_bytes(bytes[12..20].try_into().unwrap()),
+        })
+    }
+
+    fn merge_state(&mut self, other: &Self) {
+        self.n += other.n;
+        self.sum += other.sum;
+        self.xor ^= other.xor;
+    }
+}
+
+impl ExperimentPoint for TestPoint {
+    type Outcome = (u64, f64);
+    type Acc = SumState;
+
+    fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    fn accumulator(&self) -> SumState {
+        SumState::default()
+    }
+
+    fn run_trial(&self, _trial: u32, seed: u64) -> (u64, f64) {
+        (seed, (seed >> 11) as f64 / (1u64 << 53) as f64)
+    }
+}
+
+const FP: u64 = 0xFEED_FACE_CAFE_D00D;
+const SEED: u64 = 424242;
+
+fn grid() -> Vec<TestPoint> {
+    [7u32, 0, 5, 12]
+        .into_iter()
+        .map(|trials| TestPoint { trials })
+        .collect()
+}
+
+fn trials() -> Vec<u32> {
+    grid().iter().map(|p| p.trials).collect()
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("create-sweep-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(
+    dir: &Path,
+    shard_count: u32,
+    shard_index: u32,
+    chunk: u32,
+    chaos: ChaosMode,
+) -> SweepConfig {
+    SweepConfig {
+        shard_count,
+        shard_index,
+        chunk_trials: chunk,
+        base_seed: SEED,
+        dir: dir.to_path_buf(),
+        chaos,
+    }
+}
+
+/// Runs every shard to completion, resuming through simulated kills.
+/// Returns total attempts across all shards.
+fn complete_all_shards(dir: &Path, shard_count: u32, chunk: u32, chaos_p: f64) -> u32 {
+    let mut attempts = 0u32;
+    for shard in 0..shard_count {
+        let chaos = if chaos_p > 0.0 {
+            ChaosMode::Simulated(chaos_p)
+        } else {
+            ChaosMode::Off
+        };
+        let cfg = config(dir, shard_count, shard, chunk, chaos);
+        loop {
+            attempts += 1;
+            assert!(attempts < 1000, "kill/resume loop failed to converge");
+            match run_shard(&grid(), &cfg, FP) {
+                Ok(_) => break,
+                Err(SweepError::ChaosKilled { .. }) => continue,
+                Err(e) => panic!("unexpected sweep error: {e}"),
+            }
+        }
+    }
+    attempts
+}
+
+fn merged(dir: &Path, shard_count: u32, chunk: u32) -> Vec<(u32, u64, u64)> {
+    let cfg = config(dir, shard_count, 0, chunk, ChaosMode::Off);
+    merge_summaries::<(u64, f64), SumState>(&trials(), &cfg, FP).expect("merge")
+}
+
+#[test]
+fn single_chunk_per_point_reproduces_run_grid_bit_for_bit() {
+    // chunk >= every trial count => one chunk per point => the merge is
+    // exactly the engine's per-point left fold.
+    let reference: Vec<(u32, u64, u64)> = run_grid_with(
+        grid(),
+        SEED,
+        &EngineOptions::builder()
+            .threads(4)
+            .progress(Progress::Silent)
+            .build(),
+    );
+    for shard_count in [1u32, 2, 3] {
+        let dir = fresh_dir(&format!("parity-{shard_count}"));
+        complete_all_shards(&dir, shard_count, 64, 0.0);
+        assert_eq!(
+            merged(&dir, shard_count, 64),
+            reference,
+            "shard_count={shard_count}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn merged_results_are_invariant_to_shards_and_kill_history() {
+    // Small chunks, so the canonical result differs from run_grid's
+    // single fold — but must be identical across shard counts and across
+    // arbitrarily violent kill/resume histories.
+    let dir = fresh_dir("invariance-ref");
+    complete_all_shards(&dir, 1, 3, 0.0);
+    let reference = merged(&dir, 1, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for (shard_count, chaos_p) in [(1u32, 0.8f64), (2, 0.5), (3, 0.8)] {
+        let dir = fresh_dir(&format!("invariance-{shard_count}-{chaos_p}"));
+        let attempts = complete_all_shards(&dir, shard_count, 3, chaos_p);
+        assert!(
+            attempts > shard_count,
+            "chaos at p={chaos_p} should have killed at least once"
+        );
+        assert_eq!(
+            merged(&dir, shard_count, 3),
+            reference,
+            "shards={shard_count} chaos={chaos_p}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn resume_skips_all_completed_work() {
+    let dir = fresh_dir("resume");
+    let cfg = config(&dir, 1, 0, 4, ChaosMode::Off);
+    let first = run_shard(&grid(), &cfg, FP).expect("first run");
+    assert_eq!(first.ran, first.owned);
+    assert_eq!(first.resumed, 0);
+    let second = run_shard(&grid(), &cfg, FP).expect("second run");
+    assert_eq!(second.ran, 0, "completed chunks must not be recomputed");
+    assert_eq!(second.resumed, second.owned);
+    assert_eq!(second.generation, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_is_discarded_healed_and_recomputed() {
+    let dir = fresh_dir("torn");
+    let cfg = config(&dir, 1, 0, 4, ChaosMode::Off);
+    run_shard(&grid(), &cfg, FP).expect("seed run");
+    let reference = merged(&dir, 1, 4);
+
+    // Corrupt the active file: append half a frame (a torn append), as a
+    // crash mid-write would leave.
+    let victim = dir.join("shard-0000").join("open.crj");
+    let torn = Record::Chunk(ChunkRecord {
+        point: 0,
+        first_trial: 0,
+        len: 4,
+        state: vec![0xAB; 20],
+    });
+    let framed = create_sweep::journal::frame(&torn.encode());
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&victim)
+        .unwrap();
+    f.write_all(&framed[..framed.len() / 2]).unwrap();
+    drop(f);
+
+    // Recovery discards the tail, keeps every whole record, and the
+    // merge still reproduces the reference bit for bit.
+    let report = run_shard(&grid(), &cfg, FP).expect("recovery run");
+    assert_eq!(report.torn_files, 1);
+    assert_eq!(report.ran, 0, "all real records were intact");
+    assert_eq!(merged(&dir, 1, 4), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_file_corruption_drops_the_tail_and_recomputes_it() {
+    let dir = fresh_dir("corrupt");
+    let cfg = config(&dir, 1, 0, 4, ChaosMode::Off);
+    run_shard(&grid(), &cfg, FP).expect("seed run");
+    let reference = merged(&dir, 1, 4);
+
+    // Flip one byte in the middle of the journal's record area: the CRC
+    // of some frame stops matching, so that frame and everything after
+    // it in the file are discarded and later re-run.
+    let victim = dir.join("shard-0000").join("open.crj");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let at = bytes.len() / 2;
+    bytes[at] ^= 0xFF;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let report = run_shard(&grid(), &cfg, FP).expect("recovery run");
+    assert_eq!(report.torn_files, 1);
+    assert!(report.ran > 0, "the dropped ranges must be recomputed");
+    assert_eq!(merged(&dir, 1, 4), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_journals_are_rejected_not_mixed() {
+    let dir = fresh_dir("foreign");
+    let cfg = config(&dir, 1, 0, 4, ChaosMode::Off);
+    run_shard(&grid(), &cfg, FP).expect("seed run");
+    // Same directory, different grid fingerprint: refuse to resume...
+    match run_shard(&grid(), &cfg, FP ^ 1) {
+        Err(SweepError::ForeignJournal(_)) => {}
+        other => panic!("expected ForeignJournal, got {other:?}"),
+    }
+    // ...and refuse to merge.
+    match merge_summaries::<(u64, f64), SumState>(&trials(), &cfg, FP ^ 1) {
+        Err(SweepError::ForeignJournal(_)) => {}
+        other => panic!("expected ForeignJournal, got {:?}", other.map(|_| ())),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicate_chunk_records_never_double_count() {
+    let dir = fresh_dir("dupes");
+    let cfg = config(&dir, 1, 0, 4, ChaosMode::Off);
+    run_shard(&grid(), &cfg, FP).expect("seed run");
+    let reference = merged(&dir, 1, 4);
+
+    // Append a duplicate record for an already-journaled range, carrying
+    // a *wrong* state. First occurrence must win at merge.
+    let manifest = Manifest {
+        fingerprint: FP,
+        base_seed: SEED,
+        shard_index: 0,
+        shard_count: 1,
+        chunk_trials: 4,
+    };
+    let (_, mut journal) =
+        ShardJournal::open(&dir.join("shard-0000"), manifest).expect("reopen journal");
+    let mut bogus = SumState::default();
+    bogus.push((999, 0.123));
+    journal
+        .append(&Record::Chunk(ChunkRecord {
+            point: 0,
+            first_trial: 0,
+            len: 4,
+            state: bogus.encode_state(),
+        }))
+        .expect("append duplicate");
+    drop(journal);
+
+    assert_eq!(merged(&dir, 1, 4), reference);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_of_an_incomplete_sweep_says_what_is_missing() {
+    let dir = fresh_dir("incomplete");
+    // Run only shard 0 of 2: shard 1's chunks have no state anywhere.
+    let cfg = config(&dir, 2, 0, 4, ChaosMode::Off);
+    run_shard(&grid(), &cfg, FP).expect("shard 0");
+    match merge_summaries::<(u64, f64), SumState>(&trials(), &cfg, FP) {
+        Err(SweepError::Incomplete(why)) => {
+            assert!(why.contains("chunks have no journaled state"), "{why}");
+        }
+        other => panic!("expected Incomplete, got {:?}", other.map(|_| ())),
+    }
+    // Status agrees: shard 1 owns work and has done none of it.
+    let st = status(&trials(), &cfg, FP).expect("status");
+    assert_eq!(st.len(), 2);
+    assert_eq!(st[0].done, st[0].owned);
+    assert!(st[0].owned > 0);
+    assert_eq!(st[1].done, 0);
+    assert!(st[1].owned > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

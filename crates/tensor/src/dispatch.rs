@@ -339,15 +339,14 @@ pub fn load_table(path: &Path) -> Result<RawTable, String> {
     RawTable::parse(&text)
 }
 
-/// Writes a dispatch table to `path` (creating parent directories),
-/// through a temp-file rename so concurrent readers never observe a
-/// truncated table — at worst they see the old file or none at all.
+/// Writes a dispatch table to `path` (creating parent directories)
+/// through [`crate::atomicfile::write_atomic`] — temp file, fsync,
+/// atomic rename — so neither a concurrent reader nor a crash mid-write
+/// can ever observe a truncated table: at worst they see the old file or
+/// none at all, both of which the warn-and-fallback loader handles.
 pub fn store_table(path: &Path, table: &RawTable) -> Result<(), String> {
-    let dir = path.parent().ok_or("table path has no parent directory")?;
-    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    std::fs::write(&tmp, table.render()).map_err(|e| format!("cannot write {tmp:?}: {e}"))?;
-    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename into {path:?}: {e}"))
+    crate::atomicfile::write_atomic(path, table.render().as_bytes())
+        .map_err(|e| format!("cannot write {path:?}: {e}"))
 }
 
 /// Default location of the one-shot autotune cache for `file_name`

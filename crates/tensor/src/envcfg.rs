@@ -65,6 +65,22 @@ pub fn read_positive_usize(name: &str, default: usize) -> usize {
     positive_usize(name, std::env::var(name).ok().as_deref(), default)
 }
 
+/// Parses a non-negative integer setting — zero is a valid value, not a
+/// rejection (indices like `CREATE_SWEEP_SHARD`, where shard 0 is the
+/// first shard) — with the shared warn-and-fallback contract.
+pub fn nonneg_usize(name: &str, raw: Option<&str>, default: usize) -> usize {
+    parse_validated(name, raw, default, |s| {
+        s.trim()
+            .parse::<usize>()
+            .map_err(|_| "expected a non-negative integer".to_string())
+    })
+}
+
+/// [`nonneg_usize`] over the live process environment.
+pub fn read_nonneg_usize(name: &str, default: usize) -> usize {
+    nonneg_usize(name, std::env::var(name).ok().as_deref(), default)
+}
+
 /// Parses an on/off switch (`1`/`true` on, `0`/`false` off,
 /// case-insensitive) with the shared warn-and-fallback contract — the
 /// `CREATE_GEMM_AUTOTUNE` shape.
@@ -120,6 +136,15 @@ mod tests {
         assert_eq!(positive_usize("CREATE_TEST_X", Some("0"), 7), 7);
         assert_eq!(positive_usize("CREATE_TEST_X", Some("-4"), 7), 7);
         assert_eq!(positive_usize("CREATE_TEST_X", Some("lots"), 7), 7);
+    }
+
+    #[test]
+    fn nonneg_accepts_zero_but_not_garbage() {
+        assert_eq!(nonneg_usize("CREATE_TEST_IDX", None, 3), 3);
+        assert_eq!(nonneg_usize("CREATE_TEST_IDX", Some("0"), 3), 0);
+        assert_eq!(nonneg_usize("CREATE_TEST_IDX", Some(" 5 "), 3), 5);
+        assert_eq!(nonneg_usize("CREATE_TEST_IDX", Some("-1"), 3), 3);
+        assert_eq!(nonneg_usize("CREATE_TEST_IDX", Some("first"), 3), 3);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`envcfg`] — the shared validated environment-variable helper every
 //!   `CREATE_*` knob parses through (silent default when unset/blank,
 //!   warn-and-fallback on garbage).
+//! * [`atomicfile`] — crash-safe write-temp-fsync-rename file replacement
+//!   shared by every on-disk cache and results artifact in the workspace.
 //! * [`par`] — the scoped worker-pool primitive (`CREATE_THREADS`-sized
 //!   [`par::scoped_map`]) shared by the experiment engine in
 //!   `create-core` and the data-parallel training loops in
@@ -47,6 +49,7 @@
 //! assert!((n0 - n1).abs() < 1e-3);
 //! ```
 
+pub mod atomicfile;
 pub mod dispatch;
 pub mod envcfg;
 pub mod fgemm;
