@@ -14,7 +14,7 @@
 //! file is skipped (that bench simply did not run). A missing or
 //! unparseable *individual* file — fresh or baseline — warns and skips
 //! that comparison rather than aborting the whole report: one corrupt
-//! artifact must not mask regressions visible in the other four. The
+//! artifact must not mask regressions visible in the others. The
 //! report exits non-zero only on a true regression or when the entire
 //! comparison set ends up empty (nothing compared anywhere — e.g. no
 //! `results/baseline/` directory; commit one with
@@ -25,6 +25,12 @@
 //! must match or beat the best single backend on every shape group, and
 //! the persistent training pool must match or beat spawn-per-chunk at
 //! the widest measured worker count.
+//!
+//! The sweep fabric's merged trajectory rides along: when the CI sweep
+//! job stages its `merged.json` next to the `BENCH_*.json` files, every
+//! grid point's `state_digest` must match `results/baseline/merged.json`
+//! **bit-exactly** — the sweep is a determinism harness, so its gate is
+//! equality, not a tolerance band.
 //!
 //! ```text
 //! cargo run -p create-bench --bin bench_report
@@ -269,18 +275,106 @@ fn gate_adaptive_vs_static(file: &str, fresh: &[FlatRecord]) -> usize {
 }
 
 /// The bench files the report covers (the machine-readable trajectory).
-const BENCH_FILES: [&str; 5] = [
+const BENCH_FILES: [&str; 6] = [
     "BENCH_kernels.json",
     "BENCH_fig01.json",
     "BENCH_train.json",
     "BENCH_serve.json",
     "BENCH_serve_faulty.json",
+    "BENCH_net.json",
 ];
 
 fn load(path: &Path) -> Result<Vec<FlatRecord>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     parse_bench_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// The identity of one sweep grid point inside `merged.json`. Built by
+/// hand rather than via [`record_key`] because the sweep's `voltage_v`
+/// is emitted with a decimal point (so the generic key would drop it)
+/// while `state_digest` is a string (so the generic key would *include*
+/// it — and digest drift is exactly the regression this comparison
+/// exists to flag, not a reason to unmatch the record).
+fn sweep_point_key(record: &FlatRecord) -> Option<String> {
+    let task = field_str(record, "task")?;
+    let voltage = record.iter().find_map(|(k, v)| match v {
+        BenchValue::Num { raw, .. } if k == "voltage_v" => Some(raw.as_str()),
+        _ => None,
+    })?;
+    let n = record.iter().find_map(|(k, v)| match v {
+        BenchValue::Num { raw, .. } if k == "n" => Some(raw.as_str()),
+        _ => None,
+    })?;
+    Some(format!("task={task};voltage_v={voltage};n={n}"))
+}
+
+/// Compares the sweep fabric's merged trajectory (`results/merged.json`,
+/// staged there by the CI sweep job) against the committed baseline in
+/// `results/baseline/merged.json`, point by point. The gate is the
+/// `state_digest` field — the merged accumulator's exact bit state — so
+/// any ulp of drift anywhere in the mission/trial/accumulation path
+/// fails the report, not just drift large enough to move a rounded
+/// average. Returns `(points compared, regressions)`.
+fn compare_sweep_trajectory(fresh_dir: &Path, baseline_dir: &Path) -> (usize, usize) {
+    let file = "merged.json";
+    let fresh_path = fresh_dir.join(file);
+    if !fresh_path.is_file() {
+        println!("[bench-report] {file}: no fresh sweep trajectory, skipped");
+        return (0, 0);
+    }
+    let baseline_path = baseline_dir.join(file);
+    if !baseline_path.is_file() {
+        println!("[bench-report] {file}: no committed baseline, skipped");
+        return (0, 0);
+    }
+    let (fresh, baseline) = match (load(&fresh_path), load(&baseline_path)) {
+        (Ok(f), Ok(b)) => (f, b),
+        (f, b) => {
+            for err in [f.err(), b.err()].into_iter().flatten() {
+                eprintln!("[bench-report] {err} — skipping this comparison");
+            }
+            return (0, 0);
+        }
+    };
+    let by_key: BTreeMap<String, &FlatRecord> = baseline
+        .iter()
+        .filter_map(|r| Some((sweep_point_key(r)?, r)))
+        .collect();
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    let mut fresh_only = 0usize;
+    for record in &fresh {
+        let Some(key) = sweep_point_key(record) else {
+            continue;
+        };
+        let Some(base_record) = by_key.get(&key) else {
+            fresh_only += 1;
+            continue;
+        };
+        let (Some(digest), Some(base_digest)) = (
+            field_str(record, "state_digest"),
+            field_str(base_record, "state_digest"),
+        ) else {
+            continue;
+        };
+        compared += 1;
+        if digest != base_digest {
+            regressions += 1;
+            eprintln!(
+                "  SWEEP TRAJECTORY DRIFT  {key}  state digest {} -> {} (merged accumulator \
+                 bit state changed)",
+                &base_digest[..16.min(base_digest.len())],
+                &digest[..16.min(digest.len())]
+            );
+        }
+    }
+    println!(
+        "\n=== {file}: {compared} sweep points compared bit-exactly, {fresh_only} new ===\n\
+         [bench-report] {file}: {}/{compared} grid points replayed bit-identically",
+        compared - regressions
+    );
+    (compared, regressions)
 }
 
 /// One comparison row: `(key, baseline, current, speedup)`.
@@ -408,6 +502,9 @@ fn main() -> ExitCode {
             regressions += gate_adaptive_vs_static(file, &fresh);
         }
     }
+    let (sweep_compared, sweep_regressions) = compare_sweep_trajectory(&fresh_dir, &baseline_dir);
+    compared += sweep_compared;
+    regressions += sweep_regressions;
     println!();
     if regressions > 0 {
         eprintln!(

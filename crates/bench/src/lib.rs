@@ -170,17 +170,19 @@ pub fn record_key(record: &FlatRecord) -> String {
 /// The measured metric `bench_report` gates on, per record:
 /// `(field, value, higher_is_better)`. Wall-clock style metrics
 /// (`ns_per_iter`, `s_per_epoch`) gate as lower-is-better; throughput
-/// metrics (`trials_per_s`, the serve bench's `missions_per_s`) and the
-/// fault-serving bench's `success_rate` as higher-is-better. Records
-/// without a recognized metric (or with a `null` one) are not gated.
-/// First listed metric present in the record wins, so emitters that
-/// record several of these put the one they want gated first.
+/// metrics (`trials_per_s`, the serve bench's `missions_per_s`, the net
+/// bench's `requests_per_s`) and the fault-serving bench's
+/// `success_rate` as higher-is-better. Records without a recognized
+/// metric (or with a `null` one) are not gated. First listed metric
+/// present in the record wins, so emitters that record several of these
+/// put the one they want gated first.
 pub fn primary_metric(record: &FlatRecord) -> Option<(&'static str, f64, bool)> {
-    const METRICS: [(&str, bool); 5] = [
+    const METRICS: [(&str, bool); 6] = [
         ("ns_per_iter", false),
         ("s_per_epoch", false),
         ("trials_per_s", true),
         ("missions_per_s", true),
+        ("requests_per_s", true),
         ("success_rate", true),
     ];
     for (name, higher_is_better) in METRICS {

@@ -300,9 +300,19 @@ pub struct EngineOptionsBuilder {
 }
 
 impl EngineOptionsBuilder {
-    /// Worker threads to fan trials over (floored at 1; default
-    /// `CREATE_THREADS` / machine parallelism).
+    /// Worker threads to fan trials over (floored at 1, with a warning
+    /// on the shared [`envcfg`](create_tensor::envcfg) stderr channel
+    /// when the floor bites; default `CREATE_THREADS` / machine
+    /// parallelism).
     pub fn threads(mut self, threads: usize) -> Self {
+        if threads == 0 {
+            create_tensor::envcfg::warn_adjusted(
+                "CREATE_THREADS",
+                threads,
+                1usize,
+                "the engine needs at least one worker thread",
+            );
+        }
         self.threads = Some(threads.max(1));
         self
     }
@@ -313,9 +323,18 @@ impl EngineOptionsBuilder {
         self
     }
 
-    /// Trials a worker claims per batch (floored at 1; default
+    /// Trials a worker claims per batch (floored at 1, warning like
+    /// [`threads`](Self::threads) when the floor bites; default
     /// `CREATE_TRIAL_BATCH`).
     pub fn batch(mut self, batch: usize) -> Self {
+        if batch == 0 {
+            create_tensor::envcfg::warn_adjusted(
+                "CREATE_TRIAL_BATCH",
+                batch,
+                1usize,
+                "workers claim at least one trial per batch",
+            );
+        }
         self.batch = Some(batch.max(1));
         self
     }

@@ -1,0 +1,267 @@
+//! Fault-tolerant TCP front-end for the CREATE mission-serving engine.
+//!
+//! The deployment story of the paper's serving engine
+//! ([`create_serve::MissionEngine`]) is a *resident* process: missions
+//! arrive from other processes, not from in-process callers. This crate
+//! is that front door — a hand-rolled `std::net` threaded server (the
+//! build environment has no async runtime and no HTTP stack, and a
+//! mission takes milliseconds of CPU anyway, so blocking threads are the
+//! honest architecture) speaking a CRC32-framed line protocol
+//! ([`wire`]): the same length-prefix + checksum framing the sweep
+//! journal trusts its crash-durable files to.
+//!
+//! The design budget goes to *failure semantics*, not features:
+//!
+//! * *Supervised connections*: each connection runs a reader and a
+//!   writer thread under `catch_unwind`. A panicking, malicious or
+//!   wedged connection dies alone — the listener keeps accepting and
+//!   the engine keeps serving, exactly like the engine's own worker
+//!   supervision.
+//! * *Typed failure, end to end*: the engine's
+//!   [`RejectReason`](create_serve::RejectReason) /
+//!   [`ServeFailure`](create_serve::ServeFailure) cross the wire as
+//!   typed lines ([`wire::NetReject`], `failed …`), and protocol damage
+//!   is a typed [`wire::WireError`] answered with an `error` frame —
+//!   a malformed or torn frame never crashes anything.
+//! * *Deadlines everywhere*: reads, writes and mid-frame idleness all
+//!   carry deadlines, so a slow-loris peer holding a frame open is
+//!   disconnected instead of pinning a thread forever.
+//! * *Back-pressure, not buffering*: a per-connection in-flight cap
+//!   refuses (`rejected … overloaded:<n>`) rather than queueing
+//!   unboundedly in front of the engine's own bounded queue.
+//! * *Graceful drain*: shutdown stops accepting, resolves everything
+//!   in flight, says `bye` on every connection and joins every thread.
+//! * *Replayable through the network*: a `done` line carries the
+//!   engine-assigned request id and seed plus a digest of the full
+//!   outcome ([`wire::outcome_digest`]), so any served mission can be
+//!   replayed bit-identically offline — the serving replay contract
+//!   survives the wire.
+//! * *Deterministic chaos*: `CREATE_NET_CHAOS` ([`chaos`]) injects
+//!   dropped, torn and stalled responses as a pure function of the
+//!   response's mission seed, and [`client::NetClient`]'s
+//!   reconnect-with-backoff must absorb all of it — the soak test
+//!   proves every request resolves exactly once anyway.
+
+use std::time::Duration;
+
+pub mod chaos;
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{NetClient, NetClientConfig, NetError, NetResponse};
+pub use server::{NetServer, NetStats};
+pub use wire::{ClientMsg, NetOutcome, NetReject, ServerMsg, WireConfig, WireError};
+
+/// Front-end configuration. Build one with [`NetConfig::builder`]
+/// (explicit, validated) or [`NetConfig::from_env`] (the `CREATE_NET_*`
+/// environment contract).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Listen address (`CREATE_NET_ADDR`; default `127.0.0.1:0`, which
+    /// binds an ephemeral loopback port — read it back with
+    /// [`NetServer::local_addr`](server::NetServer::local_addr)).
+    pub addr: String,
+    /// Mid-frame idle deadline (`CREATE_NET_IDLE_MS`, default 10000):
+    /// a connection that starts a frame and then stalls longer than
+    /// this is a slow-loris peer and is disconnected with a typed
+    /// torn-frame error. Idle connections *between* frames are fine.
+    pub idle: Duration,
+    /// Write deadline per response frame (`CREATE_NET_WRITE_MS`,
+    /// default 5000): a peer that stops reading cannot wedge a writer
+    /// thread past this.
+    pub write: Duration,
+    /// Per-connection in-flight request cap (`CREATE_NET_INFLIGHT`,
+    /// default 32): submissions beyond it are refused with
+    /// `overloaded:<n>` instead of buffering without bound.
+    pub inflight: usize,
+    /// Probability that a response is hit by an injected network fault
+    /// (`CREATE_NET_CHAOS`, default 0; see [`chaos`]).
+    pub chaos: f64,
+    /// Injected stall length for [`chaos::NetFault::StalledRead`]
+    /// (`CREATE_NET_CHAOS_STALL_MS`, default 300).
+    pub chaos_stall: Duration,
+}
+
+impl NetConfig {
+    /// A validated builder; unset knobs fall back to their env-backed
+    /// defaults at [`build`](NetConfigBuilder::build) time.
+    pub fn builder() -> NetConfigBuilder {
+        NetConfigBuilder::default()
+    }
+
+    /// Configuration from the `CREATE_NET_*` environment —
+    /// [`builder`](Self::builder) with nothing overridden.
+    pub fn from_env() -> Self {
+        Self::builder().build()
+    }
+}
+
+/// Validated builder for [`NetConfig`], following the workspace builder
+/// contract ([`create_serve::ServeConfig::builder`]): out-of-range
+/// explicit settings are adjusted to the nearest safe value with a
+/// warning on the shared [`envcfg`](create_tensor::envcfg) stderr
+/// channel — never a panic, never a silent adjustment — and anything
+/// left unset resolves through the `CREATE_NET_*` environment at
+/// [`build`](Self::build) time.
+#[derive(Debug, Clone, Default)]
+pub struct NetConfigBuilder {
+    addr: Option<String>,
+    idle: Option<Duration>,
+    write: Option<Duration>,
+    inflight: Option<usize>,
+    chaos: Option<f64>,
+    chaos_stall: Option<Duration>,
+}
+
+impl NetConfigBuilder {
+    /// Listen address (default `CREATE_NET_ADDR`, falling back to
+    /// `127.0.0.1:0`).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = Some(addr.into());
+        self
+    }
+
+    /// Mid-frame idle deadline (floored at 1 ms with a warning; default
+    /// `CREATE_NET_IDLE_MS`).
+    pub fn idle(mut self, idle: Duration) -> Self {
+        self.idle = Some(floored_ms("CREATE_NET_IDLE_MS", idle));
+        self
+    }
+
+    /// Response write deadline (floored at 1 ms with a warning; default
+    /// `CREATE_NET_WRITE_MS`).
+    pub fn write(mut self, write: Duration) -> Self {
+        self.write = Some(floored_ms("CREATE_NET_WRITE_MS", write));
+        self
+    }
+
+    /// Per-connection in-flight cap (floored at 1 with a warning — a cap
+    /// of 0 could admit nothing, ever; default `CREATE_NET_INFLIGHT`).
+    pub fn inflight(mut self, inflight: usize) -> Self {
+        if inflight == 0 {
+            create_tensor::envcfg::warn_adjusted(
+                "CREATE_NET_INFLIGHT",
+                inflight,
+                1usize,
+                "a zero in-flight cap would refuse every request",
+            );
+        }
+        self.inflight = Some(inflight.max(1));
+        self
+    }
+
+    /// Chaos probability, clamped to `[0, 1]` with a warning when the
+    /// given value is outside it (default `CREATE_NET_CHAOS`).
+    pub fn chaos(mut self, probability: f64) -> Self {
+        let used = if probability.is_finite() {
+            probability.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        if used != probability {
+            create_tensor::envcfg::warn_adjusted(
+                "CREATE_NET_CHAOS",
+                probability,
+                used,
+                "chaos probability must be a fraction in [0, 1]",
+            );
+        }
+        self.chaos = Some(used);
+        self
+    }
+
+    /// Injected stall length (floored at 1 ms with a warning; default
+    /// `CREATE_NET_CHAOS_STALL_MS`).
+    pub fn chaos_stall(mut self, stall: Duration) -> Self {
+        self.chaos_stall = Some(floored_ms("CREATE_NET_CHAOS_STALL_MS", stall));
+        self
+    }
+
+    /// Resolves unset knobs from the environment and builds the config.
+    pub fn build(self) -> NetConfig {
+        use create_tensor::envcfg;
+        NetConfig {
+            addr: self
+                .addr
+                .unwrap_or_else(|| match std::env::var("CREATE_NET_ADDR") {
+                    Ok(s) if !s.trim().is_empty() => s.trim().to_string(),
+                    _ => "127.0.0.1:0".to_string(),
+                }),
+            idle: self
+                .idle
+                .unwrap_or_else(|| envcfg::read_positive_ms("CREATE_NET_IDLE_MS", 10_000)),
+            write: self
+                .write
+                .unwrap_or_else(|| envcfg::read_positive_ms("CREATE_NET_WRITE_MS", 5_000)),
+            inflight: self
+                .inflight
+                .unwrap_or_else(|| envcfg::read_positive_usize("CREATE_NET_INFLIGHT", 32)),
+            chaos: self
+                .chaos
+                .unwrap_or_else(|| envcfg::read_fraction("CREATE_NET_CHAOS", 0.0)),
+            chaos_stall: self
+                .chaos_stall
+                .unwrap_or_else(|| envcfg::read_positive_ms("CREATE_NET_CHAOS_STALL_MS", 300)),
+        }
+    }
+}
+
+/// Floors a builder-supplied duration at 1 ms, warning through the
+/// shared channel when it adjusts (a zero deadline would disconnect or
+/// time out everything instantly).
+fn floored_ms(name: &str, given: Duration) -> Duration {
+    let floor = Duration::from_millis(1);
+    if given < floor {
+        create_tensor::envcfg::warn_adjusted(
+            name,
+            format!("{}ms", given.as_millis()),
+            "1ms",
+            "deadlines below 1ms would expire everything instantly",
+        );
+        floor
+    } else {
+        given
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_floors_and_clamps_out_of_range_settings() {
+        let cfg = NetConfig::builder()
+            .addr("127.0.0.1:0")
+            .idle(Duration::ZERO)
+            .write(Duration::ZERO)
+            .inflight(0)
+            .chaos(7.5)
+            .chaos_stall(Duration::ZERO)
+            .build();
+        assert_eq!(cfg.idle, Duration::from_millis(1));
+        assert_eq!(cfg.write, Duration::from_millis(1));
+        assert_eq!(cfg.inflight, 1);
+        assert_eq!(cfg.chaos, 1.0);
+        assert_eq!(cfg.chaos_stall, Duration::from_millis(1));
+        assert_eq!(NetConfig::builder().chaos(f64::NAN).build().chaos, 0.0);
+    }
+
+    #[test]
+    fn builder_keeps_valid_settings_verbatim() {
+        let cfg = NetConfig::builder()
+            .addr("0.0.0.0:4317")
+            .idle(Duration::from_millis(40))
+            .write(Duration::from_millis(20))
+            .inflight(4)
+            .chaos(0.25)
+            .chaos_stall(Duration::from_millis(10))
+            .build();
+        assert_eq!(cfg.addr, "0.0.0.0:4317");
+        assert_eq!(cfg.idle, Duration::from_millis(40));
+        assert_eq!(cfg.write, Duration::from_millis(20));
+        assert_eq!(cfg.inflight, 4);
+        assert_eq!(cfg.chaos, 0.25);
+        assert_eq!(cfg.chaos_stall, Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,462 @@
+//! The supervised TCP front-end: one acceptor, two threads per
+//! connection, every one of them expendable.
+//!
+//! ```text
+//!            ┌────────────┐   accept   ┌──────────────────────────┐
+//!  clients ──▶  acceptor  ├───────────▶│ connection (supervised)  │
+//!            └────────────┘            │  reader ──▶ engine.submit │
+//!                 ▲                    │  writer ◀── ticket.wait   │
+//!          self-connect wakeup        └──────────────────────────┘
+//! ```
+//!
+//! The reader parses frames, submits missions and forwards everything
+//! the writer must send over a per-connection channel; the writer is the
+//! *only* thread that touches the outbound half of the socket, so
+//! response frames are never interleaved. Tickets travel through that
+//! same channel in submission order, which makes per-connection response
+//! order deterministic. Both threads run under `catch_unwind`: a panic
+//! kills one connection, never the listener and never the engine.
+
+use crate::chaos::{chaos_draw, plan_fault, NetFault};
+use crate::wire::{frame, outcome_digest, ClientMsg, NetOutcome, NetReject, ServerMsg, WireError};
+use crate::NetConfig;
+use create_serve::{MissionEngine, MissionRequest, MissionResult, MissionTicket, ServedOutcome};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Read-poll granularity: how stale the draining flag and the idle
+/// deadline can get while a reader is blocked in `read`.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Counters for the front-end's observable behavior (all monotonic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Mission responses written (`done`, `rejected`, `failed`).
+    pub responses: u64,
+    /// Frames answered with a typed `error` line.
+    pub wire_errors: u64,
+    /// Submissions refused by the per-connection in-flight cap.
+    pub overloaded: u64,
+    /// Chaos faults injected into responses.
+    pub chaos_injected: u64,
+    /// Connection threads that died by panic (and were absorbed).
+    pub panicked_connections: u64,
+}
+
+/// State shared between the acceptor, every connection and the handle.
+struct ServerShared {
+    engine: Arc<MissionEngine>,
+    config: NetConfig,
+    draining: AtomicBool,
+    connections: AtomicU64,
+    responses: AtomicU64,
+    wire_errors: AtomicU64,
+    overloaded: AtomicU64,
+    chaos_injected: AtomicU64,
+    panicked_connections: AtomicU64,
+    /// Live connection threads, joined at shutdown. Finished threads
+    /// stay in the list until then — connection counts are bounded by
+    /// the soak scale this front-end serves, not web scale.
+    live: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// What the reader hands the writer, in order.
+enum Out {
+    /// A protocol line to send as-is.
+    Msg(ServerMsg),
+    /// An admitted mission: the writer waits the ticket and writes the
+    /// response (this is where chaos bites).
+    Ticket {
+        client_id: u64,
+        ticket: MissionTicket,
+    },
+    /// Flush everything before this, say goodbye, close the socket.
+    Bye,
+}
+
+/// A running front-end. Dropping it (or calling
+/// [`shutdown`](Self::shutdown)) drains gracefully: stop accepting,
+/// flush every in-flight response, `bye` every connection, join every
+/// thread.
+///
+/// Shut the server down **before** the engine: in-flight tickets
+/// resolve through the still-running engine during the drain. (The
+/// reverse order also terminates — an engine drain resolves its tickets
+/// on its way down — it just fails new submissions as `shutting-down`.)
+pub struct NetServer {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `config.addr` and starts accepting connections for
+    /// `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure; everything after the bind is
+    /// supervised and non-fatal.
+    pub fn start(engine: Arc<MissionEngine>, config: NetConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            engine,
+            config,
+            draining: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            wire_errors: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            chaos_injected: AtomicU64::new(0),
+            panicked_connections: AtomicU64::new(0),
+            live: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("create-net-accept".to_string())
+                .spawn(move || Self::accept_loop(&shared, &listener))
+                .expect("spawn acceptor")
+        };
+        Ok(NetServer {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address actually bound — with the default `127.0.0.1:0` this
+    /// is where the ephemeral port lives.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the front-end counters.
+    pub fn stats(&self) -> NetStats {
+        let s = &self.shared;
+        NetStats {
+            connections: s.connections.load(Ordering::Relaxed),
+            responses: s.responses.load(Ordering::Relaxed),
+            wire_errors: s.wire_errors.load(Ordering::Relaxed),
+            overloaded: s.overloaded.load(Ordering::Relaxed),
+            chaos_injected: s.chaos_injected.load(Ordering::Relaxed),
+            panicked_connections: s.panicked_connections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful drain; see the type docs. Idempotent via `Drop`.
+    pub fn shutdown(mut self) -> NetStats {
+        self.shutdown_in_place();
+        self.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // The acceptor is blocked in `accept`; a throwaway self-connect
+        // delivers it one more connection, after which it observes the
+        // flag and exits.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = acceptor.join();
+        let handles = std::mem::take(&mut *self.shared.live.lock().expect("live list poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    fn accept_loop(shared: &Arc<ServerShared>, listener: &TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if shared.draining.load(Ordering::SeqCst) {
+                        // The shutdown wakeup (or a latecomer): refuse
+                        // politely and stop accepting.
+                        let _ = stream.shutdown(Shutdown::Both);
+                        return;
+                    }
+                    shared.connections.fetch_add(1, Ordering::Relaxed);
+                    let conn_shared = Arc::clone(shared);
+                    let handle = std::thread::Builder::new()
+                        .name("create-net-conn".to_string())
+                        .spawn(move || Self::connection(&conn_shared, stream))
+                        .expect("spawn connection thread");
+                    // Registered for the drain join. Shutdown takes the
+                    // list only after this acceptor has exited, so no
+                    // handle can be missed.
+                    shared.live.lock().expect("live list poisoned").push(handle);
+                }
+                Err(_) => {
+                    if shared.draining.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    // Transient accept failure (EMFILE, aborted
+                    // handshake): keep listening.
+                }
+            }
+        }
+    }
+
+    /// One connection's lifetime: reader inline (supervised), writer on
+    /// its own thread (supervised), goodbye + join on every exit path.
+    fn connection(shared: &Arc<ServerShared>, stream: TcpStream) {
+        let Ok(write_half) = stream.try_clone() else {
+            return;
+        };
+        let (tx, rx) = std::sync::mpsc::channel::<Out>();
+        let inflight = Arc::new(AtomicUsize::new(0));
+        let writer = {
+            let shared = Arc::clone(shared);
+            let inflight = Arc::clone(&inflight);
+            std::thread::Builder::new()
+                .name("create-net-write".to_string())
+                .spawn(move || {
+                    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        Self::writer_loop(&shared, write_half, &rx, &inflight);
+                    }));
+                    if caught.is_err() {
+                        shared.panicked_connections.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .expect("spawn connection writer")
+        };
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Self::reader_loop(shared, &stream, &tx, &inflight);
+        }));
+        if caught.is_err() {
+            shared.panicked_connections.fetch_add(1, Ordering::Relaxed);
+        }
+        // Dropping the sender ends the writer after it flushes whatever
+        // the reader queued (including the Bye on clean paths; on a
+        // reader panic the writer's closed-channel path says goodbye).
+        drop(tx);
+        let _ = writer.join();
+    }
+
+    /// Parses frames, enforces the in-flight cap, submits missions.
+    fn reader_loop(
+        shared: &ServerShared,
+        mut stream: &TcpStream,
+        tx: &Sender<Out>,
+        inflight: &AtomicUsize,
+    ) {
+        let _ = stream.set_read_timeout(Some(POLL));
+        let mut decoder = crate::wire::FrameBuf::new();
+        let mut chunk = [0u8; 4096];
+        let mut partial_since: Option<Instant> = None;
+        loop {
+            // Drain complete frames before reading more bytes.
+            loop {
+                match decoder.next_frame() {
+                    Ok(Some(payload)) => {
+                        if !Self::handle_line(shared, &payload, tx, inflight) {
+                            return;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        // Length/CRC damage: framing is lost, answer and
+                        // disconnect.
+                        shared.wire_errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(Out::Msg(ServerMsg::error(&e)));
+                        let _ = tx.send(Out::Bye);
+                        return;
+                    }
+                }
+            }
+            partial_since = match (decoder.partial() > 0, partial_since) {
+                (false, _) => None,
+                (true, None) => Some(Instant::now()),
+                (true, some) => some,
+            };
+            if shared.draining.load(Ordering::SeqCst) {
+                let _ = tx.send(Out::Bye);
+                return;
+            }
+            if let Some(since) = partial_since {
+                if since.elapsed() >= shared.config.idle {
+                    // Slow loris: a frame held open past the idle
+                    // deadline. Typed answer, then disconnect.
+                    shared.wire_errors.fetch_add(1, Ordering::Relaxed);
+                    let e = WireError::Torn {
+                        have: decoder.partial(),
+                    };
+                    let _ = tx.send(Out::Msg(ServerMsg::error(&e)));
+                    let _ = tx.send(Out::Bye);
+                    return;
+                }
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed its half; flush and close ours.
+                    let _ = tx.send(Out::Bye);
+                    return;
+                }
+                Ok(n) => decoder.extend(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Poll tick: loop around to re-check drain + idle.
+                }
+                Err(_) => {
+                    let _ = tx.send(Out::Bye);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One parsed-or-not line. Returns `false` when the connection is
+    /// done reading.
+    fn handle_line(
+        shared: &ServerShared,
+        payload: &[u8],
+        tx: &Sender<Out>,
+        inflight: &AtomicUsize,
+    ) -> bool {
+        match ClientMsg::parse(payload) {
+            Ok(ClientMsg::Submit {
+                client_id,
+                task,
+                config,
+            }) => {
+                let in_flight = inflight.load(Ordering::Acquire);
+                if in_flight >= shared.config.inflight {
+                    shared.overloaded.fetch_add(1, Ordering::Relaxed);
+                    return tx
+                        .send(Out::Msg(ServerMsg::Rejected {
+                            client_id,
+                            reason: NetReject::Overloaded { in_flight },
+                        }))
+                        .is_ok();
+                }
+                match shared
+                    .engine
+                    .submit(MissionRequest::new(task, config.to_config()))
+                {
+                    Ok(ticket) => {
+                        inflight.fetch_add(1, Ordering::AcqRel);
+                        tx.send(Out::Ticket { client_id, ticket }).is_ok()
+                    }
+                    Err(rejected) => tx
+                        .send(Out::Msg(ServerMsg::Rejected {
+                            client_id,
+                            reason: rejected.reason.into(),
+                        }))
+                        .is_ok(),
+                }
+            }
+            Ok(ClientMsg::Ping) => tx.send(Out::Msg(ServerMsg::Pong)).is_ok(),
+            Ok(ClientMsg::Bye) => {
+                let _ = tx.send(Out::Bye);
+                false
+            }
+            Err(e) => {
+                shared.wire_errors.fetch_add(1, Ordering::Relaxed);
+                let poisoned = e.poisons_stream();
+                let sent = tx.send(Out::Msg(ServerMsg::error(&e))).is_ok();
+                if poisoned {
+                    let _ = tx.send(Out::Bye);
+                    return false;
+                }
+                sent
+            }
+        }
+    }
+
+    /// The only thread writing to the socket: flushes queued lines,
+    /// waits tickets in submission order, injects chaos.
+    fn writer_loop(
+        shared: &ServerShared,
+        mut stream: TcpStream,
+        rx: &Receiver<Out>,
+        inflight: &AtomicUsize,
+    ) {
+        let _ = stream.set_write_timeout(Some(shared.config.write));
+        loop {
+            match rx.recv() {
+                Ok(Out::Msg(msg)) => {
+                    if write_frame(&mut stream, &msg).is_err() {
+                        return;
+                    }
+                }
+                Ok(Out::Ticket { client_id, ticket }) => {
+                    let served = ticket.wait();
+                    inflight.fetch_sub(1, Ordering::AcqRel);
+                    let msg = response_for(client_id, &served);
+                    match plan_fault(shared.config.chaos, chaos_draw(served.seed)) {
+                        Some(NetFault::DropBeforeReply) => {
+                            shared.chaos_injected.fetch_add(1, Ordering::Relaxed);
+                            let _ = stream.shutdown(Shutdown::Both);
+                            return;
+                        }
+                        Some(NetFault::TornWrite) => {
+                            shared.chaos_injected.fetch_add(1, Ordering::Relaxed);
+                            let bytes = frame(msg.render().as_bytes());
+                            let _ = stream.write_all(&bytes[..bytes.len() / 2]);
+                            let _ = stream.shutdown(Shutdown::Both);
+                            return;
+                        }
+                        Some(NetFault::StalledRead) => {
+                            shared.chaos_injected.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(shared.config.chaos_stall);
+                        }
+                        None => {}
+                    }
+                    if write_frame(&mut stream, &msg).is_err() {
+                        return;
+                    }
+                    shared.responses.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Out::Bye) | Err(_) => {
+                    // Clean goodbye (or the reader died; still wave).
+                    let _ = write_frame(&mut stream, &ServerMsg::Bye);
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// The wire response for a resolved ticket.
+fn response_for(client_id: u64, served: &ServedOutcome) -> ServerMsg {
+    match &served.result {
+        MissionResult::Completed(outcome) => ServerMsg::Done(NetOutcome {
+            client_id,
+            request_id: served.request_id,
+            seed: served.seed,
+            attempts: served.attempts,
+            success: outcome.success,
+            steps: outcome.steps,
+            plans: outcome.plans,
+            energy_bits: outcome.energy_j().to_bits(),
+            digest: outcome_digest(outcome),
+        }),
+        MissionResult::Failed(failure) => ServerMsg::Failed {
+            client_id,
+            failure: *failure,
+        },
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, msg: &ServerMsg) -> std::io::Result<()> {
+    stream.write_all(&frame(msg.render().as_bytes()))
+}

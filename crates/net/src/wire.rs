@@ -1,0 +1,886 @@
+//! The wire protocol: CRC32-framed, length-prefixed text lines.
+//!
+//! Every message on a connection — either direction — is one *frame*,
+//! the same shape the sweep journal uses for its checkpoint records
+//! (and the same [`crc32`] primitive):
+//!
+//! ```text
+//! [payload len: u32 LE][CRC32 (IEEE) of payload: u32 LE][payload]
+//! ```
+//!
+//! The payload is one UTF-8 text line (no newline), space-separated:
+//!
+//! ```text
+//! client -> server:
+//!   submit <client-id> <task> <config>     config: golden | undervolted:<v>
+//!   ping
+//!   bye
+//! server -> client:
+//!   done <client-id> <request-id> <seed> <attempts> <success:0|1>
+//!        <steps> <plans> <energy:hex16> <digest:hex16>
+//!   rejected <client-id> <reason>          reason: queue-full:<cap> |
+//!                                          shutting-down | deadline-expired |
+//!                                          overloaded:<in-flight>
+//!   failed <client-id> <kind>              kind: panicked | deadline-expired
+//!   error <description...>
+//!   pong
+//!   bye
+//! ```
+//!
+//! A frame that fails its CRC, claims an oversize length, carries
+//! non-UTF-8 bytes or parses to no known command is a typed
+//! [`WireError`] — the receiving side answers with an `error` frame
+//! and/or disconnects (see the server's failure policy), it never
+//! panics. A stream that ends (or stalls past the idle deadline) inside
+//! a frame is *torn* — [`WireError::Torn`], the network twin of the
+//! journal's torn tail.
+//!
+//! The `done` line carries the served request's identity (`request-id`,
+//! `seed`), its exact energy bits and an [`outcome_digest`] of the full
+//! [`MissionOutcome`] — so a client can prove bit-identical offline
+//! replay (`run_trial_with` at the recorded seed must reproduce the
+//! digest) without shipping the whole outcome across the wire.
+
+use create_core::mission::MissionOutcome;
+use create_env::TaskId;
+use create_serve::{RejectReason, ServeFailure};
+pub use create_tensor::crc::crc32;
+
+/// Frame header bytes: length + CRC, both `u32` LE.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Payloads larger than this are rejected — a corrupt length field must
+/// not make the reader buffer gigabytes (wire lines are < 200 bytes).
+pub const MAX_PAYLOAD: u32 = 64 * 1024;
+
+/// Wraps one payload in a frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Typed wire-protocol error — what a peer did wrong (or what the
+/// network did to its bytes). Rendered (via [`Display`](std::fmt::Display))
+/// into `error` frames, so the text is part of the protocol: plain
+/// words, no `{:?}` escapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended (or stalled past the idle deadline) inside a
+    /// frame; `have` bytes of it had arrived.
+    Torn {
+        /// Bytes of the incomplete frame received.
+        have: usize,
+    },
+    /// A complete frame whose payload does not match its CRC.
+    Corrupt {
+        /// The CRC the frame header claimed.
+        expected: u32,
+        /// The CRC of the bytes that actually arrived.
+        found: u32,
+    },
+    /// A frame header claiming a payload beyond [`MAX_PAYLOAD`].
+    Oversize {
+        /// The claimed payload length.
+        len: u32,
+    },
+    /// A valid frame whose payload is not UTF-8 text.
+    NotText,
+    /// A well-formed line starting with a verb this protocol version
+    /// does not know.
+    UnknownCommand(String),
+    /// A known verb with missing or malformed arguments.
+    BadArgument {
+        /// The verb whose arguments failed to parse.
+        command: &'static str,
+        /// What was wrong, in protocol-grammar terms.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Torn { have } => {
+                write!(f, "torn frame: stream ended {have} byte(s) into a frame")
+            }
+            WireError::Corrupt { expected, found } => write!(
+                f,
+                "frame checksum mismatch (header says {expected:08x}, payload is {found:08x})"
+            ),
+            WireError::Oversize { len } => write!(
+                f,
+                "frame claims {len} payload bytes, over the {MAX_PAYLOAD}-byte cap"
+            ),
+            WireError::NotText => f.write_str("frame payload is not utf-8 text"),
+            WireError::UnknownCommand(verb) => write!(f, "unknown command '{verb}'"),
+            WireError::BadArgument { command, detail } => {
+                write!(f, "bad '{command}' arguments: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// Whether the byte stream can still be trusted after this error: a
+    /// bad *line* inside a checksummed frame leaves framing intact
+    /// (answer and keep reading), but a length/CRC/UTF-8 failure means
+    /// the stream itself is damaged — after answering, the only safe
+    /// policy is to disconnect, because frame boundaries can no longer
+    /// be re-synchronized.
+    pub fn poisons_stream(&self) -> bool {
+        !matches!(
+            self,
+            WireError::UnknownCommand(_) | WireError::BadArgument { .. }
+        )
+    }
+}
+
+/// Incremental frame extractor over a byte stream: feed bytes as they
+/// arrive, pull complete payloads out. The pure-function twin
+/// [`scan_stream`] drives the property tests.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    at: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Drop consumed prefix before growing, keeping the buffer bounded
+        // by one partial frame plus one read chunk.
+        if self.at > 0 {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pulls the next complete payload: `Ok(Some(payload))`, or
+    /// `Ok(None)` when more bytes are needed, or the typed error when
+    /// the next frame is structurally invalid (oversize length or CRC
+    /// mismatch — [`WireError::poisons_stream`] errors).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let bytes = &self.buf[self.at..];
+        let Some(head) = bytes.get(..FRAME_HEADER_LEN) else {
+            return Ok(None);
+        };
+        let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes"));
+        let want_crc = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            return Err(WireError::Oversize { len });
+        }
+        let Some(payload) = bytes.get(FRAME_HEADER_LEN..FRAME_HEADER_LEN + len as usize) else {
+            return Ok(None);
+        };
+        let found = crc32(payload);
+        if found != want_crc {
+            return Err(WireError::Corrupt {
+                expected: want_crc,
+                found,
+            });
+        }
+        let payload = payload.to_vec();
+        self.at += FRAME_HEADER_LEN + len as usize;
+        Ok(Some(payload))
+    }
+
+    /// Bytes of a partial frame currently sitting in the buffer (0 when
+    /// the stream is at a frame boundary) — what the slow-loris deadline
+    /// watches.
+    pub fn partial(&self) -> usize {
+        self.buf.len() - self.at
+    }
+}
+
+/// Scans a complete byte stream into `(payloads, clean prefix length,
+/// fault)`: every valid frame in order, how many bytes of the stream
+/// they cover, and the typed fault that stopped the scan (`Torn` when
+/// the stream ends inside a frame, `Corrupt`/`Oversize` on damage,
+/// `None` on a clean end-of-stream at a frame boundary).
+pub fn scan_stream(bytes: &[u8]) -> (Vec<Vec<u8>>, usize, Option<WireError>) {
+    let mut frames = Vec::new();
+    let mut decoder = FrameBuf::new();
+    decoder.extend(bytes);
+    let mut clean = 0usize;
+    loop {
+        match decoder.next_frame() {
+            Ok(Some(payload)) => {
+                clean += FRAME_HEADER_LEN + payload.len();
+                frames.push(payload);
+            }
+            Ok(None) => {
+                let have = bytes.len() - clean;
+                return (
+                    frames,
+                    clean,
+                    (have > 0).then_some(WireError::Torn { have }),
+                );
+            }
+            Err(e) => return (frames, clean, Some(e)),
+        }
+    }
+}
+
+/// The canonical wire spelling of a task (the paper's single-word
+/// abbreviations, lowercased — `wooden`, `stone`, …).
+pub fn task_name(task: TaskId) -> String {
+    format!("{task:?}").to_ascii_lowercase()
+}
+
+/// Parses a wire task name (case-insensitive over [`TaskId::ALL`]).
+pub fn parse_task(text: &str) -> Option<TaskId> {
+    TaskId::ALL
+        .into_iter()
+        .find(|t| task_name(*t).eq_ignore_ascii_case(text.trim()))
+}
+
+/// The mission configurations the wire grammar can express — the
+/// deployment corners the serving workloads use, not the full
+/// [`CreateConfig`](create_core::config::CreateConfig) surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireConfig {
+    /// Fault-free reference configuration.
+    Golden,
+    /// Both units injected with the hardware error model at this supply
+    /// voltage (`CreateConfig::undervolted`).
+    Undervolted(f64),
+}
+
+impl WireConfig {
+    /// The trial configuration this wire spelling denotes.
+    pub fn to_config(self) -> create_core::config::CreateConfig {
+        match self {
+            WireConfig::Golden => create_core::config::CreateConfig::golden(),
+            WireConfig::Undervolted(v) => create_core::config::CreateConfig::undervolted(v),
+        }
+    }
+
+    fn render(self) -> String {
+        match self {
+            WireConfig::Golden => "golden".to_string(),
+            // `{}` on f64 is the shortest representation that parses
+            // back exactly, so the voltage survives the round trip
+            // bit-for-bit — the replay contract needs that.
+            WireConfig::Undervolted(v) => format!("undervolted:{v}"),
+        }
+    }
+
+    fn parse(text: &str) -> Result<Self, String> {
+        if text.eq_ignore_ascii_case("golden") {
+            return Ok(WireConfig::Golden);
+        }
+        if let Some(v) = text.strip_prefix("undervolted:") {
+            return match v.parse::<f64>() {
+                Ok(v) if v.is_finite() && v > 0.0 && v <= 2.0 => Ok(WireConfig::Undervolted(v)),
+                _ => Err(format!("voltage '{v}' is not in (0, 2]")),
+            };
+        }
+        Err(format!("unknown config '{text}'"))
+    }
+}
+
+/// Why the server refused a submission — the engine's [`RejectReason`]s
+/// plus the connection-level in-flight cap. This is how back-pressure
+/// reaches clients instead of piling up in server buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetReject {
+    /// The engine's bounded request queue is at capacity.
+    QueueFull {
+        /// The queue's fixed capacity.
+        capacity: usize,
+    },
+    /// The engine (or the front-end) is draining and admits nothing.
+    ShuttingDown,
+    /// The request's deadline had already expired at admission.
+    DeadlineExpired,
+    /// This connection already has its in-flight cap's worth of
+    /// unanswered requests; wait for responses before submitting more.
+    Overloaded {
+        /// Requests in flight on the connection when this was refused.
+        in_flight: usize,
+    },
+}
+
+impl From<RejectReason> for NetReject {
+    fn from(reason: RejectReason) -> Self {
+        match reason {
+            RejectReason::QueueFull { capacity } => NetReject::QueueFull { capacity },
+            RejectReason::ShuttingDown => NetReject::ShuttingDown,
+            RejectReason::DeadlineExpired => NetReject::DeadlineExpired,
+        }
+    }
+}
+
+impl std::fmt::Display for NetReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetReject::QueueFull { capacity } => {
+                write!(f, "engine queue full (capacity {capacity})")
+            }
+            NetReject::ShuttingDown => f.write_str("server is shutting down"),
+            NetReject::DeadlineExpired => f.write_str("deadline expired before admission"),
+            NetReject::Overloaded { in_flight } => {
+                write!(f, "connection in-flight cap reached ({in_flight} pending)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetReject {}
+
+impl NetReject {
+    fn render(self) -> String {
+        match self {
+            NetReject::QueueFull { capacity } => format!("queue-full:{capacity}"),
+            NetReject::ShuttingDown => "shutting-down".to_string(),
+            NetReject::DeadlineExpired => "deadline-expired".to_string(),
+            NetReject::Overloaded { in_flight } => format!("overloaded:{in_flight}"),
+        }
+    }
+
+    fn parse(text: &str) -> Result<Self, String> {
+        if let Some(cap) = text.strip_prefix("queue-full:") {
+            return cap
+                .parse::<usize>()
+                .map(|capacity| NetReject::QueueFull { capacity })
+                .map_err(|_| format!("bad queue capacity '{cap}'"));
+        }
+        if let Some(n) = text.strip_prefix("overloaded:") {
+            return n
+                .parse::<usize>()
+                .map(|in_flight| NetReject::Overloaded { in_flight })
+                .map_err(|_| format!("bad in-flight count '{n}'"));
+        }
+        match text {
+            "shutting-down" => Ok(NetReject::ShuttingDown),
+            "deadline-expired" => Ok(NetReject::DeadlineExpired),
+            other => Err(format!("unknown reject reason '{other}'")),
+        }
+    }
+}
+
+fn render_failure(failure: ServeFailure) -> &'static str {
+    match failure {
+        ServeFailure::Panicked => "panicked",
+        ServeFailure::DeadlineExpired => "deadline-expired",
+    }
+}
+
+fn parse_failure(text: &str) -> Result<ServeFailure, String> {
+    match text {
+        "panicked" => Ok(ServeFailure::Panicked),
+        "deadline-expired" => Ok(ServeFailure::DeadlineExpired),
+        other => Err(format!("unknown failure kind '{other}'")),
+    }
+}
+
+/// A served mission as it crosses the wire: identity, seed, summary
+/// metrics, exact energy bits and the full-outcome digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetOutcome {
+    /// The client-chosen correlation id the response answers.
+    pub client_id: u64,
+    /// The engine's dense admission-order request id.
+    pub request_id: u64,
+    /// The deterministic seed of the final attempt — the replay handle.
+    pub seed: u64,
+    /// Mission attempts executed server-side.
+    pub attempts: u32,
+    /// Whether the mission achieved its goal.
+    pub success: bool,
+    /// Environment steps executed.
+    pub steps: u64,
+    /// Planner invocations.
+    pub plans: u32,
+    /// `f64::to_bits` of the metered mission energy (J) — bits, so the
+    /// value survives the text protocol exactly.
+    pub energy_bits: u64,
+    /// [`outcome_digest`] of the full served [`MissionOutcome`].
+    pub digest: u64,
+}
+
+impl NetOutcome {
+    /// Metered mission energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        f64::from_bits(self.energy_bits)
+    }
+}
+
+/// Digest of a [`MissionOutcome`]'s complete observable state (FNV-1a
+/// over every field, traces included). Two outcomes digest equal iff a
+/// bit-for-bit replay reproduced the mission — this is what `done`
+/// frames carry in place of the whole outcome.
+pub fn outcome_digest(outcome: &MissionOutcome) -> u64 {
+    struct Fnv(u64);
+    impl Fnv {
+        fn bytes(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        fn u64(&mut self, v: u64) {
+            self.bytes(&v.to_le_bytes());
+        }
+    }
+    let mut h = Fnv(0xCBF2_9CE4_8422_2325);
+    h.u64(u64::from(outcome.success));
+    h.u64(outcome.steps);
+    h.u64(u64::from(outcome.plans));
+    h.u64(outcome.ldo_switches);
+    h.u64(outcome.entropy_spikes);
+    h.u64(outcome.ad.checked);
+    h.u64(outcome.ad.cleared);
+    h.u64(outcome.scheme_events.applications);
+    h.u64(outcome.scheme_events.redundant_executions);
+    h.u64(outcome.scheme_events.residuals);
+    h.u64(outcome.energy_j().to_bits());
+    h.u64(outcome.compute_j().to_bits());
+    h.u64(outcome.entropy_trace.len() as u64);
+    for &v in &outcome.entropy_trace {
+        h.bytes(&v.to_bits().to_le_bytes());
+    }
+    h.u64(outcome.predicted_trace.len() as u64);
+    for &v in &outcome.predicted_trace {
+        h.bytes(&v.to_bits().to_le_bytes());
+    }
+    h.u64(outcome.voltage_trace.len() as u64);
+    for &v in &outcome.voltage_trace {
+        h.u64(v.to_bits());
+    }
+    h.0
+}
+
+/// A client-to-server line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// Run one mission.
+    Submit {
+        /// Client-chosen correlation id, echoed on the response.
+        client_id: u64,
+        /// Task to run.
+        task: TaskId,
+        /// Mission configuration.
+        config: WireConfig,
+    },
+    /// Liveness probe; the server answers `pong`.
+    Ping,
+    /// Graceful goodbye; the server finishes in-flight work and closes.
+    Bye,
+}
+
+impl ClientMsg {
+    /// Renders the line (frame payload).
+    pub fn render(&self) -> String {
+        match self {
+            ClientMsg::Submit {
+                client_id,
+                task,
+                config,
+            } => format!(
+                "submit {client_id} {} {}",
+                task_name(*task),
+                config.render()
+            ),
+            ClientMsg::Ping => "ping".to_string(),
+            ClientMsg::Bye => "bye".to_string(),
+        }
+    }
+
+    /// Parses one frame payload into a client line.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`]s for non-text payloads, unknown verbs and
+    /// malformed arguments.
+    pub fn parse(payload: &[u8]) -> Result<ClientMsg, WireError> {
+        let text = std::str::from_utf8(payload).map_err(|_| WireError::NotText)?;
+        let mut words = text.split_ascii_whitespace();
+        match words.next() {
+            Some("submit") => {
+                let bad = |detail: String| WireError::BadArgument {
+                    command: "submit",
+                    detail,
+                };
+                let client_id = words
+                    .next()
+                    .and_then(|w| w.parse::<u64>().ok())
+                    .ok_or_else(|| bad("expected a numeric client id".to_string()))?;
+                let task_word = words
+                    .next()
+                    .ok_or_else(|| bad("expected a task name".to_string()))?;
+                let task = parse_task(task_word)
+                    .ok_or_else(|| bad(format!("unknown task '{task_word}'")))?;
+                let config_word = words
+                    .next()
+                    .ok_or_else(|| bad("expected a config".to_string()))?;
+                let config = WireConfig::parse(config_word).map_err(bad)?;
+                if words.next().is_some() {
+                    return Err(bad("trailing words".to_string()));
+                }
+                Ok(ClientMsg::Submit {
+                    client_id,
+                    task,
+                    config,
+                })
+            }
+            Some("ping") => Ok(ClientMsg::Ping),
+            Some("bye") => Ok(ClientMsg::Bye),
+            Some(other) => Err(WireError::UnknownCommand(other.to_string())),
+            None => Err(WireError::UnknownCommand(String::new())),
+        }
+    }
+}
+
+/// A server-to-client line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// A completed mission.
+    Done(NetOutcome),
+    /// A refused submission, with the typed reason.
+    Rejected {
+        /// The correlation id of the refused submit.
+        client_id: u64,
+        /// Why it was refused.
+        reason: NetReject,
+    },
+    /// A serving-layer failure (the mission never completed).
+    Failed {
+        /// The correlation id of the failed submit.
+        client_id: u64,
+        /// The typed failure.
+        failure: ServeFailure,
+    },
+    /// The peer's last frame was invalid; carries the rendered
+    /// [`WireError`] text.
+    Error(String),
+    /// Liveness answer.
+    Pong,
+    /// Goodbye: the server is draining this connection; no further
+    /// responses will follow.
+    Bye,
+}
+
+impl ServerMsg {
+    /// The `error` line for a typed wire error.
+    pub fn error(e: &WireError) -> ServerMsg {
+        ServerMsg::Error(e.to_string())
+    }
+
+    /// Renders the line (frame payload).
+    pub fn render(&self) -> String {
+        match self {
+            ServerMsg::Done(o) => format!(
+                "done {} {} {} {} {} {} {} {:016x} {:016x}",
+                o.client_id,
+                o.request_id,
+                o.seed,
+                o.attempts,
+                u8::from(o.success),
+                o.steps,
+                o.plans,
+                o.energy_bits,
+                o.digest
+            ),
+            ServerMsg::Rejected { client_id, reason } => {
+                format!("rejected {client_id} {}", reason.render())
+            }
+            ServerMsg::Failed { client_id, failure } => {
+                format!("failed {client_id} {}", render_failure(*failure))
+            }
+            ServerMsg::Error(detail) => format!("error {detail}"),
+            ServerMsg::Pong => "pong".to_string(),
+            ServerMsg::Bye => "bye".to_string(),
+        }
+    }
+
+    /// Parses one frame payload into a server line.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`]s for non-text payloads, unknown verbs and
+    /// malformed arguments.
+    pub fn parse(payload: &[u8]) -> Result<ServerMsg, WireError> {
+        let text = std::str::from_utf8(payload).map_err(|_| WireError::NotText)?;
+        let mut words = text.split_ascii_whitespace();
+        match words.next() {
+            Some("done") => {
+                let bad = |detail: String| WireError::BadArgument {
+                    command: "done",
+                    detail,
+                };
+                let mut next_u64 = |what: &str, hex: bool| -> Result<u64, WireError> {
+                    let word = words.next().ok_or_else(|| bad(format!("missing {what}")))?;
+                    let parsed = if hex {
+                        u64::from_str_radix(word, 16)
+                    } else {
+                        word.parse::<u64>()
+                    };
+                    parsed.map_err(|_| bad(format!("bad {what} '{word}'")))
+                };
+                let client_id = next_u64("client id", false)?;
+                let request_id = next_u64("request id", false)?;
+                let seed = next_u64("seed", false)?;
+                let attempts = next_u64("attempts", false)? as u32;
+                let success = match next_u64("success flag", false)? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(bad(format!("success flag must be 0/1, got {other}"))),
+                };
+                let steps = next_u64("steps", false)?;
+                let plans = next_u64("plans", false)? as u32;
+                let energy_bits = next_u64("energy bits", true)?;
+                let digest = next_u64("digest", true)?;
+                Ok(ServerMsg::Done(NetOutcome {
+                    client_id,
+                    request_id,
+                    seed,
+                    attempts,
+                    success,
+                    steps,
+                    plans,
+                    energy_bits,
+                    digest,
+                }))
+            }
+            Some("rejected") => {
+                let bad = |detail: String| WireError::BadArgument {
+                    command: "rejected",
+                    detail,
+                };
+                let client_id = words
+                    .next()
+                    .and_then(|w| w.parse::<u64>().ok())
+                    .ok_or_else(|| bad("expected a numeric client id".to_string()))?;
+                let reason_word = words
+                    .next()
+                    .ok_or_else(|| bad("expected a reason".to_string()))?;
+                let reason = NetReject::parse(reason_word).map_err(bad)?;
+                Ok(ServerMsg::Rejected { client_id, reason })
+            }
+            Some("failed") => {
+                let bad = |detail: String| WireError::BadArgument {
+                    command: "failed",
+                    detail,
+                };
+                let client_id = words
+                    .next()
+                    .and_then(|w| w.parse::<u64>().ok())
+                    .ok_or_else(|| bad("expected a numeric client id".to_string()))?;
+                let kind_word = words
+                    .next()
+                    .ok_or_else(|| bad("expected a failure kind".to_string()))?;
+                let failure = parse_failure(kind_word).map_err(bad)?;
+                Ok(ServerMsg::Failed { client_id, failure })
+            }
+            Some("error") => {
+                let text = text.trim_start();
+                Ok(ServerMsg::Error(
+                    text.strip_prefix("error")
+                        .expect("verb matched")
+                        .trim_start()
+                        .to_string(),
+                ))
+            }
+            Some("pong") => Ok(ServerMsg::Pong),
+            Some("bye") => Ok(ServerMsg::Bye),
+            Some(other) => Err(WireError::UnknownCommand(other.to_string())),
+            None => Err(WireError::UnknownCommand(String::new())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_the_scanner() {
+        let a = frame(b"submit 0 wooden golden");
+        let b = frame(b"ping");
+        let stream: Vec<u8> = [a.clone(), b.clone()].concat();
+        let (payloads, clean, fault) = scan_stream(&stream);
+        assert_eq!(
+            payloads,
+            vec![b"submit 0 wooden golden".to_vec(), b"ping".to_vec()]
+        );
+        assert_eq!(clean, stream.len());
+        assert_eq!(fault, None);
+    }
+
+    #[test]
+    fn torn_and_corrupt_streams_fault_without_panicking() {
+        let full = frame(b"ping");
+        let (payloads, clean, fault) = scan_stream(&full[..full.len() - 1]);
+        assert!(payloads.is_empty());
+        assert_eq!(clean, 0);
+        assert_eq!(
+            fault,
+            Some(WireError::Torn {
+                have: full.len() - 1
+            })
+        );
+
+        let mut corrupt = full.clone();
+        *corrupt.last_mut().expect("non-empty") ^= 0xFF;
+        let (payloads, _, fault) = scan_stream(&corrupt);
+        assert!(payloads.is_empty());
+        assert!(matches!(fault, Some(WireError::Corrupt { .. })));
+
+        let mut oversize = full;
+        oversize[..4].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let (_, _, fault) = scan_stream(&oversize);
+        assert_eq!(
+            fault,
+            Some(WireError::Oversize {
+                len: MAX_PAYLOAD + 1
+            })
+        );
+    }
+
+    #[test]
+    fn client_lines_round_trip() {
+        let msgs = [
+            ClientMsg::Submit {
+                client_id: 42,
+                task: TaskId::Wooden,
+                config: WireConfig::Golden,
+            },
+            ClientMsg::Submit {
+                client_id: 7,
+                task: TaskId::Log,
+                config: WireConfig::Undervolted(0.86),
+            },
+            ClientMsg::Ping,
+            ClientMsg::Bye,
+        ];
+        for msg in msgs {
+            assert_eq!(ClientMsg::parse(msg.render().as_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn server_lines_round_trip() {
+        let msgs = [
+            ServerMsg::Done(NetOutcome {
+                client_id: 3,
+                request_id: 17,
+                seed: u64::MAX,
+                attempts: 2,
+                success: true,
+                steps: 940,
+                plans: 4,
+                energy_bits: 1.25e-3f64.to_bits(),
+                digest: 0xDEAD_BEEF_0BAD_CAFE,
+            }),
+            ServerMsg::Rejected {
+                client_id: 9,
+                reason: NetReject::QueueFull { capacity: 256 },
+            },
+            ServerMsg::Rejected {
+                client_id: 9,
+                reason: NetReject::Overloaded { in_flight: 32 },
+            },
+            ServerMsg::Rejected {
+                client_id: 1,
+                reason: NetReject::ShuttingDown,
+            },
+            ServerMsg::Rejected {
+                client_id: 1,
+                reason: NetReject::DeadlineExpired,
+            },
+            ServerMsg::Failed {
+                client_id: 5,
+                failure: ServeFailure::Panicked,
+            },
+            ServerMsg::Failed {
+                client_id: 5,
+                failure: ServeFailure::DeadlineExpired,
+            },
+            ServerMsg::Error("frame payload is not utf-8 text".to_string()),
+            ServerMsg::Pong,
+            ServerMsg::Bye,
+        ];
+        for msg in msgs {
+            assert_eq!(ServerMsg::parse(msg.render().as_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn undervolted_voltage_survives_the_text_protocol_exactly() {
+        for &v in &[0.90f64, 0.86, 0.825, 0.8200000000000001] {
+            let msg = ClientMsg::Submit {
+                client_id: 0,
+                task: TaskId::Stone,
+                config: WireConfig::Undervolted(v),
+            };
+            let ClientMsg::Submit { config, .. } =
+                ClientMsg::parse(msg.render().as_bytes()).unwrap()
+            else {
+                panic!("parsed to a different verb");
+            };
+            let WireConfig::Undervolted(parsed) = config else {
+                panic!("parsed to a different config");
+            };
+            assert_eq!(parsed.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        assert!(matches!(
+            ClientMsg::parse(b"launch 1 wooden golden"),
+            Err(WireError::UnknownCommand(v)) if v == "launch"
+        ));
+        assert!(matches!(
+            ClientMsg::parse(b"submit x wooden golden"),
+            Err(WireError::BadArgument {
+                command: "submit",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ClientMsg::parse(b"submit 1 floatworld golden"),
+            Err(WireError::BadArgument {
+                command: "submit",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ClientMsg::parse(b"submit 1 wooden undervolted:-2"),
+            Err(WireError::BadArgument {
+                command: "submit",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ClientMsg::parse(&[0xFF, 0xFE, 0x80]),
+            Err(WireError::NotText)
+        ));
+        assert!(matches!(
+            ServerMsg::parse(b"done 1 2 3"),
+            Err(WireError::BadArgument {
+                command: "done",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn every_task_name_round_trips() {
+        for task in TaskId::ALL {
+            assert_eq!(parse_task(&task_name(task)), Some(task), "{task:?}");
+        }
+        assert_eq!(parse_task("not-a-task"), None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Exhaustive `Display`/`Error` coverage for every typed failure that
+//! can cross a process or network boundary: the engine's
+//! [`RejectReason`] and [`ServeFailure`], the wire's [`WireError`] and
+//! [`NetReject`], and the client's [`NetError`]. Every variant must
+//! render human words — no `{:?}` debug spellings leaking into wire
+//! text — and every error type must wire into `std::error::Error`.
+
+use create_net::{NetError, NetReject, WireError};
+use create_serve::{MissionRequest, RejectReason, Rejected, ServeFailure};
+use std::error::Error;
+
+/// Every variant of every boundary-crossing failure enum, paired with a
+/// word its rendering must contain (the human description, not the
+/// variant name).
+fn all_renderings() -> Vec<(String, &'static str, String)> {
+    let reject_reasons = [
+        (RejectReason::QueueFull { capacity: 7 }, "queue full"),
+        (RejectReason::ShuttingDown, "shutting down"),
+        (RejectReason::DeadlineExpired, "deadline expired"),
+    ];
+    let serve_failures = [
+        (ServeFailure::Panicked, "panicked"),
+        (ServeFailure::DeadlineExpired, "deadline expired"),
+    ];
+    let wire_errors = [
+        (WireError::Torn { have: 3 }, "torn frame"),
+        (
+            WireError::Corrupt {
+                expected: 0xDEAD_BEEF,
+                found: 0x0BAD_F00D,
+            },
+            "checksum mismatch",
+        ),
+        (WireError::Oversize { len: 1 << 20 }, "cap"),
+        (WireError::NotText, "utf-8"),
+        (
+            WireError::UnknownCommand("launch".to_string()),
+            "unknown command",
+        ),
+        (
+            WireError::BadArgument {
+                command: "submit",
+                detail: "expected a task name".to_string(),
+            },
+            "bad 'submit' arguments",
+        ),
+    ];
+    let net_rejects = [
+        (NetReject::QueueFull { capacity: 7 }, "queue full"),
+        (NetReject::ShuttingDown, "shutting down"),
+        (NetReject::DeadlineExpired, "deadline expired"),
+        (NetReject::Overloaded { in_flight: 32 }, "in-flight cap"),
+    ];
+    let net_errors = [(
+        NetError::Exhausted {
+            client_id: 3,
+            attempts: 9,
+            last: "connection closed by server".to_string(),
+        },
+        "abandoned",
+    )];
+
+    let mut out = Vec::new();
+    for (v, needle) in reject_reasons {
+        out.push((format!("{v}"), needle, format!("{v:?}")));
+    }
+    for (v, needle) in serve_failures {
+        out.push((format!("{v}"), needle, format!("{v:?}")));
+    }
+    for (v, needle) in wire_errors {
+        out.push((format!("{v}"), needle, format!("{v:?}")));
+    }
+    for (v, needle) in net_rejects {
+        out.push((format!("{v}"), needle, format!("{v:?}")));
+    }
+    for (v, needle) in net_errors {
+        out.push((format!("{v}"), needle, format!("{v:?}")));
+    }
+    out
+}
+
+#[test]
+fn every_variant_renders_human_words() {
+    for (rendered, needle, debug) in all_renderings() {
+        assert!(!rendered.is_empty(), "{debug} renders empty");
+        assert!(
+            rendered.contains(needle),
+            "{debug} renders {rendered:?}, expected it to contain {needle:?}"
+        );
+        // No debug leakage: a Display rendering must not contain the
+        // CamelCase variant spelling or struct-ish punctuation.
+        let variant = debug
+            .split(|c: char| !c.is_ascii_alphanumeric())
+            .next()
+            .unwrap_or_default();
+        assert!(
+            !rendered.contains(variant),
+            "{debug} leaks its variant name into wire text: {rendered:?}"
+        );
+        for token in ["{", "}", "\n"] {
+            assert!(
+                !rendered.contains(token),
+                "{debug} leaks {token:?} into wire text: {rendered:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_failure_type_is_a_std_error() {
+    let errors: Vec<Box<dyn Error>> = vec![
+        Box::new(RejectReason::ShuttingDown),
+        Box::new(ServeFailure::Panicked),
+        Box::new(WireError::NotText),
+        Box::new(NetReject::ShuttingDown),
+        Box::new(NetError::Exhausted {
+            client_id: 0,
+            attempts: 1,
+            last: "x".to_string(),
+        }),
+    ];
+    for e in errors {
+        assert!(!e.to_string().is_empty());
+    }
+}
+
+/// The engine's `Rejected` must chain to its reason as `source`, so a
+/// generic error reporter walks from "request rejected" down to the
+/// typed cause.
+#[test]
+fn rejected_chains_to_its_reason() {
+    let (_, task) = create_core::testutil::tiny_deployment();
+    let rejected = Rejected {
+        request: MissionRequest::new(task, create_core::config::CreateConfig::golden()),
+        reason: RejectReason::QueueFull { capacity: 3 },
+    };
+    let msg = rejected.to_string();
+    assert!(msg.contains("rejected"), "{msg:?}");
+    let source = rejected.source().expect("reason is the source");
+    assert_eq!(source.to_string(), "request queue full (capacity 3)");
+}

@@ -1,0 +1,396 @@
+//! Functional tests for the TCP front-end: round-trip + offline replay,
+//! typed answers for malformed and damaged frames without losing the
+//! listener, slow-loris disconnection, in-flight back-pressure, typed
+//! queue-full rejection, and the graceful goodbye on drain.
+
+use create_core::mission::MissionSession;
+use create_core::testutil::tiny_deployment;
+use create_net::wire::{frame, outcome_digest, scan_stream, ClientMsg, ServerMsg};
+use create_net::{
+    NetClient, NetClientConfig, NetConfig, NetReject, NetResponse, NetServer, WireConfig,
+};
+use create_serve::{MissionEngine, ServeConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine + server on an ephemeral loopback port, chaos off.
+fn quiet_stack(
+    workers: usize,
+    queue: usize,
+) -> (Arc<MissionEngine>, NetServer, create_env::TaskId) {
+    let (dep, task) = tiny_deployment();
+    let engine = Arc::new(MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder()
+            .workers(workers)
+            .queue(queue)
+            .base_seed(2026)
+            .chaos(0.0)
+            .governor(None)
+            .build(),
+    ));
+    let server = NetServer::start(
+        Arc::clone(&engine),
+        NetConfig::builder().addr("127.0.0.1:0").chaos(0.0).build(),
+    )
+    .expect("bind loopback");
+    (engine, server, task)
+}
+
+/// Reads server frames from a raw socket until `stop` says done or the
+/// connection closes; returns the parsed replies.
+fn read_replies(
+    stream: &mut TcpStream,
+    mut stop: impl FnMut(&[ServerMsg]) -> bool,
+) -> Vec<ServerMsg> {
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (payloads, _, _) = scan_stream(&bytes);
+        let replies: Vec<ServerMsg> = payloads
+            .iter()
+            .map(|p| ServerMsg::parse(p).expect("server speaks its own grammar"))
+            .collect();
+        if stop(&replies) {
+            return replies;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no stop condition after 30s: {replies:?}"
+        );
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                let (payloads, _, _) = scan_stream(&bytes);
+                return payloads
+                    .iter()
+                    .map(|p| ServerMsg::parse(p).expect("server speaks its own grammar"))
+                    .collect();
+            }
+            Ok(n) => bytes.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+}
+
+#[test]
+fn missions_round_trip_and_replay_bit_identically_offline() {
+    let (dep, task) = tiny_deployment();
+    let engine = Arc::new(MissionEngine::start(
+        Arc::new(dep.clone()),
+        ServeConfig::builder()
+            .workers(2)
+            .queue(16)
+            .base_seed(2026)
+            .chaos(0.0)
+            .governor(None)
+            .build(),
+    ));
+    let server = NetServer::start(
+        Arc::clone(&engine),
+        NetConfig::builder().addr("127.0.0.1:0").chaos(0.0).build(),
+    )
+    .expect("bind loopback");
+
+    let mut client = NetClient::connect(server.local_addr().to_string());
+    let configs = [
+        WireConfig::Golden,
+        WireConfig::Undervolted(0.90),
+        WireConfig::Undervolted(0.86),
+    ];
+    let mut done = Vec::new();
+    for &config in &configs {
+        match client.call(task, config).expect("call resolves") {
+            NetResponse::Done(outcome) => done.push((config, outcome)),
+            other => panic!("quiet stack must complete missions, got {other:?}"),
+        }
+    }
+    client.goodbye();
+    let stats = server.shutdown();
+    assert_eq!(stats.responses, configs.len() as u64);
+    assert_eq!(stats.wire_errors, 0);
+    assert_eq!(stats.chaos_injected, 0);
+    assert_eq!(stats.panicked_connections, 0);
+
+    // Offline replay at the recorded seeds: digests and exact energy
+    // bits must match what crossed the wire.
+    let mut session = MissionSession::new(&dep);
+    for (config, outcome) in done {
+        let replayed = session.run(task, &config.to_config(), outcome.seed);
+        assert_eq!(
+            outcome_digest(&replayed),
+            outcome.digest,
+            "digest drift at {config:?}"
+        );
+        assert_eq!(replayed.energy_j().to_bits(), outcome.energy_bits);
+        assert_eq!(replayed.success, outcome.success);
+        assert_eq!(replayed.steps, outcome.steps);
+        assert_eq!(replayed.plans, outcome.plans);
+    }
+    Arc::try_unwrap(engine)
+        .map_err(|_| "engine still shared")
+        .expect("server released its engine handle")
+        .shutdown();
+}
+
+#[test]
+fn malformed_lines_get_typed_errors_and_the_connection_survives() {
+    let (_engine, server, task) = quiet_stack(1, 8);
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // Unknown verb: typed error, connection stays usable.
+    stream
+        .write_all(&frame(b"launch 1 wooden golden"))
+        .expect("write");
+    // Bad argument on a known verb: another typed error.
+    stream
+        .write_all(&frame(b"submit not-a-number wooden golden"))
+        .expect("write");
+    // Then a valid ping: the same connection must still answer.
+    stream
+        .write_all(&frame(ClientMsg::Ping.render().as_bytes()))
+        .expect("write");
+    let replies = read_replies(&mut stream, |r| r.len() >= 3);
+    assert!(matches!(&replies[0], ServerMsg::Error(d) if d.contains("unknown command 'launch'")));
+    assert!(matches!(&replies[1], ServerMsg::Error(d) if d.contains("bad 'submit' arguments")));
+    assert_eq!(replies[2], ServerMsg::Pong);
+
+    // A CRC-corrupt frame: typed error, then the server hangs up (frame
+    // boundaries are unrecoverable), but the listener survives.
+    let mut damaged = frame(ClientMsg::Ping.render().as_bytes());
+    let last = damaged.len() - 1;
+    damaged[last] ^= 0xFF;
+    stream.write_all(&damaged).expect("write");
+    let replies = read_replies(&mut stream, |r| {
+        r.iter().any(|m| matches!(m, ServerMsg::Bye))
+    });
+    assert!(
+        replies
+            .iter()
+            .any(|m| matches!(m, ServerMsg::Error(d) if d.contains("checksum mismatch"))),
+        "{replies:?}"
+    );
+    assert!(matches!(replies.last(), Some(ServerMsg::Bye)));
+
+    // Fresh connection, full mission: the listener never went down.
+    let mut client = NetClient::connect(addr.to_string());
+    assert!(matches!(
+        client.call(task, WireConfig::Golden).expect("resolves"),
+        NetResponse::Done(_)
+    ));
+    client.goodbye();
+    let stats = server.shutdown();
+    assert_eq!(stats.wire_errors, 3);
+    assert_eq!(stats.panicked_connections, 0);
+}
+
+#[test]
+fn slow_loris_connections_are_disconnected_with_a_typed_torn_error() {
+    let (dep, task) = tiny_deployment();
+    let engine = Arc::new(MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder()
+            .workers(1)
+            .queue(8)
+            .chaos(0.0)
+            .governor(None)
+            .build(),
+    ));
+    let server = NetServer::start(
+        Arc::clone(&engine),
+        NetConfig::builder()
+            .addr("127.0.0.1:0")
+            .idle(Duration::from_millis(100))
+            .chaos(0.0)
+            .build(),
+    )
+    .expect("bind loopback");
+
+    // Open a frame and stall: send only half of it, then hold the
+    // connection open without completing the frame.
+    let full = frame(ClientMsg::Ping.render().as_bytes());
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .write_all(&full[..full.len() / 2])
+        .expect("write half");
+    let replies = read_replies(&mut stream, |r| {
+        r.iter().any(|m| matches!(m, ServerMsg::Bye))
+    });
+    assert!(
+        replies
+            .iter()
+            .any(|m| matches!(m, ServerMsg::Error(d) if d.contains("torn frame"))),
+        "{replies:?}"
+    );
+
+    // The listener survived the loris; a real client still gets served.
+    let mut client = NetClient::connect(server.local_addr().to_string());
+    assert!(matches!(
+        client.call(task, WireConfig::Golden).expect("resolves"),
+        NetResponse::Done(_)
+    ));
+    client.goodbye();
+    let stats = server.shutdown();
+    assert_eq!(stats.wire_errors, 1);
+}
+
+#[test]
+fn inflight_cap_applies_backpressure_and_every_submit_resolves() {
+    let (dep, task) = tiny_deployment();
+    let engine = Arc::new(MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder()
+            .workers(1)
+            .queue(128)
+            .chaos(0.0)
+            .governor(None)
+            .build(),
+    ));
+    let server = NetServer::start(
+        Arc::clone(&engine),
+        NetConfig::builder()
+            .addr("127.0.0.1:0")
+            .inflight(4)
+            .chaos(0.0)
+            .build(),
+    )
+    .expect("bind loopback");
+
+    // Burst 64 submits without reading a single response: the reader
+    // parses far faster than one worker can run missions, so the cap
+    // must fire; and every one of the 64 must still resolve exactly
+    // once, as done or as a typed overload rejection.
+    const BURST: u64 = 64;
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    for client_id in 0..BURST {
+        let line = ClientMsg::Submit {
+            client_id,
+            task,
+            config: WireConfig::Golden,
+        };
+        stream
+            .write_all(&frame(line.render().as_bytes()))
+            .expect("write");
+    }
+    let replies = read_replies(&mut stream, |r| r.len() >= BURST as usize);
+    let mut resolved = std::collections::HashMap::<u64, u32>::new();
+    let (mut done, mut overloaded) = (0u64, 0u64);
+    for reply in &replies[..BURST as usize] {
+        match reply {
+            ServerMsg::Done(o) => {
+                done += 1;
+                *resolved.entry(o.client_id).or_default() += 1;
+            }
+            ServerMsg::Rejected {
+                client_id,
+                reason: NetReject::Overloaded { in_flight },
+            } => {
+                overloaded += 1;
+                assert_eq!(*in_flight, 4);
+                *resolved.entry(*client_id).or_default() += 1;
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(done + overloaded, BURST);
+    assert!(overloaded > 0, "cap never fired across a 64-submit burst");
+    assert!(done >= 4, "at least the first in-flight window completes");
+    assert_eq!(resolved.len() as u64, BURST, "every client id resolved");
+    assert!(resolved.values().all(|&n| n == 1), "exactly once each");
+
+    drop(stream);
+    let stats = server.shutdown();
+    assert_eq!(stats.responses + stats.overloaded, BURST);
+    assert_eq!(stats.overloaded, overloaded);
+}
+
+#[test]
+fn queue_full_and_shutting_down_cross_the_wire_typed() {
+    // A zero-capacity queue admits nothing: every wire submit must come
+    // back as the engine's typed queue-full rejection.
+    let (dep, task) = tiny_deployment();
+    let engine = Arc::new(MissionEngine::start(
+        Arc::new(dep),
+        ServeConfig::builder()
+            .workers(1)
+            .queue(0)
+            .chaos(0.0)
+            .governor(None)
+            .build(),
+    ));
+    let server = NetServer::start(
+        Arc::clone(&engine),
+        NetConfig::builder().addr("127.0.0.1:0").chaos(0.0).build(),
+    )
+    .expect("bind loopback");
+
+    let mut config = NetClientConfig::new(server.local_addr().to_string());
+    config.retries = 2;
+    config.backoff = Duration::from_millis(1);
+    let mut client = NetClient::with_config(config);
+    match client.call(task, WireConfig::Golden).expect("resolves") {
+        NetResponse::Rejected(NetReject::QueueFull { capacity }) => assert_eq!(capacity, 0),
+        other => panic!("expected queue-full, got {other:?}"),
+    }
+
+    // Close the engine: subsequent submits are typed shutting-down, and
+    // the client treats that as terminal (no futile retry loop).
+    engine.close();
+    match client.call(task, WireConfig::Golden).expect("resolves") {
+        NetResponse::Rejected(NetReject::ShuttingDown) => {}
+        other => panic!("expected shutting-down, got {other:?}"),
+    }
+    client.goodbye();
+    server.shutdown();
+}
+
+#[test]
+fn drain_says_goodbye_on_open_connections() {
+    let (_engine, server, task) = quiet_stack(1, 8);
+    let addr = server.local_addr();
+
+    // An established connection with a served mission on it...
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let line = ClientMsg::Submit {
+        client_id: 0,
+        task,
+        config: WireConfig::Golden,
+    };
+    stream
+        .write_all(&frame(line.render().as_bytes()))
+        .expect("write");
+    let replies = read_replies(&mut stream, |r| !r.is_empty());
+    assert!(matches!(replies[0], ServerMsg::Done(_)));
+
+    // ...receives a goodbye frame when the server drains, then EOF.
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    let replies = read_replies(&mut stream, |r| {
+        r.iter().any(|m| matches!(m, ServerMsg::Bye))
+    });
+    assert!(
+        matches!(replies.last(), Some(ServerMsg::Bye)),
+        "{replies:?}"
+    );
+    let stats = shutdown.join().expect("shutdown thread");
+    assert_eq!(stats.responses, 1);
+
+    // And the port no longer accepts new work. (If the OS briefly
+    // accepts before the closed listener is torn down, the connection
+    // must be dead on arrival: no reply, just EOF or an error.)
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut s) => {
+            s.set_read_timeout(Some(Duration::from_millis(200)))
+                .expect("timeout");
+            let _ = s.write_all(&frame(b"ping"));
+            let mut buf = [0u8; 64];
+            assert!(
+                matches!(s.read(&mut buf), Ok(0) | Err(_)),
+                "drained server answered new work"
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The chaos soak: concurrent clients against a front-end with both
+//! network chaos (`CREATE_NET_CHAOS`, default 0.25 here) and engine
+//! chaos (`CREATE_SERVE_CHAOS`, default 0.1 here) enabled, proving the
+//! issue's acceptance contract end to end:
+//!
+//! * every request resolves **exactly once** client-side — a completed
+//!   mission, a typed rejection, or a typed failure; no hangs, no
+//!   duplicates, no silent drops;
+//! * the server drains cleanly afterwards (goodbyes, joined threads);
+//! * every successful outcome replays **bit-identically** offline at
+//!   its recorded `(request id, seed)` — dropped, torn and stalled
+//!   responses plus reconnect-and-resubmit never corrupt the replay
+//!   contract.
+//!
+//! CI runs this with the env pinned (`net-smoke`); locally it defaults
+//! to the same probabilities.
+
+use create_core::mission::MissionSession;
+use create_core::testutil::tiny_deployment;
+use create_net::wire::outcome_digest;
+use create_net::{NetClient, NetClientConfig, NetConfig, NetResponse, NetServer, WireConfig};
+use create_serve::{MissionEngine, ServeConfig};
+use create_tensor::envcfg;
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENTS: u64 = 4;
+const REQUESTS_PER_CLIENT: u64 = 12;
+
+#[test]
+fn chaos_soak_resolves_every_request_exactly_once_and_replays() {
+    let net_chaos = envcfg::read_fraction("CREATE_NET_CHAOS", 0.25);
+    let serve_chaos = envcfg::read_fraction("CREATE_SERVE_CHAOS", 0.1);
+
+    let (dep, task) = tiny_deployment();
+    let engine = Arc::new(MissionEngine::start(
+        Arc::new(dep.clone()),
+        ServeConfig::builder()
+            .workers(4)
+            .queue(64)
+            .base_seed(2026)
+            .chaos(serve_chaos)
+            .governor(None)
+            .build(),
+    ));
+    let server = NetServer::start(
+        Arc::clone(&engine),
+        NetConfig::builder()
+            .addr("127.0.0.1:0")
+            .chaos(net_chaos)
+            .chaos_stall(Duration::from_millis(50))
+            .build(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+
+    // The per-client request mix: alternating golden / undervolted
+    // corners, all on the deployment's trained task.
+    let configs = [
+        WireConfig::Golden,
+        WireConfig::Undervolted(0.90),
+        WireConfig::Undervolted(0.86),
+    ];
+
+    // Per client: (client index, resolved (config, response) pairs,
+    // transport faults survived).
+    type ClientReport = (usize, Vec<(WireConfig, NetResponse)>, u64);
+    let results: Vec<ClientReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut config = NetClientConfig::new(addr);
+                    config.retries = 16;
+                    config.backoff = Duration::from_millis(2);
+                    config.read_timeout = Duration::from_secs(20);
+                    config.seed = 0x50AC_D00D ^ c;
+                    let mut client = NetClient::with_config(config);
+                    let mut resolved = Vec::new();
+                    for i in 0..REQUESTS_PER_CLIENT {
+                        let wire = configs[(i % configs.len() as u64) as usize];
+                        let response = client
+                            .call(task, wire)
+                            .expect("retry budget absorbs chaos at p=0.25");
+                        resolved.push((wire, response));
+                    }
+                    let faults = client.transport_faults();
+                    client.goodbye();
+                    (c as usize, resolved, faults)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    // Exactly once: every client resolved every request.
+    let mut transport_faults = 0;
+    let mut done = Vec::new();
+    let (mut completions, mut rejections, mut failures) = (0u64, 0u64, 0u64);
+    for (client, resolved, faults) in results {
+        assert_eq!(
+            resolved.len() as u64,
+            REQUESTS_PER_CLIENT,
+            "client {client} lost requests"
+        );
+        transport_faults += faults;
+        for (wire, response) in resolved {
+            match response {
+                NetResponse::Done(outcome) => {
+                    completions += 1;
+                    done.push((wire, outcome));
+                }
+                NetResponse::Rejected(_) => rejections += 1,
+                NetResponse::Failed(_) => failures += 1,
+            }
+        }
+    }
+    assert_eq!(
+        completions + rejections + failures,
+        CLIENTS * REQUESTS_PER_CLIENT
+    );
+    assert!(completions > 0, "chaos at p<1 must let missions through");
+
+    // No duplicate server-side identities among completions: each
+    // carries a distinct (request id, seed) pair even though client ids
+    // were reused across retries and clients.
+    let mut ids: Vec<u64> = done.iter().map(|(_, o)| o.request_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), done.len(), "request ids duplicated");
+
+    // Clean drain with chaos still configured.
+    let stats = server.shutdown();
+    assert_eq!(stats.panicked_connections, 0);
+    if net_chaos > 0.1 {
+        assert!(
+            stats.chaos_injected > 0,
+            "soak scale must exercise the chaos sites"
+        );
+        assert!(
+            transport_faults > 0,
+            "clients must have reconnected through chaos"
+        );
+    }
+    drop(engine);
+
+    // Bit-identical offline replay of every completion that crossed the
+    // wire, at its recorded seed.
+    let mut session = MissionSession::new(&dep);
+    for (wire, outcome) in done {
+        let replayed = session.run(task, &wire.to_config(), outcome.seed);
+        assert_eq!(
+            outcome_digest(&replayed),
+            outcome.digest,
+            "replay drift at seed {}",
+            outcome.seed
+        );
+        assert_eq!(replayed.energy_j().to_bits(), outcome.energy_bits);
+        assert_eq!(replayed.success, outcome.success);
+    }
+}

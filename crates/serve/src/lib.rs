@@ -346,6 +346,8 @@ impl std::fmt::Display for ServeFailure {
     }
 }
 
+impl std::error::Error for ServeFailure {}
+
 /// How a served request ended: a completed mission (successful or not —
 /// see [`MissionOutcome::success`]) or a typed serving-layer failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -539,6 +541,14 @@ impl ServeConfigBuilder {
     /// `CREATE_THREADS` / machine parallelism — so batch and serve scale
     /// together unless told otherwise).
     pub fn workers(mut self, workers: usize) -> Self {
+        if workers == 0 {
+            create_tensor::envcfg::warn_adjusted(
+                "CREATE_SERVE_WORKERS",
+                workers,
+                1usize,
+                "the serving engine needs at least one worker",
+            );
+        }
         self.workers = Some(workers.max(1));
         self
     }
@@ -562,11 +572,21 @@ impl ServeConfigBuilder {
     /// (default `CREATE_SERVE_CHAOS`, falling back to 0). Benches pin
     /// this to 0 so chaos never contaminates measurements.
     pub fn chaos(mut self, probability: f64) -> Self {
-        self.chaos = Some(if probability.is_finite() {
+        let used = if probability.is_finite() {
             probability.clamp(0.0, 1.0)
         } else {
             0.0
-        });
+        };
+        // `!=` catches NaN too (NaN != NaN), so every adjustment warns.
+        if used != probability {
+            create_tensor::envcfg::warn_adjusted(
+                "CREATE_SERVE_CHAOS",
+                probability,
+                used,
+                "chaos probability must be a fraction in [0, 1]",
+            );
+        }
+        self.chaos = Some(used);
         self
     }
 

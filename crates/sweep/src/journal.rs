@@ -47,19 +47,10 @@ const FRAME_HEADER_LEN: usize = 8;
 /// would otherwise make the reader try to allocate gigabytes).
 const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
 
-/// CRC32 (IEEE 802.3, reflected) — hand-rolled, the build environment
-/// has no registry crates.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+/// The journal's frame checksum — the workspace-shared CRC32
+/// ([`create_tensor::crc::crc32`]; the net front-end's wire frames use
+/// the very same primitive).
+pub use create_tensor::crc::crc32;
 
 /// Identity of the sweep a journal belongs to. Every field must match
 /// for a resume to trust the journal; anything else is a *foreign

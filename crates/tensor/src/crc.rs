@@ -1,0 +1,47 @@
+//! CRC32 (IEEE 802.3, reflected) — hand-rolled, the build environment
+//! has no registry crates.
+//!
+//! Hoisted here, at the bottom of the crate graph, because two framing
+//! layers share it: the sweep fabric's checkpoint journals
+//! (`create_sweep::journal`) and the serving front-end's wire protocol
+//! (`create_net::wire`) both frame records as
+//! `[payload len: u32 LE][CRC32 of payload: u32 LE][payload]` and rely on
+//! the checksum to tell a torn or corrupted frame from a valid one.
+
+/// CRC32 of `bytes` (IEEE 802.3 polynomial, reflected, init/final xor
+/// `!0` — the same checksum `zip`/`png`/Ethernet use).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard check value for the IEEE CRC32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_any_single_byte_change() {
+        let base = b"the quick brown fox";
+        let reference = crc32(base);
+        let mut copy = base.to_vec();
+        for i in 0..copy.len() {
+            copy[i] ^= 0x5A;
+            assert_ne!(crc32(&copy), reference, "flip at {i} undetected");
+            copy[i] ^= 0x5A;
+        }
+    }
+}

@@ -114,6 +114,35 @@ pub fn read_fraction(name: &str, default: f64) -> f64 {
     fraction(name, std::env::var(name).ok().as_deref(), default)
 }
 
+/// Reports an out-of-range **explicit builder setting** that was clamped
+/// or floored, through the same stderr channel the env parsers use —
+/// so `ServeConfig::builder().workers(0)` surfaces exactly like
+/// `CREATE_SERVE_WORKERS=0` does: a warning and a safe value, never a
+/// panic and never a silent adjustment.
+///
+/// `name` is the knob's env-contract name (the builder is the code-side
+/// face of the same setting), `given` the value the caller passed,
+/// `used` the value actually applied.
+pub fn warn_adjusted(name: &str, given: impl Display, used: impl Display, why: &str) {
+    eprintln!("[create] adjusting {name}={given}: {why}; using {used}");
+}
+
+/// Parses a positive milliseconds setting into a `Duration` with the
+/// shared warn-and-fallback contract (the `CREATE_SERVE_DEADLINE_MS` /
+/// `CREATE_NET_*_MS` shape: zero and garbage warn and fall back).
+pub fn positive_ms(name: &str, raw: Option<&str>, default_ms: u64) -> std::time::Duration {
+    let ms = parse_validated(name, raw, default_ms, |s| match s.trim().parse::<u64>() {
+        Ok(v) if v > 0 => Ok(v),
+        _ => Err("expected a positive integer (milliseconds)".to_string()),
+    });
+    std::time::Duration::from_millis(ms)
+}
+
+/// [`positive_ms`] over the live process environment.
+pub fn read_positive_ms(name: &str, default_ms: u64) -> std::time::Duration {
+    positive_ms(name, std::env::var(name).ok().as_deref(), default_ms)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +197,27 @@ mod tests {
         assert_eq!(fraction("CREATE_TEST_P", Some("-0.1"), 0.25), 0.25);
         assert_eq!(fraction("CREATE_TEST_P", Some("NaN"), 0.25), 0.25);
         assert_eq!(fraction("CREATE_TEST_P", Some("chaos"), 0.25), 0.25);
+    }
+
+    #[test]
+    fn positive_ms_parses_durations_with_fallback() {
+        use std::time::Duration;
+        assert_eq!(
+            positive_ms("CREATE_TEST_MS", None, 250),
+            Duration::from_millis(250)
+        );
+        assert_eq!(
+            positive_ms("CREATE_TEST_MS", Some(" 40 "), 250),
+            Duration::from_millis(40)
+        );
+        assert_eq!(
+            positive_ms("CREATE_TEST_MS", Some("0"), 250),
+            Duration::from_millis(250)
+        );
+        assert_eq!(
+            positive_ms("CREATE_TEST_MS", Some("soon"), 250),
+            Duration::from_millis(250)
+        );
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   warn-and-fallback on garbage).
 //! * [`atomicfile`] — crash-safe write-temp-fsync-rename file replacement
 //!   shared by every on-disk cache and results artifact in the workspace.
+//! * [`crc`] — the CRC32 shared by the sweep journals' and the network
+//!   front-end's `[len][crc][payload]` framing.
 //! * [`par`] — the scoped worker-pool primitive (`CREATE_THREADS`-sized
 //!   [`par::scoped_map`]) shared by the experiment engine in
 //!   `create-core` and the data-parallel training loops in
@@ -50,6 +52,7 @@
 //! ```
 
 pub mod atomicfile;
+pub mod crc;
 pub mod dispatch;
 pub mod envcfg;
 pub mod fgemm;
